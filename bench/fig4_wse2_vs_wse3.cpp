@@ -1,0 +1,46 @@
+/**
+ * Figure 4: performance of Jacobian (Flang), Diffusion (Devito),
+ * Seismic (Cerebras) and UVKBE (PSyclone) on the WSE2 and WSE3 at the
+ * large problem size (750x994), in GPts/s.
+ */
+
+#include "bench_common.h"
+
+using namespace wsc;
+
+int
+main()
+{
+    printf("Figure 4: WSE2 vs WSE3, large problem size (750x994), "
+           "GPts/s\n");
+    printf("(simulated sub-grid, steady-state extrapolation; paper "
+           "iteration\n counts are annotated, runs use reduced "
+           "steps)\n");
+    bench::printRule('=');
+    printf("%-10s %-8s %12s %12s %9s %14s\n", "benchmark", "frontend",
+           "WSE2 GPts/s", "WSE3 GPts/s", "WSE3/WSE2", "paper iters");
+    bench::printRule();
+
+    const char *names[] = {"Jacobian", "Diffusion", "Seismic", "UVKBE"};
+    for (const char *name : names) {
+        fe::Benchmark b2 =
+            bench::paperBenchmark(name, fe::largeSize().nx,
+                                  fe::largeSize().ny);
+        fe::Benchmark b3 =
+            bench::paperBenchmark(name, fe::largeSize().nx,
+                                  fe::largeSize().ny);
+        model::WaferPerf w2 = model::measureBenchmark(
+            b2, wse::ArchParams::wse2(), bench::defaultMeasure());
+        model::WaferPerf w3 = model::measureBenchmark(
+            b3, wse::ArchParams::wse3(), bench::defaultMeasure());
+        printf("%-10s %-8s %12.0f %12.0f %8.2fx %14lld\n", name,
+               b2.frontend.c_str(), w2.gptsPerSec, w3.gptsPerSec,
+               w3.gptsPerSec / w2.gptsPerSec,
+               static_cast<long long>(b2.paperIterations));
+    }
+    bench::printRule('=');
+    printf("Paper shape: every benchmark faster on WSE3 (upgraded "
+           "switching\nlogic + newer generation), bars in the 10^3-10^4 "
+           "GPts/s band.\n");
+    return 0;
+}

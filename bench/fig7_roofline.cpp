@@ -1,0 +1,75 @@
+/**
+ * Figure 7: roofline of the five benchmarks on the WSE3 (two points
+ * each: all accesses from local memory, all accesses via fabric) plus
+ * the acoustic benchmark on a single A100.
+ */
+
+#include "bench_common.h"
+#include "model/cluster_model.h"
+#include "model/flops.h"
+#include "model/roofline.h"
+
+using namespace wsc;
+
+int
+main()
+{
+    wse::ArchParams wse3 = wse::ArchParams::wse3();
+    model::Roof memRoof{"WSE3 memory", wse3.peakFlops(),
+                        wse3.memoryBandwidth()};
+    model::Roof fabricRoof{"WSE3 fabric", wse3.peakFlops(),
+                           wse3.fabricBandwidth()};
+
+    printf("Figure 7: WSE3 roofline (f32)\n");
+    printf("  peak %.2f PFLOP/s | memory BW %.2f PB/s | fabric BW "
+           "%.2f PB/s\n",
+           wse3.peakFlops() / 1e15, wse3.memoryBandwidth() / 1e15,
+           wse3.fabricBandwidth() / 1e15);
+    printf("  memory ridge %.3f FLOP/B | fabric ridge %.3f FLOP/B\n",
+           memRoof.ridgeIntensity(), fabricRoof.ridgeIntensity());
+    bench::printRule('=');
+    printf("%-10s %9s %9s %12s %13s %13s\n", "benchmark", "AI(mem)",
+           "AI(fab)", "TFLOP/s", "mem regime", "fabric regime");
+    bench::printRule();
+
+    const char *names[] = {"Jacobian", "Diffusion", "Acoustic",
+                           "Seismic", "UVKBE"};
+    for (const char *name : names) {
+        fe::Benchmark bench = bench::paperBenchmark(
+            name, fe::largeSize().nx, fe::largeSize().ny);
+        model::WaferPerf perf = model::measureBenchmark(
+            bench, wse3, bench::defaultMeasure());
+        double aiMem = perf.work.algoMemArithmeticIntensity();
+        double aiFab = perf.work.fabricArithmeticIntensity();
+        printf("%-10s %9.3f %9.3f %12.1f %13s %13s\n", name, aiMem,
+               aiFab, perf.flopsPerSec / 1e12,
+               memRoof.isBandwidthBound(aiMem) ? "memory-bound"
+                                               : "compute-bound",
+               fabricRoof.isBandwidthBound(aiFab) ? "fabric-bound"
+                                                  : "compute-bound");
+    }
+
+    // The A100 acoustic point.
+    model::ClusterSpec a100 = model::singleA100();
+    model::Roof a100Roof{"A100", a100.perDevicePeakFlops,
+                         a100.perDeviceBandwidth};
+    double bytesPerPoint = model::acousticBytesPerPointCacheMachine();
+    double flopsPerPoint = 33.0; // r=2 acoustic update
+    double ai = flopsPerPoint / bytesPerPoint;
+    double achieved = a100.flopsPerSec(flopsPerPoint, bytesPerPoint);
+    bench::printRule();
+    printf("%-10s %9.3f %9s %12.1f %13s (A100 ridge %.2f)\n",
+           "Acoustic*", ai, "-", achieved / 1e12,
+           a100Roof.isBandwidthBound(ai) ? "memory-bound"
+                                         : "compute-bound",
+           a100Roof.ridgeIntensity());
+    printf("  (* on a single A100: DRAM BW %.2f TB/s, peak %.2f "
+           "TFLOP/s)\n",
+           a100.perDeviceBandwidth / 1e12,
+           a100.perDevicePeakFlops / 1e12);
+    bench::printRule('=');
+    printf("Paper shape: all WSE3 benchmarks compute-bound vs memory; "
+           "all but\nJacobian compute-bound vs fabric; the A100 acoustic "
+           "point memory-bound.\n");
+    return 0;
+}

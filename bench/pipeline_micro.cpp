@@ -1,0 +1,93 @@
+/**
+ * Compile-time micro-benchmarks (google-benchmark): cost of the
+ * individual pipeline stages and the full lowering per benchmark.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "codegen/csl_emitter.h"
+#include "dialects/all.h"
+#include "interp/csl_interpreter.h"
+#include "transforms/pipeline.h"
+#include "wse/simulator.h"
+
+using namespace wsc;
+
+namespace {
+
+void
+BM_FrontendEmit(benchmark::State &state)
+{
+    fe::Benchmark bench = fe::makeSeismic(100, 100, 12);
+    for (auto _ : state) {
+        ir::Context ctx;
+        dialects::registerAllDialects(ctx);
+        ir::OwningOp module = bench.program.emit(ctx);
+        benchmark::DoNotOptimize(module.get());
+    }
+}
+BENCHMARK(BM_FrontendEmit);
+
+void
+BM_FullPipeline(benchmark::State &state)
+{
+    const char *names[] = {"Jacobian", "Diffusion", "Acoustic",
+                           "Seismic", "UVKBE"};
+    const char *name = names[state.range(0)];
+    fe::Benchmark bench = bench::paperBenchmark(name, 100, 100, 12);
+    for (auto _ : state) {
+        ir::Context ctx;
+        dialects::registerAllDialects(ctx);
+        ir::OwningOp module = bench.program.emit(ctx);
+        transforms::runPipeline(module.get());
+        benchmark::DoNotOptimize(module.get());
+    }
+    state.SetLabel(name);
+}
+BENCHMARK(BM_FullPipeline)->DenseRange(0, 4);
+
+void
+BM_CslEmission(benchmark::State &state)
+{
+    fe::Benchmark bench = fe::makeSeismic(100, 100, 12);
+    ir::Context ctx;
+    dialects::registerAllDialects(ctx);
+    ir::OwningOp module = bench.program.emit(ctx);
+    transforms::runPipeline(module.get());
+    for (auto _ : state) {
+        codegen::EmittedCsl csl = codegen::emitCsl(module.get());
+        benchmark::DoNotOptimize(csl.programFile.data());
+    }
+}
+BENCHMARK(BM_CslEmission);
+
+void
+BM_SimulatedTimestep(benchmark::State &state)
+{
+    // Simulator throughput: one steady-state timestep of Jacobian on a
+    // 7x7 sub-grid (host wall-clock per simulated step).
+    fe::Benchmark bench = fe::makeJacobian(7, 7, 64, 64);
+    ir::Context ctx;
+    dialects::registerAllDialects(ctx);
+    ir::OwningOp module = bench.program.emit(ctx);
+    transforms::runPipeline(module.get());
+    for (auto _ : state) {
+        wse::Simulator sim(wse::ArchParams::wse3(), 7, 7);
+        interp::CslProgramInstance instance(sim, module.get());
+        auto init = bench.init;
+        instance.setFieldInit("a", [init](int x, int y, int z) {
+            return init(0, x, y, z);
+        });
+        instance.configure();
+        instance.launch();
+        sim.run(4000000000ULL);
+        benchmark::DoNotOptimize(sim.now());
+    }
+    state.counters["steps"] = 64;
+}
+BENCHMARK(BM_SimulatedTimestep)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

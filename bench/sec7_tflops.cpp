@@ -1,0 +1,37 @@
+/**
+ * Section 7 comparison numbers: sustained TFLOP/s of the Jacobian and
+ * the 25-point seismic kernel on the CS-2 and CS-3 (the related-work
+ * comparison against SPADA's 2-D Laplacian / UVKBE figures).
+ */
+
+#include "bench_common.h"
+
+using namespace wsc;
+
+int
+main()
+{
+    printf("Section 7: sustained TFLOP/s on CS-2 / CS-3 (large size)\n");
+    bench::printRule('=');
+    printf("%-10s %14s %14s %10s\n", "kernel", "CS-2 TFLOP/s",
+           "CS-3 TFLOP/s", "CS3/CS2");
+    bench::printRule();
+    for (const char *name : {"Jacobian", "Seismic", "UVKBE"}) {
+        fe::Benchmark b2 = bench::paperBenchmark(
+            name, fe::largeSize().nx, fe::largeSize().ny);
+        model::WaferPerf w2 = model::measureBenchmark(
+            b2, wse::ArchParams::wse2(), bench::defaultMeasure());
+        fe::Benchmark b3 = bench::paperBenchmark(
+            name, fe::largeSize().nx, fe::largeSize().ny);
+        model::WaferPerf w3 = model::measureBenchmark(
+            b3, wse::ArchParams::wse3(), bench::defaultMeasure());
+        printf("%-10s %14.0f %14.0f %9.2fx\n", name,
+               w2.flopsPerSec / 1e12, w3.flopsPerSec / 1e12,
+               w3.flopsPerSec / w2.flopsPerSec);
+    }
+    bench::printRule('=');
+    printf("Paper: Jacobian 169 / 313 TFLOP/s; Seismic 491 / 678 "
+           "TFLOP/s.\n(SPADA: 2-D Laplacian 120 TFLOP/s, UVKBE ~150 "
+           "TFLOP/s on CS-2.)\n");
+    return 0;
+}

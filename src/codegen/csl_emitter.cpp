@@ -1,0 +1,405 @@
+#include "codegen/csl_emitter.h"
+
+#include <map>
+#include <sstream>
+
+#include "dialects/arith.h"
+#include "dialects/csl.h"
+#include "dialects/scf.h"
+#include "support/error.h"
+
+namespace wsc::codegen {
+
+namespace {
+
+namespace csl = dialects::csl;
+namespace ar = dialects::arith;
+namespace scf = dialects::scf;
+
+/** Emits the body of one function/task as CSL statements. */
+class BodyEmitter
+{
+  public:
+    BodyEmitter(std::ostream &os,
+                const std::map<std::string, int64_t> &taskIds)
+        : os_(os), taskIds_(taskIds)
+    {
+    }
+
+    void
+    emitBlock(ir::Block *block, int indent)
+    {
+        for (ir::Operation *op : block->opsVector())
+            emitOp(op, indent);
+    }
+
+    /** Pre-bind a value (e.g. a task parameter) to a fixed name. */
+    void
+    bindName(ir::Value v, const std::string &name)
+    {
+        names_[v.impl()] = name;
+    }
+
+  private:
+    std::string
+    nameOf(ir::Value v)
+    {
+        auto it = names_.find(v.impl());
+        if (it != names_.end())
+            return it->second;
+        std::string name = "v" + std::to_string(next_++);
+        names_.emplace(v.impl(), name);
+        return name;
+    }
+
+    /** Argument rendering for DSD builtins (value name or literal). */
+    std::string
+    operandText(ir::Value v)
+    {
+        return nameOf(v);
+    }
+
+    void
+    line(int indent, const std::string &text)
+    {
+        os_ << std::string(static_cast<size_t>(indent) * 2, ' ') << text
+            << "\n";
+    }
+
+    void
+    emitOp(ir::Operation *op, int indent)
+    {
+        const std::string &n = op->name();
+        std::ostringstream s;
+        if (n == ar::kConstant) {
+            ir::Attribute a = op->attr("value");
+            ir::Type t = op->result().type();
+            std::string typeName = ir::isFloat(t)
+                                       ? "f32"
+                                       : (ir::isIndex(t) ? "i16" : "i32");
+            s << "const " << nameOf(op->result()) << ": " << typeName
+              << " = ";
+            if (ir::isFloatAttr(a))
+                s << ir::floatAttrValue(a);
+            else
+                s << ir::intAttrValue(a);
+            s << ";";
+            line(indent, s.str());
+            return;
+        }
+        if (n == ar::kAddI || n == ar::kAddF || n == ar::kSubI ||
+            n == ar::kSubF || n == ar::kMulI || n == ar::kMulF ||
+            n == ar::kDivF) {
+            const char *sym = (n == ar::kAddI || n == ar::kAddF) ? "+"
+                              : (n == ar::kSubI || n == ar::kSubF)
+                                  ? "-"
+                                  : (n == ar::kDivF) ? "/" : "*";
+            s << "const " << nameOf(op->result()) << " = "
+              << nameOf(op->operand(0)) << " " << sym << " "
+              << nameOf(op->operand(1)) << ";";
+            line(indent, s.str());
+            return;
+        }
+        if (n == ar::kCmpI) {
+            static const std::map<std::string, std::string> preds = {
+                {"lt", "<"}, {"le", "<="}, {"gt", ">"},
+                {"ge", ">="}, {"eq", "=="}, {"ne", "!="}};
+            s << "const " << nameOf(op->result()) << " = "
+              << nameOf(op->operand(0)) << " "
+              << preds.at(op->strAttr("predicate")) << " "
+              << nameOf(op->operand(1)) << ";";
+            line(indent, s.str());
+            return;
+        }
+        if (n == scf::kIf) {
+            line(indent, "if (" + nameOf(op->operand(0)) + ") {");
+            emitBlock(scf::ifThenBlock(op), indent + 1);
+            if (!op->region(1).empty() &&
+                scf::ifElseBlock(op)->size() > 1) {
+                line(indent, "} else {");
+                emitBlock(scf::ifElseBlock(op), indent + 1);
+            }
+            line(indent, "}");
+            return;
+        }
+        if (n == scf::kYield)
+            return;
+        if (n == csl::kReturn) {
+            line(indent, "return;");
+            return;
+        }
+        if (n == csl::kLoadVar) {
+            ir::Type t = op->result().type();
+            if (csl::isPtrType(t) || ir::isMemRef(t)) {
+                s << "const " << nameOf(op->result()) << " = "
+                  << op->strAttr("var") << ";";
+            } else {
+                s << "const " << nameOf(op->result()) << " = "
+                  << op->strAttr("var") << ";";
+            }
+            line(indent, s.str());
+            return;
+        }
+        if (n == csl::kStoreVar) {
+            s << op->strAttr("var") << " = " << nameOf(op->operand(0))
+              << ";";
+            line(indent, s.str());
+            return;
+        }
+        if (n == csl::kAddressOf) {
+            s << "const " << nameOf(op->result()) << " = &"
+              << op->strAttr("var") << ";";
+            line(indent, s.str());
+            return;
+        }
+        if (n == csl::kGetMemDsd) {
+            int64_t len = op->intAttr("length");
+            int64_t off = op->intAttr("offset");
+            int64_t stride = op->intAttr("stride");
+            std::string base = op->strAttr("var");
+            if (op->hasAttr("via_ptr"))
+                base += ".*";
+            s << "var " << nameOf(op->result())
+              << " = @get_dsd(mem1d_dsd, .{ .tensor_access = |i|{" << len
+              << "} -> " << base << "[";
+            if (op->hasAttr("wrap"))
+                s << "(i % " << op->intAttr("wrap") << ")";
+            else
+                s << "i";
+            if (stride != 1)
+                s << " * " << stride;
+            if (off != 0)
+                s << " + " << off;
+            s << "] });";
+            line(indent, s.str());
+            return;
+        }
+        if (n == csl::kIncrementDsdOffset) {
+            s << "var " << nameOf(op->result())
+              << " = @increment_dsd_offset(" << nameOf(op->operand(0))
+              << ", " << nameOf(op->operand(1)) << ", f32);";
+            line(indent, s.str());
+            return;
+        }
+        if (n == csl::kSetDsdLength) {
+            s << "var " << nameOf(op->result()) << " = @set_dsd_length("
+              << nameOf(op->operand(0)) << ", @as(u16, "
+              << nameOf(op->operand(1)) << "));";
+            line(indent, s.str());
+            return;
+        }
+        if (n == csl::kFadds || n == csl::kFsubs || n == csl::kFmuls ||
+            n == csl::kFmovs || n == csl::kFmacs) {
+            std::string builtin = "@" + n.substr(4); // strip "csl."
+            s << builtin << "(";
+            for (unsigned i = 0; i < op->numOperands(); ++i)
+                s << (i ? ", " : "") << operandText(op->operand(i));
+            s << ");";
+            line(indent, s.str());
+            return;
+        }
+        if (n == csl::kCall) {
+            line(indent, op->strAttr("callee") + "();");
+            return;
+        }
+        if (n == csl::kActivate) {
+            const std::string &task = op->strAttr("task");
+            auto it = taskIds_.find(task);
+            int64_t id = it == taskIds_.end() ? 0 : it->second;
+            line(indent, "@activate(@get_local_task_id(" +
+                             std::to_string(id) + ")); // " + task);
+            return;
+        }
+        if (n == csl::kCommsExchange) {
+            csl::CommsExchangeSpec spec = csl::commsExchangeSpec(op);
+            s << "comms.communicate(" << nameOf(op->operand(0)) << ", "
+              << spec.numChunks << ", &" << spec.recvCallback << ", &"
+              << spec.doneCallback << ");";
+            line(indent, s.str());
+            return;
+        }
+        if (n == csl::kUnblockCmdStream) {
+            line(indent, "sys_mod.unblock_cmd_stream();");
+            return;
+        }
+        if (n == csl::kImportModule || n == csl::kMemberCall ||
+            n == csl::kExport || n == csl::kParam)
+            return; // printed at module level
+        panic("csl emitter: unsupported op in body: " + n);
+    }
+
+    std::ostream &os_;
+    const std::map<std::string, int64_t> &taskIds_;
+    std::map<ir::ValueImpl *, std::string> names_;
+    int next_ = 0;
+};
+
+std::string
+memrefShapeText(ir::Type t)
+{
+    std::ostringstream s;
+    const std::vector<int64_t> &shape = ir::shapeOf(t);
+    s << "[";
+    for (size_t i = 0; i < shape.size(); ++i)
+        s << (i ? ", " : "") << shape[i];
+    s << "]f32";
+    return s.str();
+}
+
+std::string
+emitProgram(ir::Operation *program)
+{
+    std::ostringstream os;
+    os << "// pe.csl — generated by the wsestencil MLIR lowering "
+          "pipeline\n";
+    os << "// (paper: An MLIR Lowering Pipeline for Stencils at "
+          "Wafer-Scale)\n\n";
+
+    // Task id table for @activate / @bind_local_task.
+    std::map<std::string, int64_t> taskIds;
+    for (ir::Operation *op : csl::moduleBody(program)->opsVector())
+        if (op->name() == csl::kTask)
+            taskIds[op->strAttr("sym_name")] = op->intAttr("id");
+
+    for (ir::Operation *op : csl::moduleBody(program)->opsVector()) {
+        const std::string &n = op->name();
+        if (n == csl::kParam) {
+            os << "param " << op->strAttr("name") << ": i16;\n";
+            continue;
+        }
+        if (n == csl::kImportModule) {
+            const std::string &module = op->strAttr("module");
+            std::string sym = module == "<memcpy/memcpy>"
+                                  ? "sys_mod"
+                                  : (module == "stencil_comms.csl"
+                                         ? "comms"
+                                         : "mod");
+            os << "const " << sym << " = @import_module(\"" << module
+               << "\");\n";
+            continue;
+        }
+        if (n == csl::kVariable) {
+            ir::Type t = ir::typeAttrValue(op->attr("type"));
+            const std::string &name = op->strAttr("sym_name");
+            if (ir::isMemRef(t)) {
+                os << "var " << name << " = @zeros("
+                   << memrefShapeText(t) << ");";
+                if (op->hasAttr("comms_owned"))
+                    os << " // landing buffer managed by comms";
+                os << "\n";
+            } else if (csl::isPtrType(t)) {
+                os << "var " << name << ": [*]f32 = &"
+                   << ir::stringAttrValue(op->attr("init")) << ";\n";
+            } else {
+                int64_t init = 0;
+                if (ir::Attribute a = op->attr("init"))
+                    init = ir::intAttrValue(a);
+                os << "var " << name << ": i32 = " << init << ";\n";
+            }
+            continue;
+        }
+        if (n == csl::kFunc) {
+            os << "\nfn " << op->strAttr("sym_name") << "() void {\n";
+            BodyEmitter body(os, taskIds);
+            body.emitBlock(csl::calleeBody(op), 1);
+            os << "}\n";
+            continue;
+        }
+        if (n == csl::kTask) {
+            ir::Block *body = csl::calleeBody(op);
+            os << "\ntask " << op->strAttr("sym_name") << "(";
+            if (body->numArguments() == 1)
+                os << "offset: i16";
+            os << ") void {\n";
+            BodyEmitter emitter(os, taskIds);
+            if (body->numArguments() == 1)
+                emitter.bindName(body->argument(0), "offset");
+            emitter.emitBlock(body, 1);
+            os << "}\n";
+            continue;
+        }
+        if (n == csl::kExport)
+            continue; // handled below
+    }
+
+    // Comptime epilogue: task binding and symbol exports.
+    os << "\ncomptime {\n";
+    for (const auto &[name, id] : taskIds)
+        os << "  @bind_local_task(" << name << ", @get_local_task_id("
+           << id << "));\n";
+    for (ir::Operation *op : csl::moduleBody(program)->opsVector()) {
+        if (op->name() != csl::kExport)
+            continue;
+        const std::string &kind = op->strAttr("kind");
+        os << "  @export_symbol(" << op->strAttr("name")
+           << (kind == "fn" ? ", fn()void" : "") << ");\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+std::string
+emitLayout(ir::Operation *layout)
+{
+    std::ostringstream os;
+    os << "// layout.csl — generated layout metaprogram\n";
+    os << "// Executed at compile time by the CSL staged compiler to\n";
+    os << "// place and specialize the PE programs.\n\n";
+    int64_t width = 1;
+    int64_t height = 1;
+    std::string file = "pe.csl";
+    ir::Attribute params;
+    for (ir::Operation *op : csl::moduleBody(layout)->opsVector()) {
+        if (op->name() == csl::kSetRectangle) {
+            width = op->intAttr("width");
+            height = op->intAttr("height");
+        } else if (op->name() == csl::kSetTileCode) {
+            file = op->strAttr("file");
+            params = op->attr("params");
+        }
+    }
+    os << "param memcpy_params: comptime_struct;\n";
+    os << "const memcpy = @import_module(\"<memcpy/get_params>\", .{ "
+          ".width = "
+       << width << ", .height = " << height << " });\n\n";
+    os << "layout {\n";
+    os << "  @set_rectangle(" << width << ", " << height << ");\n";
+    os << "  var x: i16 = 0;\n";
+    os << "  while (x < " << width << ") : (x += 1) {\n";
+    os << "    var y: i16 = 0;\n";
+    os << "    while (y < " << height << ") : (y += 1) {\n";
+    os << "      @set_tile_code(x, y, \"" << file << "\", .{";
+    if (params && ir::isDictAttr(params)) {
+        const ir::AttrStorage &s = *params.impl();
+        for (size_t i = 0; i < s.keys.size(); ++i) {
+            os << (i ? ", " : " ") << "." << s.keys[i] << " = "
+               << ir::Attribute(s.elems[i]).str();
+        }
+    }
+    os << " });\n";
+    os << "    }\n";
+    os << "  }\n";
+    os << "  @export_name(\"f_main\", fn()void);\n";
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace
+
+EmittedCsl
+emitCsl(ir::Operation *root)
+{
+    EmittedCsl out;
+    root->walk([&](ir::Operation *op) {
+        if (op->name() != csl::kModule)
+            return;
+        if (op->strAttr("kind") == "program")
+            out.programFile = emitProgram(op);
+        else
+            out.layoutFile = emitLayout(op);
+    });
+    WSC_ASSERT(!out.programFile.empty(), "no program module to emit");
+    return out;
+}
+
+} // namespace wsc::codegen

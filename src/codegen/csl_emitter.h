@@ -1,0 +1,35 @@
+/**
+ * @file
+ * CSL code emitter: prints a lowered csl-ir module as CSL (Zig-like)
+ * source text — the layout metaprogram file and the PE program file —
+ * which is what the pipeline would hand to the Cerebras SDK compiler.
+ */
+
+#ifndef WSC_CODEGEN_CSL_EMITTER_H
+#define WSC_CODEGEN_CSL_EMITTER_H
+
+#include <string>
+
+#include "ir/operation.h"
+
+namespace wsc::codegen {
+
+/** The two generated CSL source files. */
+struct EmittedCsl
+{
+    std::string layoutFile;  ///< layout.csl (staged-compilation metaprogram)
+    std::string programFile; ///< pe.csl (the per-PE program)
+};
+
+/**
+ * Emit CSL source from the final lowered module (a builtin.module
+ * containing the layout and program csl.modules).
+ */
+EmittedCsl emitCsl(ir::Operation *root);
+
+/** The CSL source of the runtime communications library (§5.6). */
+const std::string &stencilCommsLibrarySource();
+
+} // namespace wsc::codegen
+
+#endif // WSC_CODEGEN_CSL_EMITTER_H

@@ -1,0 +1,24 @@
+#include "codegen/loc_counter.h"
+
+#include <sstream>
+
+namespace wsc::codegen {
+
+int64_t
+countLoc(const std::string &source)
+{
+    std::istringstream is(source);
+    std::string line;
+    int64_t count = 0;
+    while (std::getline(is, line)) {
+        size_t first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos)
+            continue;
+        if (line.compare(first, 2, "//") == 0)
+            continue;
+        count++;
+    }
+    return count;
+}
+
+} // namespace wsc::codegen

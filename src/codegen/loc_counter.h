@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Lines-of-code accounting for the Table 1 comparison: generated CSL
+ * kernel only, entire CSL (kernel + layout + runtime library), and the
+ * DSL source the scientist writes.
+ */
+
+#ifndef WSC_CODEGEN_LOC_COUNTER_H
+#define WSC_CODEGEN_LOC_COUNTER_H
+
+#include <cstdint>
+#include <string>
+
+namespace wsc::codegen {
+
+/** Non-empty, non-comment-only source lines. */
+int64_t countLoc(const std::string &source);
+
+/** Table 1 row for one benchmark. */
+struct LocRow
+{
+    std::string benchmark;
+    int64_t cslKernelOnly = 0; ///< generated pe.csl
+    int64_t cslEntire = 0;     ///< pe.csl + layout.csl + runtime library
+    int64_t dsl = 0;           ///< the frontend source
+};
+
+} // namespace wsc::codegen
+
+#endif // WSC_CODEGEN_LOC_COUNTER_H

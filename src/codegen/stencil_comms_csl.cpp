@@ -1,0 +1,234 @@
+#include "codegen/csl_emitter.h"
+
+namespace wsc::codegen {
+
+/**
+ * The CSL source of the runtime communications library (paper §5.6):
+ * chunked asynchronous halo exchanges for star-shaped stencils,
+ * partitionable communication following Jacquelin et al. This is the
+ * `stencil_comms.csl` module generated kernels import; its line count
+ * contributes to the "CSL entire" column of Table 1.
+ */
+static const std::string kStencilCommsCsl = R"CSL(
+// stencil_comms.csl — runtime communication library for star-shaped
+// stencils of configurable radius and chunked column exchanges.
+//
+// Strategy (Jacquelin et al., SC'22): every PE broadcasts its (trimmed)
+// z-column to the neighbours that need it in each cardinal direction,
+// using forward-and-deliver multicast routes; receive completion is
+// tracked per chunk across all directions and distances, and a single
+// user callback is activated per completed chunk, with a final callback
+// once the whole exchange has finished.
+
+param pattern: i16;          // stencil radius (hops per direction)
+param chunk_size: i16;       // elements per chunk per section
+param num_chunks: i16;       // chunks per column
+param z_size: i16;           // full column length
+param trim_first: i16;       // leading elements not communicated
+param trim_last: i16;        // trailing elements not communicated
+param num_sections: i16;     // neighbours delivering to this PE
+param is_interior: bool;     // whether this PE computes
+
+param recv_callback: fn(i16)void;
+param done_callback: fn()void;
+
+const directions = @import_module("<directions>");
+const fabric = @import_module("<fabric>");
+
+// ---------------------------------------------------------------------
+// Colors: one data color per direction of travel, plus one control color
+// for switch advancement between chunks.
+// ---------------------------------------------------------------------
+const C_EAST:  color = @get_color(0);
+const C_WEST:  color = @get_color(1);
+const C_NORTH: color = @get_color(2);
+const C_SOUTH: color = @get_color(3);
+const C_CTRL:  color = @get_color(4);
+
+const send_colors = [4]color{ C_EAST, C_WEST, C_NORTH, C_SOUTH };
+
+// Input queues bound to the four data colors.
+const iq_east  = @get_input_queue(2);
+const iq_west  = @get_input_queue(3);
+const iq_north = @get_input_queue(4);
+const iq_south = @get_input_queue(5);
+const oq_data  = @get_output_queue(1);
+
+// ---------------------------------------------------------------------
+// Landing buffer: one chunk per section, reused across chunks. The
+// buffer is owned by this library; the generated kernel reads it inside
+// its receive-chunk callback.
+// ---------------------------------------------------------------------
+var recv_buffer = @zeros([num_sections * chunk_size]f32);
+var send_staging = @zeros([chunk_size]f32);
+
+// Per-exchange state.
+var arrivals = @zeros([num_chunks]i16);
+var chunks_done: i16 = 0;
+var sends_done: i16 = 0;
+var exchange_active: bool = false;
+var send_base: [*]f32 = &send_staging;
+
+// Per-section promoted coefficients (optional; 1.0 disables).
+var coeffs = @constants([16]f32, 1.0);
+
+fn expected_arrivals() i16 {
+    if (!is_interior) { return 0; }
+    return num_sections;
+}
+
+// ---------------------------------------------------------------------
+// Sending: one fabout DSD per direction; the column is injected chunk by
+// chunk, with a control wavelet advancing the switch position between
+// chunks so the forward-and-deliver multicast reaches each distance.
+// ---------------------------------------------------------------------
+const out_east = @get_dsd(fabout_dsd, .{
+    .fabric_color = C_EAST, .extent = chunk_size,
+    .output_queue = oq_data,
+});
+const out_west = @get_dsd(fabout_dsd, .{
+    .fabric_color = C_WEST, .extent = chunk_size,
+    .output_queue = oq_data,
+});
+const out_north = @get_dsd(fabout_dsd, .{
+    .fabric_color = C_NORTH, .extent = chunk_size,
+    .output_queue = oq_data,
+});
+const out_south = @get_dsd(fabout_dsd, .{
+    .fabric_color = C_SOUTH, .extent = chunk_size,
+    .output_queue = oq_data,
+});
+
+var chunk_index: i16 = 0;
+
+fn send_chunk(dir: i16, chunk: i16) void {
+    const begin = trim_first + chunk * chunk_size;
+    var src = @get_dsd(mem1d_dsd, .{
+        .tensor_access = |i|{chunk_size} -> send_base[i + begin]
+    });
+    switch (dir) {
+        0 => @fmovs(out_east, src, .{ .async = true,
+                                      .activate = send_done_task }),
+        1 => @fmovs(out_west, src, .{ .async = true,
+                                      .activate = send_done_task }),
+        2 => @fmovs(out_north, src, .{ .async = true,
+                                       .activate = send_done_task }),
+        3 => @fmovs(out_south, src, .{ .async = true,
+                                       .activate = send_done_task }),
+        else => {},
+    }
+}
+
+// Switch advancement: a control wavelet instructs routers along the path
+// to move to their next position (required between chunks; on the WSE2
+// the self-transmit position makes this costlier).
+fn advance_switches(dir: i16) void {
+    const ctrl = @get_dsd(fabout_dsd, .{
+        .fabric_color = C_CTRL, .extent = 1, .output_queue = oq_data,
+    });
+    @mov32(ctrl, directions.switch_advance_payload(dir), .{ .async = true });
+}
+
+task send_done_task() void {
+    sends_done += 1;
+    if (sends_done == 4 * num_chunks) {
+        try_finish();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Receiving: a fabin DSD per direction streams wavelets into the landing
+// buffer. With promoted coefficients the incoming data is multiplied
+// while it lands (@fmacs from the input queue) at zero extra cost —
+// interleaving communication and computation.
+// ---------------------------------------------------------------------
+var recv_section: i16 = 0;
+
+fn land_section(dir: i16, dist: i16, chunk: i16) void {
+    const section = directions.section_of(dir, dist);
+    const base = section * chunk_size;
+    var dst = @get_dsd(mem1d_dsd, .{
+        .tensor_access = |i|{chunk_size} -> recv_buffer[i + base]
+    });
+    const in = fabric.input_dsd(dir, chunk_size);
+    // coefficient application while landing (promoted):
+    @fmacs(dst, dst, in, coeffs[section], .{ .async = true,
+                                             .activate = landed_task });
+}
+
+task landed_task() void {
+    const chunk = chunk_index;
+    arrivals[chunk] += 1;
+    if (arrivals[chunk] == expected_arrivals()) {
+        chunks_done += 1;
+        recv_callback(chunk * chunk_size);
+        if (chunks_done == num_chunks) {
+            try_finish();
+        }
+    }
+}
+
+fn try_finish() void {
+    if (!exchange_active) { return; }
+    if (chunks_done < num_chunks and is_interior) { return; }
+    if (sends_done < 4 * num_chunks) { return; }
+    exchange_active = false;
+    done_callback();
+}
+
+// ---------------------------------------------------------------------
+// Entry point: begin an asynchronous exchange of `buf`.
+// ---------------------------------------------------------------------
+fn communicate(buf: [*]f32, chunks: i16,
+               recv_cb: fn(i16)void, done_cb: fn()void) void {
+    exchange_active = true;
+    chunks_done = 0;
+    sends_done = 0;
+    send_base = buf;
+    var c: i16 = 0;
+    while (c < chunks) : (c += 1) {
+        arrivals[c] = 0;
+        var d: i16 = 0;
+        while (d < 4) : (d += 1) {
+            advance_switches(d);
+            send_chunk(d, c);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Route configuration, executed at comptime per PE from layout data:
+// positions implement forward-and-deliver multicast out to `pattern`
+// hops. On WSE2 hardware the injection position must also route the
+// stream back up the sender's own ramp (self-transmit); the WSE3
+// switching logic removes this requirement, which is the main source of
+// its communication advantage.
+// ---------------------------------------------------------------------
+comptime {
+    @set_local_color_config(C_EAST, .{ .routes = .{
+        .rx = .{ RAMP, WEST }, .tx = .{ EAST, RAMP },
+    }});
+    @set_local_color_config(C_WEST, .{ .routes = .{
+        .rx = .{ RAMP, EAST }, .tx = .{ WEST, RAMP },
+    }});
+    @set_local_color_config(C_NORTH, .{ .routes = .{
+        .rx = .{ RAMP, SOUTH }, .tx = .{ NORTH, RAMP },
+    }});
+    @set_local_color_config(C_SOUTH, .{ .routes = .{
+        .rx = .{ RAMP, NORTH }, .tx = .{ SOUTH, RAMP },
+    }});
+    @set_local_color_config(C_CTRL, .{ .routes = .{
+        .rx = .{ RAMP }, .tx = .{ EAST, WEST, NORTH, SOUTH },
+    }});
+    @bind_local_task(send_done_task, @get_local_task_id(20));
+    @bind_local_task(landed_task, @get_local_task_id(21));
+}
+)CSL";
+
+const std::string &
+stencilCommsLibrarySource()
+{
+    return kStencilCommsCsl;
+}
+
+} // namespace wsc::codegen

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Convenience registration of every dialect in the pipeline.
+ */
+
+#ifndef WSC_DIALECTS_ALL_H
+#define WSC_DIALECTS_ALL_H
+
+#include "dialects/arith.h"
+#include "dialects/builtin.h"
+#include "dialects/csl.h"
+#include "dialects/csl_stencil.h"
+#include "dialects/csl_wrapper.h"
+#include "dialects/dmp.h"
+#include "dialects/func.h"
+#include "dialects/linalg.h"
+#include "dialects/memref.h"
+#include "dialects/scf.h"
+#include "dialects/stencil.h"
+#include "dialects/tensor.h"
+#include "dialects/varith.h"
+
+namespace wsc::dialects {
+
+/** Register every dialect used by the lowering pipeline. */
+inline void
+registerAllDialects(ir::Context &ctx)
+{
+    builtin::registerDialect(ctx);
+    func::registerDialect(ctx);
+    arith::registerDialect(ctx);
+    scf::registerDialect(ctx);
+    stencil::registerDialect(ctx);
+    tensor::registerDialect(ctx);
+    memref::registerDialect(ctx);
+    linalg::registerDialect(ctx);
+    dmp::registerDialect(ctx);
+    varith::registerDialect(ctx);
+    csl_stencil::registerDialect(ctx);
+    csl_wrapper::registerDialect(ctx);
+    csl::registerDialect(ctx);
+}
+
+} // namespace wsc::dialects
+
+#endif // WSC_DIALECTS_ALL_H

@@ -1,0 +1,41 @@
+#include "dialects/builtin.h"
+
+#include "support/error.h"
+
+namespace wsc::dialects::builtin {
+
+void
+registerDialect(ir::Context &ctx)
+{
+    if (!ctx.markDialectLoaded("builtin"))
+        return;
+    registerSimpleOp(ctx, kModule,
+                     {.numOperands = 0, .numResults = 0, .numRegions = 1});
+    registerSimpleOp(ctx, kUnrealizedCast,
+                     {.numOperands = 1, .numResults = 1, .numRegions = 0});
+}
+
+ir::OwningOp
+createModule(ir::Context &ctx)
+{
+    ir::Operation *module =
+        ir::Operation::create(ctx, kModule, {}, {}, {}, 1);
+    module->region(0).addBlock();
+    return ir::OwningOp(module);
+}
+
+ir::Block *
+moduleBody(ir::Operation *module)
+{
+    WSC_ASSERT(module->name() == kModule,
+               "moduleBody on non-module op " << module->name());
+    return &module->region(0).front();
+}
+
+ir::Value
+createCast(ir::OpBuilder &b, ir::Value value, ir::Type type)
+{
+    return b.create(kUnrealizedCast, {value}, {type})->result();
+}
+
+} // namespace wsc::dialects::builtin

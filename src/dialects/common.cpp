@@ -1,0 +1,44 @@
+#include "dialects/common.h"
+
+#include <sstream>
+
+namespace wsc::dialects {
+
+void
+registerSimpleOp(ir::Context &ctx, const std::string &name, SimpleOpSpec spec)
+{
+    ir::OpInfo info;
+    info.isTerminator = spec.isTerminator;
+    info.verify = [spec](ir::Operation *op) -> std::string {
+        std::ostringstream os;
+        if (spec.numOperands >= 0 &&
+            op->numOperands() != static_cast<unsigned>(spec.numOperands)) {
+            os << "expected " << spec.numOperands << " operands, got "
+               << op->numOperands();
+            return os.str();
+        }
+        if (spec.minOperands >= 0 &&
+            op->numOperands() < static_cast<unsigned>(spec.minOperands)) {
+            os << "expected at least " << spec.minOperands
+               << " operands, got " << op->numOperands();
+            return os.str();
+        }
+        if (spec.numResults >= 0 &&
+            op->numResults() != static_cast<unsigned>(spec.numResults)) {
+            os << "expected " << spec.numResults << " results, got "
+               << op->numResults();
+            return os.str();
+        }
+        if (op->numRegions() != static_cast<unsigned>(spec.numRegions)) {
+            os << "expected " << spec.numRegions << " regions, got "
+               << op->numRegions();
+            return os.str();
+        }
+        if (spec.extraVerify)
+            return spec.extraVerify(op);
+        return "";
+    };
+    ctx.registerOp(name, std::move(info));
+}
+
+} // namespace wsc::dialects

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Shared helpers for dialect registration and op verification.
+ */
+
+#ifndef WSC_DIALECTS_COMMON_H
+#define WSC_DIALECTS_COMMON_H
+
+#include <string>
+
+#include "ir/builder.h"
+#include "ir/context.h"
+#include "ir/operation.h"
+
+namespace wsc::dialects {
+
+/** Structural expectations shared by most ops. */
+struct SimpleOpSpec
+{
+    int numOperands = -1;   ///< exact count, -1 = any
+    int minOperands = -1;   ///< minimum count (used when numOperands == -1)
+    int numResults = -1;    ///< exact count, -1 = any
+    int numRegions = 0;     ///< exact region count
+    bool isTerminator = false;
+    /** Extra op-specific check run after the structural ones. */
+    std::function<std::string(ir::Operation *)> extraVerify;
+};
+
+/** Register an op enforcing the structural spec above. */
+void registerSimpleOp(ir::Context &ctx, const std::string &name,
+                      SimpleOpSpec spec);
+
+/** True when `op` has the given name. */
+inline bool
+isa(ir::Operation *op, const std::string &name)
+{
+    return op && op->name() == name;
+}
+
+} // namespace wsc::dialects
+
+#endif // WSC_DIALECTS_COMMON_H

@@ -1,0 +1,64 @@
+#include "dialects/linalg.h"
+
+#include "support/error.h"
+
+namespace wsc::dialects::linalg {
+
+void
+registerDialect(ir::Context &ctx)
+{
+    if (!ctx.markDialectLoaded("linalg"))
+        return;
+    for (const char *name : {kAdd, kSub, kMul, kDiv})
+        registerSimpleOp(ctx, name, {.numOperands = 3, .numResults = 0});
+    registerSimpleOp(ctx, kFill, {.numOperands = 2, .numResults = 0});
+    registerSimpleOp(ctx, kCopy, {.numOperands = 2, .numResults = 0});
+    registerSimpleOp(ctx, kFmac, {.numOperands = 4, .numResults = 0});
+}
+
+ir::Operation *
+createBinary(ir::OpBuilder &b, const std::string &name, ir::Value lhs,
+             ir::Value rhs, ir::Value out)
+{
+    return b.create(name, {lhs, rhs, out}, {});
+}
+
+ir::Operation *
+createFill(ir::OpBuilder &b, ir::Value scalar, ir::Value out)
+{
+    return b.create(kFill, {scalar, out}, {});
+}
+
+ir::Operation *
+createCopy(ir::OpBuilder &b, ir::Value source, ir::Value out)
+{
+    return b.create(kCopy, {source, out}, {});
+}
+
+ir::Operation *
+createFmac(ir::OpBuilder &b, ir::Value addend, ir::Value mulend,
+           ir::Value scalar, ir::Value out)
+{
+    return b.create(kFmac, {addend, mulend, scalar, out}, {});
+}
+
+bool
+isLinalgOp(ir::Operation *op)
+{
+    const std::string &n = op->name();
+    return n == kAdd || n == kSub || n == kMul || n == kDiv || n == kFill ||
+           n == kCopy || n == kFmac;
+}
+
+int
+flopsPerElement(ir::Operation *op)
+{
+    const std::string &n = op->name();
+    if (n == kFmac)
+        return 2;
+    if (n == kAdd || n == kSub || n == kMul || n == kDiv)
+        return 1;
+    return 0;
+}
+
+} // namespace wsc::dialects::linalg

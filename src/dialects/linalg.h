@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Minimal linalg dialect in Destination-Passing Style: element-wise ops
+ * reading `ins` and writing `outs`, mirroring CSL's DSD builtin model
+ * (computations operate on physical memory passed as operands).
+ *
+ * Convention: operands are [ins..., out]; ops have no results when acting
+ * on memrefs (reference semantics after bufferization).
+ */
+
+#ifndef WSC_DIALECTS_LINALG_H
+#define WSC_DIALECTS_LINALG_H
+
+#include "dialects/common.h"
+
+namespace wsc::dialects::linalg {
+
+inline constexpr const char *kAdd = "linalg.add";
+inline constexpr const char *kSub = "linalg.sub";
+inline constexpr const char *kMul = "linalg.mul";
+inline constexpr const char *kDiv = "linalg.div";
+inline constexpr const char *kFill = "linalg.fill";
+inline constexpr const char *kCopy = "linalg.copy";
+/**
+ * linalg.fmac: out = addend + mulend * scalar (element-wise), the DPS
+ * model of CSL's @fmacs builtin. Operands: [addend, mulend, scalar, out].
+ */
+inline constexpr const char *kFmac = "linalg.fmac";
+
+void registerDialect(ir::Context &ctx);
+
+/** Binary DPS op: op(ins[0], ins[1]) -> out. */
+ir::Operation *createBinary(ir::OpBuilder &b, const std::string &name,
+                            ir::Value lhs, ir::Value rhs, ir::Value out);
+
+/** linalg.fill(scalar) -> out. */
+ir::Operation *createFill(ir::OpBuilder &b, ir::Value scalar, ir::Value out);
+
+/** linalg.copy(source) -> out. */
+ir::Operation *createCopy(ir::OpBuilder &b, ir::Value source, ir::Value out);
+
+/** linalg.fmac(addend, mulend, scalar) -> out. */
+ir::Operation *createFmac(ir::OpBuilder &b, ir::Value addend,
+                          ir::Value mulend, ir::Value scalar, ir::Value out);
+
+/** True for any linalg compute op. */
+bool isLinalgOp(ir::Operation *op);
+
+/** Number of FLOPs per element for a linalg op (fmac counts 2). */
+int flopsPerElement(ir::Operation *op);
+
+} // namespace wsc::dialects::linalg
+
+#endif // WSC_DIALECTS_LINALG_H

@@ -1,0 +1,77 @@
+#include "dialects/memref.h"
+
+#include "support/error.h"
+
+namespace wsc::dialects::memref {
+
+void
+registerDialect(ir::Context &ctx)
+{
+    if (!ctx.markDialectLoaded("memref"))
+        return;
+    registerSimpleOp(ctx, kAlloc, {
+        .numOperands = 0,
+        .numResults = 1,
+        .extraVerify = [](ir::Operation *op) -> std::string {
+            if (!ir::isMemRef(op->result(0).type()))
+                return "memref.alloc result must be a memref";
+            return "";
+        },
+    });
+    registerSimpleOp(ctx, kDealloc, {.numOperands = 1, .numResults = 0});
+    registerSimpleOp(ctx, kCopy, {.numOperands = 2, .numResults = 0});
+    registerSimpleOp(ctx, kSubview, {.minOperands = 1, .numResults = 1});
+    registerSimpleOp(ctx, kLoad, {.minOperands = 1, .numResults = 1});
+    registerSimpleOp(ctx, kStore, {.minOperands = 2, .numResults = 0});
+}
+
+ir::Value
+createAlloc(ir::OpBuilder &b, ir::Type memrefType)
+{
+    WSC_ASSERT(ir::isMemRef(memrefType), "alloc requires a memref type");
+    return b.create(kAlloc, {}, {memrefType})->result();
+}
+
+ir::Operation *
+createCopy(ir::OpBuilder &b, ir::Value source, ir::Value dest)
+{
+    return b.create(kCopy, {source, dest}, {});
+}
+
+ir::Value
+createSubview(ir::OpBuilder &b, ir::Value source, int64_t staticOffset,
+              int64_t size, ir::Value dynOffset)
+{
+    ir::Context &ctx = b.context();
+    ir::Type resultType =
+        ir::getMemRefType(ctx, {size}, ir::elementTypeOf(source.type()));
+    std::vector<ir::Value> operands = {source};
+    if (dynOffset)
+        operands.push_back(dynOffset);
+    return b.create(kSubview, operands, {resultType},
+                    {{"static_offset", ir::getIntAttr(ctx, staticOffset)},
+                     {"static_size", ir::getIntAttr(ctx, size)}})
+        ->result();
+}
+
+ir::Value
+createLoad(ir::OpBuilder &b, ir::Value memref,
+           const std::vector<ir::Value> &indices)
+{
+    std::vector<ir::Value> operands = {memref};
+    operands.insert(operands.end(), indices.begin(), indices.end());
+    return b.create(kLoad, operands,
+                    {ir::elementTypeOf(memref.type())})
+        ->result();
+}
+
+ir::Operation *
+createStore(ir::OpBuilder &b, ir::Value value, ir::Value memref,
+            const std::vector<ir::Value> &indices)
+{
+    std::vector<ir::Value> operands = {value, memref};
+    operands.insert(operands.end(), indices.begin(), indices.end());
+    return b.create(kStore, operands, {});
+}
+
+} // namespace wsc::dialects::memref

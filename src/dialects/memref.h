@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Minimal memref dialect: reference-semantics buffers produced by
+ * bufferization, lowered further to CSL DSDs.
+ */
+
+#ifndef WSC_DIALECTS_MEMREF_H
+#define WSC_DIALECTS_MEMREF_H
+
+#include "dialects/common.h"
+
+namespace wsc::dialects::memref {
+
+inline constexpr const char *kAlloc = "memref.alloc";
+inline constexpr const char *kDealloc = "memref.dealloc";
+inline constexpr const char *kCopy = "memref.copy";
+inline constexpr const char *kSubview = "memref.subview";
+inline constexpr const char *kLoad = "memref.load";
+inline constexpr const char *kStore = "memref.store";
+
+void registerDialect(ir::Context &ctx);
+
+/** Allocate a buffer of the given memref type. */
+ir::Value createAlloc(ir::OpBuilder &b, ir::Type memrefType);
+
+/** memref.copy(source, dest). */
+ir::Operation *createCopy(ir::OpBuilder &b, ir::Value source,
+                          ir::Value dest);
+
+/**
+ * 1-D subview at a static or dynamic offset. When `dynOffset` is a valid
+ * value it is used; otherwise `staticOffset` applies.
+ */
+ir::Value createSubview(ir::OpBuilder &b, ir::Value source,
+                        int64_t staticOffset, int64_t size,
+                        ir::Value dynOffset = ir::Value());
+
+/** Scalar load at indices. */
+ir::Value createLoad(ir::OpBuilder &b, ir::Value memref,
+                     const std::vector<ir::Value> &indices);
+
+/** Scalar store at indices. */
+ir::Operation *createStore(ir::OpBuilder &b, ir::Value value,
+                           ir::Value memref,
+                           const std::vector<ir::Value> &indices);
+
+} // namespace wsc::dialects::memref
+
+#endif // WSC_DIALECTS_MEMREF_H

@@ -1,0 +1,120 @@
+#include "dialects/scf.h"
+
+#include "support/error.h"
+
+namespace wsc::dialects::scf {
+
+void
+registerDialect(ir::Context &ctx)
+{
+    if (!ctx.markDialectLoaded("scf"))
+        return;
+    registerSimpleOp(ctx, kFor, {
+        .minOperands = 3,
+        .numRegions = 1,
+        .extraVerify = [](ir::Operation *op) -> std::string {
+            unsigned n_iter = op->numOperands() - 3;
+            if (op->numResults() != n_iter)
+                return "scf.for result count must match iter_args";
+            if (op->region(0).empty())
+                return "scf.for requires a body block";
+            ir::Block &body = op->region(0).front();
+            if (body.numArguments() != n_iter + 1)
+                return "scf.for body must take (iv, iterArgs...)";
+            return "";
+        },
+    });
+    registerSimpleOp(ctx, kIf, {
+        .numOperands = 1,
+        .numRegions = 2,
+        .extraVerify = [](ir::Operation *op) -> std::string {
+            if (op->region(0).empty())
+                return "scf.if requires a then block";
+            return "";
+        },
+    });
+    registerSimpleOp(ctx, kYield,
+                     {.numResults = 0, .numRegions = 0,
+                      .isTerminator = true});
+}
+
+ir::Operation *
+createFor(ir::OpBuilder &b, ir::Value lb, ir::Value ub, ir::Value step,
+          const std::vector<ir::Value> &iterInits)
+{
+    std::vector<ir::Value> operands = {lb, ub, step};
+    std::vector<ir::Type> resultTypes;
+    for (ir::Value v : iterInits) {
+        operands.push_back(v);
+        resultTypes.push_back(v.type());
+    }
+    ir::Operation *forOp =
+        b.create(kFor, operands, resultTypes, {}, /*numRegions=*/1);
+    ir::Block *body = forOp->region(0).addBlock();
+    body->addArgument(lb.type());
+    for (ir::Value v : iterInits)
+        body->addArgument(v.type());
+    return forOp;
+}
+
+ir::Block *
+forBody(ir::Operation *forOp)
+{
+    WSC_ASSERT(forOp->name() == kFor, "forBody on " << forOp->name());
+    return &forOp->region(0).front();
+}
+
+ir::Value
+forInductionVar(ir::Operation *forOp)
+{
+    return forBody(forOp)->argument(0);
+}
+
+std::vector<ir::Value>
+forIterArgs(ir::Operation *forOp)
+{
+    std::vector<ir::Value> args = forBody(forOp)->arguments();
+    return {args.begin() + 1, args.end()};
+}
+
+std::vector<ir::Value>
+forIterInits(ir::Operation *forOp)
+{
+    const std::vector<ir::Value> &ops = forOp->operands();
+    return {ops.begin() + 3, ops.end()};
+}
+
+ir::Operation *
+createIf(ir::OpBuilder &b, ir::Value condition,
+         const std::vector<ir::Type> &resultTypes, bool withElse)
+{
+    ir::Operation *ifOp =
+        b.create(kIf, {condition}, resultTypes, {}, /*numRegions=*/2);
+    ifOp->region(0).addBlock();
+    if (withElse)
+        ifOp->region(1).addBlock();
+    return ifOp;
+}
+
+ir::Block *
+ifThenBlock(ir::Operation *ifOp)
+{
+    WSC_ASSERT(ifOp->name() == kIf, "ifThenBlock on " << ifOp->name());
+    return &ifOp->region(0).front();
+}
+
+ir::Block *
+ifElseBlock(ir::Operation *ifOp)
+{
+    WSC_ASSERT(ifOp->name() == kIf && !ifOp->region(1).empty(),
+               "ifElseBlock on if without else");
+    return &ifOp->region(1).front();
+}
+
+ir::Operation *
+createYield(ir::OpBuilder &b, const std::vector<ir::Value> &values)
+{
+    return b.create(kYield, values, {});
+}
+
+} // namespace wsc::dialects::scf

@@ -1,0 +1,58 @@
+#include "dialects/tensor.h"
+
+#include "support/error.h"
+
+namespace wsc::dialects::tensor {
+
+void
+registerDialect(ir::Context &ctx)
+{
+    if (!ctx.markDialectLoaded("tensor"))
+        return;
+    registerSimpleOp(ctx, kEmpty, {.numOperands = 0, .numResults = 1});
+    registerSimpleOp(ctx, kInsertSlice, {
+        .numOperands = 3,
+        .numResults = 1,
+        .extraVerify = [](ir::Operation *op) -> std::string {
+            if (op->result(0).type() != op->operand(1).type())
+                return "insert_slice result must match dest type";
+            if (!ir::isIndex(op->operand(2).type()))
+                return "insert_slice offset must be index-typed";
+            return "";
+        },
+    });
+    registerSimpleOp(ctx, kExtractSlice,
+                     {.numOperands = 1, .numResults = 1});
+}
+
+ir::Value
+createEmpty(ir::OpBuilder &b, ir::Type tensorType)
+{
+    WSC_ASSERT(ir::isTensor(tensorType), "tensor.empty requires tensor type");
+    return b.create(kEmpty, {}, {tensorType})->result();
+}
+
+ir::Value
+createInsertSlice(ir::OpBuilder &b, ir::Value source, ir::Value dest,
+                  ir::Value offset, int64_t size)
+{
+    return b.create(kInsertSlice, {source, dest, offset},
+                    {dest.type()},
+                    {{"static_size", ir::getIntAttr(b.context(), size)}})
+        ->result();
+}
+
+ir::Value
+createExtractSlice(ir::OpBuilder &b, ir::Value source, int64_t offset,
+                   int64_t size)
+{
+    ir::Context &ctx = b.context();
+    ir::Type resultType =
+        ir::getTensorType(ctx, {size}, ir::elementTypeOf(source.type()));
+    return b.create(kExtractSlice, {source}, {resultType},
+                    {{"static_offset", ir::getIntAttr(ctx, offset)},
+                     {"static_size", ir::getIntAttr(ctx, size)}})
+        ->result();
+}
+
+} // namespace wsc::dialects::tensor

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * The varith dialect (xDSL lineage): variadic arithmetic. A chain of
+ * additions or multiplications is represented as a single n-ary op, which
+ * greatly simplifies splitting the computation between remotely- and
+ * locally-held data and enables the fuse-repeated-operands optimization.
+ */
+
+#ifndef WSC_DIALECTS_VARITH_H
+#define WSC_DIALECTS_VARITH_H
+
+#include "dialects/common.h"
+
+namespace wsc::dialects::varith {
+
+inline constexpr const char *kAdd = "varith.add";
+inline constexpr const char *kMul = "varith.mul";
+
+void registerDialect(ir::Context &ctx);
+
+/** Create an n-ary add/mul over same-typed operands. */
+ir::Value createVariadic(ir::OpBuilder &b, const std::string &name,
+                         const std::vector<ir::Value> &operands);
+
+} // namespace wsc::dialects::varith
+
+#endif // WSC_DIALECTS_VARITH_H

@@ -1,0 +1,262 @@
+#include "frontends/benchmarks.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "frontends/fortran_frontend.h"
+#include "support/error.h"
+
+namespace wsc::fe {
+
+namespace {
+
+/** Deterministic smooth initial condition (per field). */
+InitFn
+smoothInit()
+{
+    return [](int f, int64_t x, int64_t y, int64_t z) -> float {
+        double phase = 0.3 * f;
+        return static_cast<float>(
+            std::sin(0.11 * static_cast<double>(x) + phase) +
+            std::cos(0.07 * static_cast<double>(y) - phase) +
+            0.5 * std::sin(0.05 * static_cast<double>(z)));
+    };
+}
+
+} // namespace
+
+ProblemSize
+smallSize()
+{
+    return {100, 100, "small"};
+}
+
+ProblemSize
+mediumSize()
+{
+    return {500, 500, "medium"};
+}
+
+ProblemSize
+largeSize()
+{
+    return {750, 994, "large"};
+}
+
+Benchmark
+makeJacobian(int64_t nx, int64_t ny, int64_t timesteps, int64_t nz)
+{
+    // The Fortran kernel a scientist writes (paper Figure 1 / Listing 1).
+    std::ostringstream src;
+    src << "do step = 1, " << timesteps << "\n"
+        << " do i = 2, " << nx - 1 << "\n"
+        << "  do j = 2, " << ny - 1 << "\n"
+        << "   do k = 2, " << nz - 1 << "\n"
+        << "    a(k,j,i) = 0.16666667 * (a(k-1,j,i) + a(k+1,j,i)"
+        << " + a(k,j-1,i) + a(k,j+1,i) + a(k,j,i-1) + a(k,j,i+1))\n"
+        << "   enddo\n"
+        << "  enddo\n"
+        << " enddo\n"
+        << "enddo\n";
+    FortranKernelConfig config{nx, ny, nz, timesteps};
+    Benchmark b{"Jacobian", "Flang",
+                parseFortranStencil(src.str(), config), src.str(),
+                /*paperIterations=*/100000, smoothInit()};
+    return b;
+}
+
+Benchmark
+makeDiffusion(int64_t nx, int64_t ny, int64_t timesteps, int64_t nz)
+{
+    // Devito-style heat equation with an 8th..no, 4th-order (r=2)
+    // isotropic Laplacian: u' = u + a*dt*lap2(u).
+    Program program(Grid{nx, ny, nz});
+    program.setTimesteps(timesteps);
+    Field u = program.addField("u");
+
+    const double nu = 0.1; // a*dt/h^2
+    const double c1 = nu * 16.0 / 12.0;
+    const double c2 = nu * -1.0 / 12.0;
+    const double c0 = 1.0 + 3.0 * nu * -30.0 / 12.0;
+
+    Expr update = constant(c0) * u() +
+                  constant(c1) * u.at(1, 0, 0) +
+                  constant(c1) * u.at(-1, 0, 0) +
+                  constant(c2) * u.at(2, 0, 0) +
+                  constant(c2) * u.at(-2, 0, 0) +
+                  constant(c1) * u.at(0, 1, 0) +
+                  constant(c1) * u.at(0, -1, 0) +
+                  constant(c2) * u.at(0, 2, 0) +
+                  constant(c2) * u.at(0, -2, 0) +
+                  constant(c1) * u.at(0, 0, 1) +
+                  constant(c1) * u.at(0, 0, -1) +
+                  constant(c2) * u.at(0, 0, 2) +
+                  constant(c2) * u.at(0, 0, -2);
+    program.setUpdate(u, update);
+
+    // The equivalent Devito source a scientist writes.
+    std::string dsl =
+        "import numpy as np\n"
+        "from devito import Grid, TimeFunction, Eq, Operator, solve\n"
+        "grid = Grid(shape=(" + std::to_string(nx) + ", " +
+        std::to_string(ny) + ", " + std::to_string(nz) + "))\n"
+        "u = TimeFunction(name='u', grid=grid, space_order=4)\n"
+        "u.data[:] = init(grid)\n"
+        "eq = Eq(u.dt, 0.1 * u.laplace)\n"
+        "stencil = solve(eq, u.forward)\n"
+        "op = Operator(Eq(u.forward, stencil))\n"
+        "op.apply(time=" + std::to_string(timesteps) + ")\n";
+
+    return Benchmark{"Diffusion", "Devito", std::move(program), dsl,
+                     /*paperIterations=*/512, smoothInit()};
+}
+
+Benchmark
+makeAcoustic(int64_t nx, int64_t ny, int64_t timesteps, int64_t nz)
+{
+    // Devito-style isotropic acoustic wave equation, 2nd order in time:
+    // u' = 2u - u_prev + (c*dt/h)^2 * lap2(u).
+    Program program(Grid{nx, ny, nz});
+    program.setTimesteps(timesteps);
+    Field u = program.addField("u");
+    Field uPrev = program.addField("u_prev");
+
+    const double courant = 0.2; // (c*dt/h)^2
+    const double c1 = courant * 16.0 / 12.0;
+    const double c2 = courant * -1.0 / 12.0;
+    const double c0 = 3.0 * courant * -30.0 / 12.0;
+
+    // 2u is written as (u + u): three consecutive additions of the same
+    // argument collapse to a multiplication under
+    // varith-fuse-repeated-operands (paper §5.7, Acoustic).
+    Expr update = u() + u() - uPrev() + constant(c0) * u() +
+                  constant(c1) * u.at(1, 0, 0) +
+                  constant(c1) * u.at(-1, 0, 0) +
+                  constant(c2) * u.at(2, 0, 0) +
+                  constant(c2) * u.at(-2, 0, 0) +
+                  constant(c1) * u.at(0, 1, 0) +
+                  constant(c1) * u.at(0, -1, 0) +
+                  constant(c2) * u.at(0, 2, 0) +
+                  constant(c2) * u.at(0, -2, 0) +
+                  constant(c1) * u.at(0, 0, 1) +
+                  constant(c1) * u.at(0, 0, -1) +
+                  constant(c2) * u.at(0, 0, 2) +
+                  constant(c2) * u.at(0, 0, -2);
+    program.setUpdate(u, update);
+    program.setUpdate(uPrev, u()); // buffer rotation
+
+    std::string dsl =
+        "from devito import Grid, TimeFunction, Eq, Operator, solve\n"
+        "grid = Grid(shape=(" + std::to_string(nx) + ", " +
+        std::to_string(ny) + ", " + std::to_string(nz) + "))\n"
+        "u = TimeFunction(name='u', grid=grid, time_order=2, "
+        "space_order=4)\n"
+        "u.data[:] = ricker_source(grid)\n"
+        "pde = u.dt2 - u.laplace * vel * vel\n"
+        "stencil = Eq(u.forward, solve(pde, u.forward))\n"
+        "op = Operator([stencil])\n"
+        "op.apply(time=" + std::to_string(timesteps) + ")\n";
+
+    return Benchmark{"Acoustic", "Devito", std::move(program), dsl,
+                     /*paperIterations=*/512, smoothInit()};
+}
+
+SeismicCoefficients
+seismicCoefficients()
+{
+    const double v2dt2 = 0.15;
+    SeismicCoefficients c;
+    c.k[0] = v2dt2 * 8.0 / 5.0 / 4.0;
+    c.k[1] = v2dt2 * -1.0 / 5.0 / 4.0;
+    c.k[2] = v2dt2 * 8.0 / 315.0 / 4.0;
+    c.k[3] = v2dt2 * -1.0 / 560.0 / 4.0;
+    c.k0 = 3.0 * v2dt2 * -205.0 / 72.0 / 4.0;
+    return c;
+}
+
+Benchmark
+makeSeismic(int64_t nx, int64_t ny, int64_t timesteps, int64_t nz)
+{
+    // The 25-point (r=4, 8th-order in space) seismic kernel of
+    // Jacquelin et al., 2nd-order leapfrog in time.
+    Program program(Grid{nx, ny, nz});
+    program.setTimesteps(timesteps);
+    Field p = program.addField("p");
+    Field pPrev = program.addField("p_prev");
+
+    SeismicCoefficients sc = seismicCoefficients();
+    const double k0 = sc.k0;
+
+    Expr lap = constant(k0) * p();
+    const double *coeffs = sc.k;
+    for (int d = 1; d <= 4; ++d) {
+        double c = coeffs[d - 1];
+        lap = lap + constant(c) * p.at(d, 0, 0) +
+              constant(c) * p.at(-d, 0, 0) +
+              constant(c) * p.at(0, d, 0) +
+              constant(c) * p.at(0, -d, 0) +
+              constant(c) * p.at(0, 0, d) +
+              constant(c) * p.at(0, 0, -d);
+    }
+    Expr update = constant(2.0) * p() - pPrev() + lap;
+    program.setUpdate(p, update);
+    program.setUpdate(pPrev, p());
+
+    std::string dsl =
+        "from devito import Grid, TimeFunction, Eq, Operator, solve\n"
+        "grid = Grid(shape=(" + std::to_string(nx) + ", " +
+        std::to_string(ny) + ", " + std::to_string(nz) + "))\n"
+        "p = TimeFunction(name='p', grid=grid, time_order=2, "
+        "space_order=8)\n"
+        "p.data[:] = source_wavefield(grid)\n"
+        "pde = p.dt2 - p.laplace * vel * vel\n"
+        "stencil = Eq(p.forward, solve(pde, p.forward))\n"
+        "op = Operator([stencil])\n"
+        "op.apply(time=" + std::to_string(timesteps) + ")\n";
+
+    return Benchmark{"Seismic", "CSL", std::move(program), dsl,
+                     /*paperIterations=*/100000, smoothInit()};
+}
+
+Benchmark
+makeUvkbe(int64_t nx, int64_t ny, int64_t nz)
+{
+    // PSyclone-style kernel: four fields, two communicated (u, v), two
+    // consecutive applies (the second reads the first's result), one
+    // iteration.
+    std::ostringstream src;
+    src << "do i = 2, " << nx - 1 << "\n"
+        << " do j = 2, " << ny - 1 << "\n"
+        << "  do k = 2, " << nz - 1 << "\n"
+        << "   ke(k,j,i) = 0.25 * (u(k,j,i+1) + u(k,j,i-1))"
+        << " + 0.5 * u(k,j,i)\n"
+        << "   out(k,j,i) = ke(k,j,i) + 0.25 * (v(k,j+1,i)"
+        << " + v(k,j-1,i)) + 0.5 * v(k,j,i)\n"
+        << "  enddo\n"
+        << " enddo\n"
+        << "enddo\n";
+    FortranKernelConfig config{nx, ny, nz, /*timesteps=*/1};
+    Benchmark b{"UVKBE", "PSyclone",
+                parseFortranStencil(src.str(), config), src.str(),
+                /*paperIterations=*/1, smoothInit()};
+    // ke is consumed by the second statement and never written back:
+    // with a single consumer, stencil-inlining fuses both applies into
+    // one (paper §5.7), which the csl_stencil conversion then splits
+    // again per communicated buffer.
+    b.program.markIntermediate("ke");
+    return b;
+}
+
+std::vector<Benchmark>
+makeAllBenchmarks(int64_t nx, int64_t ny, int64_t timesteps)
+{
+    std::vector<Benchmark> out;
+    out.push_back(makeJacobian(nx, ny, timesteps));
+    out.push_back(makeDiffusion(nx, ny, timesteps));
+    out.push_back(makeAcoustic(nx, ny, timesteps));
+    out.push_back(makeSeismic(nx, ny, timesteps));
+    out.push_back(makeUvkbe(nx, ny));
+    return out;
+}
+
+} // namespace wsc::fe

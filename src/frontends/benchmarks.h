@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The five paper benchmarks (§6), each expressed through its frontend:
+ *
+ *   Jacobian  (Flang)    — 3-D 6-point star, Laplace diffusion, z=900
+ *   Diffusion (Devito)   — 3-D 13-point star (r=2) heat equation, z=704
+ *   Acoustic  (Devito)   — 3-D 13-point star, 2nd-order-in-time wave
+ *                          equation, z=604
+ *   Seismic   (CSL)      — 3-D 25-point star (r=4) seismic kernel
+ *                          (Jacquelin et al.), z=450
+ *   UVKBE     (PSyclone) — four fields, two communicated, two
+ *                          consecutive applies, one iteration, z=600
+ *
+ * Problem sizes follow the paper: small 100x100, medium 500x500,
+ * large 750x994 (fills the WSE2 grid).
+ */
+
+#ifndef WSC_FRONTENDS_BENCHMARKS_H
+#define WSC_FRONTENDS_BENCHMARKS_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "frontends/sym.h"
+
+namespace wsc::fe {
+
+/** Initial condition: value of field `f` at grid point (x, y, z). */
+using InitFn = std::function<float(int f, int64_t x, int64_t y, int64_t z)>;
+
+/** A fully-specified benchmark instance. */
+struct Benchmark
+{
+    std::string name;
+    std::string frontend; ///< Flang / Devito / PSyclone / CSL
+    Program program;
+    /** The DSL source a scientist writes (Table 1 LoC accounting). */
+    std::string dslSource;
+    /** Iteration count used in the paper's evaluation. */
+    int64_t paperIterations = 1;
+    InitFn init;
+};
+
+/** Paper problem sizes (x, y). */
+struct ProblemSize
+{
+    int64_t nx;
+    int64_t ny;
+    const char *label;
+};
+ProblemSize smallSize();
+ProblemSize mediumSize();
+ProblemSize largeSize();
+
+/// @name Benchmark builders (timesteps = simulated steps)
+/// @{
+Benchmark makeJacobian(int64_t nx, int64_t ny, int64_t timesteps,
+                       int64_t nz = 900);
+Benchmark makeDiffusion(int64_t nx, int64_t ny, int64_t timesteps,
+                        int64_t nz = 704);
+Benchmark makeAcoustic(int64_t nx, int64_t ny, int64_t timesteps,
+                       int64_t nz = 604);
+Benchmark makeSeismic(int64_t nx, int64_t ny, int64_t timesteps,
+                      int64_t nz = 450);
+Benchmark makeUvkbe(int64_t nx, int64_t ny, int64_t nz = 600);
+/// @}
+
+/** All five benchmarks at a given size with reduced step counts. */
+std::vector<Benchmark> makeAllBenchmarks(int64_t nx, int64_t ny,
+                                         int64_t timesteps);
+
+/** Finite-difference coefficients of the 25-point seismic kernel,
+ *  shared with the hand-written baseline. */
+struct SeismicCoefficients
+{
+    /** Laplacian centre weight (all three axes combined). */
+    double k0 = 0.0;
+    /** Per-distance weights (1..4), identical across axes. */
+    double k[4] = {0, 0, 0, 0};
+};
+SeismicCoefficients seismicCoefficients();
+
+} // namespace wsc::fe
+
+#endif // WSC_FRONTENDS_BENCHMARKS_H

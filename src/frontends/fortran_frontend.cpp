@@ -1,0 +1,361 @@
+#include "frontends/fortran_frontend.h"
+
+#include <cctype>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "support/error.h"
+
+namespace wsc::fe {
+
+namespace {
+
+/** Token kinds of the small Fortran subset. */
+enum class Tok
+{
+    Ident,
+    Number,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    LParen,
+    RParen,
+    Comma,
+    Equals,
+    End
+};
+
+struct Token
+{
+    Tok kind;
+    std::string text;
+    double number = 0.0;
+    bool isInt = false;
+    int64_t intValue = 0;
+};
+
+/** Tokenizer; strips `!` comments and is case-insensitive for idents. */
+class Lexer
+{
+  public:
+    explicit Lexer(const std::string &source)
+    {
+        size_t i = 0;
+        while (i < source.size()) {
+            char c = source[i];
+            if (c == '!') { // comment to end of line
+                while (i < source.size() && source[i] != '\n')
+                    i++;
+                continue;
+            }
+            if (std::isspace(static_cast<unsigned char>(c))) {
+                i++;
+                continue;
+            }
+            if (std::isalpha(static_cast<unsigned char>(c)) ||
+                c == '_') {
+                std::string ident;
+                while (i < source.size() &&
+                       (std::isalnum(
+                            static_cast<unsigned char>(source[i])) ||
+                        source[i] == '_')) {
+                    ident += static_cast<char>(std::tolower(
+                        static_cast<unsigned char>(source[i])));
+                    i++;
+                }
+                tokens_.push_back({Tok::Ident, ident});
+                continue;
+            }
+            if (std::isdigit(static_cast<unsigned char>(c)) ||
+                (c == '.' && i + 1 < source.size() &&
+                 std::isdigit(
+                     static_cast<unsigned char>(source[i + 1])))) {
+                size_t start = i;
+                bool isInt = true;
+                while (i < source.size() &&
+                       (std::isdigit(
+                            static_cast<unsigned char>(source[i])) ||
+                        source[i] == '.' || source[i] == 'e' ||
+                        source[i] == 'E' ||
+                        ((source[i] == '+' || source[i] == '-') && i > 0 &&
+                         (source[i - 1] == 'e' || source[i - 1] == 'E')))) {
+                    if (source[i] == '.' || source[i] == 'e' ||
+                        source[i] == 'E')
+                        isInt = false;
+                    i++;
+                }
+                Token t{Tok::Number, source.substr(start, i - start)};
+                t.number = std::stod(t.text);
+                t.isInt = isInt;
+                if (isInt)
+                    t.intValue = std::stoll(t.text);
+                tokens_.push_back(t);
+                continue;
+            }
+            Tok kind;
+            switch (c) {
+              case '+': kind = Tok::Plus; break;
+              case '-': kind = Tok::Minus; break;
+              case '*': kind = Tok::Star; break;
+              case '/': kind = Tok::Slash; break;
+              case '(': kind = Tok::LParen; break;
+              case ')': kind = Tok::RParen; break;
+              case ',': kind = Tok::Comma; break;
+              case '=': kind = Tok::Equals; break;
+              default:
+                fatal(strcat("fortran frontend: unexpected character '",
+                             c, "'"));
+            }
+            tokens_.push_back({kind, std::string(1, c)});
+            i++;
+        }
+        tokens_.push_back({Tok::End, ""});
+    }
+
+    const Token &peek(size_t ahead = 0) const
+    {
+        size_t idx = std::min(pos_ + ahead, tokens_.size() - 1);
+        return tokens_[idx];
+    }
+    Token
+    next()
+    {
+        Token t = peek();
+        if (pos_ + 1 < tokens_.size())
+            pos_++;
+        return t;
+    }
+    Token
+    expect(Tok kind, const std::string &what)
+    {
+        Token t = next();
+        if (t.kind != kind)
+            fatal("fortran frontend: expected " + what + ", got '" +
+                  t.text + "'");
+        return t;
+    }
+    bool
+    accept(Tok kind)
+    {
+        if (peek().kind != kind)
+            return false;
+        next();
+        return true;
+    }
+
+  private:
+    std::vector<Token> tokens_;
+    size_t pos_ = 0;
+};
+
+/** One parsed assignment: target field plus expression. */
+struct Assignment
+{
+    std::string target;
+    Expr expr;
+};
+
+/** Parser building Program expressions. */
+class Parser
+{
+  public:
+    Parser(Lexer &lex, Program &program,
+           const std::vector<std::string> &loopVars)
+        : lex_(lex), program_(program), loopVars_(loopVars)
+    {
+    }
+
+    /** loopVars_ order: [z, y, x] (Fortran index order of refs). */
+    Expr
+    parseExpr()
+    {
+        Expr lhs = parseTerm();
+        while (true) {
+            if (lex_.accept(Tok::Plus))
+                lhs = lhs + parseTerm();
+            else if (lex_.accept(Tok::Minus))
+                lhs = lhs - parseTerm();
+            else
+                return lhs;
+        }
+    }
+
+    /** Parse `name(k,j,i)` after the name has been consumed. */
+    Expr
+    parseRef(const std::string &name)
+    {
+        lex_.expect(Tok::LParen, "'('");
+        int offsets[3] = {0, 0, 0}; // z, y, x
+        for (int d = 0; d < 3; ++d) {
+            parseIndex(d, offsets[d]);
+            if (d < 2)
+                lex_.expect(Tok::Comma, "','");
+        }
+        lex_.expect(Tok::RParen, "')'");
+        Field f = fieldFor(name);
+        // offsets are (z, y, x); Field::at takes (dx, dy, dz).
+        Expr e = f.at(offsets[2], offsets[1], offsets[0]);
+        if (assignedEarlier_.count(name))
+            e.node()->next = true;
+        return e;
+    }
+
+    Field
+    fieldFor(const std::string &name)
+    {
+        auto it = fields_.find(name);
+        if (it != fields_.end())
+            return it->second;
+        Field f = program_.addField(name);
+        fields_.emplace(name, f);
+        return f;
+    }
+
+    void
+    markAssigned(const std::string &name)
+    {
+        assignedEarlier_.insert(name);
+    }
+
+  private:
+    Expr
+    parseTerm()
+    {
+        Expr lhs = parseFactor();
+        while (true) {
+            if (lex_.accept(Tok::Star))
+                lhs = lhs * parseFactor();
+            else if (lex_.accept(Tok::Slash))
+                lhs = lhs / parseFactor();
+            else
+                return lhs;
+        }
+    }
+
+    Expr
+    parseFactor()
+    {
+        if (lex_.accept(Tok::Minus))
+            return constant(-1.0) * parseFactor();
+        if (lex_.peek().kind == Tok::Number) {
+            Token t = lex_.next();
+            return constant(t.number);
+        }
+        if (lex_.accept(Tok::LParen)) {
+            Expr e = parseExpr();
+            lex_.expect(Tok::RParen, "')'");
+            return e;
+        }
+        Token ident = lex_.expect(Tok::Ident, "identifier");
+        return parseRef(ident.text);
+    }
+
+    /** Index expression: var | var+int | var-int | int. */
+    void
+    parseIndex(int dim, int &offset)
+    {
+        Token t = lex_.next();
+        if (t.kind == Tok::Number) {
+            fatal("fortran frontend: absolute indices are not "
+                  "supported; use loop variables");
+        }
+        if (t.kind != Tok::Ident || t.text != loopVars_[dim])
+            fatal("fortran frontend: index " + std::to_string(dim) +
+                  " must use loop variable '" + loopVars_[dim] +
+                  "', got '" + t.text + "'");
+        offset = 0;
+        if (lex_.peek().kind == Tok::Plus ||
+            lex_.peek().kind == Tok::Minus) {
+            bool negative = lex_.next().kind == Tok::Minus;
+            Token n = lex_.expect(Tok::Number, "integer offset");
+            offset = static_cast<int>(n.intValue) * (negative ? -1 : 1);
+        }
+    }
+
+    Lexer &lex_;
+    Program &program_;
+    std::vector<std::string> loopVars_;
+    std::map<std::string, Field> fields_;
+    std::set<std::string> assignedEarlier_;
+};
+
+} // namespace
+
+Program
+parseFortranStencil(const std::string &source,
+                    const FortranKernelConfig &config)
+{
+    WSC_ASSERT(config.nx > 0 && config.ny > 0 && config.nz > 0,
+               "fortran frontend requires grid extents");
+    Lexer lex(source);
+
+    // Collect the DO nest headers.
+    std::vector<std::string> doVars;
+    std::vector<std::pair<int64_t, int64_t>> doBounds;
+    while (lex.peek().kind == Tok::Ident && lex.peek().text == "do") {
+        lex.next();
+        Token var = lex.expect(Tok::Ident, "loop variable");
+        lex.expect(Tok::Equals, "'='");
+        int64_t lb = 0;
+        int64_t ub = 0;
+        if (lex.peek().kind == Tok::Number)
+            lb = lex.next().intValue;
+        lex.expect(Tok::Comma, "','");
+        if (lex.peek().kind == Tok::Number) {
+            ub = lex.next().intValue;
+        } else {
+            // Symbolic bound (e.g. nx-1): skip identifier +/- number.
+            lex.next();
+            if (lex.accept(Tok::Minus) || lex.accept(Tok::Plus))
+                lex.expect(Tok::Number, "integer");
+        }
+        doVars.push_back(var.text);
+        doBounds.emplace_back(lb, ub);
+    }
+    if (doVars.size() != 3 && doVars.size() != 4)
+        fatal("fortran frontend: expected a 3-deep spatial loop nest "
+              "(optionally inside a timestep loop)");
+
+    bool hasTimeLoop = doVars.size() == 4;
+    int64_t timesteps = config.timesteps;
+    if (hasTimeLoop && doBounds[0].second >= doBounds[0].first)
+        timesteps = doBounds[0].second - doBounds[0].first + 1;
+
+    // Spatial loop order (outer to inner) is x, y, z; Fortran refs index
+    // them innermost-first: (z, y, x).
+    size_t base = hasTimeLoop ? 1 : 0;
+    std::vector<std::string> loopVars = {doVars[base + 2],
+                                         doVars[base + 1],
+                                         doVars[base + 0]};
+
+    Program program(Grid{config.nx, config.ny, config.nz});
+    program.setTimesteps(timesteps);
+    Parser parser(lex, program, loopVars);
+
+    // Assignments until the first enddo.
+    while (!(lex.peek().kind == Tok::Ident &&
+             lex.peek().text == "enddo") &&
+           lex.peek().kind != Tok::End) {
+        Token target = lex.expect(Tok::Ident, "assignment target");
+        Expr targetRef = parser.parseRef(target.text);
+        const auto &node = targetRef.node();
+        if (node->dx != 0 || node->dy != 0 || node->dz != 0)
+            fatal("fortran frontend: assignment target must be the "
+                  "centre point");
+        lex.expect(Tok::Equals, "'='");
+        Expr rhs = parser.parseExpr();
+        program.setUpdate(parser.fieldFor(target.text), rhs);
+        parser.markAssigned(target.text);
+    }
+    for (size_t i = 0; i < doVars.size(); ++i) {
+        Token end = lex.expect(Tok::Ident, "enddo");
+        if (end.text != "enddo")
+            fatal("fortran frontend: expected enddo, got '" + end.text +
+                  "'");
+    }
+    return program;
+}
+
+} // namespace wsc::fe

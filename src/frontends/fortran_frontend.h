@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The Flang / PSyclone stand-in frontend: parses Fortran-style stencil
+ * loop nests (the form of the paper's Listing 1 / Figure 1) into the
+ * shared fe::Program representation, from which the stencil dialect is
+ * emitted. This reproduces the paper's claim that application code needs
+ * no changes: the scientist's loop nest is consumed as-is.
+ *
+ * Supported shape:
+ *
+ *   do step = 1, T          ! optional timestep loop
+ *    do i = 2, NX-1         ! x over PEs
+ *     do j = 2, NY-1        ! y over PEs
+ *      do k = 2, NZ-1       ! z within a PE column
+ *        a(k,j,i) = 0.125 * (a(k,j,i-1) + a(k,j,i+1) + ...)
+ *        b(k,j,i) = ...     ! later statements see earlier results
+ *      enddo
+ *     enddo
+ *    enddo
+ *   enddo
+ *
+ * Array references use Fortran column-major convention: the first index
+ * is the innermost (z) dimension. Following the paper's Listing 1→2
+ * translation, in-place self-references take value semantics (Jacobi
+ * reads of the previous timestep); reads of fields assigned by *earlier
+ * statements* see the updated values (Fortran statement order).
+ */
+
+#ifndef WSC_FRONTENDS_FORTRAN_FRONTEND_H
+#define WSC_FRONTENDS_FORTRAN_FRONTEND_H
+
+#include <cstdint>
+#include <string>
+
+#include "frontends/sym.h"
+
+namespace wsc::fe {
+
+/** Grid extents and timestep count for a parsed kernel. */
+struct FortranKernelConfig
+{
+    int64_t nx = 0;
+    int64_t ny = 0;
+    int64_t nz = 0;
+    /** Used when the source has no explicit timestep loop. */
+    int64_t timesteps = 1;
+};
+
+/**
+ * Parse a Fortran-style stencil kernel into a Program. Throws FatalError
+ * with a diagnostic on malformed input.
+ */
+Program parseFortranStencil(const std::string &source,
+                            const FortranKernelConfig &config);
+
+} // namespace wsc::fe
+
+#endif // WSC_FRONTENDS_FORTRAN_FRONTEND_H

@@ -1,0 +1,392 @@
+#include "frontends/sym.h"
+
+#include <algorithm>
+#include <set>
+
+#include "dialects/arith.h"
+#include "dialects/builtin.h"
+#include "dialects/func.h"
+#include "dialects/scf.h"
+#include "dialects/stencil.h"
+#include "support/error.h"
+
+namespace wsc::fe {
+
+namespace {
+
+namespace st = dialects::stencil;
+namespace ar = dialects::arith;
+namespace fn = dialects::func;
+namespace scf = dialects::scf;
+
+std::shared_ptr<ExprNode>
+makeBinary(ExprKind kind, Expr a, Expr b)
+{
+    WSC_ASSERT(a && b, "binary expression with null operand");
+    auto node = std::make_shared<ExprNode>();
+    node->kind = kind;
+    node->lhs = a.node();
+    node->rhs = b.node();
+    return node;
+}
+
+void
+radiusOf(const std::shared_ptr<ExprNode> &node, int &rx, int &ry, int &rz)
+{
+    if (!node)
+        return;
+    if (node->kind == ExprKind::Access) {
+        rx = std::max(rx, std::abs(node->dx));
+        ry = std::max(ry, std::abs(node->dy));
+        rz = std::max(rz, std::abs(node->dz));
+    }
+    radiusOf(node->lhs, rx, ry, rz);
+    radiusOf(node->rhs, rx, ry, rz);
+}
+
+} // namespace
+
+void
+Expr::radius(int &rx, int &ry, int &rz) const
+{
+    radiusOf(node_, rx, ry, rz);
+}
+
+Expr
+constant(double v)
+{
+    auto node = std::make_shared<ExprNode>();
+    node->kind = ExprKind::Const;
+    node->value = v;
+    return Expr(node);
+}
+
+Expr
+operator+(Expr a, Expr b)
+{
+    return Expr(makeBinary(ExprKind::Add, a, b));
+}
+
+Expr
+operator-(Expr a, Expr b)
+{
+    return Expr(makeBinary(ExprKind::Sub, a, b));
+}
+
+Expr
+operator*(Expr a, Expr b)
+{
+    return Expr(makeBinary(ExprKind::Mul, a, b));
+}
+
+Expr
+operator/(Expr a, Expr b)
+{
+    return Expr(makeBinary(ExprKind::Div, a, b));
+}
+
+Expr
+operator*(double a, Expr b)
+{
+    return constant(a) * b;
+}
+
+Expr
+operator+(Expr a, double b)
+{
+    return a + constant(b);
+}
+
+const std::string &
+Field::name() const
+{
+    return program_->fieldName(static_cast<size_t>(index_));
+}
+
+Expr
+Field::at(int dx, int dy, int dz) const
+{
+    auto node = std::make_shared<ExprNode>();
+    node->kind = ExprKind::Access;
+    node->field = index_;
+    node->dx = dx;
+    node->dy = dy;
+    node->dz = dz;
+    return Expr(node);
+}
+
+Expr
+Field::next(int dx, int dy, int dz) const
+{
+    Expr e = at(dx, dy, dz);
+    e.node()->next = true;
+    return e;
+}
+
+Field
+Program::addField(const std::string &name)
+{
+    fieldNames_.push_back(name);
+    updates_.emplace_back();
+    intermediate_.push_back(false);
+    return Field(this, static_cast<int>(fieldNames_.size()) - 1);
+}
+
+void
+Program::markIntermediate(const std::string &fieldName)
+{
+    for (size_t i = 0; i < fieldNames_.size(); ++i) {
+        if (fieldNames_[i] == fieldName) {
+            intermediate_[i] = true;
+            return;
+        }
+    }
+    fatal("markIntermediate: unknown field " + fieldName);
+}
+
+void
+Program::setUpdate(const Field &field, Expr next)
+{
+    WSC_ASSERT(field.index() >= 0 &&
+                   field.index() < static_cast<int>(updates_.size()),
+               "update for an unknown field");
+    updates_[static_cast<size_t>(field.index())] = next;
+}
+
+namespace {
+
+/** Is the update a pure rotation (reads one field at offset zero)? */
+bool
+isRotation(const Expr &e, int &sourceField)
+{
+    const auto &n = e.node();
+    if (n->kind == ExprKind::Access && n->dx == 0 && n->dy == 0 &&
+        n->dz == 0 && !n->next) {
+        sourceField = n->field;
+        return true;
+    }
+    return false;
+}
+
+/** References collected from an update expression. */
+struct AccessKey
+{
+    int field;
+    bool next;
+    auto operator<=>(const AccessKey &) const = default;
+};
+
+void
+collectRefs(const std::shared_ptr<ExprNode> &node,
+            std::set<AccessKey> &refs)
+{
+    if (!node)
+        return;
+    if (node->kind == ExprKind::Access)
+        refs.insert({node->field, node->next});
+    collectRefs(node->lhs, refs);
+    collectRefs(node->rhs, refs);
+}
+
+/** Emits one update expression as a stencil.apply body. */
+class ExprEmitter
+{
+  public:
+    ExprEmitter(ir::OpBuilder &b,
+                const std::map<AccessKey, ir::Value> &argOf)
+        : b_(b), argOf_(argOf)
+    {
+    }
+
+    ir::Value
+    emit(const std::shared_ptr<ExprNode> &node)
+    {
+        switch (node->kind) {
+          case ExprKind::Const:
+            return ar::createConstantF32(b_, node->value);
+          case ExprKind::Access: {
+            // CSE accesses so that repeated operands are recognizable by
+            // varith-fuse-repeated-operands.
+            auto key = std::make_tuple(node->field, node->next, node->dx,
+                                       node->dy, node->dz);
+            auto it = accessCache_.find(key);
+            if (it != accessCache_.end())
+                return it->second;
+            ir::Value source = argOf_.at({node->field, node->next});
+            ir::Value v = st::createAccess(
+                b_, source, {node->dx, node->dy, node->dz});
+            accessCache_.emplace(key, v);
+            return v;
+          }
+          case ExprKind::Add:
+            return ar::createAddF(b_, emit(node->lhs), emit(node->rhs));
+          case ExprKind::Sub:
+            return ar::createSubF(b_, emit(node->lhs), emit(node->rhs));
+          case ExprKind::Mul:
+            return ar::createMulF(b_, emit(node->lhs), emit(node->rhs));
+          case ExprKind::Div:
+            return ar::createDivF(b_, emit(node->lhs), emit(node->rhs));
+        }
+        panic("unreachable expression kind");
+    }
+
+  private:
+    ir::OpBuilder &b_;
+    const std::map<AccessKey, ir::Value> &argOf_;
+    std::map<std::tuple<int, bool, int, int, int>, ir::Value>
+        accessCache_;
+};
+
+/**
+ * Build one stencil.apply for an update, given the current SSA value of
+ * each (field, next) source.
+ */
+ir::Value
+emitApply(ir::OpBuilder &b, ir::Context &ctx, const Expr &update,
+          const std::map<AccessKey, ir::Value> &valueOf,
+          ir::Type resultType)
+{
+    std::set<AccessKey> refs;
+    collectRefs(update.node(), refs);
+    std::vector<ir::Value> operands;
+    std::map<AccessKey, ir::Value> argOf;
+    for (const AccessKey &key : refs)
+        operands.push_back(valueOf.at(key));
+    ir::Operation *apply = st::createApply(b, operands, {resultType});
+    ir::Block *body = st::applyBody(apply);
+    size_t idx = 0;
+    for (const AccessKey &key : refs)
+        argOf[key] = body->argument(static_cast<unsigned>(idx++));
+    ir::OpBuilder bodyBuilder(ctx);
+    bodyBuilder.setInsertionPointToEnd(body);
+    ExprEmitter emitter(bodyBuilder, argOf);
+    ir::Value result = emitter.emit(update.node());
+    st::createReturn(bodyBuilder, {result});
+    return apply->result();
+}
+
+} // namespace
+
+ir::OwningOp
+Program::emit(ir::Context &ctx) const
+{
+    namespace bt = dialects::builtin;
+    ir::OwningOp module = bt::createModule(ctx);
+    ir::OpBuilder b(ctx);
+    b.setInsertionPointToEnd(bt::moduleBody(module.get()));
+
+    st::Bounds bounds{{0, 0, 0}, {grid_.nx, grid_.ny, grid_.nz}};
+    ir::Type f32 = ir::getF32Type(ctx);
+    ir::Type fieldType = st::getFieldType(ctx, bounds, f32);
+    ir::Type tempType = st::getTempType(ctx, bounds, f32);
+
+    std::vector<ir::Type> argTypes(numFields(), fieldType);
+    ir::Operation *kernel = fn::createFunc(b, "kernel", argTypes, {});
+    std::vector<ir::Attribute> argNames;
+    for (const std::string &name : fieldNames_)
+        argNames.push_back(ir::getStringAttr(ctx, name));
+    kernel->setAttr("arg_names", ir::getArrayAttr(ctx, argNames));
+
+    ir::Block *body = fn::funcBody(kernel);
+    ir::OpBuilder kb(ctx);
+    kb.setInsertionPointToEnd(body);
+
+    // Loads: begin-of-run values of every field.
+    std::vector<ir::Value> loads;
+    for (size_t i = 0; i < numFields(); ++i)
+        loads.push_back(
+            st::createLoad(kb, body->argument(static_cast<unsigned>(i))));
+
+    // Updated fields (in field order) carry loop state.
+    std::vector<size_t> updated;
+    for (size_t i = 0; i < numFields(); ++i)
+        if (updates_[i])
+            updated.push_back(i);
+    WSC_ASSERT(!updated.empty(), "program without updates");
+
+    auto emitStep =
+        [&](ir::OpBuilder &sb,
+            const std::map<size_t, ir::Value> &currentOf)
+        -> std::map<size_t, ir::Value> {
+        // Sequential-update semantics: next-references read results of
+        // earlier updates in the same step.
+        std::map<size_t, ir::Value> nextOf;
+        for (size_t i : updated) {
+            const Expr &update = *updates_[i];
+            int rotationSource = -1;
+            if (isRotation(update, rotationSource)) {
+                nextOf[i] = currentOf.at(
+                    static_cast<size_t>(rotationSource));
+                continue;
+            }
+            std::map<AccessKey, ir::Value> valueOf;
+            std::set<AccessKey> refs;
+            collectRefs(update.node(), refs);
+            for (const AccessKey &key : refs) {
+                size_t f = static_cast<size_t>(key.field);
+                if (key.next) {
+                    WSC_ASSERT(nextOf.count(f),
+                               "next-reference to a field updated later");
+                    valueOf[key] = nextOf.at(f);
+                } else {
+                    valueOf[key] = currentOf.at(f);
+                }
+            }
+            nextOf[i] = emitApply(sb, ctx, update, valueOf, tempType);
+        }
+        return nextOf;
+    };
+
+    std::map<size_t, ir::Value> finalOf;
+    if (timesteps_ > 1) {
+        ir::Value lb = ar::createConstantIndex(kb, 0);
+        ir::Value ub = ar::createConstantIndex(kb, timesteps_);
+        ir::Value step = ar::createConstantIndex(kb, 1);
+        std::vector<ir::Value> inits;
+        for (size_t i : updated)
+            inits.push_back(loads[i]);
+        ir::Operation *forOp = scf::createFor(kb, lb, ub, step, inits);
+        std::vector<ir::Value> iterArgs = scf::forIterArgs(forOp);
+
+        std::map<size_t, ir::Value> currentOf;
+        for (size_t i = 0; i < numFields(); ++i)
+            currentOf[i] = loads[i];
+        for (size_t j = 0; j < updated.size(); ++j)
+            currentOf[updated[j]] = iterArgs[j];
+
+        ir::OpBuilder lbld(ctx);
+        lbld.setInsertionPointToEnd(scf::forBody(forOp));
+        std::map<size_t, ir::Value> nextOf = emitStep(lbld, currentOf);
+        std::vector<ir::Value> yields;
+        for (size_t i : updated)
+            yields.push_back(nextOf.at(i));
+        scf::createYield(lbld, yields);
+
+        for (size_t j = 0; j < updated.size(); ++j)
+            finalOf[updated[j]] =
+                forOp->result(static_cast<unsigned>(j));
+    } else {
+        std::map<size_t, ir::Value> currentOf;
+        for (size_t i = 0; i < numFields(); ++i)
+            currentOf[i] = loads[i];
+        std::map<size_t, ir::Value> nextOf = emitStep(kb, currentOf);
+        for (size_t i : updated) {
+            // Rotations are meaningless for a single step unless they
+            // feed a store; map them directly.
+            finalOf[i] = nextOf.at(i);
+        }
+    }
+
+    // Stores: write every non-intermediate updated field back.
+    for (size_t i : updated) {
+        if (intermediate_[i])
+            continue;
+        ir::Value v = finalOf.at(i);
+        st::createStore(kb, v, body->argument(static_cast<unsigned>(i)),
+                        bounds);
+    }
+    fn::createReturn(kb);
+    return module;
+}
+
+} // namespace wsc::fe

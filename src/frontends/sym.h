@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The Devito-like symbolic frontend: a small C++ eDSL for expressing
+ * finite-difference stencil updates over 3-D grids, plus the shared
+ * Program representation every frontend (Devito-like, Fortran/Flang,
+ * PSyclone-like) lowers into. Program::emit() produces the stencil
+ * dialect IR consumed by the compilation pipeline; the same expression
+ * trees drive the scalar reference executor used as the correctness
+ * oracle.
+ */
+
+#ifndef WSC_FRONTENDS_SYM_H
+#define WSC_FRONTENDS_SYM_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/operation.h"
+
+namespace wsc::fe {
+
+/** Expression node kinds. */
+enum class ExprKind { Access, Const, Add, Sub, Mul, Div };
+
+/** A node of a stencil update expression. */
+struct ExprNode
+{
+    ExprKind kind;
+    // Access:
+    int field = -1;
+    int dx = 0;
+    int dy = 0;
+    int dz = 0;
+    /**
+     * When set, the access reads the field's value as updated earlier in
+     * the same timestep (sequential-update semantics; the field must be
+     * updated before the referencing one). Otherwise accesses read
+     * begin-of-step values.
+     */
+    bool next = false;
+    // Const:
+    double value = 0.0;
+    // Binary:
+    std::shared_ptr<ExprNode> lhs;
+    std::shared_ptr<ExprNode> rhs;
+};
+
+/** Value-semantics expression handle with operator overloading. */
+class Expr
+{
+  public:
+    Expr() = default;
+    explicit Expr(std::shared_ptr<ExprNode> node) : node_(std::move(node))
+    {
+    }
+
+    const std::shared_ptr<ExprNode> &node() const { return node_; }
+    explicit operator bool() const { return node_ != nullptr; }
+
+    /** Largest |offset| per dimension across the expression. */
+    void radius(int &rx, int &ry, int &rz) const;
+
+  private:
+    std::shared_ptr<ExprNode> node_;
+};
+
+Expr constant(double v);
+Expr operator+(Expr a, Expr b);
+Expr operator-(Expr a, Expr b);
+Expr operator*(Expr a, Expr b);
+Expr operator/(Expr a, Expr b);
+Expr operator*(double a, Expr b);
+Expr operator+(Expr a, double b);
+
+/** The 3-D problem grid: x, y across PEs; z within a PE column. */
+struct Grid
+{
+    int64_t nx = 0;
+    int64_t ny = 0;
+    int64_t nz = 0;
+};
+
+class Program;
+
+/** A named field (grid function). */
+class Field
+{
+  public:
+    Field() = default;
+
+    const std::string &name() const;
+    int index() const { return index_; }
+
+    /** Access at an offset from the current grid point. */
+    Expr at(int dx, int dy, int dz) const;
+    /** Access at the current point. */
+    Expr operator()() const { return at(0, 0, 0); }
+    /** Access the value updated earlier in the same timestep. */
+    Expr next(int dx, int dy, int dz) const;
+
+    /** Second-order central difference in x/y (radius-1 helper). */
+    Expr shiftX(int d) const { return at(d, 0, 0); }
+    Expr shiftY(int d) const { return at(0, d, 0); }
+    Expr shiftZ(int d) const { return at(0, 0, d); }
+
+  private:
+    friend class Program;
+    Field(Program *program, int index) : program_(program), index_(index)
+    {
+    }
+    Program *program_ = nullptr;
+    int index_ = -1;
+};
+
+/**
+ * A stencil program: fields plus one update expression per field giving
+ * its next-timestep value (absent = the field is read-only). An update
+ * that is exactly `field.at(0,0,0)` of another field expresses buffer
+ * rotation (e.g. u_prev' = u).
+ */
+class Program
+{
+  public:
+    Program() = default;
+    explicit Program(Grid grid) : grid_(grid) {}
+
+    Field addField(const std::string &name);
+    void setUpdate(const Field &field, Expr next);
+    void setTimesteps(int64_t steps) { timesteps_ = steps; }
+    /**
+     * Mark a field as a pure intermediate: it is computed and consumed
+     * within a step but never written back to the host. Its producing
+     * apply then has a single consumer, which is what lets
+     * stencil-inlining fuse consecutive applies (UVKBE).
+     */
+    void markIntermediate(const std::string &fieldName);
+    bool isIntermediate(size_t i) const { return intermediate_[i]; }
+
+    const Grid &grid() const { return grid_; }
+    int64_t timesteps() const { return timesteps_; }
+    size_t numFields() const { return fieldNames_.size(); }
+    const std::string &fieldName(size_t i) const { return fieldNames_[i]; }
+    const std::optional<Expr> &update(size_t i) const
+    {
+        return updates_[i];
+    }
+
+    /**
+     * Lower to the stencil dialect: a builtin.module containing a
+     * func.func kernel with loads, the timestep loop (when timesteps >
+     * 1), one stencil.apply per non-trivial update, and stores.
+     */
+    ir::OwningOp emit(ir::Context &ctx) const;
+
+  private:
+    friend class Field;
+    Grid grid_{};
+    int64_t timesteps_ = 1;
+    std::vector<std::string> fieldNames_;
+    std::vector<std::optional<Expr>> updates_;
+    std::vector<bool> intermediate_;
+};
+
+} // namespace wsc::fe
+
+#endif // WSC_FRONTENDS_SYM_H

@@ -1,0 +1,502 @@
+#include "interp/csl_interpreter.h"
+
+#include <set>
+
+#include "dialects/arith.h"
+#include "dialects/csl.h"
+#include "dialects/scf.h"
+#include "support/error.h"
+
+namespace wsc::interp {
+
+namespace {
+
+namespace csl = dialects::csl;
+namespace ar = dialects::arith;
+namespace scf = dialects::scf;
+
+/** Find the program csl.module under root (or root itself). */
+ir::Operation *
+findProgramModule(ir::Operation *root)
+{
+    if (root->name() == csl::kModule &&
+        root->strAttr("kind") == "program")
+        return root;
+    ir::Operation *program = nullptr;
+    root->walk([&](ir::Operation *op) {
+        if (op->name() == csl::kModule &&
+            op->strAttr("kind") == "program")
+            program = op;
+    });
+    WSC_ASSERT(program, "no program csl.module found");
+    return program;
+}
+
+} // namespace
+
+CslProgramInstance::CslProgramInstance(wse::Simulator &sim,
+                                       ir::Operation *root)
+    : sim_(sim), program_(findProgramModule(root))
+{
+    peEnvs_.resize(static_cast<size_t>(sim.width()) * sim.height());
+    stepMarks_.resize(peEnvs_.size());
+}
+
+void
+CslProgramInstance::setFieldInit(const std::string &field, FieldInitFn init)
+{
+    WSC_ASSERT(!configured_, "setFieldInit after configure");
+    fieldInits_[field] = std::move(init);
+}
+
+bool
+CslProgramInstance::interiorEverywhere(int x, int y) const
+{
+    for (const auto &comm : comms_)
+        if (comm->expectedSections(x, y) == 0)
+            return false;
+    return true;
+}
+
+void
+CslProgramInstance::configure()
+{
+    WSC_ASSERT(!configured_, "configure called twice");
+    configured_ = true;
+
+    // --- Collect module structure ---------------------------------------
+    std::vector<ir::Operation *> commsOps;
+    for (ir::Operation *op : csl::moduleBody(program_)->opsVector()) {
+        if (op->name() == csl::kFunc || op->name() == csl::kTask)
+            callables_[op->strAttr("sym_name")] = op;
+        else if (op->name() == csl::kVariable)
+            variables_[op->strAttr("sym_name")] = op;
+    }
+    program_->walk([&](ir::Operation *op) {
+        if (op->name() == csl::kCommsExchange)
+            commsOps.push_back(op);
+    });
+
+    // --- Runtime communication sites ------------------------------------
+    for (size_t i = 0; i < commsOps.size(); ++i) {
+        csl::CommsExchangeSpec spec =
+            csl::commsExchangeSpec(commsOps[i]);
+        comms::StarCommConfig config;
+        for (const auto &[dx, dy] : spec.accesses)
+            config.accesses.push_back(
+                {static_cast<int>(dx), static_cast<int>(dy)});
+        config.accesses = comms::canonicalAccessOrder(config.accesses);
+        config.zSize = spec.zSize;
+        config.numChunks = spec.numChunks;
+        config.trimFirst = spec.trimFirst;
+        config.trimLast = spec.trimLast;
+        config.coeffs = spec.coeffs;
+        config.recvBufferName = spec.recvBufferName;
+        config.baseColor = static_cast<wse::Color>(4 * i);
+        comms_.push_back(
+            std::make_unique<comms::StarComm>(sim_, config));
+        commSiteOf_[commsOps[i]] = i;
+        commOfRecvCb_[spec.recvCallback] = i;
+    }
+
+    // Buffer-rotation pool: the initial targets of all pointer
+    // variables. On boundary (non-computing) PEs the host loads every
+    // pool buffer with the primary wavefield's boundary-condition data,
+    // making pointer rotation value-neutral there.
+    std::set<std::string> rotationPool;
+    std::string primaryField;
+    for (const auto &[name, var] : variables_) {
+        ir::Type type = ir::typeAttrValue(var->attr("type"));
+        if (!csl::isPtrType(type))
+            continue;
+        std::string target = ir::stringAttrValue(var->attr("init"));
+        rotationPool.insert(target);
+        if (name == "ptr_iter0")
+            primaryField = target;
+    }
+
+    // --- Per-PE state ----------------------------------------------------
+    for (int x = 0; x < sim_.width(); ++x) {
+        for (int y = 0; y < sim_.height(); ++y) {
+            wse::Pe &pe = sim_.pe(x, y);
+            PeEnv &env =
+                peEnvs_[static_cast<size_t>(x) * sim_.height() + y];
+            bool boundaryPe = !interiorEverywhere(x, y);
+
+            for (const auto &[name, var] : variables_) {
+                ir::Type type = ir::typeAttrValue(var->attr("type"));
+                if (var->hasAttr("comms_owned"))
+                    continue; // StarComm::setup allocates these.
+                if (ir::isMemRef(type)) {
+                    std::vector<float> &buf = pe.allocBuffer(
+                        name,
+                        static_cast<size_t>(ir::numElementsOf(type)));
+                    // Host data transfer: fields get their own init;
+                    // result buffers inherit from their target field;
+                    // rotation-pool buffers on boundary PEs all carry
+                    // the primary field's boundary condition.
+                    std::string initField;
+                    if (fieldInits_.count(name))
+                        initField = name;
+                    else if (var->hasAttr("init_as"))
+                        initField = var->strAttr("init_as");
+                    if (boundaryPe && !primaryField.empty() &&
+                        rotationPool.count(name))
+                        initField = primaryField;
+                    auto it = fieldInits_.find(initField);
+                    if (it != fieldInits_.end()) {
+                        for (size_t z = 0; z < buf.size(); ++z)
+                            buf[z] = it->second(x, y,
+                                                static_cast<int>(z));
+                    }
+                } else if (csl::isPtrType(type)) {
+                    env.ptrs[name] =
+                        ir::stringAttrValue(var->attr("init"));
+                } else {
+                    int64_t init = 0;
+                    if (ir::Attribute a = var->attr("init"))
+                        init = ir::intAttrValue(a);
+                    pe.scalar(name) = static_cast<double>(init);
+                }
+            }
+        }
+    }
+
+    // StarComm setup after variables (its receive buffers count towards
+    // the same 48 kB).
+    for (auto &comm : comms_)
+        comm->setup();
+
+    // Comptime role flags depend on the comm sites' view of the grid.
+    for (int x = 0; x < sim_.width(); ++x) {
+        for (int y = 0; y < sim_.height(); ++y) {
+            wse::Pe &pe = sim_.pe(x, y);
+            for (const auto &[name, var] : variables_) {
+                if (var->hasAttr("comptime_role"))
+                    pe.scalar(name) =
+                        interiorEverywhere(x, y) ? 1.0 : 0.0;
+                if (ir::Attribute site = var->attr("comptime_role_site")) {
+                    size_t idx =
+                        commOfRecvCb_.at(ir::stringAttrValue(site));
+                    pe.scalar(name) =
+                        comms_[idx]->expectedSections(x, y) > 0 ? 1.0
+                                                                : 0.0;
+                }
+            }
+            // Register every callable as an activatable task.
+            for (const auto &[name, op] : callables_) {
+                std::string taskName = name;
+                pe.registerTask(
+                    taskName, wse::TaskKind::Local,
+                    [this, op, x, y, taskName](wse::TaskContext &ctx) {
+                        PeEnv &penv =
+                            peEnvs_[static_cast<size_t>(x) *
+                                        sim_.height() +
+                                    y];
+                        if (taskName == "for_cond0")
+                            stepMarks_[static_cast<size_t>(x) *
+                                           sim_.height() +
+                                       y]
+                                .push_back(ctx.startCycle());
+                        SsaEnv env;
+                        ir::Block *body = csl::calleeBody(op);
+                        if (body->numArguments() == 1) {
+                            // Receive-chunk callback: bind the chunk
+                            // offset provided by the comms library.
+                            size_t site = commOfRecvCb_.at(taskName);
+                            RtValue offset;
+                            offset.kind = RtValue::Kind::Num;
+                            offset.num = static_cast<double>(
+                                comms_[site]->popCompletedChunkOffset(
+                                    ctx.pe()));
+                            env[body->argument(0).impl()] = offset;
+                        }
+                        execBody(body, env, penv, ctx);
+                    });
+            }
+        }
+    }
+}
+
+void
+CslProgramInstance::launch()
+{
+    WSC_ASSERT(configured_, "launch before configure");
+    for (int x = 0; x < sim_.width(); ++x)
+        for (int y = 0; y < sim_.height(); ++y)
+            sim_.pe(x, y).activate("f_main", 0);
+}
+
+CslProgramInstance::RtValue
+CslProgramInstance::evalOperand(const SsaEnv &env, ir::Value v) const
+{
+    auto it = env.find(v.impl());
+    WSC_ASSERT(it != env.end(), "use of an unevaluated SSA value");
+    return it->second;
+}
+
+wse::DsdOperand
+CslProgramInstance::asDsdOperand(const RtValue &v) const
+{
+    if (v.kind == RtValue::Kind::DsdVal)
+        return wse::DsdOperand::fromDsd(v.dsd);
+    WSC_ASSERT(v.kind == RtValue::Kind::Num,
+               "builtin operand must be a DSD or scalar");
+    return wse::DsdOperand::fromScalar(static_cast<float>(v.num));
+}
+
+void
+CslProgramInstance::runCallable(const std::string &name, PeEnv &peEnv,
+                                wse::TaskContext &ctx)
+{
+    auto it = callables_.find(name);
+    WSC_ASSERT(it != callables_.end(), "call of unknown symbol " << name);
+    SsaEnv env;
+    execBody(csl::calleeBody(it->second), env, peEnv, ctx);
+}
+
+void
+CslProgramInstance::execBody(ir::Block *block, SsaEnv &env, PeEnv &peEnv,
+                             wse::TaskContext &ctx)
+{
+    wse::Pe &pe = ctx.pe();
+    for (ir::Operation *op : block->opsVector()) {
+        const std::string &n = op->name();
+        if (n == ar::kConstant) {
+            RtValue v;
+            v.kind = RtValue::Kind::Num;
+            ir::Attribute a = op->attr("value");
+            v.num = ir::isFloatAttr(a) ? ir::floatAttrValue(a)
+                                       : static_cast<double>(
+                                             ir::intAttrValue(a));
+            env[op->result().impl()] = v;
+            continue;
+        }
+        if (n == ar::kAddI || n == ar::kSubI || n == ar::kMulI ||
+            n == ar::kAddF || n == ar::kSubF || n == ar::kMulF ||
+            n == ar::kDivF) {
+            double a = evalOperand(env, op->operand(0)).num;
+            double b = evalOperand(env, op->operand(1)).num;
+            double r = 0.0;
+            if (n == ar::kAddI || n == ar::kAddF)
+                r = a + b;
+            else if (n == ar::kSubI || n == ar::kSubF)
+                r = a - b;
+            else if (n == ar::kMulI || n == ar::kMulF)
+                r = a * b;
+            else
+                r = a / b;
+            RtValue v;
+            v.kind = RtValue::Kind::Num;
+            v.num = r;
+            env[op->result().impl()] = v;
+            ctx.consume(1);
+            continue;
+        }
+        if (n == ar::kCmpI) {
+            double a = evalOperand(env, op->operand(0)).num;
+            double b = evalOperand(env, op->operand(1)).num;
+            const std::string &p = op->strAttr("predicate");
+            bool r = p == "lt"   ? a < b
+                     : p == "le" ? a <= b
+                     : p == "gt" ? a > b
+                     : p == "ge" ? a >= b
+                     : p == "eq" ? a == b
+                                 : a != b;
+            RtValue v;
+            v.kind = RtValue::Kind::Num;
+            v.num = r ? 1.0 : 0.0;
+            env[op->result().impl()] = v;
+            ctx.consume(1);
+            continue;
+        }
+        if (n == scf::kIf) {
+            bool cond = evalOperand(env, op->operand(0)).num != 0.0;
+            ctx.consume(1);
+            ir::Block *branch = cond ? scf::ifThenBlock(op)
+                                     : (op->region(1).empty()
+                                            ? nullptr
+                                            : scf::ifElseBlock(op));
+            if (branch)
+                execBody(branch, env, peEnv, ctx);
+            continue;
+        }
+        if (n == scf::kYield)
+            continue;
+        if (n == csl::kReturn)
+            return;
+        if (n == csl::kLoadVar) {
+            const std::string &var = op->strAttr("var");
+            ir::Type t = op->result().type();
+            RtValue v;
+            if (ir::isMemRef(t)) {
+                v.kind = RtValue::Kind::Buffer;
+                v.str = op->hasAttr("via_ptr") ? peEnv.ptrs.at(var) : var;
+            } else if (csl::isPtrType(t)) {
+                v.kind = RtValue::Kind::Ptr;
+                v.str = peEnv.ptrs.at(var);
+            } else {
+                v.kind = RtValue::Kind::Num;
+                v.num = pe.scalar(var);
+            }
+            env[op->result().impl()] = v;
+            ctx.consume(1);
+            continue;
+        }
+        if (n == csl::kStoreVar) {
+            const std::string &var = op->strAttr("var");
+            RtValue v = evalOperand(env, op->operand(0));
+            if (v.kind == RtValue::Kind::Ptr ||
+                v.kind == RtValue::Kind::Buffer)
+                peEnv.ptrs[var] = v.str;
+            else
+                pe.scalar(var) = v.num;
+            ctx.consume(1);
+            continue;
+        }
+        if (n == csl::kAddressOf) {
+            RtValue v;
+            v.kind = RtValue::Kind::Ptr;
+            v.str = op->strAttr("var");
+            env[op->result().impl()] = v;
+            continue;
+        }
+        if (n == csl::kGetMemDsd) {
+            const std::string &var = op->strAttr("var");
+            std::string bufName =
+                op->hasAttr("via_ptr") ? peEnv.ptrs.at(var) : var;
+            RtValue v;
+            v.kind = RtValue::Kind::DsdVal;
+            v.str = bufName;
+            v.dsd.buf = &pe.buffer(bufName);
+            v.dsd.offset = op->intAttr("offset");
+            v.dsd.length = op->intAttr("length");
+            v.dsd.stride = op->intAttr("stride");
+            if (op->hasAttr("wrap"))
+                v.dsd.wrap = op->intAttr("wrap");
+            env[op->result().impl()] = v;
+            ctx.consume(2); // DSD configuration is cheap but not free.
+            continue;
+        }
+        if (n == csl::kIncrementDsdOffset) {
+            RtValue v = evalOperand(env, op->operand(0));
+            double delta = evalOperand(env, op->operand(1)).num;
+            v.dsd.offset += static_cast<int64_t>(delta);
+            env[op->result().impl()] = v;
+            ctx.consume(1);
+            continue;
+        }
+        if (n == csl::kSetDsdLength) {
+            RtValue v = evalOperand(env, op->operand(0));
+            v.dsd.length = static_cast<int64_t>(
+                evalOperand(env, op->operand(1)).num);
+            env[op->result().impl()] = v;
+            ctx.consume(1);
+            continue;
+        }
+        if (n == csl::kFadds || n == csl::kFsubs || n == csl::kFmuls) {
+            wse::Dsd dest = evalOperand(env, op->operand(0)).dsd;
+            wse::DsdOperand a =
+                asDsdOperand(evalOperand(env, op->operand(1)));
+            wse::DsdOperand b =
+                asDsdOperand(evalOperand(env, op->operand(2)));
+            if (n == csl::kFadds)
+                wse::fadds(ctx, dest, a, b);
+            else if (n == csl::kFsubs)
+                wse::fsubs(ctx, dest, a, b);
+            else
+                wse::fmuls(ctx, dest, a, b);
+            continue;
+        }
+        if (n == csl::kFmovs) {
+            wse::Dsd dest = evalOperand(env, op->operand(0)).dsd;
+            wse::DsdOperand src =
+                asDsdOperand(evalOperand(env, op->operand(1)));
+            wse::fmovs(ctx, dest, src);
+            continue;
+        }
+        if (n == csl::kFmacs) {
+            wse::Dsd dest = evalOperand(env, op->operand(0)).dsd;
+            wse::DsdOperand a =
+                asDsdOperand(evalOperand(env, op->operand(1)));
+            wse::DsdOperand b =
+                asDsdOperand(evalOperand(env, op->operand(2)));
+            double scalar = evalOperand(env, op->operand(3)).num;
+            wse::fmacs(ctx, dest, a, b, static_cast<float>(scalar));
+            continue;
+        }
+        if (n == csl::kCall) {
+            runCallable(op->strAttr("callee"), peEnv, ctx);
+            ctx.consume(2);
+            continue;
+        }
+        if (n == csl::kActivate) {
+            pe.activate(op->strAttr("task"), ctx.currentCycle());
+            ctx.consume(2);
+            continue;
+        }
+        if (n == csl::kCommsExchange) {
+            size_t site = commSiteOf_.at(op);
+            RtValue send = evalOperand(env, op->operand(0));
+            WSC_ASSERT(send.kind == RtValue::Kind::DsdVal,
+                       "comms_exchange expects a DSD operand");
+            csl::CommsExchangeSpec spec = csl::commsExchangeSpec(op);
+            comms_[site]->exchange(ctx, send.str, spec.recvCallback,
+                                   spec.doneCallback);
+            ctx.consume(4);
+            continue;
+        }
+        if (n == csl::kUnblockCmdStream) {
+            unblockCount_++;
+            continue;
+        }
+        if (n == csl::kImportModule || n == csl::kMemberCall ||
+            n == csl::kExport || n == csl::kParam) {
+            // Comptime / host-interface constructs: no runtime effect in
+            // the interpreter.
+            for (ir::Value r : op->results()) {
+                RtValue v;
+                v.kind = RtValue::Kind::None;
+                env[r.impl()] = v;
+            }
+            continue;
+        }
+        panic("csl interpreter: unsupported op " + n);
+    }
+}
+
+std::vector<float>
+CslProgramInstance::readFieldColumn(const std::string &field, int x, int y)
+{
+    // Resolve through the program's result mapping.
+    std::string var = field;
+    bool viaPtr = false;
+    if (ir::Attribute results = program_->attr("result_fields")) {
+        for (ir::Attribute entry : ir::arrayAttrValue(results)) {
+            if (ir::stringAttrValue(ir::dictAttrGet(entry, "field")) ==
+                field) {
+                var = ir::stringAttrValue(ir::dictAttrGet(entry, "var"));
+                viaPtr =
+                    ir::intAttrValue(ir::dictAttrGet(entry, "via_ptr")) !=
+                    0;
+            }
+        }
+    }
+    PeEnv &env = peEnvs_[static_cast<size_t>(x) * sim_.height() + y];
+    std::string bufName = viaPtr ? env.ptrs.at(var) : var;
+    return sim_.pe(x, y).buffer(bufName);
+}
+
+const std::vector<wse::Cycles> &
+CslProgramInstance::stepMarks(int x, int y) const
+{
+    return stepMarks_[static_cast<size_t>(x) * sim_.height() + y];
+}
+
+size_t
+CslProgramInstance::memoryBytesUsed(int x, int y)
+{
+    return sim_.pe(x, y).memoryBytesUsed();
+}
+
+} // namespace wsc::interp

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The csl-ir interpreter: instantiates a lowered csl.module program on
+ * every PE of a simulated WSE and executes it under the simulator's
+ * timing model. This stands in for the Cerebras SDK compiler + hardware:
+ * the very IR the CSL printer emits as source code is executed, so the
+ * generated program structure (tasks, callbacks, DSD builtins, chunked
+ * exchanges) is what gets measured.
+ */
+
+#ifndef WSC_INTERP_CSL_INTERPRETER_H
+#define WSC_INTERP_CSL_INTERPRETER_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "comms/star_comm.h"
+#include "ir/operation.h"
+#include "wse/dsd.h"
+#include "wse/simulator.h"
+
+namespace wsc::interp {
+
+/** Host-side initial condition for one field: value at (x, y, z). */
+using FieldInitFn = std::function<float(int x, int y, int z)>;
+
+/** One program instance mapped across the simulated PE grid. */
+class CslProgramInstance
+{
+  public:
+    /**
+     * `root` is either the final builtin.module (layout + program
+     * csl.modules) or the program csl.module itself. The IR must outlive
+     * this instance.
+     */
+    CslProgramInstance(wse::Simulator &sim, ir::Operation *root);
+
+    /** Host data transfer: set a field's initial contents. Must be
+     *  called before configure(). */
+    void setFieldInit(const std::string &field, FieldInitFn init);
+
+    /** Allocate variables, wire the runtime comms library, register
+     *  tasks on every PE. */
+    void configure();
+
+    /** Host launch: invoke f_main on every PE (memcpy RPC). */
+    void launch();
+
+    /**
+     * Read back a field column through the result mapping (resolves
+     * pointer rotation). Falls back to the field's own buffer when the
+     * program records no result for it.
+     */
+    std::vector<float> readFieldColumn(const std::string &field, int x,
+                                       int y);
+
+    /** PEs that returned control to the host (unblock_cmd_stream). */
+    uint64_t unblockCount() const { return unblockCount_; }
+
+    /** Dispatch timestamps of for_cond0 on a PE (per-step markers). */
+    const std::vector<wse::Cycles> &stepMarks(int x, int y) const;
+
+    /** The runtime communication sites (for statistics). */
+    const std::vector<std::unique_ptr<comms::StarComm>> &commSites() const
+    {
+        return comms_;
+    }
+
+    /** Per-PE memory in use after configure (bytes), for reporting. */
+    size_t memoryBytesUsed(int x, int y);
+
+  private:
+    struct RtValue
+    {
+        enum class Kind { None, Num, Buffer, DsdVal, Ptr };
+        Kind kind = Kind::None;
+        double num = 0.0;
+        std::string str; ///< buffer name (Buffer) or target (Ptr)
+        wse::Dsd dsd;
+    };
+
+    struct PeEnv
+    {
+        /** Pointer-variable targets (buffer names). */
+        std::map<std::string, std::string> ptrs;
+    };
+
+    using SsaEnv = std::map<ir::ValueImpl *, RtValue>;
+
+    void execBody(ir::Block *block, SsaEnv &env, PeEnv &peEnv,
+                  wse::TaskContext &ctx);
+    RtValue evalOperand(const SsaEnv &env, ir::Value v) const;
+    wse::DsdOperand asDsdOperand(const RtValue &v) const;
+    void runCallable(const std::string &name, PeEnv &peEnv,
+                     wse::TaskContext &ctx);
+    bool interiorEverywhere(int x, int y) const;
+
+    wse::Simulator &sim_;
+    ir::Operation *program_ = nullptr;
+    std::map<std::string, ir::Operation *> callables_;
+    std::map<std::string, ir::Operation *> variables_;
+    std::map<std::string, FieldInitFn> fieldInits_;
+    std::vector<std::unique_ptr<comms::StarComm>> comms_;
+    /** comms site index per csl.comms_exchange op. */
+    std::map<ir::Operation *, size_t> commSiteOf_;
+    /** comms site per receive-callback task name. */
+    std::map<std::string, size_t> commOfRecvCb_;
+    std::vector<PeEnv> peEnvs_;
+    std::vector<std::vector<wse::Cycles>> stepMarks_;
+    uint64_t unblockCount_ = 0;
+    bool configured_ = false;
+};
+
+} // namespace wsc::interp
+
+#endif // WSC_INTERP_CSL_INTERPRETER_H

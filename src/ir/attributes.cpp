@@ -1,0 +1,323 @@
+#include "ir/attributes.h"
+
+#include <sstream>
+
+#include "ir/context.h"
+#include "support/error.h"
+
+namespace wsc::ir {
+
+const std::string &
+Attribute::kind() const
+{
+    WSC_ASSERT(impl_, "kind() on null attribute");
+    return impl_->kind;
+}
+
+std::string
+Attribute::str() const
+{
+    if (!impl_)
+        return "<<null-attr>>";
+    const AttrStorage &s = *impl_;
+    std::ostringstream os;
+    if (s.kind == "int") {
+        os << s.i;
+        if (s.type)
+            os << " : " << s.type.str();
+        return os.str();
+    }
+    if (s.kind == "float") {
+        os << s.f;
+        if (s.type)
+            os << " : " << s.type.str();
+        return os.str();
+    }
+    if (s.kind == "string")
+        return "\"" + s.s + "\"";
+    if (s.kind == "unit")
+        return "unit";
+    if (s.kind == "type")
+        return s.type.str();
+    if (s.kind == "array") {
+        os << "[";
+        for (size_t i = 0; i < s.elems.size(); ++i)
+            os << (i ? ", " : "") << Attribute(s.elems[i]).str();
+        os << "]";
+        return os.str();
+    }
+    if (s.kind == "dict") {
+        os << "{";
+        for (size_t i = 0; i < s.elems.size(); ++i)
+            os << (i ? ", " : "") << s.keys[i] << " = "
+               << Attribute(s.elems[i]).str();
+        os << "}";
+        return os.str();
+    }
+    if (s.kind == "dense") {
+        os << "dense<";
+        if (s.values.size() == 1) {
+            os << s.values[0];
+        } else {
+            os << "[";
+            for (size_t i = 0; i < s.values.size(); ++i)
+                os << (i ? ", " : "") << s.values[i];
+            os << "]";
+        }
+        os << "> : " << s.type.str();
+        return os.str();
+    }
+    // Dialect attributes: #kind<...> with generic payload.
+    os << "#" << s.kind;
+    os << "<" << s.s;
+    for (size_t i = 0; i < s.elems.size(); ++i)
+        os << (i || !s.s.empty() ? "," : "") << Attribute(s.elems[i]).str();
+    os << ">";
+    return os.str();
+}
+
+static std::string
+attrKey(const AttrStorage &s)
+{
+    std::ostringstream os;
+    os << s.kind << '\x01' << s.i << '\x01' << s.f << '\x01' << s.s << '\x01'
+       << s.type.impl() << '\x01';
+    for (const AttrStorage *e : s.elems)
+        os << e << ',';
+    os << '\x01';
+    for (const std::string &k : s.keys)
+        os << k << ',';
+    os << '\x01';
+    for (double v : s.values)
+        os << v << ',';
+    return os.str();
+}
+
+Attribute
+getAttr(Context &ctx, const AttrStorage &proto)
+{
+    return Attribute(ctx.uniqueAttr(proto));
+}
+
+Attribute
+getIntAttr(Context &ctx, int64_t value, Type type)
+{
+    AttrStorage s;
+    s.kind = "int";
+    s.i = value;
+    s.type = type;
+    return getAttr(ctx, s);
+}
+
+Attribute
+getFloatAttr(Context &ctx, double value, Type type)
+{
+    AttrStorage s;
+    s.kind = "float";
+    s.f = value;
+    s.type = type;
+    return getAttr(ctx, s);
+}
+
+Attribute
+getStringAttr(Context &ctx, const std::string &value)
+{
+    AttrStorage s;
+    s.kind = "string";
+    s.s = value;
+    return getAttr(ctx, s);
+}
+
+Attribute
+getUnitAttr(Context &ctx)
+{
+    AttrStorage s;
+    s.kind = "unit";
+    return getAttr(ctx, s);
+}
+
+Attribute
+getTypeAttr(Context &ctx, Type type)
+{
+    AttrStorage s;
+    s.kind = "type";
+    s.type = type;
+    return getAttr(ctx, s);
+}
+
+Attribute
+getArrayAttr(Context &ctx, const std::vector<Attribute> &elems)
+{
+    AttrStorage s;
+    s.kind = "array";
+    for (Attribute a : elems) {
+        WSC_ASSERT(a, "null element in array attribute");
+        s.elems.push_back(a.impl());
+    }
+    return getAttr(ctx, s);
+}
+
+Attribute
+getDictAttr(Context &ctx,
+            const std::vector<std::pair<std::string, Attribute>> &entries)
+{
+    AttrStorage s;
+    s.kind = "dict";
+    for (const auto &[key, value] : entries) {
+        WSC_ASSERT(value, "null value in dict attribute for key " << key);
+        s.keys.push_back(key);
+        s.elems.push_back(value.impl());
+    }
+    return getAttr(ctx, s);
+}
+
+Attribute
+getDenseAttr(Context &ctx, Type shapedType, const std::vector<double> &values)
+{
+    WSC_ASSERT(isShaped(shapedType),
+               "dense attribute requires a shaped type");
+    AttrStorage s;
+    s.kind = "dense";
+    s.type = shapedType;
+    s.values = values;
+    return getAttr(ctx, s);
+}
+
+bool
+isIntAttr(Attribute a)
+{
+    return a && a.kind() == "int";
+}
+
+bool
+isFloatAttr(Attribute a)
+{
+    return a && a.kind() == "float";
+}
+
+bool
+isStringAttr(Attribute a)
+{
+    return a && a.kind() == "string";
+}
+
+bool
+isUnitAttr(Attribute a)
+{
+    return a && a.kind() == "unit";
+}
+
+bool
+isTypeAttr(Attribute a)
+{
+    return a && a.kind() == "type";
+}
+
+bool
+isArrayAttr(Attribute a)
+{
+    return a && a.kind() == "array";
+}
+
+bool
+isDictAttr(Attribute a)
+{
+    return a && a.kind() == "dict";
+}
+
+bool
+isDenseAttr(Attribute a)
+{
+    return a && a.kind() == "dense";
+}
+
+int64_t
+intAttrValue(Attribute a)
+{
+    WSC_ASSERT(isIntAttr(a), "intAttrValue on " << a.str());
+    return a.impl()->i;
+}
+
+double
+floatAttrValue(Attribute a)
+{
+    WSC_ASSERT(isFloatAttr(a), "floatAttrValue on " << a.str());
+    return a.impl()->f;
+}
+
+const std::string &
+stringAttrValue(Attribute a)
+{
+    WSC_ASSERT(isStringAttr(a), "stringAttrValue on " << a.str());
+    return a.impl()->s;
+}
+
+Type
+typeAttrValue(Attribute a)
+{
+    WSC_ASSERT(isTypeAttr(a), "typeAttrValue on " << a.str());
+    return a.impl()->type;
+}
+
+std::vector<Attribute>
+arrayAttrValue(Attribute a)
+{
+    WSC_ASSERT(isArrayAttr(a), "arrayAttrValue on " << a.str());
+    std::vector<Attribute> out;
+    for (const AttrStorage *e : a.impl()->elems)
+        out.push_back(Attribute(e));
+    return out;
+}
+
+Attribute
+dictAttrGet(Attribute a, const std::string &key)
+{
+    WSC_ASSERT(isDictAttr(a), "dictAttrGet on " << a.str());
+    const AttrStorage &s = *a.impl();
+    for (size_t i = 0; i < s.keys.size(); ++i)
+        if (s.keys[i] == key)
+            return Attribute(s.elems[i]);
+    return Attribute();
+}
+
+const std::vector<double> &
+denseAttrValues(Attribute a)
+{
+    WSC_ASSERT(isDenseAttr(a), "denseAttrValues on " << a.str());
+    return a.impl()->values;
+}
+
+Type
+attrType(Attribute a)
+{
+    WSC_ASSERT(a, "attrType on null attribute");
+    return a.impl()->type;
+}
+
+Attribute
+getIntArrayAttr(Context &ctx, const std::vector<int64_t> &values)
+{
+    std::vector<Attribute> elems;
+    elems.reserve(values.size());
+    for (int64_t v : values)
+        elems.push_back(getIntAttr(ctx, v));
+    return getArrayAttr(ctx, elems);
+}
+
+std::vector<int64_t>
+intArrayAttrValue(Attribute a)
+{
+    std::vector<int64_t> out;
+    for (Attribute e : arrayAttrValue(a))
+        out.push_back(intAttrValue(e));
+    return out;
+}
+
+/** Exposed for the context's interning map (see context.cpp). */
+std::string
+internalAttrKey(const AttrStorage &s)
+{
+    return attrKey(s);
+}
+
+} // namespace wsc::ir

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Uniqued, immutable IR attributes (compile-time constants attached to ops).
+ *
+ * Like types, attributes are value-semantics handles onto storage uniqued
+ * in the Context. The storage is generic; dialects compose dictionary and
+ * array attributes rather than defining bespoke storage.
+ */
+
+#ifndef WSC_IR_ATTRIBUTES_H
+#define WSC_IR_ATTRIBUTES_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ir/types.h"
+
+namespace wsc::ir {
+
+class Context;
+class Attribute;
+
+/** Generic uniqued storage for an attribute. */
+struct AttrStorage
+{
+    /** Kind discriminator: "int", "float", "string", "unit", "type",
+     *  "array", "dict", "dense". */
+    std::string kind;
+    int64_t i = 0;
+    double f = 0.0;
+    std::string s;
+    Type type;
+    std::vector<const AttrStorage *> elems;
+    /** Keys for "dict" attributes, parallel to elems. */
+    std::vector<std::string> keys;
+    /** Element payload for "dense" attributes. */
+    std::vector<double> values;
+};
+
+/** Value-semantics handle to uniqued attribute storage. */
+class Attribute
+{
+  public:
+    Attribute() = default;
+    explicit Attribute(const AttrStorage *impl) : impl_(impl) {}
+
+    explicit operator bool() const { return impl_ != nullptr; }
+    bool operator==(const Attribute &other) const = default;
+
+    const std::string &kind() const;
+    const AttrStorage *impl() const { return impl_; }
+
+    /** Render this attribute in MLIR-like syntax. */
+    std::string str() const;
+
+  private:
+    const AttrStorage *impl_ = nullptr;
+};
+
+/// @name Attribute constructors
+/// @{
+Attribute getIntAttr(Context &ctx, int64_t value, Type type = Type());
+Attribute getFloatAttr(Context &ctx, double value, Type type = Type());
+Attribute getStringAttr(Context &ctx, const std::string &value);
+Attribute getUnitAttr(Context &ctx);
+Attribute getTypeAttr(Context &ctx, Type type);
+Attribute getArrayAttr(Context &ctx, const std::vector<Attribute> &elems);
+Attribute getDictAttr(Context &ctx,
+                      const std::vector<std::pair<std::string, Attribute>>
+                          &entries);
+/** Dense constant over a shaped type (splat if values.size() == 1). */
+Attribute getDenseAttr(Context &ctx, Type shapedType,
+                       const std::vector<double> &values);
+/// @}
+
+/// @name Attribute inspectors
+/// @{
+bool isIntAttr(Attribute a);
+bool isFloatAttr(Attribute a);
+bool isStringAttr(Attribute a);
+bool isUnitAttr(Attribute a);
+bool isTypeAttr(Attribute a);
+bool isArrayAttr(Attribute a);
+bool isDictAttr(Attribute a);
+bool isDenseAttr(Attribute a);
+
+int64_t intAttrValue(Attribute a);
+double floatAttrValue(Attribute a);
+const std::string &stringAttrValue(Attribute a);
+Type typeAttrValue(Attribute a);
+std::vector<Attribute> arrayAttrValue(Attribute a);
+/** Dictionary lookup; returns null attribute when absent. */
+Attribute dictAttrGet(Attribute a, const std::string &key);
+const std::vector<double> &denseAttrValues(Attribute a);
+Type attrType(Attribute a);
+
+/** Convenience: array-of-int attribute from raw values. */
+Attribute getIntArrayAttr(Context &ctx, const std::vector<int64_t> &values);
+/** Convenience: extract raw ints from an array-of-int attribute. */
+std::vector<int64_t> intArrayAttrValue(Attribute a);
+/// @}
+
+/**
+ * Generic constructor for dialect-specific attribute kinds. The full field
+ * tuple is the identity of the attribute.
+ */
+Attribute getAttr(Context &ctx, const AttrStorage &proto);
+
+} // namespace wsc::ir
+
+#endif // WSC_IR_ATTRIBUTES_H

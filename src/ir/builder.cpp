@@ -1,0 +1,103 @@
+#include "ir/builder.h"
+
+#include "ir/context.h"
+#include "support/error.h"
+
+namespace wsc::ir {
+
+void
+OpBuilder::setInsertionPointToStart(Block *block)
+{
+    block_ = block;
+    point_ = block->operations().begin();
+    hasPoint_ = true;
+}
+
+void
+OpBuilder::setInsertionPointToEnd(Block *block)
+{
+    block_ = block;
+    point_ = block->operations().end();
+    hasPoint_ = true;
+}
+
+void
+OpBuilder::setInsertionPoint(Operation *op)
+{
+    WSC_ASSERT(op->parentBlock(), "setInsertionPoint on detached op");
+    block_ = op->parentBlock();
+    auto &ops = block_->operations();
+    for (auto it = ops.begin(); it != ops.end(); ++it) {
+        if (it->get() == op) {
+            point_ = it;
+            hasPoint_ = true;
+            return;
+        }
+    }
+    panic("setInsertionPoint: op not found in its parent block");
+}
+
+void
+OpBuilder::setInsertionPointAfter(Operation *op)
+{
+    setInsertionPoint(op);
+    ++point_;
+}
+
+void
+OpBuilder::clearInsertionPoint()
+{
+    block_ = nullptr;
+    hasPoint_ = false;
+}
+
+Operation *
+OpBuilder::create(const std::string &name, const std::vector<Value> &operands,
+                  const std::vector<Type> &resultTypes,
+                  const std::vector<std::pair<std::string, Attribute>> &attrs,
+                  unsigned numRegions)
+{
+    Operation *op = Operation::create(*ctx_, name, operands, resultTypes,
+                                      attrs, numRegions);
+    if (hasPoint_)
+        insert(op);
+    return op;
+}
+
+Operation *
+OpBuilder::insert(Operation *op)
+{
+    WSC_ASSERT(hasPoint_ && block_, "insert without insertion point");
+    if (point_ == block_->operations().end()) {
+        block_->push_back(op);
+    } else {
+        block_->insertBefore(point_->get(), op);
+    }
+    return op;
+}
+
+Block *
+OpBuilder::createBlock(Region &region)
+{
+    Block *block = region.addBlock();
+    setInsertionPointToEnd(block);
+    return block;
+}
+
+void
+replaceOp(Operation *op, const std::vector<Value> &newValues)
+{
+    WSC_ASSERT(op->numResults() == newValues.size(),
+               "replaceOp value count mismatch on " << op->name());
+    for (unsigned i = 0; i < op->numResults(); ++i)
+        op->result(i).replaceAllUsesWith(newValues[i]);
+    op->erase();
+}
+
+void
+eraseOp(Operation *op)
+{
+    op->erase();
+}
+
+} // namespace wsc::ir

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * OpBuilder: creates operations at a maintained insertion point.
+ */
+
+#ifndef WSC_IR_BUILDER_H
+#define WSC_IR_BUILDER_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ir/operation.h"
+
+namespace wsc::ir {
+
+class Context;
+
+/** Creates operations at an insertion point inside a block. */
+class OpBuilder
+{
+  public:
+    explicit OpBuilder(Context &ctx) : ctx_(&ctx) {}
+
+    Context &context() const { return *ctx_; }
+
+    /// @name Insertion point management
+    /// @{
+    void setInsertionPointToStart(Block *block);
+    void setInsertionPointToEnd(Block *block);
+    /** Insert before the given operation. */
+    void setInsertionPoint(Operation *op);
+    /** Insert after the given operation. */
+    void setInsertionPointAfter(Operation *op);
+    void clearInsertionPoint();
+    Block *insertionBlock() const { return block_; }
+    /// @}
+
+    /**
+     * Create an operation and insert it at the insertion point (when set).
+     * Returns the created op.
+     */
+    Operation *create(const std::string &name,
+                      const std::vector<Value> &operands = {},
+                      const std::vector<Type> &resultTypes = {},
+                      const std::vector<std::pair<std::string, Attribute>>
+                          &attrs = {},
+                      unsigned numRegions = 0);
+
+    /** Insert a detached op at the insertion point. */
+    Operation *insert(Operation *op);
+
+    /** Create a new block at the end of the region and move into it. */
+    Block *createBlock(Region &region);
+
+    /** RAII guard restoring the previous insertion point. */
+    class InsertionGuard
+    {
+      public:
+        explicit InsertionGuard(OpBuilder &b)
+            : builder_(b), block_(b.block_), point_(b.point_),
+              hasPoint_(b.hasPoint_)
+        {
+        }
+        ~InsertionGuard()
+        {
+            builder_.block_ = block_;
+            builder_.point_ = point_;
+            builder_.hasPoint_ = hasPoint_;
+        }
+        InsertionGuard(const InsertionGuard &) = delete;
+        InsertionGuard &operator=(const InsertionGuard &) = delete;
+
+      private:
+        OpBuilder &builder_;
+        Block *block_;
+        OpList::iterator point_;
+        bool hasPoint_;
+    };
+
+  private:
+    Context *ctx_;
+    Block *block_ = nullptr;
+    /** Insertion happens before this iterator (may be end()). */
+    OpList::iterator point_;
+    bool hasPoint_ = false;
+};
+
+/// @name Rewrite helpers
+/// @{
+/**
+ * Replace all uses of op's results with `newValues` (size must match) and
+ * erase the op.
+ */
+void replaceOp(Operation *op, const std::vector<Value> &newValues);
+
+/** Erase an op asserting its results are unused. */
+void eraseOp(Operation *op);
+/// @}
+
+} // namespace wsc::ir
+
+#endif // WSC_IR_BUILDER_H

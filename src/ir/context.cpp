@@ -1,0 +1,79 @@
+#include "ir/context.h"
+
+#include <sstream>
+
+#include "support/error.h"
+
+namespace wsc::ir {
+
+// Defined in attributes.cpp; serializes an AttrStorage into an interning key.
+std::string internalAttrKey(const AttrStorage &s);
+
+static std::string
+typeKey(const TypeStorage &s)
+{
+    std::ostringstream os;
+    os << s.kind << '\x01';
+    for (int64_t v : s.ints)
+        os << v << ',';
+    os << '\x01';
+    for (const TypeStorage *t : s.types)
+        os << t << ',';
+    os << '\x01';
+    for (const std::string &str : s.strs)
+        os << str << ',';
+    return os.str();
+}
+
+const TypeStorage *
+Context::uniqueType(const TypeStorage &proto)
+{
+    std::string key = typeKey(proto);
+    auto it = typePool_.find(key);
+    if (it != typePool_.end())
+        return it->second.get();
+    auto storage = std::make_unique<TypeStorage>(proto);
+    const TypeStorage *raw = storage.get();
+    typePool_.emplace(std::move(key), std::move(storage));
+    return raw;
+}
+
+const AttrStorage *
+Context::uniqueAttr(const AttrStorage &proto)
+{
+    std::string key = internalAttrKey(proto);
+    auto it = attrPool_.find(key);
+    if (it != attrPool_.end())
+        return it->second.get();
+    auto storage = std::make_unique<AttrStorage>(proto);
+    const AttrStorage *raw = storage.get();
+    attrPool_.emplace(std::move(key), std::move(storage));
+    return raw;
+}
+
+void
+Context::registerOp(const std::string &name, OpInfo info)
+{
+    opRegistry_[name] = std::move(info);
+}
+
+const OpInfo *
+Context::opInfo(const std::string &name) const
+{
+    auto it = opRegistry_.find(name);
+    return it == opRegistry_.end() ? nullptr : &it->second;
+}
+
+bool
+Context::isRegisteredOp(const std::string &name) const
+{
+    return opRegistry_.count(name) > 0;
+}
+
+bool
+Context::markDialectLoaded(const std::string &dialect)
+{
+    return loadedDialects_.insert(dialect).second;
+}
+
+} // namespace wsc::ir

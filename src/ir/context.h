@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The Context owns all uniqued IR objects (types, attributes) and the
+ * registry of known operations with their verification hooks.
+ */
+
+#ifndef WSC_IR_CONTEXT_H
+#define WSC_IR_CONTEXT_H
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "ir/attributes.h"
+#include "ir/types.h"
+
+namespace wsc::ir {
+
+class Operation;
+
+/** Static information registered for each operation name. */
+struct OpInfo
+{
+    /** Whether this op terminates a block. */
+    bool isTerminator = false;
+    /**
+     * Op-specific structural verifier. Returns an empty string on success
+     * or a diagnostic message on failure.
+     */
+    std::function<std::string(Operation *)> verify;
+};
+
+/**
+ * Owns uniqued types/attributes and the op registry. All IR built against
+ * a context must not outlive it.
+ */
+class Context
+{
+  public:
+    Context() = default;
+    Context(const Context &) = delete;
+    Context &operator=(const Context &) = delete;
+
+    /** Intern type storage; returns existing storage when already present. */
+    const TypeStorage *uniqueType(const TypeStorage &proto);
+    /** Intern attribute storage. */
+    const AttrStorage *uniqueAttr(const AttrStorage &proto);
+
+    /** Register an operation name with its static info. */
+    void registerOp(const std::string &name, OpInfo info);
+    /** Look up op info; returns nullptr for unregistered ops. */
+    const OpInfo *opInfo(const std::string &name) const;
+    /** Whether the op name has been registered by some dialect. */
+    bool isRegisteredOp(const std::string &name) const;
+
+    /** Record that a dialect has been loaded (idempotence guard). */
+    bool markDialectLoaded(const std::string &dialect);
+
+  private:
+    std::unordered_map<std::string, std::unique_ptr<TypeStorage>> typePool_;
+    std::unordered_map<std::string, std::unique_ptr<AttrStorage>> attrPool_;
+    std::map<std::string, OpInfo> opRegistry_;
+    std::set<std::string> loadedDialects_;
+};
+
+} // namespace wsc::ir
+
+#endif // WSC_IR_CONTEXT_H

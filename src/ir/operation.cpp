@@ -1,0 +1,580 @@
+#include "ir/operation.h"
+
+#include <algorithm>
+
+#include "ir/context.h"
+#include "ir/printer.h"
+#include "support/error.h"
+
+namespace wsc::ir {
+
+//===----------------------------------------------------------------------===
+// Value
+//===----------------------------------------------------------------------===
+
+Type
+Value::type() const
+{
+    WSC_ASSERT(impl_, "type() on null value");
+    return impl_->type;
+}
+
+void
+Value::setType(Type newType)
+{
+    WSC_ASSERT(impl_ && newType, "setType requires a valid value and type");
+    impl_->type = newType;
+}
+
+Operation *
+Value::definingOp() const
+{
+    WSC_ASSERT(impl_, "definingOp() on null value");
+    return impl_->definingOp;
+}
+
+Block *
+Value::ownerBlock() const
+{
+    WSC_ASSERT(impl_, "ownerBlock() on null value");
+    return impl_->ownerBlock;
+}
+
+bool
+Value::isBlockArgument() const
+{
+    WSC_ASSERT(impl_, "isBlockArgument() on null value");
+    return impl_->ownerBlock != nullptr;
+}
+
+unsigned
+Value::index() const
+{
+    WSC_ASSERT(impl_, "index() on null value");
+    return impl_->index;
+}
+
+std::vector<Operation *>
+Value::users() const
+{
+    WSC_ASSERT(impl_, "users() on null value");
+    std::vector<Operation *> unique;
+    for (Operation *user : impl_->users)
+        if (std::find(unique.begin(), unique.end(), user) == unique.end())
+            unique.push_back(user);
+    return unique;
+}
+
+bool
+Value::hasUses() const
+{
+    WSC_ASSERT(impl_, "hasUses() on null value");
+    return !impl_->users.empty();
+}
+
+size_t
+Value::numUses() const
+{
+    WSC_ASSERT(impl_, "numUses() on null value");
+    return impl_->users.size();
+}
+
+void
+Value::replaceAllUsesWith(Value other)
+{
+    WSC_ASSERT(impl_ && other, "replaceAllUsesWith requires valid values");
+    if (*this == other)
+        return;
+    // Users mutate as we go; snapshot first.
+    std::vector<Operation *> users = impl_->users;
+    for (Operation *user : users) {
+        for (unsigned i = 0, e = user->numOperands(); i < e; ++i)
+            if (user->operand(i) == *this)
+                user->setOperand(i, other);
+    }
+}
+
+//===----------------------------------------------------------------------===
+// Operation
+//===----------------------------------------------------------------------===
+
+Operation::Operation(Context &ctx, std::string name)
+    : ctx_(&ctx), name_(std::move(name))
+{
+}
+
+Operation *
+Operation::create(Context &ctx, const std::string &name,
+                  const std::vector<Value> &operands,
+                  const std::vector<Type> &resultTypes,
+                  const std::vector<std::pair<std::string, Attribute>> &attrs,
+                  unsigned numRegions)
+{
+    auto *op = new Operation(ctx, name);
+    for (Value v : operands) {
+        WSC_ASSERT(v, "null operand creating " << name);
+        op->appendOperand(v);
+    }
+    for (unsigned i = 0; i < resultTypes.size(); ++i) {
+        WSC_ASSERT(resultTypes[i], "null result type creating " << name);
+        auto impl = std::make_unique<ValueImpl>();
+        impl->type = resultTypes[i];
+        impl->definingOp = op;
+        impl->index = i;
+        op->results_.push_back(std::move(impl));
+    }
+    for (const auto &[key, value] : attrs)
+        op->setAttr(key, value);
+    for (unsigned i = 0; i < numRegions; ++i)
+        op->regions_.push_back(std::make_unique<Region>(op));
+    return op;
+}
+
+void
+Operation::destroy(Operation *op)
+{
+    WSC_ASSERT(op->parent_ == nullptr, "destroy() on attached op");
+    delete op;
+}
+
+Operation::~Operation()
+{
+    // Drop operand uses before anything else so producers see no dangling
+    // users. Nested regions are destroyed by the regions_ member afterward;
+    // their ops drop their own references in their destructors (inner ops
+    // are destroyed before the values they may use in enclosing scopes).
+    regions_.clear();
+    for (unsigned i = 0; i < operands_.size(); ++i)
+        removeUse(operands_[i]);
+    operands_.clear();
+    for (auto &result : results_)
+        WSC_ASSERT(result->users.empty(),
+                   "destroying op `" << name_ << "` with live result uses");
+}
+
+Value
+Operation::operand(unsigned i) const
+{
+    WSC_ASSERT(i < operands_.size(),
+               "operand index " << i << " out of range on " << name_);
+    return operands_[i];
+}
+
+void
+Operation::addUse(Value v)
+{
+    v.impl()->users.push_back(this);
+}
+
+void
+Operation::removeUse(Value v)
+{
+    auto &users = v.impl()->users;
+    auto it = std::find(users.begin(), users.end(), this);
+    WSC_ASSERT(it != users.end(), "use-list corruption on " << name_);
+    users.erase(it);
+}
+
+void
+Operation::setOperand(unsigned i, Value v)
+{
+    WSC_ASSERT(i < operands_.size(), "setOperand out of range on " << name_);
+    WSC_ASSERT(v, "setOperand with null value on " << name_);
+    removeUse(operands_[i]);
+    operands_[i] = v;
+    addUse(v);
+}
+
+void
+Operation::setOperands(const std::vector<Value> &values)
+{
+    for (Value v : operands_)
+        removeUse(v);
+    operands_.clear();
+    for (Value v : values)
+        appendOperand(v);
+}
+
+void
+Operation::appendOperand(Value v)
+{
+    WSC_ASSERT(v, "appendOperand with null value on " << name_);
+    operands_.push_back(v);
+    addUse(v);
+}
+
+void
+Operation::eraseOperand(unsigned i)
+{
+    WSC_ASSERT(i < operands_.size(),
+               "eraseOperand out of range on " << name_);
+    removeUse(operands_[i]);
+    operands_.erase(operands_.begin() + i);
+}
+
+void
+Operation::dropAllReferences()
+{
+    for (Value v : operands_)
+        removeUse(v);
+    operands_.clear();
+    for (auto &region : regions_)
+        for (Block *block : region->blocksVector())
+            for (Operation *op : block->opsVector())
+                op->dropAllReferences();
+}
+
+Value
+Operation::result(unsigned i) const
+{
+    WSC_ASSERT(i < results_.size(),
+               "result index " << i << " out of range on " << name_);
+    return Value(results_[i].get());
+}
+
+std::vector<Value>
+Operation::results() const
+{
+    std::vector<Value> out;
+    out.reserve(results_.size());
+    for (const auto &r : results_)
+        out.push_back(Value(r.get()));
+    return out;
+}
+
+bool
+Operation::hasResultUses() const
+{
+    for (const auto &r : results_)
+        if (!r->users.empty())
+            return true;
+    return false;
+}
+
+Attribute
+Operation::attr(const std::string &key) const
+{
+    auto it = attrs_.find(key);
+    return it == attrs_.end() ? Attribute() : it->second;
+}
+
+bool
+Operation::hasAttr(const std::string &key) const
+{
+    return attrs_.count(key) > 0;
+}
+
+void
+Operation::setAttr(const std::string &key, Attribute value)
+{
+    WSC_ASSERT(value, "setAttr(" << key << ") with null attribute");
+    attrs_[key] = value;
+}
+
+void
+Operation::removeAttr(const std::string &key)
+{
+    attrs_.erase(key);
+}
+
+int64_t
+Operation::intAttr(const std::string &key) const
+{
+    Attribute a = attr(key);
+    WSC_ASSERT(a, "missing int attribute `" << key << "` on " << name_);
+    return intAttrValue(a);
+}
+
+const std::string &
+Operation::strAttr(const std::string &key) const
+{
+    Attribute a = attr(key);
+    WSC_ASSERT(a, "missing string attribute `" << key << "` on " << name_);
+    return stringAttrValue(a);
+}
+
+Region &
+Operation::region(unsigned i) const
+{
+    WSC_ASSERT(i < regions_.size(),
+               "region index " << i << " out of range on " << name_);
+    return *regions_[i];
+}
+
+Operation *
+Operation::parentOp() const
+{
+    return parent_ ? parent_->parentOp() : nullptr;
+}
+
+Operation *
+Operation::parentOfName(const std::string &name) const
+{
+    for (auto *op = const_cast<Operation *>(this); op; op = op->parentOp())
+        if (op->name_ == name)
+            return op;
+    return nullptr;
+}
+
+void
+Operation::erase()
+{
+    WSC_ASSERT(parent_, "erase() on detached op " << name_);
+    WSC_ASSERT(!hasResultUses(),
+               "erase() on op `" << name_ << "` with live result uses");
+    Block *block = parent_;
+    parent_ = nullptr;
+    block->ops_.erase(self_); // Deletes this.
+}
+
+void
+Operation::removeFromParent()
+{
+    WSC_ASSERT(parent_, "removeFromParent() on detached op");
+    Block *block = parent_;
+    self_->release();
+    block->ops_.erase(self_);
+    parent_ = nullptr;
+}
+
+void
+Operation::moveBefore(Operation *other)
+{
+    WSC_ASSERT(other->parent_, "moveBefore target is detached");
+    removeFromParent();
+    other->parent_->insertBefore(other, this);
+}
+
+void
+Operation::moveToEnd(Block *block)
+{
+    removeFromParent();
+    block->push_back(this);
+}
+
+Operation *
+Operation::nextOp() const
+{
+    WSC_ASSERT(parent_, "nextOp() on detached op");
+    auto it = self_;
+    ++it;
+    return it == parent_->ops_.end() ? nullptr : it->get();
+}
+
+Operation *
+Operation::prevOp() const
+{
+    WSC_ASSERT(parent_, "prevOp() on detached op");
+    if (self_ == parent_->ops_.begin())
+        return nullptr;
+    auto it = self_;
+    --it;
+    return it->get();
+}
+
+void
+Operation::walk(const std::function<void(Operation *)> &fn)
+{
+    fn(this);
+    for (auto &region : regions_)
+        for (Block *block : region->blocksVector())
+            for (Operation *op : block->opsVector())
+                op->walk(fn);
+}
+
+bool
+Operation::isTerminator() const
+{
+    const OpInfo *info = ctx_->opInfo(name_);
+    return info && info->isTerminator;
+}
+
+std::string
+Operation::str() const
+{
+    return printOp(const_cast<Operation *>(this));
+}
+
+//===----------------------------------------------------------------------===
+// Block
+//===----------------------------------------------------------------------===
+
+Block::~Block()
+{
+    // Destroy ops from the back so that each op's operands (earlier ops'
+    // results or block arguments) are still alive when it unregisters its
+    // uses.
+    while (!ops_.empty())
+        ops_.pop_back();
+}
+
+Operation *
+Block::parentOp() const
+{
+    return parent_ ? parent_->parentOp() : nullptr;
+}
+
+Value
+Block::addArgument(Type type)
+{
+    WSC_ASSERT(type, "addArgument with null type");
+    auto impl = std::make_unique<ValueImpl>();
+    impl->type = type;
+    impl->ownerBlock = this;
+    impl->index = static_cast<unsigned>(args_.size());
+    Value v(impl.get());
+    args_.push_back(std::move(impl));
+    return v;
+}
+
+Value
+Block::argument(unsigned i) const
+{
+    WSC_ASSERT(i < args_.size(), "block argument index out of range");
+    return Value(args_[i].get());
+}
+
+std::vector<Value>
+Block::arguments() const
+{
+    std::vector<Value> out;
+    out.reserve(args_.size());
+    for (const auto &a : args_)
+        out.push_back(Value(a.get()));
+    return out;
+}
+
+void
+Block::eraseArgument(unsigned i)
+{
+    WSC_ASSERT(i < args_.size(), "eraseArgument index out of range");
+    WSC_ASSERT(args_[i]->users.empty(),
+               "eraseArgument on argument with live uses");
+    args_.erase(args_.begin() + i);
+    for (unsigned j = i; j < args_.size(); ++j)
+        args_[j]->index = j;
+}
+
+Operation *
+Block::terminator() const
+{
+    WSC_ASSERT(!ops_.empty(), "terminator() on empty block");
+    return ops_.back().get();
+}
+
+void
+Block::push_back(Operation *op)
+{
+    WSC_ASSERT(op->parent_ == nullptr, "push_back of attached op");
+    ops_.push_back(std::unique_ptr<Operation>(op));
+    op->parent_ = this;
+    op->self_ = std::prev(ops_.end());
+}
+
+void
+Block::insertBefore(Operation *before, Operation *op)
+{
+    WSC_ASSERT(before->parent_ == this,
+               "insertBefore anchor not in this block");
+    WSC_ASSERT(op->parent_ == nullptr, "insertBefore of attached op");
+    auto it = ops_.insert(before->self_, std::unique_ptr<Operation>(op));
+    op->parent_ = this;
+    op->self_ = it;
+}
+
+std::vector<Operation *>
+Block::opsVector() const
+{
+    std::vector<Operation *> out;
+    out.reserve(ops_.size());
+    for (const auto &op : ops_)
+        out.push_back(op.get());
+    return out;
+}
+
+//===----------------------------------------------------------------------===
+// Region
+//===----------------------------------------------------------------------===
+
+Block *
+Region::addBlock()
+{
+    auto block = std::make_unique<Block>();
+    block->parent_ = this;
+    Block *raw = block.get();
+    blocks_.push_back(std::move(block));
+    return raw;
+}
+
+std::vector<Block *>
+Region::blocksVector() const
+{
+    std::vector<Block *> out;
+    out.reserve(blocks_.size());
+    for (const auto &b : blocks_)
+        out.push_back(b.get());
+    return out;
+}
+
+void
+Region::takeBody(Region &other)
+{
+    for (auto &block : other.blocks_) {
+        block->parent_ = this;
+        blocks_.push_back(std::move(block));
+    }
+    other.blocks_.clear();
+}
+
+//===----------------------------------------------------------------------===
+// OwningOp
+//===----------------------------------------------------------------------===
+
+OwningOp &
+OwningOp::operator=(OwningOp &&other) noexcept
+{
+    if (this != &other) {
+        if (op_) {
+            op_->dropAllReferences();
+            Operation::destroy(op_);
+        }
+        op_ = other.op_;
+        other.op_ = nullptr;
+    }
+    return *this;
+}
+
+OwningOp::~OwningOp()
+{
+    if (op_) {
+        op_->dropAllReferences();
+        Operation::destroy(op_);
+    }
+}
+
+Operation *
+OwningOp::release()
+{
+    Operation *op = op_;
+    op_ = nullptr;
+    return op;
+}
+
+//===----------------------------------------------------------------------===
+// Symbol helpers
+//===----------------------------------------------------------------------===
+
+Operation *
+lookupSymbol(Operation *root, const std::string &name)
+{
+    WSC_ASSERT(root->numRegions() >= 1, "lookupSymbol on region-less op");
+    for (Block *block : root->region(0).blocksVector())
+        for (Operation *op : block->opsVector()) {
+            Attribute sym = op->attr("sym_name");
+            if (sym && isStringAttr(sym) && stringAttrValue(sym) == name)
+                return op;
+        }
+    return nullptr;
+}
+
+} // namespace wsc::ir

@@ -1,0 +1,332 @@
+/**
+ * @file
+ * The SSA graph: Value, Operation, Block and Region.
+ *
+ * Ownership mirrors MLIR: a Region is owned by its parent Operation, a
+ * Block by its parent Region, and an Operation by its parent Block.
+ * Results are owned by their defining Operation; block arguments by their
+ * Block. Use-def chains are maintained through Operation's operand
+ * mutators, so all operand changes must go through those.
+ */
+
+#ifndef WSC_IR_OPERATION_H
+#define WSC_IR_OPERATION_H
+
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/attributes.h"
+#include "ir/types.h"
+
+namespace wsc::ir {
+
+class Operation;
+class Block;
+class Region;
+class Context;
+
+/** Storage behind a Value: either an op result or a block argument. */
+struct ValueImpl
+{
+    Type type;
+    /** Defining op for results; nullptr for block arguments. */
+    Operation *definingOp = nullptr;
+    /** Owning block for block arguments; nullptr for results. */
+    Block *ownerBlock = nullptr;
+    /** Result index or argument index. */
+    unsigned index = 0;
+    /** One entry per use; an op using the value twice appears twice. */
+    std::vector<Operation *> users;
+};
+
+/** Value-semantics handle to an SSA value. */
+class Value
+{
+  public:
+    Value() = default;
+    explicit Value(ValueImpl *impl) : impl_(impl) {}
+
+    explicit operator bool() const { return impl_ != nullptr; }
+    bool operator==(const Value &other) const = default;
+
+    Type type() const;
+    /**
+     * In-place type replacement, used by type-conversion passes (e.g.
+     * tensorize-z, bufferization). The caller is responsible for
+     * re-verifying the IR afterwards.
+     */
+    void setType(Type newType);
+    /** The op defining this value, or nullptr for block arguments. */
+    Operation *definingOp() const;
+    /** Owning block for block arguments, else nullptr. */
+    Block *ownerBlock() const;
+    bool isBlockArgument() const;
+    unsigned index() const;
+
+    /** Unique users of the value. */
+    std::vector<Operation *> users() const;
+    bool hasUses() const;
+    size_t numUses() const;
+
+    /** Rewrite every use of this value to use `other` instead. */
+    void replaceAllUsesWith(Value other);
+
+    ValueImpl *impl() const { return impl_; }
+
+  private:
+    ValueImpl *impl_ = nullptr;
+};
+
+/** Ordered list of owned operations; iterators are stable. */
+using OpList = std::list<std::unique_ptr<Operation>>;
+
+/**
+ * A generic, dialect-agnostic operation. Typed op wrappers in the dialect
+ * headers provide named accessors on top of this representation.
+ */
+class Operation
+{
+  public:
+    /**
+     * Create a detached operation. The caller (usually OpBuilder) is
+     * responsible for inserting it into a block or destroying it.
+     */
+    static Operation *create(Context &ctx, const std::string &name,
+                             const std::vector<Value> &operands,
+                             const std::vector<Type> &resultTypes,
+                             const std::vector<std::pair<std::string,
+                                                         Attribute>> &attrs,
+                             unsigned numRegions);
+
+    /** Destroy a detached operation (and its nested regions). */
+    static void destroy(Operation *op);
+
+    ~Operation();
+    Operation(const Operation &) = delete;
+    Operation &operator=(const Operation &) = delete;
+
+    const std::string &name() const { return name_; }
+    Context &context() const { return *ctx_; }
+
+    /// @name Operands
+    /// @{
+    unsigned numOperands() const { return operands_.size(); }
+    Value operand(unsigned i) const;
+    const std::vector<Value> &operands() const { return operands_; }
+    void setOperand(unsigned i, Value v);
+    void setOperands(const std::vector<Value> &values);
+    void appendOperand(Value v);
+    void eraseOperand(unsigned i);
+    /** Drop all operand uses (used before bulk deletion). */
+    void dropAllReferences();
+    /// @}
+
+    /// @name Results
+    /// @{
+    unsigned numResults() const { return results_.size(); }
+    Value result(unsigned i = 0) const;
+    std::vector<Value> results() const;
+    bool hasResultUses() const;
+    /// @}
+
+    /// @name Attributes
+    /// @{
+    Attribute attr(const std::string &key) const;
+    bool hasAttr(const std::string &key) const;
+    void setAttr(const std::string &key, Attribute value);
+    void removeAttr(const std::string &key);
+    const std::map<std::string, Attribute> &attrs() const { return attrs_; }
+
+    /** Required int attribute; panics when missing or mistyped. */
+    int64_t intAttr(const std::string &key) const;
+    /** Required string attribute. */
+    const std::string &strAttr(const std::string &key) const;
+    /// @}
+
+    /// @name Regions
+    /// @{
+    unsigned numRegions() const { return regions_.size(); }
+    Region &region(unsigned i) const;
+    /// @}
+
+    /// @name Position in the IR
+    /// @{
+    Block *parentBlock() const { return parent_; }
+    Operation *parentOp() const;
+    /** Nearest enclosing op with the given name (may be this op). */
+    Operation *parentOfName(const std::string &name) const;
+
+    /** Unlink from the parent block and destroy. Results must be unused. */
+    void erase();
+    /** Unlink from the parent block without destroying. */
+    void removeFromParent();
+    /** Move this op immediately before `other` (possibly across blocks). */
+    void moveBefore(Operation *other);
+    /** Move this op to the end of `block`. */
+    void moveToEnd(Block *block);
+    /** Next op in the parent block, or nullptr. */
+    Operation *nextOp() const;
+    /** Previous op in the parent block, or nullptr. */
+    Operation *prevOp() const;
+    /// @}
+
+    /**
+     * Visit this op and all nested ops pre-order. The callback must not
+     * mutate the structure being walked; collect first when mutating.
+     */
+    void walk(const std::function<void(Operation *)> &fn);
+
+    /** True when registered as a terminator. */
+    bool isTerminator() const;
+
+    /** Render in generic MLIR syntax (delegates to the printer). */
+    std::string str() const;
+
+  private:
+    friend class Block;
+
+    Operation(Context &ctx, std::string name);
+
+    Context *ctx_;
+    std::string name_;
+    std::vector<Value> operands_;
+    std::vector<std::unique_ptr<ValueImpl>> results_;
+    std::map<std::string, Attribute> attrs_;
+    std::vector<std::unique_ptr<Region>> regions_;
+    Block *parent_ = nullptr;
+    /** Position within the parent block's op list (valid when attached). */
+    OpList::iterator self_;
+
+    void removeUse(Value v);
+    void addUse(Value v);
+};
+
+/** A straight-line sequence of operations with block arguments. */
+class Block
+{
+  public:
+    Block() = default;
+    ~Block();
+    Block(const Block &) = delete;
+    Block &operator=(const Block &) = delete;
+
+    Region *parentRegion() const { return parent_; }
+    Operation *parentOp() const;
+
+    /// @name Arguments
+    /// @{
+    Value addArgument(Type type);
+    Value argument(unsigned i) const;
+    unsigned numArguments() const { return args_.size(); }
+    std::vector<Value> arguments() const;
+    void eraseArgument(unsigned i);
+    /// @}
+
+    /// @name Operations
+    /// @{
+    OpList &operations() { return ops_; }
+    const OpList &operations() const { return ops_; }
+    bool empty() const { return ops_.empty(); }
+    size_t size() const { return ops_.size(); }
+    Operation &front() const { return *ops_.front(); }
+    Operation &back() const { return *ops_.back(); }
+    /** The trailing terminator op; panics when the block is empty. */
+    Operation *terminator() const;
+
+    /** Append a detached op. */
+    void push_back(Operation *op);
+    /** Insert a detached op before `before` (must be in this block). */
+    void insertBefore(Operation *before, Operation *op);
+    /// @}
+
+    /** Ops in order as raw pointers (safe to mutate the block afterward). */
+    std::vector<Operation *> opsVector() const;
+
+  private:
+    friend class Operation;
+    friend class Region;
+
+    Region *parent_ = nullptr;
+    // args_ must outlive ops_ during destruction (ops may use them), so it
+    // is declared first (members destruct in reverse declaration order).
+    std::vector<std::unique_ptr<ValueImpl>> args_;
+    OpList ops_;
+};
+
+/** A list of blocks owned by an operation. */
+class Region
+{
+  public:
+    explicit Region(Operation *parent) : parent_(parent) {}
+    Region(const Region &) = delete;
+    Region &operator=(const Region &) = delete;
+
+    Operation *parentOp() const { return parent_; }
+
+    bool empty() const { return blocks_.empty(); }
+    size_t size() const { return blocks_.size(); }
+    Block &front() const { return *blocks_.front(); }
+    Block &back() const { return *blocks_.back(); }
+    std::list<std::unique_ptr<Block>> &blocks() { return blocks_; }
+    const std::list<std::unique_ptr<Block>> &blocks() const
+    {
+        return blocks_;
+    }
+
+    /** Append a new empty block and return it. */
+    Block *addBlock();
+    /** Blocks in order as raw pointers. */
+    std::vector<Block *> blocksVector() const;
+
+    /**
+     * Move all blocks of `other` into this region (appended), leaving
+     * `other` empty.
+     */
+    void takeBody(Region &other);
+
+  private:
+    Operation *parent_;
+    std::list<std::unique_ptr<Block>> blocks_;
+};
+
+/**
+ * RAII owner for a top-level (detached) operation, typically the
+ * builtin.module produced by a frontend.
+ */
+class OwningOp
+{
+  public:
+    OwningOp() = default;
+    explicit OwningOp(Operation *op) : op_(op) {}
+    OwningOp(OwningOp &&other) noexcept : op_(other.op_)
+    {
+        other.op_ = nullptr;
+    }
+    OwningOp &operator=(OwningOp &&other) noexcept;
+    ~OwningOp();
+    OwningOp(const OwningOp &) = delete;
+    OwningOp &operator=(const OwningOp &) = delete;
+
+    Operation *get() const { return op_; }
+    Operation *operator->() const { return op_; }
+    Operation &operator*() const { return *op_; }
+    explicit operator bool() const { return op_ != nullptr; }
+    Operation *release();
+
+  private:
+    Operation *op_ = nullptr;
+};
+
+/// @name Symbol-table helpers
+/// @{
+/** Find the op inside `root`'s first region with sym_name == name. */
+Operation *lookupSymbol(Operation *root, const std::string &name);
+/// @}
+
+} // namespace wsc::ir
+
+#endif // WSC_IR_OPERATION_H

@@ -1,0 +1,53 @@
+#include "ir/pass.h"
+
+#include "ir/operation.h"
+#include "ir/verifier.h"
+#include "support/error.h"
+
+namespace wsc::ir {
+
+void
+PassManager::addPass(std::unique_ptr<Pass> pass)
+{
+    passes_.push_back(std::move(pass));
+}
+
+void
+PassManager::addPass(const std::string &name,
+                     std::function<void(Operation *)> fn)
+{
+    passes_.push_back(std::make_unique<FunctionPass>(name, std::move(fn)));
+}
+
+void
+PassManager::run(Operation *module)
+{
+    for (const auto &pass : passes_) {
+        try {
+            pass->run(module);
+        } catch (const FatalError &e) {
+            fatal("pass '" + pass->name() + "' failed: " + e.what());
+        }
+        if (verifyEach_) {
+            std::vector<std::string> errors = verifyCollect(module);
+            if (!errors.empty()) {
+                std::string msg = "IR invalid after pass '" + pass->name() +
+                                  "':";
+                for (const std::string &e : errors)
+                    msg += "\n  - " + e;
+                fatal(msg);
+            }
+        }
+        if (afterPass_)
+            afterPass_(*pass, module);
+    }
+}
+
+void
+PassManager::setAfterPassHook(
+    std::function<void(const Pass &, Operation *)> hook)
+{
+    afterPass_ = std::move(hook);
+}
+
+} // namespace wsc::ir

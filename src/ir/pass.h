@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Pass and PassManager: staged pipelines over a module op, optionally
+ * verifying the IR after every pass (the paper's pipeline relies on
+ * incremental lowering with verified intermediate states).
+ */
+
+#ifndef WSC_IR_PASS_H
+#define WSC_IR_PASS_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace wsc::ir {
+
+class Context;
+class Operation;
+
+/** A transformation applied to a module op. */
+class Pass
+{
+  public:
+    explicit Pass(std::string name) : name_(std::move(name)) {}
+    virtual ~Pass() = default;
+
+    const std::string &name() const { return name_; }
+
+    /** Run on the (module) op. Throws on unrecoverable errors. */
+    virtual void run(Operation *module) = 0;
+
+  private:
+    std::string name_;
+};
+
+/** A pass defined by a plain function. */
+class FunctionPass : public Pass
+{
+  public:
+    FunctionPass(std::string name, std::function<void(Operation *)> fn)
+        : Pass(std::move(name)), fn_(std::move(fn))
+    {
+    }
+
+    void run(Operation *module) override { fn_(module); }
+
+  private:
+    std::function<void(Operation *)> fn_;
+};
+
+/** Runs a sequence of passes, verifying between stages. */
+class PassManager
+{
+  public:
+    explicit PassManager(bool verifyEach = true) : verifyEach_(verifyEach) {}
+
+    void addPass(std::unique_ptr<Pass> pass);
+    void addPass(const std::string &name,
+                 std::function<void(Operation *)> fn);
+
+    /** Run all passes in order on the module. */
+    void run(Operation *module);
+
+    size_t size() const { return passes_.size(); }
+    const Pass &pass(size_t i) const { return *passes_[i]; }
+
+    /** Install a callback invoked after each pass (e.g. for IR dumps). */
+    void setAfterPassHook(
+        std::function<void(const Pass &, Operation *)> hook);
+
+  private:
+    std::vector<std::unique_ptr<Pass>> passes_;
+    bool verifyEach_;
+    std::function<void(const Pass &, Operation *)> afterPass_;
+};
+
+} // namespace wsc::ir
+
+#endif // WSC_IR_PASS_H

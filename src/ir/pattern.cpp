@@ -1,0 +1,54 @@
+#include "ir/pattern.h"
+
+#include "ir/context.h"
+#include "support/error.h"
+
+namespace wsc::ir {
+
+namespace {
+
+/** Collect all ops strictly below root, pre-order. */
+void
+collect(Operation *root, std::vector<Operation *> &out)
+{
+    for (unsigned r = 0; r < root->numRegions(); ++r)
+        for (Block *block : root->region(r).blocksVector())
+            for (Operation *op : block->opsVector()) {
+                out.push_back(op);
+                collect(op, out);
+            }
+}
+
+} // namespace
+
+bool
+applyPatternsGreedily(Operation *root,
+                      const std::vector<NamedPattern> &patterns,
+                      int maxIterations)
+{
+    OpBuilder builder(root->context());
+    bool anyChange = false;
+    for (int iter = 0; iter < maxIterations; ++iter) {
+        bool changed = false;
+        std::vector<Operation *> ops;
+        collect(root, ops);
+        for (Operation *op : ops) {
+            for (const NamedPattern &pattern : patterns) {
+                builder.setInsertionPoint(op);
+                if (pattern.apply(op, builder)) {
+                    changed = true;
+                    break; // Op may be gone; rescan from a fresh worklist.
+                }
+            }
+            if (changed)
+                break;
+        }
+        if (!changed)
+            return anyChange;
+        anyChange = true;
+    }
+    panic("applyPatternsGreedily did not converge after " +
+          std::to_string(maxIterations) + " iterations");
+}
+
+} // namespace wsc::ir

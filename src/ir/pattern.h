@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Greedy rewrite-pattern driver. Patterns are callables that inspect an op
+ * and either rewrite it (returning true) or leave it alone (false). The
+ * driver re-scans until a fixpoint is reached.
+ */
+
+#ifndef WSC_IR_PATTERN_H
+#define WSC_IR_PATTERN_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/builder.h"
+
+namespace wsc::ir {
+
+/**
+ * A rewrite pattern. The builder is positioned immediately before `op`.
+ * Returns true when the IR was changed. A pattern that erases or replaces
+ * `op` must not touch it afterwards.
+ */
+using RewritePattern = std::function<bool(Operation *op, OpBuilder &b)>;
+
+/** A named pattern, for diagnostics. */
+struct NamedPattern
+{
+    std::string name;
+    RewritePattern apply;
+};
+
+/**
+ * Apply patterns to all ops under `root` (exclusive of root itself) until
+ * no pattern applies. Returns true when any change was made. Throws when
+ * `maxIterations` rescans do not converge (a looping pattern).
+ */
+bool applyPatternsGreedily(Operation *root,
+                           const std::vector<NamedPattern> &patterns,
+                           int maxIterations = 100000);
+
+} // namespace wsc::ir
+
+#endif // WSC_IR_PATTERN_H

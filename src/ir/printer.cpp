@@ -1,0 +1,118 @@
+#include "ir/printer.h"
+
+#include <map>
+#include <sstream>
+
+#include "ir/operation.h"
+#include "support/error.h"
+
+namespace wsc::ir {
+
+namespace {
+
+/** Assigns stable %N / %argN names while printing a tree of ops. */
+class PrintState
+{
+  public:
+    std::string
+    nameOf(Value v)
+    {
+        auto it = names_.find(v.impl());
+        if (it != names_.end())
+            return it->second;
+        std::string name = v.isBlockArgument()
+                               ? "%arg" + std::to_string(nextArg_++)
+                               : "%" + std::to_string(nextResult_++);
+        names_.emplace(v.impl(), name);
+        return name;
+    }
+
+    void print(Operation *op, std::ostream &os, unsigned indent);
+
+  private:
+    std::map<ValueImpl *, std::string> names_;
+    unsigned nextResult_ = 0;
+    unsigned nextArg_ = 0;
+};
+
+void
+PrintState::print(Operation *op, std::ostream &os, unsigned indent)
+{
+    std::string pad(indent, ' ');
+    os << pad;
+    if (op->numResults() > 0) {
+        for (unsigned i = 0; i < op->numResults(); ++i)
+            os << (i ? ", " : "") << nameOf(op->result(i));
+        os << " = ";
+    }
+    os << "\"" << op->name() << "\"(";
+    for (unsigned i = 0; i < op->numOperands(); ++i)
+        os << (i ? ", " : "") << nameOf(op->operand(i));
+    os << ")";
+
+    if (!op->attrs().empty()) {
+        os << " {";
+        bool first = true;
+        for (const auto &[key, value] : op->attrs()) {
+            os << (first ? "" : ", ") << key << " = " << value.str();
+            first = false;
+        }
+        os << "}";
+    }
+
+    if (op->numRegions() > 0) {
+        os << " (";
+        for (unsigned r = 0; r < op->numRegions(); ++r) {
+            if (r)
+                os << ", ";
+            os << "{\n";
+            for (Block *block : op->region(r).blocksVector()) {
+                os << pad << "^bb";
+                if (block->numArguments() > 0) {
+                    os << "(";
+                    for (unsigned i = 0; i < block->numArguments(); ++i) {
+                        Value arg = block->argument(i);
+                        os << (i ? ", " : "") << nameOf(arg) << ": "
+                           << arg.type().str();
+                    }
+                    os << ")";
+                }
+                os << ":\n";
+                for (Operation *inner : block->opsVector()) {
+                    print(inner, os, indent + 2);
+                    os << "\n";
+                }
+            }
+            os << pad << "}";
+        }
+        os << ")";
+    }
+
+    os << " : (";
+    for (unsigned i = 0; i < op->numOperands(); ++i)
+        os << (i ? ", " : "") << op->operand(i).type().str();
+    os << ") -> (";
+    for (unsigned i = 0; i < op->numResults(); ++i)
+        os << (i ? ", " : "") << op->result(i).type().str();
+    os << ")";
+}
+
+} // namespace
+
+void
+printOp(Operation *op, std::ostream &os)
+{
+    PrintState state;
+    state.print(op, os, 0);
+    os << "\n";
+}
+
+std::string
+printOp(Operation *op)
+{
+    std::ostringstream os;
+    printOp(op, os);
+    return os.str();
+}
+
+} // namespace wsc::ir

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Textual printer producing MLIR generic-syntax output. Used for debugging
+ * and for structural assertions in tests.
+ */
+
+#ifndef WSC_IR_PRINTER_H
+#define WSC_IR_PRINTER_H
+
+#include <ostream>
+#include <string>
+
+namespace wsc::ir {
+
+class Operation;
+
+/** Print `op` (recursively) to the stream in generic MLIR syntax. */
+void printOp(Operation *op, std::ostream &os);
+
+/** Print `op` to a string. */
+std::string printOp(Operation *op);
+
+} // namespace wsc::ir
+
+#endif // WSC_IR_PRINTER_H

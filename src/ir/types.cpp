@@ -1,0 +1,270 @@
+#include "ir/types.h"
+
+#include <sstream>
+
+#include "ir/context.h"
+#include "support/error.h"
+
+namespace wsc::ir {
+
+const std::string &
+Type::kind() const
+{
+    WSC_ASSERT(impl_, "kind() on null type");
+    return impl_->kind;
+}
+
+std::string
+Type::str() const
+{
+    if (!impl_)
+        return "<<null-type>>";
+    const TypeStorage &s = *impl_;
+    // Builtin scalar kinds print as their kind name.
+    if (s.kind == "f16" || s.kind == "f32" || s.kind == "f64" ||
+        s.kind == "index")
+        return s.kind;
+    if (s.kind == "int")
+        return "i" + std::to_string(s.ints[0]);
+    std::ostringstream os;
+    if (s.kind == "tensor" || s.kind == "memref") {
+        os << s.kind << "<";
+        for (int64_t d : s.ints) {
+            if (d == kDynamic)
+                os << "?x";
+            else
+                os << d << "x";
+        }
+        os << Type(s.types[0]).str() << ">";
+        return os.str();
+    }
+    if (s.kind == "function") {
+        size_t n_inputs = s.ints[0];
+        os << "(";
+        for (size_t i = 0; i < n_inputs; ++i)
+            os << (i ? ", " : "") << Type(s.types[i]).str();
+        os << ") -> (";
+        for (size_t i = n_inputs; i < s.types.size(); ++i)
+            os << (i != n_inputs ? ", " : "") << Type(s.types[i]).str();
+        os << ")";
+        return os.str();
+    }
+    // Dialect types: !kind<ints | types | strs>.
+    os << "!" << s.kind;
+    if (s.ints.empty() && s.types.empty() && s.strs.empty())
+        return os.str();
+    os << "<";
+    bool first = true;
+    for (int64_t v : s.ints) {
+        os << (first ? "" : ",") << v;
+        first = false;
+    }
+    for (const TypeStorage *t : s.types) {
+        os << (first ? "" : ",") << Type(t).str();
+        first = false;
+    }
+    for (const std::string &str : s.strs) {
+        os << (first ? "" : ",") << str;
+        first = false;
+    }
+    os << ">";
+    return os.str();
+}
+
+Type
+getType(Context &ctx, const std::string &kind,
+        const std::vector<int64_t> &ints, const std::vector<Type> &types,
+        const std::vector<std::string> &strs)
+{
+    TypeStorage proto;
+    proto.kind = kind;
+    proto.ints = ints;
+    for (Type t : types) {
+        WSC_ASSERT(t, "null nested type in getType(" << kind << ")");
+        proto.types.push_back(t.impl());
+    }
+    proto.strs = strs;
+    return Type(ctx.uniqueType(proto));
+}
+
+Type
+getF16Type(Context &ctx)
+{
+    return getType(ctx, "f16");
+}
+
+Type
+getF32Type(Context &ctx)
+{
+    return getType(ctx, "f32");
+}
+
+Type
+getF64Type(Context &ctx)
+{
+    return getType(ctx, "f64");
+}
+
+Type
+getIntegerType(Context &ctx, unsigned width)
+{
+    return getType(ctx, "int", {static_cast<int64_t>(width)});
+}
+
+Type
+getI1Type(Context &ctx)
+{
+    return getIntegerType(ctx, 1);
+}
+
+Type
+getI16Type(Context &ctx)
+{
+    return getIntegerType(ctx, 16);
+}
+
+Type
+getI32Type(Context &ctx)
+{
+    return getIntegerType(ctx, 32);
+}
+
+Type
+getIndexType(Context &ctx)
+{
+    return getType(ctx, "index");
+}
+
+Type
+getFunctionType(Context &ctx, const std::vector<Type> &inputs,
+                const std::vector<Type> &results)
+{
+    std::vector<Type> all = inputs;
+    all.insert(all.end(), results.begin(), results.end());
+    return getType(ctx, "function",
+                   {static_cast<int64_t>(inputs.size())}, all);
+}
+
+Type
+getTensorType(Context &ctx, const std::vector<int64_t> &shape,
+              Type elementType)
+{
+    return getType(ctx, "tensor", shape, {elementType});
+}
+
+Type
+getMemRefType(Context &ctx, const std::vector<int64_t> &shape,
+              Type elementType)
+{
+    return getType(ctx, "memref", shape, {elementType});
+}
+
+bool
+isFloat(Type t)
+{
+    if (!t)
+        return false;
+    const std::string &k = t.kind();
+    return k == "f16" || k == "f32" || k == "f64";
+}
+
+bool
+isInteger(Type t)
+{
+    return t && t.kind() == "int";
+}
+
+bool
+isIndex(Type t)
+{
+    return t && t.kind() == "index";
+}
+
+bool
+isFunction(Type t)
+{
+    return t && t.kind() == "function";
+}
+
+bool
+isTensor(Type t)
+{
+    return t && t.kind() == "tensor";
+}
+
+bool
+isMemRef(Type t)
+{
+    return t && t.kind() == "memref";
+}
+
+bool
+isShaped(Type t)
+{
+    return isTensor(t) || isMemRef(t);
+}
+
+unsigned
+bitWidth(Type t)
+{
+    WSC_ASSERT(t, "bitWidth of null type");
+    const std::string &k = t.kind();
+    if (k == "f16")
+        return 16;
+    if (k == "f32")
+        return 32;
+    if (k == "f64")
+        return 64;
+    if (k == "int")
+        return static_cast<unsigned>(t.impl()->ints[0]);
+    panic("bitWidth: unsupported type " + t.str());
+}
+
+const std::vector<int64_t> &
+shapeOf(Type t)
+{
+    WSC_ASSERT(isShaped(t), "shapeOf on non-shaped type " << t.str());
+    return t.impl()->ints;
+}
+
+Type
+elementTypeOf(Type t)
+{
+    WSC_ASSERT(isShaped(t), "elementTypeOf on non-shaped type " << t.str());
+    return Type(t.impl()->types[0]);
+}
+
+int64_t
+numElementsOf(Type t)
+{
+    int64_t n = 1;
+    for (int64_t d : shapeOf(t)) {
+        WSC_ASSERT(d != kDynamic, "numElementsOf on dynamic shape");
+        n *= d;
+    }
+    return n;
+}
+
+std::vector<Type>
+functionInputs(Type t)
+{
+    WSC_ASSERT(isFunction(t), "functionInputs on non-function type");
+    const TypeStorage &s = *t.impl();
+    std::vector<Type> out;
+    for (size_t i = 0; i < static_cast<size_t>(s.ints[0]); ++i)
+        out.push_back(Type(s.types[i]));
+    return out;
+}
+
+std::vector<Type>
+functionResults(Type t)
+{
+    WSC_ASSERT(isFunction(t), "functionResults on non-function type");
+    const TypeStorage &s = *t.impl();
+    std::vector<Type> out;
+    for (size_t i = static_cast<size_t>(s.ints[0]); i < s.types.size(); ++i)
+        out.push_back(Type(s.types[i]));
+    return out;
+}
+
+} // namespace wsc::ir

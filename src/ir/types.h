@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Uniqued, immutable IR types.
+ *
+ * Types follow the MLIR model: a Type is a value-semantics handle onto
+ * storage uniqued inside the Context, so two structurally equal types
+ * compare equal by pointer. Storage is generic (a kind name plus integer,
+ * type and string parameter lists); each dialect provides typed helper
+ * functions on top rather than bespoke storage classes.
+ */
+
+#ifndef WSC_IR_TYPES_H
+#define WSC_IR_TYPES_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wsc::ir {
+
+class Context;
+
+/** Generic uniqued storage for a type. */
+struct TypeStorage
+{
+    /** Kind discriminator, e.g. "f32", "tensor", "stencil.temp". */
+    std::string kind;
+    /** Integer parameters (shapes, bounds, bit widths). */
+    std::vector<int64_t> ints;
+    /** Nested type parameters (element types, function signatures). */
+    std::vector<const TypeStorage *> types;
+    /** String parameters (e.g. DSD kind). */
+    std::vector<std::string> strs;
+};
+
+/** Value-semantics handle to uniqued type storage. */
+class Type
+{
+  public:
+    Type() = default;
+    explicit Type(const TypeStorage *impl) : impl_(impl) {}
+
+    explicit operator bool() const { return impl_ != nullptr; }
+    bool operator==(const Type &other) const = default;
+
+    const std::string &kind() const;
+    const TypeStorage *impl() const { return impl_; }
+
+    /** Render this type in MLIR-like syntax (e.g. "tensor<510xf32>"). */
+    std::string str() const;
+
+  private:
+    const TypeStorage *impl_ = nullptr;
+};
+
+/// @name Builtin type constructors
+/// @{
+Type getF16Type(Context &ctx);
+Type getF32Type(Context &ctx);
+Type getF64Type(Context &ctx);
+Type getIntegerType(Context &ctx, unsigned width);
+Type getI1Type(Context &ctx);
+Type getI16Type(Context &ctx);
+Type getI32Type(Context &ctx);
+Type getIndexType(Context &ctx);
+
+/** Function type: (inputs...) -> (results...). */
+Type getFunctionType(Context &ctx, const std::vector<Type> &inputs,
+                     const std::vector<Type> &results);
+
+/** Ranked tensor type. A dimension of kDynamic means `?`. */
+Type getTensorType(Context &ctx, const std::vector<int64_t> &shape,
+                   Type elementType);
+
+/** Ranked memref type. */
+Type getMemRefType(Context &ctx, const std::vector<int64_t> &shape,
+                   Type elementType);
+/// @}
+
+/** Marker for a dynamic dimension in tensor/memref shapes. */
+inline constexpr int64_t kDynamic = INT64_MIN;
+
+/// @name Builtin type inspectors
+/// @{
+bool isFloat(Type t);
+bool isInteger(Type t);
+bool isIndex(Type t);
+bool isFunction(Type t);
+bool isTensor(Type t);
+bool isMemRef(Type t);
+/** True for tensor or memref. */
+bool isShaped(Type t);
+
+/** Bit width of a float or integer type. */
+unsigned bitWidth(Type t);
+
+/** Shape of a tensor/memref type. */
+const std::vector<int64_t> &shapeOf(Type t);
+/** Element type of a tensor/memref type. */
+Type elementTypeOf(Type t);
+/** Total element count of a static shaped type. */
+int64_t numElementsOf(Type t);
+
+/** Inputs of a function type. */
+std::vector<Type> functionInputs(Type t);
+/** Results of a function type. */
+std::vector<Type> functionResults(Type t);
+/// @}
+
+/**
+ * Generic constructor used by dialects to build their own uniqued types.
+ * The (kind, ints, types, strs) tuple is the identity of the type.
+ */
+Type getType(Context &ctx, const std::string &kind,
+             const std::vector<int64_t> &ints = {},
+             const std::vector<Type> &types = {},
+             const std::vector<std::string> &strs = {});
+
+} // namespace wsc::ir
+
+#endif // WSC_IR_TYPES_H

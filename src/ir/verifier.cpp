@@ -1,0 +1,121 @@
+#include "ir/verifier.h"
+
+#include <set>
+#include <sstream>
+
+#include "ir/context.h"
+#include "ir/operation.h"
+#include "support/error.h"
+
+namespace wsc::ir {
+
+namespace {
+
+/** Walks the IR accumulating diagnostics. */
+class Verifier
+{
+  public:
+    explicit Verifier(std::vector<std::string> &errors) : errors_(errors) {}
+
+    void
+    error(Operation *op, const std::string &msg)
+    {
+        errors_.push_back("'" + op->name() + "': " + msg);
+    }
+
+    /**
+     * Verify `op`, with `visible` holding the set of values defined in
+     * enclosing scopes (dominating this op).
+     */
+    void
+    verifyOp(Operation *op, std::set<ValueImpl *> &visible)
+    {
+        // Operand visibility (SSA dominance in structured IR).
+        for (unsigned i = 0; i < op->numOperands(); ++i) {
+            Value v = op->operand(i);
+            if (!visible.count(v.impl())) {
+                error(op, "operand #" + std::to_string(i) +
+                              " is not visible at its use (SSA violation)");
+            }
+        }
+        // Parent links of regions/blocks.
+        for (unsigned r = 0; r < op->numRegions(); ++r) {
+            Region &region = op->region(r);
+            if (region.parentOp() != op)
+                error(op, "region parent link corrupted");
+            for (Block *block : region.blocksVector()) {
+                if (block->parentRegion() != &region)
+                    error(op, "block parent link corrupted");
+                verifyBlock(block, visible);
+            }
+        }
+        // Registered per-op invariants.
+        const OpInfo *info = op->context().opInfo(op->name());
+        if (info && info->verify) {
+            std::string msg = info->verify(op);
+            if (!msg.empty())
+                error(op, msg);
+        }
+    }
+
+    void
+    verifyBlock(Block *block, std::set<ValueImpl *> &visible)
+    {
+        std::vector<ValueImpl *> introduced;
+        for (unsigned i = 0; i < block->numArguments(); ++i) {
+            visible.insert(block->argument(i).impl());
+            introduced.push_back(block->argument(i).impl());
+        }
+        std::vector<Operation *> ops = block->opsVector();
+        for (size_t i = 0; i < ops.size(); ++i) {
+            Operation *op = ops[i];
+            if (op->parentBlock() != block)
+                error(op, "op parent link corrupted");
+            if (op->isTerminator() && i + 1 != ops.size())
+                error(op, "terminator is not the last op in its block");
+            verifyOp(op, visible);
+            for (Value r : op->results()) {
+                visible.insert(r.impl());
+                introduced.push_back(r.impl());
+            }
+        }
+        for (ValueImpl *v : introduced)
+            visible.erase(v);
+    }
+
+  private:
+    std::vector<std::string> &errors_;
+};
+
+} // namespace
+
+std::vector<std::string>
+verifyCollect(Operation *root)
+{
+    std::vector<std::string> errors;
+    Verifier verifier(errors);
+    std::set<ValueImpl *> visible;
+    verifier.verifyOp(root, visible);
+    return errors;
+}
+
+void
+verify(Operation *root)
+{
+    std::vector<std::string> errors = verifyCollect(root);
+    if (errors.empty())
+        return;
+    std::ostringstream os;
+    os << "IR verification failed (" << errors.size() << " error(s)):\n";
+    for (const std::string &e : errors)
+        os << "  - " << e << "\n";
+    fatal(os.str());
+}
+
+bool
+verifies(Operation *root)
+{
+    return verifyCollect(root).empty();
+}
+
+} // namespace wsc::ir

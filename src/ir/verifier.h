@@ -1,0 +1,28 @@
+/**
+ * @file
+ * IR structural verifier: SSA visibility, block terminators, parent links
+ * and per-op registered invariants.
+ */
+
+#ifndef WSC_IR_VERIFIER_H
+#define WSC_IR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+namespace wsc::ir {
+
+class Operation;
+
+/** Collect all verification errors under `root` (inclusive). */
+std::vector<std::string> verifyCollect(Operation *root);
+
+/** Verify and throw FatalError listing all diagnostics on failure. */
+void verify(Operation *root);
+
+/** Verify and return true on success (no throw). */
+bool verifies(Operation *root);
+
+} // namespace wsc::ir
+
+#endif // WSC_IR_VERIFIER_H

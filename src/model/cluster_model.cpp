@@ -1,0 +1,73 @@
+#include "model/cluster_model.h"
+
+namespace wsc::model {
+
+double
+ClusterSpec::gptsPerSec(double bytesPerPoint) const
+{
+    double perDevice = perDeviceBandwidth * kernelEfficiency /
+                       bytesPerPoint;
+    return perDevice * devices * scalingEfficiency / 1e9;
+}
+
+double
+ClusterSpec::flopsPerSec(double flopsPerPoint, double bytesPerPoint) const
+{
+    return gptsPerSec(bytesPerPoint) * 1e9 * flopsPerPoint;
+}
+
+ClusterSpec
+tursaA100Cluster()
+{
+    ClusterSpec s;
+    s.name = "128 x A100 (Tursa, MPI+OpenACC)";
+    s.perDeviceBandwidth = 2.04e12; // HBM2e, the paper's Figure 7 value
+    s.perDevicePeakFlops = 17.59e12;
+    s.devices = 128;
+    // OpenACC stencil without time tiling: ~35% of STREAM.
+    s.kernelEfficiency = 0.35;
+    // Strong scaling at 128 GPUs (1158^3 split): halo traffic and MPI
+    // latency dominate the small per-GPU subdomains.
+    s.scalingEfficiency = 0.22;
+    return s;
+}
+
+ClusterSpec
+singleA100()
+{
+    ClusterSpec s;
+    s.name = "1 x A100";
+    s.perDeviceBandwidth = 2.04e12;
+    s.perDevicePeakFlops = 17.59e12;
+    s.devices = 1;
+    s.kernelEfficiency = 0.35;
+    s.scalingEfficiency = 1.0;
+    return s;
+}
+
+ClusterSpec
+archer2CpuCluster()
+{
+    ClusterSpec s;
+    s.name = "128 x dual EPYC 7742 (ARCHER2, MPI+OpenMP)";
+    // Dual-socket Rome: ~380 GB/s STREAM per node.
+    s.perDeviceBandwidth = 3.8e11;
+    s.perDevicePeakFlops = 2.0 * 64 * 2.25e9 * 16; // 2 sockets FP32 FMA
+    s.devices = 128;
+    // OpenMP stencil kernels reach about half of STREAM.
+    s.kernelEfficiency = 0.50;
+    // Larger per-node subdomains (1024^3 over 128 nodes) scale better
+    // than the GPU case.
+    s.scalingEfficiency = 0.58;
+    return s;
+}
+
+double
+acousticBytesPerPointCacheMachine()
+{
+    // Read u (streamed once thanks to caches), read u_prev, write
+    // u_next, plus ~25% halo/cache-miss overhead on u.
+    return (4.0 + 4.0 + 4.0) * 1.33;
+}
+
+} // namespace wsc::model

@@ -1,0 +1,124 @@
+#include "model/flops.h"
+
+#include <set>
+
+#include "dialects/csl.h"
+#include "support/error.h"
+
+namespace wsc::model {
+
+namespace {
+
+namespace csl = dialects::csl;
+
+/** Iteration length of a DSD builtin's destination operand. */
+int64_t
+dsdLength(ir::Value v)
+{
+    ir::Operation *def = v.definingOp();
+    WSC_ASSERT(def, "DSD operand without a defining op");
+    if (def->name() == csl::kGetMemDsd)
+        return def->intAttr("length");
+    if (def->name() == csl::kIncrementDsdOffset ||
+        def->name() == csl::kSetDsdLength ||
+        def->name() == csl::kSetDsdBaseAddr)
+        return dsdLength(def->operand(0));
+    panic("cannot derive DSD length from " + def->name());
+}
+
+/** DSD work of one callable body. */
+void
+accumulateBody(ir::Operation *callable, uint64_t multiplier,
+               WorkProfile &out)
+{
+    callable->walk([&](ir::Operation *op) {
+        const std::string &n = op->name();
+        int flopsPerElem = -1;
+        int bytesPerElem = 12;
+        if (n == csl::kFadds || n == csl::kFsubs || n == csl::kFmuls) {
+            flopsPerElem = 1;
+        } else if (n == csl::kFmacs) {
+            flopsPerElem = 2;
+        } else if (n == csl::kFmovs) {
+            flopsPerElem = 0;
+            bytesPerElem = 8;
+        }
+        if (flopsPerElem < 0)
+            return;
+        uint64_t elems =
+            static_cast<uint64_t>(dsdLength(op->operand(0)));
+        out.flops += multiplier * elems *
+                     static_cast<uint64_t>(flopsPerElem);
+        out.memBytes += multiplier * elems *
+                        static_cast<uint64_t>(bytesPerElem);
+    });
+}
+
+} // namespace
+
+WorkProfile
+analyzeProgramWork(ir::Operation *root)
+{
+    ir::Operation *program = nullptr;
+    if (root->name() == csl::kModule &&
+        root->strAttr("kind") == "program") {
+        program = root;
+    } else {
+        root->walk([&](ir::Operation *op) {
+            if (op->name() == csl::kModule &&
+                op->strAttr("kind") == "program")
+                program = op;
+        });
+    }
+    WSC_ASSERT(program, "no program module to analyze");
+
+    // Receive-chunk callbacks run once per chunk per step.
+    std::map<std::string, int64_t> recvMultiplier;
+    WorkProfile out;
+    program->walk([&](ir::Operation *op) {
+        if (op->name() != csl::kCommsExchange)
+            return;
+        csl::CommsExchangeSpec spec = csl::commsExchangeSpec(op);
+        recvMultiplier[spec.recvCallback] = spec.numChunks;
+        // Fabric injection: one stream per distinct travel direction per
+        // chunk, commElems elements per column overall.
+        std::set<std::pair<int, int>> travelDirs;
+        for (const auto &[dx, dy] : spec.accesses) {
+            int tx = dx > 0 ? -1 : (dx < 0 ? 1 : 0);
+            int ty = dy > 0 ? -1 : (dy < 0 ? 1 : 0);
+            travelDirs.insert({tx, ty});
+        }
+        uint64_t commElems = static_cast<uint64_t>(
+            spec.zSize - spec.trimFirst - spec.trimLast);
+        out.fabricBytes += travelDirs.size() * commElems * 4;
+        out.pointsPerPe += commElems;
+        // Coefficients promoted into the communication path execute one
+        // multiply per landed element (at zero cycle cost, but they are
+        // arithmetic the kernel performs).
+        uint64_t nontrivialCoeffs = 0;
+        for (double c : spec.coeffs)
+            if (c != 1.0)
+                nontrivialCoeffs++;
+        out.flops += nontrivialCoeffs * commElems;
+        // Algorithmic traffic: the landed halo sections are read once,
+        // one input column is read and one result column written.
+        out.algoMemBytes += spec.accesses.size() * commElems * 4;
+        out.algoMemBytes += 2 * commElems * 4;
+    });
+
+    for (ir::Operation *op : csl::moduleBody(program)->opsVector()) {
+        if (op->name() != csl::kFunc && op->name() != csl::kTask)
+            continue;
+        const std::string &name = op->strAttr("sym_name");
+        if (name == "f_main" || name == "for_post0")
+            continue; // once per run, not per step
+        uint64_t multiplier = 1;
+        auto it = recvMultiplier.find(name);
+        if (it != recvMultiplier.end())
+            multiplier = static_cast<uint64_t>(it->second);
+        accumulateBody(op, multiplier, out);
+    }
+    return out;
+}
+
+} // namespace wsc::model

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Static per-step work accounting derived from the lowered csl-ir
+ * program: FLOPs, local-memory traffic and fabric traffic per PE per
+ * timestep. Used by the roofline (Figure 7) and the wafer throughput
+ * model.
+ */
+
+#ifndef WSC_MODEL_FLOPS_H
+#define WSC_MODEL_FLOPS_H
+
+#include <cstdint>
+
+#include "ir/operation.h"
+
+namespace wsc::model {
+
+/** Per-interior-PE, per-timestep work of a lowered program. */
+struct WorkProfile
+{
+    uint64_t flops = 0;
+    /** DSD local-memory traffic in bytes (per-op instruction traffic:
+     *  every builtin's reads + writes, intermediates included). */
+    uint64_t memBytes = 0;
+    /**
+     * Algorithmic memory traffic in bytes: the essential field reads,
+     * result writes and received-halo reads per step — the accounting
+     * roofline studies (incl. the paper's Figure 7) use. Intermediate
+     * DSD traffic through the accumulator is excluded.
+     */
+    uint64_t algoMemBytes = 0;
+    /** Fabric injection traffic in bytes (outgoing streams). */
+    uint64_t fabricBytes = 0;
+    /** Grid points computed per PE per step (interior column length). */
+    uint64_t pointsPerPe = 0;
+
+    /** Instruction-traffic arithmetic intensity. */
+    double
+    memArithmeticIntensity() const
+    {
+        return memBytes ? static_cast<double>(flops) / memBytes : 0.0;
+    }
+    /** Algorithmic arithmetic intensity (Figure 7 convention). */
+    double
+    algoMemArithmeticIntensity() const
+    {
+        return algoMemBytes ? static_cast<double>(flops) / algoMemBytes
+                            : 0.0;
+    }
+    double
+    fabricArithmeticIntensity() const
+    {
+        return fabricBytes ? static_cast<double>(flops) / fabricBytes
+                           : 0.0;
+    }
+    double
+    flopsPerPoint() const
+    {
+        return pointsPerPe ? static_cast<double>(flops) / pointsPerPe
+                           : 0.0;
+    }
+};
+
+/**
+ * Analyze a lowered program (builtin.module with csl.modules, or the
+ * program module itself): walks every function/task, multiplying
+ * receive-chunk task work by the chunk count.
+ */
+WorkProfile analyzeProgramWork(ir::Operation *root);
+
+} // namespace wsc::model
+
+#endif // WSC_MODEL_FLOPS_H

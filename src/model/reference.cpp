@@ -1,0 +1,113 @@
+#include "model/reference.h"
+
+#include "support/error.h"
+
+namespace wsc::model {
+
+ReferenceExecutor::ReferenceExecutor(const fe::Program &program,
+                                     const fe::InitFn &init)
+    : program_(program), grid_(program.grid())
+{
+    size_t points = static_cast<size_t>(grid_.nx * grid_.ny * grid_.nz);
+    data_.assign(program.numFields(), std::vector<float>(points, 0.0f));
+    for (size_t f = 0; f < program.numFields(); ++f)
+        for (int64_t x = 0; x < grid_.nx; ++x)
+            for (int64_t y = 0; y < grid_.ny; ++y)
+                for (int64_t z = 0; z < grid_.nz; ++z)
+                    data_[f][static_cast<size_t>(
+                        (x * grid_.ny + y) * grid_.nz + z)] =
+                        init(static_cast<int>(f), x, y, z);
+}
+
+float
+ReferenceExecutor::at(size_t f, int64_t x, int64_t y, int64_t z) const
+{
+    return data_[f][static_cast<size_t>((x * grid_.ny + y) * grid_.nz +
+                                        z)];
+}
+
+bool
+ReferenceExecutor::inBounds(const fe::ExprNode *node, int64_t x, int64_t y,
+                            int64_t z) const
+{
+    if (!node)
+        return true;
+    if (node->kind == fe::ExprKind::Access) {
+        int64_t ax = x + node->dx;
+        int64_t ay = y + node->dy;
+        int64_t az = z + node->dz;
+        if (ax < 0 || ax >= grid_.nx || ay < 0 || ay >= grid_.ny ||
+            az < 0 || az >= grid_.nz)
+            return false;
+    }
+    return inBounds(node->lhs.get(), x, y, z) &&
+           inBounds(node->rhs.get(), x, y, z);
+}
+
+float
+ReferenceExecutor::evalAt(const fe::ExprNode *node, int64_t x, int64_t y,
+                          int64_t z,
+                          const std::vector<std::vector<float>> &cur,
+                          const std::vector<std::vector<float>> &next)
+    const
+{
+    switch (node->kind) {
+      case fe::ExprKind::Const:
+        return static_cast<float>(node->value);
+      case fe::ExprKind::Access: {
+        const std::vector<std::vector<float>> &src =
+            node->next ? next : cur;
+        size_t idx = static_cast<size_t>(
+            ((x + node->dx) * grid_.ny + (y + node->dy)) * grid_.nz +
+            (z + node->dz));
+        return src[static_cast<size_t>(node->field)][idx];
+      }
+      case fe::ExprKind::Add:
+        return evalAt(node->lhs.get(), x, y, z, cur, next) +
+               evalAt(node->rhs.get(), x, y, z, cur, next);
+      case fe::ExprKind::Sub:
+        return evalAt(node->lhs.get(), x, y, z, cur, next) -
+               evalAt(node->rhs.get(), x, y, z, cur, next);
+      case fe::ExprKind::Mul:
+        return evalAt(node->lhs.get(), x, y, z, cur, next) *
+               evalAt(node->rhs.get(), x, y, z, cur, next);
+      case fe::ExprKind::Div:
+        return evalAt(node->lhs.get(), x, y, z, cur, next) /
+               evalAt(node->rhs.get(), x, y, z, cur, next);
+    }
+    panic("unreachable expression kind");
+}
+
+void
+ReferenceExecutor::run(int64_t steps)
+{
+    for (int64_t s = 0; s < steps; ++s) {
+        // next starts as a copy: non-updated points keep their values.
+        std::vector<std::vector<float>> next = data_;
+        for (size_t f = 0; f < program_.numFields(); ++f) {
+            const auto &update = program_.update(f);
+            if (!update)
+                continue;
+            const fe::ExprNode *node = update->node().get();
+            if (node->kind == fe::ExprKind::Access && node->dx == 0 &&
+                node->dy == 0 && node->dz == 0 && !node->next) {
+                // Pure rotation: the whole field takes the source's
+                // begin-of-step contents.
+                next[f] = data_[static_cast<size_t>(node->field)];
+                continue;
+            }
+            for (int64_t x = 0; x < grid_.nx; ++x)
+                for (int64_t y = 0; y < grid_.ny; ++y)
+                    for (int64_t z = 0; z < grid_.nz; ++z) {
+                        if (!inBounds(node, x, y, z))
+                            continue;
+                        next[f][static_cast<size_t>(
+                            (x * grid_.ny + y) * grid_.nz + z)] =
+                            evalAt(node, x, y, z, data_, next);
+                    }
+        }
+        data_ = std::move(next);
+    }
+}
+
+} // namespace wsc::model

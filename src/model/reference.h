@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Scalar reference executor: evaluates an fe::Program directly on 3-D
+ * f32 arrays, with the same boundary semantics as the compiled WSE code
+ * (a point is updated only when every access of its update stays in
+ * bounds; boundary points keep their values). Used as the correctness
+ * oracle for the full pipeline + simulator stack.
+ */
+
+#ifndef WSC_MODEL_REFERENCE_H
+#define WSC_MODEL_REFERENCE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "frontends/benchmarks.h"
+#include "frontends/sym.h"
+
+namespace wsc::model {
+
+/** Runs a stencil program on plain arrays. */
+class ReferenceExecutor
+{
+  public:
+    ReferenceExecutor(const fe::Program &program, const fe::InitFn &init);
+
+    /** Advance `steps` timesteps. */
+    void run(int64_t steps);
+
+    /** Field contents, indexed x-major: ((x * ny) + y) * nz + z. */
+    const std::vector<float> &field(size_t f) const { return data_[f]; }
+    float at(size_t f, int64_t x, int64_t y, int64_t z) const;
+
+    const fe::Grid &grid() const { return grid_; }
+
+  private:
+    float evalAt(const fe::ExprNode *node, int64_t x, int64_t y,
+                 int64_t z, const std::vector<std::vector<float>> &cur,
+                 const std::vector<std::vector<float>> &next) const;
+    bool inBounds(const fe::ExprNode *node, int64_t x, int64_t y,
+                  int64_t z) const;
+
+    const fe::Program &program_;
+    fe::Grid grid_;
+    std::vector<std::vector<float>> data_;
+};
+
+} // namespace wsc::model
+
+#endif // WSC_MODEL_REFERENCE_H

@@ -1,0 +1,13 @@
+#include "model/roofline.h"
+
+#include <algorithm>
+
+namespace wsc::model {
+
+double
+Roof::attainable(double intensity) const
+{
+    return std::min(peakFlops, intensity * bandwidth);
+}
+
+} // namespace wsc::model

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Roofline math (Figure 7): attainable performance given arithmetic
+ * intensity, peak compute and a bandwidth ceiling; classification into
+ * memory-/fabric-/compute-bound regimes.
+ */
+
+#ifndef WSC_MODEL_ROOFLINE_H
+#define WSC_MODEL_ROOFLINE_H
+
+#include <string>
+
+namespace wsc::model {
+
+/** One machine roof: peak FLOP/s and a bandwidth in bytes/s. */
+struct Roof
+{
+    std::string name;
+    double peakFlops = 0.0;
+    double bandwidth = 0.0;
+
+    /** AI at which the roof transitions to compute-bound. */
+    double ridgeIntensity() const { return peakFlops / bandwidth; }
+    /** Attainable FLOP/s at a given arithmetic intensity. */
+    double attainable(double intensity) const;
+    /** True when a kernel at this AI is limited by the bandwidth. */
+    bool isBandwidthBound(double intensity) const
+    {
+        return intensity < ridgeIntensity();
+    }
+};
+
+/** One plotted point of Figure 7. */
+struct RooflinePoint
+{
+    std::string label;
+    double intensity = 0.0;       ///< FLOP/byte
+    double achievedFlops = 0.0;   ///< measured FLOP/s
+    bool computeBound = false;    ///< w.r.t. the roof it was plotted on
+};
+
+} // namespace wsc::model
+
+#endif // WSC_MODEL_ROOFLINE_H

@@ -1,0 +1,17 @@
+#include "support/error.h"
+
+namespace wsc {
+
+void
+fatal(const std::string &msg)
+{
+    throw FatalError(msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    throw PanicError(msg);
+}
+
+} // namespace wsc

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Error-reporting helpers, following the gem5 fatal()/panic() convention:
+ * fatal() is for user errors (bad input, invalid configuration) and panic()
+ * is for internal invariant violations, i.e. bugs in this library.
+ */
+
+#ifndef WSC_SUPPORT_ERROR_H
+#define WSC_SUPPORT_ERROR_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace wsc {
+
+/** Exception thrown for user-level errors (invalid input or configuration). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Exception thrown for internal invariant violations (library bugs). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Throw a FatalError with the given message. */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Throw a PanicError with the given message. */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Build a message from stream-formatted parts. */
+template <typename... Args>
+std::string
+strcat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+/**
+ * Assert an internal invariant; panics with location info on failure.
+ * The message argument may be an ostream `<<` chain.
+ */
+#define WSC_ASSERT(cond, msg)                                                \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            std::ostringstream wscAssertOs_;                                 \
+            wscAssertOs_ << __FILE__ << ":" << __LINE__ << ": assertion `"   \
+                         << #cond << "` failed: " << msg;                    \
+            ::wsc::panic(wscAssertOs_.str());                                \
+        }                                                                    \
+    } while (0)
+
+} // namespace wsc
+
+#endif // WSC_SUPPORT_ERROR_H

@@ -1,0 +1,283 @@
+#include "transforms/arith_to_linalg.h"
+
+#include <set>
+
+#include "dialects/arith.h"
+#include "dialects/csl_stencil.h"
+#include "dialects/linalg.h"
+#include "dialects/memref.h"
+#include "dialects/varith.h"
+#include "support/error.h"
+#include "transforms/utils.h"
+
+namespace wsc::transforms {
+
+namespace {
+
+namespace cs = dialects::csl_stencil;
+namespace ar = dialects::arith;
+namespace va = dialects::varith;
+namespace mr = dialects::memref;
+namespace ln = dialects::linalg;
+
+bool
+isConvertibleArith(ir::Operation *op)
+{
+    return ar::isBinaryFloatOp(op) || op->name() == va::kAdd ||
+           op->name() == va::kMul;
+}
+
+/** Is the value a splat (dense single-element) float constant? */
+bool
+isSplatConstOperand(ir::Value v)
+{
+    ir::Operation *def = v.definingOp();
+    return def && ar::isFloatConstant(def);
+}
+
+/** Converts one apply region block to DPS form. */
+class RegionConverter
+{
+  public:
+    RegionConverter(ir::Block *block, ir::Value accArg, bool isDoneRegion)
+        : block_(block), accArg_(accArg), isDone_(isDoneRegion),
+          builder_(block->parentOp()->context())
+    {
+    }
+
+    void
+    run()
+    {
+        owned_.insert(accArg_.impl());
+        collectSinks();
+        std::vector<ir::Operation *> toErase;
+        for (ir::Operation *op : block_->opsVector()) {
+            if (op->name() == mr::kSubview) {
+                // Subviews of the accumulator are in-place destinations.
+                if (resolve(op->operand(0)) == accArg_)
+                    owned_.insert(op->result().impl());
+                continue;
+            }
+            if (isConvertibleArith(op)) {
+                // Ops folded into a copy sink must be emitted at the
+                // copy's position, where the destination view exists.
+                auto sinkIt = sinkCopyOf_.find(op);
+                builder_.setInsertionPoint(
+                    sinkIt != sinkCopyOf_.end() ? sinkIt->second : op);
+                convert(op);
+                toErase.push_back(op);
+                continue;
+            }
+            if (op->name() == mr::kCopy && !sinkCopies_.count(op)) {
+                // Plain data movement (single-section receive region).
+                builder_.setInsertionPoint(op);
+                ln::createCopy(builder_, resolve(op->operand(0)),
+                               resolve(op->operand(1)));
+                toErase.push_back(op);
+            }
+        }
+        // Terminator operands now reference buffers.
+        ir::Operation *yield = block_->terminator();
+        for (unsigned i = 0; i < yield->numOperands(); ++i)
+            yield->setOperand(i, resolve(yield->operand(i)));
+
+        if (isDone_)
+            retargetResult(yield);
+
+        for (ir::Operation *copy : sinkCopies_)
+            toErase.push_back(copy);
+        for (auto it = toErase.rbegin(); it != toErase.rend(); ++it)
+            (*it)->erase();
+        // Dead constants.
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (ir::Operation *op : block_->opsVector()) {
+                if (op->isTerminator() || op->numResults() == 0 ||
+                    op->hasResultUses())
+                    continue;
+                if (op->name() == ar::kConstant ||
+                    op->name() == mr::kAlloc ||
+                    op->name() == mr::kSubview ||
+                    op->name() == cs::kAccess) {
+                    op->erase();
+                    changed = true;
+                }
+            }
+        }
+    }
+
+  private:
+    /** memref.copy ops that sink a single-use arith result. */
+    void
+    collectSinks()
+    {
+        for (ir::Operation *op : block_->opsVector()) {
+            if (op->name() != mr::kCopy)
+                continue;
+            ir::Operation *def = op->operand(0).definingOp();
+            if (def && isConvertibleArith(def) &&
+                op->operand(0).numUses() == 1) {
+                sinks_[def] = op->operand(1);
+                sinkCopies_.insert(op);
+                sinkCopyOf_[def] = op;
+            }
+        }
+    }
+
+    ir::Value
+    resolve(ir::Value v)
+    {
+        auto it = buf_.find(v.impl());
+        return it == buf_.end() ? v : it->second;
+    }
+
+    /** Destination buffer for an op's result. */
+    ir::Value
+    chooseOut(ir::Operation *op, bool &fresh)
+    {
+        auto sinkIt = sinks_.find(op);
+        if (sinkIt != sinks_.end()) {
+            fresh = false; // Accumulator slices are zero-initialized.
+            return sinkIt->second;
+        }
+        for (ir::Value operand : op->operands()) {
+            ir::Value r = resolve(operand);
+            if (owned_.count(r.impl()) && operand.numUses() == 1) {
+                fresh = false;
+                return r;
+            }
+        }
+        ir::Value out = mr::createAlloc(builder_, op->result().type());
+        owned_.insert(out.impl());
+        fresh = true;
+        return out;
+    }
+
+    void
+    convert(ir::Operation *op)
+    {
+        bool fresh = false;
+        ir::Value out = chooseOut(op, fresh);
+        const std::string &n = op->name();
+        if (n == va::kAdd) {
+            // Accumulate term by term; destination either pre-holds a
+            // partial sum (when it aliases an operand) or is zeroed.
+            bool destAliasesOperand = false;
+            for (ir::Value operand : op->operands())
+                if (resolve(operand) == out)
+                    destAliasesOperand = true;
+            if (fresh && !destAliasesOperand) {
+                ir::Value zero = ar::createConstantF32(builder_, 0.0);
+                ln::createFill(builder_, zero, out);
+            }
+            for (ir::Value operand : op->operands()) {
+                ir::Value r = resolve(operand);
+                if (r == out)
+                    continue;
+                ln::createBinary(builder_, ln::kAdd, out, r, out);
+            }
+        } else if (n == va::kMul && op->numOperands() == 2 &&
+                   (isSplatConstOperand(op->operand(0)) ||
+                    isSplatConstOperand(op->operand(1)))) {
+            // Multiply by a splat constant lowers directly — this is the
+            // form linalg-fuse-multiply-add turns into @fmacs.
+            bool firstIsConst = isSplatConstOperand(op->operand(0));
+            ir::Value cst = op->operand(firstIsConst ? 0 : 1);
+            ir::Value other = op->operand(firstIsConst ? 1 : 0);
+            ln::createBinary(builder_, ln::kMul, resolve(other),
+                             resolve(cst), out);
+        } else if (n == va::kMul) {
+            // Seed the destination with the operand that aliases it (if
+            // any), otherwise copy the first factor in.
+            std::vector<ir::Value> rest;
+            bool seeded = false;
+            for (ir::Value operand : op->operands()) {
+                ir::Value r = resolve(operand);
+                if (!seeded && r == out) {
+                    seeded = true;
+                    continue;
+                }
+                rest.push_back(r);
+            }
+            size_t start = 0;
+            if (!seeded) {
+                ln::createCopy(builder_, rest[0], out);
+                start = 1;
+            }
+            for (size_t i = start; i < rest.size(); ++i) {
+                WSC_ASSERT(rest[i] != out,
+                           "varith.mul aliases the destination twice");
+                ln::createBinary(builder_, ln::kMul, out, rest[i], out);
+            }
+        } else {
+            const char *dps = n == ar::kAddF   ? ln::kAdd
+                              : n == ar::kSubF ? ln::kSub
+                              : n == ar::kMulF ? ln::kMul
+                                               : ln::kDiv;
+            ln::createBinary(builder_, dps, resolve(op->operand(0)),
+                             resolve(op->operand(1)), out);
+        }
+        buf_[op->result().impl()] = out;
+    }
+
+    /**
+     * Give the region's final value a dedicated result buffer so it
+     * survives the next timestep's accumulator reset.
+     */
+    void
+    retargetResult(ir::Operation *yield)
+    {
+        ir::Value resultBuf = yield->operand(0);
+        builder_.setInsertionPointToStart(block_);
+        ir::Value res =
+            mr::createAlloc(builder_, resultBuf.type());
+        res.definingOp()->setAttr(
+            "result_buffer",
+            ir::getUnitAttr(block_->parentOp()->context()));
+        // The last DPS op writing resultBuf writes to `res` instead.
+        ir::Operation *lastWriter = nullptr;
+        for (ir::Operation *op : block_->opsVector()) {
+            if (!ln::isLinalgOp(op))
+                continue;
+            unsigned outIdx = op->numOperands() - 1;
+            if (op->operand(outIdx) == resultBuf)
+                lastWriter = op;
+        }
+        if (lastWriter) {
+            lastWriter->setOperand(lastWriter->numOperands() - 1, res);
+        } else {
+            builder_.setInsertionPoint(yield);
+            ln::createCopy(builder_, resultBuf, res);
+        }
+        yield->setOperand(0, res);
+    }
+
+    ir::Block *block_;
+    ir::Value accArg_;
+    bool isDone_;
+    ir::OpBuilder builder_;
+    std::map<ir::ValueImpl *, ir::Value> buf_;
+    std::set<ir::ValueImpl *> owned_;
+    std::map<ir::Operation *, ir::Value> sinks_;
+    std::set<ir::Operation *> sinkCopies_;
+    std::map<ir::Operation *, ir::Operation *> sinkCopyOf_;
+};
+
+} // namespace
+
+std::unique_ptr<ir::Pass>
+createArithToLinalgPass()
+{
+    return std::make_unique<ir::FunctionPass>(
+        "arith-to-linalg", [](ir::Operation *module) {
+            for (ir::Operation *apply : collectOps(module, cs::kApply)) {
+                ir::Block *recv = cs::applyRecvBlock(apply);
+                RegionConverter(recv, recv->argument(2), false).run();
+                ir::Block *done = cs::applyDoneBlock(apply);
+                RegionConverter(done, done->argument(1), true).run();
+            }
+        });
+}
+
+} // namespace wsc::transforms

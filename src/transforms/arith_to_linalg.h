@@ -1,0 +1,29 @@
+/**
+ * @file
+ * arith-to-linalg (paper §5.3): converts value-form arithmetic (arith,
+ * varith) over memref-typed data into Destination-Passing-Style linalg
+ * ops, reusing buffers to make best use of the limited PE memory:
+ *  - a varith.add feeding a buffer accumulates term-by-term into the
+ *    destination (linalg.add / linalg.fmac for `access * coefficient`
+ *    terms), relying on the accumulator being zero-initialized;
+ *  - remaining arith ops reuse a single-use operand buffer in place,
+ *    exactly as in the paper's Listing 5;
+ *  - the done-exchange region's final value is retargeted to a dedicated
+ *    result buffer so that it survives the next timestep's accumulator
+ *    reset.
+ */
+
+#ifndef WSC_TRANSFORMS_ARITH_TO_LINALG_H
+#define WSC_TRANSFORMS_ARITH_TO_LINALG_H
+
+#include <memory>
+
+#include "ir/pass.h"
+
+namespace wsc::transforms {
+
+std::unique_ptr<ir::Pass> createArithToLinalgPass();
+
+} // namespace wsc::transforms
+
+#endif // WSC_TRANSFORMS_ARITH_TO_LINALG_H

@@ -1,0 +1,106 @@
+#include "transforms/bufferize.h"
+
+#include "dialects/arith.h"
+#include "dialects/csl_stencil.h"
+#include "dialects/memref.h"
+#include "dialects/stencil.h"
+#include "dialects/tensor.h"
+#include "support/error.h"
+#include "transforms/utils.h"
+
+namespace wsc::transforms {
+
+namespace {
+
+namespace cs = dialects::csl_stencil;
+namespace ar = dialects::arith;
+namespace mr = dialects::memref;
+namespace tn = dialects::tensor;
+
+ir::Type
+toMemRef(ir::Context &ctx, ir::Type t)
+{
+    if (!ir::isTensor(t))
+        return t;
+    return ir::getMemRefType(ctx, ir::shapeOf(t), ir::elementTypeOf(t));
+}
+
+/** Retype all tensor values in a block (args and results) to memrefs. */
+void
+bufferizeBlock(ir::Block *block)
+{
+    ir::Context &ctx = block->parentOp()->context();
+    for (unsigned i = 0; i < block->numArguments(); ++i) {
+        ir::Value arg = block->argument(i);
+        arg.setType(toMemRef(ctx, arg.type()));
+    }
+    for (ir::Operation *op : block->opsVector()) {
+        if (op->name() == ar::kConstant) {
+            ir::Attribute v = op->attr("value");
+            if (ir::isDenseAttr(v) && ir::isTensor(ir::attrType(v))) {
+                op->setAttr("value",
+                            ir::getDenseAttr(ctx,
+                                             toMemRef(ctx,
+                                                      ir::attrType(v)),
+                                             ir::denseAttrValues(v)));
+            }
+        }
+        for (ir::Value r : op->results())
+            r.setType(toMemRef(ctx, r.type()));
+    }
+}
+
+/** Rewrite tensor.insert_slice into a subview + copy pair. */
+void
+lowerInsertSlice(ir::Operation *insert)
+{
+    ir::OpBuilder b(insert->context());
+    b.setInsertionPoint(insert);
+    ir::Value source = insert->operand(0);
+    ir::Value dest = insert->operand(1);
+    ir::Value offset = insert->operand(2);
+    int64_t size = insert->intAttr("static_size");
+    ir::Value sub = mr::createSubview(b, dest, 0, size, offset);
+    mr::createCopy(b, source, sub);
+    ir::replaceOp(insert, {dest});
+}
+
+void
+bufferizeApply(ir::Operation *apply)
+{
+    ir::Context &ctx = apply->context();
+
+    // Accumulator init: tensor.empty -> memref.alloc.
+    ir::Value acc = apply->operand(1);
+    ir::Operation *accDef = acc.definingOp();
+    if (accDef && accDef->name() == tn::kEmpty) {
+        ir::OpBuilder b(ctx);
+        b.setInsertionPoint(accDef);
+        ir::Value alloc =
+            mr::createAlloc(b, toMemRef(ctx, acc.type()));
+        acc.replaceAllUsesWith(alloc);
+        ir::eraseOp(accDef);
+    } else {
+        acc.setType(toMemRef(ctx, acc.type()));
+    }
+
+    bufferizeBlock(cs::applyRecvBlock(apply));
+    bufferizeBlock(cs::applyDoneBlock(apply));
+
+    for (ir::Operation *op : collectOps(apply, tn::kInsertSlice))
+        lowerInsertSlice(op);
+}
+
+} // namespace
+
+std::unique_ptr<ir::Pass>
+createBufferizePass()
+{
+    return std::make_unique<ir::FunctionPass>(
+        "csl-stencil-bufferize", [](ir::Operation *module) {
+            for (ir::Operation *apply : collectOps(module, cs::kApply))
+                bufferizeApply(apply);
+        });
+}
+
+} // namespace wsc::transforms

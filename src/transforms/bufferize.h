@@ -1,0 +1,27 @@
+/**
+ * @file
+ * csl-stencil-bufferize (paper §5.3): converts the value-semantics tensor
+ * IR inside csl_stencil.apply regions into reference semantics, mapping
+ * tensors to memrefs. CSL's mathematical operations follow
+ * Destination-Passing Style, operating on physical memory passed as
+ * operands; this pass establishes the memory view:
+ *  - the accumulator init (tensor.empty) becomes a memref.alloc;
+ *  - region block arguments and body values are retyped to memrefs;
+ *  - tensor.insert_slice of the chunk sum becomes a memref.subview of
+ *    the accumulator that subsequent DPS ops write into.
+ */
+
+#ifndef WSC_TRANSFORMS_BUFFERIZE_H
+#define WSC_TRANSFORMS_BUFFERIZE_H
+
+#include <memory>
+
+#include "ir/pass.h"
+
+namespace wsc::transforms {
+
+std::unique_ptr<ir::Pass> createBufferizePass();
+
+} // namespace wsc::transforms
+
+#endif // WSC_TRANSFORMS_BUFFERIZE_H

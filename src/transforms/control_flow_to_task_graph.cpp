@@ -1,0 +1,400 @@
+#include "transforms/control_flow_to_task_graph.h"
+
+#include <algorithm>
+
+#include "dialects/arith.h"
+#include "dialects/csl.h"
+#include "dialects/csl_stencil.h"
+#include "dialects/csl_wrapper.h"
+#include "dialects/func.h"
+#include "dialects/memref.h"
+#include "dialects/scf.h"
+#include "dialects/stencil.h"
+#include "support/error.h"
+#include "transforms/lower_apply_to_actors.h"
+#include "transforms/utils.h"
+
+namespace wsc::transforms {
+
+namespace {
+
+namespace cs = dialects::csl_stencil;
+namespace cw = dialects::csl_wrapper;
+namespace csl = dialects::csl;
+namespace fn = dialects::func;
+namespace ar = dialects::arith;
+namespace mr = dialects::memref;
+namespace scf = dialects::scf;
+namespace st = dialects::stencil;
+
+/** Parsed structure of the kernel function. */
+struct KernelStructure
+{
+    /** Applies before any loop (single-iteration programs). */
+    std::vector<ir::Operation *> topApplies;
+    /** The timestep loop (or null). */
+    ir::Operation *forOp = nullptr;
+    /** Applies inside the loop, in order. */
+    std::vector<ir::Operation *> loopApplies;
+    /** (value stored, field argument index). */
+    std::vector<std::pair<ir::Value, unsigned>> stores;
+    /** Field buffer name per function argument. */
+    std::vector<std::string> fieldNames;
+};
+
+int64_t
+constantValueOf(ir::Value v)
+{
+    ir::Operation *def = v.definingOp();
+    WSC_ASSERT(def && def->name() == ar::kConstant,
+               "expected a constant loop bound");
+    return ir::intAttrValue(def->attr("value"));
+}
+
+KernelStructure
+parseKernel(ir::Operation *kernel)
+{
+    KernelStructure out;
+    ir::Block *body = fn::funcBody(kernel);
+
+    // Field names from the frontend (attribute), else f<i>.
+    ir::Type fnType = ir::typeAttrValue(kernel->attr("function_type"));
+    size_t numArgs = ir::functionInputs(fnType).size();
+    if (ir::Attribute names = kernel->attr("arg_names")) {
+        for (ir::Attribute a : ir::arrayAttrValue(names))
+            out.fieldNames.push_back(ir::stringAttrValue(a));
+    }
+    while (out.fieldNames.size() < numArgs)
+        out.fieldNames.push_back("f" +
+                                 std::to_string(out.fieldNames.size()));
+
+    for (ir::Operation *op : body->opsVector()) {
+        const std::string &name = op->name();
+        if (name == st::kLoad || name == ar::kConstant ||
+            name == mr::kAlloc || name == fn::kReturn)
+            continue;
+        if (name == cs::kApply) {
+            out.topApplies.push_back(op);
+        } else if (name == scf::kFor) {
+            WSC_ASSERT(!out.forOp, "expected at most one timestep loop");
+            out.forOp = op;
+            for (ir::Operation *inner : scf::forBody(op)->opsVector()) {
+                if (inner->name() == cs::kApply)
+                    out.loopApplies.push_back(inner);
+                else if (inner->name() != mr::kAlloc &&
+                         inner->name() != ar::kConstant &&
+                         inner->name() != scf::kYield)
+                    fatal("unsupported op inside the timestep loop: " +
+                          inner->name());
+            }
+        } else if (name == st::kStore) {
+            ir::Value field = op->operand(1);
+            WSC_ASSERT(field.isBlockArgument(),
+                       "stores must target kernel fields");
+            out.stores.emplace_back(op->operand(0), field.index());
+        } else {
+            fatal("unsupported op at kernel top level: " + name);
+        }
+    }
+    WSC_ASSERT(out.topApplies.empty() || out.loopApplies.empty(),
+               "mixing top-level applies with a timestep loop is not "
+               "supported");
+    return out;
+}
+
+/** Element length (column size) of a stencil temp value. */
+std::vector<int64_t>
+columnShape(ir::Value temp)
+{
+    ir::Type elem = st::stencilElementTypeOf(temp.type());
+    WSC_ASSERT(ir::isTensor(elem), "expected a tensorized temp");
+    return ir::shapeOf(elem);
+}
+
+void
+lowerKernel(ir::Operation *wrapper, ir::Operation *kernel)
+{
+    ir::Context &ctx = wrapper->context();
+    KernelStructure ks = parseKernel(kernel);
+    ActorLoweringState state(wrapper);
+
+    // --- Module-level declarations -------------------------------------
+    ir::Block *body = fn::funcBody(kernel);
+
+    // Field buffers.
+    for (size_t i = 0; i < ks.fieldNames.size(); ++i) {
+        ir::Value arg = body->argument(static_cast<unsigned>(i));
+        ir::Type elem = st::stencilElementTypeOf(arg.type());
+        state.declareBuffer(ks.fieldNames[i], ir::shapeOf(elem));
+    }
+    // Loads bind temps to field buffers.
+    for (ir::Operation *load : collectOps(kernel, st::kLoad)) {
+        ir::Value field = load->operand(0);
+        WSC_ASSERT(field.isBlockArgument(), "load of a non-field value");
+        state.bufOf[load->result().impl()] =
+            BufRef{ks.fieldNames[field.index()], false};
+    }
+
+    bool hasLoop = ks.forOp != nullptr;
+    const std::vector<ir::Operation *> &applies =
+        hasLoop ? ks.loopApplies : ks.topApplies;
+
+    // Result buffers (one per apply).
+    for (size_t k = 0; k < applies.size(); ++k) {
+        std::string outName = "out" + std::to_string(k);
+        state.declareBuffer(outName, columnShape(applies[k]->result()));
+        if (hasLoop) {
+            std::string ptrName = "ptr_out" + std::to_string(k);
+            state.declarePtr(ptrName, outName);
+            state.bufOf[applies[k]->result().impl()] =
+                BufRef{ptrName, true};
+        } else {
+            state.bufOf[applies[k]->result().impl()] =
+                BufRef{outName, false};
+        }
+    }
+
+    // Loop-carried values become pointer variables.
+    std::vector<std::string> slotVars;
+    std::vector<std::string> slotInitField;
+    if (hasLoop) {
+        std::vector<ir::Value> inits = scf::forIterInits(ks.forOp);
+        std::vector<ir::Value> iterArgs = scf::forIterArgs(ks.forOp);
+        for (size_t i = 0; i < inits.size(); ++i) {
+            BufRef initRef = state.bufOf.at(inits[i].impl());
+            slotInitField.push_back(initRef.var);
+            WSC_ASSERT(!initRef.viaPtr,
+                       "loop inits must be direct buffers");
+            std::string ptrName = "ptr_iter" + std::to_string(i);
+            state.declarePtr(ptrName, initRef.var);
+            state.bufOf[iterArgs[i].impl()] = BufRef{ptrName, true};
+            // After the loop, the rotated pointer holds the result.
+            state.bufOf[ks.forOp->result(static_cast<unsigned>(i))
+                            .impl()] = BufRef{ptrName, true};
+            slotVars.push_back(ptrName);
+        }
+        for (size_t k = 0; k < applies.size(); ++k)
+            slotVars.push_back("ptr_out" + std::to_string(k));
+        state.declareScalar("step", 0);
+    }
+
+    // --- Imports and exports -------------------------------------------
+    {
+        ir::OpBuilder b = state.moduleBuilder();
+        csl::createImportModule(b, "<memcpy/memcpy>");
+        csl::createImportModule(b, "stencil_comms.csl");
+        csl::createExport(b, "f_main", "fn");
+        for (const std::string &name : ks.fieldNames)
+            csl::createExport(b, name, "var");
+    }
+
+    // --- The actors per apply ------------------------------------------
+    for (size_t k = 0; k < applies.size(); ++k) {
+        std::string continuation;
+        if (k + 1 < applies.size())
+            continuation = "seq_kernel" + std::to_string(k + 1);
+        else
+            continuation = hasLoop ? "for_inc0" : "for_post0";
+        lowerApplyToActors(state, applies[k], static_cast<int64_t>(k),
+                           continuation);
+    }
+
+    // Result buffers inherit the initial condition of the field whose
+    // rotation slot (or store target) they feed, so that points the
+    // stencil never updates keep boundary-condition values exactly as a
+    // sequential execution would.
+    {
+        auto setInitAs = [&](const std::string &bufName,
+                             const std::string &fieldName) {
+            for (ir::Operation *op :
+                 cw::programBlock(wrapper)->opsVector()) {
+                if (op->name() == csl::kVariable &&
+                    op->strAttr("sym_name") == bufName) {
+                    op->setAttr("init_as",
+                                ir::getStringAttr(ctx, fieldName));
+                    return;
+                }
+            }
+        };
+        for (size_t k = 0; k < applies.size(); ++k) {
+            std::string fieldName;
+            if (hasLoop) {
+                std::vector<ir::Value> yields(
+                    scf::forBody(ks.forOp)->terminator()->operands());
+                for (size_t j = 0; j < yields.size(); ++j)
+                    if (yields[j] == applies[k]->result())
+                        fieldName = slotInitField[j];
+            } else {
+                for (const auto &[value, fieldIdx] : ks.stores)
+                    if (value == applies[k]->result())
+                        fieldName = ks.fieldNames[fieldIdx];
+            }
+            if (!fieldName.empty())
+                setInitAs("out" + std::to_string(k), fieldName);
+        }
+    }
+
+    // --- The control-flow task graph -----------------------------------
+    if (hasLoop) {
+        int64_t lb = constantValueOf(ks.forOp->operand(0));
+        int64_t ub = constantValueOf(ks.forOp->operand(1));
+        int64_t step = constantValueOf(ks.forOp->operand(2));
+        WSC_ASSERT(lb == 0 && step == 1,
+                   "timestep loops must run 0..T step 1");
+
+        // for_cond0: step < T ? seq_kernel0 : for_post0.
+        {
+            ir::OpBuilder mb = state.moduleBuilder();
+            ir::Operation *task = csl::createTask(
+                mb, "for_cond0", "local", state.nextTaskId++);
+            ir::OpBuilder b(ctx);
+            b.setInsertionPointToEnd(csl::calleeBody(task));
+            ir::Value stepVal =
+                csl::createLoadVar(b, "step", ir::getI32Type(ctx));
+            ir::Value limit = ar::createConstantI32(b, ub);
+            ir::Value cond = ar::createCmpI(b, "lt", stepVal, limit);
+            ir::Operation *ifOp = scf::createIf(b, cond);
+            ir::OpBuilder tb(ctx);
+            tb.setInsertionPointToEnd(scf::ifThenBlock(ifOp));
+            csl::createCall(tb, "seq_kernel0");
+            scf::createYield(tb);
+            ir::OpBuilder eb(ctx);
+            eb.setInsertionPointToEnd(scf::ifElseBlock(ifOp));
+            csl::createCall(eb, "for_post0");
+            scf::createYield(eb);
+            csl::createReturn(b);
+        }
+
+        // for_inc0: step += 1; rotate the buffer pointers; re-activate.
+        {
+            ir::OpBuilder mb = state.moduleBuilder();
+            ir::Operation *fnOp = csl::createFunc(mb, "for_inc0");
+            ir::OpBuilder b(ctx);
+            b.setInsertionPointToEnd(csl::calleeBody(fnOp));
+            ir::Value stepVal =
+                csl::createLoadVar(b, "step", ir::getI32Type(ctx));
+            ir::Value one = ar::createConstantI32(b, 1);
+            ir::Value next = ar::createAddI(b, stepVal, one);
+            csl::createStoreVar(b, "step", next);
+
+            // Static pointer rotation derived from the yield permutation:
+            // iter slot i takes the slot of yield operand i; result slots
+            // take the leftovers.
+            std::vector<ir::Value> yields(
+                scf::forBody(ks.forOp)->terminator()->operands());
+            std::vector<ir::Value> iterArgs = scf::forIterArgs(ks.forOp);
+            size_t nIter = iterArgs.size();
+            auto slotOf = [&](ir::Value v) -> int {
+                for (size_t i = 0; i < nIter; ++i)
+                    if (v == iterArgs[i])
+                        return static_cast<int>(i);
+                for (size_t k = 0; k < applies.size(); ++k)
+                    if (v == applies[k]->result())
+                        return static_cast<int>(nIter + k);
+                panic("yield operand is neither an iter arg nor an "
+                      "apply result");
+            };
+            std::vector<int> newSlotSource(slotVars.size(), -1);
+            std::vector<bool> used(slotVars.size(), false);
+            for (size_t i = 0; i < yields.size(); ++i) {
+                int src = slotOf(yields[i]);
+                newSlotSource[i] = src;
+                used[static_cast<size_t>(src)] = true;
+            }
+            size_t cursor = 0;
+            for (size_t s = nIter; s < slotVars.size(); ++s) {
+                while (cursor < used.size() && used[cursor])
+                    cursor++;
+                WSC_ASSERT(cursor < used.size(),
+                           "pointer rotation ran out of buffers");
+                newSlotSource[s] = static_cast<int>(cursor);
+                used[cursor] = true;
+            }
+            // Load all current pointers, then store the new assignment.
+            // (Boundary PEs also rotate; the layout stage loads every
+            // buffer of the rotation pool with the boundary-condition
+            // data there, so rotation is value-neutral for them.)
+            std::vector<ir::Value> current;
+            for (const std::string &var : slotVars) {
+                ir::Type pointee = ir::getMemRefType(
+                    ctx, state.bufferShape(var), ir::getF32Type(ctx));
+                current.push_back(csl::createLoadVar(
+                    b, var, csl::getPtrType(ctx, pointee)));
+            }
+            for (size_t s = 0; s < slotVars.size(); ++s) {
+                if (newSlotSource[s] == static_cast<int>(s))
+                    continue;
+                csl::createStoreVar(
+                    b, slotVars[s],
+                    current[static_cast<size_t>(newSlotSource[s])]);
+            }
+            csl::createActivate(b, "for_cond0");
+            csl::createReturn(b);
+        }
+    }
+
+    // for_post0: return control to the host.
+    {
+        ir::OpBuilder mb = state.moduleBuilder();
+        ir::Operation *fnOp = csl::createFunc(mb, "for_post0");
+        ir::OpBuilder b(ctx);
+        b.setInsertionPointToEnd(csl::calleeBody(fnOp));
+        csl::createUnblockCmdStream(b);
+        csl::createReturn(b);
+    }
+
+    // f_main: the host-callable entry point.
+    {
+        ir::OpBuilder mb = state.moduleBuilder();
+        ir::Operation *fnOp = csl::createFunc(mb, "f_main");
+        ir::OpBuilder b(ctx);
+        b.setInsertionPointToEnd(csl::calleeBody(fnOp));
+        if (hasLoop)
+            csl::createActivate(b, "for_cond0");
+        else
+            csl::createCall(b, "seq_kernel0");
+        csl::createReturn(b);
+    }
+
+    // --- Result mapping for the host (stencil.store) --------------------
+    {
+        std::vector<ir::Attribute> entries;
+        for (const auto &[value, fieldIdx] : ks.stores) {
+            BufRef ref = state.bufOf.at(value.impl());
+            entries.push_back(ir::getDictAttr(
+                ctx,
+                {{"field",
+                  ir::getStringAttr(ctx, ks.fieldNames[fieldIdx])},
+                 {"var", ir::getStringAttr(ctx, ref.var)},
+                 {"via_ptr", ir::getIntAttr(ctx, ref.viaPtr ? 1 : 0)}}));
+        }
+        wrapper->setAttr("result_fields", ir::getArrayAttr(ctx, entries));
+    }
+
+    // The kernel function has been fully absorbed into the task graph.
+    kernel->walk([](ir::Operation *op) { op->dropAllReferences(); });
+    kernel->dropAllReferences();
+    kernel->erase();
+}
+
+} // namespace
+
+std::unique_ptr<ir::Pass>
+createControlFlowToTaskGraphPass()
+{
+    return std::make_unique<ir::FunctionPass>(
+        "control-flow-to-task-graph", [](ir::Operation *module) {
+            for (ir::Operation *wrapper :
+                 collectOps(module, cw::kModule)) {
+                ir::Operation *kernel = nullptr;
+                for (ir::Operation *op :
+                     cw::programBlock(wrapper)->opsVector())
+                    if (op->name() == fn::kFunc)
+                        kernel = op;
+                if (kernel)
+                    lowerKernel(wrapper, kernel);
+            }
+        });
+}
+
+} // namespace wsc::transforms

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Group 4b (paper §5.4): converting the top-level control flow enclosing
+ * csl_stencil.apply operations into a control-flow task graph of software
+ * actors — callable zero-parameter functions and local tasks.
+ *
+ * A timestep scf.for loop becomes the Figure-1 structure:
+ *
+ *   f_main            — host-callable entry, activates for_cond0
+ *   for_cond0 (task)  — step < timesteps ? seq_kernel0 : for_post0
+ *   seq_kernel<k>     — one per apply; starts the async exchange
+ *   receive_chunk_cb<k>, done_exchange_cb<k> — per-apply actors (4a)
+ *   for_inc0          — step += 1, buffer-pointer rotation, re-activate
+ *   for_post0         — returns control to the host (unblock_cmd_stream)
+ *
+ * Loop-carried stencil temporaries become module-level buffers accessed
+ * through pointer variables; the scf.yield permutation compiles into a
+ * static pointer rotation in for_inc0 (double/triple buffering without
+ * copies). Successive applies without a loop chain through their done
+ * callbacks (the continuation-passing rewrite the paper's §2.1 calls the
+ * continuation complexity problem).
+ */
+
+#ifndef WSC_TRANSFORMS_CONTROL_FLOW_TO_TASK_GRAPH_H
+#define WSC_TRANSFORMS_CONTROL_FLOW_TO_TASK_GRAPH_H
+
+#include <memory>
+
+#include "ir/pass.h"
+
+namespace wsc::transforms {
+
+std::unique_ptr<ir::Pass> createControlFlowToTaskGraphPass();
+
+} // namespace wsc::transforms
+
+#endif // WSC_TRANSFORMS_CONTROL_FLOW_TO_TASK_GRAPH_H

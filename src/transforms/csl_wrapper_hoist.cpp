@@ -1,0 +1,88 @@
+#include "transforms/csl_wrapper_hoist.h"
+
+#include <algorithm>
+
+#include "dialects/arith.h"
+#include "dialects/builtin.h"
+#include "dialects/csl_stencil.h"
+#include "dialects/csl_wrapper.h"
+#include "dialects/func.h"
+#include "support/error.h"
+#include "transforms/utils.h"
+
+namespace wsc::transforms {
+
+namespace {
+
+namespace cs = dialects::csl_stencil;
+namespace cw = dialects::csl_wrapper;
+namespace fn = dialects::func;
+namespace ar = dialects::arith;
+
+} // namespace
+
+std::unique_ptr<ir::Pass>
+createCslWrapperHoistPass()
+{
+    return std::make_unique<ir::FunctionPass>(
+        "wrap-in-csl-wrapper", [](ir::Operation *module) {
+            ir::Context &ctx = module->context();
+            ir::Operation *kernel = findOp(module, fn::kFunc);
+            WSC_ASSERT(kernel, "no kernel function to wrap");
+
+            // Program-wide parameters from the csl_stencil ops.
+            int64_t width = 1;
+            int64_t height = 1;
+            int64_t zDim = 1;
+            int64_t numChunks = 1;
+            int64_t pattern = 1;
+            for (ir::Operation *apply : collectOps(module, cs::kApply)) {
+                std::vector<int64_t> topo =
+                    ir::intArrayAttrValue(apply->attr("topology"));
+                width = std::max(width, topo[0]);
+                height = std::max(height, topo[1]);
+                zDim = std::max(zDim, apply->intAttr("z_dim"));
+                numChunks =
+                    std::max(numChunks, apply->intAttr("num_chunks"));
+                for (const auto &e : cs::applyExchanges(apply))
+                    pattern = std::max(
+                        {pattern, std::abs(e.dx), std::abs(e.dy)});
+            }
+
+            std::vector<cw::Param> params = {
+                {"z_dim", zDim},
+                {"num_chunks", numChunks},
+                {"pattern", pattern},
+            };
+
+            ir::OpBuilder b(ctx);
+            b.setInsertionPointToStart(
+                dialects::builtin::moduleBody(module));
+            ir::Operation *wrapper =
+                cw::createModule(b, width, height, params, "pe.csl");
+
+            // Layout region: imports parameterized by the fabric extent
+            // and the communication pattern (the metaprogram that CSL's
+            // staged compilation executes).
+            ir::Block *layout = cw::layoutBlock(wrapper);
+            ir::OpBuilder lb(ctx);
+            lb.setInsertionPointToEnd(layout);
+            ir::Value patternConst = ar::createConstantI16(lb, pattern);
+            ir::Value chunksConst = ar::createConstantI16(lb, numChunks);
+            cw::createImport(lb, "<memcpy/get_params>",
+                             {{"width", layout->argument(2)},
+                              {"height", layout->argument(3)}});
+            cw::createImport(lb, "routes.csl",
+                             {{"pattern", patternConst},
+                              {"peWidth", layout->argument(2)},
+                              {"peHeight", layout->argument(3)},
+                              {"chunks", chunksConst}});
+            cw::createYield(lb, {});
+
+            // The kernel becomes the PE program.
+            kernel->removeFromParent();
+            cw::programBlock(wrapper)->push_back(kernel);
+        });
+}
+
+} // namespace wsc::transforms

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * wrap-in-csl-wrapper (paper §5.2): generates the layout metaprogram that
+ * maps kernels onto the WSE's PE grid, packaging it with the PE program
+ * and program-wide compile-time parameters extracted from the
+ * csl_stencil ops (a domain-agnostic wrapper populated with
+ * domain-specific information).
+ */
+
+#ifndef WSC_TRANSFORMS_CSL_WRAPPER_HOIST_H
+#define WSC_TRANSFORMS_CSL_WRAPPER_HOIST_H
+
+#include <memory>
+
+#include "ir/pass.h"
+
+namespace wsc::transforms {
+
+std::unique_ptr<ir::Pass> createCslWrapperHoistPass();
+
+} // namespace wsc::transforms
+
+#endif // WSC_TRANSFORMS_CSL_WRAPPER_HOIST_H

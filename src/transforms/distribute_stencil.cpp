@@ -1,0 +1,80 @@
+#include "transforms/distribute_stencil.h"
+
+#include <set>
+
+#include "dialects/dmp.h"
+#include "dialects/stencil.h"
+#include "support/error.h"
+#include "transforms/utils.h"
+
+namespace wsc::transforms {
+
+namespace {
+
+namespace st = dialects::stencil;
+namespace dmp = dialects::dmp;
+
+void
+distributeApply(ir::Operation *apply)
+{
+    ir::Block *body = st::applyBody(apply);
+
+    // Remote access offsets per operand index.
+    std::map<unsigned, std::set<std::pair<int64_t, int64_t>>> remote;
+    for (ir::Operation *op : collectOps(apply, st::kAccess)) {
+        ir::Value source = op->operand(0);
+        if (!source.isBlockArgument() || source.ownerBlock() != body)
+            continue;
+        std::vector<int64_t> offset = st::accessOffset(op);
+        WSC_ASSERT(offset.size() == 3,
+                   "distribute-stencil expects 3-D accesses");
+        int64_t dx = offset[0];
+        int64_t dy = offset[1];
+        int64_t dz = offset[2];
+        if (dx == 0 && dy == 0)
+            continue; // Local column access.
+        if (dx != 0 && dy != 0)
+            fatal("distribute-stencil: box-shaped stencils (diagonal "
+                  "accesses) are not supported by the communication "
+                  "library");
+        if (dz != 0)
+            fatal("distribute-stencil: remote accesses must not have a "
+                  "z offset (star-shaped stencils only)");
+        remote[source.index()].insert({dx, dy});
+    }
+    if (remote.empty())
+        return;
+
+    // Grid topology from the first operand's (x, y) bounds.
+    st::Bounds bounds = st::boundsOf(apply->operand(0).type());
+    WSC_ASSERT(bounds.rank() == 3, "expected 3-D stencil bounds");
+    int64_t nx = bounds.size(0);
+    int64_t ny = bounds.size(1);
+
+    ir::OpBuilder b(apply->context());
+    b.setInsertionPoint(apply);
+    for (const auto &[operandIdx, offsets] : remote) {
+        std::vector<dmp::Exchange> swaps;
+        for (const auto &[dx, dy] : offsets)
+            swaps.push_back(
+                dmp::Exchange{dx, dy, std::max(std::abs(dx),
+                                               std::abs(dy))});
+        ir::Value swapped =
+            dmp::createSwap(b, apply->operand(operandIdx), swaps, nx, ny);
+        apply->setOperand(operandIdx, swapped);
+    }
+}
+
+} // namespace
+
+std::unique_ptr<ir::Pass>
+createDistributeStencilPass()
+{
+    return std::make_unique<ir::FunctionPass>(
+        "distribute-stencil", [](ir::Operation *module) {
+            for (ir::Operation *apply : collectOps(module, st::kApply))
+                distributeApply(apply);
+        });
+}
+
+} // namespace wsc::transforms

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * distribute-stencil (paper §5.1, first transformation of Group 1):
+ * decomposes the stencil across the WSE's two-dimensional PE grid and
+ * makes remote data dependencies explicit by inserting dmp.swap ops
+ * before each stencil.apply. Reuses the abstract decomposition logic of
+ * the MPI-oriented pass from Bisbas et al.
+ *
+ * The decomposition assigns one column of z values per PE, so any access
+ * with a non-zero (x, y) offset is a remote dependency; star-shaped
+ * stencils (at most one non-zero axis per access, z offsets local-only)
+ * are required, matching the communication library's capability.
+ */
+
+#ifndef WSC_TRANSFORMS_DISTRIBUTE_STENCIL_H
+#define WSC_TRANSFORMS_DISTRIBUTE_STENCIL_H
+
+#include <memory>
+
+#include "ir/pass.h"
+
+namespace wsc::transforms {
+
+std::unique_ptr<ir::Pass> createDistributeStencilPass();
+
+} // namespace wsc::transforms
+
+#endif // WSC_TRANSFORMS_DISTRIBUTE_STENCIL_H

@@ -1,0 +1,109 @@
+#include "transforms/linalg_fuse_fmac.h"
+
+#include "dialects/arith.h"
+#include "dialects/linalg.h"
+#include "dialects/memref.h"
+#include "ir/pattern.h"
+#include "support/error.h"
+
+namespace wsc::transforms {
+
+namespace {
+
+namespace ar = dialects::arith;
+namespace ln = dialects::linalg;
+namespace mr = dialects::memref;
+
+/** Is `v` a dense splat constant? Returns its value through `out`. */
+bool
+isSplatConstant(ir::Value v, double &out)
+{
+    ir::Operation *def = v.definingOp();
+    if (!def || def->name() != ar::kConstant)
+        return false;
+    ir::Attribute attr = def->attr("value");
+    if (ir::isDenseAttr(attr) && ir::denseAttrValues(attr).size() == 1) {
+        out = ir::denseAttrValues(attr)[0];
+        return true;
+    }
+    if (ir::isFloatAttr(attr)) {
+        out = ir::floatAttrValue(attr);
+        return true;
+    }
+    return false;
+}
+
+/**
+ * linalg.add(x, t) -> d where t = linalg.mul(a, c) with splat c and t a
+ * single-purpose temporary becomes linalg.fmac(x, a, c) -> d.
+ */
+bool
+fuseMulAdd(ir::Operation *op, ir::OpBuilder &b)
+{
+    if (op->name() != ln::kAdd)
+        return false;
+    for (int ti = 0; ti < 2; ++ti) {
+        ir::Value t = op->operand(ti);
+        ir::Value x = op->operand(1 - ti);
+        ir::Operation *talloc = t.definingOp();
+        if (!talloc || talloc->name() != mr::kAlloc || t.numUses() != 2)
+            continue;
+        // Find the mul writing t.
+        ir::Operation *mul = nullptr;
+        for (ir::Operation *user : t.users()) {
+            if (user->name() == ln::kMul && user->operand(2) == t)
+                mul = user;
+        }
+        if (!mul || mul == op)
+            continue;
+        double coeff = 0.0;
+        ir::Value a;
+        if (isSplatConstant(mul->operand(1), coeff) &&
+            mul->operand(0) != t) {
+            a = mul->operand(0);
+        } else if (isSplatConstant(mul->operand(0), coeff) &&
+                   mul->operand(1) != t) {
+            a = mul->operand(1);
+        } else {
+            continue;
+        }
+        ir::Value out = op->operand(2);
+        b.setInsertionPoint(op);
+        ir::Value scalar = ar::createConstantF32(b, coeff);
+        ln::createFmac(b, x, a, scalar, out);
+        op->erase();
+        mul->erase();
+        return true;
+    }
+    return false;
+}
+
+/** Remove dead allocs and constants left behind by fusion. */
+bool
+dce(ir::Operation *op, ir::OpBuilder &)
+{
+    if (op->numResults() == 0 || op->hasResultUses())
+        return false;
+    if (op->name() == mr::kAlloc || op->name() == ar::kConstant) {
+        op->erase();
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+std::unique_ptr<ir::Pass>
+createLinalgFuseFmacPass()
+{
+    return std::make_unique<ir::FunctionPass>(
+        "linalg-fuse-multiply-add", [](ir::Operation *module) {
+            std::vector<ir::NamedPattern> patterns = {
+                {"fuse-mul-add", fuseMulAdd},
+                {"dce", dce},
+            };
+            ir::applyPatternsGreedily(module, patterns);
+        });
+}
+
+} // namespace wsc::transforms

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * linalg-fuse-multiply-add (paper §5.7): identifies multiplication and
+ * addition pairs that can be combined into CSL's @fmacs fused
+ * multiply-accumulate. Due to the prevalence of multiply-then-add in
+ * stencils this converts most of the compute to fmac form, which both
+ * halves the DSD operation count and removes intermediate buffers.
+ */
+
+#ifndef WSC_TRANSFORMS_LINALG_FUSE_FMAC_H
+#define WSC_TRANSFORMS_LINALG_FUSE_FMAC_H
+
+#include <memory>
+
+#include "ir/pass.h"
+
+namespace wsc::transforms {
+
+std::unique_ptr<ir::Pass> createLinalgFuseFmacPass();
+
+} // namespace wsc::transforms
+
+#endif // WSC_TRANSFORMS_LINALG_FUSE_FMAC_H

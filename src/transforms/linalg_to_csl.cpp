@@ -1,0 +1,183 @@
+#include "transforms/linalg_to_csl.h"
+
+#include <set>
+
+#include "dialects/arith.h"
+#include "dialects/csl.h"
+#include "dialects/csl_stencil.h"
+#include "dialects/linalg.h"
+#include "dialects/memref.h"
+#include "support/error.h"
+#include "transforms/memref_to_dsd.h"
+#include "transforms/utils.h"
+
+namespace wsc::transforms {
+
+namespace {
+
+namespace csl = dialects::csl;
+namespace cs = dialects::csl_stencil;
+namespace ln = dialects::linalg;
+namespace ar = dialects::arith;
+
+/** Operand for a builtin: DSD value or scalar f32 value. */
+ir::Value
+lowerOperand(ir::OpBuilder &b, ir::Value v)
+{
+    ir::Operation *def = v.definingOp();
+    if (def && def->name() == ar::kConstant) {
+        ir::Attribute attr = def->attr("value");
+        if (ir::isDenseAttr(attr) &&
+            ir::denseAttrValues(attr).size() == 1)
+            return ar::createConstantF32(b, ir::denseAttrValues(attr)[0]);
+        if (ir::isFloatAttr(attr))
+            return v;
+    }
+    if (ir::isFloat(v.type()))
+        return v;
+    return materializeDsd(b, v);
+}
+
+/**
+ * Detect a run of accumulating adds covering every receive-buffer
+ * section in order: add(dest, section0) -> dest; add(dest, section1) ->
+ * dest; ... with dest a subview of the accumulator. Returns the ops of
+ * the run (empty when the pattern does not apply).
+ */
+std::vector<ir::Operation *>
+matchOneShotRun(ir::Block *block)
+{
+    std::vector<ir::Operation *> run;
+    int64_t expectedSection = 0;
+    ir::Value dest;
+    int64_t sections = -1;
+    for (ir::Operation *op : block->opsVector()) {
+        if (op->name() != ln::kAdd)
+            continue;
+        ir::Value out = op->operand(2);
+        if (op->operand(0) != out)
+            return {};
+        ir::Operation *accessOp = op->operand(1).definingOp();
+        if (!accessOp || accessOp->name() != cs::kAccess ||
+            !accessOp->hasAttr("section"))
+            return {};
+        if (run.empty()) {
+            dest = out;
+            // Section count from the receive buffer shape.
+            ir::Value buf = accessOp->operand(0);
+            sections = ir::shapeOf(buf.type())[0];
+        } else if (out != dest) {
+            return {};
+        }
+        if (accessOp->intAttr("section") != expectedSection)
+            return {};
+        expectedSection++;
+        run.push_back(op);
+    }
+    if (run.empty() ||
+        expectedSection != sections)
+        return {};
+    return run;
+}
+
+/** Lower the receive-chunk run as one wrapped-broadcast fadds. */
+void
+lowerOneShot(const std::vector<ir::Operation *> &run)
+{
+    ir::Operation *first = run.front();
+    ir::OpBuilder b(first->context());
+    b.setInsertionPoint(first);
+    ir::Value dest = first->operand(2);
+    ir::Operation *accessOp = first->operand(1).definingOp();
+    ir::Value recvBuf = accessOp->operand(0);
+    const std::vector<int64_t> &shape = ir::shapeOf(recvBuf.type());
+    int64_t sections = shape[0];
+    int64_t chunkLen = shape[1];
+
+    // acc[offset + (i % C)] += recv[i] for i in [0, S*C).
+    ir::Value accDsd =
+        materializeDsd(b, dest, sections * chunkLen, chunkLen);
+    ir::Value recvDsd = materializeDsd(b, recvBuf, sections * chunkLen);
+    csl::createBuiltin(b, csl::kFadds, {accDsd, accDsd, recvDsd});
+    for (ir::Operation *op : run)
+        op->erase();
+}
+
+void
+lowerLinalgOp(ir::Operation *op)
+{
+    ir::OpBuilder b(op->context());
+    b.setInsertionPoint(op);
+    const std::string &n = op->name();
+    if (n == ln::kFill) {
+        ir::Value dest = materializeDsd(b, op->operand(1));
+        ir::Value scalar = lowerOperand(b, op->operand(0));
+        csl::createBuiltin(b, csl::kFmovs, {dest, scalar});
+    } else if (n == ln::kCopy) {
+        ir::Value dest = materializeDsd(b, op->operand(1));
+        ir::Value src = lowerOperand(b, op->operand(0));
+        csl::createBuiltin(b, csl::kFmovs, {dest, src});
+    } else if (n == ln::kFmac) {
+        // linalg.fmac(addend, mulend, scalar) -> out becomes
+        // @fmacs(out, addend, mulend, scalar).
+        ir::Value dest = materializeDsd(b, op->operand(3));
+        ir::Value addend = lowerOperand(b, op->operand(0));
+        ir::Value mulend = lowerOperand(b, op->operand(1));
+        ir::Value scalar = lowerOperand(b, op->operand(2));
+        csl::createBuiltin(b, csl::kFmacs,
+                           {dest, addend, mulend, scalar});
+    } else {
+        const char *builtin = n == ln::kAdd   ? csl::kFadds
+                              : n == ln::kSub ? csl::kFsubs
+                              : n == ln::kMul ? csl::kFmuls
+                                              : nullptr;
+        if (!builtin)
+            fatal("no CSL DSD builtin for " + n);
+        ir::Value dest = materializeDsd(b, op->operand(2));
+        ir::Value a = lowerOperand(b, op->operand(0));
+        ir::Value c = lowerOperand(b, op->operand(1));
+        csl::createBuiltin(b, builtin, {dest, a, c});
+    }
+    op->erase();
+}
+
+} // namespace
+
+std::unique_ptr<ir::Pass>
+createLinalgToCslPass(LinalgToCslOptions options)
+{
+    return std::make_unique<ir::FunctionPass>(
+        "lower-linalg-to-csl", [options](ir::Operation *module) {
+            // One-shot reductions in receive-chunk tasks first.
+            if (!options.disableOneShotReduction) {
+                for (ir::Operation *task :
+                     collectOps(module, csl::kTask)) {
+                    ir::Block *body = csl::calleeBody(task);
+                    std::vector<ir::Operation *> run =
+                        matchOneShotRun(body);
+                    if (!run.empty())
+                        lowerOneShot(run);
+                }
+            }
+            // Remaining linalg ops lower individually.
+            std::vector<ir::Operation *> worklist;
+            module->walk([&](ir::Operation *op) {
+                if (ln::isLinalgOp(op))
+                    worklist.push_back(op);
+            });
+            for (ir::Operation *op : worklist)
+                lowerLinalgOp(op);
+            // The comms entry point takes a DSD of the send column.
+            for (ir::Operation *comms :
+                 collectOps(module, csl::kCommsExchange)) {
+                if (csl::isDsdType(comms->operand(0).type()))
+                    continue;
+                ir::OpBuilder b(comms->context());
+                b.setInsertionPoint(comms);
+                comms->setOperand(0,
+                                  materializeDsd(b, comms->operand(0)));
+            }
+        });
+}
+
+} // namespace wsc::transforms

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * lower-linalg-to-csl (paper §5.5): lowers linalg DPS compute ops to
+ * CSL's high-throughput DSD arithmetic builtins (@fadds, @fsubs, @fmuls,
+ * @fmovs, @fmacs), rather than generating element loops.
+ *
+ * Includes the §5.7 one-shot reduction: when the same reduction function
+ * applies across the entire stencil shape (a run of accumulating adds
+ * over every receive-buffer section), the accumulator DSD is broadcast
+ * with a virtual wrap dimension matching the communication buffer and
+ * the whole buffer is reduced in a single builtin call. Heterogeneous
+ * per-section processing falls back to individual builtin calls.
+ */
+
+#ifndef WSC_TRANSFORMS_LINALG_TO_CSL_H
+#define WSC_TRANSFORMS_LINALG_TO_CSL_H
+
+#include <memory>
+
+#include "ir/pass.h"
+
+namespace wsc::transforms {
+
+struct LinalgToCslOptions
+{
+    /** Disable the one-shot broadcast reduction (ablation). */
+    bool disableOneShotReduction = false;
+};
+
+std::unique_ptr<ir::Pass> createLinalgToCslPass(
+    LinalgToCslOptions options = {});
+
+} // namespace wsc::transforms
+
+#endif // WSC_TRANSFORMS_LINALG_TO_CSL_H

@@ -1,0 +1,406 @@
+#include "transforms/lower_apply_to_actors.h"
+
+#include <algorithm>
+
+#include "dialects/arith.h"
+#include "dialects/csl.h"
+#include "dialects/csl_stencil.h"
+#include "dialects/csl_wrapper.h"
+#include "dialects/linalg.h"
+#include "dialects/memref.h"
+#include "dialects/scf.h"
+#include "dialects/stencil.h"
+#include "support/error.h"
+#include "transforms/utils.h"
+
+namespace wsc::transforms {
+
+namespace {
+
+namespace cs = dialects::csl_stencil;
+namespace cw = dialects::csl_wrapper;
+namespace csl = dialects::csl;
+namespace ar = dialects::arith;
+namespace ln = dialects::linalg;
+namespace mr = dialects::memref;
+namespace scf = dialects::scf;
+
+} // namespace
+
+ActorLoweringState::ActorLoweringState(ir::Operation *wrapper)
+    : wrapper_(wrapper)
+{
+    WSC_ASSERT(wrapper->name() == cw::kModule,
+               "ActorLoweringState requires a csl_wrapper.module");
+}
+
+ir::Context &
+ActorLoweringState::ctx() const
+{
+    return wrapper_->context();
+}
+
+ir::Block *
+ActorLoweringState::programBlock() const
+{
+    return cw::programBlock(wrapper_);
+}
+
+void
+ActorLoweringState::declareBuffer(const std::string &name,
+                                  const std::vector<int64_t> &shape,
+                                  bool commsOwned, int64_t paddedElems)
+{
+    WSC_ASSERT(!bufferShapes_.count(name),
+               "buffer `" << name << "` declared twice");
+    bufferShapes_[name] = shape;
+    int64_t elems = 1;
+    for (int64_t d : shape)
+        elems *= d;
+    // The variable's type governs the allocation size; views through
+    // loadBufRef use the logical shape.
+    std::vector<int64_t> allocShape =
+        paddedElems > elems ? std::vector<int64_t>{paddedElems} : shape;
+    ir::OpBuilder b = moduleBuilder();
+    ir::Type type =
+        ir::getMemRefType(ctx(), allocShape, ir::getF32Type(ctx()));
+    ir::Operation *var = csl::createVariable(b, name, type);
+    if (commsOwned)
+        var->setAttr("comms_owned", ir::getUnitAttr(ctx()));
+}
+
+void
+ActorLoweringState::declarePtr(const std::string &name,
+                               const std::string &target)
+{
+    WSC_ASSERT(bufferShapes_.count(target),
+               "pointer target `" << target << "` unknown");
+    ptrTargets_[name] = target;
+    ir::OpBuilder b = moduleBuilder();
+    ir::Type pointee = ir::getMemRefType(ctx(), bufferShapes_.at(target),
+                                         ir::getF32Type(ctx()));
+    csl::createVariable(b, name, csl::getPtrType(ctx(), pointee),
+                        ir::getStringAttr(ctx(), target));
+}
+
+void
+ActorLoweringState::declareScalar(const std::string &name, int64_t init)
+{
+    ir::OpBuilder b = moduleBuilder();
+    csl::createVariable(b, name, ir::getI32Type(ctx()),
+                        ir::getIntAttr(ctx(), init));
+}
+
+const std::vector<int64_t> &
+ActorLoweringState::bufferShape(const std::string &name) const
+{
+    auto it = bufferShapes_.find(name);
+    if (it != bufferShapes_.end())
+        return it->second;
+    auto pt = ptrTargets_.find(name);
+    WSC_ASSERT(pt != ptrTargets_.end(), "unknown buffer `" << name << "`");
+    return bufferShapes_.at(pt->second);
+}
+
+ir::OpBuilder
+ActorLoweringState::moduleBuilder()
+{
+    ir::OpBuilder b(ctx());
+    b.setInsertionPointToEnd(programBlock());
+    return b;
+}
+
+ir::Value
+ActorLoweringState::loadBufRef(ir::OpBuilder &b, const BufRef &ref)
+{
+    ir::Type type = ir::getMemRefType(ctx(), bufferShape(ref.var),
+                                      ir::getF32Type(ctx()));
+    ir::Value v = csl::createLoadVar(b, ref.var, type);
+    if (ref.viaPtr)
+        v.definingOp()->setAttr("via_ptr", ir::getUnitAttr(ctx()));
+    return v;
+}
+
+namespace {
+
+/**
+ * Clone one apply region into a task body.
+ * `argBindings` maps the region block arguments to values created in the
+ * task prologue (load_var results, the task argument, ...).
+ */
+void
+cloneRegionInto(ActorLoweringState &state, ir::Block *source,
+                ir::OpBuilder &b,
+                std::map<ir::ValueImpl *, ir::Value> argBindings,
+                ir::Operation *apply, int64_t index,
+                const BufRef &resultRef)
+{
+    std::vector<dialects::dmp::Exchange> exchanges =
+        cs::applyExchanges(apply);
+    int64_t chunkLen = 0;
+    {
+        // Chunk length from the receive block's buffer argument shape.
+        ir::Type bufType = cs::applyRecvBlock(apply)->argument(0).type();
+        const std::vector<int64_t> &shape = ir::shapeOf(bufType);
+        chunkLen = shape.size() == 2 ? shape[1] : 0;
+    }
+
+    std::map<ir::ValueImpl *, ir::Value> mapping = std::move(argBindings);
+    for (ir::Operation *op : source->opsVector()) {
+        if (op->name() == cs::kYield)
+            continue; // The task body simply ends.
+        if (op->name() == mr::kAlloc) {
+            // Static allocation: every buffer becomes a module variable.
+            if (op->hasAttr("result_buffer")) {
+                // The result buffer is a full column; the computed
+                // interior sits centred within it.
+                ir::Value out = state.loadBufRef(b, resultRef);
+                int64_t outLen = ir::shapeOf(out.type())[0];
+                int64_t resLen = ir::shapeOf(op->result().type())[0];
+                ir::Value view = out;
+                if (outLen != resLen) {
+                    WSC_ASSERT((outLen - resLen) % 2 == 0,
+                               "result interior not centred");
+                    view = mr::createSubview(b, out, (outLen - resLen) / 2,
+                                             resLen);
+                }
+                mapping[op->result().impl()] = view;
+                continue;
+            }
+            std::string name = "scratch" + std::to_string(index) + "_" +
+                               std::to_string(state.nextScratchId++);
+            state.declareBuffer(name, ir::shapeOf(op->result().type()));
+            mapping[op->result().impl()] =
+                state.loadBufRef(b, BufRef{name, false});
+            continue;
+        }
+        if (op->name() == cs::kAccess) {
+            ir::Operation *clone = cloneOp(b, op, mapping);
+            // Annotate receive-buffer accesses with their section index
+            // so the DSD lowering can address the landing area.
+            std::vector<int64_t> off =
+                dialects::stencil::accessOffset(clone);
+            if (off.size() == 2) {
+                for (size_t s = 0; s < exchanges.size(); ++s) {
+                    if (exchanges[s].dx == off[0] &&
+                        exchanges[s].dy == off[1]) {
+                        clone->setAttr(
+                            "section",
+                            ir::getIntAttr(state.ctx(),
+                                           static_cast<int64_t>(s)));
+                        clone->setAttr("chunk_len",
+                                       ir::getIntAttr(state.ctx(),
+                                                      chunkLen));
+                        break;
+                    }
+                }
+            }
+            continue;
+        }
+        cloneOp(b, op, mapping);
+    }
+}
+
+/**
+ * Open a `if (is_interior<k> != 0)` guard: the local-data compute only
+ * runs on PEs whose every remote source exists (the role the layout
+ * stage bakes in as a comptime parameter; boundary PEs only feed their
+ * neighbours). Returns a builder positioned inside the guard.
+ */
+ir::OpBuilder
+emitRoleGuard(ActorLoweringState &state, ir::OpBuilder &b,
+              const std::string &roleVar)
+{
+    ir::Context &ctx = state.ctx();
+    ir::Value role = csl::createLoadVar(b, roleVar, ir::getI32Type(ctx));
+    ir::Value zero = ar::createConstantI32(b, 0);
+    ir::Value cond = ar::createCmpI(b, "ne", role, zero);
+    ir::Operation *guard = scf::createIf(b, cond);
+    ir::OpBuilder eb(ctx);
+    eb.setInsertionPointToEnd(scf::ifElseBlock(guard));
+    scf::createYield(eb);
+    ir::OpBuilder gb(ctx);
+    gb.setInsertionPointToEnd(scf::ifThenBlock(guard));
+    return gb;
+}
+
+/**
+ * Copy the z-boundary layers of the input column into the result column.
+ * With buffer rotation the result buffer becomes the next step's input,
+ * so its z-boundary must carry the (Dirichlet) boundary values forward;
+ * the computed interior only covers [rz, z - rz).
+ */
+void
+emitBoundaryCopyThrough(ActorLoweringState &state, ir::OpBuilder &b,
+                        const BufRef &inputRef, const BufRef &resultRef,
+                        int64_t rz)
+{
+    if (rz <= 0)
+        return;
+    const std::vector<int64_t> &inShape = state.bufferShape(inputRef.var);
+    const std::vector<int64_t> &outShape =
+        state.bufferShape(resultRef.var);
+    if (inShape != outShape)
+        return; // Interior-length partial results have no boundary.
+    int64_t z = inShape[0];
+    ir::Value in = state.loadBufRef(b, inputRef);
+    ir::Value out = state.loadBufRef(b, resultRef);
+    ln::createCopy(b, mr::createSubview(b, in, 0, rz),
+                   mr::createSubview(b, out, 0, rz));
+    ln::createCopy(b, mr::createSubview(b, in, z - rz, rz),
+                   mr::createSubview(b, out, z - rz, rz));
+}
+
+} // namespace
+
+void
+lowerApplyToActors(ActorLoweringState &state, ir::Operation *apply,
+                   int64_t index, const std::string &continuation)
+{
+    ir::Context &ctx = state.ctx();
+    std::vector<dialects::dmp::Exchange> exchanges =
+        cs::applyExchanges(apply);
+    int64_t sections = static_cast<int64_t>(exchanges.size());
+    std::string suffix = std::to_string(index);
+    std::string accName = "acc" + suffix;
+    std::string recvName = "recv_buffer" + suffix;
+
+    ir::Block *recvBlock = cs::applyRecvBlock(apply);
+    ir::Block *doneBlock = cs::applyDoneBlock(apply);
+    int64_t interior =
+        ir::shapeOf(recvBlock->argument(2).type())[0];
+    int64_t zDim = apply->intAttr("z_dim");
+    int64_t rz = apply->intAttr("z_offset");
+    int64_t numChunks = cs::applyNumChunks(apply);
+    int64_t chunkLen = (interior + numChunks - 1) / numChunks;
+
+    BufRef inputRef = state.bufOf.at(apply->operand(0).impl());
+    BufRef resultRef = state.bufOf.at(apply->result().impl());
+
+    // The accumulator is padded to a whole number of chunks so that a
+    // short final chunk's landing never overruns it.
+    state.declareBuffer(accName, {interior}, /*commsOwned=*/false,
+                        /*paddedElems=*/numChunks * chunkLen);
+    if (sections > 0) {
+        state.declareBuffer(recvName, {sections, chunkLen},
+                            /*commsOwned=*/true);
+    }
+    // Per-apply compile-time role flag (see emitRoleGuard).
+    std::string roleVar = "is_interior" + suffix;
+    {
+        ir::OpBuilder mb = state.moduleBuilder();
+        ir::Operation *var = csl::createVariable(
+            mb, roleVar, ir::getI32Type(ctx), ir::getIntAttr(ctx, 1));
+        if (sections > 0)
+            var->setAttr("comptime_role_site",
+                         ir::getStringAttr(ctx,
+                                           "receive_chunk_cb" + suffix));
+    }
+
+    // --- seq_kernel<index> ---
+    {
+        ir::OpBuilder mb = state.moduleBuilder();
+        ir::Operation *fn =
+            csl::createFunc(mb, "seq_kernel" + suffix);
+        ir::OpBuilder b(ctx);
+        b.setInsertionPointToEnd(csl::calleeBody(fn));
+        if (sections > 0) {
+            // Zero the accumulator (Figure 1's @fmovs(acc, 0.0)).
+            ir::Value zero = ar::createConstantF32(b, 0.0);
+            ir::Value acc =
+                state.loadBufRef(b, BufRef{accName, false});
+            ln::createFill(b, zero, acc);
+            ir::Value send = state.loadBufRef(b, inputRef);
+            csl::CommsExchangeSpec spec;
+            spec.recvCallback = "receive_chunk_cb" + suffix;
+            spec.doneCallback = "done_exchange_cb" + suffix;
+            spec.recvBufferName = recvName;
+            for (const auto &e : exchanges)
+                spec.accesses.emplace_back(e.dx, e.dy);
+            spec.numChunks = numChunks;
+            spec.pattern = 0;
+            for (const auto &e : exchanges)
+                spec.pattern =
+                    std::max({spec.pattern, std::abs(e.dx),
+                              std::abs(e.dy)});
+            spec.zSize = zDim;
+            spec.trimFirst = rz;
+            spec.trimLast = rz;
+            if (ir::Attribute coeffs = apply->attr("coeffs"))
+                spec.coeffs = ir::denseAttrValues(coeffs);
+            csl::createCommsExchange(b, send, spec);
+            csl::createReturn(b);
+        } else {
+            // No remote data: the kernel runs synchronously (on
+            // computing PEs).
+            ir::OpBuilder gb = emitRoleGuard(state, b, roleVar);
+            std::map<ir::ValueImpl *, ir::Value> bindings;
+            bindings[doneBlock->argument(0).impl()] =
+                state.loadBufRef(gb, inputRef);
+            ir::Value acc = state.loadBufRef(gb, BufRef{accName, false});
+            bindings[doneBlock->argument(1).impl()] = acc;
+            for (unsigned i = 2; i < doneBlock->numArguments(); ++i)
+                bindings[doneBlock->argument(i).impl()] =
+                    state.loadBufRef(
+                        gb, state.bufOf.at(apply->operand(i).impl()));
+            cloneRegionInto(state, doneBlock, gb, bindings, apply, index,
+                            resultRef);
+            emitBoundaryCopyThrough(state, gb, inputRef, resultRef, rz);
+            scf::createYield(gb);
+            csl::createCall(b, continuation);
+            csl::createReturn(b);
+        }
+    }
+
+    if (sections == 0)
+        return;
+
+    // --- receive_chunk_cb<index> (per-chunk software actor) ---
+    {
+        ir::OpBuilder mb = state.moduleBuilder();
+        ir::Operation *task = csl::createTask(
+            mb, "receive_chunk_cb" + suffix, "local",
+            state.nextTaskId++, {ir::getIndexType(ctx)});
+        ir::OpBuilder b(ctx);
+        b.setInsertionPointToEnd(csl::calleeBody(task));
+        std::map<ir::ValueImpl *, ir::Value> bindings;
+        bindings[recvBlock->argument(0).impl()] =
+            state.loadBufRef(b, BufRef{recvName, false});
+        bindings[recvBlock->argument(1).impl()] =
+            csl::calleeBody(task)->argument(0);
+        bindings[recvBlock->argument(2).impl()] =
+            state.loadBufRef(b, BufRef{accName, false});
+        cloneRegionInto(state, recvBlock, b, bindings, apply, index,
+                        resultRef);
+        csl::createReturn(b);
+    }
+
+    // --- done_exchange_cb<index> (exchange-complete software actor) ---
+    {
+        ir::OpBuilder mb = state.moduleBuilder();
+        ir::Operation *task = csl::createTask(
+            mb, "done_exchange_cb" + suffix, "local",
+            state.nextTaskId++);
+        ir::OpBuilder b(ctx);
+        b.setInsertionPointToEnd(csl::calleeBody(task));
+        ir::OpBuilder gb = emitRoleGuard(state, b, roleVar);
+        std::map<ir::ValueImpl *, ir::Value> bindings;
+        bindings[doneBlock->argument(0).impl()] =
+            state.loadBufRef(gb, inputRef);
+        bindings[doneBlock->argument(1).impl()] =
+            state.loadBufRef(gb, BufRef{accName, false});
+        for (unsigned i = 2; i < doneBlock->numArguments(); ++i)
+            bindings[doneBlock->argument(i).impl()] =
+                state.loadBufRef(
+                    gb, state.bufOf.at(apply->operand(i).impl()));
+        cloneRegionInto(state, doneBlock, gb, bindings, apply, index,
+                        resultRef);
+        emitBoundaryCopyThrough(state, gb, inputRef, resultRef, rz);
+        scf::createYield(gb);
+        // The remainder of the program continues from here.
+        csl::createCall(b, continuation);
+        csl::createReturn(b);
+    }
+}
+
+} // namespace wsc::transforms

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Group 4a (paper §5.4): lowering csl_stencil.apply to the actor
+ * execution model. Each apply's remote-data and local-data sub-regions
+ * become software actors (CSL local tasks): the receive-chunk region is
+ * activated each time a chunk of remote data completes, the
+ * done-exchange region once when the whole exchange has finished; the
+ * continuation of the program is invoked from the latter.
+ *
+ * This header exposes the shared lowering state and per-apply helpers
+ * used by the control-flow-to-task-graph pass (Group 4b), which owns the
+ * overall program structure.
+ */
+
+#ifndef WSC_TRANSFORMS_LOWER_APPLY_TO_ACTORS_H
+#define WSC_TRANSFORMS_LOWER_APPLY_TO_ACTORS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/builder.h"
+#include "ir/operation.h"
+
+namespace wsc::transforms {
+
+/** A reference to a module-level buffer, possibly through a pointer
+ *  variable (double/triple-buffer rotation). */
+struct BufRef
+{
+    std::string var;
+    bool viaPtr = false;
+};
+
+/** Shared state of the group-4 lowering of one csl_wrapper.module. */
+class ActorLoweringState
+{
+  public:
+    explicit ActorLoweringState(ir::Operation *wrapper);
+
+    ir::Context &ctx() const;
+    ir::Operation *wrapper() const { return wrapper_; }
+    ir::Block *programBlock() const;
+
+    /// @name Module-level declarations
+    /// @{
+    /**
+     * Declare an f32 buffer variable of the given shape. `paddedElems`
+     * (when larger than the shape) over-allocates the underlying buffer
+     * while views keep the logical shape — used for accumulators whose
+     * final chunk is shorter than the chunk stride.
+     */
+    void declareBuffer(const std::string &name,
+                       const std::vector<int64_t> &shape,
+                       bool commsOwned = false, int64_t paddedElems = 0);
+    /** Declare a pointer variable initialized to point at a buffer. */
+    void declarePtr(const std::string &name, const std::string &target);
+    /** Declare an integer scalar variable. */
+    void declareScalar(const std::string &name, int64_t init);
+    /** Shape of a declared buffer (pointer variables resolve to their
+     *  initial target's shape). */
+    const std::vector<int64_t> &bufferShape(const std::string &name) const;
+    /// @}
+
+    /** Builder appending ops at the end of the program block. */
+    ir::OpBuilder moduleBuilder();
+
+    /** Load a buffer reference inside a function/task body. */
+    ir::Value loadBufRef(ir::OpBuilder &b, const BufRef &ref);
+
+    /** Value-to-buffer assignment built by the structural pass. */
+    std::map<ir::ValueImpl *, BufRef> bufOf;
+
+    /** Next free local-task id. */
+    int64_t nextTaskId = 0;
+    /** Next free scratch-buffer id (unique across all tasks). */
+    int64_t nextScratchId = 0;
+
+  private:
+    ir::Operation *wrapper_;
+    std::map<std::string, std::vector<int64_t>> bufferShapes_;
+    std::map<std::string, std::string> ptrTargets_;
+};
+
+/**
+ * Lower one csl_stencil.apply into its actors. Creates (for applies with
+ * remote exchanges):
+ *   csl.func seq_kernel<k>   — zeroes the accumulator, starts the
+ *                              asynchronous exchange, returns;
+ *   csl.task recv_cb<k>      — the receive-chunk software actor;
+ *   csl.task done_cb<k>      — the done-exchange software actor, calling
+ *                              `continuation` at its end.
+ * Applies without remote data lower to a single synchronous seq_kernel.
+ */
+void lowerApplyToActors(ActorLoweringState &state, ir::Operation *apply,
+                        int64_t index, const std::string &continuation);
+
+} // namespace wsc::transforms
+
+#endif // WSC_TRANSFORMS_LOWER_APPLY_TO_ACTORS_H

@@ -1,0 +1,79 @@
+#include "transforms/lower_csl_wrapper.h"
+
+#include "dialects/csl.h"
+#include "dialects/csl_wrapper.h"
+#include "support/error.h"
+#include "transforms/utils.h"
+
+namespace wsc::transforms {
+
+namespace {
+
+namespace cw = dialects::csl_wrapper;
+namespace csl = dialects::csl;
+
+void
+lowerWrapper(ir::Operation *wrapper)
+{
+    ir::Context &ctx = wrapper->context();
+    auto [width, height] = cw::moduleExtent(wrapper);
+    std::vector<cw::Param> params = cw::moduleParams(wrapper);
+
+    ir::OpBuilder b(ctx);
+    b.setInsertionPoint(wrapper);
+
+    // --- Layout metaprogram module ---
+    ir::Operation *layout = csl::createModule(b, "layout", "layout");
+    {
+        ir::OpBuilder lb(ctx);
+        lb.setInsertionPointToEnd(csl::moduleBody(layout));
+        lb.create(csl::kSetRectangle, {}, {},
+                  {{"width", ir::getIntAttr(ctx, width)},
+                   {"height", ir::getIntAttr(ctx, height)}});
+        std::vector<std::pair<std::string, ir::Attribute>> paramDict;
+        for (const cw::Param &p : params)
+            paramDict.emplace_back(p.name, ir::getIntAttr(ctx, p.value));
+        lb.create(csl::kSetTileCode, {}, {},
+                  {{"file",
+                    ir::getStringAttr(
+                        ctx, wrapper->strAttr("program_name"))},
+                   {"params", ir::getDictAttr(ctx, paramDict)}});
+    }
+
+    // --- PE program module ---
+    ir::Operation *program = csl::createModule(b, "program", "pe");
+    program->setAttr("width", ir::getIntAttr(ctx, width));
+    program->setAttr("height", ir::getIntAttr(ctx, height));
+    if (ir::Attribute results = wrapper->attr("result_fields"))
+        program->setAttr("result_fields", results);
+    {
+        ir::OpBuilder pb(ctx);
+        pb.setInsertionPointToEnd(csl::moduleBody(program));
+        for (const cw::Param &p : params)
+            csl::createParam(pb, p.name, ir::getI16Type(ctx), p.value);
+        // Move the generated program ops across.
+        std::vector<ir::Operation *> ops =
+            cw::programBlock(wrapper)->opsVector();
+        for (ir::Operation *op : ops)
+            op->moveToEnd(csl::moduleBody(program));
+    }
+
+    // The layout region's ops die with the wrapper.
+    wrapper->walk([](ir::Operation *op) { op->dropAllReferences(); });
+    wrapper->dropAllReferences();
+    wrapper->erase();
+}
+
+} // namespace
+
+std::unique_ptr<ir::Pass>
+createLowerCslWrapperPass()
+{
+    return std::make_unique<ir::FunctionPass>(
+        "lower-csl-wrapper", [](ir::Operation *module) {
+            for (ir::Operation *wrapper : collectOps(module, cw::kModule))
+                lowerWrapper(wrapper);
+        });
+}
+
+} // namespace wsc::transforms

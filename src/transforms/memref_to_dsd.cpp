@@ -1,0 +1,131 @@
+#include "transforms/memref_to_dsd.h"
+
+#include <numeric>
+
+#include "dialects/arith.h"
+#include "dialects/csl.h"
+#include "dialects/csl_stencil.h"
+#include "dialects/memref.h"
+#include "dialects/stencil.h"
+#include "ir/pattern.h"
+#include "support/error.h"
+
+namespace wsc::transforms {
+
+namespace {
+
+namespace csl = dialects::csl;
+namespace cs = dialects::csl_stencil;
+namespace mr = dialects::memref;
+namespace ar = dialects::arith;
+
+/** Fully resolved buffer view. */
+struct ViewChain
+{
+    std::string var;
+    bool viaPtr = false;
+    int64_t offset = 0;
+    ir::Value dynOffset; ///< optional runtime offset (chunk index)
+    int64_t length = 0;
+    /** Total elements of the underlying buffer. */
+    int64_t bufLen = 0;
+};
+
+int64_t
+numElems(ir::Type memrefType)
+{
+    const std::vector<int64_t> &shape = ir::shapeOf(memrefType);
+    return std::accumulate(shape.begin(), shape.end(), int64_t{1},
+                           std::multiplies<int64_t>());
+}
+
+ViewChain
+resolveChain(ir::Value v)
+{
+    ir::Operation *def = v.definingOp();
+    WSC_ASSERT(def, "cannot resolve a block argument to a buffer view");
+    if (def->name() == csl::kLoadVar) {
+        ViewChain c;
+        c.var = def->strAttr("var");
+        c.viaPtr = def->hasAttr("via_ptr");
+        c.length = numElems(v.type());
+        c.bufLen = c.length;
+        return c;
+    }
+    if (def->name() == mr::kSubview) {
+        ViewChain c = resolveChain(def->operand(0));
+        c.offset += def->intAttr("static_offset");
+        if (def->numOperands() > 1) {
+            WSC_ASSERT(!c.dynOffset, "stacked dynamic offsets");
+            c.dynOffset = def->operand(1);
+        }
+        c.length = def->intAttr("static_size");
+        return c;
+    }
+    if (def->name() == cs::kAccess) {
+        ViewChain c = resolveChain(def->operand(0));
+        int64_t viewLen = numElems(v.type());
+        if (def->hasAttr("section")) {
+            // Receive-buffer section: contiguous chunk-length slices.
+            c.offset += def->intAttr("section") *
+                        def->intAttr("chunk_len");
+            c.length = viewLen;
+            return c;
+        }
+        // z-shifted interior view of a column buffer: the interior of
+        // length I sits centred in the column; dz shifts within it.
+        std::vector<int64_t> off = dialects::stencil::accessOffset(def);
+        WSC_ASSERT(off.size() == 3 && off[0] == 0 && off[1] == 0,
+                   "unresolved remote access during DSD lowering");
+        int64_t base = (c.length - viewLen) / 2 + off[2];
+        WSC_ASSERT(base >= 0 && base + viewLen <= c.length,
+                   "z-shifted view exceeds the column");
+        c.offset += base;
+        c.length = viewLen;
+        return c;
+    }
+    fatal("cannot lower memref chain rooted at op: " + def->name());
+}
+
+} // namespace
+
+ir::Value
+materializeDsd(ir::OpBuilder &b, ir::Value memrefValue, int64_t iterLength,
+               int64_t wrap)
+{
+    ViewChain c = resolveChain(memrefValue);
+    int64_t length = iterLength > 0 ? iterLength : c.length;
+    ir::Value dsd = csl::createGetMemDsd(b, c.var, c.offset, length,
+                                         /*stride=*/1, c.viaPtr);
+    if (wrap > 0)
+        dsd.definingOp()->setAttr("wrap",
+                                  ir::getIntAttr(b.context(), wrap));
+    if (c.dynOffset)
+        dsd = csl::createIncrementDsdOffset(b, dsd, c.dynOffset);
+    return dsd;
+}
+
+std::unique_ptr<ir::Pass>
+createMemrefToDsdCleanupPass()
+{
+    return std::make_unique<ir::FunctionPass>(
+        "lower-memref-to-dsd-cleanup", [](ir::Operation *module) {
+            std::vector<ir::NamedPattern> patterns = {
+                {"dce-views",
+                 [](ir::Operation *op, ir::OpBuilder &) {
+                     const std::string &n = op->name();
+                     bool view = n == mr::kSubview ||
+                                 n == cs::kAccess ||
+                                 n == csl::kLoadVar ||
+                                 n == ar::kConstant;
+                     if (!view || op->hasResultUses())
+                         return false;
+                     op->erase();
+                     return true;
+                 }},
+            };
+            ir::applyPatternsGreedily(module, patterns);
+        });
+}
+
+} // namespace wsc::transforms

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * lower-memref-to-dsd (paper §5.5): generates CSL Data Structure
+ * Descriptor definitions on top of the buffer references, so that the
+ * compute builtins iterate memory through native hardware support.
+ *
+ * Exposes materializeDsd(), which resolves a chain of buffer views
+ * (csl.load_var, memref.subview, csl_stencil.access) into a
+ * csl.get_mem_dsd (+ csl.increment_dsd_offset for dynamic offsets), and
+ * the cleanup pass that removes the consumed memref-level view ops.
+ */
+
+#ifndef WSC_TRANSFORMS_MEMREF_TO_DSD_H
+#define WSC_TRANSFORMS_MEMREF_TO_DSD_H
+
+#include <memory>
+
+#include "ir/builder.h"
+#include "ir/pass.h"
+
+namespace wsc::transforms {
+
+/**
+ * Emit DSD-construction ops for a memref-typed buffer view at the
+ * builder's insertion point. `iterLength` > 0 overrides the iteration
+ * count; `wrap` > 0 requests a broadcast DSD whose addressing wraps
+ * every `wrap` elements (the one-shot reduction trick).
+ */
+ir::Value materializeDsd(ir::OpBuilder &b, ir::Value memrefValue,
+                         int64_t iterLength = 0, int64_t wrap = 0);
+
+/** Remove view ops left dead after DSD materialization. */
+std::unique_ptr<ir::Pass> createMemrefToDsdCleanupPass();
+
+} // namespace wsc::transforms
+
+#endif // WSC_TRANSFORMS_MEMREF_TO_DSD_H

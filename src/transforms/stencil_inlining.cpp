@@ -1,0 +1,229 @@
+#include "transforms/stencil_inlining.h"
+
+#include <algorithm>
+
+#include "dialects/stencil.h"
+#include "support/error.h"
+#include "transforms/utils.h"
+
+namespace wsc::transforms {
+
+namespace {
+
+namespace st = dialects::stencil;
+
+/** Clones a stencil.apply body, inlining accesses to a producer apply. */
+class InlineCloner
+{
+  public:
+    InlineCloner(ir::OpBuilder &b, ir::Operation *producer,
+                 ir::Operation *consumer,
+                 const std::map<ir::ValueImpl *, ir::Value> &argMapping)
+        : b_(b), producer_(producer), consumer_(consumer),
+          argMapping_(argMapping)
+    {
+    }
+
+    /**
+     * Clone the consumer body into the builder's block; producer-result
+     * accesses are expanded into shifted clones of the producer body.
+     */
+    std::vector<ir::Value>
+    run()
+    {
+        std::map<ir::ValueImpl *, ir::Value> mapping = argMapping_;
+        ir::Block *body = st::applyBody(consumer_);
+        std::vector<ir::Operation *> ops = body->opsVector();
+        for (size_t i = 0; i + 1 < ops.size(); ++i)
+            cloneConsumerOp(ops[i], mapping);
+        std::vector<ir::Value> results;
+        for (ir::Value v : ops.back()->operands())
+            results.push_back(mapValue(mapping, v));
+        return results;
+    }
+
+  private:
+    /** Is `v` the consumer block argument bound to a producer result? */
+    int
+    producerResultIndex(ir::Value v)
+    {
+        if (!v.isBlockArgument() ||
+            v.ownerBlock() != st::applyBody(consumer_))
+            return -1;
+        ir::Value operand = consumer_->operand(v.index());
+        if (!operand.definingOp() || operand.definingOp() != producer_)
+            return -1;
+        return static_cast<int>(operand.index());
+    }
+
+    void
+    cloneConsumerOp(ir::Operation *op,
+                    std::map<ir::ValueImpl *, ir::Value> &mapping)
+    {
+        if (op->name() == st::kAccess) {
+            int resultIdx = producerResultIndex(op->operand(0));
+            if (resultIdx >= 0) {
+                std::vector<int64_t> shift = st::accessOffset(op);
+                mapping[op->result().impl()] =
+                    inlineProducer(resultIdx, shift, mapping);
+                return;
+            }
+        }
+        cloneOp(b_, op, mapping);
+    }
+
+    /**
+     * Inline the producer body shifted by `shift`, returning the value of
+     * its `resultIdx`-th returned result.
+     */
+    ir::Value
+    inlineProducer(int resultIdx, const std::vector<int64_t> &shift,
+                   const std::map<ir::ValueImpl *, ir::Value> &outerMapping)
+    {
+        // Map producer block args to the values visible in the new body:
+        // the producer's operands, mapped through the consumer arg map.
+        std::map<ir::ValueImpl *, ir::Value> mapping;
+        ir::Block *pBody = st::applyBody(producer_);
+        for (unsigned i = 0; i < producer_->numOperands(); ++i)
+            mapping[pBody->argument(i).impl()] =
+                mapValue(outerMapping, producer_->operand(i));
+
+        std::vector<ir::Operation *> ops = pBody->opsVector();
+        for (size_t i = 0; i + 1 < ops.size(); ++i) {
+            ir::Operation *op = ops[i];
+            if (op->name() == st::kAccess) {
+                // Compose offsets: producer access shifted by the
+                // consumer access offset.
+                std::vector<int64_t> offset = st::accessOffset(op);
+                WSC_ASSERT(offset.size() == shift.size(),
+                           "access rank mismatch during inlining");
+                for (size_t d = 0; d < offset.size(); ++d)
+                    offset[d] += shift[d];
+                ir::Value source = mapValue(mapping, op->operand(0));
+                mapping[op->result().impl()] =
+                    st::createAccess(b_, source, offset);
+                continue;
+            }
+            cloneOp(b_, op, mapping);
+        }
+        ir::Operation *ret = ops.back();
+        WSC_ASSERT(ret->name() == st::kReturn,
+                   "apply body must end in stencil.return");
+        return mapValue(mapping, ret->operand(resultIdx));
+    }
+
+    ir::OpBuilder &b_;
+    ir::Operation *producer_;
+    ir::Operation *consumer_;
+    std::map<ir::ValueImpl *, ir::Value> argMapping_;
+};
+
+/** Find a (producer, consumer) pair eligible for inlining. */
+std::pair<ir::Operation *, ir::Operation *>
+findInliningCandidate(ir::Operation *module)
+{
+    for (ir::Operation *producer : collectOps(module, st::kApply)) {
+        // Every result use must be the same later apply in the same block.
+        ir::Operation *consumer = nullptr;
+        bool eligible = true;
+        bool hasUse = false;
+        for (ir::Value r : producer->results()) {
+            for (ir::Operation *user : r.users()) {
+                hasUse = true;
+                if (user->name() != st::kApply ||
+                    user->parentBlock() != producer->parentBlock() ||
+                    (consumer && user != consumer)) {
+                    eligible = false;
+                    break;
+                }
+                consumer = user;
+            }
+            if (!eligible)
+                break;
+        }
+        if (eligible && hasUse && consumer)
+            return {producer, consumer};
+    }
+    return {nullptr, nullptr};
+}
+
+/** Perform one producer-into-consumer inlining step. */
+void
+inlineOnce(ir::Operation *producer, ir::Operation *consumer)
+{
+    ir::OpBuilder b(producer->context());
+
+    // New operand list: consumer operands that aren't producer results,
+    // then producer operands not already present.
+    std::vector<ir::Value> newOperands;
+    std::map<ir::ValueImpl *, ir::Value> argMapping; // old arg -> new arg
+    auto addOperand = [&](ir::Value v) -> int {
+        for (size_t i = 0; i < newOperands.size(); ++i)
+            if (newOperands[i] == v)
+                return static_cast<int>(i);
+        newOperands.push_back(v);
+        return static_cast<int>(newOperands.size() - 1);
+    };
+    for (unsigned i = 0; i < consumer->numOperands(); ++i) {
+        ir::Value v = consumer->operand(i);
+        if (v.definingOp() == producer)
+            continue;
+        addOperand(v);
+    }
+    for (unsigned i = 0; i < producer->numOperands(); ++i)
+        addOperand(producer->operand(i));
+
+    std::vector<ir::Type> resultTypes;
+    for (ir::Value r : consumer->results())
+        resultTypes.push_back(r.type());
+
+    b.setInsertionPoint(consumer);
+    ir::Operation *fused = st::createApply(b, newOperands, resultTypes);
+
+    // Bind old consumer args (for non-producer operands) to new args.
+    ir::Block *newBody = st::applyBody(fused);
+    ir::Block *oldBody = st::applyBody(consumer);
+    for (unsigned i = 0; i < consumer->numOperands(); ++i) {
+        ir::Value v = consumer->operand(i);
+        if (v.definingOp() == producer)
+            continue;
+        int idx = addOperand(v);
+        argMapping[oldBody->argument(i).impl()] =
+            newBody->argument(static_cast<unsigned>(idx));
+    }
+    // Bind producer block args indirectly: the cloner maps producer
+    // operands through this map, so bind operand values to new args.
+    std::map<ir::ValueImpl *, ir::Value> operandToArg;
+    for (size_t i = 0; i < newOperands.size(); ++i)
+        operandToArg[newOperands[i].impl()] =
+            newBody->argument(static_cast<unsigned>(i));
+    for (const auto &[key, value] : operandToArg)
+        argMapping.emplace(key, value);
+
+    ir::OpBuilder bodyBuilder(producer->context());
+    bodyBuilder.setInsertionPointToEnd(newBody);
+    InlineCloner cloner(bodyBuilder, producer, consumer, argMapping);
+    std::vector<ir::Value> results = cloner.run();
+    st::createReturn(bodyBuilder, results);
+
+    ir::replaceOp(consumer, fused->results());
+    ir::eraseOp(producer);
+}
+
+} // namespace
+
+std::unique_ptr<ir::Pass>
+createStencilInliningPass()
+{
+    return std::make_unique<ir::FunctionPass>(
+        "stencil-inlining", [](ir::Operation *module) {
+            while (true) {
+                auto [producer, consumer] = findInliningCandidate(module);
+                if (!producer)
+                    return;
+                inlineOnce(producer, consumer);
+            }
+        });
+}
+
+} // namespace wsc::transforms

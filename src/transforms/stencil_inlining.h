@@ -1,0 +1,23 @@
+/**
+ * @file
+ * stencil-inlining (paper §5.7): merges consecutive stencil.apply ops into
+ * a single fused kernel, removing host-device context switches between
+ * stencils. An apply whose results are consumed only by one later apply is
+ * inlined into it, composing access offsets. For UVKBE this fuses all
+ * applies into one operation.
+ */
+
+#ifndef WSC_TRANSFORMS_STENCIL_INLINING_H
+#define WSC_TRANSFORMS_STENCIL_INLINING_H
+
+#include <memory>
+
+#include "ir/pass.h"
+
+namespace wsc::transforms {
+
+std::unique_ptr<ir::Pass> createStencilInliningPass();
+
+} // namespace wsc::transforms
+
+#endif // WSC_TRANSFORMS_STENCIL_INLINING_H

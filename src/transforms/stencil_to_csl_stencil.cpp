@@ -1,0 +1,647 @@
+#include "transforms/stencil_to_csl_stencil.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+
+#include "dialects/arith.h"
+#include "dialects/csl_stencil.h"
+#include "dialects/dmp.h"
+#include "dialects/stencil.h"
+#include "dialects/tensor.h"
+#include "dialects/varith.h"
+#include "support/error.h"
+#include "transforms/utils.h"
+
+namespace wsc::transforms {
+
+namespace {
+
+namespace st = dialects::stencil;
+namespace cs = dialects::csl_stencil;
+namespace ar = dialects::arith;
+namespace va = dialects::varith;
+namespace dmp = dialects::dmp;
+namespace tn = dialects::tensor;
+
+/** Classification of a body value w.r.t. the communicated operand. */
+enum class Purity { Const, Local, Remote, Mixed };
+
+Purity
+combine(Purity a, Purity b)
+{
+    if (a == Purity::Mixed || b == Purity::Mixed)
+        return Purity::Mixed;
+    if (a == Purity::Const)
+        return b;
+    if (b == Purity::Const)
+        return a;
+    if (a == b)
+        return a;
+    return Purity::Mixed;
+}
+
+struct BodyAnalysis
+{
+    std::map<ir::ValueImpl *, Purity> purity;
+    /** The single varith.add where remote meets local (may be null). */
+    ir::Operation *mixingOp = nullptr;
+    /** Remote-pure operands of the mixing op (the remote terms). */
+    std::vector<ir::Value> remoteTerms;
+    /** The remaining (local/const) operands of the mixing op. */
+    std::vector<ir::Value> localTerms;
+};
+
+/** Is this op a remote access on the communicated block argument? */
+bool
+isRemoteAccess(ir::Operation *op, ir::Block *body, unsigned commIdx)
+{
+    if (op->name() != st::kAccess && op->name() != cs::kAccess)
+        return false;
+    ir::Value src = op->operand(0);
+    if (!src.isBlockArgument() || src.ownerBlock() != body ||
+        src.index() != commIdx)
+        return false;
+    std::vector<int64_t> offset = st::accessOffset(op);
+    return offset.size() >= 2 && (offset[0] != 0 || offset[1] != 0);
+}
+
+/** Analyze a stencil.apply body (see header step 3). */
+BodyAnalysis
+analyzeBody(ir::Operation *apply, unsigned commIdx)
+{
+    BodyAnalysis out;
+    ir::Block *body = st::applyBody(apply);
+    for (ir::Operation *op : body->opsVector()) {
+        if (op->name() == st::kReturn)
+            continue;
+        Purity p;
+        if (op->name() == st::kAccess) {
+            p = isRemoteAccess(op, body, commIdx) ? Purity::Remote
+                                                  : Purity::Local;
+        } else if (op->name() == ar::kConstant) {
+            p = Purity::Const;
+        } else {
+            p = Purity::Const;
+            for (ir::Value v : op->operands()) {
+                auto it = out.purity.find(v.impl());
+                Purity vp = it == out.purity.end() ? Purity::Local
+                                                   : it->second;
+                p = combine(p, vp);
+            }
+            // The op where remote meets local must be a varith.add (the
+            // accumulator combination point) and must be unique.
+            bool createsMix = p == Purity::Mixed;
+            for (ir::Value v : op->operands()) {
+                auto it = out.purity.find(v.impl());
+                if (it != out.purity.end() && it->second == Purity::Mixed)
+                    createsMix = false; // Mixed-ness merely propagates.
+            }
+            if (createsMix) {
+                if (out.mixingOp)
+                    fatal("stencil-to-csl-stencil: more than one point "
+                          "mixes remote and local data; cannot split the "
+                          "kernel");
+                if (op->name() != va::kAdd)
+                    fatal("stencil-to-csl-stencil: remote and local data "
+                          "must combine through addition (varith.add), "
+                          "found " + op->name());
+                out.mixingOp = op;
+            }
+        }
+        for (ir::Value r : op->results())
+            out.purity[r.impl()] = p;
+    }
+
+    if (out.mixingOp) {
+        for (ir::Value v : out.mixingOp->operands()) {
+            Purity p = out.purity.at(v.impl());
+            if (p == Purity::Remote)
+                out.remoteTerms.push_back(v);
+            else
+                out.localTerms.push_back(v);
+        }
+    } else {
+        // No mixing point: the returned value may be remote-pure.
+        ir::Operation *ret = body->terminator();
+        WSC_ASSERT(ret->numOperands() == 1,
+                   "expected single-result apply");
+        ir::Value result = ret->operand(0);
+        Purity p = out.purity.count(result.impl())
+                       ? out.purity.at(result.impl())
+                       : Purity::Local;
+        if (p == Purity::Remote) {
+            ir::Operation *def = result.definingOp();
+            if (def && def->name() == va::kAdd) {
+                out.mixingOp = def;
+                for (ir::Value v : def->operands())
+                    out.remoteTerms.push_back(v);
+            } else {
+                out.remoteTerms.push_back(result);
+            }
+        }
+    }
+    return out;
+}
+
+/** Try to see a remote term as coefficient * access. */
+struct PromotedTerm
+{
+    ir::Operation *access = nullptr;
+    double coeff = 1.0;
+    bool ok = false;
+};
+
+PromotedTerm
+matchPromotableTerm(ir::Value term)
+{
+    PromotedTerm out;
+    ir::Operation *def = term.definingOp();
+    if (!def)
+        return out;
+    if (def->name() == st::kAccess) {
+        out.access = def;
+        out.ok = term.numUses() == 1;
+        return out;
+    }
+    if (def->name() == ar::kMulF || def->name() == va::kMul) {
+        if (def->numOperands() != 2)
+            return out;
+        for (int i = 0; i < 2; ++i) {
+            ir::Operation *a = def->operand(i).definingOp();
+            ir::Operation *c = def->operand(1 - i).definingOp();
+            if (a && a->name() == st::kAccess && c &&
+                ar::isFloatConstant(c)) {
+                out.access = a;
+                out.coeff = ar::floatConstantValue(c);
+                out.ok = def->result().numUses() == 1 &&
+                         def->operand(i).numUses() == 1;
+                return out;
+            }
+        }
+    }
+    return out;
+}
+
+/** Smallest chunk count whose receive buffer fits the budget. */
+int64_t
+chooseNumChunks(int64_t sections, int64_t commElems, int64_t budgetBytes)
+{
+    if (sections == 0)
+        return 1;
+    auto fits = [&](int64_t n) {
+        int64_t chunk = (commElems + n - 1) / n;
+        return sections * chunk * 4 <= budgetBytes;
+    };
+    // Prefer chunk counts that divide the column evenly.
+    for (int64_t n = 1; n <= commElems; ++n)
+        if (commElems % n == 0 && fits(n))
+            return n;
+    for (int64_t n = 1; n <= commElems; ++n)
+        if (fits(n))
+            return n;
+    fatal("no chunk count fits the receive-buffer budget");
+}
+
+/** Section index of an access offset within the canonical exchanges. */
+int
+sectionOf(const std::vector<dmp::Exchange> &exchanges,
+          const std::vector<int64_t> &offset)
+{
+    for (size_t i = 0; i < exchanges.size(); ++i)
+        if (exchanges[i].dx == offset[0] && exchanges[i].dy == offset[1])
+            return static_cast<int>(i);
+    return -1;
+}
+
+/** Retype a just-cloned region-0 op to chunk-length tensors. */
+void
+retypeForChunk(ir::Operation *op, ir::Type chunkType)
+{
+    ir::Context &ctx = op->context();
+    if (op->name() == ar::kConstant) {
+        ir::Attribute v = op->attr("value");
+        WSC_ASSERT(ir::isDenseAttr(v), "expected dense constant");
+        op->setAttr("value",
+                    ir::getDenseAttr(ctx, chunkType,
+                                     ir::denseAttrValues(v)));
+    }
+    for (ir::Value r : op->results())
+        r.setType(chunkType);
+}
+
+/** Convert one apply with at most one communicated operand. */
+void
+convertApply(ir::Operation *apply, ir::Operation *swap,
+             unsigned commIdx, const StencilToCslStencilOptions &options)
+{
+    ir::Context &ctx = apply->context();
+    ir::Block *body = st::applyBody(apply);
+    ir::Operation *ret = body->terminator();
+    ir::Type interiorType = ret->operand(0).type();
+    WSC_ASSERT(ir::isTensor(interiorType),
+               "apply must be tensorized before conversion");
+    int64_t interior = ir::shapeOf(interiorType)[0];
+    int64_t rz = apply->hasAttr("z_offset") ? apply->intAttr("z_offset")
+                                            : 0;
+    int64_t zDim = apply->hasAttr("z_dim")
+                       ? apply->intAttr("z_dim")
+                       : interior + 2 * rz;
+
+    std::vector<dmp::Exchange> exchanges =
+        cs::canonicalExchangeOrder(dmp::swapExchanges(swap));
+    std::pair<int64_t, int64_t> topology = dmp::swapTopology(swap);
+    int64_t sections = static_cast<int64_t>(exchanges.size());
+    int64_t numChunks =
+        options.forceNumChunks > 0
+            ? options.forceNumChunks
+            : chooseNumChunks(sections, interior,
+                              options.recvBufferBudgetBytes);
+    int64_t chunkLen = (interior + numChunks - 1) / numChunks;
+
+    BodyAnalysis analysis = analyzeBody(apply, commIdx);
+
+    // Coefficient promotion (step 4).
+    std::vector<double> coeffs(static_cast<size_t>(sections), 0.0);
+    bool promote = !options.disableCoeffPromotion && sections > 0;
+    std::vector<PromotedTerm> promoted;
+    std::set<int> seenSections;
+    for (ir::Value term : analysis.remoteTerms) {
+        PromotedTerm p = matchPromotableTerm(term);
+        int section = -1;
+        if (p.ok)
+            section = sectionOf(exchanges, st::accessOffset(p.access));
+        if (!p.ok || section < 0 || seenSections.count(section)) {
+            promote = false;
+            break;
+        }
+        seenSections.insert(section);
+        coeffs[static_cast<size_t>(section)] = p.coeff;
+        promoted.push_back(p);
+    }
+    // Promotion must cover every section exactly once.
+    if (promote &&
+        seenSections.size() != static_cast<size_t>(sections))
+        promote = false;
+
+    ir::OpBuilder b(ctx);
+    b.setInsertionPoint(apply);
+
+    // Accumulator init (bufferized later into a zeroed buffer).
+    ir::Value acc = tn::createEmpty(
+        b, ir::getTensorType(ctx, {interior}, ir::getF32Type(ctx)));
+
+    std::vector<ir::Value> others;
+    std::vector<unsigned> otherIdx;
+    for (unsigned i = 0; i < apply->numOperands(); ++i) {
+        if (i == commIdx)
+            continue;
+        others.push_back(apply->operand(i));
+        otherIdx.push_back(i);
+    }
+
+    ir::Type chunkType =
+        ir::getTensorType(ctx, {chunkLen}, ir::getF32Type(ctx));
+    ir::Type recvChunkType = ir::getTensorType(
+        ctx, {sections, chunkLen}, ir::getF32Type(ctx));
+    ir::Value input = swap ? swap->operand(0) : apply->operand(commIdx);
+
+    ir::Operation *newApply = cs::createApply(
+        b, input, acc, others, exchanges, numChunks, topology,
+        apply->result().type(), recvChunkType);
+    newApply->setAttr("z_dim", ir::getIntAttr(ctx, zDim));
+    newApply->setAttr("z_offset", ir::getIntAttr(ctx, rz));
+    if (promote) {
+        ir::Type coeffType = ir::getTensorType(ctx, {sections},
+                                               ir::getF32Type(ctx));
+        newApply->setAttr("coeffs",
+                          ir::getDenseAttr(ctx, coeffType, coeffs));
+    }
+
+    // ---- Region 0: receive-chunk ----
+    ir::Block *recv = cs::applyRecvBlock(newApply);
+    ir::Value bufArg = recv->argument(0);
+    ir::Value offsetArg = recv->argument(1);
+    ir::Value accArg = recv->argument(2);
+    ir::OpBuilder rb(ctx);
+    rb.setInsertionPointToEnd(recv);
+    if (sections == 0) {
+        cs::createYield(rb, {accArg});
+    } else {
+        std::vector<ir::Value> parts;
+        if (promote) {
+            // Coefficients already applied while landing: just gather the
+            // per-section chunk slices.
+            for (const dmp::Exchange &e : exchanges)
+                parts.push_back(cs::createAccess(rb, bufArg, {e.dx, e.dy},
+                                                 chunkType));
+        } else {
+            // Clone each remote term chunk-wise, redirecting accesses to
+            // the receive buffer.
+            std::map<ir::ValueImpl *, ir::Value> mapping;
+            for (ir::Operation *op : body->opsVector()) {
+                if (op->numResults() != 1)
+                    continue;
+                auto it = analysis.purity.find(op->result().impl());
+                Purity p = it == analysis.purity.end() ? Purity::Local
+                                                       : it->second;
+                if (p != Purity::Remote && p != Purity::Const)
+                    continue;
+                if (op->name() == st::kAccess) {
+                    if (isRemoteAccess(op, body, commIdx)) {
+                        std::vector<int64_t> off = st::accessOffset(op);
+                        mapping[op->result().impl()] = cs::createAccess(
+                            rb, bufArg, {off[0], off[1]}, chunkType);
+                    }
+                    continue;
+                }
+                ir::Operation *clone = cloneOp(rb, op, mapping);
+                retypeForChunk(clone, chunkType);
+            }
+            for (ir::Value t : analysis.remoteTerms)
+                parts.push_back(mapValue(mapping, t));
+        }
+        ir::Value sum = parts.size() == 1
+                            ? parts[0]
+                            : va::createVariadic(rb, va::kAdd, parts);
+        ir::Value inserted =
+            tn::createInsertSlice(rb, sum, accArg, offsetArg, chunkLen);
+        cs::createYield(rb, {inserted});
+        // Constants cloned for local terms are dead here; prune them.
+        bool recvChanged = true;
+        while (recvChanged) {
+            recvChanged = false;
+            for (ir::Operation *op : recv->opsVector()) {
+                if (op->isTerminator() || op->hasResultUses() ||
+                    op->numResults() == 0)
+                    continue;
+                op->erase();
+                recvChanged = true;
+            }
+        }
+    }
+
+    // ---- Region 1: done-exchange ----
+    ir::Block *done = cs::applyDoneBlock(newApply);
+    ir::OpBuilder db(ctx);
+    db.setInsertionPointToEnd(done);
+    std::map<ir::ValueImpl *, ir::Value> mapping;
+    mapping[body->argument(commIdx).impl()] = done->argument(0);
+    for (size_t i = 0; i < otherIdx.size(); ++i)
+        mapping[body->argument(otherIdx[i]).impl()] =
+            done->argument(static_cast<unsigned>(2 + i));
+
+    for (ir::Operation *op : body->opsVector()) {
+        if (op->name() == st::kReturn) {
+            std::vector<ir::Value> results;
+            for (ir::Value v : op->operands()) {
+                auto it = analysis.purity.find(v.impl());
+                // A remote-pure result (stencil with no local part) is
+                // exactly the accumulator.
+                if (it != analysis.purity.end() &&
+                    it->second == Purity::Remote)
+                    results.push_back(done->argument(1));
+                else
+                    results.push_back(mapValue(mapping, v));
+            }
+            cs::createYield(db, results);
+            continue;
+        }
+        // Skip remote-pure ops: their work happened in region 0.
+        if (op->numResults() == 1 &&
+            analysis.purity.count(op->result().impl()) &&
+            analysis.purity.at(op->result().impl()) == Purity::Remote)
+            continue;
+        if (op == analysis.mixingOp) {
+            std::vector<ir::Value> operands;
+            for (ir::Value v : analysis.localTerms)
+                operands.push_back(mapValue(mapping, v));
+            operands.push_back(done->argument(1)); // the accumulator
+            ir::Value combined =
+                operands.size() == 1
+                    ? operands[0]
+                    : va::createVariadic(db, va::kAdd, operands);
+            mapping[op->result().impl()] = combined;
+            continue;
+        }
+        if (op->name() == st::kAccess) {
+            ir::Value src = mapValue(mapping, op->operand(0));
+            mapping[op->result().impl()] = cs::createAccess(
+                db, src, st::accessOffset(op), op->result().type());
+            continue;
+        }
+        cloneOp(db, op, mapping);
+    }
+
+    // Remove region-1 ops whose results are unused (constants that only
+    // fed remote terms).
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (ir::Operation *op : done->opsVector()) {
+            if (op->isTerminator() || op->hasResultUses() ||
+                op->numResults() == 0)
+                continue;
+            op->erase();
+            changed = true;
+        }
+    }
+
+    ir::replaceOp(apply, {newApply->result()});
+    if (swap && !swap->hasResultUses())
+        ir::eraseOp(swap);
+}
+
+/** Split an apply with multiple communicated operands (see header). */
+void
+splitApply(ir::Operation *apply,
+           const std::vector<std::pair<unsigned, ir::Operation *>>
+               &swappedOperands)
+{
+    ir::Context &ctx = apply->context();
+    ir::Block *body = st::applyBody(apply);
+    unsigned commIdx = swappedOperands.front().first;
+
+    BodyAnalysis analysis = analyzeBody(apply, commIdx);
+    WSC_ASSERT(analysis.mixingOp,
+               "splitApply requires a mixing varith.add");
+    ir::Operation *ret = body->terminator();
+    ir::Type interiorType = ret->operand(0).type();
+
+    // Partial apply: only the remote terms of operand commIdx.
+    ir::OpBuilder b(ctx);
+    b.setInsertionPoint(apply);
+    st::Bounds bounds2 = st::boundsOf(apply->result().type());
+    ir::Type partialType =
+        st::getTempType(ctx, bounds2, interiorType);
+    ir::Operation *partial = st::createApply(
+        b, {apply->operand(commIdx)}, {partialType});
+    if (apply->hasAttr("z_dim"))
+        partial->setAttr("z_dim", apply->attr("z_dim"));
+    if (apply->hasAttr("z_offset"))
+        partial->setAttr("z_offset", apply->attr("z_offset"));
+
+    ir::Block *pBody = st::applyBody(partial);
+    ir::OpBuilder pb(ctx);
+    pb.setInsertionPointToEnd(pBody);
+    std::map<ir::ValueImpl *, ir::Value> pMapping;
+    pMapping[body->argument(commIdx).impl()] = pBody->argument(0);
+    std::set<ir::ValueImpl *> remoteSet;
+    for (ir::Value t : analysis.remoteTerms)
+        remoteSet.insert(t.impl());
+    for (ir::Operation *op : body->opsVector()) {
+        if (op->name() == st::kReturn)
+            continue;
+        if (op->numResults() != 1)
+            continue;
+        Purity p = analysis.purity.at(op->result().impl());
+        if (p != Purity::Remote && p != Purity::Const)
+            continue;
+        if (op->name() == st::kAccess) {
+            if (isRemoteAccess(op, body, commIdx))
+                pMapping[op->result().impl()] = st::createAccess(
+                    pb, pBody->argument(0), st::accessOffset(op));
+            continue;
+        }
+        cloneOp(pb, op, pMapping);
+    }
+    std::vector<ir::Value> parts;
+    for (ir::Value t : analysis.remoteTerms)
+        parts.push_back(mapValue(pMapping, t));
+    ir::Value sum = parts.size() == 1
+                        ? parts[0]
+                        : va::createVariadic(pb, va::kAdd, parts);
+    st::createReturn(pb, {sum});
+    // Dead-code cleanup (constants cloned but unused).
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (ir::Operation *op : pBody->opsVector()) {
+            if (op->isTerminator() || op->hasResultUses() ||
+                op->numResults() == 0)
+                continue;
+            op->erase();
+            changed = true;
+        }
+    }
+
+    // Rest apply: original body minus the remote terms of commIdx, with
+    // the partial result accessed at offset zero joining the mix. The
+    // commIdx operand stays available — *unswapped* — because the body
+    // may still access it locally (its remote accesses moved into the
+    // partial); taking the swap input keeps the rest apply at one
+    // communicated operand fewer.
+    std::vector<ir::Value> restOperands;
+    for (unsigned i = 0; i < apply->numOperands(); ++i) {
+        ir::Value operand = apply->operand(i);
+        if (i == commIdx) {
+            ir::Operation *def = operand.definingOp();
+            WSC_ASSERT(def && def->name() == dmp::kSwap,
+                       "split operand must be swapped");
+            operand = def->operand(0);
+        }
+        restOperands.push_back(operand);
+    }
+    restOperands.push_back(partial->result());
+    ir::Operation *rest =
+        st::createApply(b, restOperands, {apply->result().type()});
+    if (apply->hasAttr("z_dim"))
+        rest->setAttr("z_dim", apply->attr("z_dim"));
+    if (apply->hasAttr("z_offset"))
+        rest->setAttr("z_offset", apply->attr("z_offset"));
+
+    ir::Block *rBody = st::applyBody(rest);
+    ir::OpBuilder rbld(ctx);
+    rbld.setInsertionPointToEnd(rBody);
+    std::map<ir::ValueImpl *, ir::Value> rMapping;
+    for (unsigned i = 0; i < apply->numOperands(); ++i)
+        rMapping[body->argument(i).impl()] = rBody->argument(i);
+    ir::Value partialArg =
+        rBody->argument(apply->numOperands());
+
+    for (ir::Operation *op : body->opsVector()) {
+        if (op->name() == st::kReturn) {
+            std::vector<ir::Value> results;
+            for (ir::Value v : op->operands())
+                results.push_back(mapValue(rMapping, v));
+            st::createReturn(rbld, results);
+            continue;
+        }
+        if (op->numResults() == 1 &&
+            analysis.purity.at(op->result().impl()) == Purity::Remote)
+            continue;
+        if (op == analysis.mixingOp) {
+            std::vector<ir::Value> operands;
+            for (ir::Value v : analysis.localTerms)
+                operands.push_back(mapValue(rMapping, v));
+            operands.push_back(
+                st::createAccess(rbld, partialArg, {0, 0, 0}));
+            ir::Value combined =
+                operands.size() == 1
+                    ? operands[0]
+                    : va::createVariadic(rbld, va::kAdd, operands);
+            rMapping[op->result().impl()] = combined;
+            continue;
+        }
+        cloneOp(rbld, op, rMapping);
+    }
+    changed = true;
+    while (changed) {
+        changed = false;
+        for (ir::Operation *op : rBody->opsVector()) {
+            if (op->isTerminator() || op->hasResultUses() ||
+                op->numResults() == 0)
+                continue;
+            op->erase();
+            changed = true;
+        }
+    }
+
+    ir::replaceOp(apply, {rest->result()});
+}
+
+/** dmp.swap feeding operand i of the apply, or nullptr. */
+ir::Operation *
+swapFor(ir::Operation *apply, unsigned i)
+{
+    ir::Operation *def = apply->operand(i).definingOp();
+    return def && def->name() == dmp::kSwap ? def : nullptr;
+}
+
+} // namespace
+
+std::unique_ptr<ir::Pass>
+createStencilToCslStencilPass(StencilToCslStencilOptions options)
+{
+    return std::make_unique<ir::FunctionPass>(
+        "convert-stencil-to-csl-stencil", [options](ir::Operation *module) {
+            bool progress = true;
+            while (progress) {
+                progress = false;
+                for (ir::Operation *apply :
+                     collectOps(module, st::kApply)) {
+                    std::vector<std::pair<unsigned, ir::Operation *>>
+                        swapped;
+                    for (unsigned i = 0; i < apply->numOperands(); ++i)
+                        if (ir::Operation *swap = swapFor(apply, i))
+                            swapped.emplace_back(i, swap);
+                    if (swapped.size() > 1) {
+                        splitApply(apply, swapped);
+                        progress = true;
+                        break;
+                    }
+                    unsigned commIdx =
+                        swapped.empty() ? 0 : swapped.front().first;
+                    ir::Operation *swap =
+                        swapped.empty() ? nullptr : swapped.front().second;
+                    if (!swap)
+                        continue; // Local-only applies stay for now.
+                    convertApply(apply, swap, commIdx, options);
+                    progress = true;
+                    break;
+                }
+            }
+        });
+}
+
+} // namespace wsc::transforms

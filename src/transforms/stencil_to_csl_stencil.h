@@ -1,0 +1,49 @@
+/**
+ * @file
+ * convert-stencil-to-csl-stencil (paper §5.2): replaces dmp.swap ops with
+ * csl_stencil communication and splits each stencil.apply into the
+ * receive-chunk / done-exchange structure of csl_stencil.apply.
+ *
+ * Sub-steps, matching the paper's description:
+ *  1. applies with more than one communicated operand (produced by
+ *     stencil-inlining, e.g. UVKBE's fused kernel) are split back into a
+ *     chain of applies, one per buffer communication, enabling
+ *     interleaving of communication and computation;
+ *  2. each dmp.swap becomes a csl_stencil.prefetch describing the receive
+ *     buffer, which is then merged into the csl_stencil.apply;
+ *  3. the body is split: remote-access terms move into the receive-chunk
+ *     region (reduced chunk-by-chunk into the accumulator), local terms
+ *     into the done-exchange region;
+ *  4. where every remote term is `coefficient * access`, the coefficients
+ *     are promoted onto the op (later applied to incoming data at zero
+ *     overhead — the comms/compute interleaving optimization of §5.7);
+ *  5. num_chunks is chosen as the smallest count whose receive buffer
+ *     fits the configured memory budget.
+ */
+
+#ifndef WSC_TRANSFORMS_STENCIL_TO_CSL_STENCIL_H
+#define WSC_TRANSFORMS_STENCIL_TO_CSL_STENCIL_H
+
+#include <cstdint>
+#include <memory>
+
+#include "ir/pass.h"
+
+namespace wsc::transforms {
+
+struct StencilToCslStencilOptions
+{
+    /** Per-PE memory budget for one receive buffer, in bytes. */
+    int64_t recvBufferBudgetBytes = 32 * 1024;
+    /** Force a specific chunk count (0 = derive from the budget). */
+    int64_t forceNumChunks = 0;
+    /** Disable coefficient promotion (ablation). */
+    bool disableCoeffPromotion = false;
+};
+
+std::unique_ptr<ir::Pass> createStencilToCslStencilPass(
+    StencilToCslStencilOptions options = {});
+
+} // namespace wsc::transforms
+
+#endif // WSC_TRANSFORMS_STENCIL_TO_CSL_STENCIL_H

@@ -1,0 +1,138 @@
+#include "transforms/tensorize_z.h"
+
+#include <algorithm>
+
+#include "dialects/arith.h"
+#include "dialects/func.h"
+#include "dialects/stencil.h"
+#include "dialects/varith.h"
+#include "support/error.h"
+#include "transforms/utils.h"
+
+namespace wsc::transforms {
+
+namespace {
+
+namespace st = dialects::stencil;
+namespace ar = dialects::arith;
+namespace va = dialects::varith;
+
+/** Convert a 3-D stencil field/temp type to its 2-D tensorized form. */
+ir::Type
+tensorize3DType(ir::Context &ctx, ir::Type t)
+{
+    if (!st::isFieldType(t) && !st::isTempType(t))
+        return t;
+    st::Bounds bounds = st::boundsOf(t);
+    if (bounds.rank() != 3)
+        return t;
+    ir::Type elem = st::stencilElementTypeOf(t);
+    WSC_ASSERT(ir::isFloat(elem), "tensorize-z expects scalar elements");
+    int64_t z = bounds.size(2);
+    ir::Type column = ir::getTensorType(ctx, {z}, elem);
+    st::Bounds bounds2{{bounds.lb[0], bounds.lb[1]},
+                       {bounds.ub[0], bounds.ub[1]}};
+    return st::isFieldType(t) ? st::getFieldType(ctx, bounds2, column)
+                              : st::getTempType(ctx, bounds2, column);
+}
+
+/** Tensorize the inside of one apply. Returns the z radius rz. */
+void
+tensorizeApplyBody(ir::Operation *apply)
+{
+    ir::Context &ctx = apply->context();
+    ir::Block *body = st::applyBody(apply);
+
+    // Full column length from the first operand.
+    ir::Type tempType = apply->operand(0).type();
+    ir::Type column = st::stencilElementTypeOf(tempType);
+    WSC_ASSERT(ir::isTensor(column),
+               "tensorize-z: operands must be tensorized first");
+    int64_t z = ir::shapeOf(column)[0];
+
+    // rz = max |dz| over the body accesses.
+    int64_t rz = 0;
+    for (ir::Operation *op : collectOps(apply, st::kAccess)) {
+        std::vector<int64_t> offset = st::accessOffset(op);
+        WSC_ASSERT(offset.size() == 3, "expected 3-D access offsets");
+        rz = std::max(rz, std::abs(offset[2]));
+    }
+    int64_t interior = z - 2 * rz;
+    WSC_ASSERT(interior > 0, "z radius leaves no interior");
+    ir::Type interiorType =
+        ir::getTensorType(ctx, {interior}, ir::getF32Type(ctx));
+
+    apply->setAttr("z_dim", ir::getIntAttr(ctx, z));
+    apply->setAttr("z_offset", ir::getIntAttr(ctx, rz));
+
+    // Body block arguments take the (already converted) operand types.
+    for (unsigned i = 0; i < apply->numOperands(); ++i)
+        body->argument(i).setType(apply->operand(i).type());
+
+    for (ir::Operation *op : body->opsVector()) {
+        if (op->name() == st::kAccess) {
+            op->result().setType(interiorType);
+        } else if (op->name() == ar::kConstant) {
+            ir::Attribute v = op->attr("value");
+            WSC_ASSERT(ir::isFloatAttr(v),
+                       "unexpected constant in apply body");
+            op->setAttr("value",
+                        ir::getDenseAttr(ctx, interiorType,
+                                         {ir::floatAttrValue(v)}));
+            op->result().setType(interiorType);
+        } else if (ar::isBinaryFloatOp(op) || op->name() == va::kAdd ||
+                   op->name() == va::kMul) {
+            op->result().setType(interiorType);
+        } else if (op->name() == st::kReturn) {
+            // Nothing to change.
+        } else {
+            fatal("tensorize-z: unsupported op in apply body: " +
+                  op->name());
+        }
+    }
+}
+
+} // namespace
+
+std::unique_ptr<ir::Pass>
+createTensorizeZPass()
+{
+    return std::make_unique<ir::FunctionPass>(
+        "tensorize-z", [](ir::Operation *module) {
+            ir::Context &ctx = module->context();
+            // First rewrite all structural stencil types in place: block
+            // arguments and op results anywhere under the module.
+            module->walk([&](ir::Operation *op) {
+                for (unsigned r = 0; r < op->numRegions(); ++r)
+                    for (ir::Block *block : op->region(r).blocksVector())
+                        for (unsigned i = 0; i < block->numArguments();
+                             ++i) {
+                            ir::Value arg = block->argument(i);
+                            arg.setType(
+                                tensorize3DType(ctx, arg.type()));
+                        }
+                for (ir::Value result : op->results())
+                    result.setType(tensorize3DType(ctx, result.type()));
+                // Function signatures carry types in an attribute.
+                if (op->name() == dialects::func::kFunc) {
+                    ir::Type fn =
+                        ir::typeAttrValue(op->attr("function_type"));
+                    std::vector<ir::Type> inputs;
+                    for (ir::Type t : ir::functionInputs(fn))
+                        inputs.push_back(tensorize3DType(ctx, t));
+                    std::vector<ir::Type> results;
+                    for (ir::Type t : ir::functionResults(fn))
+                        results.push_back(tensorize3DType(ctx, t));
+                    op->setAttr("function_type",
+                                ir::getTypeAttr(
+                                    ctx, ir::getFunctionType(ctx, inputs,
+                                                             results)));
+                }
+            });
+            // Then rewrite the apply bodies to interior-length tensors.
+            for (ir::Operation *apply : collectOps(module, st::kApply))
+                tensorizeApplyBody(apply);
+        });
+}
+
+} // namespace wsc::transforms

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * tensorize-z (paper §5.1, second transformation of Group 1): transforms
+ * the three-dimensional grid of f32 scalars into a two-dimensional grid
+ * of f32 tensors, so that each stencil element (a z-column tensor) maps
+ * onto an individual PE. Value semantics are preserved and arith ops
+ * become rank-polymorphic over the column tensors.
+ *
+ * Conventions established here and relied on downstream:
+ *  - stencil field/temp types become 2-D with a tensor<zxf32> element;
+ *  - each apply receives `z_dim` (full column length) and `z_offset`
+ *    (its local z radius rz) attributes;
+ *  - body values are tensors of the *interior* length z - 2*rz; an
+ *    access offset keeps its third entry dz, meaning the z-shifted
+ *    interior slice [rz+dz, rz+dz+interior) of the source column;
+ *  - the computed interior is placed at [rz, z-rz) of the result column,
+ *    z-boundary cells retaining their previous (boundary-condition)
+ *    values.
+ */
+
+#ifndef WSC_TRANSFORMS_TENSORIZE_Z_H
+#define WSC_TRANSFORMS_TENSORIZE_Z_H
+
+#include <memory>
+
+#include "ir/pass.h"
+
+namespace wsc::transforms {
+
+std::unique_ptr<ir::Pass> createTensorizeZPass();
+
+} // namespace wsc::transforms
+
+#endif // WSC_TRANSFORMS_TENSORIZE_Z_H

@@ -1,0 +1,68 @@
+#include "transforms/utils.h"
+
+#include "support/error.h"
+
+namespace wsc::transforms {
+
+std::vector<ir::Operation *>
+collectOps(ir::Operation *root, const std::string &name)
+{
+    std::vector<ir::Operation *> out;
+    root->walk([&](ir::Operation *op) {
+        if (op != root && op->name() == name)
+            out.push_back(op);
+    });
+    return out;
+}
+
+ir::Operation *
+findOp(ir::Operation *root, const std::string &name)
+{
+    std::vector<ir::Operation *> ops = collectOps(root, name);
+    return ops.empty() ? nullptr : ops.front();
+}
+
+ir::Value
+mapValue(const std::map<ir::ValueImpl *, ir::Value> &mapping, ir::Value v)
+{
+    auto it = mapping.find(v.impl());
+    return it == mapping.end() ? v : it->second;
+}
+
+ir::Operation *
+cloneOp(ir::OpBuilder &b, ir::Operation *op,
+        std::map<ir::ValueImpl *, ir::Value> &mapping)
+{
+    WSC_ASSERT(op->numRegions() == 0,
+               "cloneOp does not support regions (op " << op->name()
+                                                       << ")");
+    std::vector<ir::Value> operands;
+    for (ir::Value v : op->operands())
+        operands.push_back(mapValue(mapping, v));
+    std::vector<ir::Type> resultTypes;
+    for (ir::Value r : op->results())
+        resultTypes.push_back(r.type());
+    std::vector<std::pair<std::string, ir::Attribute>> attrs(
+        op->attrs().begin(), op->attrs().end());
+    ir::Operation *clone = b.create(op->name(), operands, resultTypes,
+                                    attrs);
+    for (unsigned i = 0; i < op->numResults(); ++i)
+        mapping[op->result(i).impl()] = clone->result(i);
+    return clone;
+}
+
+std::vector<ir::Value>
+inlineBlockBody(ir::OpBuilder &b, ir::Block *source,
+                std::map<ir::ValueImpl *, ir::Value> &mapping)
+{
+    std::vector<ir::Operation *> ops = source->opsVector();
+    WSC_ASSERT(!ops.empty(), "inlining an empty block");
+    for (size_t i = 0; i + 1 < ops.size(); ++i)
+        cloneOp(b, ops[i], mapping);
+    std::vector<ir::Value> results;
+    for (ir::Value v : ops.back()->operands())
+        results.push_back(mapValue(mapping, v));
+    return results;
+}
+
+} // namespace wsc::transforms

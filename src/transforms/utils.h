@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Shared helpers for the lowering passes.
+ */
+
+#ifndef WSC_TRANSFORMS_UTILS_H
+#define WSC_TRANSFORMS_UTILS_H
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/builder.h"
+#include "ir/operation.h"
+
+namespace wsc::transforms {
+
+/** Collect all ops under `root` (exclusive) with the given name. */
+std::vector<ir::Operation *> collectOps(ir::Operation *root,
+                                        const std::string &name);
+
+/** The first op with the given name, or nullptr. */
+ir::Operation *findOp(ir::Operation *root, const std::string &name);
+
+/**
+ * Clone `op` (without regions) at the builder's insertion point,
+ * mapping operands through `mapping` (falling back to the original
+ * value). Results are entered into `mapping`.
+ */
+ir::Operation *cloneOp(ir::OpBuilder &b, ir::Operation *op,
+                       std::map<ir::ValueImpl *, ir::Value> &mapping);
+
+/** Map a value through `mapping`, defaulting to itself. */
+ir::Value mapValue(const std::map<ir::ValueImpl *, ir::Value> &mapping,
+                   ir::Value v);
+
+/**
+ * Clone every op of `source` except its terminator into the builder's
+ * insertion point, extending `mapping`. Returns the operands of the
+ * terminator, mapped.
+ */
+std::vector<ir::Value> inlineBlockBody(
+    ir::OpBuilder &b, ir::Block *source,
+    std::map<ir::ValueImpl *, ir::Value> &mapping);
+
+} // namespace wsc::transforms
+
+#endif // WSC_TRANSFORMS_UTILS_H

@@ -1,0 +1,188 @@
+#include "transforms/varith_transforms.h"
+
+#include <algorithm>
+
+#include "dialects/arith.h"
+#include "dialects/varith.h"
+#include "ir/pattern.h"
+#include "support/error.h"
+
+namespace wsc::transforms {
+
+namespace {
+
+namespace ar = dialects::arith;
+namespace va = dialects::varith;
+
+/** arith op name -> varith counterpart (add/mul only). */
+const char *
+varithCounterpart(const std::string &name)
+{
+    if (name == ar::kAddF)
+        return va::kAdd;
+    if (name == ar::kMulF)
+        return va::kMul;
+    return nullptr;
+}
+
+/** Variadic kind ("varith.add"/"varith.mul") of an op name, or nullptr. */
+const char *
+variadicKind(const std::string &name)
+{
+    if (name == ar::kAddF || name == va::kAdd)
+        return va::kAdd;
+    if (name == ar::kMulF || name == va::kMul)
+        return va::kMul;
+    return nullptr;
+}
+
+/** Fuse (varith|arith) op into an enclosing varith-compatible user. */
+bool
+fuseIntoVariadic(ir::Operation *op, ir::OpBuilder &b)
+{
+    const char *target = variadicKind(op->name());
+    if (!target)
+        return false;
+
+    // Collect operands, flattening any producer of the same kind whose
+    // only user is this op.
+    bool flattened = false;
+    std::vector<ir::Value> flat;
+    for (ir::Value v : op->operands()) {
+        ir::Operation *def = v.definingOp();
+        if (def && variadicKind(def->name()) == target &&
+            v.numUses() == 1) {
+            for (ir::Value inner : def->operands())
+                flat.push_back(inner);
+            flattened = true;
+        } else {
+            flat.push_back(v);
+        }
+    }
+    bool isBinaryArith = varithCounterpart(op->name()) != nullptr;
+    if (!flattened && !isBinaryArith)
+        return false;
+
+    ir::Value fused = va::createVariadic(b, target, flat);
+    ir::replaceOp(op, {fused});
+    // Producers left without uses are cleaned up by the dce pattern.
+    return true;
+}
+
+/** varith-fuse-repeated-operands: k identical addends -> mulf by k. */
+bool
+fuseRepeatedAddends(ir::Operation *op, ir::OpBuilder &b)
+{
+    if (op->name() != va::kAdd)
+        return false;
+    // Count occurrences preserving first-seen order.
+    std::vector<std::pair<ir::Value, int>> counts;
+    for (ir::Value v : op->operands()) {
+        bool found = false;
+        for (auto &[value, count] : counts) {
+            if (value == v) {
+                count++;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            counts.emplace_back(v, 1);
+    }
+    bool any = std::any_of(counts.begin(), counts.end(),
+                           [](const auto &p) { return p.second >= 2; });
+    if (!any)
+        return false;
+
+    std::vector<ir::Value> operands;
+    for (auto &[value, count] : counts) {
+        if (count == 1) {
+            operands.push_back(value);
+            continue;
+        }
+        ir::Value k;
+        if (ir::isTensor(value.type())) {
+            k = ar::createDenseConstant(b, value.type(),
+                                        static_cast<double>(count));
+        } else {
+            k = ar::createConstantF32(b, static_cast<double>(count));
+        }
+        operands.push_back(ar::createMulF(b, value, k));
+    }
+    if (operands.size() == 1) {
+        ir::replaceOp(op, {operands[0]});
+    } else {
+        ir::Value fused = va::createVariadic(b, va::kAdd, operands);
+        ir::replaceOp(op, {fused});
+    }
+    return true;
+}
+
+/** Erase ops with no uses and no side effects (dead arith/varith). */
+bool
+dce(ir::Operation *op, ir::OpBuilder &)
+{
+    const std::string &n = op->name();
+    bool pure = n == ar::kAddF || n == ar::kSubF || n == ar::kMulF ||
+                n == ar::kDivF || n == ar::kConstant || n == va::kAdd ||
+                n == va::kMul;
+    if (!pure || op->hasResultUses())
+        return false;
+    ir::eraseOp(op);
+    return true;
+}
+
+} // namespace
+
+std::unique_ptr<ir::Pass>
+createArithToVarithPass()
+{
+    return std::make_unique<ir::FunctionPass>(
+        "arith-to-varith", [](ir::Operation *module) {
+            std::vector<ir::NamedPattern> patterns = {
+                {"fuse-into-variadic", fuseIntoVariadic},
+                {"dce", dce},
+            };
+            ir::applyPatternsGreedily(module, patterns);
+        });
+}
+
+std::unique_ptr<ir::Pass>
+createVarithFuseRepeatedOperandsPass()
+{
+    return std::make_unique<ir::FunctionPass>(
+        "varith-fuse-repeated-operands", [](ir::Operation *module) {
+            std::vector<ir::NamedPattern> patterns = {
+                {"fuse-repeated-addends", fuseRepeatedAddends},
+                {"dce", dce},
+            };
+            ir::applyPatternsGreedily(module, patterns);
+        });
+}
+
+std::unique_ptr<ir::Pass>
+createVarithToArithPass()
+{
+    return std::make_unique<ir::FunctionPass>(
+        "varith-to-arith", [](ir::Operation *module) {
+            std::vector<ir::NamedPattern> patterns = {
+                {"expand-varith",
+                 [](ir::Operation *op, ir::OpBuilder &b) {
+                     if (op->name() != va::kAdd && op->name() != va::kMul)
+                         return false;
+                     const char *binary = op->name() == va::kAdd
+                                              ? ar::kAddF
+                                              : ar::kMulF;
+                     ir::Value acc = op->operand(0);
+                     for (unsigned i = 1; i < op->numOperands(); ++i)
+                         acc = ar::createBinary(b, binary, acc,
+                                                op->operand(i));
+                     ir::replaceOp(op, {acc});
+                     return true;
+                 }},
+            };
+            ir::applyPatternsGreedily(module, patterns);
+        });
+}
+
+} // namespace wsc::transforms

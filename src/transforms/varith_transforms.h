@@ -1,0 +1,29 @@
+/**
+ * @file
+ * varith passes (paper §5.7):
+ *  - arith-to-varith: collapse trees of arith.addf (resp. mulf) into a
+ *    single variadic varith op, simplifying later splitting of the
+ *    computation between remotely- and locally-held data;
+ *  - varith-fuse-repeated-operands: rewrite k>=2 identical addends into a
+ *    multiplication by k (three DSD additions become one multiplication
+ *    in the Acoustic kernel);
+ *  - varith-to-arith: expand leftover varith ops back into binary chains
+ *    (used by lowerings that want binary form).
+ */
+
+#ifndef WSC_TRANSFORMS_VARITH_TRANSFORMS_H
+#define WSC_TRANSFORMS_VARITH_TRANSFORMS_H
+
+#include <memory>
+
+#include "ir/pass.h"
+
+namespace wsc::transforms {
+
+std::unique_ptr<ir::Pass> createArithToVarithPass();
+std::unique_ptr<ir::Pass> createVarithFuseRepeatedOperandsPass();
+std::unique_ptr<ir::Pass> createVarithToArithPass();
+
+} // namespace wsc::transforms
+
+#endif // WSC_TRANSFORMS_VARITH_TRANSFORMS_H

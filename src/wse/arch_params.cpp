@@ -1,0 +1,58 @@
+#include "wse/arch_params.h"
+
+namespace wsc::wse {
+
+double
+ArchParams::peakFlops()
+    const
+{
+    // One FP32 FMA per cycle per PE.
+    return static_cast<double>(numPes()) * 2.0 * clockGHz * 1e9 *
+           f32ElemsPerCycle;
+}
+
+double
+ArchParams::memoryBandwidth() const
+{
+    return static_cast<double>(numPes()) *
+           (readBytesPerCycle + writeBytesPerCycle) * clockGHz * 1e9;
+}
+
+double
+ArchParams::fabricBandwidth() const
+{
+    return static_cast<double>(numPes()) * waveletBytes *
+           linkWaveletsPerCycle * clockGHz * 1e9;
+}
+
+ArchParams
+ArchParams::wse2()
+{
+    ArchParams p;
+    p.name = "WSE2";
+    // The paper's large problem (750x994) fully occupies the WSE2 grid.
+    p.fabricWidth = 750;
+    p.fabricHeight = 994;
+    p.clockGHz = 0.80;
+    p.switchRequiresSelfTransmit = true;
+    p.switchReconfigCycles = 60;
+    p.taskActivateCycles = 18;
+    return p;
+}
+
+ArchParams
+ArchParams::wse3()
+{
+    ArchParams p;
+    p.name = "WSE3";
+    // ~900k usable PEs.
+    p.fabricWidth = 750;
+    p.fabricHeight = 1200;
+    p.clockGHz = 0.95;
+    p.switchRequiresSelfTransmit = false;
+    p.switchReconfigCycles = 8;
+    p.taskActivateCycles = 15;
+    return p;
+}
+
+} // namespace wsc::wse

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Architecture parameter sets for the simulated Wafer-Scale Engine
+ * generations. The WSE2/WSE3 differences the paper identifies — switching
+ * logic that forces WSE2 PEs to transmit to themselves, plus a general
+ * per-generation speed bump — are expressed here and consumed by the
+ * fabric/PE models.
+ *
+ * Absolute values are calibrated so that derived machine-level numbers
+ * (peak FP32 FLOP/s, aggregate memory and fabric bandwidth) land close to
+ * the rooflines the paper plots for the WSE3: ~1.5 PFLOP/s peak,
+ * ~18 PB/s memory bandwidth, ~3.3 PB/s fabric injection bandwidth.
+ */
+
+#ifndef WSC_WSE_ARCH_PARAMS_H
+#define WSC_WSE_ARCH_PARAMS_H
+
+#include <cstdint>
+#include <string>
+
+namespace wsc::wse {
+
+/** Simulation time unit: clock cycles of the PE/fabric clock. */
+using Cycles = uint64_t;
+
+/** Parameters describing one WSE generation. */
+struct ArchParams
+{
+    std::string name;
+
+    /// @name Fabric geometry
+    /// @{
+    /** PE grid usable by kernels (after memcpy infrastructure columns). */
+    int64_t fabricWidth = 0;
+    int64_t fabricHeight = 0;
+    /// @}
+
+    /// @name Clocks and ports
+    /// @{
+    double clockGHz = 0.85;
+    /** Per-PE local SRAM. */
+    int64_t peMemoryBytes = 48 * 1024;
+    /** 128-bit read port. */
+    int readBytesPerCycle = 16;
+    /** 64-bit write port. */
+    int writeBytesPerCycle = 8;
+    /// @}
+
+    /// @name DSD engine
+    /// @{
+    /** Fixed cycles to configure + launch one DSD builtin. */
+    Cycles dsdSetupCycles = 6;
+    /** f32 elements processed per cycle by DSD builtins (1 FMA/cycle). */
+    double f32ElemsPerCycle = 1.0;
+    /// @}
+
+    /// @name Fabric
+    /// @{
+    /** Wavelet payload (one f32). */
+    int waveletBytes = 4;
+    /** Router-to-router latency per hop. */
+    Cycles hopCycles = 1;
+    /** Wavelets per cycle per link per direction. */
+    int linkWaveletsPerCycle = 1;
+    /// @}
+
+    /// @name Task model
+    /// @{
+    /** Dispatch overhead charged per task activation. */
+    Cycles taskActivateCycles = 15;
+    /// @}
+
+    /// @name Switching (the §6 WSE2-vs-WSE3 mechanism)
+    /// @{
+    /**
+     * WSE2 switch configurations require each PE to transmit data to
+     * itself as well as to its neighbours (Jacquelin et al.); the
+     * self-copy occupies the sender's ramp like a real reception.
+     */
+    bool switchRequiresSelfTransmit = false;
+    /** Cycles to advance switch positions, per direction per chunk. */
+    Cycles switchReconfigCycles = 8;
+    /// @}
+
+    /** Peak FP32 FLOP/s of the whole fabric (2 FLOP/cycle/PE via FMA). */
+    double peakFlops() const;
+    /** Aggregate local-memory bandwidth in bytes/s. */
+    double memoryBandwidth() const;
+    /** Aggregate fabric injection bandwidth in bytes/s. */
+    double fabricBandwidth() const;
+    /** Number of usable PEs. */
+    int64_t numPes() const { return fabricWidth * fabricHeight; }
+
+    /** The Cerebras CS-2 (WSE2) configuration. */
+    static ArchParams wse2();
+    /** The Cerebras CS-3 (WSE3) configuration. */
+    static ArchParams wse3();
+};
+
+} // namespace wsc::wse
+
+#endif // WSC_WSE_ARCH_PARAMS_H

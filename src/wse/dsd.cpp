@@ -1,0 +1,120 @@
+#include "wse/dsd.h"
+
+#include "support/error.h"
+
+namespace wsc::wse {
+
+float &
+Dsd::at(int64_t i) const
+{
+    WSC_ASSERT(buf, "DSD with null buffer");
+    if (wrap > 0)
+        i %= wrap;
+    int64_t idx = offset + i * stride;
+    WSC_ASSERT(idx >= 0 && idx < static_cast<int64_t>(buf->size()),
+               "DSD access out of range: idx=" << idx << " size="
+                                               << buf->size());
+    return (*buf)[idx];
+}
+
+Dsd
+Dsd::shifted(int64_t delta) const
+{
+    Dsd d = *this;
+    d.offset += delta;
+    return d;
+}
+
+Dsd
+Dsd::withLength(int64_t newLength) const
+{
+    Dsd d = *this;
+    d.length = newLength;
+    return d;
+}
+
+DsdOperand
+DsdOperand::fromDsd(const Dsd &d)
+{
+    DsdOperand o;
+    o.dsd = d;
+    return o;
+}
+
+DsdOperand
+DsdOperand::fromScalar(float s)
+{
+    DsdOperand o;
+    o.scalar = s;
+    o.isScalar = true;
+    return o;
+}
+
+float
+DsdOperand::read(int64_t i) const
+{
+    return isScalar ? scalar : dsd.at(i);
+}
+
+namespace {
+
+/** Number of elements a builtin iterates over (the dest length). */
+int64_t
+opLength(const Dsd &dest)
+{
+    WSC_ASSERT(dest.length > 0, "DSD builtin over empty destination");
+    return dest.length;
+}
+
+} // namespace
+
+void
+fadds(TaskContext &ctx, const Dsd &dest, const DsdOperand &a,
+      const DsdOperand &b)
+{
+    int64_t n = opLength(dest);
+    for (int64_t i = 0; i < n; ++i)
+        dest.at(i) = a.read(i) + b.read(i);
+    ctx.dsdOp(n, 1);
+}
+
+void
+fsubs(TaskContext &ctx, const Dsd &dest, const DsdOperand &a,
+      const DsdOperand &b)
+{
+    int64_t n = opLength(dest);
+    for (int64_t i = 0; i < n; ++i)
+        dest.at(i) = a.read(i) - b.read(i);
+    ctx.dsdOp(n, 1);
+}
+
+void
+fmuls(TaskContext &ctx, const Dsd &dest, const DsdOperand &a,
+      const DsdOperand &b)
+{
+    int64_t n = opLength(dest);
+    for (int64_t i = 0; i < n; ++i)
+        dest.at(i) = a.read(i) * b.read(i);
+    ctx.dsdOp(n, 1);
+}
+
+void
+fmovs(TaskContext &ctx, const Dsd &dest, const DsdOperand &src)
+{
+    int64_t n = opLength(dest);
+    for (int64_t i = 0; i < n; ++i)
+        dest.at(i) = src.read(i);
+    ctx.dsdOp(n, 0, /*bytesPerElem=*/8);
+}
+
+void
+fmacs(TaskContext &ctx, const Dsd &dest, const DsdOperand &a,
+      const DsdOperand &b, float scalar)
+{
+    int64_t n = opLength(dest);
+    for (int64_t i = 0; i < n; ++i)
+        dest.at(i) = a.read(i) + b.read(i) * scalar;
+    ctx.dsdOp(n, 2);
+}
+
+} // namespace wsc::wse

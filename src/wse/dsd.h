@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Data Structure Descriptors: 1-D affine views over PE-local buffers with
+ * hardware-supported iteration, plus the f32 DSD compute builtins
+ * (@fadds, @fsubs, @fmuls, @fmovs, @fmacs). Execution applies the
+ * element-wise semantics and charges the DSD timing model through the
+ * TaskContext.
+ */
+
+#ifndef WSC_WSE_DSD_H
+#define WSC_WSE_DSD_H
+
+#include <cstdint>
+#include <vector>
+
+#include "wse/pe.h"
+
+namespace wsc::wse {
+
+/** A 1-D affine view over an f32 buffer. */
+struct Dsd
+{
+    std::vector<float> *buf = nullptr;
+    int64_t offset = 0;
+    int64_t length = 0;
+    int64_t stride = 1;
+    /**
+     * Broadcast wrap (CSL virtual-dimension trick): when non-zero,
+     * iteration index i addresses element (i mod wrap). Used for the
+     * one-shot reduction of a whole multi-section receive buffer into a
+     * single accumulator slice.
+     */
+    int64_t wrap = 0;
+
+    /** Element access with bounds checking. */
+    float &at(int64_t i) const;
+
+    /** A copy shifted by `delta` elements. */
+    Dsd shifted(int64_t delta) const;
+    /** A copy with a different length. */
+    Dsd withLength(int64_t newLength) const;
+};
+
+/** A builtin operand: either a DSD or an f32 scalar (broadcast). */
+struct DsdOperand
+{
+    Dsd dsd;
+    float scalar = 0.0f;
+    bool isScalar = false;
+
+    static DsdOperand fromDsd(const Dsd &d);
+    static DsdOperand fromScalar(float s);
+
+    float read(int64_t i) const;
+};
+
+/// @name DSD compute builtins (dest first, as in CSL)
+/// @{
+/** dest[i] = a[i] + b[i] */
+void fadds(TaskContext &ctx, const Dsd &dest, const DsdOperand &a,
+           const DsdOperand &b);
+/** dest[i] = a[i] - b[i] */
+void fsubs(TaskContext &ctx, const Dsd &dest, const DsdOperand &a,
+           const DsdOperand &b);
+/** dest[i] = a[i] * b[i] */
+void fmuls(TaskContext &ctx, const Dsd &dest, const DsdOperand &a,
+           const DsdOperand &b);
+/** dest[i] = src[i] */
+void fmovs(TaskContext &ctx, const Dsd &dest, const DsdOperand &src);
+/** dest[i] = a[i] + b[i] * scalar (fused multiply-accumulate) */
+void fmacs(TaskContext &ctx, const Dsd &dest, const DsdOperand &a,
+           const DsdOperand &b, float scalar);
+/// @}
+
+} // namespace wsc::wse
+
+#endif // WSC_WSE_DSD_H

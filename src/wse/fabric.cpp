@@ -1,0 +1,142 @@
+#include "wse/fabric.h"
+
+#include "support/error.h"
+#include "wse/simulator.h"
+
+namespace wsc::wse {
+
+std::pair<int, int>
+directionStep(Direction d)
+{
+    switch (d) {
+      case Direction::East:
+        return {1, 0};
+      case Direction::West:
+        return {-1, 0};
+      case Direction::North:
+        return {0, -1};
+      case Direction::South:
+        return {0, 1};
+    }
+    panic("unreachable direction");
+}
+
+const char *
+directionName(Direction d)
+{
+    switch (d) {
+      case Direction::East:
+        return "E";
+      case Direction::West:
+        return "W";
+      case Direction::North:
+        return "N";
+      case Direction::South:
+        return "S";
+    }
+    panic("unreachable direction");
+}
+
+const std::vector<Direction> &
+allDirections()
+{
+    static const std::vector<Direction> dirs = {
+        Direction::East, Direction::West, Direction::North,
+        Direction::South};
+    return dirs;
+}
+
+Fabric::Fabric(Simulator &sim) : sim_(sim) {}
+
+Cycles
+Fabric::reserveLink(int x, int y, Direction dir, Cycles from, Cycles n)
+{
+    int64_t key = ((static_cast<int64_t>(x) * sim_.height() + y) * 4 +
+                   static_cast<int64_t>(dir));
+    Cycles &free = linkFree_[key];
+    Cycles start = std::max(from, free);
+    free = start + n;
+    return start;
+}
+
+Cycles
+Fabric::linkFree(int x, int y, Direction dir) const
+{
+    int64_t key = ((static_cast<int64_t>(x) * sim_.height() + y) * 4 +
+                   static_cast<int64_t>(dir));
+    auto it = linkFree_.find(key);
+    return it == linkFree_.end() ? 0 : it->second;
+}
+
+Cycles
+Fabric::switchReconfig(int x, int y, Direction dir, Cycles notBefore)
+{
+    return reserveLink(x, y, dir, notBefore,
+                       sim_.params().switchReconfigCycles) +
+           sim_.params().switchReconfigCycles;
+}
+
+Cycles
+Fabric::sendStream(int x, int y, Direction dir,
+                   const std::vector<int> &deliverDistances,
+                   std::vector<float> payload, Cycles notBefore,
+                   const DeliveryFn &deliver)
+{
+    const ArchParams &p = sim_.params();
+    const Cycles m = payload.size();
+    WSC_ASSERT(m > 0, "empty stream");
+    WSC_ASSERT(!deliverDistances.empty(), "stream without deliveries");
+    auto [dx, dy] = directionStep(dir);
+    int maxDistance = *std::max_element(deliverDistances.begin(),
+                                        deliverDistances.end());
+
+    // Injection: the sender's ramp moves m wavelets to its router.
+    Pe &sender = sim_.pe(x, y);
+    Cycles inject = sender.reserveWork(notBefore, m);
+    Cycles injectDone = inject + m;
+
+    // WSE2 switch configurations force a self-copy: the stream also
+    // re-enters the sender's ramp, occupying it like a real reception.
+    if (p.switchRequiresSelfTransmit)
+        sender.reserveWork(injectDone, m);
+
+    // Wormhole forwarding: hop h's stream starts after the previous hop's
+    // head arrives; each hop's link serializes overlapping streams.
+    Cycles headAt = inject;
+    int cx = x;
+    int cy = y;
+    for (int h = 1; h <= maxDistance; ++h) {
+        int nx = cx + dx;
+        int ny = cy + dy;
+        if (nx < 0 || nx >= sim_.width() || ny < 0 || ny >= sim_.height())
+            break; // Edge of the grid: the route is truncated.
+        // The link from (cx, cy) towards dir carries this stream.
+        Cycles linkStart =
+            reserveLink(cx, cy, dir, headAt, m);
+        Cycles headArrives = linkStart + p.hopCycles;
+        waveletHops_ += m;
+        sim_.stats().waveletsSent += m;
+
+        bool deliverHere =
+            std::find(deliverDistances.begin(), deliverDistances.end(),
+                      h) != deliverDistances.end();
+        if (deliverHere) {
+            // Deliver to the PE at this hop (forward-and-deliver).
+            Pe &receiver = sim_.pe(nx, ny);
+            Cycles rampStart = receiver.reserveWork(headArrives, m);
+            Cycles landed = std::max(rampStart + m, headArrives + m);
+            StreamDelivery record{nx, ny, h, landed};
+            // Copy the payload for the delivery event (snapshot).
+            sim_.schedule(landed, [deliver, record, payload] {
+                deliver(record, payload);
+            });
+        }
+
+        headAt = headArrives;
+        cx = nx;
+        cy = ny;
+    }
+    return injectDone;
+}
+
+} // namespace wsc::wse

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Fabric model: per-link wavelet stream reservations between neighbouring
+ * routers, multicast (forward-and-deliver) routes used by star-shaped
+ * stencil communication, and the WSE2 self-transmit behaviour.
+ */
+
+#ifndef WSC_WSE_FABRIC_H
+#define WSC_WSE_FABRIC_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "wse/arch_params.h"
+
+namespace wsc::wse {
+
+class Simulator;
+
+/** The four cardinal routing directions. */
+enum class Direction { East, West, North, South };
+
+/** Unit step of a direction in grid coordinates. */
+std::pair<int, int> directionStep(Direction d);
+/** Short name ("E", "W", "N", "S"). */
+const char *directionName(Direction d);
+/** All four directions in library send order. */
+const std::vector<Direction> &allDirections();
+
+/**
+ * Completion record handed to a stream delivery callback.
+ */
+struct StreamDelivery
+{
+    int peX = 0;          ///< receiving PE
+    int peY = 0;
+    int distance = 1;     ///< hops from the sender
+    Cycles completeAt = 0;///< cycle at which the chunk fully landed
+};
+
+using DeliveryFn = std::function<void(const StreamDelivery &,
+                                      const std::vector<float> &payload)>;
+
+/**
+ * Models the wafer interconnect between the simulated PEs. Each link
+ * (one per direction per PE pair) carries one wavelet per cycle; a
+ * multi-hop multicast stream reserves every link along its path, so
+ * contention between overlapping streams emerges from the reservations.
+ */
+class Fabric
+{
+  public:
+    explicit Fabric(Simulator &sim);
+
+    /**
+     * Send a chunk of `payload.size()` wavelets from PE (x, y) towards
+     * `dir`, forwarding up to max(deliverDistances) hops and delivering
+     * to the PEs at exactly the listed hop distances (forward-and-deliver
+     * multicast; hops not listed forward without a ramp delivery).
+     * Streams that would leave the grid are truncated at the edge.
+     *
+     * `notBefore` is the earliest injection cycle; injection also
+     * reserves the sender's work timeline (ramp-to-router transfer). On
+     * architectures with switchRequiresSelfTransmit the sender receives
+     * its own copy, occupying its work timeline like a real reception.
+     *
+     * `deliver` runs once per receiving PE at chunk-landed time, after
+     * the receiver's work timeline reservation for the ramp transfer.
+     *
+     * Returns the cycle at which injection completes on the sender.
+     */
+    Cycles sendStream(int x, int y, Direction dir,
+                      const std::vector<int> &deliverDistances,
+                      std::vector<float> payload, Cycles notBefore,
+                      const DeliveryFn &deliver);
+
+    /**
+     * Charge the per-direction switch reconfiguration overhead at the
+     * sending router (advancing switch positions between chunks).
+     */
+    Cycles switchReconfig(int x, int y, Direction dir, Cycles notBefore);
+
+    /** Next free cycle of the outgoing link at (x, y) towards dir. */
+    Cycles linkFree(int x, int y, Direction dir) const;
+
+    /** Total wavelet-hops carried so far (traffic statistic). */
+    uint64_t waveletHops() const { return waveletHops_; }
+
+  private:
+    /** Reserve `n` wavelet slots on a link; returns the actual start. */
+    Cycles reserveLink(int x, int y, Direction dir, Cycles from, Cycles n);
+
+    Simulator &sim_;
+    /** key: ((x * height + y) * 4 + dir) -> next free cycle. */
+    std::map<int64_t, Cycles> linkFree_;
+    uint64_t waveletHops_ = 0;
+};
+
+} // namespace wsc::wse
+
+#endif // WSC_WSE_FABRIC_H

@@ -1,0 +1,143 @@
+#include "wse/pe.h"
+
+#include <cmath>
+
+#include "support/error.h"
+#include "wse/simulator.h"
+
+namespace wsc::wse {
+
+void
+TaskContext::dsdOp(uint64_t elems, int flopsPerElem, int bytesPerElem)
+{
+    const ArchParams &p = sim_.params();
+    consumed_ += p.dsdSetupCycles +
+                 static_cast<Cycles>(
+                     std::ceil(elems / p.f32ElemsPerCycle));
+    sim_.stats().dsdOps++;
+    sim_.stats().flops += elems * static_cast<uint64_t>(flopsPerElem);
+    sim_.stats().memBytes += elems * static_cast<uint64_t>(bytesPerElem);
+}
+
+Pe::Pe(Simulator &sim, int x, int y) : sim_(sim), x_(x), y_(y) {}
+
+std::vector<float> &
+Pe::allocBuffer(const std::string &name, size_t elems)
+{
+    WSC_ASSERT(!buffers_.count(name),
+               "buffer `" << name << "` already allocated on PE (" << x_
+                          << ", " << y_ << ")");
+    size_t bytes = elems * sizeof(float);
+    if (bytesUsed_ + bytes >
+        static_cast<size_t>(sim_.params().peMemoryBytes)) {
+        fatal(strcat("PE (", x_, ", ", y_, ") out of memory allocating `",
+                     name, "` (", elems, " elems): ", bytesUsed_, " + ",
+                     bytes, " > ", sim_.params().peMemoryBytes, " bytes"));
+    }
+    bytesUsed_ += bytes;
+    return buffers_.emplace(name, std::vector<float>(elems, 0.0f))
+        .first->second;
+}
+
+std::vector<float> &
+Pe::buffer(const std::string &name)
+{
+    auto it = buffers_.find(name);
+    WSC_ASSERT(it != buffers_.end(), "no buffer `" << name << "` on PE ("
+                                                   << x_ << ", " << y_
+                                                   << ")");
+    return it->second;
+}
+
+bool
+Pe::hasBuffer(const std::string &name) const
+{
+    return buffers_.count(name) > 0;
+}
+
+void
+Pe::freeBuffer(const std::string &name)
+{
+    auto it = buffers_.find(name);
+    WSC_ASSERT(it != buffers_.end(), "freeing unknown buffer " << name);
+    bytesUsed_ -= it->second.size() * sizeof(float);
+    buffers_.erase(it);
+}
+
+void
+Pe::registerTask(const std::string &name, TaskKind kind, TaskFn fn)
+{
+    WSC_ASSERT(!tasks_.count(name),
+               "task `" << name << "` already registered");
+    tasks_.emplace(name, TaskInfo{kind, std::move(fn)});
+}
+
+bool
+Pe::hasTask(const std::string &name) const
+{
+    return tasks_.count(name) > 0;
+}
+
+void
+Pe::activate(const std::string &name, Cycles readyAt)
+{
+    WSC_ASSERT(tasks_.count(name),
+               "activating unknown task `" << name << "` on PE (" << x_
+                                           << ", " << y_ << ")");
+    pending_.emplace_back(name, readyAt);
+    if (!dispatchScheduled_) {
+        dispatchScheduled_ = true;
+        Cycles at = std::max(readyAt, sim_.now());
+        sim_.schedule(at, [this] { dispatchPending(); });
+    }
+}
+
+void
+Pe::dispatchPending()
+{
+    dispatchScheduled_ = false;
+    if (pending_.empty())
+        return;
+    auto [name, readyAt] = pending_.front();
+    pending_.pop_front();
+
+    const ArchParams &p = sim_.params();
+    Cycles ready = std::max(readyAt, sim_.now());
+    // The dispatch itself costs activation overhead on the work timeline.
+    Cycles start =
+        reserveWork(ready, p.taskActivateCycles) + p.taskActivateCycles;
+
+    taskActivations_++;
+    sim_.stats().taskActivations++;
+
+    TaskContext ctx(sim_, *this, start);
+    tasks_.at(name).fn(ctx);
+    // Charge the consumed core time onto the work timeline.
+    if (ctx.consumed() > 0)
+        reserveWork(start, ctx.consumed());
+    busyCycles_ += p.taskActivateCycles + ctx.consumed();
+
+    if (!pending_.empty()) {
+        dispatchScheduled_ = true;
+        Cycles next = std::max(pending_.front().second, workFree_);
+        sim_.schedule(std::max(next, sim_.now()),
+                      [this] { dispatchPending(); });
+    }
+}
+
+Cycles
+Pe::reserveWork(Cycles from, Cycles n)
+{
+    Cycles start = std::max(from, workFree_);
+    workFree_ = start + n;
+    return start;
+}
+
+void
+Pe::resetStats()
+{
+    taskActivations_ = 0;
+    busyCycles_ = 0;
+}
+
+} // namespace wsc::wse

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Processing-element model: private memory with capacity accounting,
+ * actor-style tasks (data / control / local) dispatched one at a time,
+ * and a single work timeline on which compute and ramp transfers
+ * serialize (see simulator.h for the timing-model rationale).
+ */
+
+#ifndef WSC_WSE_PE_H
+#define WSC_WSE_PE_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "wse/arch_params.h"
+
+namespace wsc::wse {
+
+class Simulator;
+
+/** The three CSL task flavours (software actors). */
+enum class TaskKind { Data, Control, Local };
+
+/**
+ * Context passed to an executing task. Tasks account their compute cost
+ * through consume()/dsdOp() and may activate other tasks or launch
+ * asynchronous operations.
+ */
+class TaskContext
+{
+  public:
+    TaskContext(Simulator &sim, class Pe &pe, Cycles start)
+        : sim_(sim), pe_(pe), start_(start)
+    {
+    }
+
+    Simulator &sim() { return sim_; }
+    class Pe &pe() { return pe_; }
+
+    /** Cycle at which the task began executing. */
+    Cycles startCycle() const { return start_; }
+    /** Current logical time inside the task (start + consumed). */
+    Cycles currentCycle() const { return start_ + consumed_; }
+    /** Total cycles consumed so far. */
+    Cycles consumed() const { return consumed_; }
+
+    /** Charge raw cycles of core time. */
+    void consume(Cycles cycles) { consumed_ += cycles; }
+
+    /**
+     * Charge one DSD builtin over `elems` elements, updating FLOP stats
+     * with `flopsPerElem` and memory traffic with `bytesPerElem`
+     * (default: two 4-byte reads + one 4-byte write).
+     */
+    void dsdOp(uint64_t elems, int flopsPerElem, int bytesPerElem = 12);
+
+  private:
+    Simulator &sim_;
+    class Pe &pe_;
+    Cycles start_;
+    Cycles consumed_ = 0;
+};
+
+using TaskFn = std::function<void(TaskContext &)>;
+
+/** One simulated processing element. */
+class Pe
+{
+  public:
+    Pe(Simulator &sim, int x, int y);
+
+    int x() const { return x_; }
+    int y() const { return y_; }
+
+    /// @name Memory
+    /// @{
+    /**
+     * Allocate a named f32 buffer; throws FatalError when the 48 kB PE
+     * memory would be exceeded.
+     */
+    std::vector<float> &allocBuffer(const std::string &name, size_t elems);
+    std::vector<float> &buffer(const std::string &name);
+    bool hasBuffer(const std::string &name) const;
+    void freeBuffer(const std::string &name);
+    size_t memoryBytesUsed() const { return bytesUsed_; }
+    /// @}
+
+    /// @name Scalar state (module-level variables)
+    /// @{
+    double &scalar(const std::string &name) { return scalars_[name]; }
+    bool hasScalar(const std::string &name) const
+    {
+        return scalars_.count(name) > 0;
+    }
+    /// @}
+
+    /// @name Tasks
+    /// @{
+    void registerTask(const std::string &name, TaskKind kind, TaskFn fn);
+    bool hasTask(const std::string &name) const;
+    /**
+     * Request activation of a task as of cycle `readyAt`; it dispatches
+     * when the PE work timeline is free, after the activation overhead.
+     */
+    void activate(const std::string &name, Cycles readyAt);
+    /// @}
+
+    /// @name Work timeline
+    /// @{
+    /**
+     * Reserve `n` cycles of the PE work timeline no earlier than `from`;
+     * returns the cycle at which the reservation starts.
+     */
+    Cycles reserveWork(Cycles from, Cycles n);
+    /** Next free cycle on the work timeline. */
+    Cycles workFree() const { return workFree_; }
+    /// @}
+
+    /// @name Per-PE statistics
+    /// @{
+    uint64_t taskActivations() const { return taskActivations_; }
+    Cycles busyCycles() const { return busyCycles_; }
+    void resetStats();
+    /// @}
+
+  private:
+    struct TaskInfo
+    {
+        TaskKind kind;
+        TaskFn fn;
+    };
+
+    void dispatchPending();
+
+    Simulator &sim_;
+    int x_;
+    int y_;
+    std::map<std::string, std::vector<float>> buffers_;
+    std::map<std::string, double> scalars_;
+    size_t bytesUsed_ = 0;
+    std::map<std::string, TaskInfo> tasks_;
+    std::deque<std::pair<std::string, Cycles>> pending_;
+    bool dispatchScheduled_ = false;
+    Cycles workFree_ = 0;
+    uint64_t taskActivations_ = 0;
+    Cycles busyCycles_ = 0;
+};
+
+} // namespace wsc::wse
+
+#endif // WSC_WSE_PE_H

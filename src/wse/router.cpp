@@ -1,0 +1,89 @@
+#include "wse/router.h"
+
+#include "support/error.h"
+
+namespace wsc::wse {
+
+namespace {
+
+Direction
+opposite(Direction d)
+{
+    switch (d) {
+      case Direction::East:
+        return Direction::West;
+      case Direction::West:
+        return Direction::East;
+      case Direction::North:
+        return Direction::South;
+      case Direction::South:
+        return Direction::North;
+    }
+    panic("unreachable direction");
+}
+
+} // namespace
+
+void
+Router::configure(Color color, RouteConfig config)
+{
+    WSC_ASSERT(color < kNumColors, "color " << int(color)
+                                            << " out of range");
+    WSC_ASSERT(!config.positions.empty(), "route without positions");
+    routes_[color] = std::move(config);
+}
+
+bool
+Router::hasRoute(Color color) const
+{
+    return routes_.count(color) > 0;
+}
+
+const RouteConfig &
+Router::route(Color color) const
+{
+    auto it = routes_.find(color);
+    WSC_ASSERT(it != routes_.end(),
+               "no route configured for color " << int(color));
+    return it->second;
+}
+
+void
+Router::advanceSwitch(Color color)
+{
+    auto it = routes_.find(color);
+    WSC_ASSERT(it != routes_.end(),
+               "advancing switch of unconfigured color " << int(color));
+    RouteConfig &config = it->second;
+    config.current = (config.current + 1) % config.positions.size();
+}
+
+void
+Router::resetSwitches()
+{
+    for (auto &[color, config] : routes_)
+        config.current = 0;
+}
+
+RouteConfig
+makeStarRoute(Direction dir, bool isSender, bool isTerminal,
+              bool selfTransmit)
+{
+    RouteConfig config;
+    RoutePosition pos;
+    if (isSender) {
+        // Injection position: accept from the ramp, transmit outward.
+        pos.txTo.insert(dir);
+        if (selfTransmit)
+            pos.deliverToRamp = true; // WSE2: the self-copy.
+    } else {
+        pos.rxFrom.insert(opposite(dir));
+        pos.deliverToRamp = true;
+        if (!isTerminal)
+            pos.txTo.insert(dir); // forward-and-deliver multicast
+    }
+    config.positions.push_back(pos);
+    return config;
+}
+
+} // namespace wsc::wse

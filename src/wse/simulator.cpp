@@ -1,0 +1,56 @@
+#include "wse/simulator.h"
+
+#include "support/error.h"
+
+namespace wsc::wse {
+
+Simulator::Simulator(const ArchParams &params, int width, int height)
+    : params_(params), width_(width), height_(height)
+{
+    WSC_ASSERT(width > 0 && height > 0, "empty PE grid");
+    if (width > params.fabricWidth || height > params.fabricHeight)
+        fatal(strcat("requested PE grid ", width, "x", height,
+                     " exceeds the ", params.name, " fabric (",
+                     params.fabricWidth, "x", params.fabricHeight, ")"));
+    pes_.reserve(static_cast<size_t>(width) * height);
+    for (int x = 0; x < width; ++x)
+        for (int y = 0; y < height; ++y)
+            pes_.push_back(std::make_unique<Pe>(*this, x, y));
+    fabric_ = std::make_unique<Fabric>(*this);
+}
+
+Simulator::~Simulator() = default;
+
+Pe &
+Simulator::pe(int x, int y)
+{
+    WSC_ASSERT(x >= 0 && x < width_ && y >= 0 && y < height_,
+               "PE coordinates (" << x << ", " << y << ") out of range");
+    return *pes_[static_cast<size_t>(x) * height_ + y];
+}
+
+void
+Simulator::schedule(Cycles at, std::function<void()> fn)
+{
+    WSC_ASSERT(at >= now_, "scheduling into the past (at=" << at << ", now="
+                                                           << now_ << ")");
+    queue_.push(Event{at, nextSeq_++, std::move(fn)});
+}
+
+Cycles
+Simulator::run(uint64_t maxEvents)
+{
+    uint64_t processed = 0;
+    while (!queue_.empty()) {
+        if (processed++ >= maxEvents)
+            fatal("simulation exceeded the event budget (livelock?)");
+        Event ev = queue_.top();
+        queue_.pop();
+        now_ = ev.at;
+        stats_.eventsProcessed++;
+        ev.fn();
+    }
+    return now_;
+}
+
+} // namespace wsc::wse

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Event-driven simulator for a (sub-)grid of WSE processing elements.
+ *
+ * The simulator advances a global cycle clock through a priority queue of
+ * events. PEs model single-threaded cores running actor-style tasks; the
+ * fabric models per-link wavelet streams between neighbouring routers.
+ *
+ * Timing model (documented in DESIGN.md §4): each PE has a single work
+ * timeline on which task execution, DSD compute and ramp data transfers
+ * serialize — justified by the shared memory ports (128-bit read + 64-bit
+ * write per cycle) that all of these contend for. Transfers between PEs
+ * proceed concurrently across the fabric.
+ */
+
+#ifndef WSC_WSE_SIMULATOR_H
+#define WSC_WSE_SIMULATOR_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "wse/arch_params.h"
+#include "wse/fabric.h"
+#include "wse/pe.h"
+
+namespace wsc::wse {
+
+/** Aggregate statistics across a simulation. */
+struct SimStats
+{
+    uint64_t eventsProcessed = 0;
+    uint64_t waveletsSent = 0;
+    uint64_t taskActivations = 0;
+    uint64_t dsdOps = 0;
+    uint64_t flops = 0;
+    /** Local-memory traffic of DSD ops (reads + writes). */
+    uint64_t memBytes = 0;
+};
+
+/** Owns the PE grid, fabric and event queue. */
+class Simulator
+{
+  public:
+    /**
+     * Build a simulator over a width x height PE sub-grid using the given
+     * architecture parameters. The sub-grid must fit the fabric.
+     */
+    Simulator(const ArchParams &params, int width, int height);
+    ~Simulator();
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    const ArchParams &params() const { return params_; }
+    int width() const { return width_; }
+    int height() const { return height_; }
+
+    Pe &pe(int x, int y);
+    Fabric &fabric() { return *fabric_; }
+    SimStats &stats() { return stats_; }
+
+    /** Current simulation time. */
+    Cycles now() const { return now_; }
+
+    /** Schedule `fn` at absolute cycle `at` (>= now). */
+    void schedule(Cycles at, std::function<void()> fn);
+
+    /** Run until the event queue drains. Returns the final cycle. */
+    Cycles run(uint64_t maxEvents = UINT64_MAX);
+
+    /** True when no events remain. */
+    bool idle() const { return queue_.empty(); }
+
+  private:
+    struct Event
+    {
+        Cycles at;
+        uint64_t seq;
+        std::function<void()> fn;
+    };
+    struct EventOrder
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+        }
+    };
+
+    ArchParams params_;
+    int width_;
+    int height_;
+    Cycles now_ = 0;
+    uint64_t nextSeq_ = 0;
+    std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+    std::vector<std::unique_ptr<Pe>> pes_;
+    std::unique_ptr<Fabric> fabric_;
+    SimStats stats_;
+};
+
+} // namespace wsc::wse
+
+#endif // WSC_WSE_SIMULATOR_H

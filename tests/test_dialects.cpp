@@ -1,0 +1,414 @@
+#include "test_helpers.h"
+
+namespace wsc::test {
+namespace {
+
+namespace bt = dialects::builtin;
+namespace ar = dialects::arith;
+namespace fn = dialects::func;
+namespace scf = dialects::scf;
+namespace st = dialects::stencil;
+namespace tn = dialects::tensor;
+namespace mr = dialects::memref;
+namespace ln = dialects::linalg;
+namespace dmp = dialects::dmp;
+namespace va = dialects::varith;
+namespace cs = dialects::csl_stencil;
+namespace cw = dialects::csl_wrapper;
+namespace csl = dialects::csl;
+
+/** Fixture with a module and a positioned builder. */
+class DialectTest : public IrTest
+{
+  protected:
+    DialectTest() : module(bt::createModule(ctx)), b(ctx)
+    {
+        b.setInsertionPointToEnd(bt::moduleBody(module.get()));
+    }
+
+    bool verifies() { return ir::verifies(module.get()); }
+
+    ir::OwningOp module;
+    ir::OpBuilder b;
+};
+
+//===--- arith -------------------------------------------------------------
+
+TEST_F(DialectTest, ArithConstantsAndBinaries)
+{
+    ir::Value c = ar::createConstantF32(b, 0.5);
+    ir::Value i = ar::createConstantI32(b, 7);
+    ir::Value sum = ar::createAddF(b, c, c);
+    ir::Value prod = ar::createMulF(b, sum, c);
+    (void)i;
+    (void)prod;
+    EXPECT_TRUE(verifies());
+    EXPECT_TRUE(ar::isFloatConstant(c.definingOp()));
+    EXPECT_EQ(ar::floatConstantValue(c.definingOp()), 0.5);
+    EXPECT_FALSE(ar::isFloatConstant(i.definingOp()));
+}
+
+TEST_F(DialectTest, ArithDenseSplatConstant)
+{
+    ir::Type t = ir::getTensorType(ctx, {16}, ir::getF32Type(ctx));
+    ir::Value c = ar::createDenseConstant(b, t, 0.25);
+    EXPECT_TRUE(ar::isFloatConstant(c.definingOp()));
+    EXPECT_EQ(ar::floatConstantValue(c.definingOp()), 0.25);
+    EXPECT_TRUE(verifies());
+}
+
+TEST_F(DialectTest, ArithCmpRequiresPredicate)
+{
+    ir::Value a = ar::createConstantI32(b, 1);
+    ir::Value c = ar::createCmpI(b, "lt", a, a);
+    EXPECT_EQ(c.type(), ir::getI1Type(ctx));
+    EXPECT_TRUE(verifies());
+}
+
+TEST_F(DialectTest, ArithTypeMismatchIsRejected)
+{
+    ir::Value f = ar::createConstantF32(b, 1.0);
+    b.create(ar::kAddF, {f, f}, {ir::getI32Type(ctx)});
+    EXPECT_FALSE(verifies());
+}
+
+//===--- func / scf ---------------------------------------------------------
+
+TEST_F(DialectTest, FuncWithBodyAndReturn)
+{
+    ir::Operation *f =
+        fn::createFunc(b, "kernel", {ir::getF32Type(ctx)}, {});
+    ir::OpBuilder fb(ctx);
+    fb.setInsertionPointToEnd(fn::funcBody(f));
+    fn::createReturn(fb);
+    EXPECT_EQ(fn::funcName(f), "kernel");
+    EXPECT_TRUE(verifies());
+}
+
+TEST_F(DialectTest, ScfForCarriesIterArgs)
+{
+    ir::Operation *f = fn::createFunc(b, "kernel", {}, {});
+    ir::OpBuilder fb(ctx);
+    fb.setInsertionPointToEnd(fn::funcBody(f));
+    ir::Value lb = ar::createConstantIndex(fb, 0);
+    ir::Value ub = ar::createConstantIndex(fb, 10);
+    ir::Value step = ar::createConstantIndex(fb, 1);
+    ir::Value init = ar::createConstantF32(fb, 0.0);
+    ir::Operation *forOp = scf::createFor(fb, lb, ub, step, {init});
+    ir::OpBuilder body(ctx);
+    body.setInsertionPointToEnd(scf::forBody(forOp));
+    scf::createYield(body, {scf::forIterArgs(forOp)[0]});
+    fn::createReturn(fb);
+
+    EXPECT_EQ(forOp->numResults(), 1u);
+    EXPECT_EQ(scf::forInductionVar(forOp).type(),
+              ir::getIndexType(ctx));
+    EXPECT_EQ(scf::forIterInits(forOp)[0], init);
+    EXPECT_TRUE(verifies());
+}
+
+TEST_F(DialectTest, ScfIfThenElse)
+{
+    ir::Operation *f = fn::createFunc(b, "kernel", {}, {});
+    ir::OpBuilder fb(ctx);
+    fb.setInsertionPointToEnd(fn::funcBody(f));
+    ir::Value a = ar::createConstantI32(fb, 1);
+    ir::Value cond = ar::createCmpI(fb, "ne", a, a);
+    ir::Operation *ifOp = scf::createIf(fb, cond);
+    ir::OpBuilder tb(ctx);
+    tb.setInsertionPointToEnd(scf::ifThenBlock(ifOp));
+    scf::createYield(tb);
+    ir::OpBuilder eb(ctx);
+    eb.setInsertionPointToEnd(scf::ifElseBlock(ifOp));
+    scf::createYield(eb);
+    fn::createReturn(fb);
+    EXPECT_TRUE(verifies());
+}
+
+//===--- stencil -------------------------------------------------------------
+
+TEST_F(DialectTest, StencilTypesCarryBounds)
+{
+    st::Bounds bounds{{0, 0, 0}, {256, 256, 512}};
+    ir::Type field = st::getFieldType(ctx, bounds, ir::getF32Type(ctx));
+    ir::Type temp = st::getTempType(ctx, bounds, ir::getF32Type(ctx));
+    EXPECT_TRUE(st::isFieldType(field));
+    EXPECT_TRUE(st::isTempType(temp));
+    EXPECT_NE(field, temp);
+    EXPECT_EQ(st::boundsOf(field), bounds);
+    EXPECT_EQ(st::boundsOf(field).totalSize(), 256 * 256 * 512);
+}
+
+TEST_F(DialectTest, StencilApplyRoundTrip)
+{
+    st::Bounds bounds{{0, 0, 0}, {8, 8, 16}};
+    ir::Type field = st::getFieldType(ctx, bounds, ir::getF32Type(ctx));
+    ir::Operation *f = fn::createFunc(b, "kernel", {field}, {});
+    ir::OpBuilder fb(ctx);
+    fb.setInsertionPointToEnd(fn::funcBody(f));
+    ir::Value temp = st::createLoad(fb, fn::funcBody(f)->argument(0));
+    ir::Operation *apply = st::createApply(
+        fb, {temp}, {temp.type()});
+    ir::OpBuilder ab(ctx);
+    ab.setInsertionPointToEnd(st::applyBody(apply));
+    ir::Value d0 =
+        st::createAccess(ab, st::applyBody(apply)->argument(0),
+                         {1, 0, 0});
+    st::createReturn(ab, {d0});
+    st::createStore(fb, apply->result(), fn::funcBody(f)->argument(0),
+                    bounds);
+    fn::createReturn(fb);
+
+    EXPECT_TRUE(verifies());
+    EXPECT_EQ(st::accessOffset(d0.definingOp()),
+              (std::vector<int64_t>{1, 0, 0}));
+}
+
+TEST_F(DialectTest, StencilLoadRejectsNonField)
+{
+    st::Bounds bounds{{0, 0}, {8, 8}};
+    ir::Type temp = st::getTempType(ctx, bounds, ir::getF32Type(ctx));
+    ir::Operation *f = fn::createFunc(b, "kernel", {temp}, {});
+    ir::OpBuilder fb(ctx);
+    fb.setInsertionPointToEnd(fn::funcBody(f));
+    fb.create(st::kLoad, {fn::funcBody(f)->argument(0)}, {temp});
+    fn::createReturn(fb);
+    EXPECT_FALSE(verifies());
+}
+
+//===--- tensor / memref / linalg --------------------------------------------
+
+TEST_F(DialectTest, TensorInsertSlice)
+{
+    ir::Type big = ir::getTensorType(ctx, {32}, ir::getF32Type(ctx));
+    ir::Type small = ir::getTensorType(ctx, {8}, ir::getF32Type(ctx));
+    ir::Value dest = tn::createEmpty(b, big);
+    ir::Value src = ar::createDenseConstant(b, small, 1.0);
+    ir::Value off = ar::createConstantIndex(b, 8);
+    ir::Value out = tn::createInsertSlice(b, src, dest, off, 8);
+    EXPECT_EQ(out.type(), big);
+    EXPECT_TRUE(verifies());
+}
+
+TEST_F(DialectTest, MemRefAllocSubviewLoadStore)
+{
+    ir::Type buf = ir::getMemRefType(ctx, {64}, ir::getF32Type(ctx));
+    ir::Value alloc = mr::createAlloc(b, buf);
+    ir::Value sub = mr::createSubview(b, alloc, 4, 16);
+    EXPECT_EQ(ir::shapeOf(sub.type()), (std::vector<int64_t>{16}));
+    ir::Value idx = ar::createConstantIndex(b, 0);
+    ir::Value v = mr::createLoad(b, sub, {idx});
+    mr::createStore(b, v, alloc, {idx});
+    EXPECT_TRUE(verifies());
+}
+
+TEST_F(DialectTest, LinalgDpsOps)
+{
+    ir::Type buf = ir::getMemRefType(ctx, {16}, ir::getF32Type(ctx));
+    ir::Value x = mr::createAlloc(b, buf);
+    ir::Value y = mr::createAlloc(b, buf);
+    ir::Value zero = ar::createConstantF32(b, 0.0);
+    ln::createFill(b, zero, x);
+    ln::createBinary(b, ln::kAdd, x, y, x);
+    ir::Value scalar = ar::createConstantF32(b, 2.0);
+    ln::createFmac(b, x, y, scalar, x);
+    EXPECT_TRUE(verifies());
+    EXPECT_EQ(ln::flopsPerElement(firstOp(module.get(), ln::kFmac)), 2);
+    EXPECT_EQ(ln::flopsPerElement(firstOp(module.get(), ln::kAdd)), 1);
+}
+
+//===--- dmp / varith ---------------------------------------------------------
+
+TEST_F(DialectTest, DmpSwapRoundTrip)
+{
+    st::Bounds bounds{{0, 0}, {8, 8}};
+    ir::Type temp = st::getTempType(
+        ctx, bounds, ir::getTensorType(ctx, {16}, ir::getF32Type(ctx)));
+    ir::Operation *f = fn::createFunc(b, "kernel", {temp}, {});
+    ir::OpBuilder fb(ctx);
+    fb.setInsertionPointToEnd(fn::funcBody(f));
+    std::vector<dmp::Exchange> swaps = {{1, 0, 1}, {-1, 0, 1}};
+    ir::Value swapped = dmp::createSwap(
+        fb, fn::funcBody(f)->argument(0), swaps, 8, 8);
+    fn::createReturn(fb);
+    (void)swapped;
+    EXPECT_TRUE(verifies());
+    ir::Operation *swap = firstOp(module.get(), dmp::kSwap);
+    EXPECT_EQ(dmp::swapExchanges(swap), swaps);
+    EXPECT_EQ(dmp::swapTopology(swap), std::make_pair(int64_t(8),
+                                                      int64_t(8)));
+}
+
+TEST_F(DialectTest, VarithRequiresUniformTypes)
+{
+    ir::Value f = ar::createConstantF32(b, 1.0);
+    ir::Value i = ar::createConstantI32(b, 1);
+    b.create(va::kAdd, {f, i}, {f.type()});
+    EXPECT_FALSE(verifies());
+}
+
+//===--- csl_stencil -----------------------------------------------------------
+
+TEST_F(DialectTest, CslStencilPrefetchDescribesTheReceiveBuffer)
+{
+    st::Bounds bounds{{0, 0}, {8, 8}};
+    ir::Type temp = st::getTempType(
+        ctx, bounds, ir::getTensorType(ctx, {16, 1}, ir::getF32Type(ctx)));
+    ir::Operation *f = fn::createFunc(b, "kernel", {temp}, {});
+    ir::OpBuilder fb(ctx);
+    fb.setInsertionPointToEnd(fn::funcBody(f));
+    std::vector<dmp::Exchange> swaps = {{1, 0, 1}, {-1, 0, 1}};
+    ir::Type bufType =
+        ir::getTensorType(ctx, {2, 16}, ir::getF32Type(ctx));
+    ir::Value buf = cs::createPrefetch(
+        fb, fn::funcBody(f)->argument(0), swaps, 2, bufType);
+    fn::createReturn(fb);
+    EXPECT_EQ(buf.type(), bufType);
+    ir::Operation *prefetch = firstOp(module.get(), cs::kPrefetch);
+    EXPECT_EQ(cs::applyExchanges(prefetch).size(), 2u);
+    EXPECT_EQ(cs::applyNumChunks(prefetch), 2);
+    EXPECT_TRUE(verifies());
+}
+
+TEST_F(DialectTest, CanonicalExchangeOrderIsEwnsByDistance)
+{
+    std::vector<dmp::Exchange> swaps = {
+        {0, 2, 2}, {-1, 0, 1}, {2, 0, 2}, {1, 0, 1}, {0, -1, 1}};
+    std::vector<dmp::Exchange> sorted =
+        cs::canonicalExchangeOrder(swaps);
+    // East (dx>0) by distance, then West, then North, then South.
+    EXPECT_EQ(sorted[0], (dmp::Exchange{1, 0, 1}));
+    EXPECT_EQ(sorted[1], (dmp::Exchange{2, 0, 2}));
+    EXPECT_EQ(sorted[2], (dmp::Exchange{-1, 0, 1}));
+    EXPECT_EQ(sorted[3], (dmp::Exchange{0, -1, 1}));
+    EXPECT_EQ(sorted[4], (dmp::Exchange{0, 2, 2}));
+}
+
+TEST_F(DialectTest, CanonicalOrderAgreesWithCommsLibrary)
+{
+    std::vector<dmp::Exchange> swaps;
+    std::vector<comms::Access> accesses;
+    for (int d = 1; d <= 3; ++d) {
+        for (auto [dx, dy] : {std::pair{d, 0}, {-d, 0}, {0, d}, {0, -d}}) {
+            swaps.push_back({dx, dy, d});
+            accesses.push_back({dx, dy});
+        }
+    }
+    std::vector<dmp::Exchange> s = cs::canonicalExchangeOrder(swaps);
+    std::vector<comms::Access> a = comms::canonicalAccessOrder(accesses);
+    ASSERT_EQ(s.size(), a.size());
+    for (size_t i = 0; i < s.size(); ++i) {
+        EXPECT_EQ(s[i].dx, a[i].dx) << "index " << i;
+        EXPECT_EQ(s[i].dy, a[i].dy) << "index " << i;
+    }
+}
+
+//===--- csl_wrapper -----------------------------------------------------------
+
+TEST_F(DialectTest, CslWrapperModuleStructure)
+{
+    ir::Operation *w = cw::createModule(
+        b, 8, 9, {{"z_dim", 512}, {"pattern", 2}}, "pe.csl");
+    ir::OpBuilder lb(ctx);
+    lb.setInsertionPointToEnd(cw::layoutBlock(w));
+    cw::createYield(lb, {});
+    EXPECT_EQ(cw::moduleExtent(w), std::make_pair(int64_t(8),
+                                                  int64_t(9)));
+    std::vector<cw::Param> params = cw::moduleParams(w);
+    ASSERT_EQ(params.size(), 2u);
+    EXPECT_EQ(params[0].name, "z_dim");
+    EXPECT_EQ(params[0].value, 512);
+    EXPECT_EQ(cw::layoutBlock(w)->numArguments(), 4u);
+    EXPECT_TRUE(verifies());
+}
+
+//===--- csl -------------------------------------------------------------------
+
+TEST_F(DialectTest, CslModuleKinds)
+{
+    csl::createModule(b, "layout", "layout");
+    csl::createModule(b, "program", "pe");
+    EXPECT_TRUE(verifies());
+    ir::Operation *bad = csl::createModule(b, "program", "x");
+    bad->setAttr("kind", ir::getStringAttr(ctx, "bogus"));
+    EXPECT_FALSE(verifies());
+}
+
+TEST_F(DialectTest, CslTaskKindsAreValidated)
+{
+    ir::Operation *program = csl::createModule(b, "program", "pe");
+    ir::OpBuilder pb(ctx);
+    pb.setInsertionPointToEnd(csl::moduleBody(program));
+    ir::Operation *task = csl::createTask(pb, "t0", "local", 3);
+    ir::OpBuilder tb(ctx);
+    tb.setInsertionPointToEnd(csl::calleeBody(task));
+    csl::createReturn(tb);
+    EXPECT_TRUE(verifies());
+    task->setAttr("kind", ir::getStringAttr(ctx, "weird"));
+    EXPECT_FALSE(verifies());
+}
+
+TEST_F(DialectTest, CslVariablesAndDsds)
+{
+    ir::Operation *program = csl::createModule(b, "program", "pe");
+    ir::OpBuilder pb(ctx);
+    pb.setInsertionPointToEnd(csl::moduleBody(program));
+    ir::Type buf = ir::getMemRefType(ctx, {512}, ir::getF32Type(ctx));
+    csl::createVariable(pb, "u", buf);
+    ir::Operation *f = csl::createFunc(pb, "f");
+    ir::OpBuilder fb(ctx);
+    fb.setInsertionPointToEnd(csl::calleeBody(f));
+    ir::Value d = csl::createGetMemDsd(fb, "u", 4, 504);
+    ir::Value zero = ar::createConstantF32(fb, 0.0);
+    csl::createBuiltin(fb, csl::kFmovs, {d, zero});
+    csl::createReturn(fb);
+    EXPECT_TRUE(verifies());
+    EXPECT_TRUE(csl::isDsdType(d.type()));
+}
+
+TEST_F(DialectTest, CslCommsExchangeSpecRoundTrip)
+{
+    ir::Operation *program = csl::createModule(b, "program", "pe");
+    ir::OpBuilder pb(ctx);
+    pb.setInsertionPointToEnd(csl::moduleBody(program));
+    ir::Type buf = ir::getMemRefType(ctx, {512}, ir::getF32Type(ctx));
+    csl::createVariable(pb, "u", buf);
+    ir::Operation *f = csl::createFunc(pb, "seq");
+    ir::OpBuilder fb(ctx);
+    fb.setInsertionPointToEnd(csl::calleeBody(f));
+    ir::Value d = csl::createGetMemDsd(fb, "u", 0, 512);
+
+    csl::CommsExchangeSpec spec;
+    spec.recvCallback = "recv0";
+    spec.doneCallback = "done0";
+    spec.recvBufferName = "recv_buffer0";
+    spec.accesses = {{1, 0}, {-1, 0}, {0, -1}, {0, 1}};
+    spec.numChunks = 2;
+    spec.pattern = 1;
+    spec.zSize = 512;
+    spec.trimFirst = 1;
+    spec.trimLast = 1;
+    spec.coeffs = {0.25, 0.25, 0.25, 0.25};
+    ir::Operation *op = csl::createCommsExchange(fb, d, spec);
+    csl::createReturn(fb);
+
+    csl::CommsExchangeSpec decoded = csl::commsExchangeSpec(op);
+    EXPECT_EQ(decoded.recvCallback, "recv0");
+    EXPECT_EQ(decoded.recvBufferName, "recv_buffer0");
+    EXPECT_EQ(decoded.accesses, spec.accesses);
+    EXPECT_EQ(decoded.numChunks, 2);
+    EXPECT_EQ(decoded.trimFirst, 1);
+    EXPECT_EQ(decoded.coeffs, spec.coeffs);
+    EXPECT_TRUE(verifies());
+}
+
+TEST_F(DialectTest, CslPtrTypes)
+{
+    ir::Type buf = ir::getMemRefType(ctx, {16}, ir::getF32Type(ctx));
+    ir::Type ptr = csl::getPtrType(ctx, buf);
+    EXPECT_TRUE(csl::isPtrType(ptr));
+    EXPECT_EQ(csl::ptrPointeeType(ptr), buf);
+}
+
+} // namespace
+} // namespace wsc::test

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+#include "wse/dsd.h"
+#include "wse/simulator.h"
+
+namespace wsc::test {
+namespace {
+
+using wse::ArchParams;
+using wse::Dsd;
+using wse::DsdOperand;
+
+/** Run `fn` inside a task and return the consumed cycles. */
+class DsdTest : public ::testing::Test
+{
+  protected:
+    DsdTest() : sim(ArchParams::wse3(), 1, 1), pe(sim.pe(0, 0)) {}
+
+    wse::Cycles
+    inTask(const std::function<void(wse::TaskContext &)> &fn)
+    {
+        wse::Cycles consumed = 0;
+        static int counter = 0;
+        std::string name = "t" + std::to_string(counter++);
+        pe.registerTask(name, wse::TaskKind::Local,
+                        [&](wse::TaskContext &ctx) {
+                            fn(ctx);
+                            consumed = ctx.consumed();
+                        });
+        pe.activate(name, 0);
+        sim.run();
+        return consumed;
+    }
+
+    wse::Simulator sim;
+    wse::Pe &pe;
+};
+
+TEST_F(DsdTest, FaddsElementwise)
+{
+    std::vector<float> a = {1, 2, 3, 4};
+    std::vector<float> b = {10, 20, 30, 40};
+    std::vector<float> d(4, 0);
+    inTask([&](wse::TaskContext &ctx) {
+        wse::fadds(ctx, Dsd{&d, 0, 4, 1},
+                   DsdOperand::fromDsd(Dsd{&a, 0, 4, 1}),
+                   DsdOperand::fromDsd(Dsd{&b, 0, 4, 1}));
+    });
+    EXPECT_EQ(d, (std::vector<float>{11, 22, 33, 44}));
+}
+
+TEST_F(DsdTest, FmacsFusedMultiplyAccumulate)
+{
+    std::vector<float> acc = {1, 1, 1};
+    std::vector<float> src = {2, 3, 4};
+    inTask([&](wse::TaskContext &ctx) {
+        wse::fmacs(ctx, Dsd{&acc, 0, 3, 1},
+                   DsdOperand::fromDsd(Dsd{&acc, 0, 3, 1}),
+                   DsdOperand::fromDsd(Dsd{&src, 0, 3, 1}), 0.5f);
+    });
+    EXPECT_EQ(acc, (std::vector<float>{2.0f, 2.5f, 3.0f}));
+}
+
+TEST_F(DsdTest, ScalarOperandsBroadcast)
+{
+    std::vector<float> d(5, 0);
+    inTask([&](wse::TaskContext &ctx) {
+        wse::fmovs(ctx, Dsd{&d, 0, 5, 1}, DsdOperand::fromScalar(7.5f));
+    });
+    EXPECT_EQ(d, std::vector<float>(5, 7.5f));
+}
+
+TEST_F(DsdTest, OffsetAndStrideViews)
+{
+    std::vector<float> buf = {0, 1, 2, 3, 4, 5, 6, 7};
+    std::vector<float> out(3, 0);
+    inTask([&](wse::TaskContext &ctx) {
+        // Every second element starting at 1: {1, 3, 5}.
+        wse::fmovs(ctx, Dsd{&out, 0, 3, 1},
+                   DsdOperand::fromDsd(Dsd{&buf, 1, 3, 2}));
+    });
+    EXPECT_EQ(out, (std::vector<float>{1, 3, 5}));
+}
+
+TEST_F(DsdTest, ShiftedViewsAliasCorrectly)
+{
+    std::vector<float> buf = {1, 2, 3, 4, 5, 6};
+    inTask([&](wse::TaskContext &ctx) {
+        Dsd interior{&buf, 1, 4, 1};
+        // buf[1..5) += buf[2..6): in-order elementwise.
+        wse::fadds(ctx, interior, DsdOperand::fromDsd(interior),
+                   DsdOperand::fromDsd(interior.shifted(1)));
+    });
+    EXPECT_EQ(buf[1], 2 + 3);
+}
+
+TEST_F(DsdTest, WrappedDsdImplementsOneShotReduction)
+{
+    // recv = 3 sections x 4 elements; acc (4) += all sections.
+    std::vector<float> recv = {1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3};
+    std::vector<float> acc(4, 0);
+    inTask([&](wse::TaskContext &ctx) {
+        Dsd accWrap{&acc, 0, 12, 1, /*wrap=*/4};
+        wse::fadds(ctx, accWrap, DsdOperand::fromDsd(accWrap),
+                   DsdOperand::fromDsd(Dsd{&recv, 0, 12, 1}));
+    });
+    EXPECT_EQ(acc, std::vector<float>(4, 6.0f));
+}
+
+TEST_F(DsdTest, OutOfRangeAccessPanics)
+{
+    std::vector<float> buf(4, 0);
+    EXPECT_THROW(
+        inTask([&](wse::TaskContext &ctx) {
+            wse::fmovs(ctx, Dsd{&buf, 2, 4, 1},
+                       DsdOperand::fromScalar(0.0f));
+        }),
+        PanicError);
+}
+
+TEST_F(DsdTest, CostsScaleWithLength)
+{
+    std::vector<float> a(100, 1);
+    std::vector<float> d(100, 0);
+    wse::Cycles c100 = inTask([&](wse::TaskContext &ctx) {
+        wse::fadds(ctx, Dsd{&d, 0, 100, 1},
+                   DsdOperand::fromDsd(Dsd{&a, 0, 100, 1}),
+                   DsdOperand::fromScalar(1.0f));
+    });
+    wse::Cycles c10 = inTask([&](wse::TaskContext &ctx) {
+        wse::fadds(ctx, Dsd{&d, 0, 10, 1},
+                   DsdOperand::fromDsd(Dsd{&a, 0, 10, 1}),
+                   DsdOperand::fromScalar(1.0f));
+    });
+    EXPECT_EQ(c100 - c10, 90u);
+}
+
+TEST_F(DsdTest, FlopAccountingPerBuiltin)
+{
+    std::vector<float> a(10, 1);
+    std::vector<float> d(10, 0);
+    uint64_t before = sim.stats().flops;
+    inTask([&](wse::TaskContext &ctx) {
+        wse::fmacs(ctx, Dsd{&d, 0, 10, 1},
+                   DsdOperand::fromDsd(Dsd{&a, 0, 10, 1}),
+                   DsdOperand::fromDsd(Dsd{&a, 0, 10, 1}), 2.0f);
+        wse::fmovs(ctx, Dsd{&d, 0, 10, 1},
+                   DsdOperand::fromScalar(0.0f));
+    });
+    // fmacs: 2 flops/elem; fmovs: 0.
+    EXPECT_EQ(sim.stats().flops - before, 20u);
+}
+
+} // namespace
+} // namespace wsc::test

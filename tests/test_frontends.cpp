@@ -1,0 +1,270 @@
+#include "test_helpers.h"
+
+#include "frontends/fortran_frontend.h"
+
+namespace wsc::test {
+namespace {
+
+namespace st = dialects::stencil;
+namespace fnd = dialects::func;
+
+TEST(SymFrontend, ExprRadius)
+{
+    fe::Program p(fe::Grid{8, 8, 16});
+    fe::Field u = p.addField("u");
+    fe::Expr e = u.at(2, 0, 0) + u.at(0, -1, 0) * fe::constant(3.0) +
+                 u.at(0, 0, 4);
+    int rx = 0, ry = 0, rz = 0;
+    e.radius(rx, ry, rz);
+    EXPECT_EQ(rx, 2);
+    EXPECT_EQ(ry, 1);
+    EXPECT_EQ(rz, 4);
+}
+
+TEST(SymFrontend, EmitSingleApplyWithLoop)
+{
+    ir::Context ctx;
+    dialects::registerAllDialects(ctx);
+    fe::Program p(fe::Grid{8, 8, 16});
+    p.setTimesteps(5);
+    fe::Field u = p.addField("u");
+    p.setUpdate(u, fe::constant(0.25) * (u.at(1, 0, 0) + u.at(-1, 0, 0) +
+                                         u.at(0, 0, 1) + u.at(0, 0, -1)));
+    ir::OwningOp module = p.emit(ctx);
+    ir::verify(module.get());
+    EXPECT_EQ(countOps(module.get(), st::kApply), 1);
+    EXPECT_EQ(countOps(module.get(), "scf.for"), 1);
+    EXPECT_EQ(countOps(module.get(), st::kLoad), 1);
+    EXPECT_EQ(countOps(module.get(), st::kStore), 1);
+}
+
+TEST(SymFrontend, SingleIterationHasNoLoop)
+{
+    ir::Context ctx;
+    dialects::registerAllDialects(ctx);
+    fe::Program p(fe::Grid{8, 8, 16});
+    p.setTimesteps(1);
+    fe::Field u = p.addField("u");
+    p.setUpdate(u, u.at(1, 0, 0) + u.at(-1, 0, 0));
+    ir::OwningOp module = p.emit(ctx);
+    ir::verify(module.get());
+    EXPECT_EQ(countOps(module.get(), "scf.for"), 0);
+    EXPECT_EQ(countOps(module.get(), st::kApply), 1);
+}
+
+TEST(SymFrontend, RotationBecomesYieldPermutation)
+{
+    ir::Context ctx;
+    dialects::registerAllDialects(ctx);
+    fe::Program p(fe::Grid{8, 8, 16});
+    p.setTimesteps(4);
+    fe::Field u = p.addField("u");
+    fe::Field uPrev = p.addField("u_prev");
+    p.setUpdate(u, fe::constant(2.0) * u() - uPrev() + u.at(1, 0, 0));
+    p.setUpdate(uPrev, u());
+    ir::OwningOp module = p.emit(ctx);
+    ir::verify(module.get());
+    // One apply (the rotation adds no compute).
+    EXPECT_EQ(countOps(module.get(), st::kApply), 1);
+    ir::Operation *forOp = firstOp(module.get(), "scf.for");
+    ASSERT_NE(forOp, nullptr);
+    EXPECT_EQ(forOp->numResults(), 2u);
+}
+
+TEST(SymFrontend, AccessesAreCse)
+{
+    ir::Context ctx;
+    dialects::registerAllDialects(ctx);
+    fe::Program p(fe::Grid{8, 8, 16});
+    fe::Field u = p.addField("u");
+    // u appears twice at the same offset: one access op expected.
+    p.setUpdate(u, u() + u());
+    ir::OwningOp module = p.emit(ctx);
+    EXPECT_EQ(countOps(module.get(), st::kAccess), 1);
+}
+
+TEST(SymFrontend, ArgNamesAttrMatchesFields)
+{
+    ir::Context ctx;
+    dialects::registerAllDialects(ctx);
+    fe::Program p(fe::Grid{4, 4, 8});
+    fe::Field a = p.addField("alpha");
+    p.addField("beta");
+    p.setUpdate(a, a.at(1, 0, 0));
+    ir::OwningOp module = p.emit(ctx);
+    ir::Operation *kernel = firstOp(module.get(), fnd::kFunc);
+    std::vector<ir::Attribute> names =
+        ir::arrayAttrValue(kernel->attr("arg_names"));
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(ir::stringAttrValue(names[0]), "alpha");
+    EXPECT_EQ(ir::stringAttrValue(names[1]), "beta");
+}
+
+//===--- Fortran frontend -----------------------------------------------------
+
+TEST(FortranFrontend, ParsesJacobianLoopNest)
+{
+    std::string src = R"(
+      do step = 1, 10
+       do i = 2, 7
+        do j = 2, 7
+         do k = 2, 15
+          a(k,j,i) = 0.25 * (a(k,j,i-1) + a(k,j,i+1) + a(k-1,j,i)
+                      + a(k+1,j,i))
+         enddo
+        enddo
+       enddo
+      enddo
+    )";
+    fe::Program p = fe::parseFortranStencil(
+        src, fe::FortranKernelConfig{8, 8, 16, 10});
+    EXPECT_EQ(p.numFields(), 1u);
+    EXPECT_EQ(p.fieldName(0), "a");
+    EXPECT_EQ(p.timesteps(), 10);
+    ASSERT_TRUE(p.update(0).has_value());
+}
+
+TEST(FortranFrontend, FirstIndexIsZ)
+{
+    // a(k+3,j,i) must be a z offset of +3, not an x offset.
+    std::string src =
+        "do i = 2, 7\n do j = 2, 7\n  do k = 2, 15\n"
+        "   a(k,j,i) = a(k+3,j,i)\n"
+        "  enddo\n enddo\nenddo\n";
+    fe::Program p = fe::parseFortranStencil(
+        src, fe::FortranKernelConfig{8, 8, 16, 1});
+    const fe::ExprNode *n = p.update(0)->node().get();
+    EXPECT_EQ(n->kind, fe::ExprKind::Access);
+    EXPECT_EQ(n->dz, 3);
+    EXPECT_EQ(n->dx, 0);
+}
+
+TEST(FortranFrontend, LaterStatementsSeeEarlierResults)
+{
+    std::string src =
+        "do i = 2, 7\n do j = 2, 7\n  do k = 2, 15\n"
+        "   ke(k,j,i) = 0.5 * u(k,j,i)\n"
+        "   out(k,j,i) = ke(k,j,i) + v(k,j,i)\n"
+        "  enddo\n enddo\nenddo\n";
+    fe::Program p = fe::parseFortranStencil(
+        src, fe::FortranKernelConfig{8, 8, 16, 1});
+    EXPECT_EQ(p.numFields(), 4u);
+    // out = ke.next + v: find the ke access and check the flag.
+    const fe::ExprNode *addNode = nullptr;
+    for (size_t f = 0; f < p.numFields(); ++f)
+        if (p.fieldName(f) == "out")
+            addNode = p.update(f)->node().get();
+    ASSERT_NE(addNode, nullptr);
+    ASSERT_EQ(addNode->kind, fe::ExprKind::Add);
+    EXPECT_TRUE(addNode->lhs->next); // the ke reference
+    EXPECT_FALSE(addNode->rhs->next);
+}
+
+TEST(FortranFrontend, SelfReferenceReadsOldValues)
+{
+    std::string src =
+        "do i = 2, 7\n do j = 2, 7\n  do k = 2, 15\n"
+        "   a(k,j,i) = a(k,j,i+1)\n"
+        "  enddo\n enddo\nenddo\n";
+    fe::Program p = fe::parseFortranStencil(
+        src, fe::FortranKernelConfig{8, 8, 16, 1});
+    EXPECT_FALSE(p.update(0)->node()->next);
+}
+
+TEST(FortranFrontend, RejectsDiagonalTargets)
+{
+    std::string src =
+        "do i = 2, 7\n do j = 2, 7\n  do k = 2, 15\n"
+        "   a(k,j+1,i) = a(k,j,i)\n"
+        "  enddo\n enddo\nenddo\n";
+    EXPECT_THROW(fe::parseFortranStencil(
+                     src, fe::FortranKernelConfig{8, 8, 16, 1}),
+                 FatalError);
+}
+
+TEST(FortranFrontend, RejectsWrongLoopVarUse)
+{
+    std::string src =
+        "do i = 2, 7\n do j = 2, 7\n  do k = 2, 15\n"
+        "   a(j,k,i) = 1.0\n"
+        "  enddo\n enddo\nenddo\n";
+    EXPECT_THROW(fe::parseFortranStencil(
+                     src, fe::FortranKernelConfig{8, 8, 16, 1}),
+                 FatalError);
+}
+
+TEST(FortranFrontend, ParsesNegativeAndParenthesizedExprs)
+{
+    std::string src =
+        "do i = 2, 7\n do j = 2, 7\n  do k = 2, 15\n"
+        "   a(k,j,i) = -0.5 * (a(k,j,i+1) - a(k,j,i-1)) / 2.0\n"
+        "  enddo\n enddo\nenddo\n";
+    fe::Program p = fe::parseFortranStencil(
+        src, fe::FortranKernelConfig{8, 8, 16, 1});
+    ASSERT_TRUE(p.update(0).has_value());
+}
+
+//===--- benchmark definitions -------------------------------------------------
+
+TEST(Benchmarks, FiveBenchmarksBuild)
+{
+    std::vector<fe::Benchmark> all = fe::makeAllBenchmarks(12, 12, 3);
+    ASSERT_EQ(all.size(), 5u);
+    EXPECT_EQ(all[0].name, "Jacobian");
+    EXPECT_EQ(all[0].frontend, "Flang");
+    EXPECT_EQ(all[1].name, "Diffusion");
+    EXPECT_EQ(all[2].name, "Acoustic");
+    EXPECT_EQ(all[3].name, "Seismic");
+    EXPECT_EQ(all[4].name, "UVKBE");
+    EXPECT_EQ(all[4].frontend, "PSyclone");
+}
+
+TEST(Benchmarks, PaperZDimensions)
+{
+    EXPECT_EQ(fe::makeJacobian(8, 8, 1).program.grid().nz, 900);
+    EXPECT_EQ(fe::makeDiffusion(8, 8, 1).program.grid().nz, 704);
+    EXPECT_EQ(fe::makeAcoustic(8, 8, 1).program.grid().nz, 604);
+    EXPECT_EQ(fe::makeSeismic(10, 10, 1).program.grid().nz, 450);
+    EXPECT_EQ(fe::makeUvkbe(8, 8).program.grid().nz, 600);
+}
+
+TEST(Benchmarks, PaperIterationCounts)
+{
+    EXPECT_EQ(fe::makeJacobian(8, 8, 1).paperIterations, 100000);
+    EXPECT_EQ(fe::makeDiffusion(8, 8, 1).paperIterations, 512);
+    EXPECT_EQ(fe::makeAcoustic(8, 8, 1).paperIterations, 512);
+    EXPECT_EQ(fe::makeSeismic(10, 10, 1).paperIterations, 100000);
+    EXPECT_EQ(fe::makeUvkbe(8, 8).paperIterations, 1);
+}
+
+TEST(Benchmarks, ProblemSizesMatchPaper)
+{
+    EXPECT_EQ(fe::smallSize().nx, 100);
+    EXPECT_EQ(fe::mediumSize().nx, 500);
+    EXPECT_EQ(fe::largeSize().nx, 750);
+    EXPECT_EQ(fe::largeSize().ny, 994);
+}
+
+TEST(Benchmarks, SeismicIs25Point)
+{
+    fe::Benchmark b = fe::makeSeismic(10, 10, 1);
+    int rx = 0, ry = 0, rz = 0;
+    b.program.update(0)->radius(rx, ry, rz);
+    EXPECT_EQ(rx, 4);
+    EXPECT_EQ(ry, 4);
+    EXPECT_EQ(rz, 4);
+}
+
+TEST(Benchmarks, UvkbeHasFourFieldsTwoUpdates)
+{
+    fe::Benchmark b = fe::makeUvkbe(8, 8, 16);
+    EXPECT_EQ(b.program.numFields(), 4u);
+    int updates = 0;
+    for (size_t f = 0; f < b.program.numFields(); ++f)
+        if (b.program.update(f))
+            updates++;
+    EXPECT_EQ(updates, 2);
+}
+
+} // namespace
+} // namespace wsc::test

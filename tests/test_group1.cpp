@@ -1,0 +1,160 @@
+#include "test_helpers.h"
+
+#include "transforms/distribute_stencil.h"
+#include "transforms/stencil_inlining.h"
+#include "transforms/tensorize_z.h"
+
+namespace wsc::test {
+namespace {
+
+namespace st = dialects::stencil;
+namespace dmp = dialects::dmp;
+
+class Group1Test : public IrTest
+{
+  protected:
+    ir::OwningOp
+    buildDiffusionIr(int64_t nx = 8, int64_t ny = 8, int64_t nz = 16)
+    {
+        fe::Benchmark bench = fe::makeDiffusion(nx, ny, 2, nz);
+        return bench.program.emit(ctx);
+    }
+
+    void
+    runGroup1(ir::Operation *module)
+    {
+        ir::PassManager pm;
+        pm.addPass(transforms::createDistributeStencilPass());
+        pm.addPass(transforms::createTensorizeZPass());
+        pm.run(module);
+    }
+};
+
+TEST_F(Group1Test, DistributeInsertsSwap)
+{
+    ir::OwningOp module = buildDiffusionIr();
+    ir::PassManager pm;
+    pm.addPass(transforms::createDistributeStencilPass());
+    pm.run(module.get());
+    ASSERT_EQ(countOps(module.get(), dmp::kSwap), 1);
+    ir::Operation *swap = firstOp(module.get(), dmp::kSwap);
+    // Diffusion (r=2) has 8 remote accesses.
+    EXPECT_EQ(dmp::swapExchanges(swap).size(), 8u);
+    EXPECT_EQ(dmp::swapTopology(swap),
+              std::make_pair(int64_t(8), int64_t(8)));
+}
+
+TEST_F(Group1Test, LocalOnlyAppliesGetNoSwap)
+{
+    fe::Program p(fe::Grid{8, 8, 16});
+    p.setTimesteps(2);
+    fe::Field u = p.addField("u");
+    p.setUpdate(u, fe::constant(0.5) * (u.at(0, 0, 1) + u.at(0, 0, -1)));
+    ir::OwningOp module = p.emit(ctx);
+    ir::PassManager pm;
+    pm.addPass(transforms::createDistributeStencilPass());
+    pm.run(module.get());
+    EXPECT_EQ(countOps(module.get(), dmp::kSwap), 0);
+}
+
+TEST_F(Group1Test, DiagonalAccessIsRejected)
+{
+    fe::Program p(fe::Grid{8, 8, 16});
+    p.setTimesteps(2);
+    fe::Field u = p.addField("u");
+    p.setUpdate(u, u.at(1, 1, 0));
+    ir::OwningOp module = p.emit(ctx);
+    ir::PassManager pm;
+    pm.addPass(transforms::createDistributeStencilPass());
+    EXPECT_THROW(pm.run(module.get()), FatalError);
+}
+
+TEST_F(Group1Test, RemoteZOffsetIsRejected)
+{
+    fe::Program p(fe::Grid{8, 8, 16});
+    p.setTimesteps(2);
+    fe::Field u = p.addField("u");
+    p.setUpdate(u, u.at(1, 0, 1));
+    ir::OwningOp module = p.emit(ctx);
+    ir::PassManager pm;
+    pm.addPass(transforms::createDistributeStencilPass());
+    EXPECT_THROW(pm.run(module.get()), FatalError);
+}
+
+TEST_F(Group1Test, TensorizeConvertsTypes)
+{
+    ir::OwningOp module = buildDiffusionIr();
+    runGroup1(module.get());
+    EXPECT_TRUE(ir::verifies(module.get()));
+
+    ir::Operation *apply = firstOp(module.get(), st::kApply);
+    ASSERT_NE(apply, nullptr);
+    // 2-D temp of z-column tensors.
+    ir::Type t = apply->operand(0).type();
+    ASSERT_TRUE(st::isTempType(t));
+    EXPECT_EQ(st::boundsOf(t).rank(), 2u);
+    ir::Type column = st::stencilElementTypeOf(t);
+    ASSERT_TRUE(ir::isTensor(column));
+    EXPECT_EQ(ir::shapeOf(column)[0], 16);
+}
+
+TEST_F(Group1Test, TensorizeRecordsZInfo)
+{
+    ir::OwningOp module = buildDiffusionIr();
+    runGroup1(module.get());
+    ir::Operation *apply = firstOp(module.get(), st::kApply);
+    EXPECT_EQ(apply->intAttr("z_dim"), 16);
+    EXPECT_EQ(apply->intAttr("z_offset"), 2); // r=2 in z
+}
+
+TEST_F(Group1Test, BodyValuesBecomeInteriorTensors)
+{
+    ir::OwningOp module = buildDiffusionIr();
+    runGroup1(module.get());
+    ir::Operation *apply = firstOp(module.get(), st::kApply);
+    ir::Operation *ret = st::applyBody(apply)->terminator();
+    ir::Type t = ret->operand(0).type();
+    ASSERT_TRUE(ir::isTensor(t));
+    EXPECT_EQ(ir::shapeOf(t)[0], 12); // 16 - 2*2
+}
+
+TEST_F(Group1Test, ConstantsBecomeDenseSplats)
+{
+    ir::OwningOp module = buildDiffusionIr();
+    runGroup1(module.get());
+    ir::Operation *apply = firstOp(module.get(), st::kApply);
+    bool allDense = true;
+    apply->walk([&](ir::Operation *op) {
+        if (op->name() == "arith.constant" &&
+            !ir::isDenseAttr(op->attr("value")))
+            allDense = false;
+    });
+    EXPECT_TRUE(allDense);
+}
+
+TEST_F(Group1Test, FunctionSignatureIsTensorized)
+{
+    ir::OwningOp module = buildDiffusionIr();
+    runGroup1(module.get());
+    ir::Operation *kernel =
+        firstOp(module.get(), dialects::func::kFunc);
+    ir::Type fnType = ir::typeAttrValue(kernel->attr("function_type"));
+    ir::Type arg = ir::functionInputs(fnType)[0];
+    EXPECT_EQ(st::boundsOf(arg).rank(), 2u);
+}
+
+TEST_F(Group1Test, ZeroZRadiusKeepsFullColumn)
+{
+    // UVKBE accesses have no z offsets: interior == full column.
+    fe::Benchmark bench = fe::makeUvkbe(8, 8, 16);
+    ir::OwningOp module = bench.program.emit(ctx);
+    ir::PassManager pm;
+    pm.addPass(transforms::createStencilInliningPass());
+    pm.run(module.get());
+    runGroup1(module.get());
+    ir::Operation *apply = firstOp(module.get(), st::kApply);
+    EXPECT_EQ(apply->intAttr("z_offset"), 0);
+}
+
+} // namespace
+} // namespace wsc::test

@@ -1,0 +1,194 @@
+#include "test_helpers.h"
+
+#include "transforms/csl_wrapper_hoist.h"
+#include "transforms/distribute_stencil.h"
+#include "transforms/stencil_inlining.h"
+#include "transforms/stencil_to_csl_stencil.h"
+#include "transforms/tensorize_z.h"
+#include "transforms/varith_transforms.h"
+
+namespace wsc::test {
+namespace {
+
+namespace st = dialects::stencil;
+namespace cs = dialects::csl_stencil;
+namespace cw = dialects::csl_wrapper;
+namespace dmp = dialects::dmp;
+
+class Group2Test : public IrTest
+{
+  protected:
+    ir::OwningOp
+    lowerToGroup2(fe::Benchmark &bench,
+                  transforms::StencilToCslStencilOptions options = {})
+    {
+        ir::OwningOp module = bench.program.emit(ctx);
+        ir::PassManager pm;
+        pm.addPass(transforms::createStencilInliningPass());
+        pm.addPass(transforms::createArithToVarithPass());
+        pm.addPass(
+            transforms::createVarithFuseRepeatedOperandsPass());
+        pm.addPass(transforms::createDistributeStencilPass());
+        pm.addPass(transforms::createTensorizeZPass());
+        pm.addPass(transforms::createStencilToCslStencilPass(options));
+        pm.addPass(transforms::createCslWrapperHoistPass());
+        pm.run(module.get());
+        return module;
+    }
+};
+
+TEST_F(Group2Test, SwapBecomesCslStencilApply)
+{
+    fe::Benchmark bench = fe::makeDiffusion(8, 8, 2, 16);
+    ir::OwningOp module = lowerToGroup2(bench);
+    EXPECT_EQ(countOps(module.get(), dmp::kSwap), 0);
+    EXPECT_EQ(countOps(module.get(), st::kApply), 0);
+    EXPECT_EQ(countOps(module.get(), cs::kApply), 1);
+    EXPECT_TRUE(ir::verifies(module.get()));
+}
+
+TEST_F(Group2Test, ApplyCarriesCanonicalExchanges)
+{
+    fe::Benchmark bench = fe::makeDiffusion(8, 8, 2, 16);
+    ir::OwningOp module = lowerToGroup2(bench);
+    ir::Operation *apply = firstOp(module.get(), cs::kApply);
+    std::vector<dmp::Exchange> exchanges = cs::applyExchanges(apply);
+    ASSERT_EQ(exchanges.size(), 8u);
+    EXPECT_EQ(cs::canonicalExchangeOrder(exchanges), exchanges);
+}
+
+TEST_F(Group2Test, CoefficientsArePromoted)
+{
+    fe::Benchmark bench = fe::makeDiffusion(8, 8, 2, 16);
+    ir::OwningOp module = lowerToGroup2(bench);
+    ir::Operation *apply = firstOp(module.get(), cs::kApply);
+    ir::Attribute coeffs = apply->attr("coeffs");
+    ASSERT_TRUE(coeffs);
+    std::vector<double> values = ir::denseAttrValues(coeffs);
+    ASSERT_EQ(values.size(), 8u);
+    // Distance-1 and distance-2 coefficients of the r=2 Laplacian.
+    const double c1 = 0.1 * 16.0 / 12.0;
+    const double c2 = 0.1 * -1.0 / 12.0;
+    int count1 = 0;
+    int count2 = 0;
+    for (double v : values) {
+        if (std::abs(v - c1) < 1e-12)
+            count1++;
+        if (std::abs(v - c2) < 1e-12)
+            count2++;
+    }
+    EXPECT_EQ(count1, 4);
+    EXPECT_EQ(count2, 4);
+}
+
+TEST_F(Group2Test, PromotionCanBeDisabled)
+{
+    fe::Benchmark bench = fe::makeDiffusion(8, 8, 2, 16);
+    transforms::StencilToCslStencilOptions options;
+    options.disableCoeffPromotion = true;
+    ir::OwningOp module = lowerToGroup2(bench, options);
+    ir::Operation *apply = firstOp(module.get(), cs::kApply);
+    EXPECT_FALSE(apply->attr("coeffs"));
+    // The receive region then carries the multiplies itself.
+    int muls = 0;
+    for (ir::Operation *op :
+         cs::applyRecvBlock(apply)->opsVector())
+        if (op->name() == "arith.mulf" || op->name() == "varith.mul")
+            muls++;
+    EXPECT_GT(muls, 0);
+}
+
+TEST_F(Group2Test, RecvRegionInsertsIntoAccumulator)
+{
+    fe::Benchmark bench = fe::makeJacobian(8, 8, 2, 16);
+    ir::OwningOp module = lowerToGroup2(bench);
+    ir::Operation *apply = firstOp(module.get(), cs::kApply);
+    ir::Block *recv = cs::applyRecvBlock(apply);
+    EXPECT_EQ(recv->numArguments(), 3u);
+    bool sawInsert = false;
+    for (ir::Operation *op : recv->opsVector())
+        if (op->name() == "tensor.insert_slice")
+            sawInsert = true;
+    EXPECT_TRUE(sawInsert);
+    EXPECT_EQ(recv->terminator()->name(), cs::kYield);
+}
+
+TEST_F(Group2Test, DoneRegionCombinesAccumulatorWithLocalTerms)
+{
+    fe::Benchmark bench = fe::makeJacobian(8, 8, 2, 16);
+    ir::OwningOp module = lowerToGroup2(bench);
+    ir::Operation *apply = firstOp(module.get(), cs::kApply);
+    ir::Block *done = cs::applyDoneBlock(apply);
+    // Accumulator block arg (index 1) must feed the local combination.
+    EXPECT_GT(done->argument(1).numUses(), 0u);
+    // Jacobian's trailing multiply by 1/6 stays in the done region.
+    int muls = 0;
+    for (ir::Operation *op : done->opsVector())
+        if (op->name() == "arith.mulf" || op->name() == "varith.mul")
+            muls++;
+    EXPECT_GE(muls, 1);
+}
+
+TEST_F(Group2Test, ChunkingRespectsMemoryBudget)
+{
+    fe::Benchmark bench = fe::makeDiffusion(8, 8, 2, 704);
+    // 8 sections x 700 x 4B = 22.4 kB; force a 12 kB budget -> chunks.
+    transforms::StencilToCslStencilOptions options;
+    options.recvBufferBudgetBytes = 12 * 1024;
+    ir::OwningOp module = lowerToGroup2(bench, options);
+    ir::Operation *apply = firstOp(module.get(), cs::kApply);
+    EXPECT_GE(cs::applyNumChunks(apply), 2);
+    // Receive buffer fits the budget.
+    ir::Type recvType =
+        cs::applyRecvBlock(apply)->argument(0).type();
+    EXPECT_LE(ir::numElementsOf(recvType) * 4, 12 * 1024);
+}
+
+TEST_F(Group2Test, ForcedChunkCount)
+{
+    fe::Benchmark bench = fe::makeJacobian(8, 8, 2, 16);
+    transforms::StencilToCslStencilOptions options;
+    options.forceNumChunks = 2;
+    ir::OwningOp module = lowerToGroup2(bench, options);
+    EXPECT_EQ(cs::applyNumChunks(firstOp(module.get(), cs::kApply)), 2);
+}
+
+TEST_F(Group2Test, UvkbeSplitsIntoTwoApplies)
+{
+    // Inlining fuses UVKBE into one apply with two communicated fields;
+    // the conversion splits it back into a chain of two csl applies.
+    fe::Benchmark bench = fe::makeUvkbe(8, 8, 16);
+    ir::OwningOp module = lowerToGroup2(bench);
+    EXPECT_EQ(countOps(module.get(), cs::kApply), 2);
+    EXPECT_TRUE(ir::verifies(module.get()));
+}
+
+TEST_F(Group2Test, WrapperCarriesProgramParams)
+{
+    fe::Benchmark bench = fe::makeDiffusion(8, 8, 2, 16);
+    ir::OwningOp module = lowerToGroup2(bench);
+    ir::Operation *wrapper = firstOp(module.get(), cw::kModule);
+    ASSERT_NE(wrapper, nullptr);
+    EXPECT_EQ(cw::moduleExtent(wrapper),
+              std::make_pair(int64_t(8), int64_t(8)));
+    std::map<std::string, int64_t> params;
+    for (const cw::Param &p : cw::moduleParams(wrapper))
+        params[p.name] = p.value;
+    EXPECT_EQ(params.at("z_dim"), 16);
+    EXPECT_EQ(params.at("pattern"), 2);
+    // The kernel function lives in the program region now.
+    EXPECT_EQ(countOps(module.get(), dialects::func::kFunc), 1);
+    ir::Operation *kernel =
+        firstOp(module.get(), dialects::func::kFunc);
+    EXPECT_EQ(kernel->parentOp(), wrapper);
+}
+
+TEST_F(Group2Test, WrapperLayoutHasImports)
+{
+    fe::Benchmark bench = fe::makeJacobian(8, 8, 2, 16);
+    ir::OwningOp module = lowerToGroup2(bench);
+    EXPECT_GE(countOps(module.get(), cw::kImport), 2);
+}
+
+} // namespace
+} // namespace wsc::test

@@ -1,0 +1,154 @@
+#include "test_helpers.h"
+
+#include "transforms/arith_to_linalg.h"
+#include "transforms/bufferize.h"
+#include "transforms/csl_wrapper_hoist.h"
+#include "transforms/distribute_stencil.h"
+#include "transforms/linalg_fuse_fmac.h"
+#include "transforms/stencil_inlining.h"
+#include "transforms/stencil_to_csl_stencil.h"
+#include "transforms/tensorize_z.h"
+#include "transforms/varith_transforms.h"
+
+namespace wsc::test {
+namespace {
+
+namespace cs = dialects::csl_stencil;
+namespace ln = dialects::linalg;
+
+class Group3Test : public IrTest
+{
+  protected:
+    ir::OwningOp
+    lowerToGroup3(fe::Benchmark &bench, bool fuseFmac = true)
+    {
+        ir::OwningOp module = bench.program.emit(ctx);
+        ir::PassManager pm;
+        pm.addPass(transforms::createStencilInliningPass());
+        pm.addPass(transforms::createArithToVarithPass());
+        pm.addPass(
+            transforms::createVarithFuseRepeatedOperandsPass());
+        pm.addPass(transforms::createDistributeStencilPass());
+        pm.addPass(transforms::createTensorizeZPass());
+        pm.addPass(transforms::createStencilToCslStencilPass());
+        pm.addPass(transforms::createCslWrapperHoistPass());
+        pm.addPass(transforms::createBufferizePass());
+        pm.addPass(transforms::createArithToLinalgPass());
+        if (fuseFmac)
+            pm.addPass(transforms::createLinalgFuseFmacPass());
+        pm.run(module.get());
+        return module;
+    }
+};
+
+TEST_F(Group3Test, RegionsAreMemRefTyped)
+{
+    fe::Benchmark bench = fe::makeDiffusion(8, 8, 2, 16);
+    ir::OwningOp module = lowerToGroup3(bench);
+    ir::Operation *apply = firstOp(module.get(), cs::kApply);
+    ir::Block *recv = cs::applyRecvBlock(apply);
+    EXPECT_TRUE(ir::isMemRef(recv->argument(0).type()));
+    EXPECT_TRUE(ir::isMemRef(recv->argument(2).type()));
+    ir::Block *done = cs::applyDoneBlock(apply);
+    EXPECT_TRUE(ir::isMemRef(done->argument(1).type()));
+    EXPECT_TRUE(ir::verifies(module.get()));
+}
+
+TEST_F(Group3Test, AccumulatorIsAllocated)
+{
+    fe::Benchmark bench = fe::makeJacobian(8, 8, 2, 16);
+    ir::OwningOp module = lowerToGroup3(bench);
+    ir::Operation *apply = firstOp(module.get(), cs::kApply);
+    ir::Operation *accDef = apply->operand(1).definingOp();
+    ASSERT_NE(accDef, nullptr);
+    EXPECT_EQ(accDef->name(), "memref.alloc");
+    EXPECT_EQ(countOps(module.get(), "tensor.empty"), 0);
+}
+
+TEST_F(Group3Test, InsertSliceBecomesSubview)
+{
+    fe::Benchmark bench = fe::makeJacobian(8, 8, 2, 16);
+    ir::OwningOp module = lowerToGroup3(bench);
+    EXPECT_EQ(countOps(module.get(), "tensor.insert_slice"), 0);
+    ir::Operation *apply = firstOp(module.get(), cs::kApply);
+    bool sawSubview = false;
+    for (ir::Operation *op :
+         cs::applyRecvBlock(apply)->opsVector())
+        if (op->name() == "memref.subview")
+            sawSubview = true;
+    EXPECT_TRUE(sawSubview);
+}
+
+TEST_F(Group3Test, ArithBecomesDpsLinalg)
+{
+    fe::Benchmark bench = fe::makeDiffusion(8, 8, 2, 16);
+    ir::OwningOp module = lowerToGroup3(bench, /*fuseFmac=*/false);
+    ir::Operation *apply = firstOp(module.get(), cs::kApply);
+    // No value-form arithmetic remains in the regions.
+    int arith = 0;
+    apply->walk([&](ir::Operation *op) {
+        if (op->name() == "arith.addf" || op->name() == "varith.add" ||
+            op->name() == "arith.mulf" || op->name() == "varith.mul")
+            arith++;
+    });
+    EXPECT_EQ(arith, 0);
+    EXPECT_GT(countOps(apply, ln::kAdd), 0);
+}
+
+TEST_F(Group3Test, DoneRegionReusesAccumulatorInPlace)
+{
+    // The paper's Listing 5: linalg ops write into acc to save memory.
+    fe::Benchmark bench = fe::makeJacobian(8, 8, 2, 16);
+    ir::OwningOp module = lowerToGroup3(bench, /*fuseFmac=*/false);
+    ir::Operation *apply = firstOp(module.get(), cs::kApply);
+    ir::Block *done = cs::applyDoneBlock(apply);
+    ir::Value acc = done->argument(1);
+    bool accUsedAsOut = false;
+    for (ir::Operation *op : done->opsVector()) {
+        if (!ln::isLinalgOp(op))
+            continue;
+        if (op->operand(op->numOperands() - 1) == acc)
+            accUsedAsOut = true;
+    }
+    EXPECT_TRUE(accUsedAsOut);
+}
+
+TEST_F(Group3Test, ResultGetsDedicatedBuffer)
+{
+    fe::Benchmark bench = fe::makeJacobian(8, 8, 2, 16);
+    ir::OwningOp module = lowerToGroup3(bench);
+    ir::Operation *apply = firstOp(module.get(), cs::kApply);
+    ir::Block *done = cs::applyDoneBlock(apply);
+    ir::Value yielded = done->terminator()->operand(0);
+    ir::Operation *def = yielded.definingOp();
+    ASSERT_NE(def, nullptr);
+    EXPECT_EQ(def->name(), "memref.alloc");
+    EXPECT_TRUE(def->hasAttr("result_buffer"));
+}
+
+TEST_F(Group3Test, FmacFusionReplacesMulAddPairs)
+{
+    fe::Benchmark bench = fe::makeDiffusion(8, 8, 2, 16);
+    ir::OwningOp unfused = lowerToGroup3(bench, /*fuseFmac=*/false);
+    fe::Benchmark bench2 = fe::makeDiffusion(8, 8, 2, 16);
+    ir::OwningOp fused = lowerToGroup3(bench2, /*fuseFmac=*/true);
+    EXPECT_EQ(countOps(unfused.get(), ln::kFmac), 0);
+    // Diffusion's local z terms (4 of them) fuse to fmacs.
+    EXPECT_GE(countOps(fused.get(), ln::kFmac), 4);
+    EXPECT_LT(countOps(fused.get(), ln::kMul),
+              countOps(unfused.get(), ln::kMul));
+    EXPECT_TRUE(ir::verifies(fused.get()));
+}
+
+TEST_F(Group3Test, FmacFusionRemovesTemporaries)
+{
+    fe::Benchmark bench = fe::makeDiffusion(8, 8, 2, 16);
+    ir::OwningOp unfused = lowerToGroup3(bench, /*fuseFmac=*/false);
+    fe::Benchmark bench2 = fe::makeDiffusion(8, 8, 2, 16);
+    ir::OwningOp fused = lowerToGroup3(bench2, /*fuseFmac=*/true);
+    EXPECT_LT(countOps(fused.get(), "memref.alloc"),
+              countOps(unfused.get(), "memref.alloc"));
+}
+
+} // namespace
+} // namespace wsc::test

@@ -1,0 +1,247 @@
+#include "test_helpers.h"
+
+#include "transforms/arith_to_linalg.h"
+#include "transforms/bufferize.h"
+#include "transforms/control_flow_to_task_graph.h"
+#include "transforms/csl_wrapper_hoist.h"
+#include "transforms/distribute_stencil.h"
+#include "transforms/linalg_fuse_fmac.h"
+#include "transforms/stencil_inlining.h"
+#include "transforms/stencil_to_csl_stencil.h"
+#include "transforms/tensorize_z.h"
+#include "transforms/varith_transforms.h"
+
+namespace wsc::test {
+namespace {
+
+namespace csl = dialects::csl;
+namespace cw = dialects::csl_wrapper;
+
+class Group4Test : public IrTest
+{
+  protected:
+    ir::OwningOp
+    lowerToGroup4(fe::Benchmark &bench)
+    {
+        ir::OwningOp module = bench.program.emit(ctx);
+        ir::PassManager pm;
+        pm.addPass(transforms::createStencilInliningPass());
+        pm.addPass(transforms::createArithToVarithPass());
+        pm.addPass(
+            transforms::createVarithFuseRepeatedOperandsPass());
+        pm.addPass(transforms::createDistributeStencilPass());
+        pm.addPass(transforms::createTensorizeZPass());
+        pm.addPass(transforms::createStencilToCslStencilPass());
+        pm.addPass(transforms::createCslWrapperHoistPass());
+        pm.addPass(transforms::createBufferizePass());
+        pm.addPass(transforms::createArithToLinalgPass());
+        pm.addPass(transforms::createLinalgFuseFmacPass());
+        pm.addPass(transforms::createControlFlowToTaskGraphPass());
+        pm.run(module.get());
+        return module;
+    }
+
+    std::set<std::string>
+    symbolNames(ir::Operation *module)
+    {
+        std::set<std::string> names;
+        module->walk([&](ir::Operation *op) {
+            if (op->name() == csl::kFunc || op->name() == csl::kTask)
+                names.insert(op->strAttr("sym_name"));
+        });
+        return names;
+    }
+};
+
+TEST_F(Group4Test, TimestepLoopBecomesFigureOneStructure)
+{
+    fe::Benchmark bench = fe::makeJacobian(8, 8, 5, 16);
+    ir::OwningOp module = lowerToGroup4(bench);
+    std::set<std::string> names = symbolNames(module.get());
+    // The task graph of the paper's Figure 1.
+    EXPECT_TRUE(names.count("f_main"));
+    EXPECT_TRUE(names.count("for_cond0"));
+    EXPECT_TRUE(names.count("seq_kernel0"));
+    EXPECT_TRUE(names.count("receive_chunk_cb0"));
+    EXPECT_TRUE(names.count("done_exchange_cb0"));
+    EXPECT_TRUE(names.count("for_inc0"));
+    EXPECT_TRUE(names.count("for_post0"));
+    // No structured control flow or stencil ops remain at top level.
+    EXPECT_EQ(countOps(module.get(), "scf.for"), 0);
+    EXPECT_EQ(countOps(module.get(), "csl_stencil.apply"), 0);
+    EXPECT_EQ(countOps(module.get(), "func.func"), 0);
+    EXPECT_TRUE(ir::verifies(module.get()));
+}
+
+TEST_F(Group4Test, CallbacksAreLocalTasks)
+{
+    fe::Benchmark bench = fe::makeJacobian(8, 8, 5, 16);
+    ir::OwningOp module = lowerToGroup4(bench);
+    ir::Operation *recv = nullptr;
+    ir::Operation *cond = nullptr;
+    module->walk([&](ir::Operation *op) {
+        if (op->name() != csl::kTask)
+            return;
+        if (op->strAttr("sym_name") == "receive_chunk_cb0")
+            recv = op;
+        if (op->strAttr("sym_name") == "for_cond0")
+            cond = op;
+    });
+    ASSERT_NE(recv, nullptr);
+    ASSERT_NE(cond, nullptr);
+    EXPECT_EQ(recv->strAttr("kind"), "local");
+    // The receive task takes the chunk offset.
+    EXPECT_EQ(csl::calleeBody(recv)->numArguments(), 1u);
+    EXPECT_EQ(csl::calleeBody(cond)->numArguments(), 0u);
+    // Distinct task ids.
+    EXPECT_NE(recv->intAttr("id"), cond->intAttr("id"));
+}
+
+TEST_F(Group4Test, SeqKernelZeroesAccumulatorAndExchanges)
+{
+    fe::Benchmark bench = fe::makeJacobian(8, 8, 5, 16);
+    ir::OwningOp module = lowerToGroup4(bench);
+    ir::Operation *seq = nullptr;
+    module->walk([&](ir::Operation *op) {
+        if (op->name() == csl::kFunc &&
+            op->strAttr("sym_name") == "seq_kernel0")
+            seq = op;
+    });
+    ASSERT_NE(seq, nullptr);
+    EXPECT_EQ(countOps(seq, "linalg.fill"), 1);
+    EXPECT_EQ(countOps(seq, csl::kCommsExchange), 1);
+    ir::Operation *comms = firstOp(seq, csl::kCommsExchange);
+    csl::CommsExchangeSpec spec = csl::commsExchangeSpec(comms);
+    EXPECT_EQ(spec.recvCallback, "receive_chunk_cb0");
+    EXPECT_EQ(spec.doneCallback, "done_exchange_cb0");
+    EXPECT_EQ(spec.zSize, 16);
+    EXPECT_EQ(spec.trimFirst, 1); // Jacobian z radius
+    EXPECT_EQ(spec.accesses.size(), 4u);
+}
+
+TEST_F(Group4Test, ContinuationChainsThroughDoneCallback)
+{
+    fe::Benchmark bench = fe::makeJacobian(8, 8, 5, 16);
+    ir::OwningOp module = lowerToGroup4(bench);
+    ir::Operation *done = nullptr;
+    module->walk([&](ir::Operation *op) {
+        if (op->name() == csl::kTask &&
+            op->strAttr("sym_name") == "done_exchange_cb0")
+            done = op;
+    });
+    ASSERT_NE(done, nullptr);
+    ir::Operation *call = firstOp(done, csl::kCall);
+    ASSERT_NE(call, nullptr);
+    EXPECT_EQ(call->strAttr("callee"), "for_inc0");
+}
+
+TEST_F(Group4Test, ForIncRotatesPointersAndReactivates)
+{
+    fe::Benchmark bench = fe::makeAcoustic(8, 8, 5, 16);
+    ir::OwningOp module = lowerToGroup4(bench);
+    ir::Operation *inc = nullptr;
+    module->walk([&](ir::Operation *op) {
+        if (op->name() == csl::kFunc &&
+            op->strAttr("sym_name") == "for_inc0")
+            inc = op;
+    });
+    ASSERT_NE(inc, nullptr);
+    // Acoustic rotates three buffers: all three pointer slots change.
+    EXPECT_EQ(countOps(inc, csl::kStoreVar), 1 + 3); // step + 3 ptrs
+    ir::Operation *activate = firstOp(inc, csl::kActivate);
+    ASSERT_NE(activate, nullptr);
+    EXPECT_EQ(activate->strAttr("task"), "for_cond0");
+}
+
+TEST_F(Group4Test, ModuleVariablesForFieldsAndBuffers)
+{
+    fe::Benchmark bench = fe::makeAcoustic(8, 8, 5, 16);
+    ir::OwningOp module = lowerToGroup4(bench);
+    std::set<std::string> vars;
+    module->walk([&](ir::Operation *op) {
+        if (op->name() == csl::kVariable)
+            vars.insert(op->strAttr("sym_name"));
+    });
+    EXPECT_TRUE(vars.count("u"));
+    EXPECT_TRUE(vars.count("u_prev"));
+    EXPECT_TRUE(vars.count("out0"));
+    EXPECT_TRUE(vars.count("acc0"));
+    EXPECT_TRUE(vars.count("recv_buffer0"));
+    EXPECT_TRUE(vars.count("ptr_iter0"));
+    EXPECT_TRUE(vars.count("ptr_iter1"));
+    EXPECT_TRUE(vars.count("ptr_out0"));
+    EXPECT_TRUE(vars.count("step"));
+    EXPECT_TRUE(vars.count("is_interior0"));
+}
+
+TEST_F(Group4Test, ResultBufferInheritsFieldInit)
+{
+    fe::Benchmark bench = fe::makeAcoustic(8, 8, 5, 16);
+    ir::OwningOp module = lowerToGroup4(bench);
+    ir::Operation *out0 = nullptr;
+    module->walk([&](ir::Operation *op) {
+        if (op->name() == csl::kVariable &&
+            op->strAttr("sym_name") == "out0")
+            out0 = op;
+    });
+    ASSERT_NE(out0, nullptr);
+    ASSERT_TRUE(out0->hasAttr("init_as"));
+    EXPECT_EQ(out0->strAttr("init_as"), "u");
+}
+
+TEST_F(Group4Test, UvkbeChainsTwoKernelsWithoutLoop)
+{
+    fe::Benchmark bench = fe::makeUvkbe(8, 8, 16);
+    ir::OwningOp module = lowerToGroup4(bench);
+    std::set<std::string> names = symbolNames(module.get());
+    EXPECT_TRUE(names.count("seq_kernel0"));
+    EXPECT_TRUE(names.count("seq_kernel1"));
+    EXPECT_FALSE(names.count("for_cond0"));
+    EXPECT_FALSE(names.count("for_inc0"));
+    // done_exchange_cb0 chains into seq_kernel1.
+    ir::Operation *done0 = nullptr;
+    module->walk([&](ir::Operation *op) {
+        if (op->name() == csl::kTask &&
+            op->strAttr("sym_name") == "done_exchange_cb0")
+            done0 = op;
+    });
+    ASSERT_NE(done0, nullptr);
+    EXPECT_EQ(firstOp(done0, csl::kCall)->strAttr("callee"),
+              "seq_kernel1");
+}
+
+TEST_F(Group4Test, ResultFieldMappingRecorded)
+{
+    fe::Benchmark bench = fe::makeJacobian(8, 8, 5, 16);
+    ir::OwningOp module = lowerToGroup4(bench);
+    ir::Operation *wrapper = firstOp(module.get(), cw::kModule);
+    ir::Attribute results = wrapper->attr("result_fields");
+    ASSERT_TRUE(results);
+    std::vector<ir::Attribute> entries = ir::arrayAttrValue(results);
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_EQ(ir::stringAttrValue(ir::dictAttrGet(entries[0], "field")),
+              "a");
+    EXPECT_EQ(ir::intAttrValue(ir::dictAttrGet(entries[0], "via_ptr")),
+              1);
+}
+
+TEST_F(Group4Test, ExportsHostSymbols)
+{
+    fe::Benchmark bench = fe::makeJacobian(8, 8, 5, 16);
+    ir::OwningOp module = lowerToGroup4(bench);
+    int fnExports = 0;
+    int varExports = 0;
+    module->walk([&](ir::Operation *op) {
+        if (op->name() != csl::kExport)
+            return;
+        if (op->strAttr("kind") == "fn")
+            fnExports++;
+        else
+            varExports++;
+    });
+    EXPECT_EQ(fnExports, 1); // f_main
+    EXPECT_EQ(varExports, 1); // the field
+}
+
+} // namespace
+} // namespace wsc::test

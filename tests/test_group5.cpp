@@ -1,0 +1,181 @@
+#include "test_helpers.h"
+
+#include "transforms/linalg_to_csl.h"
+
+namespace wsc::test {
+namespace {
+
+namespace csl = dialects::csl;
+namespace ln = dialects::linalg;
+
+class Group5Test : public IrTest
+{
+  protected:
+    ir::OwningOp
+    lowerFully(fe::Benchmark &bench,
+               transforms::PipelineOptions options = {})
+    {
+        ir::OwningOp module = bench.program.emit(ctx);
+        transforms::runPipeline(module.get(), options);
+        return module;
+    }
+
+    ir::Operation *
+    taskNamed(ir::Operation *module, const std::string &name)
+    {
+        ir::Operation *found = nullptr;
+        module->walk([&](ir::Operation *op) {
+            if ((op->name() == csl::kTask ||
+                 op->name() == csl::kFunc) &&
+                op->strAttr("sym_name") == name)
+                found = op;
+        });
+        return found;
+    }
+};
+
+TEST_F(Group5Test, NoLinalgOrMemrefComputeRemains)
+{
+    fe::Benchmark bench = fe::makeDiffusion(8, 8, 3, 16);
+    ir::OwningOp module = lowerFully(bench);
+    int leftovers = 0;
+    module->walk([&](ir::Operation *op) {
+        if (ln::isLinalgOp(op) || op->name() == "memref.subview" ||
+            op->name() == "memref.alloc" ||
+            op->name() == "csl_stencil.access")
+            leftovers++;
+    });
+    EXPECT_EQ(leftovers, 0);
+    EXPECT_TRUE(ir::verifies(module.get()));
+}
+
+TEST_F(Group5Test, ProducesLayoutAndProgramModules)
+{
+    fe::Benchmark bench = fe::makeJacobian(8, 8, 3, 16);
+    ir::OwningOp module = lowerFully(bench);
+    int layout = 0;
+    int program = 0;
+    module->walk([&](ir::Operation *op) {
+        if (op->name() != csl::kModule)
+            return;
+        if (op->strAttr("kind") == "layout")
+            layout++;
+        else if (op->strAttr("kind") == "program")
+            program++;
+    });
+    EXPECT_EQ(layout, 1);
+    EXPECT_EQ(program, 1);
+}
+
+TEST_F(Group5Test, OneShotReductionInReceiveTask)
+{
+    fe::Benchmark bench = fe::makeJacobian(8, 8, 3, 16);
+    ir::OwningOp module = lowerFully(bench);
+    ir::Operation *recv =
+        taskNamed(module.get(), "receive_chunk_cb0");
+    ASSERT_NE(recv, nullptr);
+    // With promoted coefficients and a uniform reduction the whole
+    // 4-section buffer reduces in a single @fadds on a wrapped DSD.
+    EXPECT_EQ(countOps(recv, csl::kFadds), 1);
+    ir::Operation *dsd = firstOp(recv, csl::kGetMemDsd);
+    bool sawWrap = false;
+    recv->walk([&](ir::Operation *op) {
+        if (op->name() == csl::kGetMemDsd && op->hasAttr("wrap"))
+            sawWrap = true;
+    });
+    (void)dsd;
+    EXPECT_TRUE(sawWrap);
+}
+
+TEST_F(Group5Test, OneShotCanBeDisabled)
+{
+    fe::Benchmark bench = fe::makeJacobian(8, 8, 3, 16);
+    transforms::PipelineOptions options;
+    options.enableOneShotReduction = false;
+    ir::OwningOp module = lowerFully(bench, options);
+    ir::Operation *recv =
+        taskNamed(module.get(), "receive_chunk_cb0");
+    // Separate pointers and individual builtin calls per section.
+    EXPECT_EQ(countOps(recv, csl::kFadds), 4);
+}
+
+TEST_F(Group5Test, FmacsAreGenerated)
+{
+    fe::Benchmark bench = fe::makeDiffusion(8, 8, 3, 16);
+    ir::OwningOp module = lowerFully(bench);
+    ir::Operation *done = taskNamed(module.get(), "done_exchange_cb0");
+    ASSERT_NE(done, nullptr);
+    // The local z terms lower to @fmacs.
+    EXPECT_GE(countOps(done, csl::kFmacs), 4);
+}
+
+TEST_F(Group5Test, SeqKernelUsesFmovsZeroAndDsdOperand)
+{
+    fe::Benchmark bench = fe::makeJacobian(8, 8, 3, 16);
+    ir::OwningOp module = lowerFully(bench);
+    ir::Operation *seq = taskNamed(module.get(), "seq_kernel0");
+    EXPECT_EQ(countOps(seq, csl::kFmovs), 1);
+    ir::Operation *comms = firstOp(seq, csl::kCommsExchange);
+    ASSERT_NE(comms, nullptr);
+    EXPECT_TRUE(csl::isDsdType(comms->operand(0).type()));
+}
+
+TEST_F(Group5Test, ZShiftedAccessesBecomeOffsetDsds)
+{
+    fe::Benchmark bench = fe::makeJacobian(8, 8, 3, 16);
+    ir::OwningOp module = lowerFully(bench);
+    ir::Operation *done = taskNamed(module.get(), "done_exchange_cb0");
+    // Jacobian z±1 terms: DSDs at offsets 0 and 2 of the column
+    // (interior base rz=1, dz=∓1).
+    std::set<int64_t> offsets;
+    done->walk([&](ir::Operation *op) {
+        if (op->name() == csl::kGetMemDsd)
+            offsets.insert(op->intAttr("offset"));
+    });
+    EXPECT_TRUE(offsets.count(0));
+    EXPECT_TRUE(offsets.count(2));
+}
+
+TEST_F(Group5Test, DynamicChunkOffsetUsesIncrementDsd)
+{
+    fe::Benchmark bench = fe::makeJacobian(8, 8, 3, 16);
+    transforms::PipelineOptions options;
+    options.forceNumChunks = 2;
+    ir::OwningOp module = lowerFully(bench, options);
+    ir::Operation *recv =
+        taskNamed(module.get(), "receive_chunk_cb0");
+    EXPECT_GE(countOps(recv, csl::kIncrementDsdOffset), 1);
+    EXPECT_TRUE(ir::verifies(module.get()));
+}
+
+TEST_F(Group5Test, LayoutModuleDescribesPlacement)
+{
+    fe::Benchmark bench = fe::makeJacobian(8, 8, 3, 16);
+    ir::OwningOp module = lowerFully(bench);
+    ir::Operation *rect = firstOp(module.get(), csl::kSetRectangle);
+    ASSERT_NE(rect, nullptr);
+    EXPECT_EQ(rect->intAttr("width"), 8);
+    EXPECT_EQ(rect->intAttr("height"), 8);
+    ir::Operation *tile = firstOp(module.get(), csl::kSetTileCode);
+    ASSERT_NE(tile, nullptr);
+    EXPECT_EQ(tile->strAttr("file"), "pe.csl");
+    ir::Attribute params = tile->attr("params");
+    EXPECT_EQ(ir::intAttrValue(ir::dictAttrGet(params, "z_dim")), 16);
+}
+
+TEST_F(Group5Test, ProgramModuleHasParams)
+{
+    fe::Benchmark bench = fe::makeDiffusion(8, 8, 3, 16);
+    ir::OwningOp module = lowerFully(bench);
+    std::set<std::string> params;
+    module->walk([&](ir::Operation *op) {
+        if (op->name() == csl::kParam)
+            params.insert(op->strAttr("name"));
+    });
+    EXPECT_TRUE(params.count("z_dim"));
+    EXPECT_TRUE(params.count("num_chunks"));
+    EXPECT_TRUE(params.count("pattern"));
+}
+
+} // namespace
+} // namespace wsc::test

@@ -1,0 +1,227 @@
+#include "test_helpers.h"
+
+namespace wsc::test {
+namespace {
+
+namespace csl = dialects::csl;
+namespace ar = dialects::arith;
+namespace scf = dialects::scf;
+namespace bt = dialects::builtin;
+
+/**
+ * Interpreter unit tests against hand-written csl-ir programs: each
+ * exercises a specific op family on a 1x1 simulated grid, independent
+ * of the compilation pipeline.
+ */
+class InterpUnit : public IrTest
+{
+  protected:
+    InterpUnit() : module(bt::createModule(ctx)), b(ctx)
+    {
+        b.setInsertionPointToEnd(bt::moduleBody(module.get()));
+        program = csl::createModule(b, "program", "pe");
+        pb = std::make_unique<ir::OpBuilder>(ctx);
+        pb->setInsertionPointToEnd(csl::moduleBody(program));
+    }
+
+    /** Append a csl.func and position a builder in its body. */
+    ir::OpBuilder
+    makeFunc(const std::string &name)
+    {
+        ir::Operation *fn = csl::createFunc(*pb, name);
+        ir::OpBuilder fb(ctx);
+        fb.setInsertionPointToEnd(csl::calleeBody(fn));
+        return fb;
+    }
+
+    ir::OwningOp module;
+    ir::Operation *program;
+    ir::OpBuilder b;
+    std::unique_ptr<ir::OpBuilder> pb;
+};
+
+TEST_F(InterpUnit, DsdBuiltinsComputeOnBuffers)
+{
+    ir::Type buf = ir::getMemRefType(ctx, {8}, ir::getF32Type(ctx));
+    csl::createVariable(*pb, "x", buf);
+    ir::OpBuilder fb = makeFunc("f_main");
+    ir::Value d = csl::createGetMemDsd(fb, "x", 0, 8);
+    ir::Value c = ar::createConstantF32(fb, 3.0);
+    csl::createBuiltin(fb, csl::kFmovs, {d, c});
+    ir::Value half = ar::createConstantF32(fb, 0.5);
+    csl::createBuiltin(fb, csl::kFmuls, {d, d, half});
+    csl::createReturn(fb);
+    ir::verify(module.get());
+
+    wse::Simulator sim(wse::ArchParams::wse3(), 1, 1);
+    interp::CslProgramInstance instance(sim, module.get());
+    instance.configure();
+    instance.launch();
+    sim.run();
+    EXPECT_EQ(sim.pe(0, 0).buffer("x"),
+              std::vector<float>(8, 1.5f));
+}
+
+TEST_F(InterpUnit, ScalarVariablesAndControlFlow)
+{
+    csl::createVariable(*pb, "counter", ir::getI32Type(ctx),
+                        ir::getIntAttr(ctx, 0));
+    // count_up: counter < 5 ? (counter += 1; re-activate) : stop.
+    {
+        ir::Operation *task =
+            csl::createTask(*pb, "count_up", "local", 0);
+        ir::OpBuilder tb(ctx);
+        tb.setInsertionPointToEnd(csl::calleeBody(task));
+        ir::Value v = csl::createLoadVar(tb, "counter",
+                                         ir::getI32Type(ctx));
+        ir::Value limit = ar::createConstantI32(tb, 5);
+        ir::Value cond = ar::createCmpI(tb, "lt", v, limit);
+        ir::Operation *ifOp = scf::createIf(tb, cond);
+        ir::OpBuilder thenB(ctx);
+        thenB.setInsertionPointToEnd(scf::ifThenBlock(ifOp));
+        ir::Value one = ar::createConstantI32(thenB, 1);
+        ir::Value next = ar::createAddI(thenB, v, one);
+        csl::createStoreVar(thenB, "counter", next);
+        csl::createActivate(thenB, "count_up");
+        scf::createYield(thenB);
+        ir::OpBuilder elseB(ctx);
+        elseB.setInsertionPointToEnd(scf::ifElseBlock(ifOp));
+        scf::createYield(elseB);
+        csl::createReturn(tb);
+    }
+    ir::OpBuilder fb = makeFunc("f_main");
+    csl::createActivate(fb, "count_up");
+    csl::createReturn(fb);
+    ir::verify(module.get());
+
+    wse::Simulator sim(wse::ArchParams::wse3(), 1, 1);
+    interp::CslProgramInstance instance(sim, module.get());
+    instance.configure();
+    instance.launch();
+    sim.run();
+    EXPECT_EQ(sim.pe(0, 0).scalar("counter"), 5.0);
+    // f_main + 6 count_up dispatches.
+    EXPECT_EQ(sim.pe(0, 0).taskActivations(), 7u);
+}
+
+TEST_F(InterpUnit, PointerVariablesRotateBuffers)
+{
+    ir::Type buf = ir::getMemRefType(ctx, {4}, ir::getF32Type(ctx));
+    csl::createVariable(*pb, "a", buf);
+    csl::createVariable(*pb, "b", buf);
+    csl::createVariable(*pb, "pa", csl::getPtrType(ctx, buf),
+                        ir::getStringAttr(ctx, "a"));
+    csl::createVariable(*pb, "pb", csl::getPtrType(ctx, buf),
+                        ir::getStringAttr(ctx, "b"));
+    ir::OpBuilder fb = makeFunc("f_main");
+    // Write 1.0 through pa (-> a), swap, write 2.0 through pa (-> b).
+    ir::Value d1 = csl::createGetMemDsd(fb, "pa", 0, 4, 1,
+                                        /*viaPtr=*/true);
+    csl::createBuiltin(fb, csl::kFmovs,
+                       {d1, ar::createConstantF32(fb, 1.0)});
+    ir::Value pav =
+        csl::createLoadVar(fb, "pa", csl::getPtrType(ctx, buf));
+    ir::Value pbv =
+        csl::createLoadVar(fb, "pb", csl::getPtrType(ctx, buf));
+    csl::createStoreVar(fb, "pa", pbv);
+    csl::createStoreVar(fb, "pb", pav);
+    ir::Value d2 = csl::createGetMemDsd(fb, "pa", 0, 4, 1,
+                                        /*viaPtr=*/true);
+    csl::createBuiltin(fb, csl::kFmovs,
+                       {d2, ar::createConstantF32(fb, 2.0)});
+    csl::createReturn(fb);
+    ir::verify(module.get());
+
+    wse::Simulator sim(wse::ArchParams::wse3(), 1, 1);
+    interp::CslProgramInstance instance(sim, module.get());
+    instance.configure();
+    instance.launch();
+    sim.run();
+    EXPECT_EQ(sim.pe(0, 0).buffer("a"), std::vector<float>(4, 1.0f));
+    EXPECT_EQ(sim.pe(0, 0).buffer("b"), std::vector<float>(4, 2.0f));
+}
+
+TEST_F(InterpUnit, CallsExecuteSynchronously)
+{
+    csl::createVariable(*pb, "order", ir::getI32Type(ctx),
+                        ir::getIntAttr(ctx, 0));
+    {
+        ir::OpBuilder hb = makeFunc("helper");
+        ir::Value v =
+            csl::createLoadVar(hb, "order", ir::getI32Type(ctx));
+        ir::Value ten = ar::createConstantI32(hb, 10);
+        csl::createStoreVar(hb, "order",
+                            ar::createAddI(hb, v, ten));
+        csl::createReturn(hb);
+    }
+    ir::OpBuilder fb = makeFunc("f_main");
+    csl::createCall(fb, "helper");
+    csl::createCall(fb, "helper");
+    ir::Value v = csl::createLoadVar(fb, "order", ir::getI32Type(ctx));
+    ir::Value one = ar::createConstantI32(fb, 1);
+    csl::createStoreVar(fb, "order", ar::createAddI(fb, v, one));
+    csl::createReturn(fb);
+    ir::verify(module.get());
+
+    wse::Simulator sim(wse::ArchParams::wse3(), 1, 1);
+    interp::CslProgramInstance instance(sim, module.get());
+    instance.configure();
+    instance.launch();
+    sim.run();
+    // Two helper calls ran before the final increment: 10+10+1.
+    EXPECT_EQ(sim.pe(0, 0).scalar("order"), 21.0);
+}
+
+TEST_F(InterpUnit, IncrementDsdOffsetShiftsTheView)
+{
+    ir::Type buf = ir::getMemRefType(ctx, {8}, ir::getF32Type(ctx));
+    csl::createVariable(*pb, "x", buf);
+    ir::OpBuilder fb = makeFunc("f_main");
+    ir::Value base = csl::createGetMemDsd(fb, "x", 0, 4);
+    ir::Value off = ar::createConstantI32(fb, 4);
+    ir::Value shifted = csl::createIncrementDsdOffset(fb, base, off);
+    csl::createBuiltin(fb, csl::kFmovs,
+                       {shifted, ar::createConstantF32(fb, 9.0)});
+    csl::createReturn(fb);
+    ir::verify(module.get());
+
+    wse::Simulator sim(wse::ArchParams::wse3(), 1, 1);
+    interp::CslProgramInstance instance(sim, module.get());
+    instance.configure();
+    instance.launch();
+    sim.run();
+    const std::vector<float> &x = sim.pe(0, 0).buffer("x");
+    EXPECT_EQ(x[3], 0.0f);
+    EXPECT_EQ(x[4], 9.0f);
+    EXPECT_EQ(x[7], 9.0f);
+}
+
+TEST_F(InterpUnit, UnknownOpIsRejected)
+{
+    ir::OpBuilder fb = makeFunc("f_main");
+    fb.create("tensor.empty", {}, {ir::getTensorType(
+                                      ctx, {4}, ir::getF32Type(ctx))});
+    csl::createReturn(fb);
+
+    wse::Simulator sim(wse::ArchParams::wse3(), 1, 1);
+    interp::CslProgramInstance instance(sim, module.get());
+    instance.configure();
+    instance.launch();
+    EXPECT_THROW(sim.run(), PanicError);
+}
+
+TEST_F(InterpUnit, UnblockCountsHostReturns)
+{
+    ir::OpBuilder fb = makeFunc("f_main");
+    csl::createUnblockCmdStream(fb);
+    csl::createReturn(fb);
+    wse::Simulator sim(wse::ArchParams::wse3(), 1, 1);
+    interp::CslProgramInstance instance(sim, module.get());
+    instance.configure();
+    instance.launch();
+    sim.run();
+    EXPECT_EQ(instance.unblockCount(), 1u);
+}
+
+} // namespace
+} // namespace wsc::test

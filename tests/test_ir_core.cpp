@@ -1,0 +1,455 @@
+#include "test_helpers.h"
+
+#include "ir/pattern.h"
+#include "ir/pass.h"
+
+namespace wsc::test {
+namespace {
+
+namespace bt = dialects::builtin;
+namespace ar = dialects::arith;
+namespace fn = dialects::func;
+
+//===----------------------------------------------------------------------===
+// Types
+//===----------------------------------------------------------------------===
+
+TEST_F(IrTest, TypesAreUniqued)
+{
+    EXPECT_EQ(ir::getF32Type(ctx), ir::getF32Type(ctx));
+    EXPECT_EQ(ir::getIntegerType(ctx, 16), ir::getI16Type(ctx));
+    EXPECT_NE(ir::getF32Type(ctx), ir::getF64Type(ctx));
+}
+
+TEST_F(IrTest, TensorTypeRoundTrip)
+{
+    ir::Type t = ir::getTensorType(ctx, {4, 255}, ir::getF32Type(ctx));
+    EXPECT_TRUE(ir::isTensor(t));
+    EXPECT_EQ(ir::shapeOf(t), (std::vector<int64_t>{4, 255}));
+    EXPECT_EQ(ir::elementTypeOf(t), ir::getF32Type(ctx));
+    EXPECT_EQ(ir::numElementsOf(t), 1020);
+    EXPECT_EQ(t.str(), "tensor<4x255xf32>");
+}
+
+TEST_F(IrTest, MemRefTypeDistinctFromTensor)
+{
+    ir::Type t = ir::getTensorType(ctx, {8}, ir::getF32Type(ctx));
+    ir::Type m = ir::getMemRefType(ctx, {8}, ir::getF32Type(ctx));
+    EXPECT_NE(t, m);
+    EXPECT_TRUE(ir::isMemRef(m));
+    EXPECT_EQ(m.str(), "memref<8xf32>");
+}
+
+TEST_F(IrTest, FunctionTypeInputsAndResults)
+{
+    ir::Type f32 = ir::getF32Type(ctx);
+    ir::Type i32 = ir::getI32Type(ctx);
+    ir::Type fnType = ir::getFunctionType(ctx, {f32, i32}, {f32});
+    EXPECT_TRUE(ir::isFunction(fnType));
+    EXPECT_EQ(ir::functionInputs(fnType),
+              (std::vector<ir::Type>{f32, i32}));
+    EXPECT_EQ(ir::functionResults(fnType), (std::vector<ir::Type>{f32}));
+}
+
+TEST_F(IrTest, BitWidths)
+{
+    EXPECT_EQ(ir::bitWidth(ir::getF32Type(ctx)), 32u);
+    EXPECT_EQ(ir::bitWidth(ir::getF16Type(ctx)), 16u);
+    EXPECT_EQ(ir::bitWidth(ir::getI16Type(ctx)), 16u);
+}
+
+TEST_F(IrTest, DialectTypesCarryParameters)
+{
+    ir::Type a = ir::getType(ctx, "csl.dsd", {}, {}, {"mem1d_dsd"});
+    ir::Type b = ir::getType(ctx, "csl.dsd", {}, {}, {"fabin_dsd"});
+    EXPECT_NE(a, b);
+    EXPECT_EQ(a, ir::getType(ctx, "csl.dsd", {}, {}, {"mem1d_dsd"}));
+}
+
+//===----------------------------------------------------------------------===
+// Attributes
+//===----------------------------------------------------------------------===
+
+TEST_F(IrTest, AttributesAreUniqued)
+{
+    EXPECT_EQ(ir::getIntAttr(ctx, 42), ir::getIntAttr(ctx, 42));
+    EXPECT_NE(ir::getIntAttr(ctx, 42), ir::getIntAttr(ctx, 43));
+    EXPECT_EQ(ir::getStringAttr(ctx, "abc"),
+              ir::getStringAttr(ctx, "abc"));
+}
+
+TEST_F(IrTest, ArrayAttrRoundTrip)
+{
+    ir::Attribute arr = ir::getIntArrayAttr(ctx, {1, -2, 3});
+    EXPECT_EQ(ir::intArrayAttrValue(arr),
+              (std::vector<int64_t>{1, -2, 3}));
+}
+
+TEST_F(IrTest, DictAttrLookup)
+{
+    ir::Attribute d = ir::getDictAttr(
+        ctx, {{"width", ir::getIntAttr(ctx, 7)},
+              {"name", ir::getStringAttr(ctx, "pe")}});
+    EXPECT_EQ(ir::intAttrValue(ir::dictAttrGet(d, "width")), 7);
+    EXPECT_EQ(ir::stringAttrValue(ir::dictAttrGet(d, "name")), "pe");
+    EXPECT_FALSE(ir::dictAttrGet(d, "missing"));
+}
+
+TEST_F(IrTest, DenseAttrSplat)
+{
+    ir::Type t = ir::getTensorType(ctx, {510}, ir::getF32Type(ctx));
+    ir::Attribute d = ir::getDenseAttr(ctx, t, {0.12345});
+    EXPECT_TRUE(ir::isDenseAttr(d));
+    EXPECT_EQ(ir::denseAttrValues(d).size(), 1u);
+    EXPECT_EQ(ir::attrType(d), t);
+}
+
+TEST_F(IrTest, FloatAttrPrinting)
+{
+    ir::Attribute f = ir::getFloatAttr(ctx, 2.5, ir::getF32Type(ctx));
+    EXPECT_EQ(f.str(), "2.5 : f32");
+}
+
+//===----------------------------------------------------------------------===
+// Operations, blocks, values
+//===----------------------------------------------------------------------===
+
+TEST_F(IrTest, ModuleCreation)
+{
+    ir::OwningOp module = bt::createModule(ctx);
+    EXPECT_EQ(module->name(), "builtin.module");
+    EXPECT_EQ(module->numRegions(), 1u);
+    EXPECT_TRUE(bt::moduleBody(module.get())->empty());
+}
+
+TEST_F(IrTest, BuilderInsertsInOrder)
+{
+    ir::OwningOp module = bt::createModule(ctx);
+    ir::OpBuilder b(ctx);
+    b.setInsertionPointToEnd(bt::moduleBody(module.get()));
+    ir::Value c1 = ar::createConstantF32(b, 1.0);
+    ir::Value c2 = ar::createConstantF32(b, 2.0);
+    ar::createAddF(b, c1, c2);
+    ir::Block *body = bt::moduleBody(module.get());
+    EXPECT_EQ(body->size(), 3u);
+    EXPECT_EQ(body->front().name(), "arith.constant");
+    EXPECT_EQ(body->back().name(), "arith.addf");
+}
+
+TEST_F(IrTest, UseListsTrackUsers)
+{
+    ir::OwningOp module = bt::createModule(ctx);
+    ir::OpBuilder b(ctx);
+    b.setInsertionPointToEnd(bt::moduleBody(module.get()));
+    ir::Value c = ar::createConstantF32(b, 1.0);
+    ir::Value sum = ar::createAddF(b, c, c);
+    EXPECT_EQ(c.numUses(), 2u);
+    EXPECT_EQ(c.users().size(), 1u); // unique users
+    EXPECT_EQ(sum.numUses(), 0u);
+    EXPECT_FALSE(sum.hasUses());
+}
+
+TEST_F(IrTest, ReplaceAllUsesWith)
+{
+    ir::OwningOp module = bt::createModule(ctx);
+    ir::OpBuilder b(ctx);
+    b.setInsertionPointToEnd(bt::moduleBody(module.get()));
+    ir::Value c1 = ar::createConstantF32(b, 1.0);
+    ir::Value c2 = ar::createConstantF32(b, 2.0);
+    ir::Value sum = ar::createAddF(b, c1, c1);
+    c1.replaceAllUsesWith(c2);
+    EXPECT_EQ(c1.numUses(), 0u);
+    EXPECT_EQ(c2.numUses(), 2u);
+    EXPECT_EQ(sum.definingOp()->operand(0), c2);
+}
+
+TEST_F(IrTest, EraseRefusesLiveUses)
+{
+    ir::OwningOp module = bt::createModule(ctx);
+    ir::OpBuilder b(ctx);
+    b.setInsertionPointToEnd(bt::moduleBody(module.get()));
+    ir::Value c = ar::createConstantF32(b, 1.0);
+    ar::createAddF(b, c, c);
+    EXPECT_THROW(c.definingOp()->erase(), PanicError);
+}
+
+TEST_F(IrTest, EraseRemovesUsesOfOperands)
+{
+    ir::OwningOp module = bt::createModule(ctx);
+    ir::OpBuilder b(ctx);
+    b.setInsertionPointToEnd(bt::moduleBody(module.get()));
+    ir::Value c = ar::createConstantF32(b, 1.0);
+    ir::Value sum = ar::createAddF(b, c, c);
+    sum.definingOp()->erase();
+    EXPECT_EQ(c.numUses(), 0u);
+    EXPECT_EQ(bt::moduleBody(module.get())->size(), 1u);
+}
+
+TEST_F(IrTest, MoveBeforeReordersOps)
+{
+    ir::OwningOp module = bt::createModule(ctx);
+    ir::OpBuilder b(ctx);
+    b.setInsertionPointToEnd(bt::moduleBody(module.get()));
+    ir::Value c1 = ar::createConstantF32(b, 1.0);
+    ir::Value c2 = ar::createConstantF32(b, 2.0);
+    (void)c1;
+    c2.definingOp()->moveBefore(c1.definingOp());
+    ir::Block *body = bt::moduleBody(module.get());
+    EXPECT_EQ(ir::floatAttrValue(body->front().attr("value")), 2.0);
+}
+
+TEST_F(IrTest, WalkVisitsNestedOps)
+{
+    ir::OwningOp module = bt::createModule(ctx);
+    ir::OpBuilder b(ctx);
+    b.setInsertionPointToEnd(bt::moduleBody(module.get()));
+    ir::Operation *fnOp = fn::createFunc(b, "f", {}, {});
+    ir::OpBuilder fb(ctx);
+    fb.setInsertionPointToEnd(fn::funcBody(fnOp));
+    ar::createConstantF32(fb, 1.0);
+    fn::createReturn(fb);
+    EXPECT_EQ(countOps(module.get(), "arith.constant"), 1);
+    EXPECT_EQ(countOps(module.get(), "func.return"), 1);
+}
+
+TEST_F(IrTest, BlockArgumentsHaveIndices)
+{
+    ir::OwningOp module = bt::createModule(ctx);
+    ir::OpBuilder b(ctx);
+    b.setInsertionPointToEnd(bt::moduleBody(module.get()));
+    ir::Operation *fnOp = fn::createFunc(
+        b, "f", {ir::getF32Type(ctx), ir::getI32Type(ctx)}, {});
+    ir::Block *body = fn::funcBody(fnOp);
+    EXPECT_EQ(body->numArguments(), 2u);
+    EXPECT_TRUE(body->argument(0).isBlockArgument());
+    EXPECT_EQ(body->argument(1).index(), 1u);
+    EXPECT_EQ(body->argument(1).type(), ir::getI32Type(ctx));
+}
+
+TEST_F(IrTest, SymbolLookup)
+{
+    ir::OwningOp module = bt::createModule(ctx);
+    ir::OpBuilder b(ctx);
+    b.setInsertionPointToEnd(bt::moduleBody(module.get()));
+    fn::createFunc(b, "alpha", {}, {});
+    ir::Operation *beta = fn::createFunc(b, "beta", {}, {});
+    EXPECT_EQ(ir::lookupSymbol(module.get(), "beta"), beta);
+    EXPECT_EQ(ir::lookupSymbol(module.get(), "gamma"), nullptr);
+}
+
+TEST_F(IrTest, AttributeAccessors)
+{
+    ir::OwningOp module = bt::createModule(ctx);
+    ir::OpBuilder b(ctx);
+    b.setInsertionPointToEnd(bt::moduleBody(module.get()));
+    ir::Operation *op = b.create("builtin.unrealized_cast",
+                                 {ar::createConstantF32(b, 0.0)},
+                                 {ir::getF32Type(ctx)});
+    op->setAttr("level", ir::getIntAttr(ctx, 3));
+    EXPECT_TRUE(op->hasAttr("level"));
+    EXPECT_EQ(op->intAttr("level"), 3);
+    op->removeAttr("level");
+    EXPECT_FALSE(op->hasAttr("level"));
+}
+
+//===----------------------------------------------------------------------===
+// Printer
+//===----------------------------------------------------------------------===
+
+TEST_F(IrTest, PrinterEmitsGenericForm)
+{
+    ir::OwningOp module = bt::createModule(ctx);
+    ir::OpBuilder b(ctx);
+    b.setInsertionPointToEnd(bt::moduleBody(module.get()));
+    ir::Value c = ar::createConstantF32(b, 1.5);
+    ar::createAddF(b, c, c);
+    std::string text = ir::printOp(module.get());
+    EXPECT_NE(text.find("\"arith.constant\"()"), std::string::npos);
+    EXPECT_NE(text.find("\"arith.addf\"(%0, %0)"), std::string::npos);
+    EXPECT_NE(text.find("-> (f32)"), std::string::npos);
+}
+
+TEST_F(IrTest, PrinterNumbersBlockArguments)
+{
+    ir::OwningOp module = bt::createModule(ctx);
+    ir::OpBuilder b(ctx);
+    b.setInsertionPointToEnd(bt::moduleBody(module.get()));
+    ir::Operation *fnOp =
+        fn::createFunc(b, "f", {ir::getF32Type(ctx)}, {});
+    ir::OpBuilder fb(ctx);
+    fb.setInsertionPointToEnd(fn::funcBody(fnOp));
+    fn::createReturn(fb, {fn::funcBody(fnOp)->argument(0)});
+    std::string text = ir::printOp(module.get());
+    EXPECT_NE(text.find("%arg0"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===
+// Verifier
+//===----------------------------------------------------------------------===
+
+TEST_F(IrTest, VerifierAcceptsValidIr)
+{
+    ir::OwningOp module = bt::createModule(ctx);
+    ir::OpBuilder b(ctx);
+    b.setInsertionPointToEnd(bt::moduleBody(module.get()));
+    ir::Value c = ar::createConstantF32(b, 1.0);
+    ar::createAddF(b, c, c);
+    EXPECT_TRUE(ir::verifies(module.get()));
+}
+
+TEST_F(IrTest, VerifierFlagsUseBeforeDef)
+{
+    ir::OwningOp module = bt::createModule(ctx);
+    ir::OpBuilder b(ctx);
+    b.setInsertionPointToEnd(bt::moduleBody(module.get()));
+    ir::Value c1 = ar::createConstantF32(b, 1.0);
+    ir::Value sum = ar::createAddF(b, c1, c1);
+    // Move the constant after its user.
+    c1.definingOp()->moveToEnd(bt::moduleBody(module.get()));
+    (void)sum;
+    std::vector<std::string> errors = ir::verifyCollect(module.get());
+    ASSERT_FALSE(errors.empty());
+    EXPECT_NE(errors[0].find("not visible"), std::string::npos);
+}
+
+TEST_F(IrTest, VerifierFlagsMissingRequiredAttr)
+{
+    ir::OwningOp module = bt::createModule(ctx);
+    ir::OpBuilder b(ctx);
+    b.setInsertionPointToEnd(bt::moduleBody(module.get()));
+    b.create("arith.constant", {}, {ir::getF32Type(ctx)});
+    EXPECT_FALSE(ir::verifies(module.get()));
+}
+
+TEST_F(IrTest, VerifierFlagsOperandCountMismatch)
+{
+    ir::OwningOp module = bt::createModule(ctx);
+    ir::OpBuilder b(ctx);
+    b.setInsertionPointToEnd(bt::moduleBody(module.get()));
+    ir::Value c = ar::createConstantF32(b, 1.0);
+    b.create("arith.addf", {c}, {ir::getF32Type(ctx)});
+    EXPECT_FALSE(ir::verifies(module.get()));
+}
+
+TEST_F(IrTest, VerifierFlagsMisplacedTerminator)
+{
+    ir::OwningOp module = bt::createModule(ctx);
+    ir::OpBuilder b(ctx);
+    b.setInsertionPointToEnd(bt::moduleBody(module.get()));
+    ir::Operation *fnOp = fn::createFunc(b, "f", {}, {});
+    ir::OpBuilder fb(ctx);
+    fb.setInsertionPointToEnd(fn::funcBody(fnOp));
+    fn::createReturn(fb);
+    ar::createConstantF32(fb, 1.0); // after the terminator
+    std::vector<std::string> errors = ir::verifyCollect(module.get());
+    ASSERT_FALSE(errors.empty());
+    EXPECT_NE(errors[0].find("terminator"), std::string::npos);
+}
+
+TEST_F(IrTest, VerifyThrowsWithDiagnostics)
+{
+    ir::OwningOp module = bt::createModule(ctx);
+    ir::OpBuilder b(ctx);
+    b.setInsertionPointToEnd(bt::moduleBody(module.get()));
+    b.create("arith.constant", {}, {ir::getF32Type(ctx)});
+    EXPECT_THROW(ir::verify(module.get()), FatalError);
+}
+
+//===----------------------------------------------------------------------===
+// Pattern driver
+//===----------------------------------------------------------------------===
+
+TEST_F(IrTest, GreedyDriverReachesFixpoint)
+{
+    ir::OwningOp module = bt::createModule(ctx);
+    ir::OpBuilder b(ctx);
+    b.setInsertionPointToEnd(bt::moduleBody(module.get()));
+    ir::Value c = ar::createConstantF32(b, 1.0);
+    ir::Value s1 = ar::createAddF(b, c, c);
+    ir::Value s2 = ar::createAddF(b, s1, c);
+    ar::createMulF(b, s2, s2);
+
+    // Pattern: erase dead addf ops (none initially; mul keeps s2 live).
+    std::vector<ir::NamedPattern> patterns = {
+        {"drop-dead-adds", [](ir::Operation *op, ir::OpBuilder &) {
+             if (op->name() != "arith.addf" || op->hasResultUses())
+                 return false;
+             op->erase();
+             return true;
+         }},
+    };
+    bool changed = ir::applyPatternsGreedily(module.get(), patterns);
+    EXPECT_FALSE(changed);
+
+    // Now erase the mul so the chain becomes dead; driver should peel
+    // the adds one after the other.
+    firstOp(module.get(), "arith.mulf")->erase();
+    changed = ir::applyPatternsGreedily(module.get(), patterns);
+    EXPECT_TRUE(changed);
+    EXPECT_EQ(countOps(module.get(), "arith.addf"), 0);
+}
+
+TEST_F(IrTest, NonConvergingPatternIsCaught)
+{
+    ir::OwningOp module = bt::createModule(ctx);
+    ir::OpBuilder b(ctx);
+    b.setInsertionPointToEnd(bt::moduleBody(module.get()));
+    ar::createConstantF32(b, 1.0);
+    std::vector<ir::NamedPattern> patterns = {
+        {"flip-flop", [](ir::Operation *op, ir::OpBuilder &) {
+             // Claims a change without changing anything.
+             return op->name() == "arith.constant";
+         }},
+    };
+    EXPECT_THROW(ir::applyPatternsGreedily(module.get(), patterns, 16),
+                 PanicError);
+}
+
+//===----------------------------------------------------------------------===
+// Pass manager
+//===----------------------------------------------------------------------===
+
+TEST_F(IrTest, PassManagerRunsInOrder)
+{
+    ir::OwningOp module = bt::createModule(ctx);
+    std::vector<std::string> order;
+    ir::PassManager pm(/*verifyEach=*/true);
+    pm.addPass("first", [&](ir::Operation *) { order.push_back("a"); });
+    pm.addPass("second", [&](ir::Operation *) { order.push_back("b"); });
+    pm.run(module.get());
+    EXPECT_EQ(order, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST_F(IrTest, PassManagerVerifiesBetweenPasses)
+{
+    ir::OwningOp module = bt::createModule(ctx);
+    ir::PassManager pm(/*verifyEach=*/true);
+    pm.addPass("corrupt", [&](ir::Operation *m) {
+        ir::OpBuilder b(ctx);
+        b.setInsertionPointToEnd(bt::moduleBody(m));
+        b.create("arith.constant", {}, {ir::getF32Type(ctx)});
+    });
+    bool sawName = false;
+    try {
+        pm.run(module.get());
+    } catch (const FatalError &e) {
+        sawName = std::string(e.what()).find("corrupt") !=
+                  std::string::npos;
+    }
+    EXPECT_TRUE(sawName);
+}
+
+TEST_F(IrTest, AfterPassHookFires)
+{
+    ir::OwningOp module = bt::createModule(ctx);
+    ir::PassManager pm;
+    pm.addPass("noop", [](ir::Operation *) {});
+    int fired = 0;
+    pm.setAfterPassHook(
+        [&](const ir::Pass &, ir::Operation *) { fired++; });
+    pm.run(module.get());
+    EXPECT_EQ(fired, 1);
+}
+
+} // namespace
+} // namespace wsc::test

@@ -1,0 +1,114 @@
+#include "test_helpers.h"
+
+namespace wsc::test {
+namespace {
+
+namespace csl = dialects::csl;
+
+class PipelineTest : public IrTest
+{
+};
+
+TEST_F(PipelineTest, AllBenchmarksLowerAndVerify)
+{
+    for (fe::Benchmark &bench : fe::makeAllBenchmarks(12, 12, 3)) {
+        ir::Context localCtx;
+        dialects::registerAllDialects(localCtx);
+        ir::OwningOp module = bench.program.emit(localCtx);
+        EXPECT_NO_THROW(transforms::runPipeline(module.get()))
+            << bench.name;
+        EXPECT_TRUE(ir::verifies(module.get())) << bench.name;
+        EXPECT_GE(countOps(module.get(), csl::kTask), 1) << bench.name;
+    }
+}
+
+TEST_F(PipelineTest, PipelineHasTheDocumentedStageCount)
+{
+    ir::PassManager pm = transforms::buildPipeline();
+    // 3 optimization + 2 group1 + 2 group2 + 3 group3 + 1 group4 +
+    // 3 group5 passes.
+    EXPECT_EQ(pm.size(), 14u);
+    EXPECT_EQ(pm.pass(0).name(), "stencil-inlining");
+    EXPECT_EQ(pm.pass(pm.size() - 1).name(), "lower-csl-wrapper");
+}
+
+TEST_F(PipelineTest, AblationTogglesChangeTheOutput)
+{
+    fe::Benchmark a = fe::makeDiffusion(8, 8, 3, 16);
+    ir::OwningOp base = a.program.emit(ctx);
+    transforms::runPipeline(base.get());
+
+    fe::Benchmark b = fe::makeDiffusion(8, 8, 3, 16);
+    ir::OwningOp noFmac = b.program.emit(ctx);
+    transforms::PipelineOptions options;
+    options.enableFmacFusion = false;
+    transforms::runPipeline(noFmac.get(), options);
+
+    EXPECT_GT(countOps(base.get(), csl::kFmacs),
+              countOps(noFmac.get(), csl::kFmacs));
+}
+
+TEST_F(PipelineTest, ChunkForcingPropagatesToCommsExchange)
+{
+    fe::Benchmark bench = fe::makeJacobian(8, 8, 3, 32);
+    ir::OwningOp module = bench.program.emit(ctx);
+    transforms::PipelineOptions options;
+    options.forceNumChunks = 4;
+    transforms::runPipeline(module.get(), options);
+    ir::Operation *comms = firstOp(module.get(), csl::kCommsExchange);
+    ASSERT_NE(comms, nullptr);
+    EXPECT_EQ(csl::commsExchangeSpec(comms).numChunks, 4);
+}
+
+TEST_F(PipelineTest, SeismicCarriesSixteenAccesses)
+{
+    fe::Benchmark bench = fe::makeSeismic(12, 12, 3, 24);
+    ir::OwningOp module = bench.program.emit(ctx);
+    transforms::runPipeline(module.get());
+    ir::Operation *comms = firstOp(module.get(), csl::kCommsExchange);
+    csl::CommsExchangeSpec spec = csl::commsExchangeSpec(comms);
+    EXPECT_EQ(spec.accesses.size(), 16u);
+    EXPECT_EQ(spec.pattern, 4);
+    EXPECT_EQ(spec.trimFirst, 4);
+    EXPECT_EQ(spec.trimLast, 4);
+}
+
+TEST_F(PipelineTest, OnlyRequiredDataIsCommunicated)
+{
+    // A one-sided stencil communicates exactly one section (§6.1: only
+    // data required by the calculation).
+    fe::Program p(fe::Grid{8, 8, 16});
+    p.setTimesteps(2);
+    fe::Field u = p.addField("u");
+    p.setUpdate(u, fe::constant(0.5) * (u() + u.at(1, 0, 0)));
+    ir::OwningOp module = p.emit(ctx);
+    transforms::runPipeline(module.get());
+    ir::Operation *comms = firstOp(module.get(), csl::kCommsExchange);
+    ASSERT_NE(comms, nullptr);
+    csl::CommsExchangeSpec spec = csl::commsExchangeSpec(comms);
+    ASSERT_EQ(spec.accesses.size(), 1u);
+    EXPECT_EQ(spec.accesses[0], std::make_pair(int64_t(1), int64_t(0)));
+}
+
+TEST_F(PipelineTest, PipelineIsDeterministic)
+{
+    fe::Benchmark a = fe::makeAcoustic(8, 8, 3, 16);
+    ir::OwningOp m1 = a.program.emit(ctx);
+    transforms::runPipeline(m1.get());
+    fe::Benchmark b = fe::makeAcoustic(8, 8, 3, 16);
+    ir::OwningOp m2 = b.program.emit(ctx);
+    transforms::runPipeline(m2.get());
+    EXPECT_EQ(ir::printOp(m1.get()), ir::printOp(m2.get()));
+}
+
+TEST_F(PipelineTest, VerifyEachCanBeDisabled)
+{
+    fe::Benchmark bench = fe::makeJacobian(8, 8, 2, 16);
+    ir::OwningOp module = bench.program.emit(ctx);
+    transforms::PipelineOptions options;
+    options.verifyEach = false;
+    EXPECT_NO_THROW(transforms::runPipeline(module.get(), options));
+}
+
+} // namespace
+} // namespace wsc::test

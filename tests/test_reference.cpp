@@ -1,0 +1,105 @@
+#include "test_helpers.h"
+
+namespace wsc::test {
+namespace {
+
+TEST(Reference, ConstantFieldStaysConstantUnderAveraging)
+{
+    fe::Program p(fe::Grid{6, 6, 8});
+    p.setTimesteps(3);
+    fe::Field u = p.addField("u");
+    p.setUpdate(u, fe::constant(0.25) *
+                       (u.at(1, 0, 0) + u.at(-1, 0, 0) + u.at(0, 1, 0) +
+                        u.at(0, -1, 0)));
+    model::ReferenceExecutor ref(
+        p, [](int, int64_t, int64_t, int64_t) { return 2.0f; });
+    ref.run(3);
+    // Averaging a constant field keeps it constant everywhere.
+    for (int64_t x = 0; x < 6; ++x)
+        for (int64_t y = 0; y < 6; ++y)
+            for (int64_t z = 0; z < 8; ++z)
+                EXPECT_FLOAT_EQ(ref.at(0, x, y, z), 2.0f);
+}
+
+TEST(Reference, BoundaryPointsNeverChange)
+{
+    fe::Program p(fe::Grid{5, 5, 6});
+    p.setTimesteps(2);
+    fe::Field u = p.addField("u");
+    p.setUpdate(u, fe::constant(0.0) * u.at(1, 0, 0));
+    model::ReferenceExecutor ref(
+        p, [](int, int64_t x, int64_t y, int64_t z) {
+            return static_cast<float>(x + 10 * y + 100 * z);
+        });
+    ref.run(2);
+    // x = 4 cannot access x+1: stays at its initial value.
+    EXPECT_FLOAT_EQ(ref.at(0, 4, 2, 3), 4 + 20 + 300);
+    // x = 2 is interior: becomes 0.
+    EXPECT_FLOAT_EQ(ref.at(0, 2, 2, 3), 0.0f);
+}
+
+TEST(Reference, RotationCopiesWholeField)
+{
+    fe::Program p(fe::Grid{4, 4, 4});
+    p.setTimesteps(1);
+    fe::Field u = p.addField("u");
+    fe::Field v = p.addField("v");
+    p.setUpdate(u, u.at(1, 0, 0) + v());
+    p.setUpdate(v, u());
+    model::ReferenceExecutor ref(
+        p, [](int f, int64_t x, int64_t, int64_t) {
+            return f == 0 ? static_cast<float>(x) : 100.0f;
+        });
+    ref.run(1);
+    // v becomes the old u everywhere, including boundaries.
+    for (int64_t x = 0; x < 4; ++x)
+        EXPECT_FLOAT_EQ(ref.at(1, x, 0, 0), static_cast<float>(x));
+}
+
+TEST(Reference, NextAccessSeesSequentialUpdate)
+{
+    fe::Program p(fe::Grid{4, 4, 4});
+    p.setTimesteps(1);
+    fe::Field a = p.addField("a");
+    fe::Field b = p.addField("b");
+    p.setUpdate(a, fe::constant(5.0) + fe::constant(0.0) * a());
+    p.setUpdate(b, a.next(0, 0, 0) + fe::constant(1.0) +
+                       fe::constant(0.0) * b.at(1, 0, 0));
+    model::ReferenceExecutor ref(
+        p, [](int, int64_t, int64_t, int64_t) { return 0.0f; });
+    ref.run(1);
+    // b = new a + 1 = 6 at points where both updates applied.
+    EXPECT_FLOAT_EQ(ref.at(1, 1, 1, 1), 6.0f);
+}
+
+TEST(Reference, ZOffsetsWork)
+{
+    fe::Program p(fe::Grid{3, 3, 8});
+    p.setTimesteps(1);
+    fe::Field u = p.addField("u");
+    p.setUpdate(u, u.at(0, 0, 1));
+    model::ReferenceExecutor ref(
+        p, [](int, int64_t, int64_t, int64_t z) {
+            return static_cast<float>(z);
+        });
+    ref.run(1);
+    EXPECT_FLOAT_EQ(ref.at(0, 1, 1, 3), 4.0f);
+    // z = 7 cannot access z+1: unchanged.
+    EXPECT_FLOAT_EQ(ref.at(0, 1, 1, 7), 7.0f);
+}
+
+TEST(Reference, DeterministicAcrossRuns)
+{
+    fe::Benchmark b1 = fe::makeDiffusion(6, 6, 4, 12);
+    fe::Benchmark b2 = fe::makeDiffusion(6, 6, 4, 12);
+    model::ReferenceExecutor r1(b1.program, b1.init);
+    model::ReferenceExecutor r2(b2.program, b2.init);
+    r1.run(4);
+    r2.run(4);
+    for (int64_t x = 0; x < 6; ++x)
+        for (int64_t z = 0; z < 12; ++z)
+            EXPECT_EQ(r1.at(0, x, 3, z), r2.at(0, x, 3, z));
+}
+
+} // namespace
+} // namespace wsc::test

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+#include "wse/router.h"
+
+namespace wsc::test {
+namespace {
+
+using wse::Direction;
+using wse::RouteConfig;
+using wse::Router;
+
+TEST(RouterTest, ConfigureAndQueryRoutes)
+{
+    Router router;
+    EXPECT_FALSE(router.hasRoute(3));
+    router.configure(3, wse::makeStarRoute(Direction::East, true, false,
+                                           false));
+    EXPECT_TRUE(router.hasRoute(3));
+    const RouteConfig &route = router.route(3);
+    EXPECT_EQ(route.positions.size(), 1u);
+    EXPECT_TRUE(route.active().txTo.count(Direction::East));
+}
+
+TEST(RouterTest, ColorRangeIsChecked)
+{
+    Router router;
+    EXPECT_THROW(router.configure(wse::kNumColors,
+                                  wse::makeStarRoute(Direction::East,
+                                                     true, false, false)),
+                 PanicError);
+}
+
+TEST(RouterTest, SwitchPositionsAdvanceAndWrap)
+{
+    Router router;
+    RouteConfig config = wse::makeStarRoute(Direction::East, true, false,
+                                            false);
+    config.positions.push_back(
+        wse::makeStarRoute(Direction::East, false, false, false)
+            .positions[0]);
+    router.configure(0, config);
+    EXPECT_EQ(router.route(0).current, 0u);
+    router.advanceSwitch(0);
+    EXPECT_EQ(router.route(0).current, 1u);
+    router.advanceSwitch(0);
+    EXPECT_EQ(router.route(0).current, 0u); // wraps
+    router.advanceSwitch(0);
+    router.resetSwitches();
+    EXPECT_EQ(router.route(0).current, 0u);
+}
+
+TEST(RouterTest, StarRouteForwardAndDeliver)
+{
+    // Intermediate PE: accepts from behind, delivers and forwards.
+    RouteConfig mid = wse::makeStarRoute(Direction::East,
+                                         /*isSender=*/false,
+                                         /*isTerminal=*/false, false);
+    EXPECT_TRUE(mid.active().rxFrom.count(Direction::West));
+    EXPECT_TRUE(mid.active().deliverToRamp);
+    EXPECT_TRUE(mid.active().txTo.count(Direction::East));
+    // Terminal PE: delivers only.
+    RouteConfig terminal = wse::makeStarRoute(Direction::East, false,
+                                              /*isTerminal=*/true, false);
+    EXPECT_TRUE(terminal.active().deliverToRamp);
+    EXPECT_FALSE(terminal.active().txTo.count(Direction::East));
+}
+
+TEST(RouterTest, Wse2SelfTransmitShowsInSenderPosition)
+{
+    RouteConfig wse2 = wse::makeStarRoute(Direction::North,
+                                          /*isSender=*/true, false,
+                                          /*selfTransmit=*/true);
+    RouteConfig wse3 = wse::makeStarRoute(Direction::North, true, false,
+                                          /*selfTransmit=*/false);
+    EXPECT_TRUE(wse2.active().deliverToRamp);
+    EXPECT_FALSE(wse3.active().deliverToRamp);
+}
+
+TEST(RouterTest, UnknownColorPanics)
+{
+    Router router;
+    EXPECT_THROW(router.route(5), PanicError);
+    EXPECT_THROW(router.advanceSwitch(5), PanicError);
+}
+
+} // namespace
+} // namespace wsc::test

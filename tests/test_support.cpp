@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+namespace wsc {
+namespace {
+
+TEST(Support, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("user error"), FatalError);
+}
+
+TEST(Support, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("bug"), PanicError);
+}
+
+TEST(Support, FatalCarriesMessage)
+{
+    try {
+        fatal("bad configuration: chunk too large");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("chunk too large"),
+                  std::string::npos);
+    }
+}
+
+TEST(Support, StrcatFormatsMixedTypes)
+{
+    EXPECT_EQ(strcat("pe (", 3, ", ", 4, ")"), "pe (3, 4)");
+}
+
+TEST(Support, AssertMacroPassesOnTrue)
+{
+    EXPECT_NO_THROW(WSC_ASSERT(1 + 1 == 2, "arithmetic"));
+}
+
+TEST(Support, AssertMacroThrowsWithLocation)
+{
+    try {
+        WSC_ASSERT(false, "custom detail " << 42);
+        FAIL() << "expected PanicError";
+    } catch (const PanicError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("custom detail 42"), std::string::npos);
+        EXPECT_NE(msg.find("test_support.cpp"), std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace wsc

@@ -1,0 +1,152 @@
+#include "test_helpers.h"
+
+#include "transforms/varith_transforms.h"
+
+namespace wsc::test {
+namespace {
+
+namespace bt = dialects::builtin;
+namespace ar = dialects::arith;
+namespace va = dialects::varith;
+namespace fn = dialects::func;
+
+class VarithTest : public IrTest
+{
+  protected:
+    VarithTest() : module(bt::createModule(ctx)), b(ctx)
+    {
+        ir::OpBuilder mb(ctx);
+        mb.setInsertionPointToEnd(bt::moduleBody(module.get()));
+        fnOp = fn::createFunc(mb, "f", {ir::getF32Type(ctx)}, {});
+        b.setInsertionPointToEnd(fn::funcBody(fnOp));
+    }
+
+    void
+    finishAndRun(ir::Value result, bool fuseRepeated = false)
+    {
+        // Keep the result alive through an opaque user.
+        b.create("builtin.unrealized_cast", {result},
+                 {ir::getF32Type(ctx)});
+        fn::createReturn(b);
+        ir::PassManager pm;
+        pm.addPass(transforms::createArithToVarithPass());
+        if (fuseRepeated)
+            pm.addPass(
+                transforms::createVarithFuseRepeatedOperandsPass());
+        pm.run(module.get());
+    }
+
+    ir::OwningOp module;
+    ir::Operation *fnOp;
+    ir::OpBuilder b;
+};
+
+TEST_F(VarithTest, AddChainCollapsesToSingleVariadic)
+{
+    ir::Value x = fn::funcBody(fnOp)->argument(0);
+    ir::Value c1 = ar::createConstantF32(b, 1.0);
+    ir::Value c2 = ar::createConstantF32(b, 2.0);
+    ir::Value sum = ar::createAddF(b, ar::createAddF(b, x, c1),
+                                   ar::createAddF(b, c2, x));
+    finishAndRun(sum);
+    EXPECT_EQ(countOps(module.get(), "arith.addf"), 0);
+    EXPECT_EQ(countOps(module.get(), va::kAdd), 1);
+    ir::Operation *add = firstOp(module.get(), va::kAdd);
+    EXPECT_EQ(add->numOperands(), 4u);
+    EXPECT_TRUE(ir::verifies(module.get()));
+}
+
+TEST_F(VarithTest, MulChainsCollapseSeparately)
+{
+    ir::Value x = fn::funcBody(fnOp)->argument(0);
+    ir::Value c = ar::createConstantF32(b, 3.0);
+    ir::Value prod =
+        ar::createMulF(b, ar::createMulF(b, x, c), x);
+    finishAndRun(prod);
+    EXPECT_EQ(countOps(module.get(), va::kMul), 1);
+    EXPECT_EQ(firstOp(module.get(), va::kMul)->numOperands(), 3u);
+}
+
+TEST_F(VarithTest, MixedTreeKeepsStructure)
+{
+    // (a + b) * (a + c): two adds feed one mul; the adds collapse but
+    // must not merge through the multiplication.
+    ir::Value x = fn::funcBody(fnOp)->argument(0);
+    ir::Value c1 = ar::createConstantF32(b, 1.0);
+    ir::Value c2 = ar::createConstantF32(b, 2.0);
+    ir::Value m = ar::createMulF(b, ar::createAddF(b, x, c1),
+                                 ar::createAddF(b, x, c2));
+    finishAndRun(m);
+    EXPECT_EQ(countOps(module.get(), va::kAdd), 2);
+    EXPECT_EQ(countOps(module.get(), va::kMul), 1);
+}
+
+TEST_F(VarithTest, SharedSubtreesAreNotFlattened)
+{
+    // A producer with two users must not be folded into either.
+    ir::Value x = fn::funcBody(fnOp)->argument(0);
+    ir::Value shared = ar::createAddF(b, x, x);
+    ir::Value sum = ar::createAddF(b, shared, x);
+    b.create("builtin.unrealized_cast", {shared},
+             {ir::getF32Type(ctx)});
+    finishAndRun(sum);
+    EXPECT_EQ(countOps(module.get(), va::kAdd), 2);
+}
+
+TEST_F(VarithTest, RepeatedAddendsBecomeMultiplication)
+{
+    // u + u + u -> 3 * u (the Acoustic optimization of §5.7).
+    ir::Value x = fn::funcBody(fnOp)->argument(0);
+    ir::Value sum =
+        ar::createAddF(b, ar::createAddF(b, x, x), x);
+    finishAndRun(sum, /*fuseRepeated=*/true);
+    EXPECT_EQ(countOps(module.get(), va::kAdd), 0);
+    ir::Operation *mul = firstOp(module.get(), "arith.mulf");
+    ASSERT_NE(mul, nullptr);
+    bool sawThree = false;
+    module->walk([&](ir::Operation *op) {
+        if (ar::isFloatConstant(op) &&
+            ar::floatConstantValue(op) == 3.0)
+            sawThree = true;
+    });
+    EXPECT_TRUE(sawThree);
+}
+
+TEST_F(VarithTest, MixedRepeatsKeepOtherOperands)
+{
+    // u + u + w -> 2*u + w.
+    ir::Value x = fn::funcBody(fnOp)->argument(0);
+    ir::Value w = ar::createConstantF32(b, 7.0);
+    ir::Value sum =
+        ar::createAddF(b, ar::createAddF(b, x, x), w);
+    finishAndRun(sum, /*fuseRepeated=*/true);
+    ir::Operation *add = firstOp(module.get(), va::kAdd);
+    ASSERT_NE(add, nullptr);
+    EXPECT_EQ(add->numOperands(), 2u);
+    EXPECT_EQ(countOps(module.get(), "arith.mulf"), 1);
+}
+
+TEST_F(VarithTest, VarithToArithExpandsBack)
+{
+    ir::Value x = fn::funcBody(fnOp)->argument(0);
+    ir::Value c = ar::createConstantF32(b, 1.0);
+    ir::Value sum = ar::createAddF(b, ar::createAddF(b, x, c), x);
+    finishAndRun(sum);
+    ir::PassManager pm;
+    pm.addPass(transforms::createVarithToArithPass());
+    pm.run(module.get());
+    EXPECT_EQ(countOps(module.get(), va::kAdd), 0);
+    EXPECT_EQ(countOps(module.get(), "arith.addf"), 2);
+    EXPECT_TRUE(ir::verifies(module.get()));
+}
+
+TEST_F(VarithTest, AcousticEndToEndWithFusion)
+{
+    // The real kernel containing the u+u pattern stays correct.
+    fe::Benchmark bench = fe::makeAcoustic(8, 8, 3, 16);
+    double err = endToEndError(bench, wse::ArchParams::wse3(), 8, 8, 3);
+    EXPECT_LT(err, 1e-4);
+}
+
+} // namespace
+} // namespace wsc::test
