@@ -49,11 +49,11 @@ main()
     // Show the actor structure the timestep loop was recast into.
     printf("--- task graph replacing the loop (cf. Figure 1) ---\n");
     module->walk([](ir::Operation *op) {
-        if (op->name() == dialects::csl::kTask)
+        if (op->opId() == dialects::csl::kTask)
             printf("  task %-22s (local, id %lld)\n",
                    op->strAttr("sym_name").c_str(),
                    static_cast<long long>(op->intAttr("id")));
-        else if (op->name() == dialects::csl::kFunc)
+        else if (op->opId() == dialects::csl::kFunc)
             printf("  fn   %s\n", op->strAttr("sym_name").c_str());
     });
 

@@ -60,7 +60,7 @@ main()
     // The compiler's chunking decision for the real column length.
     ir::Operation *comms = nullptr;
     module->walk([&](ir::Operation *op) {
-        if (op->name() == dialects::csl::kCommsExchange)
+        if (op->opId() == dialects::csl::kCommsExchange)
             comms = op;
     });
     auto spec = dialects::csl::commsExchangeSpec(comms);

@@ -35,7 +35,7 @@ main()
     // Two exchange sites chained by continuations.
     int sites = 0;
     module->walk([&](ir::Operation *op) {
-        if (op->name() == dialects::csl::kCommsExchange) {
+        if (op->opId() == dialects::csl::kCommsExchange) {
             auto spec = dialects::csl::commsExchangeSpec(op);
             printf("exchange %d: %zu sections -> %s then %s\n", sites,
                    spec.accesses.size(), spec.recvCallback.c_str(),

@@ -69,7 +69,7 @@ class BodyEmitter
     void
     emitOp(ir::Operation *op, int indent)
     {
-        const std::string &n = op->name();
+        ir::OpId n = op->opId();
         std::ostringstream s;
         if (n == ar::kConstant) {
             ir::Attribute a = op->attr("value");
@@ -190,7 +190,7 @@ class BodyEmitter
         }
         if (n == csl::kFadds || n == csl::kFsubs || n == csl::kFmuls ||
             n == csl::kFmovs || n == csl::kFmacs) {
-            std::string builtin = "@" + n.substr(4); // strip "csl."
+            std::string builtin = "@" + n.str().substr(4); // strip "csl."
             s << builtin << "(";
             for (unsigned i = 0; i < op->numOperands(); ++i)
                 s << (i ? ", " : "") << operandText(op->operand(i));
@@ -225,7 +225,7 @@ class BodyEmitter
         if (n == csl::kImportModule || n == csl::kMemberCall ||
             n == csl::kExport || n == csl::kParam)
             return; // printed at module level
-        panic("csl emitter: unsupported op in body: " + n);
+        panic("csl emitter: unsupported op in body: " + n.str());
     }
 
     std::ostream &os_;
@@ -258,11 +258,11 @@ emitProgram(ir::Operation *program)
     // Task id table for @activate / @bind_local_task.
     std::map<std::string, int64_t> taskIds;
     for (ir::Operation *op : csl::moduleBody(program)->opsVector())
-        if (op->name() == csl::kTask)
+        if (op->opId() == csl::kTask)
             taskIds[op->strAttr("sym_name")] = op->intAttr("id");
 
     for (ir::Operation *op : csl::moduleBody(program)->opsVector()) {
-        const std::string &n = op->name();
+        ir::OpId n = op->opId();
         if (n == csl::kParam) {
             os << "param " << op->strAttr("name") << ": i16;\n";
             continue;
@@ -328,7 +328,7 @@ emitProgram(ir::Operation *program)
         os << "  @bind_local_task(" << name << ", @get_local_task_id("
            << id << "));\n";
     for (ir::Operation *op : csl::moduleBody(program)->opsVector()) {
-        if (op->name() != csl::kExport)
+        if (op->opId() != csl::kExport)
             continue;
         const std::string &kind = op->strAttr("kind");
         os << "  @export_symbol(" << op->strAttr("name")
@@ -350,10 +350,10 @@ emitLayout(ir::Operation *layout)
     std::string file = "pe.csl";
     ir::Attribute params;
     for (ir::Operation *op : csl::moduleBody(layout)->opsVector()) {
-        if (op->name() == csl::kSetRectangle) {
+        if (op->opId() == csl::kSetRectangle) {
             width = op->intAttr("width");
             height = op->intAttr("height");
-        } else if (op->name() == csl::kSetTileCode) {
+        } else if (op->opId() == csl::kSetTileCode) {
             file = op->strAttr("file");
             params = op->attr("params");
         }
@@ -391,7 +391,7 @@ emitCsl(ir::Operation *root)
 {
     EmittedCsl out;
     root->walk([&](ir::Operation *op) {
-        if (op->name() != csl::kModule)
+        if (op->opId() != csl::kModule)
             return;
         if (op->strAttr("kind") == "program")
             out.programFile = emitProgram(op);

@@ -78,6 +78,34 @@ StarComm::StarComm(wse::Simulator &sim, StarCommConfig config)
     std::vector<Access> canonical = canonicalAccessOrder(config_.accesses);
     WSC_ASSERT(canonical == config_.accesses,
                "accesses must be in canonical order");
+
+    size_t numPes =
+        static_cast<size_t>(sim_.width()) * sim_.height();
+    states_.resize(numPes);
+    expected_.resize(numPes);
+    for (int x = 0; x < sim_.width(); ++x)
+        for (int y = 0; y < sim_.height(); ++y)
+            expected_[static_cast<size_t>(x) * sim_.height() + y] =
+                computeExpectedSections(x, y);
+
+    // Group deliveries by travel direction once; every exchange reuses
+    // this plan.
+    for (size_t i = 0; i < config_.accesses.size(); ++i) {
+        const Access &a = config_.accesses[i];
+        wse::Direction dir = travelDirection(a);
+        PlanEntry *entry = nullptr;
+        for (PlanEntry &e : plan_)
+            if (e.dir == dir)
+                entry = &e;
+        if (!entry) {
+            plan_.push_back({dir, {}});
+            entry = &plan_.back();
+        }
+        entry->sections.emplace_back(a.distance(),
+                                     static_cast<int>(i));
+    }
+    for (PlanEntry &e : plan_)
+        std::sort(e.sections.begin(), e.sections.end());
 }
 
 int64_t
@@ -109,7 +137,7 @@ StarComm::recvBufferBytes() const
 }
 
 int
-StarComm::expectedSections(int x, int y) const
+StarComm::computeExpectedSections(int x, int y) const
 {
     // A PE computes (and therefore receives) only when every one of its
     // sources exists; otherwise it is a boundary PE that only feeds its
@@ -123,6 +151,12 @@ StarComm::expectedSections(int x, int y) const
     return static_cast<int>(config_.accesses.size());
 }
 
+int
+StarComm::expectedSections(int x, int y) const
+{
+    return expected_[static_cast<size_t>(x) * sim_.height() + y];
+}
+
 const wse::Router &
 StarComm::router(int x, int y) const
 {
@@ -133,7 +167,7 @@ StarComm::router(int x, int y) const
 StarComm::PeState &
 StarComm::state(int x, int y)
 {
-    return states_[static_cast<int64_t>(x) * sim_.height() + y];
+    return states_[static_cast<size_t>(x) * sim_.height() + y];
 }
 
 void
@@ -209,13 +243,6 @@ StarComm::exchange(wse::TaskContext &ctx, const std::string &sendBufName,
     WSC_ASSERT(static_cast<int64_t>(sendBuf.size()) >= config_.zSize,
                "send buffer smaller than column");
 
-    // Group deliveries by travel direction: distance -> section index.
-    std::map<wse::Direction, std::map<int, int>> plan;
-    for (size_t i = 0; i < config_.accesses.size(); ++i) {
-        const Access &a = config_.accesses[i];
-        plan[travelDirection(a)][a.distance()] = static_cast<int>(i);
-    }
-
     wse::Cycles t = ctx.currentCycle();
     wse::Cycles lastInject = t;
     for (int64_t c = 0; c < nChunks; ++c) {
@@ -223,11 +250,11 @@ StarComm::exchange(wse::TaskContext &ctx, const std::string &sendBufName,
         int64_t len = std::min(chunk, total - c * chunk);
         std::vector<float> payload(sendBuf.begin() + begin,
                                    sendBuf.begin() + begin + len);
-        for (const auto &[dir, sections] : plan) {
+        for (const PlanEntry &entry : plan_) {
             // Only deliver to PEs that actually compute.
             std::vector<int> deliverDistances;
-            auto [sx, sy] = wse::directionStep(dir);
-            for (const auto &[dist, sectionIdx] : sections) {
+            auto [sx, sy] = wse::directionStep(entry.dir);
+            for (const auto &[dist, sectionIdx] : entry.sections) {
                 int rx = x + sx * dist;
                 int ry = y + sy * dist;
                 if (rx < 0 || rx >= sim_.width() || ry < 0 ||
@@ -239,17 +266,20 @@ StarComm::exchange(wse::TaskContext &ctx, const std::string &sendBufName,
             if (deliverDistances.empty())
                 continue;
             // Switch positions advance between chunks.
-            sim_.fabric().switchReconfig(x, y, dir, t);
-            std::map<int, int> sectionOf = sections;
+            sim_.fabric().switchReconfig(x, y, entry.dir, t);
+            const PlanEntry *sections = &entry; // Stable for the run.
             wse::Cycles injected = sim_.fabric().sendStream(
-                x, y, dir, deliverDistances, payload, t,
-                [this, sectionOf, c, epoch](
+                x, y, entry.dir, deliverDistances, payload, t,
+                [this, sections, c, epoch](
                     const wse::StreamDelivery &delivery,
                     const std::vector<float> &data) {
-                    auto it = sectionOf.find(delivery.distance);
-                    WSC_ASSERT(it != sectionOf.end(),
+                    int section = -1;
+                    for (const auto &[dist, idx] : sections->sections)
+                        if (dist == delivery.distance)
+                            section = idx;
+                    WSC_ASSERT(section >= 0,
                                "delivery at unexpected distance");
-                    onDelivery(delivery, data, it->second, c, epoch);
+                    onDelivery(delivery, data, section, c, epoch);
                 });
             lastInject = std::max(lastInject, injected);
         }

@@ -184,7 +184,16 @@ class StarComm
         std::deque<std::tuple<int64_t, int64_t, int>> pendingSections;
     };
 
+    /** One send plan entry: all sections travelling one direction. */
+    struct PlanEntry
+    {
+        wse::Direction dir;
+        /** (distance, section index), ascending by distance. */
+        std::vector<std::pair<int, int>> sections;
+    };
+
     PeState &state(int x, int y);
+    int computeExpectedSections(int x, int y) const;
     void onDelivery(const wse::StreamDelivery &delivery,
                     const std::vector<float> &payload, int accessIdx,
                     int64_t chunkIdx, int64_t senderEpoch);
@@ -198,7 +207,11 @@ class StarComm
 
     wse::Simulator &sim_;
     StarCommConfig config_;
-    std::map<int64_t, PeState> states_;
+    std::vector<PeState> states_;
+    /** Expected arriving sections per PE (0 marks a boundary PE). */
+    std::vector<int> expected_;
+    /** Deliveries grouped by travel direction (derived from config). */
+    std::vector<PlanEntry> plan_;
     std::vector<wse::Router> routers_;
     StarCommStats stats_;
     bool setupDone_ = false;

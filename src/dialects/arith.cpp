@@ -34,7 +34,7 @@ registerDialect(ir::Context &ctx)
             return "";
         },
     });
-    for (const char *name : {kAddF, kSubF, kMulF, kDivF, kAddI, kSubI, kMulI})
+    for (ir::OpId name : {kAddF, kSubF, kMulF, kDivF, kAddI, kSubI, kMulI})
         registerSimpleOp(ctx, name,
                          {.numOperands = 2, .numResults = 1,
                           .extraVerify = verifySameOperandAndResultType});
@@ -152,7 +152,7 @@ createCmpI(ir::OpBuilder &b, const std::string &predicate, ir::Value lhs,
 bool
 isBinaryFloatOp(ir::Operation *op)
 {
-    const std::string &n = op->name();
+    ir::OpId n = op->opId();
     return n == kAddF || n == kSubF || n == kMulF || n == kDivF;
 }
 

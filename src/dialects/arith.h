@@ -11,16 +11,16 @@
 
 namespace wsc::dialects::arith {
 
-inline constexpr const char *kConstant = "arith.constant";
-inline constexpr const char *kAddF = "arith.addf";
-inline constexpr const char *kSubF = "arith.subf";
-inline constexpr const char *kMulF = "arith.mulf";
-inline constexpr const char *kDivF = "arith.divf";
-inline constexpr const char *kAddI = "arith.addi";
-inline constexpr const char *kSubI = "arith.subi";
-inline constexpr const char *kMulI = "arith.muli";
-inline constexpr const char *kCmpI = "arith.cmpi";
-inline constexpr const char *kSelect = "arith.select";
+inline const ir::OpId kConstant = ir::OpId::get("arith.constant");
+inline const ir::OpId kAddF = ir::OpId::get("arith.addf");
+inline const ir::OpId kSubF = ir::OpId::get("arith.subf");
+inline const ir::OpId kMulF = ir::OpId::get("arith.mulf");
+inline const ir::OpId kDivF = ir::OpId::get("arith.divf");
+inline const ir::OpId kAddI = ir::OpId::get("arith.addi");
+inline const ir::OpId kSubI = ir::OpId::get("arith.subi");
+inline const ir::OpId kMulI = ir::OpId::get("arith.muli");
+inline const ir::OpId kCmpI = ir::OpId::get("arith.cmpi");
+inline const ir::OpId kSelect = ir::OpId::get("arith.select");
 
 void registerDialect(ir::Context &ctx);
 

@@ -27,7 +27,7 @@ createModule(ir::Context &ctx)
 ir::Block *
 moduleBody(ir::Operation *module)
 {
-    WSC_ASSERT(module->name() == kModule,
+    WSC_ASSERT(module->opId() == kModule,
                "moduleBody on non-module op " << module->name());
     return &module->region(0).front();
 }

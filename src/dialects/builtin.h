@@ -11,8 +11,8 @@
 
 namespace wsc::dialects::builtin {
 
-inline constexpr const char *kModule = "builtin.module";
-inline constexpr const char *kUnrealizedCast = "builtin.unrealized_cast";
+inline const ir::OpId kModule = ir::OpId::get("builtin.module");
+inline const ir::OpId kUnrealizedCast = ir::OpId::get("builtin.unrealized_cast");
 
 void registerDialect(ir::Context &ctx);
 

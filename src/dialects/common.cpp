@@ -5,7 +5,7 @@
 namespace wsc::dialects {
 
 void
-registerSimpleOp(ir::Context &ctx, const std::string &name, SimpleOpSpec spec)
+registerSimpleOp(ir::Context &ctx, ir::OpId id, SimpleOpSpec spec)
 {
     ir::OpInfo info;
     info.isTerminator = spec.isTerminator;
@@ -38,7 +38,7 @@ registerSimpleOp(ir::Context &ctx, const std::string &name, SimpleOpSpec spec)
             return spec.extraVerify(op);
         return "";
     };
-    ctx.registerOp(name, std::move(info));
+    ctx.registerOp(id, std::move(info));
 }
 
 } // namespace wsc::dialects

@@ -27,14 +27,13 @@ struct SimpleOpSpec
 };
 
 /** Register an op enforcing the structural spec above. */
-void registerSimpleOp(ir::Context &ctx, const std::string &name,
-                      SimpleOpSpec spec);
+void registerSimpleOp(ir::Context &ctx, ir::OpId id, SimpleOpSpec spec);
 
-/** True when `op` has the given name. */
+/** True when `op` has the given interned identity. */
 inline bool
-isa(ir::Operation *op, const std::string &name)
+isa(ir::Operation *op, ir::OpId id)
 {
-    return op && op->name() == name;
+    return op && op->is(id);
 }
 
 } // namespace wsc::dialects

@@ -236,7 +236,7 @@ createModule(ir::OpBuilder &b, const std::string &kind,
 ir::Block *
 moduleBody(ir::Operation *moduleOp)
 {
-    WSC_ASSERT(moduleOp->name() == kModule,
+    WSC_ASSERT(moduleOp->opId() == kModule,
                "moduleBody on " << moduleOp->name());
     return &moduleOp->region(0).front();
 }
@@ -450,7 +450,7 @@ createCommsExchange(ir::OpBuilder &b, ir::Value sendBuf,
 CommsExchangeSpec
 commsExchangeSpec(ir::Operation *op)
 {
-    WSC_ASSERT(op->name() == kCommsExchange,
+    WSC_ASSERT(op->opId() == kCommsExchange,
                "commsExchangeSpec on " << op->name());
     CommsExchangeSpec spec;
     spec.recvCallback = op->strAttr("recv_cb");

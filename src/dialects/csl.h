@@ -30,54 +30,53 @@ namespace wsc::dialects::csl {
 
 /// @name Module structure
 /// @{
-inline constexpr const char *kModule = "csl.module";
-inline constexpr const char *kParam = "csl.param";
-inline constexpr const char *kImportModule = "csl.import_module";
-inline constexpr const char *kMemberCall = "csl.member_call";
+inline const ir::OpId kModule = ir::OpId::get("csl.module");
+inline const ir::OpId kParam = ir::OpId::get("csl.param");
+inline const ir::OpId kImportModule = ir::OpId::get("csl.import_module");
+inline const ir::OpId kMemberCall = ir::OpId::get("csl.member_call");
 /// @}
 
 /// @name Functions, tasks and control
 /// @{
-inline constexpr const char *kFunc = "csl.func";
-inline constexpr const char *kTask = "csl.task";
-inline constexpr const char *kReturn = "csl.return";
-inline constexpr const char *kCall = "csl.call";
-inline constexpr const char *kActivate = "csl.activate";
+inline const ir::OpId kFunc = ir::OpId::get("csl.func");
+inline const ir::OpId kTask = ir::OpId::get("csl.task");
+inline const ir::OpId kReturn = ir::OpId::get("csl.return");
+inline const ir::OpId kCall = ir::OpId::get("csl.call");
+inline const ir::OpId kActivate = ir::OpId::get("csl.activate");
 /// @}
 
 /// @name Module-level state
 /// @{
-inline constexpr const char *kVariable = "csl.variable";
-inline constexpr const char *kLoadVar = "csl.load_var";
-inline constexpr const char *kStoreVar = "csl.store_var";
-inline constexpr const char *kAddressOf = "csl.addressof";
+inline const ir::OpId kVariable = ir::OpId::get("csl.variable");
+inline const ir::OpId kLoadVar = ir::OpId::get("csl.load_var");
+inline const ir::OpId kStoreVar = ir::OpId::get("csl.store_var");
+inline const ir::OpId kAddressOf = ir::OpId::get("csl.addressof");
 /// @}
 
 /// @name DSDs and compute builtins
 /// @{
-inline constexpr const char *kGetMemDsd = "csl.get_mem_dsd";
-inline constexpr const char *kSetDsdBaseAddr = "csl.set_dsd_base_addr";
-inline constexpr const char *kIncrementDsdOffset =
-    "csl.increment_dsd_offset";
-inline constexpr const char *kSetDsdLength = "csl.set_dsd_length";
-inline constexpr const char *kFadds = "csl.fadds";
-inline constexpr const char *kFsubs = "csl.fsubs";
-inline constexpr const char *kFmuls = "csl.fmuls";
-inline constexpr const char *kFmovs = "csl.fmovs";
-inline constexpr const char *kFmacs = "csl.fmacs";
+inline const ir::OpId kGetMemDsd = ir::OpId::get("csl.get_mem_dsd");
+inline const ir::OpId kSetDsdBaseAddr = ir::OpId::get("csl.set_dsd_base_addr");
+inline const ir::OpId kIncrementDsdOffset = ir::OpId::get("csl.increment_dsd_offset");
+inline const ir::OpId kSetDsdLength = ir::OpId::get("csl.set_dsd_length");
+inline const ir::OpId kFadds = ir::OpId::get("csl.fadds");
+inline const ir::OpId kFsubs = ir::OpId::get("csl.fsubs");
+inline const ir::OpId kFmuls = ir::OpId::get("csl.fmuls");
+inline const ir::OpId kFmovs = ir::OpId::get("csl.fmovs");
+inline const ir::OpId kFmacs = ir::OpId::get("csl.fmacs");
 /// @}
 
 /// @name Communication and host interface
 /// @{
-inline constexpr const char *kCommsExchange = "csl.comms_exchange";
-inline constexpr const char *kExport = "csl.export";
-inline constexpr const char *kUnblockCmdStream = "csl.unblock_cmd_stream";
+inline const ir::OpId kCommsExchange = ir::OpId::get("csl.comms_exchange");
+inline const ir::OpId kExport = ir::OpId::get("csl.export");
+inline const ir::OpId kUnblockCmdStream = ir::OpId::get("csl.unblock_cmd_stream");
 /// @}
 
 /// @name Layout metaprogram
 /// @{
-inline constexpr const char *kSetRectangle = "csl.set_rectangle";
-inline constexpr const char *kSetTileCode = "csl.set_tile_code";
+inline const ir::OpId kSetRectangle = ir::OpId::get("csl.set_rectangle");
+inline const ir::OpId kSetTileCode = ir::OpId::get("csl.set_tile_code");
 /// @}
 
 void registerDialect(ir::Context &ctx);

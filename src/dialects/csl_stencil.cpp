@@ -143,7 +143,7 @@ canonicalExchangeOrder(std::vector<dmp::Exchange> swaps)
 ir::Block *
 applyRecvBlock(ir::Operation *applyOp)
 {
-    WSC_ASSERT(applyOp->name() == kApply,
+    WSC_ASSERT(applyOp->opId() == kApply,
                "applyRecvBlock on " << applyOp->name());
     return &applyOp->region(0).front();
 }
@@ -151,7 +151,7 @@ applyRecvBlock(ir::Operation *applyOp)
 ir::Block *
 applyDoneBlock(ir::Operation *applyOp)
 {
-    WSC_ASSERT(applyOp->name() == kApply,
+    WSC_ASSERT(applyOp->opId() == kApply,
                "applyDoneBlock on " << applyOp->name());
     return &applyOp->region(1).front();
 }

@@ -23,10 +23,10 @@
 
 namespace wsc::dialects::csl_stencil {
 
-inline constexpr const char *kPrefetch = "csl_stencil.prefetch";
-inline constexpr const char *kApply = "csl_stencil.apply";
-inline constexpr const char *kAccess = "csl_stencil.access";
-inline constexpr const char *kYield = "csl_stencil.yield";
+inline const ir::OpId kPrefetch = ir::OpId::get("csl_stencil.prefetch");
+inline const ir::OpId kApply = ir::OpId::get("csl_stencil.apply");
+inline const ir::OpId kAccess = ir::OpId::get("csl_stencil.access");
+inline const ir::OpId kYield = ir::OpId::get("csl_stencil.yield");
 
 void registerDialect(ir::Context &ctx);
 

@@ -65,7 +65,7 @@ createModule(ir::OpBuilder &b, int64_t width, int64_t height,
 ir::Block *
 layoutBlock(ir::Operation *moduleOp)
 {
-    WSC_ASSERT(moduleOp->name() == kModule,
+    WSC_ASSERT(moduleOp->opId() == kModule,
                "layoutBlock on " << moduleOp->name());
     return &moduleOp->region(0).front();
 }
@@ -73,7 +73,7 @@ layoutBlock(ir::Operation *moduleOp)
 ir::Block *
 programBlock(ir::Operation *moduleOp)
 {
-    WSC_ASSERT(moduleOp->name() == kModule,
+    WSC_ASSERT(moduleOp->opId() == kModule,
                "programBlock on " << moduleOp->name());
     return &moduleOp->region(1).front();
 }

@@ -24,10 +24,10 @@
 
 namespace wsc::dialects::csl_wrapper {
 
-inline constexpr const char *kModule = "csl_wrapper.module";
-inline constexpr const char *kImport = "csl_wrapper.import";
-inline constexpr const char *kParam = "csl_wrapper.param";
-inline constexpr const char *kYield = "csl_wrapper.yield";
+inline const ir::OpId kModule = ir::OpId::get("csl_wrapper.module");
+inline const ir::OpId kImport = ir::OpId::get("csl_wrapper.import");
+inline const ir::OpId kParam = ir::OpId::get("csl_wrapper.param");
+inline const ir::OpId kYield = ir::OpId::get("csl_wrapper.yield");
 
 /** A named compile-time module parameter. */
 struct Param

@@ -15,7 +15,7 @@
 
 namespace wsc::dialects::dmp {
 
-inline constexpr const char *kSwap = "dmp.swap";
+inline const ir::OpId kSwap = ir::OpId::get("dmp.swap");
 
 /** One halo exchange with a neighbour at grid offset (dx, dy). */
 struct Exchange

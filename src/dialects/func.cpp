@@ -55,7 +55,7 @@ createFunc(ir::OpBuilder &b, const std::string &name,
 ir::Block *
 funcBody(ir::Operation *funcOp)
 {
-    WSC_ASSERT(funcOp->name() == kFunc, "funcBody on " << funcOp->name());
+    WSC_ASSERT(funcOp->opId() == kFunc, "funcBody on " << funcOp->name());
     return &funcOp->region(0).front();
 }
 

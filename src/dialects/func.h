@@ -13,9 +13,9 @@
 
 namespace wsc::dialects::func {
 
-inline constexpr const char *kFunc = "func.func";
-inline constexpr const char *kReturn = "func.return";
-inline constexpr const char *kCall = "func.call";
+inline const ir::OpId kFunc = ir::OpId::get("func.func");
+inline const ir::OpId kReturn = ir::OpId::get("func.return");
+inline const ir::OpId kCall = ir::OpId::get("func.call");
 
 void registerDialect(ir::Context &ctx);
 

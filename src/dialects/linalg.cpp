@@ -9,7 +9,7 @@ registerDialect(ir::Context &ctx)
 {
     if (!ctx.markDialectLoaded("linalg"))
         return;
-    for (const char *name : {kAdd, kSub, kMul, kDiv})
+    for (ir::OpId name : {kAdd, kSub, kMul, kDiv})
         registerSimpleOp(ctx, name, {.numOperands = 3, .numResults = 0});
     registerSimpleOp(ctx, kFill, {.numOperands = 2, .numResults = 0});
     registerSimpleOp(ctx, kCopy, {.numOperands = 2, .numResults = 0});
@@ -45,7 +45,7 @@ createFmac(ir::OpBuilder &b, ir::Value addend, ir::Value mulend,
 bool
 isLinalgOp(ir::Operation *op)
 {
-    const std::string &n = op->name();
+    ir::OpId n = op->opId();
     return n == kAdd || n == kSub || n == kMul || n == kDiv || n == kFill ||
            n == kCopy || n == kFmac;
 }
@@ -53,7 +53,7 @@ isLinalgOp(ir::Operation *op)
 int
 flopsPerElement(ir::Operation *op)
 {
-    const std::string &n = op->name();
+    ir::OpId n = op->opId();
     if (n == kFmac)
         return 2;
     if (n == kAdd || n == kSub || n == kMul || n == kDiv)

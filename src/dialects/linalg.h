@@ -15,17 +15,17 @@
 
 namespace wsc::dialects::linalg {
 
-inline constexpr const char *kAdd = "linalg.add";
-inline constexpr const char *kSub = "linalg.sub";
-inline constexpr const char *kMul = "linalg.mul";
-inline constexpr const char *kDiv = "linalg.div";
-inline constexpr const char *kFill = "linalg.fill";
-inline constexpr const char *kCopy = "linalg.copy";
+inline const ir::OpId kAdd = ir::OpId::get("linalg.add");
+inline const ir::OpId kSub = ir::OpId::get("linalg.sub");
+inline const ir::OpId kMul = ir::OpId::get("linalg.mul");
+inline const ir::OpId kDiv = ir::OpId::get("linalg.div");
+inline const ir::OpId kFill = ir::OpId::get("linalg.fill");
+inline const ir::OpId kCopy = ir::OpId::get("linalg.copy");
 /**
  * linalg.fmac: out = addend + mulend * scalar (element-wise), the DPS
  * model of CSL's @fmacs builtin. Operands: [addend, mulend, scalar, out].
  */
-inline constexpr const char *kFmac = "linalg.fmac";
+inline const ir::OpId kFmac = ir::OpId::get("linalg.fmac");
 
 void registerDialect(ir::Context &ctx);
 

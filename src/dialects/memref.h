@@ -11,12 +11,12 @@
 
 namespace wsc::dialects::memref {
 
-inline constexpr const char *kAlloc = "memref.alloc";
-inline constexpr const char *kDealloc = "memref.dealloc";
-inline constexpr const char *kCopy = "memref.copy";
-inline constexpr const char *kSubview = "memref.subview";
-inline constexpr const char *kLoad = "memref.load";
-inline constexpr const char *kStore = "memref.store";
+inline const ir::OpId kAlloc = ir::OpId::get("memref.alloc");
+inline const ir::OpId kDealloc = ir::OpId::get("memref.dealloc");
+inline const ir::OpId kCopy = ir::OpId::get("memref.copy");
+inline const ir::OpId kSubview = ir::OpId::get("memref.subview");
+inline const ir::OpId kLoad = ir::OpId::get("memref.load");
+inline const ir::OpId kStore = ir::OpId::get("memref.store");
 
 void registerDialect(ir::Context &ctx);
 

@@ -60,7 +60,7 @@ createFor(ir::OpBuilder &b, ir::Value lb, ir::Value ub, ir::Value step,
 ir::Block *
 forBody(ir::Operation *forOp)
 {
-    WSC_ASSERT(forOp->name() == kFor, "forBody on " << forOp->name());
+    WSC_ASSERT(forOp->opId() == kFor, "forBody on " << forOp->name());
     return &forOp->region(0).front();
 }
 
@@ -99,14 +99,14 @@ createIf(ir::OpBuilder &b, ir::Value condition,
 ir::Block *
 ifThenBlock(ir::Operation *ifOp)
 {
-    WSC_ASSERT(ifOp->name() == kIf, "ifThenBlock on " << ifOp->name());
+    WSC_ASSERT(ifOp->opId() == kIf, "ifThenBlock on " << ifOp->name());
     return &ifOp->region(0).front();
 }
 
 ir::Block *
 ifElseBlock(ir::Operation *ifOp)
 {
-    WSC_ASSERT(ifOp->name() == kIf && !ifOp->region(1).empty(),
+    WSC_ASSERT(ifOp->opId() == kIf && !ifOp->region(1).empty(),
                "ifElseBlock on if without else");
     return &ifOp->region(1).front();
 }

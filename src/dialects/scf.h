@@ -12,9 +12,9 @@
 
 namespace wsc::dialects::scf {
 
-inline constexpr const char *kFor = "scf.for";
-inline constexpr const char *kIf = "scf.if";
-inline constexpr const char *kYield = "scf.yield";
+inline const ir::OpId kFor = ir::OpId::get("scf.for");
+inline const ir::OpId kIf = ir::OpId::get("scf.if");
+inline const ir::OpId kYield = ir::OpId::get("scf.yield");
 
 void registerDialect(ir::Context &ctx);
 

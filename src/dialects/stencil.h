@@ -22,11 +22,11 @@
 
 namespace wsc::dialects::stencil {
 
-inline constexpr const char *kLoad = "stencil.load";
-inline constexpr const char *kStore = "stencil.store";
-inline constexpr const char *kApply = "stencil.apply";
-inline constexpr const char *kAccess = "stencil.access";
-inline constexpr const char *kReturn = "stencil.return";
+inline const ir::OpId kLoad = ir::OpId::get("stencil.load");
+inline const ir::OpId kStore = ir::OpId::get("stencil.store");
+inline const ir::OpId kApply = ir::OpId::get("stencil.apply");
+inline const ir::OpId kAccess = ir::OpId::get("stencil.access");
+inline const ir::OpId kReturn = ir::OpId::get("stencil.return");
 
 /** Per-dimension inclusive-lower / exclusive-upper bounds. */
 struct Bounds

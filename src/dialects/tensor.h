@@ -12,9 +12,9 @@
 
 namespace wsc::dialects::tensor {
 
-inline constexpr const char *kEmpty = "tensor.empty";
-inline constexpr const char *kInsertSlice = "tensor.insert_slice";
-inline constexpr const char *kExtractSlice = "tensor.extract_slice";
+inline const ir::OpId kEmpty = ir::OpId::get("tensor.empty");
+inline const ir::OpId kInsertSlice = ir::OpId::get("tensor.insert_slice");
+inline const ir::OpId kExtractSlice = ir::OpId::get("tensor.extract_slice");
 
 void registerDialect(ir::Context &ctx);
 

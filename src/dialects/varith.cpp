@@ -9,7 +9,7 @@ registerDialect(ir::Context &ctx)
 {
     if (!ctx.markDialectLoaded("varith"))
         return;
-    for (const char *name : {kAdd, kMul}) {
+    for (ir::OpId name : {kAdd, kMul}) {
         registerSimpleOp(ctx, name, {
             .minOperands = 1,
             .numResults = 1,

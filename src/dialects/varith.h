@@ -13,8 +13,8 @@
 
 namespace wsc::dialects::varith {
 
-inline constexpr const char *kAdd = "varith.add";
-inline constexpr const char *kMul = "varith.mul";
+inline const ir::OpId kAdd = ir::OpId::get("varith.add");
+inline const ir::OpId kMul = ir::OpId::get("varith.mul");
 
 void registerDialect(ir::Context &ctx);
 

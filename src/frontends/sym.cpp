@@ -1,6 +1,7 @@
 #include "frontends/sym.h"
 
 #include <algorithm>
+#include <map>
 #include <set>
 
 #include "dialects/arith.h"

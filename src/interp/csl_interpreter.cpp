@@ -19,13 +19,11 @@ namespace scf = dialects::scf;
 ir::Operation *
 findProgramModule(ir::Operation *root)
 {
-    if (root->name() == csl::kModule &&
-        root->strAttr("kind") == "program")
+    if (root->is(csl::kModule) && root->strAttr("kind") == "program")
         return root;
     ir::Operation *program = nullptr;
     root->walk([&](ir::Operation *op) {
-        if (op->name() == csl::kModule &&
-            op->strAttr("kind") == "program")
+        if (op->is(csl::kModule) && op->strAttr("kind") == "program")
             program = op;
     });
     WSC_ASSERT(program, "no program csl.module found");
@@ -49,6 +47,13 @@ CslProgramInstance::setFieldInit(const std::string &field, FieldInitFn init)
     fieldInits_[field] = std::move(init);
 }
 
+void
+CslProgramInstance::setReferenceMode(bool on)
+{
+    WSC_ASSERT(!configured_, "setReferenceMode after configure");
+    referenceMode_ = on;
+}
+
 bool
 CslProgramInstance::interiorEverywhere(int x, int y) const
 {
@@ -58,6 +63,283 @@ CslProgramInstance::interiorEverywhere(int x, int y) const
     return true;
 }
 
+//===----------------------------------------------------------------------===
+// Pre-decode compiler
+//===----------------------------------------------------------------------===
+
+/**
+ * Compiles callable bodies into flat instruction vectors. SSA values get
+ * dense slot indices (per callable, shared with nested scf.if bodies);
+ * attributes, comparison predicates and comms specs are resolved once.
+ */
+class CslProgramInstance::Compiler
+{
+  public:
+    explicit Compiler(CslProgramInstance &self) : self_(self) {}
+
+    void
+    compileCallable(const std::string &name, ir::Operation *callable)
+    {
+        slotIndex_.clear();
+        nextSlot_ = 0;
+        int idx = self_.bodyOf_.at(name);
+        ir::Block *body = csl::calleeBody(callable);
+        for (unsigned i = 0; i < body->numArguments(); ++i)
+            self_.bodies_[idx].argSlots.push_back(
+                slotOf(body->argument(i).impl()));
+        compileInto(idx, body);
+        self_.bodies_[idx].numSlots = nextSlot_;
+    }
+
+  private:
+    int32_t
+    slotOf(ir::ValueImpl *v)
+    {
+        auto [it, inserted] = slotIndex_.try_emplace(v, nextSlot_);
+        if (inserted)
+            nextSlot_++;
+        return it->second;
+    }
+
+    int32_t
+    varIdx(const std::string &name)
+    {
+        auto [it, inserted] = varIndex_.try_emplace(
+            name, static_cast<int32_t>(self_.varNames_.size()));
+        if (inserted)
+            self_.varNames_.push_back(name);
+        return it->second;
+    }
+
+    int
+    newBody()
+    {
+        self_.bodies_.emplace_back();
+        return static_cast<int>(self_.bodies_.size() - 1);
+    }
+
+    void
+    compileInto(int bodyIdx, ir::Block *block)
+    {
+        std::vector<Instr> code;
+        code.reserve(block->size());
+        for (auto &opPtr : block->operations())
+            compileOp(opPtr.get(), code);
+        self_.bodies_[bodyIdx].code = std::move(code);
+    }
+
+    void
+    compileOp(ir::Operation *op, std::vector<Instr> &code)
+    {
+        ir::OpId n = op->opId();
+        Instr ins;
+        if (n == ar::kConstant) {
+            ir::Attribute a = op->attr("value");
+            ins.op = Opcode::Constant;
+            ins.dst = slotOf(op->result().impl());
+            ins.imm = ir::isFloatAttr(a)
+                          ? ir::floatAttrValue(a)
+                          : static_cast<double>(ir::intAttrValue(a));
+            code.push_back(ins);
+            return;
+        }
+        if (n == ar::kAddI || n == ar::kAddF || n == ar::kSubI ||
+            n == ar::kSubF || n == ar::kMulI || n == ar::kMulF ||
+            n == ar::kDivF) {
+            ins.op = (n == ar::kAddI || n == ar::kAddF) ? Opcode::Add
+                     : (n == ar::kSubI || n == ar::kSubF)
+                         ? Opcode::Sub
+                         : (n == ar::kDivF) ? Opcode::Div : Opcode::Mul;
+            ins.a = slotOf(op->operand(0).impl());
+            ins.b = slotOf(op->operand(1).impl());
+            ins.dst = slotOf(op->result().impl());
+            code.push_back(ins);
+            return;
+        }
+        if (n == ar::kCmpI) {
+            const std::string &p = op->strAttr("predicate");
+            ins.op = Opcode::Cmp;
+            ins.pred = p == "lt"   ? CmpPred::Lt
+                       : p == "le" ? CmpPred::Le
+                       : p == "gt" ? CmpPred::Gt
+                       : p == "ge" ? CmpPred::Ge
+                       : p == "eq" ? CmpPred::Eq
+                                   : CmpPred::Ne;
+            ins.a = slotOf(op->operand(0).impl());
+            ins.b = slotOf(op->operand(1).impl());
+            ins.dst = slotOf(op->result().impl());
+            code.push_back(ins);
+            return;
+        }
+        if (n == scf::kIf) {
+            ins.op = Opcode::If;
+            ins.a = slotOf(op->operand(0).impl());
+            ins.body0 = newBody();
+            compileInto(ins.body0, scf::ifThenBlock(op));
+            if (!op->region(1).empty()) {
+                ins.body1 = newBody();
+                compileInto(ins.body1, scf::ifElseBlock(op));
+            }
+            code.push_back(ins);
+            return;
+        }
+        if (n == scf::kYield)
+            return;
+        if (n == csl::kReturn) {
+            ins.op = Opcode::Return;
+            code.push_back(ins);
+            return;
+        }
+        if (n == csl::kLoadVar) {
+            ir::Type t = op->result().type();
+            ins.var = varIdx(op->strAttr("var"));
+            ins.dst = slotOf(op->result().impl());
+            if (ir::isMemRef(t))
+                ins.op = op->hasAttr("via_ptr") ? Opcode::LoadBufferViaPtr
+                                                : Opcode::LoadBuffer;
+            else if (csl::isPtrType(t))
+                ins.op = Opcode::LoadPtr;
+            else
+                ins.op = Opcode::LoadScalar;
+            code.push_back(ins);
+            return;
+        }
+        if (n == csl::kStoreVar) {
+            ins.op = Opcode::StoreVar;
+            ins.var = varIdx(op->strAttr("var"));
+            ins.a = slotOf(op->operand(0).impl());
+            code.push_back(ins);
+            return;
+        }
+        if (n == csl::kAddressOf) {
+            ins.op = Opcode::AddressOf;
+            ins.var = varIdx(op->strAttr("var"));
+            ins.dst = slotOf(op->result().impl());
+            code.push_back(ins);
+            return;
+        }
+        if (n == csl::kGetMemDsd) {
+            ins.op = op->hasAttr("via_ptr") ? Opcode::GetMemDsdViaPtr
+                                            : Opcode::GetMemDsd;
+            ins.var = varIdx(op->strAttr("var"));
+            ins.dst = slotOf(op->result().impl());
+            ins.offset = op->intAttr("offset");
+            ins.length = op->intAttr("length");
+            ins.stride = op->intAttr("stride");
+            if (op->hasAttr("wrap")) {
+                ins.hasWrap = true;
+                ins.wrap = op->intAttr("wrap");
+            }
+            code.push_back(ins);
+            return;
+        }
+        if (n == csl::kIncrementDsdOffset || n == csl::kSetDsdLength) {
+            ins.op = n == csl::kIncrementDsdOffset
+                         ? Opcode::IncrementDsdOffset
+                         : Opcode::SetDsdLength;
+            ins.a = slotOf(op->operand(0).impl());
+            ins.b = slotOf(op->operand(1).impl());
+            ins.dst = slotOf(op->result().impl());
+            code.push_back(ins);
+            return;
+        }
+        if (n == csl::kFadds || n == csl::kFsubs || n == csl::kFmuls ||
+            n == csl::kFmacs) {
+            ins.op = n == csl::kFadds   ? Opcode::Fadds
+                     : n == csl::kFsubs ? Opcode::Fsubs
+                     : n == csl::kFmuls ? Opcode::Fmuls
+                                        : Opcode::Fmacs;
+            ins.a = slotOf(op->operand(0).impl());
+            ins.b = slotOf(op->operand(1).impl());
+            ins.c = slotOf(op->operand(2).impl());
+            if (n == csl::kFmacs)
+                ins.d = slotOf(op->operand(3).impl());
+            code.push_back(ins);
+            return;
+        }
+        if (n == csl::kFmovs) {
+            ins.op = Opcode::Fmovs;
+            ins.a = slotOf(op->operand(0).impl());
+            ins.b = slotOf(op->operand(1).impl());
+            code.push_back(ins);
+            return;
+        }
+        if (n == csl::kCall) {
+            const std::string &callee = op->strAttr("callee");
+            auto it = self_.bodyOf_.find(callee);
+            ins.op = Opcode::Call;
+            ins.body0 = it == self_.bodyOf_.end() ? -1 : it->second;
+            ins.str = pooled(callee);
+            code.push_back(ins);
+            return;
+        }
+        if (n == csl::kActivate) {
+            ins.op = Opcode::Activate;
+            ins.str = pooled(op->strAttr("task"));
+            code.push_back(ins);
+            return;
+        }
+        if (n == csl::kCommsExchange) {
+            ins.op = Opcode::CommsExchange;
+            ins.a = slotOf(op->operand(0).impl());
+            ins.site = static_cast<uint32_t>(self_.commSiteOf_.at(op));
+            self_.specPool_.push_back(csl::commsExchangeSpec(op));
+            ins.spec = &self_.specPool_.back();
+            code.push_back(ins);
+            return;
+        }
+        if (n == csl::kUnblockCmdStream) {
+            ins.op = Opcode::UnblockCmdStream;
+            code.push_back(ins);
+            return;
+        }
+        if (n == csl::kImportModule || n == csl::kMemberCall ||
+            n == csl::kExport || n == csl::kParam) {
+            // Comptime / host-interface constructs: results stay
+            // Kind::None (the slots' default), no instruction needed.
+            for (ir::Value r : op->results())
+                slotOf(r.impl());
+            return;
+        }
+        // Unknown op: preserve the reference semantics of panicking only
+        // if and when the op is actually executed.
+        for (ir::Value r : op->results())
+            slotOf(r.impl());
+        ins.op = Opcode::Unsupported;
+        ins.str = pooled(op->name());
+        code.push_back(ins);
+    }
+
+    const std::string *
+    pooled(const std::string &s)
+    {
+        self_.stringPool_.push_back(s);
+        return &self_.stringPool_.back();
+    }
+
+    CslProgramInstance &self_;
+    std::map<ir::ValueImpl *, int32_t> slotIndex_;
+    std::map<std::string, int32_t> varIndex_;
+    uint32_t nextSlot_ = 0;
+};
+
+void
+CslProgramInstance::compileProgram()
+{
+    // Two passes so csl.call sites can resolve forward references.
+    for (const auto &[name, op] : callables_) {
+        bodyOf_[name] = static_cast<int>(bodies_.size());
+        bodies_.emplace_back();
+    }
+    Compiler compiler(*this);
+    for (const auto &[name, op] : callables_)
+        compiler.compileCallable(name, op);
+}
+
+//===----------------------------------------------------------------------===
+// Configuration
+//===----------------------------------------------------------------------===
+
 void
 CslProgramInstance::configure()
 {
@@ -66,14 +348,15 @@ CslProgramInstance::configure()
 
     // --- Collect module structure ---------------------------------------
     std::vector<ir::Operation *> commsOps;
-    for (ir::Operation *op : csl::moduleBody(program_)->opsVector()) {
-        if (op->name() == csl::kFunc || op->name() == csl::kTask)
+    for (auto &opPtr : csl::moduleBody(program_)->operations()) {
+        ir::Operation *op = opPtr.get();
+        if (op->is(csl::kFunc) || op->is(csl::kTask))
             callables_[op->strAttr("sym_name")] = op;
-        else if (op->name() == csl::kVariable)
+        else if (op->is(csl::kVariable))
             variables_[op->strAttr("sym_name")] = op;
     }
     program_->walk([&](ir::Operation *op) {
-        if (op->name() == csl::kCommsExchange)
+        if (op->is(csl::kCommsExchange))
             commsOps.push_back(op);
     });
 
@@ -98,6 +381,10 @@ CslProgramInstance::configure()
         commSiteOf_[commsOps[i]] = i;
         commOfRecvCb_[spec.recvCallback] = i;
     }
+
+    // --- Pre-decode every callable (shared across PEs) -------------------
+    if (!referenceMode_)
+        compileProgram();
 
     // Buffer-rotation pool: the initial targets of all pointer
     // variables. On boundary (non-computing) PEs the host loads every
@@ -168,6 +455,10 @@ CslProgramInstance::configure()
         comm->setup();
 
     // Comptime role flags depend on the comm sites' view of the grid.
+    // Per-PE pre-resolved variable addresses are built here too (after
+    // StarComm::setup so library-owned receive buffers resolve).
+    if (!referenceMode_)
+        peRts_.resize(peEnvs_.size());
     for (int x = 0; x < sim_.width(); ++x) {
         for (int y = 0; y < sim_.height(); ++y) {
             wse::Pe &pe = sim_.pe(x, y);
@@ -183,35 +474,74 @@ CslProgramInstance::configure()
                                                                 : 0.0;
                 }
             }
+
+            if (!referenceMode_) {
+                PeRt &rt =
+                    peRts_[static_cast<size_t>(x) * sim_.height() + y];
+                rt.scalarAddr.assign(varNames_.size(), nullptr);
+                rt.bufferAddr.assign(varNames_.size(), nullptr);
+                for (size_t i = 0; i < varNames_.size(); ++i) {
+                    const std::string &name = varNames_[i];
+                    bool isBufOrPtr = false;
+                    auto vit = variables_.find(name);
+                    if (vit != variables_.end()) {
+                        ir::Type t =
+                            ir::typeAttrValue(vit->second->attr("type"));
+                        isBufOrPtr =
+                            ir::isMemRef(t) || csl::isPtrType(t);
+                    }
+                    if (pe.hasBuffer(name))
+                        rt.bufferAddr[i] = &pe.buffer(name);
+                    else if (!isBufOrPtr)
+                        rt.scalarAddr[i] = &pe.scalar(name);
+                }
+            }
+
             // Register every callable as an activatable task.
             for (const auto &[name, op] : callables_) {
                 std::string taskName = name;
                 pe.registerTask(
                     taskName, wse::TaskKind::Local,
                     [this, op, x, y, taskName](wse::TaskContext &ctx) {
-                        PeEnv &penv =
-                            peEnvs_[static_cast<size_t>(x) *
-                                        sim_.height() +
-                                    y];
+                        size_t peIdx =
+                            static_cast<size_t>(x) * sim_.height() + y;
+                        PeEnv &penv = peEnvs_[peIdx];
                         if (taskName == "for_cond0")
-                            stepMarks_[static_cast<size_t>(x) *
-                                           sim_.height() +
-                                       y]
-                                .push_back(ctx.startCycle());
-                        SsaEnv env;
-                        ir::Block *body = csl::calleeBody(op);
-                        if (body->numArguments() == 1) {
+                            stepMarks_[peIdx].push_back(
+                                ctx.startCycle());
+                        if (referenceMode_) {
+                            SsaEnv env;
+                            ir::Block *body = csl::calleeBody(op);
+                            if (body->numArguments() == 1) {
+                                // Receive-chunk callback: bind the chunk
+                                // offset provided by the comms library.
+                                size_t site = commOfRecvCb_.at(taskName);
+                                RtValue offset;
+                                offset.kind = RtValue::Kind::Num;
+                                offset.num = static_cast<double>(
+                                    comms_[site]
+                                        ->popCompletedChunkOffset(
+                                            ctx.pe()));
+                                env[body->argument(0).impl()] = offset;
+                            }
+                            execBody(body, env, penv, ctx);
+                            return;
+                        }
+                        int bodyIdx = bodyOf_.at(taskName);
+                        const CompiledBody &cb = bodies_[bodyIdx];
+                        std::vector<RtValue> slots(cb.numSlots);
+                        if (cb.argSlots.size() == 1) {
                             // Receive-chunk callback: bind the chunk
                             // offset provided by the comms library.
                             size_t site = commOfRecvCb_.at(taskName);
-                            RtValue offset;
+                            RtValue &offset = slots[cb.argSlots[0]];
                             offset.kind = RtValue::Kind::Num;
                             offset.num = static_cast<double>(
                                 comms_[site]->popCompletedChunkOffset(
                                     ctx.pe()));
-                            env[body->argument(0).impl()] = offset;
                         }
-                        execBody(body, env, penv, ctx);
+                        execCompiled(bodyIdx, slots, penv,
+                                     peRts_[peIdx], ctx);
                     });
             }
         }
@@ -226,6 +556,220 @@ CslProgramInstance::launch()
         for (int y = 0; y < sim_.height(); ++y)
             sim_.pe(x, y).activate("f_main", 0);
 }
+
+//===----------------------------------------------------------------------===
+// Pre-decoded execution (the per-PE, per-cycle hot loop)
+//===----------------------------------------------------------------------===
+
+void
+CslProgramInstance::runCompiledCallable(int bodyIdx, PeEnv &peEnv,
+                                        PeRt &peRt, wse::TaskContext &ctx)
+{
+    std::vector<RtValue> slots(bodies_[bodyIdx].numSlots);
+    execCompiled(bodyIdx, slots, peEnv, peRt, ctx);
+}
+
+void
+CslProgramInstance::execCompiled(int bodyIdx, std::vector<RtValue> &slots,
+                                 PeEnv &peEnv, PeRt &peRt,
+                                 wse::TaskContext &ctx)
+{
+    wse::Pe &pe = ctx.pe();
+    for (const Instr &ins : bodies_[bodyIdx].code) {
+        switch (ins.op) {
+        case Opcode::Constant: {
+            RtValue &v = slots[ins.dst];
+            v.kind = RtValue::Kind::Num;
+            v.num = ins.imm;
+            break;
+        }
+        case Opcode::Add:
+        case Opcode::Sub:
+        case Opcode::Mul:
+        case Opcode::Div: {
+            double a = slots[ins.a].num;
+            double b = slots[ins.b].num;
+            RtValue &v = slots[ins.dst];
+            v.kind = RtValue::Kind::Num;
+            v.num = ins.op == Opcode::Add   ? a + b
+                    : ins.op == Opcode::Sub ? a - b
+                    : ins.op == Opcode::Mul ? a * b
+                                            : a / b;
+            ctx.consume(1);
+            break;
+        }
+        case Opcode::Cmp: {
+            double a = slots[ins.a].num;
+            double b = slots[ins.b].num;
+            bool r = ins.pred == CmpPred::Lt   ? a < b
+                     : ins.pred == CmpPred::Le ? a <= b
+                     : ins.pred == CmpPred::Gt ? a > b
+                     : ins.pred == CmpPred::Ge ? a >= b
+                     : ins.pred == CmpPred::Eq ? a == b
+                                               : a != b;
+            RtValue &v = slots[ins.dst];
+            v.kind = RtValue::Kind::Num;
+            v.num = r ? 1.0 : 0.0;
+            ctx.consume(1);
+            break;
+        }
+        case Opcode::If: {
+            bool cond = slots[ins.a].num != 0.0;
+            ctx.consume(1);
+            int branch = cond ? ins.body0 : ins.body1;
+            if (branch >= 0)
+                execCompiled(branch, slots, peEnv, peRt, ctx);
+            break;
+        }
+        case Opcode::Return:
+            return;
+        case Opcode::LoadScalar: {
+            RtValue &v = slots[ins.dst];
+            v.kind = RtValue::Kind::Num;
+            double *addr = peRt.scalarAddr[ins.var];
+            v.num = addr ? *addr : pe.scalar(varNames_[ins.var]);
+            ctx.consume(1);
+            break;
+        }
+        case Opcode::LoadBuffer: {
+            RtValue &v = slots[ins.dst];
+            v.kind = RtValue::Kind::Buffer;
+            v.str = varNames_[ins.var];
+            ctx.consume(1);
+            break;
+        }
+        case Opcode::LoadBufferViaPtr: {
+            RtValue &v = slots[ins.dst];
+            v.kind = RtValue::Kind::Buffer;
+            v.str = peEnv.ptrs.at(varNames_[ins.var]);
+            ctx.consume(1);
+            break;
+        }
+        case Opcode::LoadPtr: {
+            RtValue &v = slots[ins.dst];
+            v.kind = RtValue::Kind::Ptr;
+            v.str = peEnv.ptrs.at(varNames_[ins.var]);
+            ctx.consume(1);
+            break;
+        }
+        case Opcode::StoreVar: {
+            const RtValue &v = slots[ins.a];
+            if (v.kind == RtValue::Kind::Ptr ||
+                v.kind == RtValue::Kind::Buffer) {
+                peEnv.ptrs[varNames_[ins.var]] = v.str;
+            } else {
+                double *addr = peRt.scalarAddr[ins.var];
+                if (addr)
+                    *addr = v.num;
+                else
+                    pe.scalar(varNames_[ins.var]) = v.num;
+            }
+            ctx.consume(1);
+            break;
+        }
+        case Opcode::AddressOf: {
+            RtValue &v = slots[ins.dst];
+            v.kind = RtValue::Kind::Ptr;
+            v.str = varNames_[ins.var];
+            break;
+        }
+        case Opcode::GetMemDsd:
+        case Opcode::GetMemDsdViaPtr: {
+            RtValue &v = slots[ins.dst];
+            v.kind = RtValue::Kind::DsdVal;
+            if (ins.op == Opcode::GetMemDsd) {
+                v.str = varNames_[ins.var];
+                std::vector<float> *buf = peRt.bufferAddr[ins.var];
+                v.dsd.buf = buf ? buf : &pe.buffer(v.str);
+            } else {
+                v.str = peEnv.ptrs.at(varNames_[ins.var]);
+                v.dsd.buf = &pe.buffer(v.str);
+            }
+            v.dsd.offset = ins.offset;
+            v.dsd.length = ins.length;
+            v.dsd.stride = ins.stride;
+            if (ins.hasWrap)
+                v.dsd.wrap = ins.wrap;
+            ctx.consume(2); // DSD configuration is cheap but not free.
+            break;
+        }
+        case Opcode::IncrementDsdOffset: {
+            RtValue v = slots[ins.a];
+            v.dsd.offset += static_cast<int64_t>(slots[ins.b].num);
+            slots[ins.dst] = std::move(v);
+            ctx.consume(1);
+            break;
+        }
+        case Opcode::SetDsdLength: {
+            RtValue v = slots[ins.a];
+            v.dsd.length = static_cast<int64_t>(slots[ins.b].num);
+            slots[ins.dst] = std::move(v);
+            ctx.consume(1);
+            break;
+        }
+        case Opcode::Fadds:
+        case Opcode::Fsubs:
+        case Opcode::Fmuls: {
+            wse::Dsd dest = slots[ins.a].dsd;
+            wse::DsdOperand a = asDsdOperand(slots[ins.b]);
+            wse::DsdOperand b = asDsdOperand(slots[ins.c]);
+            if (ins.op == Opcode::Fadds)
+                wse::fadds(ctx, dest, a, b);
+            else if (ins.op == Opcode::Fsubs)
+                wse::fsubs(ctx, dest, a, b);
+            else
+                wse::fmuls(ctx, dest, a, b);
+            break;
+        }
+        case Opcode::Fmovs: {
+            wse::Dsd dest = slots[ins.a].dsd;
+            wse::fmovs(ctx, dest, asDsdOperand(slots[ins.b]));
+            break;
+        }
+        case Opcode::Fmacs: {
+            wse::Dsd dest = slots[ins.a].dsd;
+            wse::DsdOperand a = asDsdOperand(slots[ins.b]);
+            wse::DsdOperand b = asDsdOperand(slots[ins.c]);
+            double scalar = slots[ins.d].num;
+            wse::fmacs(ctx, dest, a, b, static_cast<float>(scalar));
+            break;
+        }
+        case Opcode::Call: {
+            WSC_ASSERT(ins.body0 >= 0,
+                       "call of unknown symbol " << *ins.str);
+            runCompiledCallable(ins.body0, peEnv, peRt, ctx);
+            ctx.consume(2);
+            break;
+        }
+        case Opcode::Activate: {
+            pe.activate(*ins.str, ctx.currentCycle());
+            ctx.consume(2);
+            break;
+        }
+        case Opcode::CommsExchange: {
+            const RtValue &send = slots[ins.a];
+            WSC_ASSERT(send.kind == RtValue::Kind::DsdVal,
+                       "comms_exchange expects a DSD operand");
+            comms_[ins.site]->exchange(ctx, send.str,
+                                       ins.spec->recvCallback,
+                                       ins.spec->doneCallback);
+            ctx.consume(4);
+            break;
+        }
+        case Opcode::UnblockCmdStream:
+            unblockCount_++;
+            break;
+        case Opcode::Nop:
+            break;
+        case Opcode::Unsupported:
+            panic("csl interpreter: unsupported op " + *ins.str);
+        }
+    }
+}
+
+//===----------------------------------------------------------------------===
+// Reference tree-walking evaluator (the semantic oracle)
+//===----------------------------------------------------------------------===
 
 CslProgramInstance::RtValue
 CslProgramInstance::evalOperand(const SsaEnv &env, ir::Value v) const
@@ -260,8 +804,9 @@ CslProgramInstance::execBody(ir::Block *block, SsaEnv &env, PeEnv &peEnv,
                              wse::TaskContext &ctx)
 {
     wse::Pe &pe = ctx.pe();
-    for (ir::Operation *op : block->opsVector()) {
-        const std::string &n = op->name();
+    for (auto &opPtr : block->operations()) {
+        ir::Operation *op = opPtr.get();
+        ir::OpId n = op->opId();
         if (n == ar::kConstant) {
             RtValue v;
             v.kind = RtValue::Kind::Num;
@@ -461,9 +1006,13 @@ CslProgramInstance::execBody(ir::Block *block, SsaEnv &env, PeEnv &peEnv,
             }
             continue;
         }
-        panic("csl interpreter: unsupported op " + n);
+        panic("csl interpreter: unsupported op " + n.str());
     }
 }
+
+//===----------------------------------------------------------------------===
+// Host readback
+//===----------------------------------------------------------------------===
 
 std::vector<float>
 CslProgramInstance::readFieldColumn(const std::string &field, int x, int y)

@@ -6,12 +6,20 @@
  * the very IR the CSL printer emits as source code is executed, so the
  * generated program structure (tasks, callbacks, DSD builtins, chunked
  * exchanges) is what gets measured.
+ *
+ * Execution is pre-decoded: configure() compiles every callable body once
+ * into a flat vector of opcode + operand-slot instructions (SSA values
+ * become dense slot indices, attributes and comms specs are resolved
+ * up front), and the per-PE, per-cycle hot loop is a switch over the
+ * opcode. The original tree-walking evaluator is kept behind
+ * setReferenceMode(true) as the semantic oracle for equivalence tests.
  */
 
 #ifndef WSC_INTERP_CSL_INTERPRETER_H
 #define WSC_INTERP_CSL_INTERPRETER_H
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -19,6 +27,7 @@
 #include <vector>
 
 #include "comms/star_comm.h"
+#include "dialects/csl.h"
 #include "ir/operation.h"
 #include "wse/dsd.h"
 #include "wse/simulator.h"
@@ -42,6 +51,15 @@ class CslProgramInstance
     /** Host data transfer: set a field's initial contents. Must be
      *  called before configure(). */
     void setFieldInit(const std::string &field, FieldInitFn init);
+
+    /**
+     * Execute through the reference tree-walking evaluator instead of
+     * the pre-decoded instruction stream. Must be called before
+     * configure(). Both modes are semantically identical (asserted by
+     * the dispatch-equivalence tests); the reference mode exists as the
+     * oracle for those tests.
+     */
+    void setReferenceMode(bool on);
 
     /** Allocate variables, wire the runtime comms library, register
      *  tasks on every PE. */
@@ -89,6 +107,95 @@ class CslProgramInstance
         std::map<std::string, std::string> ptrs;
     };
 
+    /// @name Pre-decoded form
+    /// @{
+    enum class Opcode : uint8_t
+    {
+        Constant,
+        Add,
+        Sub,
+        Mul,
+        Div,
+        Cmp,
+        If,
+        Return,
+        LoadScalar,
+        LoadBuffer,
+        LoadBufferViaPtr,
+        LoadPtr,
+        StoreVar,
+        AddressOf,
+        GetMemDsd,
+        GetMemDsdViaPtr,
+        IncrementDsdOffset,
+        SetDsdLength,
+        Fadds,
+        Fsubs,
+        Fmuls,
+        Fmovs,
+        Fmacs,
+        Call,
+        Activate,
+        CommsExchange,
+        UnblockCmdStream,
+        Nop,
+        Unsupported,
+    };
+
+    /** Comparison predicates, pre-decoded from the string attribute. */
+    enum class CmpPred : uint8_t { Lt, Le, Gt, Ge, Eq, Ne };
+
+    struct Instr
+    {
+        Opcode op = Opcode::Nop;
+        CmpPred pred = CmpPred::Lt;
+        bool hasWrap = false;
+        /** Result slot; -1 when the op produces nothing. */
+        int32_t dst = -1;
+        /** Operand slots. */
+        int32_t a = -1, b = -1, c = -1, d = -1;
+        /** Constant payload. */
+        double imm = 0.0;
+        /** DSD shape (GetMemDsd). */
+        int64_t offset = 0, length = 0, stride = 1, wrap = 0;
+        /** Variable table index (loads/stores/DSDs/addressof). */
+        int32_t var = -1;
+        /** Nested bodies: then/else for If, callee for Call. */
+        int32_t body0 = -1, body1 = -1;
+        /** Comms site index (CommsExchange). */
+        uint32_t site = 0;
+        /** Pooled string payload (task name, diagnostics). */
+        const std::string *str = nullptr;
+        /** Pooled exchange spec (CommsExchange). */
+        const dialects::csl::CommsExchangeSpec *spec = nullptr;
+    };
+
+    struct CompiledBody
+    {
+        std::vector<Instr> code;
+        /** Slot count; meaningful on callable roots only. */
+        uint32_t numSlots = 0;
+        /** Callable entry-block argument slots, in order. */
+        std::vector<int32_t> argSlots;
+    };
+
+    /** Per-PE pre-resolved variable addresses (index = var table). */
+    struct PeRt
+    {
+        std::vector<double *> scalarAddr;
+        std::vector<std::vector<float> *> bufferAddr;
+    };
+
+    class Compiler;
+    friend class Compiler;
+
+    void compileProgram();
+    void execCompiled(int bodyIdx, std::vector<RtValue> &slots,
+                      PeEnv &peEnv, PeRt &peRt, wse::TaskContext &ctx);
+    void runCompiledCallable(int bodyIdx, PeEnv &peEnv, PeRt &peRt,
+                             wse::TaskContext &ctx);
+    /// @}
+
     using SsaEnv = std::map<ir::ValueImpl *, RtValue>;
 
     void execBody(ir::Block *block, SsaEnv &env, PeEnv &peEnv,
@@ -113,6 +220,17 @@ class CslProgramInstance
     std::vector<std::vector<wse::Cycles>> stepMarks_;
     uint64_t unblockCount_ = 0;
     bool configured_ = false;
+    bool referenceMode_ = false;
+
+    /// @name Compiled program (shared across PEs)
+    /// @{
+    std::vector<CompiledBody> bodies_;
+    std::map<std::string, int> bodyOf_;
+    std::vector<std::string> varNames_;
+    std::deque<std::string> stringPool_;
+    std::deque<dialects::csl::CommsExchangeSpec> specPool_;
+    std::vector<PeRt> peRts_;
+    /// @}
 };
 
 } // namespace wsc::interp

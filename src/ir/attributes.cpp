@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "ir/context.h"
+#include "ir/intern_key.h"
 #include "support/error.h"
 
 namespace wsc::ir {
@@ -79,18 +80,26 @@ Attribute::str() const
 static std::string
 attrKey(const AttrStorage &s)
 {
-    std::ostringstream os;
-    os << s.kind << '\x01' << s.i << '\x01' << s.f << '\x01' << s.s << '\x01'
-       << s.type.impl() << '\x01';
+    std::string key;
+    key.reserve(64 + s.kind.size() + s.s.size());
+    key += s.kind;
+    key += '\x01';
+    appendRaw(key, s.i);
+    appendRaw(key, s.f);
+    key += s.s;
+    key += '\x01';
+    appendRaw(key, s.type.impl());
     for (const AttrStorage *e : s.elems)
-        os << e << ',';
-    os << '\x01';
-    for (const std::string &k : s.keys)
-        os << k << ',';
-    os << '\x01';
+        appendRaw(key, e);
+    key += '\x01';
+    for (const std::string &k : s.keys) {
+        key += k;
+        key += ',';
+    }
+    key += '\x01';
     for (double v : s.values)
-        os << v << ',';
-    return os.str();
+        appendRaw(key, v);
+    return key;
 }
 
 Attribute

@@ -26,15 +26,8 @@ OpBuilder::setInsertionPoint(Operation *op)
 {
     WSC_ASSERT(op->parentBlock(), "setInsertionPoint on detached op");
     block_ = op->parentBlock();
-    auto &ops = block_->operations();
-    for (auto it = ops.begin(); it != ops.end(); ++it) {
-        if (it->get() == op) {
-            point_ = it;
-            hasPoint_ = true;
-            return;
-        }
-    }
-    panic("setInsertionPoint: op not found in its parent block");
+    point_ = op->self_;
+    hasPoint_ = true;
 }
 
 void
@@ -52,12 +45,11 @@ OpBuilder::clearInsertionPoint()
 }
 
 Operation *
-OpBuilder::create(const std::string &name, const std::vector<Value> &operands,
-                  const std::vector<Type> &resultTypes,
-                  const std::vector<std::pair<std::string, Attribute>> &attrs,
+OpBuilder::create(OpId id, const std::vector<Value> &operands,
+                  const std::vector<Type> &resultTypes, const AttrList &attrs,
                   unsigned numRegions)
 {
-    Operation *op = Operation::create(*ctx_, name, operands, resultTypes,
+    Operation *op = Operation::create(*ctx_, id, operands, resultTypes,
                                       attrs, numRegions);
     if (hasPoint_)
         insert(op);

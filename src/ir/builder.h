@@ -40,12 +40,17 @@ class OpBuilder
      * Create an operation and insert it at the insertion point (when set).
      * Returns the created op.
      */
+    Operation *create(OpId id, const std::vector<Value> &operands = {},
+                      const std::vector<Type> &resultTypes = {},
+                      const AttrList &attrs = {}, unsigned numRegions = 0);
     Operation *create(const std::string &name,
                       const std::vector<Value> &operands = {},
                       const std::vector<Type> &resultTypes = {},
-                      const std::vector<std::pair<std::string, Attribute>>
-                          &attrs = {},
-                      unsigned numRegions = 0);
+                      const AttrList &attrs = {}, unsigned numRegions = 0)
+    {
+        return create(OpId::get(name), operands, resultTypes, attrs,
+                      numRegions);
+    }
 
     /** Insert a detached op at the insertion point. */
     Operation *insert(Operation *op);

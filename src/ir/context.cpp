@@ -1,10 +1,80 @@
 #include "ir/context.h"
 
-#include <sstream>
+#include <deque>
+#include <mutex>
+#include <ostream>
+
+#include "ir/intern_key.h"
 
 #include "support/error.h"
 
 namespace wsc::ir {
+
+//===----------------------------------------------------------------------===
+// OpId interning
+//===----------------------------------------------------------------------===
+
+namespace {
+
+/**
+ * Process-wide op-name pool. A deque keeps the interned strings at stable
+ * addresses, so the index map can key string_views into them and OpId::str
+ * can hand out references that never move.
+ */
+struct OpNamePool
+{
+    std::mutex mu;
+    std::unordered_map<std::string_view, uint32_t> index;
+    std::deque<std::string> names;
+};
+
+OpNamePool &
+opNamePool()
+{
+    static OpNamePool pool;
+    return pool;
+}
+
+} // namespace
+
+OpId
+OpId::get(std::string_view name)
+{
+    OpNamePool &pool = opNamePool();
+    std::lock_guard<std::mutex> lock(pool.mu);
+    auto it = pool.index.find(name);
+    OpId id;
+    if (it != pool.index.end()) {
+        id.id_ = it->second;
+        return id;
+    }
+    id.id_ = static_cast<uint32_t>(pool.names.size());
+    pool.names.emplace_back(name);
+    pool.index.emplace(pool.names.back(), id.id_);
+    return id;
+}
+
+const std::string &
+OpId::str() const
+{
+    WSC_ASSERT(valid(), "str() on an invalid OpId");
+    // The deque guarantees the returned reference stays valid forever,
+    // but its internal block map mutates on insert, so reads take the
+    // pool lock too.
+    OpNamePool &pool = opNamePool();
+    std::lock_guard<std::mutex> lock(pool.mu);
+    return pool.names[id_];
+}
+
+std::ostream &
+operator<<(std::ostream &os, OpId id)
+{
+    return os << (id.valid() ? id.str() : std::string("<invalid-op>"));
+}
+
+//===----------------------------------------------------------------------===
+// Context
+//===----------------------------------------------------------------------===
 
 // Defined in attributes.cpp; serializes an AttrStorage into an interning key.
 std::string internalAttrKey(const AttrStorage &s);
@@ -12,17 +82,21 @@ std::string internalAttrKey(const AttrStorage &s);
 static std::string
 typeKey(const TypeStorage &s)
 {
-    std::ostringstream os;
-    os << s.kind << '\x01';
+    std::string key;
+    key.reserve(48 + s.kind.size());
+    key += s.kind;
+    key += '\x01';
     for (int64_t v : s.ints)
-        os << v << ',';
-    os << '\x01';
+        appendRaw(key, v);
+    key += '\x01';
     for (const TypeStorage *t : s.types)
-        os << t << ',';
-    os << '\x01';
-    for (const std::string &str : s.strs)
-        os << str << ',';
-    return os.str();
+        appendRaw(key, t);
+    key += '\x01';
+    for (const std::string &str : s.strs) {
+        key += str;
+        key += ',';
+    }
+    return key;
 }
 
 const TypeStorage *
@@ -52,22 +126,15 @@ Context::uniqueAttr(const AttrStorage &proto)
 }
 
 void
-Context::registerOp(const std::string &name, OpInfo info)
+Context::registerOp(OpId id, OpInfo info)
 {
-    opRegistry_[name] = std::move(info);
-}
-
-const OpInfo *
-Context::opInfo(const std::string &name) const
-{
-    auto it = opRegistry_.find(name);
-    return it == opRegistry_.end() ? nullptr : &it->second;
-}
-
-bool
-Context::isRegisteredOp(const std::string &name) const
-{
-    return opRegistry_.count(name) > 0;
+    WSC_ASSERT(id.valid(), "registerOp with invalid id");
+    if (id.raw() >= opRegistry_.size()) {
+        opRegistry_.resize(id.raw() + 1);
+        registered_.resize(id.raw() + 1, 0);
+    }
+    opRegistry_[id.raw()] = std::move(info);
+    registered_[id.raw()] = 1;
 }
 
 bool

@@ -2,17 +2,25 @@
  * @file
  * The Context owns all uniqued IR objects (types, attributes) and the
  * registry of known operations with their verification hooks.
+ *
+ * Operation names are interned process-wide into dense OpId handles so
+ * that op identity tests compile down to an integer compare and the
+ * per-context op registry is an array lookup instead of a string-keyed
+ * map probe (see src/ir/README.md).
  */
 
 #ifndef WSC_IR_CONTEXT_H
 #define WSC_IR_CONTEXT_H
 
+#include <cstdint>
 #include <functional>
-#include <map>
+#include <iosfwd>
 #include <memory>
 #include <set>
 #include <string>
+#include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "ir/attributes.h"
 #include "ir/types.h"
@@ -20,6 +28,42 @@
 namespace wsc::ir {
 
 class Operation;
+
+/**
+ * Dense integer handle for an interned operation name. Ids are assigned
+ * process-wide (first `get` wins the slot), so two OpIds from different
+ * contexts compare equal iff they spell the same op name. The interned
+ * string outlives every IR object, so `str()` references are stable.
+ */
+class OpId
+{
+  public:
+    constexpr OpId() = default;
+
+    /** Intern `name`, returning its dense id (idempotent). */
+    static OpId get(std::string_view name);
+
+    /** The interned spelling; storage lives for the whole process. */
+    const std::string &str() const;
+
+    /** Implicit view for APIs that take the op name as a string. */
+    operator const std::string &() const { return str(); }
+
+    bool valid() const { return id_ != kInvalid; }
+    uint32_t raw() const { return id_; }
+
+    friend bool operator==(OpId a, OpId b) { return a.id_ == b.id_; }
+    friend bool operator!=(OpId a, OpId b) { return a.id_ != b.id_; }
+    friend bool operator<(OpId a, OpId b) { return a.id_ < b.id_; }
+
+  private:
+    static constexpr uint32_t kInvalid = 0xffffffffu;
+
+    uint32_t id_ = kInvalid;
+};
+
+/** Prints the interned spelling (used by diagnostics and gtest). */
+std::ostream &operator<<(std::ostream &os, OpId id);
 
 /** Static information registered for each operation name. */
 struct OpInfo
@@ -31,6 +75,30 @@ struct OpInfo
      * or a diagnostic message on failure.
      */
     std::function<std::string(Operation *)> verify;
+};
+
+/**
+ * Observes structural IR mutations within a context. The worklist rewrite
+ * driver installs one for the duration of a pattern run; when none is
+ * installed the notification sites are a single null-pointer test.
+ */
+class IRListener
+{
+  public:
+    virtual ~IRListener() = default;
+    /** `op` was attached to a block (creation, move, splice). */
+    virtual void notifyAttached(Operation *op) = 0;
+    /** `op` is about to be destroyed; drop any references to it. */
+    virtual void notifyDestroyed(Operation *op) = 0;
+    /** One of `op`'s operands was re-pointed at a new value. */
+    virtual void notifyOperandChanged(Operation *op) = 0;
+    /**
+     * A use of `def`'s result was dropped (operand overwrite or erase),
+     * changing the use counts patterns may be gated on. `def` is the
+     * defining op of the value that lost the use (block-argument values
+     * report nothing). Remaining users can be reached through `def`.
+     */
+    virtual void notifyValueUseRemoved(Operation *def) = 0;
 };
 
 /**
@@ -49,21 +117,45 @@ class Context
     /** Intern attribute storage. */
     const AttrStorage *uniqueAttr(const AttrStorage &proto);
 
-    /** Register an operation name with its static info. */
-    void registerOp(const std::string &name, OpInfo info);
+    /** Register an operation with its static info (dialect-load time). */
+    void registerOp(OpId id, OpInfo info);
+    void registerOp(const std::string &name, OpInfo info)
+    {
+        registerOp(OpId::get(name), std::move(info));
+    }
     /** Look up op info; returns nullptr for unregistered ops. */
-    const OpInfo *opInfo(const std::string &name) const;
-    /** Whether the op name has been registered by some dialect. */
-    bool isRegisteredOp(const std::string &name) const;
+    const OpInfo *opInfo(OpId id) const
+    {
+        return id.raw() < opRegistry_.size() && registered_[id.raw()]
+                   ? &opRegistry_[id.raw()]
+                   : nullptr;
+    }
+    const OpInfo *opInfo(const std::string &name) const
+    {
+        return opInfo(OpId::get(name));
+    }
+    /** Whether the op has been registered by some dialect. */
+    bool isRegisteredOp(OpId id) const { return opInfo(id) != nullptr; }
+    bool isRegisteredOp(const std::string &name) const
+    {
+        return isRegisteredOp(OpId::get(name));
+    }
 
     /** Record that a dialect has been loaded (idempotence guard). */
     bool markDialectLoaded(const std::string &dialect);
 
+    /** Install a mutation listener (nullptr to remove). At most one. */
+    void setListener(IRListener *listener) { listener_ = listener; }
+    IRListener *listener() const { return listener_; }
+
   private:
     std::unordered_map<std::string, std::unique_ptr<TypeStorage>> typePool_;
     std::unordered_map<std::string, std::unique_ptr<AttrStorage>> attrPool_;
-    std::map<std::string, OpInfo> opRegistry_;
+    /** Indexed by OpId::raw(); registered_ marks occupied slots. */
+    std::vector<OpInfo> opRegistry_;
+    std::vector<uint8_t> registered_;
     std::set<std::string> loadedDialects_;
+    IRListener *listener_ = nullptr;
 };
 
 } // namespace wsc::ir

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Shared helper for building the binary interning keys of the type and
+ * attribute pools. Fields are appended as fixed-width raw bytes (exact
+ * bit patterns), with '\x01' framing between variable-length parts.
+ */
+
+#ifndef WSC_IR_INTERN_KEY_H
+#define WSC_IR_INTERN_KEY_H
+
+#include <string>
+
+namespace wsc::ir {
+
+/** Appends a fixed-width binary field to an interning key. */
+template <typename T>
+void
+appendRaw(std::string &key, const T &v)
+{
+    key.append(reinterpret_cast<const char *>(&v), sizeof(T));
+}
+
+} // namespace wsc::ir
+
+#endif // WSC_IR_INTERN_KEY_H

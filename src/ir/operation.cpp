@@ -98,25 +98,22 @@ Value::replaceAllUsesWith(Value other)
 // Operation
 //===----------------------------------------------------------------------===
 
-Operation::Operation(Context &ctx, std::string name)
-    : ctx_(&ctx), name_(std::move(name))
-{
-}
+Operation::Operation(Context &ctx, OpId id) : ctx_(&ctx), id_(id) {}
 
 Operation *
-Operation::create(Context &ctx, const std::string &name,
-                  const std::vector<Value> &operands,
-                  const std::vector<Type> &resultTypes,
-                  const std::vector<std::pair<std::string, Attribute>> &attrs,
+Operation::create(Context &ctx, OpId id, const std::vector<Value> &operands,
+                  const std::vector<Type> &resultTypes, const AttrList &attrs,
                   unsigned numRegions)
 {
-    auto *op = new Operation(ctx, name);
+    auto *op = new Operation(ctx, id);
+    op->operands_.reserve(operands.size());
     for (Value v : operands) {
-        WSC_ASSERT(v, "null operand creating " << name);
-        op->appendOperand(v);
+        WSC_ASSERT(v, "null operand creating " << id.str());
+        op->operands_.push_back(v);
+        op->addUse(v);
     }
     for (unsigned i = 0; i < resultTypes.size(); ++i) {
-        WSC_ASSERT(resultTypes[i], "null result type creating " << name);
+        WSC_ASSERT(resultTypes[i], "null result type creating " << id.str());
         auto impl = std::make_unique<ValueImpl>();
         impl->type = resultTypes[i];
         impl->definingOp = op;
@@ -139,6 +136,8 @@ Operation::destroy(Operation *op)
 
 Operation::~Operation()
 {
+    if (IRListener *listener = ctx_->listener())
+        listener->notifyDestroyed(this);
     // Drop operand uses before anything else so producers see no dangling
     // users. Nested regions are destroyed by the regions_ member afterward;
     // their ops drop their own references in their destructors (inner ops
@@ -149,14 +148,14 @@ Operation::~Operation()
     operands_.clear();
     for (auto &result : results_)
         WSC_ASSERT(result->users.empty(),
-                   "destroying op `" << name_ << "` with live result uses");
+                   "destroying op `" << name() << "` with live result uses");
 }
 
 Value
 Operation::operand(unsigned i) const
 {
     WSC_ASSERT(i < operands_.size(),
-               "operand index " << i << " out of range on " << name_);
+               "operand index " << i << " out of range on " << name());
     return operands_[i];
 }
 
@@ -171,45 +170,71 @@ Operation::removeUse(Value v)
 {
     auto &users = v.impl()->users;
     auto it = std::find(users.begin(), users.end(), this);
-    WSC_ASSERT(it != users.end(), "use-list corruption on " << name_);
+    WSC_ASSERT(it != users.end(), "use-list corruption on " << name());
     users.erase(it);
+}
+
+void
+Operation::notifyOperandChanged()
+{
+    if (IRListener *listener = ctx_->listener())
+        listener->notifyOperandChanged(this);
+}
+
+void
+Operation::notifyUseRemoved(Value v)
+{
+    IRListener *listener = ctx_->listener();
+    if (listener && !v.isBlockArgument())
+        listener->notifyValueUseRemoved(v.definingOp());
 }
 
 void
 Operation::setOperand(unsigned i, Value v)
 {
-    WSC_ASSERT(i < operands_.size(), "setOperand out of range on " << name_);
-    WSC_ASSERT(v, "setOperand with null value on " << name_);
-    removeUse(operands_[i]);
+    WSC_ASSERT(i < operands_.size(), "setOperand out of range on " << name());
+    WSC_ASSERT(v, "setOperand with null value on " << name());
+    Value old = operands_[i];
+    removeUse(old);
     operands_[i] = v;
     addUse(v);
+    notifyOperandChanged();
+    if (old != v)
+        notifyUseRemoved(old);
 }
 
 void
 Operation::setOperands(const std::vector<Value> &values)
 {
+    std::vector<Value> old = operands_;
     for (Value v : operands_)
         removeUse(v);
     operands_.clear();
     for (Value v : values)
         appendOperand(v);
+    for (Value v : old)
+        notifyUseRemoved(v);
 }
 
 void
 Operation::appendOperand(Value v)
 {
-    WSC_ASSERT(v, "appendOperand with null value on " << name_);
+    WSC_ASSERT(v, "appendOperand with null value on " << name());
     operands_.push_back(v);
     addUse(v);
+    notifyOperandChanged();
 }
 
 void
 Operation::eraseOperand(unsigned i)
 {
     WSC_ASSERT(i < operands_.size(),
-               "eraseOperand out of range on " << name_);
-    removeUse(operands_[i]);
+               "eraseOperand out of range on " << name());
+    Value old = operands_[i];
+    removeUse(old);
     operands_.erase(operands_.begin() + i);
+    notifyOperandChanged();
+    notifyUseRemoved(old);
 }
 
 void
@@ -219,8 +244,8 @@ Operation::dropAllReferences()
         removeUse(v);
     operands_.clear();
     for (auto &region : regions_)
-        for (Block *block : region->blocksVector())
-            for (Operation *op : block->opsVector())
+        for (auto &block : region->blocks())
+            for (auto &op : block->operations())
                 op->dropAllReferences();
 }
 
@@ -228,7 +253,7 @@ Value
 Operation::result(unsigned i) const
 {
     WSC_ASSERT(i < results_.size(),
-               "result index " << i << " out of range on " << name_);
+               "result index " << i << " out of range on " << name());
     return Value(results_[i].get());
 }
 
@@ -251,37 +276,60 @@ Operation::hasResultUses() const
     return false;
 }
 
+namespace {
+
+/** First attrs_ entry with key >= `key` (the list is sorted by key). */
+AttrList::const_iterator
+attrLowerBound(const AttrList &attrs, const std::string &key)
+{
+    return std::lower_bound(attrs.begin(), attrs.end(), key,
+                            [](const auto &entry, const std::string &k) {
+                                return entry.first < k;
+                            });
+}
+
+} // namespace
+
 Attribute
 Operation::attr(const std::string &key) const
 {
-    auto it = attrs_.find(key);
-    return it == attrs_.end() ? Attribute() : it->second;
+    auto it = attrLowerBound(attrs_, key);
+    return it != attrs_.end() && it->first == key ? it->second
+                                                  : Attribute();
 }
 
 bool
 Operation::hasAttr(const std::string &key) const
 {
-    return attrs_.count(key) > 0;
+    auto it = attrLowerBound(attrs_, key);
+    return it != attrs_.end() && it->first == key;
 }
 
 void
 Operation::setAttr(const std::string &key, Attribute value)
 {
     WSC_ASSERT(value, "setAttr(" << key << ") with null attribute");
-    attrs_[key] = value;
+    auto it = attrLowerBound(attrs_, key);
+    if (it != attrs_.end() && it->first == key) {
+        attrs_[static_cast<size_t>(it - attrs_.begin())].second = value;
+        return;
+    }
+    attrs_.insert(attrs_.begin() + (it - attrs_.begin()), {key, value});
 }
 
 void
 Operation::removeAttr(const std::string &key)
 {
-    attrs_.erase(key);
+    auto it = attrLowerBound(attrs_, key);
+    if (it != attrs_.end() && it->first == key)
+        attrs_.erase(attrs_.begin() + (it - attrs_.begin()));
 }
 
 int64_t
 Operation::intAttr(const std::string &key) const
 {
     Attribute a = attr(key);
-    WSC_ASSERT(a, "missing int attribute `" << key << "` on " << name_);
+    WSC_ASSERT(a, "missing int attribute `" << key << "` on " << name());
     return intAttrValue(a);
 }
 
@@ -289,7 +337,7 @@ const std::string &
 Operation::strAttr(const std::string &key) const
 {
     Attribute a = attr(key);
-    WSC_ASSERT(a, "missing string attribute `" << key << "` on " << name_);
+    WSC_ASSERT(a, "missing string attribute `" << key << "` on " << name());
     return stringAttrValue(a);
 }
 
@@ -297,7 +345,7 @@ Region &
 Operation::region(unsigned i) const
 {
     WSC_ASSERT(i < regions_.size(),
-               "region index " << i << " out of range on " << name_);
+               "region index " << i << " out of range on " << name());
     return *regions_[i];
 }
 
@@ -308,10 +356,10 @@ Operation::parentOp() const
 }
 
 Operation *
-Operation::parentOfName(const std::string &name) const
+Operation::parentOf(OpId id) const
 {
     for (auto *op = const_cast<Operation *>(this); op; op = op->parentOp())
-        if (op->name_ == name)
+        if (op->id_ == id)
             return op;
     return nullptr;
 }
@@ -319,9 +367,9 @@ Operation::parentOfName(const std::string &name) const
 void
 Operation::erase()
 {
-    WSC_ASSERT(parent_, "erase() on detached op " << name_);
+    WSC_ASSERT(parent_, "erase() on detached op " << name());
     WSC_ASSERT(!hasResultUses(),
-               "erase() on op `" << name_ << "` with live result uses");
+               "erase() on op `" << name() << "` with live result uses");
     Block *block = parent_;
     parent_ = nullptr;
     block->ops_.erase(self_); // Deletes this.
@@ -377,15 +425,15 @@ Operation::walk(const std::function<void(Operation *)> &fn)
 {
     fn(this);
     for (auto &region : regions_)
-        for (Block *block : region->blocksVector())
-            for (Operation *op : block->opsVector())
+        for (auto &block : region->blocks())
+            for (auto &op : block->operations())
                 op->walk(fn);
 }
 
 bool
 Operation::isTerminator() const
 {
-    const OpInfo *info = ctx_->opInfo(name_);
+    const OpInfo *info = ctx_->opInfo(id_);
     return info && info->isTerminator;
 }
 
@@ -469,6 +517,8 @@ Block::push_back(Operation *op)
     ops_.push_back(std::unique_ptr<Operation>(op));
     op->parent_ = this;
     op->self_ = std::prev(ops_.end());
+    if (IRListener *listener = op->ctx_->listener())
+        listener->notifyAttached(op);
 }
 
 void
@@ -480,6 +530,8 @@ Block::insertBefore(Operation *before, Operation *op)
     auto it = ops_.insert(before->self_, std::unique_ptr<Operation>(op));
     op->parent_ = this;
     op->self_ = it;
+    if (IRListener *listener = op->ctx_->listener())
+        listener->notifyAttached(op);
 }
 
 std::vector<Operation *>
@@ -568,11 +620,11 @@ Operation *
 lookupSymbol(Operation *root, const std::string &name)
 {
     WSC_ASSERT(root->numRegions() >= 1, "lookupSymbol on region-less op");
-    for (Block *block : root->region(0).blocksVector())
-        for (Operation *op : block->opsVector()) {
+    for (auto &block : root->region(0).blocks())
+        for (auto &op : block->operations()) {
             Attribute sym = op->attr("sym_name");
             if (sym && isStringAttr(sym) && stringAttrValue(sym) == name)
-                return op;
+                return op.get();
         }
     return nullptr;
 }

@@ -14,12 +14,12 @@
 
 #include <functional>
 #include <list>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "ir/attributes.h"
+#include "ir/context.h"
 #include "ir/types.h"
 
 namespace wsc::ir {
@@ -27,7 +27,6 @@ namespace wsc::ir {
 class Operation;
 class Block;
 class Region;
-class Context;
 
 /** Storage behind a Value: either an op result or a block argument. */
 struct ValueImpl
@@ -84,6 +83,9 @@ class Value
 /** Ordered list of owned operations; iterators are stable. */
 using OpList = std::list<std::unique_ptr<Operation>>;
 
+/** Sorted-by-key attribute storage; ops carry ~2-5 attributes. */
+using AttrList = std::vector<std::pair<std::string, Attribute>>;
+
 /**
  * A generic, dialect-agnostic operation. Typed op wrappers in the dialect
  * headers provide named accessors on top of this representation.
@@ -95,12 +97,18 @@ class Operation
      * Create a detached operation. The caller (usually OpBuilder) is
      * responsible for inserting it into a block or destroying it.
      */
+    static Operation *create(Context &ctx, OpId id,
+                             const std::vector<Value> &operands,
+                             const std::vector<Type> &resultTypes,
+                             const AttrList &attrs, unsigned numRegions);
     static Operation *create(Context &ctx, const std::string &name,
                              const std::vector<Value> &operands,
                              const std::vector<Type> &resultTypes,
-                             const std::vector<std::pair<std::string,
-                                                         Attribute>> &attrs,
-                             unsigned numRegions);
+                             const AttrList &attrs, unsigned numRegions)
+    {
+        return create(ctx, OpId::get(name), operands, resultTypes, attrs,
+                      numRegions);
+    }
 
     /** Destroy a detached operation (and its nested regions). */
     static void destroy(Operation *op);
@@ -109,7 +117,12 @@ class Operation
     Operation(const Operation &) = delete;
     Operation &operator=(const Operation &) = delete;
 
-    const std::string &name() const { return name_; }
+    /** Interned identity; compare against dialect k* ids. */
+    OpId opId() const { return id_; }
+    /** True when this op has the given interned identity. */
+    bool is(OpId id) const { return id_ == id; }
+    /** The op name as spelled; a view of the interned string. */
+    const std::string &name() const { return id_.str(); }
     Context &context() const { return *ctx_; }
 
     /// @name Operands
@@ -139,7 +152,8 @@ class Operation
     bool hasAttr(const std::string &key) const;
     void setAttr(const std::string &key, Attribute value);
     void removeAttr(const std::string &key);
-    const std::map<std::string, Attribute> &attrs() const { return attrs_; }
+    /** Attributes sorted by key. */
+    const AttrList &attrs() const { return attrs_; }
 
     /** Required int attribute; panics when missing or mistyped. */
     int64_t intAttr(const std::string &key) const;
@@ -157,8 +171,12 @@ class Operation
     /// @{
     Block *parentBlock() const { return parent_; }
     Operation *parentOp() const;
-    /** Nearest enclosing op with the given name (may be this op). */
-    Operation *parentOfName(const std::string &name) const;
+    /** Nearest enclosing op with the given identity (may be this op). */
+    Operation *parentOf(OpId id) const;
+    Operation *parentOfName(const std::string &name) const
+    {
+        return parentOf(OpId::get(name));
+    }
 
     /** Unlink from the parent block and destroy. Results must be unused. */
     void erase();
@@ -188,14 +206,15 @@ class Operation
 
   private:
     friend class Block;
+    friend class OpBuilder;
 
-    Operation(Context &ctx, std::string name);
+    Operation(Context &ctx, OpId id);
 
     Context *ctx_;
-    std::string name_;
+    OpId id_;
     std::vector<Value> operands_;
     std::vector<std::unique_ptr<ValueImpl>> results_;
-    std::map<std::string, Attribute> attrs_;
+    AttrList attrs_;
     std::vector<std::unique_ptr<Region>> regions_;
     Block *parent_ = nullptr;
     /** Position within the parent block's op list (valid when attached). */
@@ -203,6 +222,8 @@ class Operation
 
     void removeUse(Value v);
     void addUse(Value v);
+    void notifyOperandChanged();
+    void notifyUseRemoved(Value v);
 };
 
 /** A straight-line sequence of operations with block arguments. */
@@ -243,7 +264,11 @@ class Block
     void insertBefore(Operation *before, Operation *op);
     /// @}
 
-    /** Ops in order as raw pointers (safe to mutate the block afterward). */
+    /**
+     * Ops in order as a raw-pointer snapshot. Only needed when the loop
+     * mutates block structure beyond the op it is visiting; prefer
+     * iterating operations() directly in read-only/hot paths.
+     */
     std::vector<Operation *> opsVector() const;
 
   private:

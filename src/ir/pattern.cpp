@@ -1,5 +1,7 @@
 #include "ir/pattern.h"
 
+#include <unordered_set>
+
 #include "ir/context.h"
 #include "support/error.h"
 
@@ -7,17 +9,153 @@ namespace wsc::ir {
 
 namespace {
 
-/** Collect all ops strictly below root, pre-order. */
+/**
+ * Worklist rewrite driver (see src/ir/README.md).
+ *
+ * The worklist is seeded with every op under the root in pre-order and
+ * drained from the front, so the first pass visits ops in the same order
+ * the previous collect-and-rescan driver did. After a successful rewrite
+ * only the ops a rewrite can have invalidated are re-enqueued:
+ *
+ *  - newly attached ops (created, moved or spliced — via notifyAttached),
+ *  - ops whose operands were re-pointed (users of replaced values — via
+ *    notifyOperandChanged),
+ *  - the matched op itself when it survived, and its parent chain's
+ *    nearest enclosing op (a rewrite can make an enclosing op's pattern
+ *    newly applicable).
+ *
+ * Destroyed ops are dropped through notifyDestroyed, which removes them
+ * from the membership set; stale queue entries are skipped on pop. A
+ * popped op is also re-checked to still live under the root, so ops
+ * moved into detached temporaries are not rewritten prematurely.
+ */
+class Worklist : public IRListener
+{
+  public:
+    void
+    push(Operation *op)
+    {
+        if (inList_.insert(op).second)
+            queue_.push_back(op);
+    }
+
+    /** Next live op, or nullptr when drained. */
+    Operation *
+    pop()
+    {
+        while (head_ < queue_.size()) {
+            Operation *op = queue_[head_++];
+            if (head_ > kCompactAt) {
+                queue_.erase(queue_.begin(),
+                             queue_.begin() +
+                                 static_cast<ptrdiff_t>(head_));
+                head_ = 0;
+            }
+            auto it = inList_.find(op);
+            if (it == inList_.end())
+                continue; // Erased (or moved) since it was enqueued.
+            inList_.erase(it);
+            return op;
+        }
+        return nullptr;
+    }
+
+    bool
+    destroyedInLastRewrite(Operation *op) const
+    {
+        return destroyed_.count(op) > 0;
+    }
+
+    void clearRewriteLog() { destroyed_.clear(); }
+
+    // --- IRListener -----------------------------------------------------
+    void notifyAttached(Operation *op) override { push(op); }
+
+    void
+    notifyDestroyed(Operation *op) override
+    {
+        inList_.erase(op);
+        destroyed_.insert(op);
+        // Erasing a user changes the use counts of its operands'
+        // values: the producers may now be dead, and patterns on the
+        // surviving sibling users gated on numUses() may have become
+        // applicable. Operand uses are still intact at this point of
+        // ~Operation.
+        for (const Value &v : op->operands()) {
+            if (Operation *def = v.definingOp())
+                if (!destroyed_.count(def))
+                    push(def);
+            for (Operation *user : v.impl()->users)
+                if (user != op && !destroyed_.count(user))
+                    push(user);
+        }
+    }
+
+    void notifyOperandChanged(Operation *op) override { push(op); }
+
+    void
+    notifyValueUseRemoved(Operation *def) override
+    {
+        if (destroyed_.count(def))
+            return;
+        // The producer may be newly dead; its remaining users' use-count
+        // gates may be newly satisfied.
+        push(def);
+        for (unsigned i = 0; i < def->numResults(); ++i)
+            for (Operation *user : def->result(i).impl()->users)
+                if (!destroyed_.count(user))
+                    push(user);
+    }
+
+  private:
+    static constexpr size_t kCompactAt = 4096;
+
+    std::vector<Operation *> queue_;
+    size_t head_ = 0;
+    std::unordered_set<Operation *> inList_;
+    /** Ops destroyed since clearRewriteLog (pointer identity only). */
+    std::unordered_set<Operation *> destroyed_;
+};
+
+/** Seed the worklist with all ops strictly below root, pre-order. */
 void
-collect(Operation *root, std::vector<Operation *> &out)
+seed(Operation *root, Worklist &worklist)
 {
     for (unsigned r = 0; r < root->numRegions(); ++r)
-        for (Block *block : root->region(r).blocksVector())
-            for (Operation *op : block->opsVector()) {
-                out.push_back(op);
-                collect(op, out);
+        for (auto &block : root->region(r).blocks())
+            for (auto &op : block->operations()) {
+                worklist.push(op.get());
+                seed(op.get(), worklist);
             }
 }
+
+/** Whether op is attached below root (strictly). */
+bool
+isUnderRoot(Operation *op, Operation *root)
+{
+    for (Operation *p = op->parentOp(); p; p = p->parentOp())
+        if (p == root)
+            return true;
+    return false;
+}
+
+/** RAII guard installing a listener on a context. */
+class ListenerScope
+{
+  public:
+    ListenerScope(Context &ctx, IRListener *listener) : ctx_(ctx)
+    {
+        WSC_ASSERT(ctx.listener() == nullptr,
+                   "nested pattern drivers on one context");
+        ctx_.setListener(listener);
+    }
+    ~ListenerScope() { ctx_.setListener(nullptr); }
+    ListenerScope(const ListenerScope &) = delete;
+    ListenerScope &operator=(const ListenerScope &) = delete;
+
+  private:
+    Context &ctx_;
+};
 
 } // namespace
 
@@ -27,28 +165,36 @@ applyPatternsGreedily(Operation *root,
                       int maxIterations)
 {
     OpBuilder builder(root->context());
+    Worklist worklist;
+    ListenerScope scope(root->context(), &worklist);
+    seed(root, worklist);
+
     bool anyChange = false;
-    for (int iter = 0; iter < maxIterations; ++iter) {
-        bool changed = false;
-        std::vector<Operation *> ops;
-        collect(root, ops);
-        for (Operation *op : ops) {
-            for (const NamedPattern &pattern : patterns) {
-                builder.setInsertionPoint(op);
-                if (pattern.apply(op, builder)) {
-                    changed = true;
-                    break; // Op may be gone; rescan from a fresh worklist.
-                }
-            }
-            if (changed)
-                break;
+    int rewrites = 0;
+    while (Operation *op = worklist.pop()) {
+        if (!isUnderRoot(op, root))
+            continue;
+        for (const NamedPattern &pattern : patterns) {
+            builder.setInsertionPoint(op);
+            Operation *parent = op->parentOp();
+            worklist.clearRewriteLog();
+            if (!pattern.apply(op, builder))
+                continue;
+            anyChange = true;
+            if (++rewrites >= maxIterations)
+                panic("applyPatternsGreedily did not converge after " +
+                      std::to_string(maxIterations) + " rewrites");
+            // Revisit the matched op (another pattern may now apply) and
+            // its parent, unless the rewrite destroyed them.
+            if (!worklist.destroyedInLastRewrite(op))
+                worklist.push(op);
+            if (parent && parent != root &&
+                !worklist.destroyedInLastRewrite(parent))
+                worklist.push(parent);
+            break;
         }
-        if (!changed)
-            return anyChange;
-        anyChange = true;
     }
-    panic("applyPatternsGreedily did not converge after " +
-          std::to_string(maxIterations) + " iterations");
+    return anyChange;
 }
 
 } // namespace wsc::ir

@@ -1,8 +1,10 @@
 /**
  * @file
- * Greedy rewrite-pattern driver. Patterns are callables that inspect an op
- * and either rewrite it (returning true) or leave it alone (false). The
- * driver re-scans until a fixpoint is reached.
+ * Worklist rewrite-pattern driver. Patterns are callables that inspect an
+ * op and either rewrite it (returning true) or leave it alone (false).
+ * The driver seeds a worklist with every op, then re-enqueues only ops a
+ * rewrite can have invalidated (tracked through the context's IRListener)
+ * until a fixpoint is reached.
  */
 
 #ifndef WSC_IR_PATTERN_H
@@ -33,7 +35,7 @@ struct NamedPattern
 /**
  * Apply patterns to all ops under `root` (exclusive of root itself) until
  * no pattern applies. Returns true when any change was made. Throws when
- * `maxIterations` rescans do not converge (a looping pattern).
+ * `maxIterations` rewrites do not converge (a looping pattern).
  */
 bool applyPatternsGreedily(Operation *root,
                            const std::vector<NamedPattern> &patterns,

@@ -1,7 +1,7 @@
 #include "ir/verifier.h"
 
-#include <set>
 #include <sstream>
+#include <unordered_set>
 
 #include "ir/context.h"
 #include "ir/operation.h"
@@ -28,7 +28,7 @@ class Verifier
      * enclosing scopes (dominating this op).
      */
     void
-    verifyOp(Operation *op, std::set<ValueImpl *> &visible)
+    verifyOp(Operation *op, std::unordered_set<ValueImpl *> &visible)
     {
         // Operand visibility (SSA dominance in structured IR).
         for (unsigned i = 0; i < op->numOperands(); ++i) {
@@ -43,14 +43,14 @@ class Verifier
             Region &region = op->region(r);
             if (region.parentOp() != op)
                 error(op, "region parent link corrupted");
-            for (Block *block : region.blocksVector()) {
+            for (auto &block : region.blocks()) {
                 if (block->parentRegion() != &region)
                     error(op, "block parent link corrupted");
-                verifyBlock(block, visible);
+                verifyBlock(block.get(), visible);
             }
         }
         // Registered per-op invariants.
-        const OpInfo *info = op->context().opInfo(op->name());
+        const OpInfo *info = op->context().opInfo(op->opId());
         if (info && info->verify) {
             std::string msg = info->verify(op);
             if (!msg.empty())
@@ -59,25 +59,26 @@ class Verifier
     }
 
     void
-    verifyBlock(Block *block, std::set<ValueImpl *> &visible)
+    verifyBlock(Block *block, std::unordered_set<ValueImpl *> &visible)
     {
         std::vector<ValueImpl *> introduced;
         for (unsigned i = 0; i < block->numArguments(); ++i) {
             visible.insert(block->argument(i).impl());
             introduced.push_back(block->argument(i).impl());
         }
-        std::vector<Operation *> ops = block->opsVector();
-        for (size_t i = 0; i < ops.size(); ++i) {
-            Operation *op = ops[i];
+        size_t i = 0, numOps = block->size();
+        for (auto &opPtr : block->operations()) {
+            Operation *op = opPtr.get();
             if (op->parentBlock() != block)
                 error(op, "op parent link corrupted");
-            if (op->isTerminator() && i + 1 != ops.size())
+            if (op->isTerminator() && i + 1 != numOps)
                 error(op, "terminator is not the last op in its block");
             verifyOp(op, visible);
-            for (Value r : op->results()) {
-                visible.insert(r.impl());
-                introduced.push_back(r.impl());
+            for (unsigned r = 0; r < op->numResults(); ++r) {
+                visible.insert(op->result(r).impl());
+                introduced.push_back(op->result(r).impl());
             }
+            ++i;
         }
         for (ValueImpl *v : introduced)
             visible.erase(v);
@@ -94,7 +95,7 @@ verifyCollect(Operation *root)
 {
     std::vector<std::string> errors;
     Verifier verifier(errors);
-    std::set<ValueImpl *> visible;
+    std::unordered_set<ValueImpl *> visible;
     verifier.verifyOp(root, visible);
     return errors;
 }

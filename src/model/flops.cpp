@@ -1,5 +1,6 @@
 #include "model/flops.h"
 
+#include <map>
 #include <set>
 
 #include "dialects/csl.h"
@@ -17,11 +18,11 @@ dsdLength(ir::Value v)
 {
     ir::Operation *def = v.definingOp();
     WSC_ASSERT(def, "DSD operand without a defining op");
-    if (def->name() == csl::kGetMemDsd)
+    if (def->opId() == csl::kGetMemDsd)
         return def->intAttr("length");
-    if (def->name() == csl::kIncrementDsdOffset ||
-        def->name() == csl::kSetDsdLength ||
-        def->name() == csl::kSetDsdBaseAddr)
+    if (def->opId() == csl::kIncrementDsdOffset ||
+        def->opId() == csl::kSetDsdLength ||
+        def->opId() == csl::kSetDsdBaseAddr)
         return dsdLength(def->operand(0));
     panic("cannot derive DSD length from " + def->name());
 }
@@ -32,7 +33,7 @@ accumulateBody(ir::Operation *callable, uint64_t multiplier,
                WorkProfile &out)
 {
     callable->walk([&](ir::Operation *op) {
-        const std::string &n = op->name();
+        ir::OpId n = op->opId();
         int flopsPerElem = -1;
         int bytesPerElem = 12;
         if (n == csl::kFadds || n == csl::kFsubs || n == csl::kFmuls) {
@@ -60,12 +61,12 @@ WorkProfile
 analyzeProgramWork(ir::Operation *root)
 {
     ir::Operation *program = nullptr;
-    if (root->name() == csl::kModule &&
+    if (root->opId() == csl::kModule &&
         root->strAttr("kind") == "program") {
         program = root;
     } else {
         root->walk([&](ir::Operation *op) {
-            if (op->name() == csl::kModule &&
+            if (op->opId() == csl::kModule &&
                 op->strAttr("kind") == "program")
                 program = op;
         });
@@ -76,7 +77,7 @@ analyzeProgramWork(ir::Operation *root)
     std::map<std::string, int64_t> recvMultiplier;
     WorkProfile out;
     program->walk([&](ir::Operation *op) {
-        if (op->name() != csl::kCommsExchange)
+        if (op->opId() != csl::kCommsExchange)
             return;
         csl::CommsExchangeSpec spec = csl::commsExchangeSpec(op);
         recvMultiplier[spec.recvCallback] = spec.numChunks;
@@ -107,7 +108,7 @@ analyzeProgramWork(ir::Operation *root)
     });
 
     for (ir::Operation *op : csl::moduleBody(program)->opsVector()) {
-        if (op->name() != csl::kFunc && op->name() != csl::kTask)
+        if (op->opId() != csl::kFunc && op->opId() != csl::kTask)
             continue;
         const std::string &name = op->strAttr("sym_name");
         if (name == "f_main" || name == "for_post0")

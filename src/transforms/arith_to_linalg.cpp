@@ -23,8 +23,8 @@ namespace ln = dialects::linalg;
 bool
 isConvertibleArith(ir::Operation *op)
 {
-    return ar::isBinaryFloatOp(op) || op->name() == va::kAdd ||
-           op->name() == va::kMul;
+    return ar::isBinaryFloatOp(op) || op->opId() == va::kAdd ||
+           op->opId() == va::kMul;
 }
 
 /** Is the value a splat (dense single-element) float constant? */
@@ -52,7 +52,7 @@ class RegionConverter
         collectSinks();
         std::vector<ir::Operation *> toErase;
         for (ir::Operation *op : block_->opsVector()) {
-            if (op->name() == mr::kSubview) {
+            if (op->opId() == mr::kSubview) {
                 // Subviews of the accumulator are in-place destinations.
                 if (resolve(op->operand(0)) == accArg_)
                     owned_.insert(op->result().impl());
@@ -68,7 +68,7 @@ class RegionConverter
                 toErase.push_back(op);
                 continue;
             }
-            if (op->name() == mr::kCopy && !sinkCopies_.count(op)) {
+            if (op->opId() == mr::kCopy && !sinkCopies_.count(op)) {
                 // Plain data movement (single-section receive region).
                 builder_.setInsertionPoint(op);
                 ln::createCopy(builder_, resolve(op->operand(0)),
@@ -96,10 +96,10 @@ class RegionConverter
                 if (op->isTerminator() || op->numResults() == 0 ||
                     op->hasResultUses())
                     continue;
-                if (op->name() == ar::kConstant ||
-                    op->name() == mr::kAlloc ||
-                    op->name() == mr::kSubview ||
-                    op->name() == cs::kAccess) {
+                if (op->opId() == ar::kConstant ||
+                    op->opId() == mr::kAlloc ||
+                    op->opId() == mr::kSubview ||
+                    op->opId() == cs::kAccess) {
                     op->erase();
                     changed = true;
                 }
@@ -113,7 +113,7 @@ class RegionConverter
     collectSinks()
     {
         for (ir::Operation *op : block_->opsVector()) {
-            if (op->name() != mr::kCopy)
+            if (op->opId() != mr::kCopy)
                 continue;
             ir::Operation *def = op->operand(0).definingOp();
             if (def && isConvertibleArith(def) &&
@@ -159,7 +159,7 @@ class RegionConverter
     {
         bool fresh = false;
         ir::Value out = chooseOut(op, fresh);
-        const std::string &n = op->name();
+        ir::OpId n = op->opId();
         if (n == va::kAdd) {
             // Accumulate term by term; destination either pre-holds a
             // partial sum (when it aliases an operand) or is zeroed.
@@ -211,10 +211,10 @@ class RegionConverter
                 ln::createBinary(builder_, ln::kMul, out, rest[i], out);
             }
         } else {
-            const char *dps = n == ar::kAddF   ? ln::kAdd
-                              : n == ar::kSubF ? ln::kSub
-                              : n == ar::kMulF ? ln::kMul
-                                               : ln::kDiv;
+            ir::OpId dps = n == ar::kAddF   ? ln::kAdd
+                           : n == ar::kSubF ? ln::kSub
+                           : n == ar::kMulF ? ln::kMul
+                                            : ln::kDiv;
             ln::createBinary(builder_, dps, resolve(op->operand(0)),
                              resolve(op->operand(1)), out);
         }

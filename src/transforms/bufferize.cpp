@@ -35,7 +35,7 @@ bufferizeBlock(ir::Block *block)
         arg.setType(toMemRef(ctx, arg.type()));
     }
     for (ir::Operation *op : block->opsVector()) {
-        if (op->name() == ar::kConstant) {
+        if (op->opId() == ar::kConstant) {
             ir::Attribute v = op->attr("value");
             if (ir::isDenseAttr(v) && ir::isTensor(ir::attrType(v))) {
                 op->setAttr("value",
@@ -73,7 +73,7 @@ bufferizeApply(ir::Operation *apply)
     // Accumulator init: tensor.empty -> memref.alloc.
     ir::Value acc = apply->operand(1);
     ir::Operation *accDef = acc.definingOp();
-    if (accDef && accDef->name() == tn::kEmpty) {
+    if (accDef && accDef->opId() == tn::kEmpty) {
         ir::OpBuilder b(ctx);
         b.setInsertionPoint(accDef);
         ir::Value alloc =

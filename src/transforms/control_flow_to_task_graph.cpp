@@ -46,7 +46,7 @@ int64_t
 constantValueOf(ir::Value v)
 {
     ir::Operation *def = v.definingOp();
-    WSC_ASSERT(def && def->name() == ar::kConstant,
+    WSC_ASSERT(def && def->opId() == ar::kConstant,
                "expected a constant loop bound");
     return ir::intAttrValue(def->attr("value"));
 }
@@ -69,7 +69,7 @@ parseKernel(ir::Operation *kernel)
                                  std::to_string(out.fieldNames.size()));
 
     for (ir::Operation *op : body->opsVector()) {
-        const std::string &name = op->name();
+        ir::OpId name = op->opId();
         if (name == st::kLoad || name == ar::kConstant ||
             name == mr::kAlloc || name == fn::kReturn)
             continue;
@@ -79,11 +79,11 @@ parseKernel(ir::Operation *kernel)
             WSC_ASSERT(!out.forOp, "expected at most one timestep loop");
             out.forOp = op;
             for (ir::Operation *inner : scf::forBody(op)->opsVector()) {
-                if (inner->name() == cs::kApply)
+                if (inner->opId() == cs::kApply)
                     out.loopApplies.push_back(inner);
-                else if (inner->name() != mr::kAlloc &&
-                         inner->name() != ar::kConstant &&
-                         inner->name() != scf::kYield)
+                else if (inner->opId() != mr::kAlloc &&
+                         inner->opId() != ar::kConstant &&
+                         inner->opId() != scf::kYield)
                     fatal("unsupported op inside the timestep loop: " +
                           inner->name());
             }
@@ -93,7 +93,7 @@ parseKernel(ir::Operation *kernel)
                        "stores must target kernel fields");
             out.stores.emplace_back(op->operand(0), field.index());
         } else {
-            fatal("unsupported op at kernel top level: " + name);
+            fatal("unsupported op at kernel top level: " + name.str());
         }
     }
     WSC_ASSERT(out.topApplies.empty() || out.loopApplies.empty(),
@@ -208,7 +208,7 @@ lowerKernel(ir::Operation *wrapper, ir::Operation *kernel)
                              const std::string &fieldName) {
             for (ir::Operation *op :
                  cw::programBlock(wrapper)->opsVector()) {
-                if (op->name() == csl::kVariable &&
+                if (op->opId() == csl::kVariable &&
                     op->strAttr("sym_name") == bufName) {
                     op->setAttr("init_as",
                                 ir::getStringAttr(ctx, fieldName));
@@ -389,7 +389,7 @@ createControlFlowToTaskGraphPass()
                 ir::Operation *kernel = nullptr;
                 for (ir::Operation *op :
                      cw::programBlock(wrapper)->opsVector())
-                    if (op->name() == fn::kFunc)
+                    if (op->opId() == fn::kFunc)
                         kernel = op;
                 if (kernel)
                     lowerKernel(wrapper, kernel);

@@ -19,7 +19,7 @@ bool
 isSplatConstant(ir::Value v, double &out)
 {
     ir::Operation *def = v.definingOp();
-    if (!def || def->name() != ar::kConstant)
+    if (!def || def->opId() != ar::kConstant)
         return false;
     ir::Attribute attr = def->attr("value");
     if (ir::isDenseAttr(attr) && ir::denseAttrValues(attr).size() == 1) {
@@ -40,18 +40,18 @@ isSplatConstant(ir::Value v, double &out)
 bool
 fuseMulAdd(ir::Operation *op, ir::OpBuilder &b)
 {
-    if (op->name() != ln::kAdd)
+    if (op->opId() != ln::kAdd)
         return false;
     for (int ti = 0; ti < 2; ++ti) {
         ir::Value t = op->operand(ti);
         ir::Value x = op->operand(1 - ti);
         ir::Operation *talloc = t.definingOp();
-        if (!talloc || talloc->name() != mr::kAlloc || t.numUses() != 2)
+        if (!talloc || talloc->opId() != mr::kAlloc || t.numUses() != 2)
             continue;
         // Find the mul writing t.
         ir::Operation *mul = nullptr;
         for (ir::Operation *user : t.users()) {
-            if (user->name() == ln::kMul && user->operand(2) == t)
+            if (user->opId() == ln::kMul && user->operand(2) == t)
                 mul = user;
         }
         if (!mul || mul == op)
@@ -84,7 +84,7 @@ dce(ir::Operation *op, ir::OpBuilder &)
 {
     if (op->numResults() == 0 || op->hasResultUses())
         return false;
-    if (op->name() == mr::kAlloc || op->name() == ar::kConstant) {
+    if (op->opId() == mr::kAlloc || op->opId() == ar::kConstant) {
         op->erase();
         return true;
     }

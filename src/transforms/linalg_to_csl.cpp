@@ -25,7 +25,7 @@ ir::Value
 lowerOperand(ir::OpBuilder &b, ir::Value v)
 {
     ir::Operation *def = v.definingOp();
-    if (def && def->name() == ar::kConstant) {
+    if (def && def->opId() == ar::kConstant) {
         ir::Attribute attr = def->attr("value");
         if (ir::isDenseAttr(attr) &&
             ir::denseAttrValues(attr).size() == 1)
@@ -52,13 +52,13 @@ matchOneShotRun(ir::Block *block)
     ir::Value dest;
     int64_t sections = -1;
     for (ir::Operation *op : block->opsVector()) {
-        if (op->name() != ln::kAdd)
+        if (op->opId() != ln::kAdd)
             continue;
         ir::Value out = op->operand(2);
         if (op->operand(0) != out)
             return {};
         ir::Operation *accessOp = op->operand(1).definingOp();
-        if (!accessOp || accessOp->name() != cs::kAccess ||
+        if (!accessOp || accessOp->opId() != cs::kAccess ||
             !accessOp->hasAttr("section"))
             return {};
         if (run.empty()) {
@@ -108,7 +108,7 @@ lowerLinalgOp(ir::Operation *op)
 {
     ir::OpBuilder b(op->context());
     b.setInsertionPoint(op);
-    const std::string &n = op->name();
+    ir::OpId n = op->opId();
     if (n == ln::kFill) {
         ir::Value dest = materializeDsd(b, op->operand(1));
         ir::Value scalar = lowerOperand(b, op->operand(0));
@@ -127,12 +127,12 @@ lowerLinalgOp(ir::Operation *op)
         csl::createBuiltin(b, csl::kFmacs,
                            {dest, addend, mulend, scalar});
     } else {
-        const char *builtin = n == ln::kAdd   ? csl::kFadds
-                              : n == ln::kSub ? csl::kFsubs
-                              : n == ln::kMul ? csl::kFmuls
-                                              : nullptr;
-        if (!builtin)
-            fatal("no CSL DSD builtin for " + n);
+        ir::OpId builtin = n == ln::kAdd   ? csl::kFadds
+                           : n == ln::kSub ? csl::kFsubs
+                           : n == ln::kMul ? csl::kFmuls
+                                           : ir::OpId();
+        if (!builtin.valid())
+            fatal("no CSL DSD builtin for " + n.str());
         ir::Value dest = materializeDsd(b, op->operand(2));
         ir::Value a = lowerOperand(b, op->operand(0));
         ir::Value c = lowerOperand(b, op->operand(1));

@@ -30,7 +30,7 @@ namespace scf = dialects::scf;
 ActorLoweringState::ActorLoweringState(ir::Operation *wrapper)
     : wrapper_(wrapper)
 {
-    WSC_ASSERT(wrapper->name() == cw::kModule,
+    WSC_ASSERT(wrapper->opId() == cw::kModule,
                "ActorLoweringState requires a csl_wrapper.module");
 }
 
@@ -147,9 +147,9 @@ cloneRegionInto(ActorLoweringState &state, ir::Block *source,
 
     std::map<ir::ValueImpl *, ir::Value> mapping = std::move(argBindings);
     for (ir::Operation *op : source->opsVector()) {
-        if (op->name() == cs::kYield)
+        if (op->opId() == cs::kYield)
             continue; // The task body simply ends.
-        if (op->name() == mr::kAlloc) {
+        if (op->opId() == mr::kAlloc) {
             // Static allocation: every buffer becomes a module variable.
             if (op->hasAttr("result_buffer")) {
                 // The result buffer is a full column; the computed
@@ -174,7 +174,7 @@ cloneRegionInto(ActorLoweringState &state, ir::Block *source,
                 state.loadBufRef(b, BufRef{name, false});
             continue;
         }
-        if (op->name() == cs::kAccess) {
+        if (op->opId() == cs::kAccess) {
             ir::Operation *clone = cloneOp(b, op, mapping);
             // Annotate receive-buffer accesses with their section index
             // so the DSD lowering can address the landing area.

@@ -44,7 +44,7 @@ resolveChain(ir::Value v)
 {
     ir::Operation *def = v.definingOp();
     WSC_ASSERT(def, "cannot resolve a block argument to a buffer view");
-    if (def->name() == csl::kLoadVar) {
+    if (def->opId() == csl::kLoadVar) {
         ViewChain c;
         c.var = def->strAttr("var");
         c.viaPtr = def->hasAttr("via_ptr");
@@ -52,7 +52,7 @@ resolveChain(ir::Value v)
         c.bufLen = c.length;
         return c;
     }
-    if (def->name() == mr::kSubview) {
+    if (def->opId() == mr::kSubview) {
         ViewChain c = resolveChain(def->operand(0));
         c.offset += def->intAttr("static_offset");
         if (def->numOperands() > 1) {
@@ -62,7 +62,7 @@ resolveChain(ir::Value v)
         c.length = def->intAttr("static_size");
         return c;
     }
-    if (def->name() == cs::kAccess) {
+    if (def->opId() == cs::kAccess) {
         ViewChain c = resolveChain(def->operand(0));
         int64_t viewLen = numElems(v.type());
         if (def->hasAttr("section")) {
@@ -113,7 +113,7 @@ createMemrefToDsdCleanupPass()
             std::vector<ir::NamedPattern> patterns = {
                 {"dce-views",
                  [](ir::Operation *op, ir::OpBuilder &) {
-                     const std::string &n = op->name();
+                     ir::OpId n = op->opId();
                      bool view = n == mr::kSubview ||
                                  n == cs::kAccess ||
                                  n == csl::kLoadVar ||

@@ -60,7 +60,7 @@ class InlineCloner
     cloneConsumerOp(ir::Operation *op,
                     std::map<ir::ValueImpl *, ir::Value> &mapping)
     {
-        if (op->name() == st::kAccess) {
+        if (op->opId() == st::kAccess) {
             int resultIdx = producerResultIndex(op->operand(0));
             if (resultIdx >= 0) {
                 std::vector<int64_t> shift = st::accessOffset(op);
@@ -91,7 +91,7 @@ class InlineCloner
         std::vector<ir::Operation *> ops = pBody->opsVector();
         for (size_t i = 0; i + 1 < ops.size(); ++i) {
             ir::Operation *op = ops[i];
-            if (op->name() == st::kAccess) {
+            if (op->opId() == st::kAccess) {
                 // Compose offsets: producer access shifted by the
                 // consumer access offset.
                 std::vector<int64_t> offset = st::accessOffset(op);
@@ -107,7 +107,7 @@ class InlineCloner
             cloneOp(b_, op, mapping);
         }
         ir::Operation *ret = ops.back();
-        WSC_ASSERT(ret->name() == st::kReturn,
+        WSC_ASSERT(ret->opId() == st::kReturn,
                    "apply body must end in stencil.return");
         return mapValue(mapping, ret->operand(resultIdx));
     }
@@ -130,7 +130,7 @@ findInliningCandidate(ir::Operation *module)
         for (ir::Value r : producer->results()) {
             for (ir::Operation *user : r.users()) {
                 hasUse = true;
-                if (user->name() != st::kApply ||
+                if (user->opId() != st::kApply ||
                     user->parentBlock() != producer->parentBlock() ||
                     (consumer && user != consumer)) {
                     eligible = false;

@@ -56,7 +56,7 @@ struct BodyAnalysis
 bool
 isRemoteAccess(ir::Operation *op, ir::Block *body, unsigned commIdx)
 {
-    if (op->name() != st::kAccess && op->name() != cs::kAccess)
+    if (op->opId() != st::kAccess && op->opId() != cs::kAccess)
         return false;
     ir::Value src = op->operand(0);
     if (!src.isBlockArgument() || src.ownerBlock() != body ||
@@ -73,13 +73,13 @@ analyzeBody(ir::Operation *apply, unsigned commIdx)
     BodyAnalysis out;
     ir::Block *body = st::applyBody(apply);
     for (ir::Operation *op : body->opsVector()) {
-        if (op->name() == st::kReturn)
+        if (op->opId() == st::kReturn)
             continue;
         Purity p;
-        if (op->name() == st::kAccess) {
+        if (op->opId() == st::kAccess) {
             p = isRemoteAccess(op, body, commIdx) ? Purity::Remote
                                                   : Purity::Local;
-        } else if (op->name() == ar::kConstant) {
+        } else if (op->opId() == ar::kConstant) {
             p = Purity::Const;
         } else {
             p = Purity::Const;
@@ -102,7 +102,7 @@ analyzeBody(ir::Operation *apply, unsigned commIdx)
                     fatal("stencil-to-csl-stencil: more than one point "
                           "mixes remote and local data; cannot split the "
                           "kernel");
-                if (op->name() != va::kAdd)
+                if (op->opId() != va::kAdd)
                     fatal("stencil-to-csl-stencil: remote and local data "
                           "must combine through addition (varith.add), "
                           "found " + op->name());
@@ -132,7 +132,7 @@ analyzeBody(ir::Operation *apply, unsigned commIdx)
                        : Purity::Local;
         if (p == Purity::Remote) {
             ir::Operation *def = result.definingOp();
-            if (def && def->name() == va::kAdd) {
+            if (def && def->opId() == va::kAdd) {
                 out.mixingOp = def;
                 for (ir::Value v : def->operands())
                     out.remoteTerms.push_back(v);
@@ -159,18 +159,18 @@ matchPromotableTerm(ir::Value term)
     ir::Operation *def = term.definingOp();
     if (!def)
         return out;
-    if (def->name() == st::kAccess) {
+    if (def->opId() == st::kAccess) {
         out.access = def;
         out.ok = term.numUses() == 1;
         return out;
     }
-    if (def->name() == ar::kMulF || def->name() == va::kMul) {
+    if (def->opId() == ar::kMulF || def->opId() == va::kMul) {
         if (def->numOperands() != 2)
             return out;
         for (int i = 0; i < 2; ++i) {
             ir::Operation *a = def->operand(i).definingOp();
             ir::Operation *c = def->operand(1 - i).definingOp();
-            if (a && a->name() == st::kAccess && c &&
+            if (a && a->opId() == st::kAccess && c &&
                 ar::isFloatConstant(c)) {
                 out.access = a;
                 out.coeff = ar::floatConstantValue(c);
@@ -219,7 +219,7 @@ void
 retypeForChunk(ir::Operation *op, ir::Type chunkType)
 {
     ir::Context &ctx = op->context();
-    if (op->name() == ar::kConstant) {
+    if (op->opId() == ar::kConstant) {
         ir::Attribute v = op->attr("value");
         WSC_ASSERT(ir::isDenseAttr(v), "expected dense constant");
         op->setAttr("value",
@@ -347,7 +347,7 @@ convertApply(ir::Operation *apply, ir::Operation *swap,
                                                        : it->second;
                 if (p != Purity::Remote && p != Purity::Const)
                     continue;
-                if (op->name() == st::kAccess) {
+                if (op->opId() == st::kAccess) {
                     if (isRemoteAccess(op, body, commIdx)) {
                         std::vector<int64_t> off = st::accessOffset(op);
                         mapping[op->result().impl()] = cs::createAccess(
@@ -392,7 +392,7 @@ convertApply(ir::Operation *apply, ir::Operation *swap,
             done->argument(static_cast<unsigned>(2 + i));
 
     for (ir::Operation *op : body->opsVector()) {
-        if (op->name() == st::kReturn) {
+        if (op->opId() == st::kReturn) {
             std::vector<ir::Value> results;
             for (ir::Value v : op->operands()) {
                 auto it = analysis.purity.find(v.impl());
@@ -424,7 +424,7 @@ convertApply(ir::Operation *apply, ir::Operation *swap,
             mapping[op->result().impl()] = combined;
             continue;
         }
-        if (op->name() == st::kAccess) {
+        if (op->opId() == st::kAccess) {
             ir::Value src = mapValue(mapping, op->operand(0));
             mapping[op->result().impl()] = cs::createAccess(
                 db, src, st::accessOffset(op), op->result().type());
@@ -490,14 +490,14 @@ splitApply(ir::Operation *apply,
     for (ir::Value t : analysis.remoteTerms)
         remoteSet.insert(t.impl());
     for (ir::Operation *op : body->opsVector()) {
-        if (op->name() == st::kReturn)
+        if (op->opId() == st::kReturn)
             continue;
         if (op->numResults() != 1)
             continue;
         Purity p = analysis.purity.at(op->result().impl());
         if (p != Purity::Remote && p != Purity::Const)
             continue;
-        if (op->name() == st::kAccess) {
+        if (op->opId() == st::kAccess) {
             if (isRemoteAccess(op, body, commIdx))
                 pMapping[op->result().impl()] = st::createAccess(
                     pb, pBody->argument(0), st::accessOffset(op));
@@ -536,7 +536,7 @@ splitApply(ir::Operation *apply,
         ir::Value operand = apply->operand(i);
         if (i == commIdx) {
             ir::Operation *def = operand.definingOp();
-            WSC_ASSERT(def && def->name() == dmp::kSwap,
+            WSC_ASSERT(def && def->opId() == dmp::kSwap,
                        "split operand must be swapped");
             operand = def->operand(0);
         }
@@ -560,7 +560,7 @@ splitApply(ir::Operation *apply,
         rBody->argument(apply->numOperands());
 
     for (ir::Operation *op : body->opsVector()) {
-        if (op->name() == st::kReturn) {
+        if (op->opId() == st::kReturn) {
             std::vector<ir::Value> results;
             for (ir::Value v : op->operands())
                 results.push_back(mapValue(rMapping, v));
@@ -605,7 +605,7 @@ ir::Operation *
 swapFor(ir::Operation *apply, unsigned i)
 {
     ir::Operation *def = apply->operand(i).definingOp();
-    return def && def->name() == dmp::kSwap ? def : nullptr;
+    return def && def->opId() == dmp::kSwap ? def : nullptr;
 }
 
 } // namespace

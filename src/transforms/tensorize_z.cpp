@@ -70,9 +70,9 @@ tensorizeApplyBody(ir::Operation *apply)
         body->argument(i).setType(apply->operand(i).type());
 
     for (ir::Operation *op : body->opsVector()) {
-        if (op->name() == st::kAccess) {
+        if (op->opId() == st::kAccess) {
             op->result().setType(interiorType);
-        } else if (op->name() == ar::kConstant) {
+        } else if (op->opId() == ar::kConstant) {
             ir::Attribute v = op->attr("value");
             WSC_ASSERT(ir::isFloatAttr(v),
                        "unexpected constant in apply body");
@@ -80,10 +80,10 @@ tensorizeApplyBody(ir::Operation *apply)
                         ir::getDenseAttr(ctx, interiorType,
                                          {ir::floatAttrValue(v)}));
             op->result().setType(interiorType);
-        } else if (ar::isBinaryFloatOp(op) || op->name() == va::kAdd ||
-                   op->name() == va::kMul) {
+        } else if (ar::isBinaryFloatOp(op) || op->opId() == va::kAdd ||
+                   op->opId() == va::kMul) {
             op->result().setType(interiorType);
-        } else if (op->name() == st::kReturn) {
+        } else if (op->opId() == st::kReturn) {
             // Nothing to change.
         } else {
             fatal("tensorize-z: unsupported op in apply body: " +
@@ -114,7 +114,7 @@ createTensorizeZPass()
                 for (ir::Value result : op->results())
                     result.setType(tensorize3DType(ctx, result.type()));
                 // Function signatures carry types in an attribute.
-                if (op->name() == dialects::func::kFunc) {
+                if (op->opId() == dialects::func::kFunc) {
                     ir::Type fn =
                         ir::typeAttrValue(op->attr("function_type"));
                     std::vector<ir::Type> inputs;

@@ -5,20 +5,20 @@
 namespace wsc::transforms {
 
 std::vector<ir::Operation *>
-collectOps(ir::Operation *root, const std::string &name)
+collectOps(ir::Operation *root, ir::OpId id)
 {
     std::vector<ir::Operation *> out;
     root->walk([&](ir::Operation *op) {
-        if (op != root && op->name() == name)
+        if (op != root && op->is(id))
             out.push_back(op);
     });
     return out;
 }
 
 ir::Operation *
-findOp(ir::Operation *root, const std::string &name)
+findOp(ir::Operation *root, ir::OpId id)
 {
-    std::vector<ir::Operation *> ops = collectOps(root, name);
+    std::vector<ir::Operation *> ops = collectOps(root, id);
     return ops.empty() ? nullptr : ops.front();
 }
 
@@ -42,10 +42,8 @@ cloneOp(ir::OpBuilder &b, ir::Operation *op,
     std::vector<ir::Type> resultTypes;
     for (ir::Value r : op->results())
         resultTypes.push_back(r.type());
-    std::vector<std::pair<std::string, ir::Attribute>> attrs(
-        op->attrs().begin(), op->attrs().end());
-    ir::Operation *clone = b.create(op->name(), operands, resultTypes,
-                                    attrs);
+    ir::Operation *clone = b.create(op->opId(), operands, resultTypes,
+                                    op->attrs());
     for (unsigned i = 0; i < op->numResults(); ++i)
         mapping[op->result(i).impl()] = clone->result(i);
     return clone;

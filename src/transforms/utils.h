@@ -16,12 +16,11 @@
 
 namespace wsc::transforms {
 
-/** Collect all ops under `root` (exclusive) with the given name. */
-std::vector<ir::Operation *> collectOps(ir::Operation *root,
-                                        const std::string &name);
+/** Collect all ops under `root` (exclusive) with the given identity. */
+std::vector<ir::Operation *> collectOps(ir::Operation *root, ir::OpId id);
 
-/** The first op with the given name, or nullptr. */
-ir::Operation *findOp(ir::Operation *root, const std::string &name);
+/** The first op with the given identity, or nullptr. */
+ir::Operation *findOp(ir::Operation *root, ir::OpId id);
 
 /**
  * Clone `op` (without regions) at the builder's insertion point,

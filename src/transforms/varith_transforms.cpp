@@ -14,34 +14,34 @@ namespace {
 namespace ar = dialects::arith;
 namespace va = dialects::varith;
 
-/** arith op name -> varith counterpart (add/mul only). */
-const char *
-varithCounterpart(const std::string &name)
+/** arith op -> varith counterpart (add/mul only); invalid id otherwise. */
+ir::OpId
+varithCounterpart(ir::OpId id)
 {
-    if (name == ar::kAddF)
+    if (id == ar::kAddF)
         return va::kAdd;
-    if (name == ar::kMulF)
+    if (id == ar::kMulF)
         return va::kMul;
-    return nullptr;
+    return ir::OpId();
 }
 
-/** Variadic kind ("varith.add"/"varith.mul") of an op name, or nullptr. */
-const char *
-variadicKind(const std::string &name)
+/** Variadic kind (varith.add/varith.mul) of an op; invalid id otherwise. */
+ir::OpId
+variadicKind(ir::OpId id)
 {
-    if (name == ar::kAddF || name == va::kAdd)
+    if (id == ar::kAddF || id == va::kAdd)
         return va::kAdd;
-    if (name == ar::kMulF || name == va::kMul)
+    if (id == ar::kMulF || id == va::kMul)
         return va::kMul;
-    return nullptr;
+    return ir::OpId();
 }
 
 /** Fuse (varith|arith) op into an enclosing varith-compatible user. */
 bool
 fuseIntoVariadic(ir::Operation *op, ir::OpBuilder &b)
 {
-    const char *target = variadicKind(op->name());
-    if (!target)
+    ir::OpId target = variadicKind(op->opId());
+    if (!target.valid())
         return false;
 
     // Collect operands, flattening any producer of the same kind whose
@@ -50,7 +50,7 @@ fuseIntoVariadic(ir::Operation *op, ir::OpBuilder &b)
     std::vector<ir::Value> flat;
     for (ir::Value v : op->operands()) {
         ir::Operation *def = v.definingOp();
-        if (def && variadicKind(def->name()) == target &&
+        if (def && variadicKind(def->opId()) == target &&
             v.numUses() == 1) {
             for (ir::Value inner : def->operands())
                 flat.push_back(inner);
@@ -59,7 +59,7 @@ fuseIntoVariadic(ir::Operation *op, ir::OpBuilder &b)
             flat.push_back(v);
         }
     }
-    bool isBinaryArith = varithCounterpart(op->name()) != nullptr;
+    bool isBinaryArith = varithCounterpart(op->opId()).valid();
     if (!flattened && !isBinaryArith)
         return false;
 
@@ -73,7 +73,7 @@ fuseIntoVariadic(ir::Operation *op, ir::OpBuilder &b)
 bool
 fuseRepeatedAddends(ir::Operation *op, ir::OpBuilder &b)
 {
-    if (op->name() != va::kAdd)
+    if (op->opId() != va::kAdd)
         return false;
     // Count occurrences preserving first-seen order.
     std::vector<std::pair<ir::Value, int>> counts;
@@ -122,7 +122,7 @@ fuseRepeatedAddends(ir::Operation *op, ir::OpBuilder &b)
 bool
 dce(ir::Operation *op, ir::OpBuilder &)
 {
-    const std::string &n = op->name();
+    ir::OpId n = op->opId();
     bool pure = n == ar::kAddF || n == ar::kSubF || n == ar::kMulF ||
                 n == ar::kDivF || n == ar::kConstant || n == va::kAdd ||
                 n == va::kMul;
@@ -168,11 +168,11 @@ createVarithToArithPass()
             std::vector<ir::NamedPattern> patterns = {
                 {"expand-varith",
                  [](ir::Operation *op, ir::OpBuilder &b) {
-                     if (op->name() != va::kAdd && op->name() != va::kMul)
+                     if (op->opId() != va::kAdd && op->opId() != va::kMul)
                          return false;
-                     const char *binary = op->name() == va::kAdd
-                                              ? ar::kAddF
-                                              : ar::kMulF;
+                     ir::OpId binary = op->opId() == va::kAdd
+                                           ? ar::kAddF
+                                           : ar::kMulF;
                      ir::Value acc = op->operand(0);
                      for (unsigned i = 1; i < op->numOperands(); ++i)
                          acc = ar::createBinary(b, binary, acc,

@@ -4,56 +4,12 @@
 
 namespace wsc::wse {
 
-float &
-Dsd::at(int64_t i) const
+[[noreturn]] void
+Dsd::accessError(int64_t idx) const
 {
     WSC_ASSERT(buf, "DSD with null buffer");
-    if (wrap > 0)
-        i %= wrap;
-    int64_t idx = offset + i * stride;
-    WSC_ASSERT(idx >= 0 && idx < static_cast<int64_t>(buf->size()),
-               "DSD access out of range: idx=" << idx << " size="
-                                               << buf->size());
-    return (*buf)[idx];
-}
-
-Dsd
-Dsd::shifted(int64_t delta) const
-{
-    Dsd d = *this;
-    d.offset += delta;
-    return d;
-}
-
-Dsd
-Dsd::withLength(int64_t newLength) const
-{
-    Dsd d = *this;
-    d.length = newLength;
-    return d;
-}
-
-DsdOperand
-DsdOperand::fromDsd(const Dsd &d)
-{
-    DsdOperand o;
-    o.dsd = d;
-    return o;
-}
-
-DsdOperand
-DsdOperand::fromScalar(float s)
-{
-    DsdOperand o;
-    o.scalar = s;
-    o.isScalar = true;
-    return o;
-}
-
-float
-DsdOperand::read(int64_t i) const
-{
-    return isScalar ? scalar : dsd.at(i);
+    panic(strcat("DSD access out of range: idx=", idx,
+                 " size=", buf->size()));
 }
 
 namespace {

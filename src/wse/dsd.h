@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "support/error.h"
 #include "wse/pe.h"
 
 namespace wsc::wse {
@@ -33,12 +34,40 @@ struct Dsd
     int64_t wrap = 0;
 
     /** Element access with bounds checking. */
-    float &at(int64_t i) const;
+    float &
+    at(int64_t i) const
+    {
+        if (wrap > 0)
+            i %= wrap;
+        int64_t idx = offset + i * stride;
+        // The failure path is outlined so this stays inlinable in the
+        // per-element builtin loops.
+        if (buf == nullptr || idx < 0 ||
+            idx >= static_cast<int64_t>(buf->size())) [[unlikely]]
+            accessError(idx);
+        return (*buf)[idx];
+    }
+
+    /** Panics with a bounds diagnostic (cold path of at()). */
+    [[noreturn]] void accessError(int64_t idx) const;
 
     /** A copy shifted by `delta` elements. */
-    Dsd shifted(int64_t delta) const;
+    Dsd
+    shifted(int64_t delta) const
+    {
+        Dsd d = *this;
+        d.offset += delta;
+        return d;
+    }
+
     /** A copy with a different length. */
-    Dsd withLength(int64_t newLength) const;
+    Dsd
+    withLength(int64_t newLength) const
+    {
+        Dsd d = *this;
+        d.length = newLength;
+        return d;
+    }
 };
 
 /** A builtin operand: either a DSD or an f32 scalar (broadcast). */
@@ -48,10 +77,24 @@ struct DsdOperand
     float scalar = 0.0f;
     bool isScalar = false;
 
-    static DsdOperand fromDsd(const Dsd &d);
-    static DsdOperand fromScalar(float s);
+    static DsdOperand
+    fromDsd(const Dsd &d)
+    {
+        DsdOperand o;
+        o.dsd = d;
+        return o;
+    }
 
-    float read(int64_t i) const;
+    static DsdOperand
+    fromScalar(float s)
+    {
+        DsdOperand o;
+        o.scalar = s;
+        o.isScalar = true;
+        return o;
+    }
+
+    float read(int64_t i) const { return isScalar ? scalar : dsd.at(i); }
 };
 
 /// @name DSD compute builtins (dest first, as in CSL)

@@ -1,5 +1,7 @@
 #include "wse/fabric.h"
 
+#include <memory>
+
 #include "support/error.h"
 #include "wse/simulator.h"
 
@@ -89,6 +91,11 @@ Fabric::sendStream(int x, int y, Direction dir,
     auto [dx, dy] = directionStep(dir);
     int maxDistance = *std::max_element(deliverDistances.begin(),
                                         deliverDistances.end());
+    // One shared snapshot + functor serve every delivery event of this
+    // stream (delivery lambdas capture pointers, not copies).
+    auto snapshot =
+        std::make_shared<const std::vector<float>>(std::move(payload));
+    auto deliverShared = std::make_shared<const DeliveryFn>(deliver);
 
     // Injection: the sender's ramp moves m wavelets to its router.
     Pe &sender = sim_.pe(x, y);
@@ -126,9 +133,8 @@ Fabric::sendStream(int x, int y, Direction dir,
             Cycles rampStart = receiver.reserveWork(headArrives, m);
             Cycles landed = std::max(rampStart + m, headArrives + m);
             StreamDelivery record{nx, ny, h, landed};
-            // Copy the payload for the delivery event (snapshot).
-            sim_.schedule(landed, [deliver, record, payload] {
-                deliver(record, payload);
+            sim_.schedule(landed, [deliverShared, record, snapshot] {
+                (*deliverShared)(record, *snapshot);
             });
         }
 

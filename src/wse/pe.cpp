@@ -81,10 +81,11 @@ Pe::hasTask(const std::string &name) const
 void
 Pe::activate(const std::string &name, Cycles readyAt)
 {
-    WSC_ASSERT(tasks_.count(name),
+    auto it = tasks_.find(name);
+    WSC_ASSERT(it != tasks_.end(),
                "activating unknown task `" << name << "` on PE (" << x_
                                            << ", " << y_ << ")");
-    pending_.emplace_back(name, readyAt);
+    pending_.emplace_back(&it->second, readyAt);
     if (!dispatchScheduled_) {
         dispatchScheduled_ = true;
         Cycles at = std::max(readyAt, sim_.now());
@@ -98,7 +99,7 @@ Pe::dispatchPending()
     dispatchScheduled_ = false;
     if (pending_.empty())
         return;
-    auto [name, readyAt] = pending_.front();
+    auto [task, readyAt] = pending_.front();
     pending_.pop_front();
 
     const ArchParams &p = sim_.params();
@@ -111,7 +112,7 @@ Pe::dispatchPending()
     sim_.stats().taskActivations++;
 
     TaskContext ctx(sim_, *this, start);
-    tasks_.at(name).fn(ctx);
+    task->fn(ctx);
     // Charge the consumed core time onto the work timeline.
     if (ctx.consumed() > 0)
         reserveWork(start, ctx.consumed());

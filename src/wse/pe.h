@@ -143,7 +143,7 @@ class Pe
     std::map<std::string, double> scalars_;
     size_t bytesUsed_ = 0;
     std::map<std::string, TaskInfo> tasks_;
-    std::deque<std::pair<std::string, Cycles>> pending_;
+    std::deque<std::pair<const TaskInfo *, Cycles>> pending_;
     bool dispatchScheduled_ = false;
     Cycles workFree_ = 0;
     uint64_t taskActivations_ = 0;

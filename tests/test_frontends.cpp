@@ -33,7 +33,7 @@ TEST(SymFrontend, EmitSingleApplyWithLoop)
     ir::OwningOp module = p.emit(ctx);
     ir::verify(module.get());
     EXPECT_EQ(countOps(module.get(), st::kApply), 1);
-    EXPECT_EQ(countOps(module.get(), "scf.for"), 1);
+    EXPECT_EQ(countOps(module.get(), dialects::scf::kFor), 1);
     EXPECT_EQ(countOps(module.get(), st::kLoad), 1);
     EXPECT_EQ(countOps(module.get(), st::kStore), 1);
 }
@@ -48,7 +48,7 @@ TEST(SymFrontend, SingleIterationHasNoLoop)
     p.setUpdate(u, u.at(1, 0, 0) + u.at(-1, 0, 0));
     ir::OwningOp module = p.emit(ctx);
     ir::verify(module.get());
-    EXPECT_EQ(countOps(module.get(), "scf.for"), 0);
+    EXPECT_EQ(countOps(module.get(), dialects::scf::kFor), 0);
     EXPECT_EQ(countOps(module.get(), st::kApply), 1);
 }
 
@@ -66,7 +66,7 @@ TEST(SymFrontend, RotationBecomesYieldPermutation)
     ir::verify(module.get());
     // One apply (the rotation adds no compute).
     EXPECT_EQ(countOps(module.get(), st::kApply), 1);
-    ir::Operation *forOp = firstOp(module.get(), "scf.for");
+    ir::Operation *forOp = firstOp(module.get(), dialects::scf::kFor);
     ASSERT_NE(forOp, nullptr);
     EXPECT_EQ(forOp->numResults(), 2u);
 }

@@ -110,7 +110,7 @@ TEST_F(Group2Test, RecvRegionInsertsIntoAccumulator)
         if (op->name() == "tensor.insert_slice")
             sawInsert = true;
     EXPECT_TRUE(sawInsert);
-    EXPECT_EQ(recv->terminator()->name(), cs::kYield);
+    EXPECT_EQ(recv->terminator()->opId(), cs::kYield);
 }
 
 TEST_F(Group2Test, DoneRegionCombinesAccumulatorWithLocalTerms)

@@ -46,7 +46,7 @@ class Group4Test : public IrTest
     {
         std::set<std::string> names;
         module->walk([&](ir::Operation *op) {
-            if (op->name() == csl::kFunc || op->name() == csl::kTask)
+            if (op->opId() == csl::kFunc || op->opId() == csl::kTask)
                 names.insert(op->strAttr("sym_name"));
         });
         return names;
@@ -80,7 +80,7 @@ TEST_F(Group4Test, CallbacksAreLocalTasks)
     ir::Operation *recv = nullptr;
     ir::Operation *cond = nullptr;
     module->walk([&](ir::Operation *op) {
-        if (op->name() != csl::kTask)
+        if (op->opId() != csl::kTask)
             return;
         if (op->strAttr("sym_name") == "receive_chunk_cb0")
             recv = op;
@@ -103,7 +103,7 @@ TEST_F(Group4Test, SeqKernelZeroesAccumulatorAndExchanges)
     ir::OwningOp module = lowerToGroup4(bench);
     ir::Operation *seq = nullptr;
     module->walk([&](ir::Operation *op) {
-        if (op->name() == csl::kFunc &&
+        if (op->opId() == csl::kFunc &&
             op->strAttr("sym_name") == "seq_kernel0")
             seq = op;
     });
@@ -125,7 +125,7 @@ TEST_F(Group4Test, ContinuationChainsThroughDoneCallback)
     ir::OwningOp module = lowerToGroup4(bench);
     ir::Operation *done = nullptr;
     module->walk([&](ir::Operation *op) {
-        if (op->name() == csl::kTask &&
+        if (op->opId() == csl::kTask &&
             op->strAttr("sym_name") == "done_exchange_cb0")
             done = op;
     });
@@ -141,7 +141,7 @@ TEST_F(Group4Test, ForIncRotatesPointersAndReactivates)
     ir::OwningOp module = lowerToGroup4(bench);
     ir::Operation *inc = nullptr;
     module->walk([&](ir::Operation *op) {
-        if (op->name() == csl::kFunc &&
+        if (op->opId() == csl::kFunc &&
             op->strAttr("sym_name") == "for_inc0")
             inc = op;
     });
@@ -159,7 +159,7 @@ TEST_F(Group4Test, ModuleVariablesForFieldsAndBuffers)
     ir::OwningOp module = lowerToGroup4(bench);
     std::set<std::string> vars;
     module->walk([&](ir::Operation *op) {
-        if (op->name() == csl::kVariable)
+        if (op->opId() == csl::kVariable)
             vars.insert(op->strAttr("sym_name"));
     });
     EXPECT_TRUE(vars.count("u"));
@@ -180,7 +180,7 @@ TEST_F(Group4Test, ResultBufferInheritsFieldInit)
     ir::OwningOp module = lowerToGroup4(bench);
     ir::Operation *out0 = nullptr;
     module->walk([&](ir::Operation *op) {
-        if (op->name() == csl::kVariable &&
+        if (op->opId() == csl::kVariable &&
             op->strAttr("sym_name") == "out0")
             out0 = op;
     });
@@ -201,7 +201,7 @@ TEST_F(Group4Test, UvkbeChainsTwoKernelsWithoutLoop)
     // done_exchange_cb0 chains into seq_kernel1.
     ir::Operation *done0 = nullptr;
     module->walk([&](ir::Operation *op) {
-        if (op->name() == csl::kTask &&
+        if (op->opId() == csl::kTask &&
             op->strAttr("sym_name") == "done_exchange_cb0")
             done0 = op;
     });
@@ -232,7 +232,7 @@ TEST_F(Group4Test, ExportsHostSymbols)
     int fnExports = 0;
     int varExports = 0;
     module->walk([&](ir::Operation *op) {
-        if (op->name() != csl::kExport)
+        if (op->opId() != csl::kExport)
             return;
         if (op->strAttr("kind") == "fn")
             fnExports++;

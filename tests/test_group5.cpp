@@ -25,8 +25,8 @@ class Group5Test : public IrTest
     {
         ir::Operation *found = nullptr;
         module->walk([&](ir::Operation *op) {
-            if ((op->name() == csl::kTask ||
-                 op->name() == csl::kFunc) &&
+            if ((op->opId() == csl::kTask ||
+                 op->opId() == csl::kFunc) &&
                 op->strAttr("sym_name") == name)
                 found = op;
         });
@@ -56,7 +56,7 @@ TEST_F(Group5Test, ProducesLayoutAndProgramModules)
     int layout = 0;
     int program = 0;
     module->walk([&](ir::Operation *op) {
-        if (op->name() != csl::kModule)
+        if (op->opId() != csl::kModule)
             return;
         if (op->strAttr("kind") == "layout")
             layout++;
@@ -80,7 +80,7 @@ TEST_F(Group5Test, OneShotReductionInReceiveTask)
     ir::Operation *dsd = firstOp(recv, csl::kGetMemDsd);
     bool sawWrap = false;
     recv->walk([&](ir::Operation *op) {
-        if (op->name() == csl::kGetMemDsd && op->hasAttr("wrap"))
+        if (op->opId() == csl::kGetMemDsd && op->hasAttr("wrap"))
             sawWrap = true;
     });
     (void)dsd;
@@ -129,7 +129,7 @@ TEST_F(Group5Test, ZShiftedAccessesBecomeOffsetDsds)
     // (interior base rz=1, dz=∓1).
     std::set<int64_t> offsets;
     done->walk([&](ir::Operation *op) {
-        if (op->name() == csl::kGetMemDsd)
+        if (op->opId() == csl::kGetMemDsd)
             offsets.insert(op->intAttr("offset"));
     });
     EXPECT_TRUE(offsets.count(0));
@@ -169,7 +169,7 @@ TEST_F(Group5Test, ProgramModuleHasParams)
     ir::OwningOp module = lowerFully(bench);
     std::set<std::string> params;
     module->walk([&](ir::Operation *op) {
-        if (op->name() == csl::kParam)
+        if (op->opId() == csl::kParam)
             params.insert(op->strAttr("name"));
     });
     EXPECT_TRUE(params.count("z_dim"));

@@ -33,29 +33,44 @@ class IrTest : public ::testing::Test
     ir::Context ctx;
 };
 
-/** Count ops with the given name under root. */
+/** Count ops with the given identity under root. */
 inline int
-countOps(ir::Operation *root, const std::string &name)
+countOps(ir::Operation *root, ir::OpId id)
 {
     int n = 0;
     root->walk([&](ir::Operation *op) {
-        if (op->name() == name)
+        if (op->is(id))
             n++;
     });
     return n;
 }
 
-/** First op with the given name under root (or nullptr). */
+/** First op with the given identity under root (or nullptr). */
 inline ir::Operation *
-firstOp(ir::Operation *root, const std::string &name)
+firstOp(ir::Operation *root, ir::OpId id)
 {
     ir::Operation *found = nullptr;
     root->walk([&](ir::Operation *op) {
-        if (!found && op->name() == name)
+        if (!found && op->is(id))
             found = op;
     });
     return found;
 }
+
+/// @name Spelled-out op-name conveniences for test readability.
+/// @{
+inline int
+countOps(ir::Operation *root, const char *name)
+{
+    return countOps(root, ir::OpId::get(name));
+}
+
+inline ir::Operation *
+firstOp(ir::Operation *root, const char *name)
+{
+    return firstOp(root, ir::OpId::get(name));
+}
+/// @}
 
 /**
  * Run a benchmark end to end (pipeline + simulator) and compare every

