@@ -63,6 +63,27 @@ BM_CslEmission(benchmark::State &state)
 BENCHMARK(BM_CslEmission);
 
 void
+BM_SchedulerThroughput(benchmark::State &state)
+{
+    // Raw event-queue throughput: schedule and run N no-op events per
+    // iteration. The schedule path must not allocate for inline-sized
+    // callbacks, so this measures heap-sift plus dispatch cost only.
+    const int64_t n = state.range(0);
+    wse::Simulator sim(wse::ArchParams::wse3(), 1, 1);
+    uint64_t sink = 0;
+    for (auto _ : state) {
+        wse::Cycles base = sim.now();
+        for (int64_t i = 0; i < n; ++i)
+            sim.schedule(base + static_cast<wse::Cycles>(i % 64),
+                         [&sink] { sink++; });
+        sim.run();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SchedulerThroughput)->Arg(1 << 14);
+
+void
 BM_SimulatedTimestep(benchmark::State &state)
 {
     // Simulator throughput: one steady-state timestep of Jacobian on a

@@ -68,11 +68,14 @@ HandwrittenSeismic::configure()
         for (int y = 0; y < sim_.height(); ++y) {
             wse::Pe &pe = sim_.pe(x, y);
             size_t nz = static_cast<size_t>(config_.nz);
-            std::vector<float> &p = pe.allocBuffer("p", nz);
-            std::vector<float> &pPrev = pe.allocBuffer("p_prev", nz);
-            std::vector<float> &pNext = pe.allocBuffer("p_next", nz);
-            pe.allocBuffer("hw_acc", nz);
             PeState &st = state(x, y);
+            st.pBuf = pe.allocBufferId("p", nz);
+            st.pPrevBuf = pe.allocBufferId("p_prev", nz);
+            st.pNextBuf = pe.allocBufferId("p_next", nz);
+            st.accBuf = pe.allocBufferId("hw_acc", nz);
+            std::vector<float> &p = pe.buffer(st.pBuf);
+            std::vector<float> &pPrev = pe.buffer(st.pPrevBuf);
+            std::vector<float> &pNext = pe.buffer(st.pNextBuf);
             st.interior = comm_->expectedSections(x, y) > 0;
             for (size_t z = 0; z < nz; ++z) {
                 int zi = static_cast<int>(z);
@@ -86,6 +89,11 @@ HandwrittenSeismic::configure()
         }
     }
     comm_->setup();
+    // The receive buffer is allocated by the comms library's setup, so
+    // its handle resolves only now.
+    for (int x = 0; x < sim_.width(); ++x)
+        for (int y = 0; y < sim_.height(); ++y)
+            state(x, y).recvBuf = sim_.pe(x, y).bufferId("hw_recv");
 }
 
 void
@@ -98,34 +106,36 @@ HandwrittenSeismic::registerTasks(int x, int y)
     const int64_t interior = nz - 2 * rz;
     const int64_t chunk = comm_->chunkElems();
 
+    PeState &registeredState = state(x, y);
+
     // for_cond: step < T ? seq : post
-    pe.registerTask("for_cond", wse::TaskKind::Local,
-                    [this, x, y](wse::TaskContext &ctx) {
-                        stepMarks_[static_cast<size_t>(x) *
-                                       sim_.height() +
-                                   y]
-                            .push_back(ctx.startCycle());
-                        PeState &st = state(x, y);
-                        ctx.consume(4);
-                        if (st.step < config_.timesteps)
-                            pe_seq(ctx, x, y);
-                        else
-                            ctx.consume(2); // unblock, return to host
-                    });
+    registeredState.forCondTask = pe.registerTask(
+        "for_cond", wse::TaskKind::Local,
+        [this, x, y](wse::TaskContext &ctx) {
+            stepMarks_[static_cast<size_t>(x) * sim_.height() + y]
+                .push_back(ctx.startCycle());
+            PeState &st = state(x, y);
+            ctx.consume(4);
+            if (st.step < config_.timesteps)
+                pe_seq(ctx, x, y);
+            else
+                ctx.consume(2); // unblock, return to host
+        });
 
     // Receive task: one activation per landed (direction, distance)
     // section; applies the coefficient and accumulates — twice the task
     // traffic of the generated code's per-chunk callback.
-    pe.registerTask(
+    registeredState.recvTask = pe.registerTask(
         "recv_dir", wse::TaskKind::Local,
         [this, x, y, chunk, sc](wse::TaskContext &ctx) {
             wse::Pe &pe = ctx.pe();
+            PeState &st = state(x, y);
             auto [section, offset] = comm_->popCompletedSection(pe);
             const comms::Access &a = comm_->config().accesses[
                 static_cast<size_t>(section)];
             float coeff = static_cast<float>(sc.k[a.distance() - 1]);
-            std::vector<float> &recv = pe.buffer("hw_recv");
-            wse::Dsd accD{&pe.buffer("hw_acc"), offset, chunk, 1};
+            std::vector<float> &recv = pe.buffer(st.recvBuf);
+            wse::Dsd accD{&pe.buffer(st.accBuf), offset, chunk, 1};
             wse::Dsd secD{&recv, section * chunk, chunk, 1};
             // acc += coeff * section (separate pointer per section).
             wse::fmacs(ctx, accD, wse::DsdOperand::fromDsd(accD),
@@ -133,7 +143,7 @@ HandwrittenSeismic::registerTasks(int x, int y)
         });
 
     // done: local compute + time integration, then next step.
-    pe.registerTask(
+    registeredState.doneTask = pe.registerTask(
         "done_dir", wse::TaskKind::Local,
         [this, x, y, nz, rz, interior, sc](wse::TaskContext &ctx) {
             wse::Pe &pe = ctx.pe();
@@ -142,7 +152,7 @@ HandwrittenSeismic::registerTasks(int x, int y)
                 std::vector<float> &p = pe.buffer(st.pBuf);
                 std::vector<float> &pPrev = pe.buffer(st.pPrevBuf);
                 std::vector<float> &pNext = pe.buffer(st.pNextBuf);
-                std::vector<float> &acc = pe.buffer("hw_acc");
+                std::vector<float> &acc = pe.buffer(st.accBuf);
                 wse::Dsd accI{&acc, rz, interior, 1};
                 wse::Dsd pI{&p, rz, interior, 1};
                 wse::Dsd prevI{&pPrev, rz, interior, 1};
@@ -178,12 +188,12 @@ HandwrittenSeismic::registerTasks(int x, int y)
             }
             // step++, rotate buffers, loop.
             st.step++;
-            std::string oldPrev = st.pPrevBuf;
+            wse::BufferId oldPrev = st.pPrevBuf;
             st.pPrevBuf = st.pBuf;
             st.pBuf = st.pNextBuf;
             st.pNextBuf = oldPrev;
             ctx.consume(8);
-            ctx.pe().activate("for_cond", ctx.currentCycle());
+            ctx.pe().activate(st.forCondTask, ctx.currentCycle());
         });
 }
 
@@ -193,10 +203,10 @@ HandwrittenSeismic::pe_seq(wse::TaskContext &ctx, int x, int y)
     wse::Pe &pe = ctx.pe();
     PeState &st = state(x, y);
     // Zero the accumulator, then start the exchange of the full column.
-    std::vector<float> &acc = pe.buffer("hw_acc");
+    std::vector<float> &acc = pe.buffer(st.accBuf);
     wse::Dsd accD{&acc, 0, static_cast<int64_t>(acc.size()), 1};
     wse::fmovs(ctx, accD, wse::DsdOperand::fromScalar(0.0f));
-    comm_->exchange(ctx, st.pBuf, "recv_dir", "done_dir");
+    comm_->exchange(ctx, st.pBuf, st.recvTask, st.doneTask);
 }
 
 void
@@ -204,7 +214,7 @@ HandwrittenSeismic::launch()
 {
     for (int x = 0; x < sim_.width(); ++x)
         for (int y = 0; y < sim_.height(); ++y)
-            sim_.pe(x, y).activate("for_cond", 0);
+            sim_.pe(x, y).activate(state(x, y).forCondTask, 0);
 }
 
 std::vector<float>

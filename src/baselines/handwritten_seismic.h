@@ -60,10 +60,16 @@ class HandwrittenSeismic
   private:
     struct PeState
     {
-        // Triple buffering by name rotation.
-        std::string pBuf = "p";
-        std::string pPrevBuf = "p_prev";
-        std::string pNextBuf = "p_next";
+        // Triple buffering by dense-handle rotation (resolved once at
+        // configure; no string lookups during the run).
+        wse::BufferId pBuf;
+        wse::BufferId pPrevBuf;
+        wse::BufferId pNextBuf;
+        wse::BufferId accBuf;
+        wse::BufferId recvBuf;
+        wse::TaskId forCondTask;
+        wse::TaskId recvTask;
+        wse::TaskId doneTask;
         int64_t step = 0;
         bool interior = true;
     };

@@ -1,7 +1,9 @@
 #include "codegen/csl_emitter.h"
 
+#include <charconv>
+#include <cstdio>
 #include <map>
-#include <sstream>
+#include <unordered_map>
 
 #include "dialects/arith.h"
 #include "dialects/csl.h"
@@ -16,13 +18,84 @@ namespace csl = dialects::csl;
 namespace ar = dialects::arith;
 namespace scf = dialects::scf;
 
+/**
+ * Append-only writer over one reserved string buffer: the whole file is
+ * built by appends (no per-line ostringstream churn). Doubles print in
+ * printf "%g" format, matching the default ostream formatting the
+ * emitter used before.
+ */
+class CslWriter
+{
+  public:
+    CslWriter() { out_.reserve(64 * 1024); }
+
+    std::string take() { return std::move(out_); }
+
+    CslWriter &
+    operator<<(const char *s)
+    {
+        out_ += s;
+        return *this;
+    }
+    CslWriter &
+    operator<<(const std::string &s)
+    {
+        out_ += s;
+        return *this;
+    }
+    CslWriter &
+    operator<<(char c)
+    {
+        out_ += c;
+        return *this;
+    }
+    CslWriter &
+    operator<<(int64_t v)
+    {
+        char buf[24];
+        auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+        out_.append(buf, end);
+        return *this;
+    }
+    CslWriter &
+    operator<<(int v)
+    {
+        return *this << static_cast<int64_t>(v);
+    }
+    CslWriter &
+    operator<<(unsigned v)
+    {
+        return *this << static_cast<int64_t>(v);
+    }
+    CslWriter &
+    operator<<(size_t v)
+    {
+        return *this << static_cast<int64_t>(v);
+    }
+    CslWriter &
+    operator<<(double v)
+    {
+        char buf[32];
+        int n = std::snprintf(buf, sizeof(buf), "%g", v);
+        out_.append(buf, static_cast<size_t>(n));
+        return *this;
+    }
+
+    /** Start a statement line at `n` indentation levels (2 spaces). */
+    void indent(int n) { out_.append(static_cast<size_t>(n) * 2, ' '); }
+    /** End the current line. */
+    void nl() { out_ += '\n'; }
+
+  private:
+    std::string out_;
+};
+
 /** Emits the body of one function/task as CSL statements. */
 class BodyEmitter
 {
   public:
-    BodyEmitter(std::ostream &os,
-                const std::map<std::string, int64_t> &taskIds)
-        : os_(os), taskIds_(taskIds)
+    BodyEmitter(CslWriter &w, const std::map<std::string, int64_t> &taskIds)
+        : w_(w), taskIds_(taskIds)
     {
     }
 
@@ -41,50 +114,36 @@ class BodyEmitter
     }
 
   private:
-    std::string
+    const std::string &
     nameOf(ir::Value v)
     {
         auto it = names_.find(v.impl());
         if (it != names_.end())
             return it->second;
-        std::string name = "v" + std::to_string(next_++);
-        names_.emplace(v.impl(), name);
-        return name;
-    }
-
-    /** Argument rendering for DSD builtins (value name or literal). */
-    std::string
-    operandText(ir::Value v)
-    {
-        return nameOf(v);
-    }
-
-    void
-    line(int indent, const std::string &text)
-    {
-        os_ << std::string(static_cast<size_t>(indent) * 2, ' ') << text
-            << "\n";
+        return names_
+            .emplace(v.impl(), "v" + std::to_string(next_++))
+            .first->second;
     }
 
     void
     emitOp(ir::Operation *op, int indent)
     {
         ir::OpId n = op->opId();
-        std::ostringstream s;
         if (n == ar::kConstant) {
             ir::Attribute a = op->attr("value");
             ir::Type t = op->result().type();
-            std::string typeName = ir::isFloat(t)
+            const char *typeName = ir::isFloat(t)
                                        ? "f32"
                                        : (ir::isIndex(t) ? "i16" : "i32");
-            s << "const " << nameOf(op->result()) << ": " << typeName
-              << " = ";
+            w_.indent(indent);
+            w_ << "const " << nameOf(op->result()) << ": " << typeName
+               << " = ";
             if (ir::isFloatAttr(a))
-                s << ir::floatAttrValue(a);
+                w_ << ir::floatAttrValue(a);
             else
-                s << ir::intAttrValue(a);
-            s << ";";
-            line(indent, s.str());
+                w_ << ir::intAttrValue(a);
+            w_ << ";";
+            w_.nl();
             return;
         }
         if (n == ar::kAddI || n == ar::kAddF || n == ar::kSubI ||
@@ -94,132 +153,152 @@ class BodyEmitter
                               : (n == ar::kSubI || n == ar::kSubF)
                                   ? "-"
                                   : (n == ar::kDivF) ? "/" : "*";
-            s << "const " << nameOf(op->result()) << " = "
-              << nameOf(op->operand(0)) << " " << sym << " "
-              << nameOf(op->operand(1)) << ";";
-            line(indent, s.str());
+            w_.indent(indent);
+            w_ << "const " << nameOf(op->result()) << " = "
+               << nameOf(op->operand(0)) << " " << sym << " "
+               << nameOf(op->operand(1)) << ";";
+            w_.nl();
             return;
         }
         if (n == ar::kCmpI) {
             static const std::map<std::string, std::string> preds = {
                 {"lt", "<"}, {"le", "<="}, {"gt", ">"},
                 {"ge", ">="}, {"eq", "=="}, {"ne", "!="}};
-            s << "const " << nameOf(op->result()) << " = "
-              << nameOf(op->operand(0)) << " "
-              << preds.at(op->strAttr("predicate")) << " "
-              << nameOf(op->operand(1)) << ";";
-            line(indent, s.str());
+            w_.indent(indent);
+            w_ << "const " << nameOf(op->result()) << " = "
+               << nameOf(op->operand(0)) << " "
+               << preds.at(op->strAttr("predicate")) << " "
+               << nameOf(op->operand(1)) << ";";
+            w_.nl();
             return;
         }
         if (n == scf::kIf) {
-            line(indent, "if (" + nameOf(op->operand(0)) + ") {");
+            w_.indent(indent);
+            w_ << "if (" << nameOf(op->operand(0)) << ") {";
+            w_.nl();
             emitBlock(scf::ifThenBlock(op), indent + 1);
             if (!op->region(1).empty() &&
                 scf::ifElseBlock(op)->size() > 1) {
-                line(indent, "} else {");
+                w_.indent(indent);
+                w_ << "} else {";
+                w_.nl();
                 emitBlock(scf::ifElseBlock(op), indent + 1);
             }
-            line(indent, "}");
+            w_.indent(indent);
+            w_ << "}";
+            w_.nl();
             return;
         }
         if (n == scf::kYield)
             return;
         if (n == csl::kReturn) {
-            line(indent, "return;");
+            w_.indent(indent);
+            w_ << "return;";
+            w_.nl();
             return;
         }
         if (n == csl::kLoadVar) {
-            ir::Type t = op->result().type();
-            if (csl::isPtrType(t) || ir::isMemRef(t)) {
-                s << "const " << nameOf(op->result()) << " = "
-                  << op->strAttr("var") << ";";
-            } else {
-                s << "const " << nameOf(op->result()) << " = "
-                  << op->strAttr("var") << ";";
-            }
-            line(indent, s.str());
+            w_.indent(indent);
+            w_ << "const " << nameOf(op->result()) << " = "
+               << op->strAttr("var") << ";";
+            w_.nl();
             return;
         }
         if (n == csl::kStoreVar) {
-            s << op->strAttr("var") << " = " << nameOf(op->operand(0))
-              << ";";
-            line(indent, s.str());
+            w_.indent(indent);
+            w_ << op->strAttr("var") << " = " << nameOf(op->operand(0))
+               << ";";
+            w_.nl();
             return;
         }
         if (n == csl::kAddressOf) {
-            s << "const " << nameOf(op->result()) << " = &"
-              << op->strAttr("var") << ";";
-            line(indent, s.str());
+            w_.indent(indent);
+            w_ << "const " << nameOf(op->result()) << " = &"
+               << op->strAttr("var") << ";";
+            w_.nl();
             return;
         }
         if (n == csl::kGetMemDsd) {
             int64_t len = op->intAttr("length");
             int64_t off = op->intAttr("offset");
             int64_t stride = op->intAttr("stride");
-            std::string base = op->strAttr("var");
+            w_.indent(indent);
+            w_ << "var " << nameOf(op->result())
+               << " = @get_dsd(mem1d_dsd, .{ .tensor_access = |i|{"
+               << len << "} -> " << op->strAttr("var");
             if (op->hasAttr("via_ptr"))
-                base += ".*";
-            s << "var " << nameOf(op->result())
-              << " = @get_dsd(mem1d_dsd, .{ .tensor_access = |i|{" << len
-              << "} -> " << base << "[";
+                w_ << ".*";
+            w_ << "[";
             if (op->hasAttr("wrap"))
-                s << "(i % " << op->intAttr("wrap") << ")";
+                w_ << "(i % " << op->intAttr("wrap") << ")";
             else
-                s << "i";
+                w_ << "i";
             if (stride != 1)
-                s << " * " << stride;
+                w_ << " * " << stride;
             if (off != 0)
-                s << " + " << off;
-            s << "] });";
-            line(indent, s.str());
+                w_ << " + " << off;
+            w_ << "] });";
+            w_.nl();
             return;
         }
         if (n == csl::kIncrementDsdOffset) {
-            s << "var " << nameOf(op->result())
-              << " = @increment_dsd_offset(" << nameOf(op->operand(0))
-              << ", " << nameOf(op->operand(1)) << ", f32);";
-            line(indent, s.str());
+            w_.indent(indent);
+            w_ << "var " << nameOf(op->result())
+               << " = @increment_dsd_offset(" << nameOf(op->operand(0))
+               << ", " << nameOf(op->operand(1)) << ", f32);";
+            w_.nl();
             return;
         }
         if (n == csl::kSetDsdLength) {
-            s << "var " << nameOf(op->result()) << " = @set_dsd_length("
-              << nameOf(op->operand(0)) << ", @as(u16, "
-              << nameOf(op->operand(1)) << "));";
-            line(indent, s.str());
+            w_.indent(indent);
+            w_ << "var " << nameOf(op->result()) << " = @set_dsd_length("
+               << nameOf(op->operand(0)) << ", @as(u16, "
+               << nameOf(op->operand(1)) << "));";
+            w_.nl();
             return;
         }
         if (n == csl::kFadds || n == csl::kFsubs || n == csl::kFmuls ||
             n == csl::kFmovs || n == csl::kFmacs) {
-            std::string builtin = "@" + n.str().substr(4); // strip "csl."
-            s << builtin << "(";
-            for (unsigned i = 0; i < op->numOperands(); ++i)
-                s << (i ? ", " : "") << operandText(op->operand(i));
-            s << ");";
-            line(indent, s.str());
+            w_.indent(indent);
+            w_ << "@" << n.str().substr(4) << "("; // strip "csl."
+            for (unsigned i = 0; i < op->numOperands(); ++i) {
+                if (i)
+                    w_ << ", ";
+                w_ << nameOf(op->operand(i));
+            }
+            w_ << ");";
+            w_.nl();
             return;
         }
         if (n == csl::kCall) {
-            line(indent, op->strAttr("callee") + "();");
+            w_.indent(indent);
+            w_ << op->strAttr("callee") << "();";
+            w_.nl();
             return;
         }
         if (n == csl::kActivate) {
             const std::string &task = op->strAttr("task");
             auto it = taskIds_.find(task);
             int64_t id = it == taskIds_.end() ? 0 : it->second;
-            line(indent, "@activate(@get_local_task_id(" +
-                             std::to_string(id) + ")); // " + task);
+            w_.indent(indent);
+            w_ << "@activate(@get_local_task_id(" << id << ")); // "
+               << task;
+            w_.nl();
             return;
         }
         if (n == csl::kCommsExchange) {
             csl::CommsExchangeSpec spec = csl::commsExchangeSpec(op);
-            s << "comms.communicate(" << nameOf(op->operand(0)) << ", "
-              << spec.numChunks << ", &" << spec.recvCallback << ", &"
-              << spec.doneCallback << ");";
-            line(indent, s.str());
+            w_.indent(indent);
+            w_ << "comms.communicate(" << nameOf(op->operand(0)) << ", "
+               << spec.numChunks << ", &" << spec.recvCallback << ", &"
+               << spec.doneCallback << ");";
+            w_.nl();
             return;
         }
         if (n == csl::kUnblockCmdStream) {
-            line(indent, "sys_mod.unblock_cmd_stream();");
+            w_.indent(indent);
+            w_ << "sys_mod.unblock_cmd_stream();";
+            w_.nl();
             return;
         }
         if (n == csl::kImportModule || n == csl::kMemberCall ||
@@ -228,32 +307,33 @@ class BodyEmitter
         panic("csl emitter: unsupported op in body: " + n.str());
     }
 
-    std::ostream &os_;
+    CslWriter &w_;
     const std::map<std::string, int64_t> &taskIds_;
-    std::map<ir::ValueImpl *, std::string> names_;
+    std::unordered_map<ir::ValueImpl *, std::string> names_;
     int next_ = 0;
 };
 
-std::string
-memrefShapeText(ir::Type t)
+void
+appendMemrefShape(CslWriter &w, ir::Type t)
 {
-    std::ostringstream s;
     const std::vector<int64_t> &shape = ir::shapeOf(t);
-    s << "[";
-    for (size_t i = 0; i < shape.size(); ++i)
-        s << (i ? ", " : "") << shape[i];
-    s << "]f32";
-    return s.str();
+    w << "[";
+    for (size_t i = 0; i < shape.size(); ++i) {
+        if (i)
+            w << ", ";
+        w << shape[i];
+    }
+    w << "]f32";
 }
 
 std::string
 emitProgram(ir::Operation *program)
 {
-    std::ostringstream os;
-    os << "// pe.csl — generated by the wsestencil MLIR lowering "
-          "pipeline\n";
-    os << "// (paper: An MLIR Lowering Pipeline for Stencils at "
-          "Wafer-Scale)\n\n";
+    CslWriter w;
+    w << "// pe.csl — generated by the wsestencil MLIR lowering "
+         "pipeline\n";
+    w << "// (paper: An MLIR Lowering Pipeline for Stencils at "
+         "Wafer-Scale)\n\n";
 
     // Task id table for @activate / @bind_local_task.
     std::map<std::string, int64_t> taskIds;
@@ -264,58 +344,59 @@ emitProgram(ir::Operation *program)
     for (ir::Operation *op : csl::moduleBody(program)->opsVector()) {
         ir::OpId n = op->opId();
         if (n == csl::kParam) {
-            os << "param " << op->strAttr("name") << ": i16;\n";
+            w << "param " << op->strAttr("name") << ": i16;\n";
             continue;
         }
         if (n == csl::kImportModule) {
             const std::string &module = op->strAttr("module");
-            std::string sym = module == "<memcpy/memcpy>"
+            const char *sym = module == "<memcpy/memcpy>"
                                   ? "sys_mod"
                                   : (module == "stencil_comms.csl"
                                          ? "comms"
                                          : "mod");
-            os << "const " << sym << " = @import_module(\"" << module
-               << "\");\n";
+            w << "const " << sym << " = @import_module(\"" << module
+              << "\");\n";
             continue;
         }
         if (n == csl::kVariable) {
             ir::Type t = ir::typeAttrValue(op->attr("type"));
             const std::string &name = op->strAttr("sym_name");
             if (ir::isMemRef(t)) {
-                os << "var " << name << " = @zeros("
-                   << memrefShapeText(t) << ");";
+                w << "var " << name << " = @zeros(";
+                appendMemrefShape(w, t);
+                w << ");";
                 if (op->hasAttr("comms_owned"))
-                    os << " // landing buffer managed by comms";
-                os << "\n";
+                    w << " // landing buffer managed by comms";
+                w << "\n";
             } else if (csl::isPtrType(t)) {
-                os << "var " << name << ": [*]f32 = &"
-                   << ir::stringAttrValue(op->attr("init")) << ";\n";
+                w << "var " << name << ": [*]f32 = &"
+                  << ir::stringAttrValue(op->attr("init")) << ";\n";
             } else {
                 int64_t init = 0;
                 if (ir::Attribute a = op->attr("init"))
                     init = ir::intAttrValue(a);
-                os << "var " << name << ": i32 = " << init << ";\n";
+                w << "var " << name << ": i32 = " << init << ";\n";
             }
             continue;
         }
         if (n == csl::kFunc) {
-            os << "\nfn " << op->strAttr("sym_name") << "() void {\n";
-            BodyEmitter body(os, taskIds);
+            w << "\nfn " << op->strAttr("sym_name") << "() void {\n";
+            BodyEmitter body(w, taskIds);
             body.emitBlock(csl::calleeBody(op), 1);
-            os << "}\n";
+            w << "}\n";
             continue;
         }
         if (n == csl::kTask) {
             ir::Block *body = csl::calleeBody(op);
-            os << "\ntask " << op->strAttr("sym_name") << "(";
+            w << "\ntask " << op->strAttr("sym_name") << "(";
             if (body->numArguments() == 1)
-                os << "offset: i16";
-            os << ") void {\n";
-            BodyEmitter emitter(os, taskIds);
+                w << "offset: i16";
+            w << ") void {\n";
+            BodyEmitter emitter(w, taskIds);
             if (body->numArguments() == 1)
                 emitter.bindName(body->argument(0), "offset");
             emitter.emitBlock(body, 1);
-            os << "}\n";
+            w << "}\n";
             continue;
         }
         if (n == csl::kExport)
@@ -323,28 +404,28 @@ emitProgram(ir::Operation *program)
     }
 
     // Comptime epilogue: task binding and symbol exports.
-    os << "\ncomptime {\n";
+    w << "\ncomptime {\n";
     for (const auto &[name, id] : taskIds)
-        os << "  @bind_local_task(" << name << ", @get_local_task_id("
-           << id << "));\n";
+        w << "  @bind_local_task(" << name << ", @get_local_task_id("
+          << id << "));\n";
     for (ir::Operation *op : csl::moduleBody(program)->opsVector()) {
         if (op->opId() != csl::kExport)
             continue;
         const std::string &kind = op->strAttr("kind");
-        os << "  @export_symbol(" << op->strAttr("name")
-           << (kind == "fn" ? ", fn()void" : "") << ");\n";
+        w << "  @export_symbol(" << op->strAttr("name")
+          << (kind == "fn" ? ", fn()void" : "") << ");\n";
     }
-    os << "}\n";
-    return os.str();
+    w << "}\n";
+    return w.take();
 }
 
 std::string
 emitLayout(ir::Operation *layout)
 {
-    std::ostringstream os;
-    os << "// layout.csl — generated layout metaprogram\n";
-    os << "// Executed at compile time by the CSL staged compiler to\n";
-    os << "// place and specialize the PE programs.\n\n";
+    CslWriter w;
+    w << "// layout.csl — generated layout metaprogram\n";
+    w << "// Executed at compile time by the CSL staged compiler to\n";
+    w << "// place and specialize the PE programs.\n\n";
     int64_t width = 1;
     int64_t height = 1;
     std::string file = "pe.csl";
@@ -358,30 +439,30 @@ emitLayout(ir::Operation *layout)
             params = op->attr("params");
         }
     }
-    os << "param memcpy_params: comptime_struct;\n";
-    os << "const memcpy = @import_module(\"<memcpy/get_params>\", .{ "
-          ".width = "
-       << width << ", .height = " << height << " });\n\n";
-    os << "layout {\n";
-    os << "  @set_rectangle(" << width << ", " << height << ");\n";
-    os << "  var x: i16 = 0;\n";
-    os << "  while (x < " << width << ") : (x += 1) {\n";
-    os << "    var y: i16 = 0;\n";
-    os << "    while (y < " << height << ") : (y += 1) {\n";
-    os << "      @set_tile_code(x, y, \"" << file << "\", .{";
+    w << "param memcpy_params: comptime_struct;\n";
+    w << "const memcpy = @import_module(\"<memcpy/get_params>\", .{ "
+         ".width = "
+      << width << ", .height = " << height << " });\n\n";
+    w << "layout {\n";
+    w << "  @set_rectangle(" << width << ", " << height << ");\n";
+    w << "  var x: i16 = 0;\n";
+    w << "  while (x < " << width << ") : (x += 1) {\n";
+    w << "    var y: i16 = 0;\n";
+    w << "    while (y < " << height << ") : (y += 1) {\n";
+    w << "      @set_tile_code(x, y, \"" << file << "\", .{";
     if (params && ir::isDictAttr(params)) {
         const ir::AttrStorage &s = *params.impl();
         for (size_t i = 0; i < s.keys.size(); ++i) {
-            os << (i ? ", " : " ") << "." << s.keys[i] << " = "
-               << ir::Attribute(s.elems[i]).str();
+            w << (i ? ", " : " ") << "." << s.keys[i] << " = "
+              << ir::Attribute(s.elems[i]).str();
         }
     }
-    os << " });\n";
-    os << "    }\n";
-    os << "  }\n";
-    os << "  @export_name(\"f_main\", fn()void);\n";
-    os << "}\n";
-    return os.str();
+    w << " });\n";
+    w << "    }\n";
+    w << "  }\n";
+    w << "  @export_name(\"f_main\", fn()void);\n";
+    w << "}\n";
+    return w.take();
 }
 
 } // namespace

@@ -207,10 +207,11 @@ StarComm::setup()
     }
 
     // Receive buffers: one chunk per section, reused across chunks — the
-    // memory saving that csl_stencil.apply chunking enables.
+    // memory saving that csl_stencil.apply chunking enables. The dense
+    // handle is resolved once here; receive callbacks use it directly.
     for (int x = 0; x < sim_.width(); ++x)
         for (int y = 0; y < sim_.height(); ++y)
-            sim_.pe(x, y).allocBuffer(
+            state(x, y).recvBuf = sim_.pe(x, y).allocBufferId(
                 config_.recvBufferName,
                 static_cast<size_t>(numSections() * chunkElems()));
 }
@@ -218,6 +219,15 @@ StarComm::setup()
 void
 StarComm::exchange(wse::TaskContext &ctx, const std::string &sendBufName,
                    const std::string &recvCb, const std::string &doneCb)
+{
+    wse::Pe &pe = ctx.pe();
+    exchange(ctx, pe.bufferId(sendBufName), pe.taskId(recvCb),
+             pe.taskId(doneCb));
+}
+
+void
+StarComm::exchange(wse::TaskContext &ctx, wse::BufferId sendBufId,
+                   wse::TaskId recvCb, wse::TaskId doneCb)
 {
     WSC_ASSERT(setupDone_, "exchange before setup");
     wse::Pe &pe = ctx.pe();
@@ -239,7 +249,7 @@ StarComm::exchange(wse::TaskContext &ctx, const std::string &sendBufName,
     const int64_t nChunks = config_.numChunks;
     const int64_t chunk = chunkElems();
     const int64_t total = commElems();
-    std::vector<float> &sendBuf = pe.buffer(sendBufName);
+    std::vector<float> &sendBuf = pe.buffer(sendBufId);
     WSC_ASSERT(static_cast<int64_t>(sendBuf.size()) >= config_.zSize,
                "send buffer smaller than column");
 
@@ -248,8 +258,10 @@ StarComm::exchange(wse::TaskContext &ctx, const std::string &sendBufName,
     for (int64_t c = 0; c < nChunks; ++c) {
         int64_t begin = config_.trimFirst + c * chunk;
         int64_t len = std::min(chunk, total - c * chunk);
-        std::vector<float> payload(sendBuf.begin() + begin,
-                                   sendBuf.begin() + begin + len);
+        // One shared snapshot per chunk: every direction's stream (and
+        // every delivery event) references the same copy.
+        auto payload = std::make_shared<const std::vector<float>>(
+            sendBuf.begin() + begin, sendBuf.begin() + begin + len);
         for (const PlanEntry &entry : plan_) {
             // Only deliver to PEs that actually compute.
             std::vector<int> deliverDistances;
@@ -268,8 +280,7 @@ StarComm::exchange(wse::TaskContext &ctx, const std::string &sendBufName,
             // Switch positions advance between chunks.
             sim_.fabric().switchReconfig(x, y, entry.dir, t);
             const PlanEntry *sections = &entry; // Stable for the run.
-            wse::Cycles injected = sim_.fabric().sendStream(
-                x, y, entry.dir, deliverDistances, payload, t,
+            auto deliver = std::make_shared<const wse::DeliveryFn>(
                 [this, sections, c, epoch](
                     const wse::StreamDelivery &delivery,
                     const std::vector<float> &data) {
@@ -281,6 +292,9 @@ StarComm::exchange(wse::TaskContext &ctx, const std::string &sendBufName,
                                "delivery at unexpected distance");
                     onDelivery(delivery, data, section, c, epoch);
                 });
+            wse::Cycles injected = sim_.fabric().sendStream(
+                x, y, entry.dir, deliverDistances, payload, t,
+                std::move(deliver));
             lastInject = std::max(lastInject, injected);
         }
     }
@@ -360,7 +374,7 @@ StarComm::finishExchange(wse::Pe &pe, PeState &st, EpochState &es,
                          wse::Cycles readyAt)
 {
     wse::Cycles doneAt = std::max(readyAt, es.senderInjectDone);
-    std::string doneCb = st.doneCb;
+    wse::TaskId doneCb = st.doneCb;
     int64_t epoch = st.activeEpoch;
     st.exchangeActive = false;
     // Keep recent epoch stashes alive until their chunks have been
@@ -433,7 +447,7 @@ StarComm::popCompletedChunkOffset(wse::Pe &pe)
     // landing step), applying promoted coefficients at zero extra cost —
     // the comms/compute interleaving of §5.7.
     EpochState &es = st.epochs.at(epoch);
-    std::vector<float> &recv = pe.buffer(config_.recvBufferName);
+    std::vector<float> &recv = pe.buffer(st.recvBuf);
     int64_t chunk = chunkElems();
     for (size_t s = 0; s < config_.accesses.size(); ++s) {
         const std::vector<float> &data = es.stash[chunkIdx][s];
@@ -462,7 +476,7 @@ StarComm::popCompletedSection(wse::Pe &pe)
     st.pendingSections.pop_front();
 
     EpochState &es = st.epochs.at(epoch);
-    std::vector<float> &recv = pe.buffer(config_.recvBufferName);
+    std::vector<float> &recv = pe.buffer(st.recvBuf);
     int64_t chunk = chunkElems();
     const std::vector<float> &data =
         es.stash[chunkIdx][static_cast<size_t>(section)];

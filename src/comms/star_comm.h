@@ -113,7 +113,14 @@ class StarComm
      * `recvCb` once per chunk as it completes and `doneCb` at the end.
      * The caller's generated receive-chunk task obtains the chunk offset
      * via popCompletedChunkOffset().
+     *
+     * The handle overload is the hot path: callers that pre-resolve the
+     * buffer and callback tasks once (interpreter configure, baseline
+     * registration) incur no string lookups per exchange. The string
+     * overload resolves on ctx's PE and delegates.
      */
+    void exchange(wse::TaskContext &ctx, wse::BufferId sendBuf,
+                  wse::TaskId recvCb, wse::TaskId doneCb);
     void exchange(wse::TaskContext &ctx, const std::string &sendBufName,
                   const std::string &recvCb, const std::string &doneCb);
 
@@ -175,8 +182,11 @@ class StarComm
         bool exchangeActive = false;
         int completedChunks = 0;
         int announcedDeliveries = 0;
-        std::string recvCb;
-        std::string doneCb;
+        /** Callback tasks of the active exchange (resolved handles). */
+        wse::TaskId recvCb;
+        wse::TaskId doneCb;
+        /** This PE's receive buffer (resolved once at setup()). */
+        wse::BufferId recvBuf;
         std::map<int64_t, EpochState> epochs;
         /** (epoch, chunk) queue feeding popCompletedChunkOffset. */
         std::deque<std::pair<int64_t, int64_t>> pendingChunks;

@@ -101,15 +101,7 @@ class CslProgramInstance::Compiler
         return it->second;
     }
 
-    int32_t
-    varIdx(const std::string &name)
-    {
-        auto [it, inserted] = varIndex_.try_emplace(
-            name, static_cast<int32_t>(self_.varNames_.size()));
-        if (inserted)
-            self_.varNames_.push_back(name);
-        return it->second;
-    }
+    int32_t varIdx(const std::string &name) { return self_.varIdx(name); }
 
     int
     newBody()
@@ -275,7 +267,7 @@ class CslProgramInstance::Compiler
         }
         if (n == csl::kActivate) {
             ins.op = Opcode::Activate;
-            ins.str = pooled(op->strAttr("task"));
+            ins.task = self_.taskIdx(op->strAttr("task"));
             code.push_back(ins);
             return;
         }
@@ -283,8 +275,6 @@ class CslProgramInstance::Compiler
             ins.op = Opcode::CommsExchange;
             ins.a = slotOf(op->operand(0).impl());
             ins.site = static_cast<uint32_t>(self_.commSiteOf_.at(op));
-            self_.specPool_.push_back(csl::commsExchangeSpec(op));
-            ins.spec = &self_.specPool_.back();
             code.push_back(ins);
             return;
         }
@@ -319,9 +309,28 @@ class CslProgramInstance::Compiler
 
     CslProgramInstance &self_;
     std::map<ir::ValueImpl *, int32_t> slotIndex_;
-    std::map<std::string, int32_t> varIndex_;
     uint32_t nextSlot_ = 0;
 };
+
+int32_t
+CslProgramInstance::varIdx(const std::string &name)
+{
+    auto [it, inserted] = varIndex_.try_emplace(
+        name, static_cast<int32_t>(varNames_.size()));
+    if (inserted)
+        varNames_.push_back(name);
+    return it->second;
+}
+
+int32_t
+CslProgramInstance::taskIdx(const std::string &name)
+{
+    auto [it, inserted] = taskIndex_.try_emplace(
+        name, static_cast<int32_t>(taskNames_.size()));
+    if (inserted)
+        taskNames_.push_back(name);
+    return it->second;
+}
 
 void
 CslProgramInstance::compileProgram()
@@ -380,11 +389,18 @@ CslProgramInstance::configure()
             std::make_unique<comms::StarComm>(sim_, config));
         commSiteOf_[commsOps[i]] = i;
         commOfRecvCb_[spec.recvCallback] = i;
+        siteCbNames_.emplace_back(spec.recvCallback, spec.doneCallback);
     }
 
     // --- Pre-decode every callable (shared across PEs) -------------------
-    if (!referenceMode_)
+    if (!referenceMode_) {
         compileProgram();
+        // Intern every module variable so per-PE handle tables cover
+        // names the host touches (readFieldColumn) even when the code
+        // never mentions them.
+        for (const auto &[name, var] : variables_)
+            varIdx(name);
+    }
 
     // Buffer-rotation pool: the initial targets of all pointer
     // variables. On boundary (non-computing) PEs the host loads every
@@ -455,13 +471,16 @@ CslProgramInstance::configure()
         comm->setup();
 
     // Comptime role flags depend on the comm sites' view of the grid.
-    // Per-PE pre-resolved variable addresses are built here too (after
-    // StarComm::setup so library-owned receive buffers resolve).
+    // Tasks are registered next, and then the per-PE dense-handle tables
+    // (PeRt) are resolved once — after StarComm::setup so library-owned
+    // receive buffers resolve, and after registration so activation
+    // targets resolve. The opcode loop never touches a string.
     if (!referenceMode_)
         peRts_.resize(peEnvs_.size());
     for (int x = 0; x < sim_.width(); ++x) {
         for (int y = 0; y < sim_.height(); ++y) {
             wse::Pe &pe = sim_.pe(x, y);
+            size_t peIdx = static_cast<size_t>(x) * sim_.height() + y;
             for (const auto &[name, var] : variables_) {
                 if (var->hasAttr("comptime_role"))
                     pe.scalar(name) =
@@ -475,41 +494,20 @@ CslProgramInstance::configure()
                 }
             }
 
-            if (!referenceMode_) {
-                PeRt &rt =
-                    peRts_[static_cast<size_t>(x) * sim_.height() + y];
-                rt.scalarAddr.assign(varNames_.size(), nullptr);
-                rt.bufferAddr.assign(varNames_.size(), nullptr);
-                for (size_t i = 0; i < varNames_.size(); ++i) {
-                    const std::string &name = varNames_[i];
-                    bool isBufOrPtr = false;
-                    auto vit = variables_.find(name);
-                    if (vit != variables_.end()) {
-                        ir::Type t =
-                            ir::typeAttrValue(vit->second->attr("type"));
-                        isBufOrPtr =
-                            ir::isMemRef(t) || csl::isPtrType(t);
-                    }
-                    if (pe.hasBuffer(name))
-                        rt.bufferAddr[i] = &pe.buffer(name);
-                    else if (!isBufOrPtr)
-                        rt.scalarAddr[i] = &pe.scalar(name);
-                }
-            }
-
-            // Register every callable as an activatable task.
+            // Register every callable as an activatable task. Body
+            // index, step-marker role and comms site are resolved here,
+            // once, instead of per activation.
             for (const auto &[name, op] : callables_) {
-                std::string taskName = name;
-                pe.registerTask(
-                    taskName, wse::TaskKind::Local,
-                    [this, op, x, y, taskName](wse::TaskContext &ctx) {
-                        size_t peIdx =
-                            static_cast<size_t>(x) * sim_.height() + y;
-                        PeEnv &penv = peEnvs_[peIdx];
-                        if (taskName == "for_cond0")
-                            stepMarks_[peIdx].push_back(
-                                ctx.startCycle());
-                        if (referenceMode_) {
+                const bool marksStep = name == "for_cond0";
+                if (referenceMode_) {
+                    std::string taskName = name;
+                    pe.registerTask(
+                        taskName, wse::TaskKind::Local,
+                        [this, op, peIdx, marksStep,
+                         taskName](wse::TaskContext &ctx) {
+                            if (marksStep)
+                                stepMarks_[peIdx].push_back(
+                                    ctx.startCycle());
                             SsaEnv env;
                             ir::Block *body = csl::calleeBody(op);
                             if (body->numArguments() == 1) {
@@ -524,25 +522,85 @@ CslProgramInstance::configure()
                                             ctx.pe()));
                                 env[body->argument(0).impl()] = offset;
                             }
-                            execBody(body, env, penv, ctx);
-                            return;
-                        }
-                        int bodyIdx = bodyOf_.at(taskName);
+                            execBody(body, env, peEnvs_[peIdx], ctx);
+                        });
+                    continue;
+                }
+                const int bodyIdx = bodyOf_.at(name);
+                const bool wantsOffset =
+                    bodies_[bodyIdx].argSlots.size() == 1;
+                int site = -1;
+                if (wantsOffset) {
+                    // Resolved lazily-diagnosed: a 1-argument task that
+                    // is not a registered receive callback only errors
+                    // if it is actually activated (as before PR 2).
+                    auto it = commOfRecvCb_.find(name);
+                    site = it != commOfRecvCb_.end()
+                               ? static_cast<int>(it->second)
+                               : -1;
+                }
+                pe.registerTask(
+                    name, wse::TaskKind::Local,
+                    [this, bodyIdx, site, wantsOffset, peIdx,
+                     marksStep](wse::TaskContext &ctx) {
+                        if (marksStep)
+                            stepMarks_[peIdx].push_back(
+                                ctx.startCycle());
                         const CompiledBody &cb = bodies_[bodyIdx];
                         std::vector<RtValue> slots(cb.numSlots);
-                        if (cb.argSlots.size() == 1) {
+                        if (wantsOffset) {
+                            WSC_ASSERT(
+                                site >= 0,
+                                "task with a chunk-offset argument is "
+                                "not a comms receive callback");
                             // Receive-chunk callback: bind the chunk
                             // offset provided by the comms library.
-                            size_t site = commOfRecvCb_.at(taskName);
                             RtValue &offset = slots[cb.argSlots[0]];
                             offset.kind = RtValue::Kind::Num;
                             offset.num = static_cast<double>(
                                 comms_[site]->popCompletedChunkOffset(
                                     ctx.pe()));
                         }
-                        execCompiled(bodyIdx, slots, penv,
+                        execCompiled(bodyIdx, slots, peEnvs_[peIdx],
                                      peRts_[peIdx], ctx);
                     });
+            }
+
+            if (referenceMode_)
+                continue;
+
+            // --- Dense-handle tables (the resolve-once step) ---------
+            PeRt &rt = peRts_[peIdx];
+            rt.scalarId.assign(varNames_.size(), {});
+            rt.bufferId.assign(varNames_.size(), {});
+            rt.ptrTarget.assign(varNames_.size(), {});
+            for (size_t i = 0; i < varNames_.size(); ++i) {
+                const std::string &name = varNames_[i];
+                bool isBufOrPtr = false;
+                auto vit = variables_.find(name);
+                if (vit != variables_.end()) {
+                    ir::Type t =
+                        ir::typeAttrValue(vit->second->attr("type"));
+                    isBufOrPtr = ir::isMemRef(t) || csl::isPtrType(t);
+                    if (csl::isPtrType(t))
+                        rt.ptrTarget[i] = pe.bufferId(
+                            ir::stringAttrValue(
+                                vit->second->attr("init")));
+                }
+                if (wse::BufferId buf = pe.findBuffer(name);
+                    buf.valid())
+                    rt.bufferId[i] = buf;
+                else if (!isBufOrPtr)
+                    rt.scalarId[i] = pe.scalarId(name);
+            }
+            rt.taskId.reserve(taskNames_.size());
+            for (const std::string &task : taskNames_)
+                rt.taskId.push_back(pe.taskId(task));
+            rt.commRecv.reserve(comms_.size());
+            rt.commDone.reserve(comms_.size());
+            for (const auto &[recvCb, doneCb] : siteCbNames_) {
+                rt.commRecv.push_back(pe.taskId(recvCb));
+                rt.commDone.push_back(pe.taskId(doneCb));
             }
         }
     }
@@ -626,29 +684,30 @@ CslProgramInstance::execCompiled(int bodyIdx, std::vector<RtValue> &slots,
         case Opcode::LoadScalar: {
             RtValue &v = slots[ins.dst];
             v.kind = RtValue::Kind::Num;
-            double *addr = peRt.scalarAddr[ins.var];
-            v.num = addr ? *addr : pe.scalar(varNames_[ins.var]);
+            wse::ScalarId sid = peRt.scalarId[ins.var];
+            v.num = sid.valid() ? pe.scalar(sid)
+                                : pe.scalar(varNames_[ins.var]);
             ctx.consume(1);
             break;
         }
         case Opcode::LoadBuffer: {
             RtValue &v = slots[ins.dst];
             v.kind = RtValue::Kind::Buffer;
-            v.str = varNames_[ins.var];
+            v.buf = peRt.bufferId[ins.var];
             ctx.consume(1);
             break;
         }
         case Opcode::LoadBufferViaPtr: {
             RtValue &v = slots[ins.dst];
             v.kind = RtValue::Kind::Buffer;
-            v.str = peEnv.ptrs.at(varNames_[ins.var]);
+            v.buf = peRt.ptrTarget[ins.var];
             ctx.consume(1);
             break;
         }
         case Opcode::LoadPtr: {
             RtValue &v = slots[ins.dst];
             v.kind = RtValue::Kind::Ptr;
-            v.str = peEnv.ptrs.at(varNames_[ins.var]);
+            v.buf = peRt.ptrTarget[ins.var];
             ctx.consume(1);
             break;
         }
@@ -656,11 +715,11 @@ CslProgramInstance::execCompiled(int bodyIdx, std::vector<RtValue> &slots,
             const RtValue &v = slots[ins.a];
             if (v.kind == RtValue::Kind::Ptr ||
                 v.kind == RtValue::Kind::Buffer) {
-                peEnv.ptrs[varNames_[ins.var]] = v.str;
+                peRt.ptrTarget[ins.var] = v.buf;
             } else {
-                double *addr = peRt.scalarAddr[ins.var];
-                if (addr)
-                    *addr = v.num;
+                wse::ScalarId sid = peRt.scalarId[ins.var];
+                if (sid.valid())
+                    pe.scalar(sid) = v.num;
                 else
                     pe.scalar(varNames_[ins.var]) = v.num;
             }
@@ -670,21 +729,18 @@ CslProgramInstance::execCompiled(int bodyIdx, std::vector<RtValue> &slots,
         case Opcode::AddressOf: {
             RtValue &v = slots[ins.dst];
             v.kind = RtValue::Kind::Ptr;
-            v.str = varNames_[ins.var];
+            v.buf = peRt.bufferId[ins.var];
             break;
         }
         case Opcode::GetMemDsd:
         case Opcode::GetMemDsdViaPtr: {
             RtValue &v = slots[ins.dst];
             v.kind = RtValue::Kind::DsdVal;
-            if (ins.op == Opcode::GetMemDsd) {
-                v.str = varNames_[ins.var];
-                std::vector<float> *buf = peRt.bufferAddr[ins.var];
-                v.dsd.buf = buf ? buf : &pe.buffer(v.str);
-            } else {
-                v.str = peEnv.ptrs.at(varNames_[ins.var]);
-                v.dsd.buf = &pe.buffer(v.str);
-            }
+            wse::BufferId buf = ins.op == Opcode::GetMemDsd
+                                    ? peRt.bufferId[ins.var]
+                                    : peRt.ptrTarget[ins.var];
+            v.buf = buf;
+            v.dsd.buf = &pe.buffer(buf);
             v.dsd.offset = ins.offset;
             v.dsd.length = ins.length;
             v.dsd.stride = ins.stride;
@@ -742,7 +798,7 @@ CslProgramInstance::execCompiled(int bodyIdx, std::vector<RtValue> &slots,
             break;
         }
         case Opcode::Activate: {
-            pe.activate(*ins.str, ctx.currentCycle());
+            pe.activate(peRt.taskId[ins.task], ctx.currentCycle());
             ctx.consume(2);
             break;
         }
@@ -750,9 +806,9 @@ CslProgramInstance::execCompiled(int bodyIdx, std::vector<RtValue> &slots,
             const RtValue &send = slots[ins.a];
             WSC_ASSERT(send.kind == RtValue::Kind::DsdVal,
                        "comms_exchange expects a DSD operand");
-            comms_[ins.site]->exchange(ctx, send.str,
-                                       ins.spec->recvCallback,
-                                       ins.spec->doneCallback);
+            comms_[ins.site]->exchange(ctx, send.buf,
+                                       peRt.commRecv[ins.site],
+                                       peRt.commDone[ins.site]);
             ctx.consume(4);
             break;
         }
@@ -1031,7 +1087,17 @@ CslProgramInstance::readFieldColumn(const std::string &field, int x, int y)
             }
         }
     }
-    PeEnv &env = peEnvs_[static_cast<size_t>(x) * sim_.height() + y];
+    size_t peIdx = static_cast<size_t>(x) * sim_.height() + y;
+    if (!referenceMode_ && viaPtr) {
+        // Compiled mode tracks pointer rotation in the dense-handle
+        // tables, not the (reference-mode) string environment.
+        auto it = varIndex_.find(var);
+        WSC_ASSERT(it != varIndex_.end(), "unknown pointer variable `"
+                                              << var << "`");
+        return sim_.pe(x, y).buffer(
+            peRts_[peIdx].ptrTarget[it->second]);
+    }
+    PeEnv &env = peEnvs_[peIdx];
     std::string bufName = viaPtr ? env.ptrs.at(var) : var;
     return sim_.pe(x, y).buffer(bufName);
 }

@@ -97,7 +97,10 @@ class CslProgramInstance
         enum class Kind { None, Num, Buffer, DsdVal, Ptr };
         Kind kind = Kind::None;
         double num = 0.0;
-        std::string str; ///< buffer name (Buffer) or target (Ptr)
+        /** Dense buffer handle (compiled mode): the buffer (Buffer,
+         *  DsdVal) or the pointer target (Ptr). */
+        wse::BufferId buf;
+        std::string str; ///< buffer name / target (reference mode only)
         wse::Dsd dsd;
     };
 
@@ -160,14 +163,14 @@ class CslProgramInstance
         int64_t offset = 0, length = 0, stride = 1, wrap = 0;
         /** Variable table index (loads/stores/DSDs/addressof). */
         int32_t var = -1;
+        /** Task table index (Activate). */
+        int32_t task = -1;
         /** Nested bodies: then/else for If, callee for Call. */
         int32_t body0 = -1, body1 = -1;
         /** Comms site index (CommsExchange). */
         uint32_t site = 0;
-        /** Pooled string payload (task name, diagnostics). */
+        /** Pooled string payload (diagnostics only). */
         const std::string *str = nullptr;
-        /** Pooled exchange spec (CommsExchange). */
-        const dialects::csl::CommsExchangeSpec *spec = nullptr;
     };
 
     struct CompiledBody
@@ -179,11 +182,24 @@ class CslProgramInstance
         std::vector<int32_t> argSlots;
     };
 
-    /** Per-PE pre-resolved variable addresses (index = var table). */
+    /**
+     * Per-PE pre-resolved dense handles, built once at configure():
+     * the opcode loop touches no strings.
+     */
     struct PeRt
     {
-        std::vector<double *> scalarAddr;
-        std::vector<std::vector<float> *> bufferAddr;
+        /** Scalar handle per var-table index (invalid = not a scalar). */
+        std::vector<wse::ScalarId> scalarId;
+        /** Buffer handle per var-table index (invalid = no buffer). */
+        std::vector<wse::BufferId> bufferId;
+        /** Pointer-variable target buffer per var-table index; mutated
+         *  by StoreVar at run time (pointer rotation). */
+        std::vector<wse::BufferId> ptrTarget;
+        /** Task handle per task-table index (Activate targets). */
+        std::vector<wse::TaskId> taskId;
+        /** Receive / done callback task per comms site. */
+        std::vector<wse::TaskId> commRecv;
+        std::vector<wse::TaskId> commDone;
     };
 
     class Compiler;
@@ -224,11 +240,21 @@ class CslProgramInstance
 
     /// @name Compiled program (shared across PEs)
     /// @{
+    /** Intern a variable name into the var table. */
+    int32_t varIdx(const std::string &name);
+    /** Intern a task name into the task table. */
+    int32_t taskIdx(const std::string &name);
+
     std::vector<CompiledBody> bodies_;
     std::map<std::string, int> bodyOf_;
     std::vector<std::string> varNames_;
+    std::map<std::string, int32_t> varIndex_;
+    /** Activate-target task names (per-PE handles live in PeRt). */
+    std::vector<std::string> taskNames_;
+    std::map<std::string, int32_t> taskIndex_;
+    /** Receive / done callback names per comms site. */
+    std::vector<std::pair<std::string, std::string>> siteCbNames_;
     std::deque<std::string> stringPool_;
-    std::deque<dialects::csl::CommsExchangeSpec> specPool_;
     std::vector<PeRt> peRts_;
     /// @}
 };

@@ -1,5 +1,8 @@
 #include "ir/pattern.h"
 
+#include <algorithm>
+#include <cstdlib>
+#include <ostream>
 #include <unordered_set>
 
 #include "ir/context.h"
@@ -8,6 +11,14 @@
 namespace wsc::ir {
 
 namespace {
+
+/** Global accumulator behind patternStats() (single-threaded drivers). */
+std::map<std::string, PatternStat> &
+patternStatsStore()
+{
+    static std::map<std::string, PatternStat> stats;
+    return stats;
+}
 
 /**
  * Worklist rewrite driver (see src/ir/README.md).
@@ -159,6 +170,42 @@ class ListenerScope
 
 } // namespace
 
+const std::map<std::string, PatternStat> &
+patternStats()
+{
+    return patternStatsStore();
+}
+
+void
+resetPatternStats()
+{
+    patternStatsStore().clear();
+}
+
+void
+dumpPatternStats(std::ostream &os)
+{
+    std::vector<std::pair<std::string, PatternStat>> rows(
+        patternStatsStore().begin(), patternStatsStore().end());
+    std::sort(rows.begin(), rows.end(),
+              [](const auto &a, const auto &b) {
+                  uint64_t ta = a.second.hits + a.second.misses;
+                  uint64_t tb = b.second.hits + b.second.misses;
+                  return ta != tb ? ta > tb : a.first < b.first;
+              });
+    os << "pattern hit/miss counters (worklist rewrite driver):\n";
+    for (const auto &[name, stat] : rows)
+        os << "  " << name << ": " << stat.hits << " hits, "
+           << stat.misses << " misses\n";
+}
+
+bool
+patternStatsRequested()
+{
+    const char *env = std::getenv("WSC_PATTERN_STATS");
+    return env != nullptr && *env != '\0' && *env != '0';
+}
+
 bool
 applyPatternsGreedily(Operation *root,
                       const std::vector<NamedPattern> &patterns,
@@ -169,17 +216,42 @@ applyPatternsGreedily(Operation *root,
     ListenerScope scope(root->context(), &worklist);
     seed(root, worklist);
 
+    // Counters are positional during the run (no string lookups in the
+    // rewrite loop) and merged into the named table once at the end —
+    // through a scope guard, so a non-convergence panic still reports
+    // the diverging pattern's traffic.
+    std::vector<PatternStat> counts(patterns.size());
+    struct MergeGuard
+    {
+        const std::vector<NamedPattern> &patterns;
+        const std::vector<PatternStat> &counts;
+        ~MergeGuard()
+        {
+            std::map<std::string, PatternStat> &stats =
+                patternStatsStore();
+            for (size_t p = 0; p < patterns.size(); ++p) {
+                PatternStat &s = stats[patterns[p].name];
+                s.hits += counts[p].hits;
+                s.misses += counts[p].misses;
+            }
+        }
+    } mergeGuard{patterns, counts};
+
     bool anyChange = false;
     int rewrites = 0;
     while (Operation *op = worklist.pop()) {
         if (!isUnderRoot(op, root))
             continue;
-        for (const NamedPattern &pattern : patterns) {
+        for (size_t p = 0; p < patterns.size(); ++p) {
+            const NamedPattern &pattern = patterns[p];
             builder.setInsertionPoint(op);
             Operation *parent = op->parentOp();
             worklist.clearRewriteLog();
-            if (!pattern.apply(op, builder))
+            if (!pattern.apply(op, builder)) {
+                counts[p].misses++;
                 continue;
+            }
+            counts[p].hits++;
             anyChange = true;
             if (++rewrites >= maxIterations)
                 panic("applyPatternsGreedily did not converge after " +

@@ -10,7 +10,10 @@
 #ifndef WSC_IR_PATTERN_H
 #define WSC_IR_PATTERN_H
 
+#include <cstdint>
 #include <functional>
+#include <iosfwd>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -40,6 +43,31 @@ struct NamedPattern
 bool applyPatternsGreedily(Operation *root,
                            const std::vector<NamedPattern> &patterns,
                            int maxIterations = 100000);
+
+/// @name Pattern profiling
+/// @{
+/** Hit/miss counters of one named pattern across driver runs. */
+struct PatternStat
+{
+    uint64_t hits = 0;   ///< apply() returned true (a rewrite happened)
+    uint64_t misses = 0; ///< apply() returned false
+};
+
+/**
+ * Accumulated per-pattern counters since the last resetPatternStats().
+ * The driver counts into a local table and merges once per run, so the
+ * rewrite loop stays free of string lookups.
+ */
+const std::map<std::string, PatternStat> &patternStats();
+void resetPatternStats();
+
+/** Print a hits/misses table, widest-traffic patterns first. */
+void dumpPatternStats(std::ostream &os);
+
+/** True when the WSC_PATTERN_STATS environment variable is set (the
+ *  pipeline then dumps the table to stderr after running). */
+bool patternStatsRequested();
+/// @}
 
 } // namespace wsc::ir
 

@@ -1,6 +1,7 @@
 #include "transforms/arith_to_linalg.h"
 
 #include <set>
+#include <unordered_map>
 
 #include "dialects/arith.h"
 #include "dialects/csl_stencil.h"
@@ -257,11 +258,11 @@ class RegionConverter
     ir::Value accArg_;
     bool isDone_;
     ir::OpBuilder builder_;
-    std::map<ir::ValueImpl *, ir::Value> buf_;
+    std::unordered_map<ir::ValueImpl *, ir::Value> buf_;
     std::set<ir::ValueImpl *> owned_;
-    std::map<ir::Operation *, ir::Value> sinks_;
+    std::unordered_map<ir::Operation *, ir::Value> sinks_;
     std::set<ir::Operation *> sinkCopies_;
-    std::map<ir::Operation *, ir::Operation *> sinkCopyOf_;
+    std::unordered_map<ir::Operation *, ir::Operation *> sinkCopyOf_;
 };
 
 } // namespace

@@ -1,5 +1,7 @@
 #include "transforms/distribute_stencil.h"
 
+#include <map>
+
 #include <set>
 
 #include "dialects/dmp.h"

@@ -1,6 +1,7 @@
 #include "transforms/lower_apply_to_actors.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "dialects/arith.h"
 #include "dialects/csl.h"
@@ -131,7 +132,7 @@ namespace {
 void
 cloneRegionInto(ActorLoweringState &state, ir::Block *source,
                 ir::OpBuilder &b,
-                std::map<ir::ValueImpl *, ir::Value> argBindings,
+                std::unordered_map<ir::ValueImpl *, ir::Value> argBindings,
                 ir::Operation *apply, int64_t index,
                 const BufRef &resultRef)
 {
@@ -145,7 +146,7 @@ cloneRegionInto(ActorLoweringState &state, ir::Block *source,
         chunkLen = shape.size() == 2 ? shape[1] : 0;
     }
 
-    std::map<ir::ValueImpl *, ir::Value> mapping = std::move(argBindings);
+    std::unordered_map<ir::ValueImpl *, ir::Value> mapping = std::move(argBindings);
     for (ir::Operation *op : source->opsVector()) {
         if (op->opId() == cs::kYield)
             continue; // The task body simply ends.
@@ -334,7 +335,7 @@ lowerApplyToActors(ActorLoweringState &state, ir::Operation *apply,
             // No remote data: the kernel runs synchronously (on
             // computing PEs).
             ir::OpBuilder gb = emitRoleGuard(state, b, roleVar);
-            std::map<ir::ValueImpl *, ir::Value> bindings;
+            std::unordered_map<ir::ValueImpl *, ir::Value> bindings;
             bindings[doneBlock->argument(0).impl()] =
                 state.loadBufRef(gb, inputRef);
             ir::Value acc = state.loadBufRef(gb, BufRef{accName, false});
@@ -363,7 +364,7 @@ lowerApplyToActors(ActorLoweringState &state, ir::Operation *apply,
             state.nextTaskId++, {ir::getIndexType(ctx)});
         ir::OpBuilder b(ctx);
         b.setInsertionPointToEnd(csl::calleeBody(task));
-        std::map<ir::ValueImpl *, ir::Value> bindings;
+        std::unordered_map<ir::ValueImpl *, ir::Value> bindings;
         bindings[recvBlock->argument(0).impl()] =
             state.loadBufRef(b, BufRef{recvName, false});
         bindings[recvBlock->argument(1).impl()] =
@@ -384,7 +385,7 @@ lowerApplyToActors(ActorLoweringState &state, ir::Operation *apply,
         ir::OpBuilder b(ctx);
         b.setInsertionPointToEnd(csl::calleeBody(task));
         ir::OpBuilder gb = emitRoleGuard(state, b, roleVar);
-        std::map<ir::ValueImpl *, ir::Value> bindings;
+        std::unordered_map<ir::ValueImpl *, ir::Value> bindings;
         bindings[doneBlock->argument(0).impl()] =
             state.loadBufRef(gb, inputRef);
         bindings[doneBlock->argument(1).impl()] =

@@ -16,8 +16,8 @@
 #define WSC_TRANSFORMS_LOWER_APPLY_TO_ACTORS_H
 
 #include <cstdint>
-#include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "ir/builder.h"
@@ -69,8 +69,9 @@ class ActorLoweringState
     /** Load a buffer reference inside a function/task body. */
     ir::Value loadBufRef(ir::OpBuilder &b, const BufRef &ref);
 
-    /** Value-to-buffer assignment built by the structural pass. */
-    std::map<ir::ValueImpl *, BufRef> bufOf;
+    /** Value-to-buffer assignment built by the structural pass
+     *  (lookup-only: keyed by dense value identity, never iterated). */
+    std::unordered_map<ir::ValueImpl *, BufRef> bufOf;
 
     /** Next free local-task id. */
     int64_t nextTaskId = 0;
@@ -79,8 +80,8 @@ class ActorLoweringState
 
   private:
     ir::Operation *wrapper_;
-    std::map<std::string, std::vector<int64_t>> bufferShapes_;
-    std::map<std::string, std::string> ptrTargets_;
+    std::unordered_map<std::string, std::vector<int64_t>> bufferShapes_;
+    std::unordered_map<std::string, std::string> ptrTargets_;
 };
 
 /**

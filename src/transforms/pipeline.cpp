@@ -1,5 +1,8 @@
 #include "transforms/pipeline.h"
 
+#include <iostream>
+
+#include "ir/pattern.h"
 #include "transforms/arith_to_linalg.h"
 #include "transforms/bufferize.h"
 #include "transforms/control_flow_to_task_graph.h"
@@ -64,6 +67,8 @@ runPipeline(ir::Operation *module, const PipelineOptions &options)
 {
     ir::PassManager pm = buildPipeline(options);
     pm.run(module);
+    if (options.dumpPatternStats || ir::patternStatsRequested())
+        ir::dumpPatternStats(std::cerr);
 }
 
 } // namespace wsc::transforms

@@ -28,6 +28,12 @@ struct PipelineOptions
     int64_t forceNumChunks = 0;
     /** Verify the IR after every pass. */
     bool verifyEach = true;
+    /**
+     * Dump the worklist driver's per-pattern hit/miss counters to
+     * stderr after the pipeline runs (also enabled by setting the
+     * WSC_PATTERN_STATS environment variable).
+     */
+    bool dumpPatternStats = false;
 };
 
 /** Build the full stencil-to-csl pipeline. */

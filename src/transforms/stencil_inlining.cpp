@@ -1,6 +1,7 @@
 #include "transforms/stencil_inlining.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "dialects/stencil.h"
 #include "support/error.h"
@@ -18,7 +19,7 @@ class InlineCloner
   public:
     InlineCloner(ir::OpBuilder &b, ir::Operation *producer,
                  ir::Operation *consumer,
-                 const std::map<ir::ValueImpl *, ir::Value> &argMapping)
+                 const std::unordered_map<ir::ValueImpl *, ir::Value> &argMapping)
         : b_(b), producer_(producer), consumer_(consumer),
           argMapping_(argMapping)
     {
@@ -31,7 +32,7 @@ class InlineCloner
     std::vector<ir::Value>
     run()
     {
-        std::map<ir::ValueImpl *, ir::Value> mapping = argMapping_;
+        std::unordered_map<ir::ValueImpl *, ir::Value> mapping = argMapping_;
         ir::Block *body = st::applyBody(consumer_);
         std::vector<ir::Operation *> ops = body->opsVector();
         for (size_t i = 0; i + 1 < ops.size(); ++i)
@@ -58,7 +59,7 @@ class InlineCloner
 
     void
     cloneConsumerOp(ir::Operation *op,
-                    std::map<ir::ValueImpl *, ir::Value> &mapping)
+                    std::unordered_map<ir::ValueImpl *, ir::Value> &mapping)
     {
         if (op->opId() == st::kAccess) {
             int resultIdx = producerResultIndex(op->operand(0));
@@ -78,11 +79,11 @@ class InlineCloner
      */
     ir::Value
     inlineProducer(int resultIdx, const std::vector<int64_t> &shift,
-                   const std::map<ir::ValueImpl *, ir::Value> &outerMapping)
+                   const std::unordered_map<ir::ValueImpl *, ir::Value> &outerMapping)
     {
         // Map producer block args to the values visible in the new body:
         // the producer's operands, mapped through the consumer arg map.
-        std::map<ir::ValueImpl *, ir::Value> mapping;
+        std::unordered_map<ir::ValueImpl *, ir::Value> mapping;
         ir::Block *pBody = st::applyBody(producer_);
         for (unsigned i = 0; i < producer_->numOperands(); ++i)
             mapping[pBody->argument(i).impl()] =
@@ -115,7 +116,7 @@ class InlineCloner
     ir::OpBuilder &b_;
     ir::Operation *producer_;
     ir::Operation *consumer_;
-    std::map<ir::ValueImpl *, ir::Value> argMapping_;
+    std::unordered_map<ir::ValueImpl *, ir::Value> argMapping_;
 };
 
 /** Find a (producer, consumer) pair eligible for inlining. */
@@ -156,7 +157,7 @@ inlineOnce(ir::Operation *producer, ir::Operation *consumer)
     // New operand list: consumer operands that aren't producer results,
     // then producer operands not already present.
     std::vector<ir::Value> newOperands;
-    std::map<ir::ValueImpl *, ir::Value> argMapping; // old arg -> new arg
+    std::unordered_map<ir::ValueImpl *, ir::Value> argMapping; // old arg -> new arg
     auto addOperand = [&](ir::Value v) -> int {
         for (size_t i = 0; i < newOperands.size(); ++i)
             if (newOperands[i] == v)
@@ -193,7 +194,7 @@ inlineOnce(ir::Operation *producer, ir::Operation *consumer)
     }
     // Bind producer block args indirectly: the cloner maps producer
     // operands through this map, so bind operand values to new args.
-    std::map<ir::ValueImpl *, ir::Value> operandToArg;
+    std::unordered_map<ir::ValueImpl *, ir::Value> operandToArg;
     for (size_t i = 0; i < newOperands.size(); ++i)
         operandToArg[newOperands[i].impl()] =
             newBody->argument(static_cast<unsigned>(i));

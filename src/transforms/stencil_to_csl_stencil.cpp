@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <set>
+#include <unordered_map>
 
 #include "dialects/arith.h"
 #include "dialects/csl_stencil.h"
@@ -43,7 +44,7 @@ combine(Purity a, Purity b)
 
 struct BodyAnalysis
 {
-    std::map<ir::ValueImpl *, Purity> purity;
+    std::unordered_map<ir::ValueImpl *, Purity> purity;
     /** The single varith.add where remote meets local (may be null). */
     ir::Operation *mixingOp = nullptr;
     /** Remote-pure operands of the mixing op (the remote terms). */
@@ -338,7 +339,7 @@ convertApply(ir::Operation *apply, ir::Operation *swap,
         } else {
             // Clone each remote term chunk-wise, redirecting accesses to
             // the receive buffer.
-            std::map<ir::ValueImpl *, ir::Value> mapping;
+            std::unordered_map<ir::ValueImpl *, ir::Value> mapping;
             for (ir::Operation *op : body->opsVector()) {
                 if (op->numResults() != 1)
                     continue;
@@ -385,7 +386,7 @@ convertApply(ir::Operation *apply, ir::Operation *swap,
     ir::Block *done = cs::applyDoneBlock(newApply);
     ir::OpBuilder db(ctx);
     db.setInsertionPointToEnd(done);
-    std::map<ir::ValueImpl *, ir::Value> mapping;
+    std::unordered_map<ir::ValueImpl *, ir::Value> mapping;
     mapping[body->argument(commIdx).impl()] = done->argument(0);
     for (size_t i = 0; i < otherIdx.size(); ++i)
         mapping[body->argument(otherIdx[i]).impl()] =
@@ -484,7 +485,7 @@ splitApply(ir::Operation *apply,
     ir::Block *pBody = st::applyBody(partial);
     ir::OpBuilder pb(ctx);
     pb.setInsertionPointToEnd(pBody);
-    std::map<ir::ValueImpl *, ir::Value> pMapping;
+    std::unordered_map<ir::ValueImpl *, ir::Value> pMapping;
     pMapping[body->argument(commIdx).impl()] = pBody->argument(0);
     std::set<ir::ValueImpl *> remoteSet;
     for (ir::Value t : analysis.remoteTerms)
@@ -553,7 +554,7 @@ splitApply(ir::Operation *apply,
     ir::Block *rBody = st::applyBody(rest);
     ir::OpBuilder rbld(ctx);
     rbld.setInsertionPointToEnd(rBody);
-    std::map<ir::ValueImpl *, ir::Value> rMapping;
+    std::unordered_map<ir::ValueImpl *, ir::Value> rMapping;
     for (unsigned i = 0; i < apply->numOperands(); ++i)
         rMapping[body->argument(i).impl()] = rBody->argument(i);
     ir::Value partialArg =

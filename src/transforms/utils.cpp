@@ -23,7 +23,7 @@ findOp(ir::Operation *root, ir::OpId id)
 }
 
 ir::Value
-mapValue(const std::map<ir::ValueImpl *, ir::Value> &mapping, ir::Value v)
+mapValue(const std::unordered_map<ir::ValueImpl *, ir::Value> &mapping, ir::Value v)
 {
     auto it = mapping.find(v.impl());
     return it == mapping.end() ? v : it->second;
@@ -31,7 +31,7 @@ mapValue(const std::map<ir::ValueImpl *, ir::Value> &mapping, ir::Value v)
 
 ir::Operation *
 cloneOp(ir::OpBuilder &b, ir::Operation *op,
-        std::map<ir::ValueImpl *, ir::Value> &mapping)
+        std::unordered_map<ir::ValueImpl *, ir::Value> &mapping)
 {
     WSC_ASSERT(op->numRegions() == 0,
                "cloneOp does not support regions (op " << op->name()
@@ -51,7 +51,7 @@ cloneOp(ir::OpBuilder &b, ir::Operation *op,
 
 std::vector<ir::Value>
 inlineBlockBody(ir::OpBuilder &b, ir::Block *source,
-                std::map<ir::ValueImpl *, ir::Value> &mapping)
+                std::unordered_map<ir::ValueImpl *, ir::Value> &mapping)
 {
     std::vector<ir::Operation *> ops = source->opsVector();
     WSC_ASSERT(!ops.empty(), "inlining an empty block");

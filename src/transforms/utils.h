@@ -7,7 +7,7 @@
 #define WSC_TRANSFORMS_UTILS_H
 
 #include <functional>
-#include <map>
+#include <unordered_map>
 #include <string>
 #include <vector>
 
@@ -28,10 +28,10 @@ ir::Operation *findOp(ir::Operation *root, ir::OpId id);
  * value). Results are entered into `mapping`.
  */
 ir::Operation *cloneOp(ir::OpBuilder &b, ir::Operation *op,
-                       std::map<ir::ValueImpl *, ir::Value> &mapping);
+                       std::unordered_map<ir::ValueImpl *, ir::Value> &mapping);
 
 /** Map a value through `mapping`, defaulting to itself. */
-ir::Value mapValue(const std::map<ir::ValueImpl *, ir::Value> &mapping,
+ir::Value mapValue(const std::unordered_map<ir::ValueImpl *, ir::Value> &mapping,
                    ir::Value v);
 
 /**
@@ -41,7 +41,7 @@ ir::Value mapValue(const std::map<ir::ValueImpl *, ir::Value> &mapping,
  */
 std::vector<ir::Value> inlineBlockBody(
     ir::OpBuilder &b, ir::Block *source,
-    std::map<ir::ValueImpl *, ir::Value> &mapping);
+    std::unordered_map<ir::ValueImpl *, ir::Value> &mapping);
 
 } // namespace wsc::transforms
 

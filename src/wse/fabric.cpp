@@ -48,14 +48,23 @@ allDirections()
     return dirs;
 }
 
-Fabric::Fabric(Simulator &sim) : sim_(sim) {}
+Fabric::Fabric(Simulator &sim) : sim_(sim)
+{
+    linkFree_.assign(static_cast<size_t>(sim_.width()) * sim_.height() * 4,
+                     0);
+}
+
+size_t
+Fabric::linkIndex(int x, int y, Direction dir) const
+{
+    return (static_cast<size_t>(x) * sim_.height() + y) * 4 +
+           static_cast<size_t>(dir);
+}
 
 Cycles
 Fabric::reserveLink(int x, int y, Direction dir, Cycles from, Cycles n)
 {
-    int64_t key = ((static_cast<int64_t>(x) * sim_.height() + y) * 4 +
-                   static_cast<int64_t>(dir));
-    Cycles &free = linkFree_[key];
+    Cycles &free = linkFree_[linkIndex(x, y, dir)];
     Cycles start = std::max(from, free);
     free = start + n;
     return start;
@@ -64,10 +73,7 @@ Fabric::reserveLink(int x, int y, Direction dir, Cycles from, Cycles n)
 Cycles
 Fabric::linkFree(int x, int y, Direction dir) const
 {
-    int64_t key = ((static_cast<int64_t>(x) * sim_.height() + y) * 4 +
-                   static_cast<int64_t>(dir));
-    auto it = linkFree_.find(key);
-    return it == linkFree_.end() ? 0 : it->second;
+    return linkFree_[linkIndex(x, y, dir)];
 }
 
 Cycles
@@ -84,18 +90,31 @@ Fabric::sendStream(int x, int y, Direction dir,
                    std::vector<float> payload, Cycles notBefore,
                    const DeliveryFn &deliver)
 {
+    // One shared snapshot + functor serve every delivery event of this
+    // stream (delivery lambdas capture pointers, not copies).
+    return sendStream(
+        x, y, dir, deliverDistances,
+        std::make_shared<const std::vector<float>>(std::move(payload)),
+        notBefore, std::make_shared<const DeliveryFn>(deliver));
+}
+
+Cycles
+Fabric::sendStream(int x, int y, Direction dir,
+                   const std::vector<int> &deliverDistances,
+                   std::shared_ptr<const std::vector<float>> payload,
+                   Cycles notBefore,
+                   std::shared_ptr<const DeliveryFn> deliver)
+{
     const ArchParams &p = sim_.params();
-    const Cycles m = payload.size();
+    const Cycles m = payload->size();
     WSC_ASSERT(m > 0, "empty stream");
     WSC_ASSERT(!deliverDistances.empty(), "stream without deliveries");
     auto [dx, dy] = directionStep(dir);
     int maxDistance = *std::max_element(deliverDistances.begin(),
                                         deliverDistances.end());
-    // One shared snapshot + functor serve every delivery event of this
-    // stream (delivery lambdas capture pointers, not copies).
-    auto snapshot =
-        std::make_shared<const std::vector<float>>(std::move(payload));
-    auto deliverShared = std::make_shared<const DeliveryFn>(deliver);
+    std::shared_ptr<const std::vector<float>> snapshot =
+        std::move(payload);
+    std::shared_ptr<const DeliveryFn> deliverShared = std::move(deliver);
 
     // Injection: the sender's ramp moves m wavelets to its router.
     Pe &sender = sim_.pe(x, y);

@@ -10,7 +10,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -78,6 +78,17 @@ class Fabric
                       const DeliveryFn &deliver);
 
     /**
+     * sendStream variant taking an already-shared payload snapshot, so
+     * one chunk fanned out in several directions is copied once (all
+     * delivery events of all streams reference the same snapshot).
+     */
+    Cycles sendStream(int x, int y, Direction dir,
+                      const std::vector<int> &deliverDistances,
+                      std::shared_ptr<const std::vector<float>> payload,
+                      Cycles notBefore,
+                      std::shared_ptr<const DeliveryFn> deliver);
+
+    /**
      * Charge the per-direction switch reconfiguration overhead at the
      * sending router (advancing switch positions between chunks).
      */
@@ -93,9 +104,13 @@ class Fabric
     /** Reserve `n` wavelet slots on a link; returns the actual start. */
     Cycles reserveLink(int x, int y, Direction dir, Cycles from, Cycles n);
 
+    /** Flat index of the outgoing link at (x, y) towards dir. */
+    size_t linkIndex(int x, int y, Direction dir) const;
+
     Simulator &sim_;
-    /** key: ((x * height + y) * 4 + dir) -> next free cycle. */
-    std::map<int64_t, Cycles> linkFree_;
+    /** Dense per-link next-free-cycle table, sized width*height*4 at
+     *  construction (the grid is fixed for the simulator's lifetime). */
+    std::vector<Cycles> linkFree_;
     uint64_t waveletHops_ = 0;
 };
 

@@ -19,14 +19,36 @@ TaskContext::dsdOp(uint64_t elems, int flopsPerElem, int bytesPerElem)
     sim_.stats().memBytes += elems * static_cast<uint64_t>(bytesPerElem);
 }
 
-Pe::Pe(Simulator &sim, int x, int y) : sim_(sim), x_(x), y_(y) {}
-
-std::vector<float> &
-Pe::allocBuffer(const std::string &name, size_t elems)
+Pe::Pe(Simulator &sim, int x, int y) : sim_(sim), x_(x), y_(y)
 {
-    WSC_ASSERT(!buffers_.count(name),
-               "buffer `" << name << "` already allocated on PE (" << x_
-                          << ", " << y_ << ")");
+    scalars_.reserve(16);
+}
+
+void
+Pe::checkBufferLive(BufferId id) const
+{
+    WSC_ASSERT(id.index >= 0 &&
+                   static_cast<size_t>(id.index) < buffers_.size(),
+               "invalid buffer handle " << id.index << " on PE (" << x_
+                                        << ", " << y_ << ")");
+    WSC_ASSERT(buffers_[static_cast<size_t>(id.index)].live,
+               "use of freed buffer `"
+                   << buffers_[static_cast<size_t>(id.index)].name
+                   << "` on PE (" << x_ << ", " << y_ << ")");
+}
+
+void
+Pe::checkScalar(ScalarId id) const
+{
+    WSC_ASSERT(id.index >= 0 &&
+                   static_cast<size_t>(id.index) < scalars_.size(),
+               "invalid scalar handle " << id.index << " on PE (" << x_
+                                        << ", " << y_ << ")");
+}
+
+BufferId
+Pe::allocBufferId(const std::string &name, size_t elems)
+{
     size_t bytes = elems * sizeof(float);
     if (bytesUsed_ + bytes >
         static_cast<size_t>(sim_.params().peMemoryBytes)) {
@@ -34,58 +56,146 @@ Pe::allocBuffer(const std::string &name, size_t elems)
                      name, "` (", elems, " elems): ", bytesUsed_, " + ",
                      bytes, " > ", sim_.params().peMemoryBytes, " bytes"));
     }
+    auto [it, inserted] = bufferIds_.try_emplace(
+        name, static_cast<int32_t>(buffers_.size()));
+    if (inserted) {
+        buffers_.push_back(BufferSlot{name, {}, true});
+    } else {
+        // Re-allocation after freeBuffer() reuses the slot (and the
+        // handle); double allocation of a live name is an error.
+        BufferSlot &slot = buffers_[static_cast<size_t>(it->second)];
+        WSC_ASSERT(!slot.live,
+                   "buffer `" << name << "` already allocated on PE ("
+                              << x_ << ", " << y_ << ")");
+        slot.live = true;
+    }
     bytesUsed_ += bytes;
-    return buffers_.emplace(name, std::vector<float>(elems, 0.0f))
-        .first->second;
+    buffers_[static_cast<size_t>(it->second)].data.assign(elems, 0.0f);
+    return BufferId{it->second};
+}
+
+std::vector<float> &
+Pe::allocBuffer(const std::string &name, size_t elems)
+{
+    return buffer(allocBufferId(name, elems));
 }
 
 std::vector<float> &
 Pe::buffer(const std::string &name)
 {
-    auto it = buffers_.find(name);
-    WSC_ASSERT(it != buffers_.end(), "no buffer `" << name << "` on PE ("
-                                                   << x_ << ", " << y_
-                                                   << ")");
-    return it->second;
+    return buffer(bufferId(name));
+}
+
+BufferId
+Pe::bufferId(const std::string &name) const
+{
+    BufferId id = findBuffer(name);
+    WSC_ASSERT(id.valid(), "no buffer `" << name << "` on PE (" << x_
+                                         << ", " << y_ << ")");
+    return id;
+}
+
+BufferId
+Pe::findBuffer(const std::string &name) const
+{
+    auto it = bufferIds_.find(name);
+    if (it == bufferIds_.end() ||
+        !buffers_[static_cast<size_t>(it->second)].live)
+        return BufferId{};
+    return BufferId{it->second};
+}
+
+const std::string &
+Pe::bufferName(BufferId id) const
+{
+    WSC_ASSERT(id.index >= 0 &&
+                   static_cast<size_t>(id.index) < buffers_.size(),
+               "invalid buffer handle " << id.index);
+    return buffers_[static_cast<size_t>(id.index)].name;
 }
 
 bool
 Pe::hasBuffer(const std::string &name) const
 {
-    return buffers_.count(name) > 0;
+    return findBuffer(name).valid();
+}
+
+void
+Pe::freeBuffer(BufferId id)
+{
+    checkBufferLive(id);
+    BufferSlot &slot = buffers_[static_cast<size_t>(id.index)];
+    bytesUsed_ -= slot.data.size() * sizeof(float);
+    slot.live = false;
+    std::vector<float>().swap(slot.data); // Release the memory.
 }
 
 void
 Pe::freeBuffer(const std::string &name)
 {
-    auto it = buffers_.find(name);
-    WSC_ASSERT(it != buffers_.end(), "freeing unknown buffer " << name);
-    bytesUsed_ -= it->second.size() * sizeof(float);
-    buffers_.erase(it);
+    BufferId id = findBuffer(name);
+    WSC_ASSERT(id.valid(), "freeing unknown buffer " << name);
+    freeBuffer(id);
 }
 
-void
+ScalarId
+Pe::scalarId(const std::string &name)
+{
+    auto [it, inserted] = scalarIds_.try_emplace(
+        name, static_cast<int32_t>(scalars_.size()));
+    if (inserted)
+        scalars_.push_back(0.0);
+    return ScalarId{it->second};
+}
+
+ScalarId
+Pe::findScalar(const std::string &name) const
+{
+    auto it = scalarIds_.find(name);
+    return it == scalarIds_.end() ? ScalarId{} : ScalarId{it->second};
+}
+
+TaskId
 Pe::registerTask(const std::string &name, TaskKind kind, TaskFn fn)
 {
-    WSC_ASSERT(!tasks_.count(name),
-               "task `" << name << "` already registered");
-    tasks_.emplace(name, TaskInfo{kind, std::move(fn)});
+    auto [it, inserted] = taskIds_.try_emplace(
+        name, static_cast<int32_t>(tasks_.size()));
+    WSC_ASSERT(inserted, "task `" << name << "` already registered");
+    tasks_.push_back(TaskInfo{kind, std::move(fn)});
+    return TaskId{it->second};
+}
+
+TaskId
+Pe::taskId(const std::string &name) const
+{
+    TaskId id = findTask(name);
+    WSC_ASSERT(id.valid(), "activating unknown task `"
+                               << name << "` on PE (" << x_ << ", " << y_
+                               << ")");
+    return id;
+}
+
+TaskId
+Pe::findTask(const std::string &name) const
+{
+    auto it = taskIds_.find(name);
+    return it == taskIds_.end() ? TaskId{} : TaskId{it->second};
 }
 
 bool
 Pe::hasTask(const std::string &name) const
 {
-    return tasks_.count(name) > 0;
+    return findTask(name).valid();
 }
 
 void
-Pe::activate(const std::string &name, Cycles readyAt)
+Pe::activate(TaskId task, Cycles readyAt)
 {
-    auto it = tasks_.find(name);
-    WSC_ASSERT(it != tasks_.end(),
-               "activating unknown task `" << name << "` on PE (" << x_
-                                           << ", " << y_ << ")");
-    pending_.emplace_back(&it->second, readyAt);
+    WSC_ASSERT(task.index >= 0 &&
+                   static_cast<size_t>(task.index) < tasks_.size(),
+               "activating an invalid task handle on PE (" << x_ << ", "
+                                                           << y_ << ")");
+    pending_.emplace_back(task.index, readyAt);
     if (!dispatchScheduled_) {
         dispatchScheduled_ = true;
         Cycles at = std::max(readyAt, sim_.now());
@@ -94,13 +204,20 @@ Pe::activate(const std::string &name, Cycles readyAt)
 }
 
 void
+Pe::activate(const std::string &name, Cycles readyAt)
+{
+    activate(taskId(name), readyAt);
+}
+
+void
 Pe::dispatchPending()
 {
     dispatchScheduled_ = false;
     if (pending_.empty())
         return;
-    auto [task, readyAt] = pending_.front();
+    auto [taskIdx, readyAt] = pending_.front();
     pending_.pop_front();
+    const TaskInfo &task = tasks_[static_cast<size_t>(taskIdx)];
 
     const ArchParams &p = sim_.params();
     Cycles ready = std::max(readyAt, sim_.now());
@@ -112,7 +229,7 @@ Pe::dispatchPending()
     sim_.stats().taskActivations++;
 
     TaskContext ctx(sim_, *this, start);
-    task->fn(ctx);
+    task.fn(ctx);
     // Charge the consumed core time onto the work timeline.
     if (ctx.consumed() > 0)
         reserveWork(start, ctx.consumed());

@@ -4,6 +4,12 @@
  * actor-style tasks (data / control / local) dispatched one at a time,
  * and a single work timeline on which compute and ramp transfers
  * serialize (see simulator.h for the timing-model rationale).
+ *
+ * Tasks, buffers and scalars are identified by dense interned handles
+ * (TaskId / BufferId / ScalarId) backed by flat per-PE tables; every
+ * per-activation and per-access hot path is an O(1) index. The
+ * string-named API remains as a thin resolve-once wrapper used at
+ * registration time and by tests.
  */
 
 #ifndef WSC_WSE_PE_H
@@ -12,8 +18,8 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "wse/arch_params.h"
@@ -24,6 +30,31 @@ class Simulator;
 
 /** The three CSL task flavours (software actors). */
 enum class TaskKind { Data, Control, Local };
+
+/** Dense handle of a task registered on one PE. */
+struct TaskId
+{
+    int32_t index = -1;
+    bool valid() const { return index >= 0; }
+    bool operator==(const TaskId &) const = default;
+};
+
+/** Dense handle of a named buffer on one PE. Survives freeBuffer():
+ *  re-allocating the same name reuses the handle (and the slot). */
+struct BufferId
+{
+    int32_t index = -1;
+    bool valid() const { return index >= 0; }
+    bool operator==(const BufferId &) const = default;
+};
+
+/** Dense handle of a module-level scalar variable on one PE. */
+struct ScalarId
+{
+    int32_t index = -1;
+    bool valid() const { return index >= 0; }
+    bool operator==(const ScalarId &) const = default;
+};
 
 /**
  * Context passed to an executing task. Tasks account their compute cost
@@ -79,33 +110,72 @@ class Pe
     /// @name Memory
     /// @{
     /**
-     * Allocate a named f32 buffer; throws FatalError when the 48 kB PE
-     * memory would be exceeded.
+     * Allocate a named f32 buffer and return its dense handle; throws
+     * FatalError when the 48 kB PE memory would be exceeded. A name
+     * freed earlier may be re-allocated and keeps its handle.
      */
+    BufferId allocBufferId(const std::string &name, size_t elems);
+    /** Name-based convenience wrapper around allocBufferId(). */
     std::vector<float> &allocBuffer(const std::string &name, size_t elems);
+    /** O(1) access through the dense handle (hot path). */
+    std::vector<float> &
+    buffer(BufferId id)
+    {
+        checkBufferLive(id);
+        return buffers_[static_cast<size_t>(id.index)].data;
+    }
     std::vector<float> &buffer(const std::string &name);
+    /** Resolve a live buffer name; panics when unknown or freed. */
+    BufferId bufferId(const std::string &name) const;
+    /** Resolve a live buffer name; invalid handle when unknown/freed. */
+    BufferId findBuffer(const std::string &name) const;
+    /** Name of a buffer slot (diagnostics). */
+    const std::string &bufferName(BufferId id) const;
     bool hasBuffer(const std::string &name) const;
+    void freeBuffer(BufferId id);
     void freeBuffer(const std::string &name);
     size_t memoryBytesUsed() const { return bytesUsed_; }
     /// @}
 
     /// @name Scalar state (module-level variables)
     /// @{
-    double &scalar(const std::string &name) { return scalars_[name]; }
+    /**
+     * Intern a scalar name to its dense handle (creates the scalar,
+     * value 0, on first use — the resolve-once registration step).
+     */
+    ScalarId scalarId(const std::string &name);
+    /** Resolve without interning; invalid handle when unknown. */
+    ScalarId findScalar(const std::string &name) const;
+    /** O(1) access through the dense handle (hot path). References are
+     *  invalidated by interning further scalars, so resolve all names
+     *  before holding references across calls. */
+    double &
+    scalar(ScalarId id)
+    {
+        checkScalar(id);
+        return scalars_[static_cast<size_t>(id.index)];
+    }
+    double &scalar(const std::string &name) { return scalar(scalarId(name)); }
     bool hasScalar(const std::string &name) const
     {
-        return scalars_.count(name) > 0;
+        return scalarIds_.count(name) > 0;
     }
     /// @}
 
     /// @name Tasks
     /// @{
-    void registerTask(const std::string &name, TaskKind kind, TaskFn fn);
+    TaskId registerTask(const std::string &name, TaskKind kind, TaskFn fn);
+    /** Resolve a registered task name; panics when unknown. */
+    TaskId taskId(const std::string &name) const;
+    /** Resolve without panicking; invalid handle when unknown. */
+    TaskId findTask(const std::string &name) const;
     bool hasTask(const std::string &name) const;
     /**
      * Request activation of a task as of cycle `readyAt`; it dispatches
      * when the PE work timeline is free, after the activation overhead.
+     * The TaskId overload is the O(1) hot path.
      */
+    void activate(TaskId task, Cycles readyAt);
     void activate(const std::string &name, Cycles readyAt);
     /// @}
 
@@ -134,16 +204,34 @@ class Pe
         TaskFn fn;
     };
 
+    /** One buffer slot; `live` is false between free and re-alloc. */
+    struct BufferSlot
+    {
+        std::string name;
+        std::vector<float> data;
+        bool live = false;
+    };
+
+    void checkBufferLive(BufferId id) const;
+    void checkScalar(ScalarId id) const;
     void dispatchPending();
 
     Simulator &sim_;
     int x_;
     int y_;
-    std::map<std::string, std::vector<float>> buffers_;
-    std::map<std::string, double> scalars_;
+    /** Deque so slot (and vector) addresses survive later allocations —
+     *  DSDs hold pointers to the slot's data vector. */
+    std::deque<BufferSlot> buffers_;
+    std::unordered_map<std::string, int32_t> bufferIds_;
+    std::vector<double> scalars_;
+    std::unordered_map<std::string, int32_t> scalarIds_;
     size_t bytesUsed_ = 0;
-    std::map<std::string, TaskInfo> tasks_;
-    std::deque<std::pair<const TaskInfo *, Cycles>> pending_;
+    /** Deque so TaskInfo references stay stable if a running task
+     *  registers further tasks. */
+    std::deque<TaskInfo> tasks_;
+    std::unordered_map<std::string, int32_t> taskIds_;
+    /** (task index, readyAt) activation queue. */
+    std::deque<std::pair<int32_t, Cycles>> pending_;
     bool dispatchScheduled_ = false;
     Cycles workFree_ = 0;
     uint64_t taskActivations_ = 0;

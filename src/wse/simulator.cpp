@@ -4,6 +4,13 @@
 
 namespace wsc::wse {
 
+namespace {
+
+/** Initial capacity of the event heap and callback slot pool. */
+constexpr size_t kInitialQueueCapacity = 1024;
+
+} // namespace
+
 Simulator::Simulator(const ArchParams &params, int width, int height)
     : params_(params), width_(width), height_(height)
 {
@@ -12,6 +19,9 @@ Simulator::Simulator(const ArchParams &params, int width, int height)
         fatal(strcat("requested PE grid ", width, "x", height,
                      " exceeds the ", params.name, " fabric (",
                      params.fabricWidth, "x", params.fabricHeight, ")"));
+    heap_.reserve(kInitialQueueCapacity);
+    slots_.reserve(kInitialQueueCapacity);
+    freeSlots_.reserve(kInitialQueueCapacity);
     pes_.reserve(static_cast<size_t>(width) * height);
     for (int x = 0; x < width; ++x)
         for (int y = 0; y < height; ++y)
@@ -30,25 +40,76 @@ Simulator::pe(int x, int y)
 }
 
 void
-Simulator::schedule(Cycles at, std::function<void()> fn)
+Simulator::siftUp(size_t i)
+{
+    EventKey key = heap_[i];
+    while (i > 0) {
+        size_t parent = (i - 1) / 2;
+        if (!before(key, heap_[parent]))
+            break;
+        heap_[i] = heap_[parent];
+        i = parent;
+    }
+    heap_[i] = key;
+}
+
+void
+Simulator::siftDown(size_t i)
+{
+    const size_t n = heap_.size();
+    EventKey key = heap_[i];
+    for (;;) {
+        size_t child = 2 * i + 1;
+        if (child >= n)
+            break;
+        if (child + 1 < n && before(heap_[child + 1], heap_[child]))
+            child++;
+        if (!before(heap_[child], key))
+            break;
+        heap_[i] = heap_[child];
+        i = child;
+    }
+    heap_[i] = key;
+}
+
+void
+Simulator::schedule(Cycles at, EventCallback fn)
 {
     WSC_ASSERT(at >= now_, "scheduling into the past (at=" << at << ", now="
                                                            << now_ << ")");
-    queue_.push(Event{at, nextSeq_++, std::move(fn)});
+    uint32_t slot;
+    if (!freeSlots_.empty()) {
+        slot = freeSlots_.back();
+        freeSlots_.pop_back();
+        slots_[slot] = std::move(fn);
+    } else {
+        slot = static_cast<uint32_t>(slots_.size());
+        slots_.push_back(std::move(fn));
+    }
+    heap_.push_back(EventKey{at, nextSeq_++, slot});
+    siftUp(heap_.size() - 1);
 }
 
 Cycles
 Simulator::run(uint64_t maxEvents)
 {
     uint64_t processed = 0;
-    while (!queue_.empty()) {
+    while (!heap_.empty()) {
         if (processed++ >= maxEvents)
             fatal("simulation exceeded the event budget (livelock?)");
-        Event ev = queue_.top();
-        queue_.pop();
-        now_ = ev.at;
+        EventKey top = heap_.front();
+        heap_.front() = heap_.back();
+        heap_.pop_back();
+        if (!heap_.empty())
+            siftDown(0);
+        now_ = top.at;
         stats_.eventsProcessed++;
-        ev.fn();
+        // Move the callback out before invoking: the callback may
+        // schedule new events, which can grow (and relocate) the slot
+        // pool while it runs.
+        EventCallback cb = std::move(slots_[top.slot]);
+        freeSlots_.push_back(top.slot);
+        cb();
     }
     return now_;
 }

@@ -2,9 +2,17 @@
  * @file
  * Event-driven simulator for a (sub-)grid of WSE processing elements.
  *
- * The simulator advances a global cycle clock through a priority queue of
- * events. PEs model single-threaded cores running actor-style tasks; the
- * fabric models per-link wavelet streams between neighbouring routers.
+ * The simulator advances a global cycle clock through a binary min-heap
+ * of events. PEs model single-threaded cores running actor-style tasks;
+ * the fabric models per-link wavelet streams between neighbouring
+ * routers.
+ *
+ * The schedule/run path is allocation-free for inline-sized callbacks:
+ * an event is a POD key (cycle, sequence, slot) in a pre-sized heap
+ * vector, and its callback lives in a small-buffer EventCallback slot
+ * that is recycled through a free list. Every callback the simulator
+ * subsystems schedule (PE dispatch, fabric deliveries) fits the inline
+ * buffer; oversized user callables take one heap allocation.
  *
  * Timing model (documented in DESIGN.md §4): each PE has a single work
  * timeline on which task execution, DSD compute and ramp data transfers
@@ -16,11 +24,12 @@
 #ifndef WSC_WSE_SIMULATOR_H
 #define WSC_WSE_SIMULATOR_H
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
-#include <string>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "wse/arch_params.h"
@@ -39,6 +48,147 @@ struct SimStats
     uint64_t flops = 0;
     /** Local-memory traffic of DSD ops (reads + writes). */
     uint64_t memBytes = 0;
+};
+
+/**
+ * A move-only callable with inline small-buffer storage. Callables up to
+ * kInlineSize bytes are stored in place (no heap allocation on the
+ * schedule path); larger ones fall back to a single heap allocation.
+ * Dispatch goes through a static per-type ops table (tagged dispatch
+ * without per-instance virtual objects).
+ */
+class EventCallback
+{
+  public:
+    /** Sized to hold every simulator-internal callback inline (the
+     *  largest is a fabric delivery: two shared_ptrs + a record). */
+    static constexpr size_t kInlineSize = 64;
+
+    EventCallback() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, EventCallback>>>
+    EventCallback(F &&fn) // NOLINT: implicit by design (schedule sites)
+    {
+        using Fn = std::decay_t<F>;
+        // The nothrow-move requirement keeps slot-pool relocation (a
+        // noexcept path) safe; throwing-move callables go to the heap.
+        if constexpr (sizeof(Fn) <= kInlineSize &&
+                      alignof(Fn) <= alignof(std::max_align_t) &&
+                      std::is_nothrow_move_constructible_v<Fn>) {
+            new (storage_) Fn(std::forward<F>(fn));
+            ops_ = &InlineOps<Fn>::ops;
+        } else {
+            new (storage_) Fn *(new Fn(std::forward<F>(fn)));
+            ops_ = &HeapOps<Fn>::ops;
+        }
+    }
+
+    EventCallback(EventCallback &&other) noexcept { moveFrom(other); }
+
+    EventCallback &
+    operator=(EventCallback &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    EventCallback(const EventCallback &) = delete;
+    EventCallback &operator=(const EventCallback &) = delete;
+
+    ~EventCallback() { reset(); }
+
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    void
+    operator()()
+    {
+        ops_->invoke(storage_);
+    }
+
+    void
+    reset()
+    {
+        if (ops_) {
+            ops_->destroy(storage_);
+            ops_ = nullptr;
+        }
+    }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *);
+        /** Move-construct into dst from src, then destroy src. */
+        void (*relocate)(void *dst, void *src);
+        void (*destroy)(void *);
+    };
+
+    template <typename Fn>
+    struct InlineOps
+    {
+        static void
+        invoke(void *p)
+        {
+            (*static_cast<Fn *>(p))();
+        }
+        static void
+        relocate(void *dst, void *src)
+        {
+            Fn *s = static_cast<Fn *>(src);
+            new (dst) Fn(std::move(*s));
+            s->~Fn();
+        }
+        static void
+        destroy(void *p)
+        {
+            static_cast<Fn *>(p)->~Fn();
+        }
+        static constexpr Ops ops = {invoke, relocate, destroy};
+    };
+
+    template <typename Fn>
+    struct HeapOps
+    {
+        static Fn *&
+        ptr(void *p)
+        {
+            return *static_cast<Fn **>(p);
+        }
+        static void
+        invoke(void *p)
+        {
+            (*ptr(p))();
+        }
+        static void
+        relocate(void *dst, void *src)
+        {
+            new (dst) Fn *(ptr(src));
+        }
+        static void
+        destroy(void *p)
+        {
+            delete ptr(p);
+        }
+        static constexpr Ops ops = {invoke, relocate, destroy};
+    };
+
+    void
+    moveFrom(EventCallback &other)
+    {
+        ops_ = other.ops_;
+        if (ops_) {
+            ops_->relocate(storage_, other.storage_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+    const Ops *ops_ = nullptr;
 };
 
 /** Owns the PE grid, fabric and event queue. */
@@ -65,37 +215,47 @@ class Simulator
     /** Current simulation time. */
     Cycles now() const { return now_; }
 
-    /** Schedule `fn` at absolute cycle `at` (>= now). */
-    void schedule(Cycles at, std::function<void()> fn);
+    /**
+     * Schedule `fn` at absolute cycle `at` (>= now). Accepts any
+     * callable; inline-sized ones are stored without heap allocation.
+     */
+    void schedule(Cycles at, EventCallback fn);
 
     /** Run until the event queue drains. Returns the final cycle. */
     Cycles run(uint64_t maxEvents = UINT64_MAX);
 
     /** True when no events remain. */
-    bool idle() const { return queue_.empty(); }
+    bool idle() const { return heap_.empty(); }
 
   private:
-    struct Event
+    /** Heap entry: POD, so sift operations move 24 bytes, never the
+     *  callback. `slot` indexes the callback slot pool. */
+    struct EventKey
     {
         Cycles at;
         uint64_t seq;
-        std::function<void()> fn;
+        uint32_t slot;
     };
-    struct EventOrder
+
+    static bool
+    before(const EventKey &a, const EventKey &b)
     {
-        bool
-        operator()(const Event &a, const Event &b) const
-        {
-            return a.at != b.at ? a.at > b.at : a.seq > b.seq;
-        }
-    };
+        return a.at != b.at ? a.at < b.at : a.seq < b.seq;
+    }
+
+    void siftUp(size_t i);
+    void siftDown(size_t i);
 
     ArchParams params_;
     int width_;
     int height_;
     Cycles now_ = 0;
     uint64_t nextSeq_ = 0;
-    std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+    /** Binary min-heap on (at, seq); pre-sized in the constructor. */
+    std::vector<EventKey> heap_;
+    /** Callback slot pool; slots are recycled through freeSlots_. */
+    std::vector<EventCallback> slots_;
+    std::vector<uint32_t> freeSlots_;
     std::vector<std::unique_ptr<Pe>> pes_;
     std::unique_ptr<Fabric> fabric_;
     SimStats stats_;
