@@ -30,6 +30,32 @@ BM_FrontendEmit(benchmark::State &state)
 BENCHMARK(BM_FrontendEmit);
 
 void
+BM_IrConstruction(benchmark::State &state)
+{
+    // Raw IR build/teardown cost with a warm context: every iteration
+    // creates a module, a 2000-op chain with constants and attributes,
+    // and destroys it, so steady state is served entirely from the
+    // arena free lists (see ir/arena.h).
+    namespace bt = wsc::dialects::builtin;
+    namespace ar = wsc::dialects::arith;
+    ir::Context ctx;
+    dialects::registerAllDialects(ctx);
+    for (auto _ : state) {
+        ir::OwningOp module = bt::createModule(ctx);
+        ir::OpBuilder b(ctx);
+        b.setInsertionPointToEnd(&module->region(0).front());
+        ir::Value acc = ar::createConstantF32(b, 1.0);
+        for (int i = 0; i < 999; ++i) {
+            ir::Value c = ar::createConstantF32(b, (i & 7) * 0.5);
+            acc = ar::createAddF(b, acc, c);
+        }
+        benchmark::DoNotOptimize(module.get());
+    }
+    state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_IrConstruction);
+
+void
 BM_FullPipeline(benchmark::State &state)
 {
     const char *names[] = {"Jacobian", "Diffusion", "Acoustic",

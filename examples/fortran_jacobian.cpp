@@ -4,7 +4,7 @@
  * WSE. The example prints the task/callback structure that replaces the
  * timestep loop and validates the numerics against a scalar reference.
  *
- * Build & run:  ./build/examples/fortran_jacobian
+ * Build & run:  ./build/example_fortran_jacobian
  */
 
 #include <cmath>

@@ -3,7 +3,7 @@
  * chunked exchange policy (receive-buffer budget), coefficient
  * promotion, and per-PE memory accounting on both WSE generations.
  *
- * Build & run:  ./build/examples/heat_diffusion
+ * Build & run:  ./build/example_heat_diffusion
  */
 
 #include <cstdio>

@@ -3,7 +3,7 @@
  * look at the generated CSL, and run it on a simulated WSE3 — the
  * complete zero-to-results tour of the public API.
  *
- * Build & run:  ./build/examples/quickstart
+ * Build & run:  ./build/example_quickstart
  */
 
 #include <cstdio>

@@ -4,7 +4,7 @@
  * runnable example, including the mechanisms behind the generated
  * code's edge.
  *
- * Build & run:  ./build/examples/seismic_25pt
+ * Build & run:  ./build/example_seismic_25pt
  */
 
 #include <cmath>

@@ -4,7 +4,7 @@
  * chained through their done-exchange callbacks (the paper's
  * continuation-passing structure for programs without a timestep loop).
  *
- * Build & run:  ./build/examples/uvkbe_psyclone
+ * Build & run:  ./build/example_uvkbe_psyclone
  */
 
 #include <cstdio>

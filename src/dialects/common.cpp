@@ -1,7 +1,5 @@
 #include "dialects/common.h"
 
-#include <sstream>
-
 namespace wsc::dialects {
 
 void
@@ -9,31 +7,25 @@ registerSimpleOp(ir::Context &ctx, ir::OpId id, SimpleOpSpec spec)
 {
     ir::OpInfo info;
     info.isTerminator = spec.isTerminator;
+    // This hook runs for every op on every inter-pass verification;
+    // diagnostics are built only on the (cold) failure paths so the
+    // success path allocates nothing.
     info.verify = [spec](ir::Operation *op) -> std::string {
-        std::ostringstream os;
         if (spec.numOperands >= 0 &&
-            op->numOperands() != static_cast<unsigned>(spec.numOperands)) {
-            os << "expected " << spec.numOperands << " operands, got "
-               << op->numOperands();
-            return os.str();
-        }
+            op->numOperands() != static_cast<unsigned>(spec.numOperands))
+            return "expected " + std::to_string(spec.numOperands) +
+                   " operands, got " + std::to_string(op->numOperands());
         if (spec.minOperands >= 0 &&
-            op->numOperands() < static_cast<unsigned>(spec.minOperands)) {
-            os << "expected at least " << spec.minOperands
-               << " operands, got " << op->numOperands();
-            return os.str();
-        }
+            op->numOperands() < static_cast<unsigned>(spec.minOperands))
+            return "expected at least " + std::to_string(spec.minOperands) +
+                   " operands, got " + std::to_string(op->numOperands());
         if (spec.numResults >= 0 &&
-            op->numResults() != static_cast<unsigned>(spec.numResults)) {
-            os << "expected " << spec.numResults << " results, got "
-               << op->numResults();
-            return os.str();
-        }
-        if (op->numRegions() != static_cast<unsigned>(spec.numRegions)) {
-            os << "expected " << spec.numRegions << " regions, got "
-               << op->numRegions();
-            return os.str();
-        }
+            op->numResults() != static_cast<unsigned>(spec.numResults))
+            return "expected " + std::to_string(spec.numResults) +
+                   " results, got " + std::to_string(op->numResults());
+        if (op->numRegions() != static_cast<unsigned>(spec.numRegions))
+            return "expected " + std::to_string(spec.numRegions) +
+                   " regions, got " + std::to_string(op->numRegions());
         if (spec.extraVerify)
             return spec.extraVerify(op);
         return "";

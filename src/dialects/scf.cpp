@@ -80,7 +80,7 @@ forIterArgs(ir::Operation *forOp)
 std::vector<ir::Value>
 forIterInits(ir::Operation *forOp)
 {
-    const std::vector<ir::Value> &ops = forOp->operands();
+    ir::ValueRange ops = forOp->operands();
     return {ops.begin() + 3, ops.end()};
 }
 

@@ -115,8 +115,8 @@ class CslProgramInstance::Compiler
     {
         std::vector<Instr> code;
         code.reserve(block->size());
-        for (auto &opPtr : block->operations())
-            compileOp(opPtr.get(), code);
+        for (ir::Operation *op : block->operations())
+            compileOp(op, code);
         self_.bodies_[bodyIdx].code = std::move(code);
     }
 
@@ -357,8 +357,7 @@ CslProgramInstance::configure()
 
     // --- Collect module structure ---------------------------------------
     std::vector<ir::Operation *> commsOps;
-    for (auto &opPtr : csl::moduleBody(program_)->operations()) {
-        ir::Operation *op = opPtr.get();
+    for (ir::Operation *op : csl::moduleBody(program_)->operations()) {
         if (op->is(csl::kFunc) || op->is(csl::kTask))
             callables_[op->strAttr("sym_name")] = op;
         else if (op->is(csl::kVariable))
@@ -860,8 +859,7 @@ CslProgramInstance::execBody(ir::Block *block, SsaEnv &env, PeEnv &peEnv,
                              wse::TaskContext &ctx)
 {
     wse::Pe &pe = ctx.pe();
-    for (auto &opPtr : block->operations()) {
-        ir::Operation *op = opPtr.get();
+    for (ir::Operation *op : block->operations()) {
         ir::OpId n = op->opId();
         if (n == ar::kConstant) {
             RtValue v;

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Chunked bump allocator with per-size-class free lists — the backing
+ * store for all IR objects owned by an ir::Context.
+ *
+ * Design (see docs/architecture.md for the ownership rules):
+ *
+ *  - Memory is carved from pages of `kPageSize` bytes with a bump
+ *    pointer. Pages are only released when the arena is destroyed, so
+ *    every pointer handed out stays valid for the context's lifetime.
+ *  - `deallocate` does not return memory to the page; it pushes the
+ *    block onto a free list for its size class, and the next `allocate`
+ *    of the same class pops it. This is what keeps worklist-driven
+ *    rewrites (erase op / create op in a loop) from growing the arena
+ *    unboundedly.
+ *  - All blocks are rounded up to `kAlignment` (16) bytes, which is
+ *    also the alignment of every returned pointer. Free lists exist for
+ *    classes up to `kMaxRecycledSize`; larger blocks (big dense attrs,
+ *    ops with hundreds of operands) are bump-allocated — possibly on a
+ *    dedicated page — and are reclaimed only at arena destruction.
+ *
+ * The arena never runs destructors: callers either place trivially /
+ * never-destroyed objects here (interned type/attr storage, whose
+ * destructors the Context runs from its registry) or run the destructor
+ * themselves before calling `deallocate` (Operation/Block teardown).
+ */
+
+#ifndef WSC_IR_ARENA_H
+#define WSC_IR_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace wsc::ir {
+
+/** Bump allocator with size-class recycling; owned by ir::Context. */
+class Arena
+{
+  public:
+    /** Granularity and guaranteed alignment of every allocation. */
+    static constexpr size_t kAlignment = 16;
+    /** Bytes per bump page (oversized blocks get a dedicated page). */
+    static constexpr size_t kPageSize = 64 * 1024;
+    /** Largest block size the free lists recycle. */
+    static constexpr size_t kMaxRecycledSize = 2048;
+
+    Arena() : freeLists_(kMaxRecycledSize / kAlignment + 1, nullptr) {}
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /**
+     * Returns a `kAlignment`-aligned block of at least `size` bytes,
+     * recycled from the matching free list when one is available.
+     */
+    void *
+    allocate(size_t size)
+    {
+        size = roundUp(size);
+        size_t cls = size / kAlignment;
+        if (cls < freeLists_.size() && freeLists_[cls]) {
+            FreeNode *node = freeLists_[cls];
+            freeLists_[cls] = node->next;
+            ++recycleHits_;
+            return node;
+        }
+        if (size > kPageSize) {
+            // Dedicated page, leaving the current bump window intact.
+            pages_.push_back(std::make_unique_for_overwrite<char[]>(size));
+            bytesAllocated_ += size;
+            return pages_.back().get();
+        }
+        if (static_cast<size_t>(end_ - bump_) < size)
+            newPage();
+        char *out = bump_;
+        bump_ += size;
+        bytesAllocated_ += size;
+        return out;
+    }
+
+    /**
+     * Returns a block obtained from `allocate(size)` to its size-class
+     * free list. The caller must have run any destructor already.
+     * Blocks larger than `kMaxRecycledSize` are intentionally dropped
+     * (reclaimed when the arena dies).
+     */
+    void
+    deallocate(void *p, size_t size)
+    {
+        size = roundUp(size);
+        size_t cls = size / kAlignment;
+        if (cls >= freeLists_.size())
+            return;
+        FreeNode *node = static_cast<FreeNode *>(p);
+        node->next = freeLists_[cls];
+        freeLists_[cls] = node;
+    }
+
+    /// @name Introspection (tests, allocation-pressure diagnostics)
+    /// @{
+    /** Cumulative bytes served by the bump pointer (recycles excluded). */
+    size_t bytesAllocated() const { return bytesAllocated_; }
+    /** Number of pages (regular and dedicated) currently owned. */
+    size_t pageCount() const { return pages_.size(); }
+    /** Allocations served from a free list instead of fresh memory. */
+    size_t recycleHits() const { return recycleHits_; }
+    /// @}
+
+  private:
+    struct FreeNode
+    {
+        FreeNode *next;
+    };
+    static_assert(sizeof(FreeNode) <= kAlignment,
+                  "free-list node must fit the smallest size class");
+
+    static size_t
+    roundUp(size_t n)
+    {
+        return (n + kAlignment - 1) & ~(kAlignment - 1);
+    }
+
+    void
+    newPage()
+    {
+        // The tail of the previous page is abandoned; the waste per page
+        // is bounded by the size of the request that failed to fit.
+        // for_overwrite: callers placement-new into the block, so the
+        // value-initializing make_unique would memset every page twice.
+        pages_.push_back(std::make_unique_for_overwrite<char[]>(kPageSize));
+        bump_ = pages_.back().get();
+        end_ = bump_ + kPageSize;
+    }
+
+    char *bump_ = nullptr;
+    char *end_ = nullptr;
+    std::vector<std::unique_ptr<char[]>> pages_;
+    /** Indexed by size / kAlignment; intrusive singly-linked lists. */
+    std::vector<FreeNode *> freeLists_;
+    size_t bytesAllocated_ = 0;
+    size_t recycleHits_ = 0;
+};
+
+} // namespace wsc::ir
+
+#endif // WSC_IR_ARENA_H

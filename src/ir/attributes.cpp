@@ -77,11 +77,11 @@ Attribute::str() const
     return os.str();
 }
 
-static std::string
-attrKey(const AttrStorage &s)
+/** Serializes `s` into `key` (cleared first); shared with context.cpp. */
+void
+internalAttrKeyInto(const AttrStorage &s, std::string &key)
 {
-    std::string key;
-    key.reserve(64 + s.kind.size() + s.s.size());
+    key.clear();
     key += s.kind;
     key += '\x01';
     appendRaw(key, s.i);
@@ -99,7 +99,6 @@ attrKey(const AttrStorage &s)
     key += '\x01';
     for (double v : s.values)
         appendRaw(key, v);
-    return key;
 }
 
 Attribute
@@ -320,13 +319,6 @@ intArrayAttrValue(Attribute a)
     for (Attribute e : arrayAttrValue(a))
         out.push_back(intAttrValue(e));
     return out;
-}
-
-/** Exposed for the context's interning map (see context.cpp). */
-std::string
-internalAttrKey(const AttrStorage &s)
-{
-    return attrKey(s);
 }
 
 } // namespace wsc::ir

@@ -9,7 +9,7 @@ void
 OpBuilder::setInsertionPointToStart(Block *block)
 {
     block_ = block;
-    point_ = block->operations().begin();
+    before_ = block->empty() ? nullptr : &block->front();
     hasPoint_ = true;
 }
 
@@ -17,7 +17,7 @@ void
 OpBuilder::setInsertionPointToEnd(Block *block)
 {
     block_ = block;
-    point_ = block->operations().end();
+    before_ = nullptr;
     hasPoint_ = true;
 }
 
@@ -26,21 +26,24 @@ OpBuilder::setInsertionPoint(Operation *op)
 {
     WSC_ASSERT(op->parentBlock(), "setInsertionPoint on detached op");
     block_ = op->parentBlock();
-    point_ = op->self_;
+    before_ = op;
     hasPoint_ = true;
 }
 
 void
 OpBuilder::setInsertionPointAfter(Operation *op)
 {
-    setInsertionPoint(op);
-    ++point_;
+    WSC_ASSERT(op->parentBlock(), "setInsertionPointAfter on detached op");
+    block_ = op->parentBlock();
+    before_ = op->nextOp();
+    hasPoint_ = true;
 }
 
 void
 OpBuilder::clearInsertionPoint()
 {
     block_ = nullptr;
+    before_ = nullptr;
     hasPoint_ = false;
 }
 
@@ -60,10 +63,10 @@ Operation *
 OpBuilder::insert(Operation *op)
 {
     WSC_ASSERT(hasPoint_ && block_, "insert without insertion point");
-    if (point_ == block_->operations().end()) {
+    if (before_ == nullptr) {
         block_->push_back(op);
     } else {
-        block_->insertBefore(point_->get(), op);
+        block_->insertBefore(before_, op);
     }
     return op;
 }

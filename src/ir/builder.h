@@ -63,14 +63,14 @@ class OpBuilder
     {
       public:
         explicit InsertionGuard(OpBuilder &b)
-            : builder_(b), block_(b.block_), point_(b.point_),
+            : builder_(b), block_(b.block_), before_(b.before_),
               hasPoint_(b.hasPoint_)
         {
         }
         ~InsertionGuard()
         {
             builder_.block_ = block_;
-            builder_.point_ = point_;
+            builder_.before_ = before_;
             builder_.hasPoint_ = hasPoint_;
         }
         InsertionGuard(const InsertionGuard &) = delete;
@@ -79,15 +79,15 @@ class OpBuilder
       private:
         OpBuilder &builder_;
         Block *block_;
-        OpList::iterator point_;
+        Operation *before_;
         bool hasPoint_;
     };
 
   private:
     Context *ctx_;
     Block *block_ = nullptr;
-    /** Insertion happens before this iterator (may be end()). */
-    OpList::iterator point_;
+    /** Insertion happens before this op; nullptr appends to the block. */
+    Operation *before_ = nullptr;
     bool hasPoint_ = false;
 };
 

@@ -1,5 +1,6 @@
 #include "ir/context.h"
 
+#include <cstring>
 #include <deque>
 #include <mutex>
 #include <ostream>
@@ -77,13 +78,12 @@ operator<<(std::ostream &os, OpId id)
 //===----------------------------------------------------------------------===
 
 // Defined in attributes.cpp; serializes an AttrStorage into an interning key.
-std::string internalAttrKey(const AttrStorage &s);
+void internalAttrKeyInto(const AttrStorage &s, std::string &key);
 
-static std::string
-typeKey(const TypeStorage &s)
+static void
+typeKeyInto(const TypeStorage &s, std::string &key)
 {
-    std::string key;
-    key.reserve(48 + s.kind.size());
+    key.clear();
     key += s.kind;
     key += '\x01';
     for (int64_t v : s.ints)
@@ -96,33 +96,50 @@ typeKey(const TypeStorage &s)
         key += str;
         key += ',';
     }
-    return key;
+}
+
+Context::~Context()
+{
+    // Interned storage is arena-placed and never individually freed; run
+    // the registered destructors (newest first) before the members —
+    // including the arena pages — are torn down.
+    for (auto it = arenaDtors_.rbegin(); it != arenaDtors_.rend(); ++it)
+        it->first(it->second);
+}
+
+/** Copies the scratch key into the arena, returning a stable view. */
+static std::string_view
+internKeyBytes(Arena &arena, const std::string &key)
+{
+    if (key.empty())
+        return {};
+    char *mem = static_cast<char *>(arena.allocate(key.size()));
+    std::memcpy(mem, key.data(), key.size());
+    return {mem, key.size()};
 }
 
 const TypeStorage *
 Context::uniqueType(const TypeStorage &proto)
 {
-    std::string key = typeKey(proto);
-    auto it = typePool_.find(key);
+    typeKeyInto(proto, keyScratch_);
+    auto it = typePool_.find(std::string_view(keyScratch_));
     if (it != typePool_.end())
-        return it->second.get();
-    auto storage = std::make_unique<TypeStorage>(proto);
-    const TypeStorage *raw = storage.get();
-    typePool_.emplace(std::move(key), std::move(storage));
-    return raw;
+        return it->second;
+    const TypeStorage *storage = allocate<TypeStorage>(proto);
+    typePool_.emplace(internKeyBytes(arena_, keyScratch_), storage);
+    return storage;
 }
 
 const AttrStorage *
 Context::uniqueAttr(const AttrStorage &proto)
 {
-    std::string key = internalAttrKey(proto);
-    auto it = attrPool_.find(key);
+    internalAttrKeyInto(proto, keyScratch_);
+    auto it = attrPool_.find(std::string_view(keyScratch_));
     if (it != attrPool_.end())
-        return it->second.get();
-    auto storage = std::make_unique<AttrStorage>(proto);
-    const AttrStorage *raw = storage.get();
-    attrPool_.emplace(std::move(key), std::move(storage));
-    return raw;
+        return it->second;
+    const AttrStorage *storage = allocate<AttrStorage>(proto);
+    attrPool_.emplace(internKeyBytes(arena_, keyScratch_), storage);
+    return storage;
 }
 
 void

@@ -19,9 +19,12 @@
 #include <set>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "ir/arena.h"
 #include "ir/attributes.h"
 #include "ir/types.h"
 
@@ -109,8 +112,50 @@ class Context
 {
   public:
     Context() = default;
+    ~Context();
     Context(const Context &) = delete;
     Context &operator=(const Context &) = delete;
+
+    /// @name Arena allocation
+    /// All IR object memory (operations, blocks, interned type/attr
+    /// storage) lives in a per-context bump arena (see ir/arena.h):
+    /// pointers stay valid until the context dies, and erased objects
+    /// are recycled through per-size free lists instead of the heap.
+    /// @{
+
+    /** The raw arena (introspection: page count, bytes, recycle hits). */
+    Arena &arena() { return arena_; }
+
+    /**
+     * Raw arena bytes for objects with explicitly managed lifetime
+     * (Operation/Block teardown runs destructors itself and then calls
+     * deallocateBytes to recycle the block).
+     */
+    void *allocateBytes(size_t size) { return arena_.allocate(size); }
+    /** Recycle a block from allocateBytes; destructors must be done. */
+    void deallocateBytes(void *p, size_t size) { arena_.deallocate(p, size); }
+
+    /**
+     * Construct a `T` in the arena with context lifetime: the object is
+     * never individually freed, and its destructor (when non-trivial) is
+     * run at context destruction. Use for interned/canonical storage,
+     * not for objects that are erased and recycled (those go through
+     * allocateBytes/deallocateBytes with caller-run destructors).
+     */
+    template <typename T, typename... Args>
+    T *
+    allocate(Args &&...args)
+    {
+        static_assert(alignof(T) <= Arena::kAlignment,
+                      "over-aligned types are not supported by the arena");
+        void *mem = arena_.allocate(sizeof(T));
+        T *obj = new (mem) T(std::forward<Args>(args)...);
+        if constexpr (!std::is_trivially_destructible_v<T>)
+            arenaDtors_.push_back(
+                {[](void *p) { static_cast<T *>(p)->~T(); }, obj});
+        return obj;
+    }
+    /// @}
 
     /** Intern type storage; returns existing storage when already present. */
     const TypeStorage *uniqueType(const TypeStorage &proto);
@@ -149,8 +194,22 @@ class Context
     IRListener *listener() const { return listener_; }
 
   private:
-    std::unordered_map<std::string, std::unique_ptr<TypeStorage>> typePool_;
-    std::unordered_map<std::string, std::unique_ptr<AttrStorage>> attrPool_;
+    /**
+     * Declared first so every other member (whose keys/values point into
+     * arena memory) is destroyed before the pages are released.
+     */
+    Arena arena_;
+    /** (destructor, object) pairs run in reverse order by ~Context. */
+    std::vector<std::pair<void (*)(void *), void *>> arenaDtors_;
+    /**
+     * Interning pools: keys are views of key bytes copied into the arena
+     * on first insertion (pointer-stable, no owning copy per entry), and
+     * the canonical storage they map to is arena-placed.
+     */
+    std::unordered_map<std::string_view, const TypeStorage *> typePool_;
+    std::unordered_map<std::string_view, const AttrStorage *> attrPool_;
+    /** Reusable interning-key buffer; probes allocate nothing. */
+    std::string keyScratch_;
     /** Indexed by OpId::raw(); registered_ marks occupied slots. */
     std::vector<OpInfo> opRegistry_;
     std::vector<uint8_t> registered_;

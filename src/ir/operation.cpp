@@ -1,6 +1,7 @@
 #include "ir/operation.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "ir/context.h"
 #include "ir/printer.h"
@@ -100,30 +101,47 @@ Value::replaceAllUsesWith(Value other)
 
 Operation::Operation(Context &ctx, OpId id) : ctx_(&ctx), id_(id) {}
 
+Value *
+Operation::inlineOperandsBeginImpl() const
+{
+    return reinterpret_cast<Value *>(regionsBegin() + numRegions_);
+}
+
 Operation *
 Operation::create(Context &ctx, OpId id, const std::vector<Value> &operands,
                   const std::vector<Type> &resultTypes, const AttrList &attrs,
                   unsigned numRegions)
 {
-    auto *op = new Operation(ctx, id);
-    op->operands_.reserve(operands.size());
-    for (Value v : operands) {
-        WSC_ASSERT(v, "null operand creating " << id.str());
-        op->operands_.push_back(v);
-        op->addUse(v);
-    }
-    for (unsigned i = 0; i < resultTypes.size(); ++i) {
+    // One arena block: op header, result ValueImpls, Regions and the
+    // initial operand array (see the layout note in operation.h).
+    size_t bytes = sizeof(Operation) +
+                   resultTypes.size() * sizeof(ValueImpl) +
+                   numRegions * sizeof(Region) +
+                   operands.size() * sizeof(Value);
+    void *mem = ctx.allocateBytes(bytes);
+    auto *op = new (mem) Operation(ctx, id);
+    op->allocSize_ = static_cast<uint32_t>(bytes);
+    op->numResults_ = static_cast<uint32_t>(resultTypes.size());
+    for (uint32_t i = 0; i < op->numResults_; ++i) {
         WSC_ASSERT(resultTypes[i], "null result type creating " << id.str());
-        auto impl = std::make_unique<ValueImpl>();
+        ValueImpl *impl = new (op->resultsBegin() + i) ValueImpl();
         impl->type = resultTypes[i];
         impl->definingOp = op;
         impl->index = i;
-        op->results_.push_back(std::move(impl));
     }
+    op->numRegions_ = numRegions;
+    for (uint32_t i = 0; i < numRegions; ++i)
+        new (op->regionsBegin() + i) Region(op);
+    op->operands_ = op->inlineOperandsBegin();
+    op->operandCap_ = static_cast<uint32_t>(operands.size());
+    for (Value v : operands) {
+        WSC_ASSERT(v, "null operand creating " << id.str());
+        new (op->operands_ + op->numOperands_++) Value(v);
+        op->addUse(v);
+    }
+    op->attrs_.reserve(attrs.size());
     for (const auto &[key, value] : attrs)
         op->setAttr(key, value);
-    for (unsigned i = 0; i < numRegions; ++i)
-        op->regions_.push_back(std::make_unique<Region>(op));
     return op;
 }
 
@@ -131,30 +149,41 @@ void
 Operation::destroy(Operation *op)
 {
     WSC_ASSERT(op->parent_ == nullptr, "destroy() on attached op");
-    delete op;
+    Context &ctx = *op->ctx_;
+    uint32_t bytes = op->allocSize_;
+    op->~Operation();
+    ctx.deallocateBytes(op, bytes);
 }
 
 Operation::~Operation()
 {
     if (IRListener *listener = ctx_->listener())
         listener->notifyDestroyed(this);
-    // Drop operand uses before anything else so producers see no dangling
-    // users. Nested regions are destroyed by the regions_ member afterward;
-    // their ops drop their own references in their destructors (inner ops
-    // are destroyed before the values they may use in enclosing scopes).
-    regions_.clear();
-    for (unsigned i = 0; i < operands_.size(); ++i)
+    // Destroy nested regions before dropping operand uses so inner ops
+    // (destroyed region-by-region) unregister their own references while
+    // the values they may use in enclosing scopes are still alive.
+    for (uint32_t i = numRegions_; i > 0; --i)
+        regionsBegin()[i - 1].~Region();
+    numRegions_ = 0;
+    for (uint32_t i = 0; i < numOperands_; ++i)
         removeUse(operands_[i]);
-    operands_.clear();
-    for (auto &result : results_)
-        WSC_ASSERT(result->users.empty(),
+    numOperands_ = 0;
+    if (operandsOwned_)
+        ctx_->deallocateBytes(operands_,
+                              operandCap_ * sizeof(Value));
+    for (uint32_t i = 0; i < numResults_; ++i) {
+        ValueImpl &result = resultsBegin()[i];
+        WSC_ASSERT(result.users.empty(),
                    "destroying op `" << name() << "` with live result uses");
+        result.~ValueImpl();
+    }
+    numResults_ = 0;
 }
 
 Value
 Operation::operand(unsigned i) const
 {
-    WSC_ASSERT(i < operands_.size(),
+    WSC_ASSERT(i < numOperands_,
                "operand index " << i << " out of range on " << name());
     return operands_[i];
 }
@@ -192,7 +221,7 @@ Operation::notifyUseRemoved(Value v)
 void
 Operation::setOperand(unsigned i, Value v)
 {
-    WSC_ASSERT(i < operands_.size(), "setOperand out of range on " << name());
+    WSC_ASSERT(i < numOperands_, "setOperand out of range on " << name());
     WSC_ASSERT(v, "setOperand with null value on " << name());
     Value old = operands_[i];
     removeUse(old);
@@ -206,10 +235,10 @@ Operation::setOperand(unsigned i, Value v)
 void
 Operation::setOperands(const std::vector<Value> &values)
 {
-    std::vector<Value> old = operands_;
-    for (Value v : operands_)
-        removeUse(v);
-    operands_.clear();
+    std::vector<Value> old(operands_, operands_ + numOperands_);
+    for (uint32_t i = 0; i < numOperands_; ++i)
+        removeUse(operands_[i]);
+    numOperands_ = 0;
     for (Value v : values)
         appendOperand(v);
     for (Value v : old)
@@ -217,10 +246,28 @@ Operation::setOperands(const std::vector<Value> &values)
 }
 
 void
+Operation::growOperands(uint32_t minCap)
+{
+    uint32_t newCap = operandCap_ ? operandCap_ * 2 : 4;
+    if (newCap < minCap)
+        newCap = minCap;
+    Value *arr = static_cast<Value *>(
+        ctx_->allocateBytes(newCap * sizeof(Value)));
+    std::memcpy(arr, operands_, numOperands_ * sizeof(Value));
+    if (operandsOwned_)
+        ctx_->deallocateBytes(operands_, operandCap_ * sizeof(Value));
+    operands_ = arr;
+    operandCap_ = newCap;
+    operandsOwned_ = 1;
+}
+
+void
 Operation::appendOperand(Value v)
 {
     WSC_ASSERT(v, "appendOperand with null value on " << name());
-    operands_.push_back(v);
+    if (numOperands_ == operandCap_)
+        growOperands(numOperands_ + 1);
+    new (operands_ + numOperands_++) Value(v);
     addUse(v);
     notifyOperandChanged();
 }
@@ -228,11 +275,13 @@ Operation::appendOperand(Value v)
 void
 Operation::eraseOperand(unsigned i)
 {
-    WSC_ASSERT(i < operands_.size(),
+    WSC_ASSERT(i < numOperands_,
                "eraseOperand out of range on " << name());
     Value old = operands_[i];
     removeUse(old);
-    operands_.erase(operands_.begin() + i);
+    std::memmove(operands_ + i, operands_ + i + 1,
+                 (numOperands_ - i - 1) * sizeof(Value));
+    --numOperands_;
     notifyOperandChanged();
     notifyUseRemoved(old);
 }
@@ -240,38 +289,38 @@ Operation::eraseOperand(unsigned i)
 void
 Operation::dropAllReferences()
 {
-    for (Value v : operands_)
-        removeUse(v);
-    operands_.clear();
-    for (auto &region : regions_)
-        for (auto &block : region->blocks())
-            for (auto &op : block->operations())
+    for (uint32_t i = 0; i < numOperands_; ++i)
+        removeUse(operands_[i]);
+    numOperands_ = 0;
+    for (uint32_t r = 0; r < numRegions_; ++r)
+        for (Block *block : regionsBegin()[r].blocks())
+            for (Operation *op : block->operations())
                 op->dropAllReferences();
 }
 
 Value
 Operation::result(unsigned i) const
 {
-    WSC_ASSERT(i < results_.size(),
+    WSC_ASSERT(i < numResults_,
                "result index " << i << " out of range on " << name());
-    return Value(results_[i].get());
+    return Value(resultsBegin() + i);
 }
 
 std::vector<Value>
 Operation::results() const
 {
     std::vector<Value> out;
-    out.reserve(results_.size());
-    for (const auto &r : results_)
-        out.push_back(Value(r.get()));
+    out.reserve(numResults_);
+    for (uint32_t i = 0; i < numResults_; ++i)
+        out.push_back(Value(resultsBegin() + i));
     return out;
 }
 
 bool
 Operation::hasResultUses() const
 {
-    for (const auto &r : results_)
-        if (!r->users.empty())
+    for (uint32_t i = 0; i < numResults_; ++i)
+        if (!resultsBegin()[i].users.empty())
             return true;
     return false;
 }
@@ -344,9 +393,9 @@ Operation::strAttr(const std::string &key) const
 Region &
 Operation::region(unsigned i) const
 {
-    WSC_ASSERT(i < regions_.size(),
+    WSC_ASSERT(i < numRegions_,
                "region index " << i << " out of range on " << name());
-    return *regions_[i];
+    return regionsBegin()[i];
 }
 
 Operation *
@@ -370,18 +419,15 @@ Operation::erase()
     WSC_ASSERT(parent_, "erase() on detached op " << name());
     WSC_ASSERT(!hasResultUses(),
                "erase() on op `" << name() << "` with live result uses");
-    Block *block = parent_;
-    parent_ = nullptr;
-    block->ops_.erase(self_); // Deletes this.
+    removeFromParent();
+    destroy(this);
 }
 
 void
 Operation::removeFromParent()
 {
     WSC_ASSERT(parent_, "removeFromParent() on detached op");
-    Block *block = parent_;
-    self_->release();
-    block->ops_.erase(self_);
+    parent_->unlink(this);
     parent_ = nullptr;
 }
 
@@ -404,29 +450,23 @@ Operation *
 Operation::nextOp() const
 {
     WSC_ASSERT(parent_, "nextOp() on detached op");
-    auto it = self_;
-    ++it;
-    return it == parent_->ops_.end() ? nullptr : it->get();
+    return nextInBlock_;
 }
 
 Operation *
 Operation::prevOp() const
 {
     WSC_ASSERT(parent_, "prevOp() on detached op");
-    if (self_ == parent_->ops_.begin())
-        return nullptr;
-    auto it = self_;
-    --it;
-    return it->get();
+    return prevInBlock_;
 }
 
 void
 Operation::walk(const std::function<void(Operation *)> &fn)
 {
     fn(this);
-    for (auto &region : regions_)
-        for (auto &block : region->blocks())
-            for (auto &op : block->operations())
+    for (uint32_t r = 0; r < numRegions_; ++r)
+        for (Block *block : regionsBegin()[r].blocks())
+            for (Operation *op : block->operations())
                 op->walk(fn);
 }
 
@@ -452,8 +492,53 @@ Block::~Block()
     // Destroy ops from the back so that each op's operands (earlier ops'
     // results or block arguments) are still alive when it unregisters its
     // uses.
-    while (!ops_.empty())
-        ops_.pop_back();
+    while (ops_.tail_) {
+        Operation *op = ops_.tail_;
+        unlink(op);
+        op->parent_ = nullptr;
+        Operation::destroy(op);
+    }
+}
+
+void
+Block::unlink(Operation *op)
+{
+    WSC_ASSERT(op->parent_ == this, "unlink of op from another block");
+    if (op->prevInBlock_)
+        op->prevInBlock_->nextInBlock_ = op->nextInBlock_;
+    else
+        ops_.head_ = op->nextInBlock_;
+    if (op->nextInBlock_)
+        op->nextInBlock_->prevInBlock_ = op->prevInBlock_;
+    else
+        ops_.tail_ = op->prevInBlock_;
+    op->prevInBlock_ = nullptr;
+    op->nextInBlock_ = nullptr;
+    --ops_.size_;
+}
+
+void
+Block::link(Operation *before, Operation *op)
+{
+    if (before == nullptr) {
+        op->prevInBlock_ = ops_.tail_;
+        op->nextInBlock_ = nullptr;
+        if (ops_.tail_)
+            ops_.tail_->nextInBlock_ = op;
+        else
+            ops_.head_ = op;
+        ops_.tail_ = op;
+    } else {
+        op->prevInBlock_ = before->prevInBlock_;
+        op->nextInBlock_ = before;
+        if (before->prevInBlock_)
+            before->prevInBlock_->nextInBlock_ = op;
+        else
+            ops_.head_ = op;
+        before->prevInBlock_ = op;
+    }
+    ++ops_.size_;
+    op->parent_ = this;
 }
 
 Operation *
@@ -507,16 +592,14 @@ Operation *
 Block::terminator() const
 {
     WSC_ASSERT(!ops_.empty(), "terminator() on empty block");
-    return ops_.back().get();
+    return &ops_.back();
 }
 
 void
 Block::push_back(Operation *op)
 {
     WSC_ASSERT(op->parent_ == nullptr, "push_back of attached op");
-    ops_.push_back(std::unique_ptr<Operation>(op));
-    op->parent_ = this;
-    op->self_ = std::prev(ops_.end());
+    link(nullptr, op);
     if (IRListener *listener = op->ctx_->listener())
         listener->notifyAttached(op);
 }
@@ -527,9 +610,7 @@ Block::insertBefore(Operation *before, Operation *op)
     WSC_ASSERT(before->parent_ == this,
                "insertBefore anchor not in this block");
     WSC_ASSERT(op->parent_ == nullptr, "insertBefore of attached op");
-    auto it = ops_.insert(before->self_, std::unique_ptr<Operation>(op));
-    op->parent_ = this;
-    op->self_ = it;
+    link(before, op);
     if (IRListener *listener = op->ctx_->listener())
         listener->notifyAttached(op);
 }
@@ -539,8 +620,8 @@ Block::opsVector() const
 {
     std::vector<Operation *> out;
     out.reserve(ops_.size());
-    for (const auto &op : ops_)
-        out.push_back(op.get());
+    for (Operation *op : ops_)
+        out.push_back(op);
     return out;
 }
 
@@ -548,32 +629,35 @@ Block::opsVector() const
 // Region
 //===----------------------------------------------------------------------===
 
+Region::~Region()
+{
+    // Blocks are destroyed in order (matching the former std::list
+    // semantics); cross-block value uses must already be dropped
+    // (dropAllReferences) when they exist.
+    Context &ctx = parent_->context();
+    for (Block *block : blocks_) {
+        block->~Block();
+        ctx.deallocateBytes(block, sizeof(Block));
+    }
+    blocks_.clear();
+}
+
 Block *
 Region::addBlock()
 {
-    auto block = std::make_unique<Block>();
+    Context &ctx = parent_->context();
+    Block *block = new (ctx.allocateBytes(sizeof(Block))) Block();
     block->parent_ = this;
-    Block *raw = block.get();
-    blocks_.push_back(std::move(block));
-    return raw;
-}
-
-std::vector<Block *>
-Region::blocksVector() const
-{
-    std::vector<Block *> out;
-    out.reserve(blocks_.size());
-    for (const auto &b : blocks_)
-        out.push_back(b.get());
-    return out;
+    blocks_.push_back(block);
+    return block;
 }
 
 void
 Region::takeBody(Region &other)
 {
-    for (auto &block : other.blocks_) {
+    for (Block *block : other.blocks_) {
         block->parent_ = this;
-        blocks_.push_back(std::move(block));
+        blocks_.push_back(block);
     }
     other.blocks_.clear();
 }
@@ -620,11 +704,11 @@ Operation *
 lookupSymbol(Operation *root, const std::string &name)
 {
     WSC_ASSERT(root->numRegions() >= 1, "lookupSymbol on region-less op");
-    for (auto &block : root->region(0).blocks())
-        for (auto &op : block->operations()) {
+    for (Block *block : root->region(0).blocks())
+        for (Operation *op : block->operations()) {
             Attribute sym = op->attr("sym_name");
             if (sym && isStringAttr(sym) && stringAttrValue(sym) == name)
-                return op.get();
+                return op;
         }
     return nullptr;
 }

@@ -3,17 +3,26 @@
  * The SSA graph: Value, Operation, Block and Region.
  *
  * Ownership mirrors MLIR: a Region is owned by its parent Operation, a
- * Block by its parent Region, and an Operation by its parent Block.
- * Results are owned by their defining Operation; block arguments by their
- * Block. Use-def chains are maintained through Operation's operand
- * mutators, so all operand changes must go through those.
+ * Block by its parent Region, and an Operation by its parent Block. Use-def
+ * chains are maintained through Operation's operand mutators, so all
+ * operand changes must go through those.
+ *
+ * All IR nodes live in the per-context arena (see ir/arena.h and
+ * docs/architecture.md). An Operation is a single arena block carrying its
+ * result ValueImpls, its Regions and its initial operand storage as
+ * trailing arrays; blocks chain their operations through intrusive
+ * prev/next pointers (no side allocations per op). Erasing an op returns
+ * its block to a per-size free list, so `Operation *` and `Value` handles
+ * to erased IR may be recycled by later creations — never hold either
+ * across a rewrite that can erase them.
  */
 
 #ifndef WSC_IR_OPERATION_H
 #define WSC_IR_OPERATION_H
 
+#include <cstdint>
 #include <functional>
-#include <list>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <vector>
@@ -80,8 +89,80 @@ class Value
     ValueImpl *impl_ = nullptr;
 };
 
-/** Ordered list of owned operations; iterators are stable. */
-using OpList = std::list<std::unique_ptr<Operation>>;
+/**
+ * Non-owning view of a contiguous operand list. The view is invalidated
+ * by any operand mutation on the op it came from (appendOperand /
+ * setOperands may move the storage, and the old block is recycled) —
+ * re-fetch after mutating, or copy with vec() first.
+ */
+class ValueRange
+{
+  public:
+    ValueRange() = default;
+    ValueRange(const Value *data, size_t size) : data_(data), size_(size) {}
+
+    const Value *begin() const { return data_; }
+    const Value *end() const { return data_ + size_; }
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    Value operator[](size_t i) const { return data_[i]; }
+
+    /** Materialized copy, for callers that store or splice the list. */
+    std::vector<Value> vec() const { return {data_, data_ + size_}; }
+
+  private:
+    const Value *data_ = nullptr;
+    size_t size_ = 0;
+};
+
+/**
+ * Intrusive, ordered list of the operations attached to a block. The
+ * links live inside Operation itself, so attaching an op allocates
+ * nothing. Iterators yield `Operation *` and remain stable across
+ * insertions and erasures of *other* ops.
+ */
+class OpList
+{
+  public:
+    class iterator
+    {
+      public:
+        using iterator_category = std::bidirectional_iterator_tag;
+        using value_type = Operation *;
+        using difference_type = std::ptrdiff_t;
+
+        iterator() = default;
+        iterator(const OpList *list, Operation *cur) : list_(list), cur_(cur)
+        {
+        }
+
+        Operation *operator*() const { return cur_; }
+        inline iterator &operator++();
+        inline iterator operator++(int);
+        inline iterator &operator--();
+        bool operator==(const iterator &) const = default;
+
+      private:
+        const OpList *list_ = nullptr;
+        /** nullptr designates end(). */
+        Operation *cur_ = nullptr;
+    };
+    using const_iterator = iterator;
+
+    iterator begin() const { return {this, head_}; }
+    iterator end() const { return {this, nullptr}; }
+    bool empty() const { return head_ == nullptr; }
+    size_t size() const { return size_; }
+    inline Operation &front() const;
+    inline Operation &back() const;
+
+  private:
+    friend class Block;
+
+    Operation *head_ = nullptr;
+    Operation *tail_ = nullptr;
+    size_t size_ = 0;
+};
 
 /** Sorted-by-key attribute storage; ops carry ~2-5 attributes. */
 using AttrList = std::vector<std::pair<std::string, Attribute>>;
@@ -89,13 +170,20 @@ using AttrList = std::vector<std::pair<std::string, Attribute>>;
 /**
  * A generic, dialect-agnostic operation. Typed op wrappers in the dialect
  * headers provide named accessors on top of this representation.
+ *
+ * Layout: one arena allocation of
+ *   [Operation][ValueImpl x numResults][Region x numRegions][Value x N]
+ * where the trailing Values are the initial operand capacity. Operand
+ * lists that outgrow it move to a separate arena block; everything is
+ * recycled through the context free lists on destruction.
  */
 class Operation
 {
   public:
     /**
-     * Create a detached operation. The caller (usually OpBuilder) is
-     * responsible for inserting it into a block or destroying it.
+     * Create a detached operation in `ctx`'s arena. The caller (usually
+     * OpBuilder) is responsible for inserting it into a block or
+     * destroying it.
      */
     static Operation *create(Context &ctx, OpId id,
                              const std::vector<Value> &operands,
@@ -110,10 +198,12 @@ class Operation
                       numRegions);
     }
 
-    /** Destroy a detached operation (and its nested regions). */
+    /**
+     * Destroy a detached operation (and its nested regions), returning
+     * its memory to the context's free lists for reuse.
+     */
     static void destroy(Operation *op);
 
-    ~Operation();
     Operation(const Operation &) = delete;
     Operation &operator=(const Operation &) = delete;
 
@@ -127,9 +217,10 @@ class Operation
 
     /// @name Operands
     /// @{
-    unsigned numOperands() const { return operands_.size(); }
+    unsigned numOperands() const { return numOperands_; }
     Value operand(unsigned i) const;
-    const std::vector<Value> &operands() const { return operands_; }
+    /** View of the operand list; invalidated by operand mutations. */
+    ValueRange operands() const { return {operands_, numOperands_}; }
     void setOperand(unsigned i, Value v);
     void setOperands(const std::vector<Value> &values);
     void appendOperand(Value v);
@@ -140,7 +231,7 @@ class Operation
 
     /// @name Results
     /// @{
-    unsigned numResults() const { return results_.size(); }
+    unsigned numResults() const { return numResults_; }
     Value result(unsigned i = 0) const;
     std::vector<Value> results() const;
     bool hasResultUses() const;
@@ -163,7 +254,7 @@ class Operation
 
     /// @name Regions
     /// @{
-    unsigned numRegions() const { return regions_.size(); }
+    unsigned numRegions() const { return numRegions_; }
     Region &region(unsigned i) const;
     /// @}
 
@@ -206,32 +297,97 @@ class Operation
 
   private:
     friend class Block;
-    friend class OpBuilder;
+    friend class OpList;
+    friend class OpList::iterator;
 
     Operation(Context &ctx, OpId id);
+    ~Operation();
+
+    /// @name Trailing-array accessors (see class comment for the layout)
+    /// @{
+    ValueImpl *
+    resultsBegin() const
+    {
+        return reinterpret_cast<ValueImpl *>(
+            const_cast<Operation *>(this) + 1);
+    }
+    Region *
+    regionsBegin() const
+    {
+        return reinterpret_cast<Region *>(resultsBegin() + numResults_);
+    }
+    Value *
+    inlineOperandsBegin() const
+    {
+        // Defined in operation.cpp (needs Region to be complete).
+        return inlineOperandsBeginImpl();
+    }
+    Value *inlineOperandsBeginImpl() const;
+    /// @}
 
     Context *ctx_;
     OpId id_;
-    std::vector<Value> operands_;
-    std::vector<std::unique_ptr<ValueImpl>> results_;
-    AttrList attrs_;
-    std::vector<std::unique_ptr<Region>> regions_;
     Block *parent_ = nullptr;
-    /** Position within the parent block's op list (valid when attached). */
-    OpList::iterator self_;
+    /** Intrusive links of the parent block's OpList. */
+    Operation *prevInBlock_ = nullptr;
+    Operation *nextInBlock_ = nullptr;
+    /** Operand storage: trailing until outgrown, then a separate block. */
+    Value *operands_ = nullptr;
+    uint32_t numOperands_ = 0;
+    uint32_t operandCap_ = 0;
+    uint32_t numResults_ = 0;
+    uint32_t numRegions_ = 0;
+    /** Size of the arena block backing this op (for recycling). */
+    uint32_t allocSize_ = 0;
+    /** operands_ points at a standalone arena block (must be freed). */
+    uint8_t operandsOwned_ = 0;
+    AttrList attrs_;
 
+    void growOperands(uint32_t minCap);
     void removeUse(Value v);
     void addUse(Value v);
     void notifyOperandChanged();
     void notifyUseRemoved(Value v);
 };
 
+inline OpList::iterator &
+OpList::iterator::operator++()
+{
+    cur_ = cur_->nextInBlock_;
+    return *this;
+}
+
+inline OpList::iterator
+OpList::iterator::operator++(int)
+{
+    iterator old = *this;
+    ++*this;
+    return old;
+}
+
+inline OpList::iterator &
+OpList::iterator::operator--()
+{
+    cur_ = cur_ ? cur_->prevInBlock_ : list_->tail_;
+    return *this;
+}
+
+inline Operation &
+OpList::front() const
+{
+    return *head_;
+}
+
+inline Operation &
+OpList::back() const
+{
+    return *tail_;
+}
+
 /** A straight-line sequence of operations with block arguments. */
 class Block
 {
   public:
-    Block() = default;
-    ~Block();
     Block(const Block &) = delete;
     Block &operator=(const Block &) = delete;
 
@@ -253,8 +409,8 @@ class Block
     const OpList &operations() const { return ops_; }
     bool empty() const { return ops_.empty(); }
     size_t size() const { return ops_.size(); }
-    Operation &front() const { return *ops_.front(); }
-    Operation &back() const { return *ops_.back(); }
+    Operation &front() const { return ops_.front(); }
+    Operation &back() const { return ops_.back(); }
     /** The trailing terminator op; panics when the block is empty. */
     Operation *terminator() const;
 
@@ -275,18 +431,28 @@ class Block
     friend class Operation;
     friend class Region;
 
+    /** Blocks are created through Region::addBlock (arena-allocated). */
+    Block() = default;
+    ~Block();
+
+    /** Unlink `op` from ops_ without touching op->parent_. */
+    void unlink(Operation *op);
+    /** Link a detached `op` before `before` (nullptr appends). */
+    void link(Operation *before, Operation *op);
+
     Region *parent_ = nullptr;
-    // args_ must outlive ops_ during destruction (ops may use them), so it
-    // is declared first (members destruct in reverse declaration order).
+    // args_ must outlive ops_ during destruction (ops may use them): the
+    // destructor destroys the ops explicitly before args_ is torn down.
     std::vector<std::unique_ptr<ValueImpl>> args_;
     OpList ops_;
 };
 
-/** A list of blocks owned by an operation. */
+/** A list of blocks owned by an operation (arena-allocated nodes). */
 class Region
 {
   public:
     explicit Region(Operation *parent) : parent_(parent) {}
+    ~Region();
     Region(const Region &) = delete;
     Region &operator=(const Region &) = delete;
 
@@ -296,16 +462,13 @@ class Region
     size_t size() const { return blocks_.size(); }
     Block &front() const { return *blocks_.front(); }
     Block &back() const { return *blocks_.back(); }
-    std::list<std::unique_ptr<Block>> &blocks() { return blocks_; }
-    const std::list<std::unique_ptr<Block>> &blocks() const
-    {
-        return blocks_;
-    }
+    std::vector<Block *> &blocks() { return blocks_; }
+    const std::vector<Block *> &blocks() const { return blocks_; }
 
-    /** Append a new empty block and return it. */
+    /** Append a new empty block (allocated in the context arena). */
     Block *addBlock();
-    /** Blocks in order as raw pointers. */
-    std::vector<Block *> blocksVector() const;
+    /** Blocks in order as a raw-pointer snapshot. */
+    std::vector<Block *> blocksVector() const { return blocks_; }
 
     /**
      * Move all blocks of `other` into this region (appended), leaving
@@ -315,7 +478,7 @@ class Region
 
   private:
     Operation *parent_;
-    std::list<std::unique_ptr<Block>> blocks_;
+    std::vector<Block *> blocks_;
 };
 
 /**

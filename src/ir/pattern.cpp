@@ -80,7 +80,15 @@ class Worklist : public IRListener
     void clearRewriteLog() { destroyed_.clear(); }
 
     // --- IRListener -----------------------------------------------------
-    void notifyAttached(Operation *op) override { push(op); }
+    void
+    notifyAttached(Operation *op) override
+    {
+        // Erased ops are recycled through the context arena's free lists,
+        // so a newly attached op may alias the address of an op destroyed
+        // earlier in the same rewrite. Attachment proves it is alive.
+        destroyed_.erase(op);
+        push(op);
+    }
 
     void
     notifyDestroyed(Operation *op) override
@@ -133,10 +141,10 @@ void
 seed(Operation *root, Worklist &worklist)
 {
     for (unsigned r = 0; r < root->numRegions(); ++r)
-        for (auto &block : root->region(r).blocks())
-            for (auto &op : block->operations()) {
-                worklist.push(op.get());
-                seed(op.get(), worklist);
+        for (Block *block : root->region(r).blocks())
+            for (Operation *op : block->operations()) {
+                worklist.push(op);
+                seed(op, worklist);
             }
 }
 

@@ -43,10 +43,10 @@ class Verifier
             Region &region = op->region(r);
             if (region.parentOp() != op)
                 error(op, "region parent link corrupted");
-            for (auto &block : region.blocks()) {
+            for (Block *block : region.blocks()) {
                 if (block->parentRegion() != &region)
                     error(op, "block parent link corrupted");
-                verifyBlock(block.get(), visible);
+                verifyBlock(block, visible);
             }
         }
         // Registered per-op invariants.
@@ -67,8 +67,7 @@ class Verifier
             introduced.push_back(block->argument(i).impl());
         }
         size_t i = 0, numOps = block->size();
-        for (auto &opPtr : block->operations()) {
-            Operation *op = opPtr.get();
+        for (Operation *op : block->operations()) {
             if (op->parentBlock() != block)
                 error(op, "op parent link corrupted");
             if (op->isTerminator() && i + 1 != numOps)

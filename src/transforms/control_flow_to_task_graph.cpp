@@ -219,8 +219,8 @@ lowerKernel(ir::Operation *wrapper, ir::Operation *kernel)
         for (size_t k = 0; k < applies.size(); ++k) {
             std::string fieldName;
             if (hasLoop) {
-                std::vector<ir::Value> yields(
-                    scf::forBody(ks.forOp)->terminator()->operands());
+                std::vector<ir::Value> yields =
+                    scf::forBody(ks.forOp)->terminator()->operands().vec();
                 for (size_t j = 0; j < yields.size(); ++j)
                     if (yields[j] == applies[k]->result())
                         fieldName = slotInitField[j];
@@ -280,8 +280,8 @@ lowerKernel(ir::Operation *wrapper, ir::Operation *kernel)
             // Static pointer rotation derived from the yield permutation:
             // iter slot i takes the slot of yield operand i; result slots
             // take the leftovers.
-            std::vector<ir::Value> yields(
-                scf::forBody(ks.forOp)->terminator()->operands());
+            std::vector<ir::Value> yields =
+                scf::forBody(ks.forOp)->terminator()->operands().vec();
             std::vector<ir::Value> iterArgs = scf::forIterArgs(ks.forOp);
             size_t nIter = iterArgs.size();
             auto slotOf = [&](ir::Value v) -> int {

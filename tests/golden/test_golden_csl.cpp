@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Golden-file locks on the CSL emitter output and on simulated cycle
+ * counts for the seismic and diffusion workloads.
+ *
+ * The emitted `pe.csl`/`layout.csl` bytes are compared verbatim against
+ * the files in tests/golden/, locking the byte-exact format that PR 2's
+ * single-buffer emitter rewrite preserved; the final simulator cycle of
+ * a small compiled run is locked the same way, so an IR or interpreter
+ * change that alters behaviour (not just speed) fails here first.
+ *
+ * Regenerating after an intentional format change:
+ *
+ *     WSC_UPDATE_GOLDEN=1 ./build/wsc_golden_tests
+ *
+ * then review the diff of tests/golden/ before committing (see the
+ * top-level README, "Golden files").
+ */
+
+#include "test_helpers.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "codegen/csl_emitter.h"
+
+namespace wsc::test {
+namespace {
+
+bool
+updateRequested()
+{
+    const char *env = std::getenv("WSC_UPDATE_GOLDEN");
+    return env != nullptr && *env != '\0' && *env != '0';
+}
+
+std::string
+goldenPath(const std::string &file)
+{
+    return std::string(WSC_GOLDEN_DIR) + "/" + file;
+}
+
+/** First byte offset where the two strings differ. */
+size_t
+firstMismatch(const std::string &a, const std::string &b)
+{
+    size_t n = std::min(a.size(), b.size());
+    for (size_t i = 0; i < n; ++i)
+        if (a[i] != b[i])
+            return i;
+    return n;
+}
+
+void
+checkGolden(const std::string &file, const std::string &actual)
+{
+    std::string path = goldenPath(file);
+    if (updateRequested()) {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out.is_open()) << "cannot write " << path;
+        out << actual;
+        return;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.is_open())
+        << "missing golden file " << path
+        << " — regenerate with WSC_UPDATE_GOLDEN=1 ./wsc_golden_tests";
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string expected = buf.str();
+    if (expected == actual)
+        return;
+    size_t at = firstMismatch(expected, actual);
+    size_t from = at < 40 ? 0 : at - 40;
+    ADD_FAILURE() << file << " differs from golden ("
+                  << expected.size() << " golden bytes vs "
+                  << actual.size() << " actual); first mismatch at byte "
+                  << at << ":\n  golden: ..."
+                  << expected.substr(from, 80) << "...\n  actual: ..."
+                  << actual.substr(from, 80)
+                  << "...\nIf the change is intentional, regenerate with "
+                     "WSC_UPDATE_GOLDEN=1 and review the diff.";
+}
+
+class GoldenCslTest : public IrTest
+{
+  protected:
+    codegen::EmittedCsl
+    emit(fe::Benchmark &bench)
+    {
+        ir::OwningOp module = bench.program.emit(ctx);
+        transforms::runPipeline(module.get());
+        return codegen::emitCsl(module.get());
+    }
+
+    /** Final cycle of a compiled-mode run on an nx x ny fabric. */
+    wse::Cycles
+    simulate(fe::Benchmark &bench, int nx, int ny)
+    {
+        ir::OwningOp module = bench.program.emit(ctx);
+        transforms::runPipeline(module.get());
+        wse::Simulator sim(wse::ArchParams::wse3(), nx, ny);
+        interp::CslProgramInstance instance(sim, module.get());
+        for (size_t f = 0; f < bench.program.numFields(); ++f) {
+            int fi = static_cast<int>(f);
+            auto init = bench.init;
+            instance.setFieldInit(bench.program.fieldName(f),
+                                  [init, fi](int x, int y, int z) {
+                                      return init(fi, x, y, z);
+                                  });
+        }
+        instance.configure();
+        instance.launch();
+        return sim.run(4000000000ULL);
+    }
+};
+
+TEST_F(GoldenCslTest, SeismicEmittedBytes)
+{
+    fe::Benchmark bench = fe::makeSeismic(16, 16, 8, 20);
+    codegen::EmittedCsl csl = emit(bench);
+    checkGolden("seismic_pe.csl", csl.programFile);
+    checkGolden("seismic_layout.csl", csl.layoutFile);
+}
+
+TEST_F(GoldenCslTest, DiffusionEmittedBytes)
+{
+    fe::Benchmark bench = fe::makeDiffusion(16, 16, 8, 16);
+    codegen::EmittedCsl csl = emit(bench);
+    checkGolden("diffusion_pe.csl", csl.programFile);
+    checkGolden("diffusion_layout.csl", csl.layoutFile);
+}
+
+TEST_F(GoldenCslTest, SimulatedCycleCounts)
+{
+    fe::Benchmark seismic = fe::makeSeismic(8, 8, 3, 20);
+    fe::Benchmark diffusion = fe::makeDiffusion(7, 7, 4, 16);
+    std::ostringstream os;
+    os << "seismic_8x8x3: " << simulate(seismic, 8, 8) << "\n"
+       << "diffusion_7x7x4: " << simulate(diffusion, 7, 7) << "\n";
+    checkGolden("cycle_counts.txt", os.str());
+}
+
+} // namespace
+} // namespace wsc::test

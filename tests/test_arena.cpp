@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Unit tests for the per-context arena allocator (ir/arena.h) and the
+ * arena-backed IR object lifetime rules: single-block operations with
+ * trailing storage, erase -> free-list recycling, pointer-stable
+ * interned storage, and operand-array growth.
+ */
+
+#include "test_helpers.h"
+
+#include "ir/arena.h"
+
+namespace wsc::test {
+namespace {
+
+namespace bt = dialects::builtin;
+namespace ar = dialects::arith;
+
+//===----------------------------------------------------------------------===
+// Raw Arena semantics
+//===----------------------------------------------------------------------===
+
+TEST(ArenaTest, BumpAllocationIsAlignedAndDistinct)
+{
+    ir::Arena arena;
+    void *a = arena.allocate(24);
+    void *b = arena.allocate(8);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(a) % ir::Arena::kAlignment, 0u);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % ir::Arena::kAlignment, 0u);
+    EXPECT_EQ(arena.pageCount(), 1u);
+}
+
+TEST(ArenaTest, DeallocateRecyclesSameSizeClass)
+{
+    ir::Arena arena;
+    void *a = arena.allocate(48);
+    arena.deallocate(a, 48);
+    // Same size class (rounded to 16) must reuse the freed block.
+    void *b = arena.allocate(40);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(arena.recycleHits(), 1u);
+    // A different class must not.
+    arena.deallocate(b, 48);
+    void *c = arena.allocate(128);
+    EXPECT_NE(a, c);
+}
+
+TEST(ArenaTest, PagesGrowAndOversizeGetsDedicatedPage)
+{
+    ir::Arena arena;
+    size_t before = arena.pageCount();
+    for (int i = 0; i < 2000; ++i)
+        arena.allocate(64);
+    EXPECT_GT(arena.pageCount(), before);
+    // Oversize allocations (> kPageSize) succeed on a dedicated page and
+    // leave the bump window intact for small allocations.
+    void *big = arena.allocate(ir::Arena::kPageSize + 1024);
+    ASSERT_NE(big, nullptr);
+    void *small = arena.allocate(16);
+    ASSERT_NE(small, nullptr);
+}
+
+TEST(ArenaTest, FreeListIsLifo)
+{
+    ir::Arena arena;
+    void *a = arena.allocate(32);
+    void *b = arena.allocate(32);
+    arena.deallocate(a, 32);
+    arena.deallocate(b, 32);
+    EXPECT_EQ(arena.allocate(32), b);
+    EXPECT_EQ(arena.allocate(32), a);
+}
+
+//===----------------------------------------------------------------------===
+// Context-level allocation
+//===----------------------------------------------------------------------===
+
+TEST_F(IrTest, ContextAllocateRunsDestructorsAtTeardown)
+{
+    static int destroyed = 0;
+    struct Probe
+    {
+        ~Probe() { ++destroyed; }
+        // Non-trivial payload so the dtor registry must be used.
+        std::string payload = "needs destruction";
+    };
+    destroyed = 0;
+    {
+        ir::Context local;
+        local.allocate<Probe>();
+        local.allocate<Probe>();
+        EXPECT_EQ(destroyed, 0);
+    }
+    EXPECT_EQ(destroyed, 2);
+}
+
+TEST_F(IrTest, InternedStorageIsPointerStable)
+{
+    // Interning many distinct types must never move earlier storage.
+    ir::Type first = ir::getTensorType(ctx, {1, 2}, ir::getF32Type(ctx));
+    const ir::TypeStorage *firstImpl = first.impl();
+    for (int64_t i = 0; i < 2000; ++i)
+        ir::getTensorType(ctx, {i, i + 1}, ir::getF32Type(ctx));
+    EXPECT_EQ(ir::getTensorType(ctx, {1, 2}, ir::getF32Type(ctx)).impl(),
+              firstImpl);
+    // Attributes behave the same.
+    ir::Attribute a = ir::getIntAttr(ctx, 42);
+    for (int64_t i = 0; i < 2000; ++i)
+        ir::getIntAttr(ctx, 100000 + i);
+    EXPECT_EQ(ir::getIntAttr(ctx, 42), a);
+}
+
+//===----------------------------------------------------------------------===
+// Operation lifetime in the arena
+//===----------------------------------------------------------------------===
+
+TEST_F(IrTest, ErasedOpMemoryIsRecycled)
+{
+    ir::OwningOp module = bt::createModule(ctx);
+    ir::OpBuilder b(ctx);
+    b.setInsertionPointToEnd(&module->region(0).front());
+
+    // Pre-intern both constants' attributes so the second create's only
+    // arena traffic is the op block itself.
+    ir::getIntAttr(ctx, 1, ir::getI32Type(ctx));
+    ir::getIntAttr(ctx, 2, ir::getI32Type(ctx));
+    ir::Operation *first = ar::createConstantI32(b, 1).definingOp();
+    void *addr = first;
+    size_t hitsBefore = ctx.arena().recycleHits();
+    first->erase();
+    // Creating an identical op must pop the recycled block (LIFO).
+    ir::Operation *second = ar::createConstantI32(b, 2).definingOp();
+    EXPECT_EQ(static_cast<void *>(second), addr);
+    EXPECT_GT(ctx.arena().recycleHits(), hitsBefore);
+}
+
+TEST_F(IrTest, EraseCreateLoopDoesNotGrowArena)
+{
+    ir::OwningOp module = bt::createModule(ctx);
+    ir::OpBuilder b(ctx);
+    b.setInsertionPointToEnd(&module->region(0).front());
+
+    // Warm up so pages and pool entries exist.
+    for (int i = 0; i < 16; ++i)
+        ar::createConstantI32(b, i % 4).definingOp()->erase();
+    size_t bytesBefore = ctx.arena().bytesAllocated();
+    for (int i = 0; i < 10000; ++i)
+        ar::createConstantI32(b, i % 4).definingOp()->erase();
+    // The rewrite-style loop must be served from the free lists.
+    EXPECT_EQ(ctx.arena().bytesAllocated(), bytesBefore);
+}
+
+TEST_F(IrTest, OperandGrowthBeyondInlineCapacity)
+{
+    ir::OwningOp module = bt::createModule(ctx);
+    ir::OpBuilder b(ctx);
+    b.setInsertionPointToEnd(&module->region(0).front());
+
+    ir::Value c0 = ar::createConstantI32(b, 0);
+    ir::Operation *op = b.create("test.variadic", {c0});
+    for (int i = 0; i < 33; ++i)
+        op->appendOperand(c0);
+    ASSERT_EQ(op->numOperands(), 34u);
+    for (unsigned i = 0; i < op->numOperands(); ++i)
+        EXPECT_EQ(op->operand(i), c0);
+    EXPECT_EQ(c0.numUses(), 34u);
+    // Erase from the middle and the tail keeps use counts consistent.
+    op->eraseOperand(5);
+    op->eraseOperand(op->numOperands() - 1);
+    EXPECT_EQ(op->numOperands(), 32u);
+    EXPECT_EQ(c0.numUses(), 32u);
+    op->setOperands({c0});
+    EXPECT_EQ(c0.numUses(), 1u);
+}
+
+TEST_F(IrTest, ResultValuesLiveInTheOpAllocation)
+{
+    ir::OwningOp module = bt::createModule(ctx);
+    ir::OpBuilder b(ctx);
+    b.setInsertionPointToEnd(&module->region(0).front());
+
+    ir::Operation *op =
+        b.create("test.two_results", {},
+                 {ir::getF32Type(ctx), ir::getI32Type(ctx)});
+    // Trailing results sit directly after the Operation header.
+    auto *base = reinterpret_cast<char *>(op);
+    auto *r0 = reinterpret_cast<char *>(op->result(0).impl());
+    auto *r1 = reinterpret_cast<char *>(op->result(1).impl());
+    EXPECT_EQ(r0, base + sizeof(ir::Operation));
+    EXPECT_EQ(r1, r0 + sizeof(ir::ValueImpl));
+    EXPECT_EQ(op->result(0).definingOp(), op);
+    EXPECT_EQ(op->result(1).index(), 1u);
+}
+
+TEST_F(IrTest, IntrusiveListInsertEraseMoveKeepsOrder)
+{
+    ir::OwningOp module = bt::createModule(ctx);
+    ir::Block *body = &module->region(0).front();
+    ir::OpBuilder b(ctx);
+    b.setInsertionPointToEnd(body);
+
+    ir::Operation *a = ar::createConstantI32(b, 0).definingOp();
+    ir::Operation *c = ar::createConstantI32(b, 2).definingOp();
+    b.setInsertionPoint(c);
+    ir::Operation *m = ar::createConstantI32(b, 1).definingOp();
+
+    auto order = body->opsVector();
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], a);
+    EXPECT_EQ(order[1], m);
+    EXPECT_EQ(order[2], c);
+    EXPECT_EQ(a->nextOp(), m);
+    EXPECT_EQ(c->prevOp(), m);
+    EXPECT_EQ(a->prevOp(), nullptr);
+    EXPECT_EQ(c->nextOp(), nullptr);
+
+    m->moveToEnd(body);
+    EXPECT_EQ(body->terminator(), m);
+    m->moveBefore(a);
+    EXPECT_EQ(&body->front(), m);
+    EXPECT_EQ(body->size(), 3u);
+
+    a->erase();
+    EXPECT_EQ(body->size(), 2u);
+    EXPECT_EQ(m->nextOp(), c);
+    EXPECT_EQ(c->prevOp(), m);
+}
+
+} // namespace
+} // namespace wsc::test
