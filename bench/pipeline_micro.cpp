@@ -110,6 +110,45 @@ BM_SchedulerThroughput(benchmark::State &state)
 BENCHMARK(BM_SchedulerThroughput)->Arg(1 << 14);
 
 void
+BM_ShardedTimestep(benchmark::State &state)
+{
+    // Wall-clock scaling of the sharded engine on a large-fabric
+    // acoustic workload (24x24 PEs); the argument is SimOptions::
+    // threads. Results are cycle-identical across thread counts (see
+    // the ShardedDeterminism suite); only host time changes. On a
+    // single-core container the >1-thread runs serialize and mainly
+    // measure barrier overhead.
+    const int threads = static_cast<int>(state.range(0));
+    fe::Benchmark bench = fe::makeAcoustic(24, 24, 8, 128);
+    ir::Context ctx;
+    dialects::registerAllDialects(ctx);
+    ir::OwningOp module = bench.program.emit(ctx);
+    transforms::runPipeline(module.get());
+    for (auto _ : state) {
+        wse::Simulator sim(wse::ArchParams::wse3(), 24, 24,
+                           wse::SimOptions{threads});
+        interp::CslProgramInstance instance(sim, module.get());
+        auto init = bench.init;
+        instance.setFieldInit("p", [init](int x, int y, int z) {
+            return init(0, x, y, z);
+        });
+        instance.configure();
+        instance.launch();
+        sim.run(4000000000ULL);
+        benchmark::DoNotOptimize(sim.now());
+    }
+    state.SetLabel("acoustic 24x24");
+    // Not "threads": that key is google-benchmark's own JSON field.
+    state.counters["sim_threads"] = threads;
+}
+BENCHMARK(BM_ShardedTimestep)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void
 BM_SimulatedTimestep(benchmark::State &state)
 {
     // Simulator throughput: one steady-state timestep of Jacobian on a

@@ -130,7 +130,7 @@ class BodyEmitter
     {
         ir::OpId n = op->opId();
         if (n == ar::kConstant) {
-            ir::Attribute a = op->attr("value");
+            ir::Attribute a = op->attr(ir::attrs::kValue);
             ir::Type t = op->result().type();
             const char *typeName = ir::isFloat(t)
                                        ? "f32"
@@ -167,7 +167,7 @@ class BodyEmitter
             w_.indent(indent);
             w_ << "const " << nameOf(op->result()) << " = "
                << nameOf(op->operand(0)) << " "
-               << preds.at(op->strAttr("predicate")) << " "
+               << preds.at(op->strAttr(ir::attrs::kPredicate)) << " "
                << nameOf(op->operand(1)) << ";";
             w_.nl();
             return;
@@ -200,13 +200,13 @@ class BodyEmitter
         if (n == csl::kLoadVar) {
             w_.indent(indent);
             w_ << "const " << nameOf(op->result()) << " = "
-               << op->strAttr("var") << ";";
+               << op->strAttr(ir::attrs::kVar) << ";";
             w_.nl();
             return;
         }
         if (n == csl::kStoreVar) {
             w_.indent(indent);
-            w_ << op->strAttr("var") << " = " << nameOf(op->operand(0))
+            w_ << op->strAttr(ir::attrs::kVar) << " = " << nameOf(op->operand(0))
                << ";";
             w_.nl();
             return;
@@ -214,23 +214,23 @@ class BodyEmitter
         if (n == csl::kAddressOf) {
             w_.indent(indent);
             w_ << "const " << nameOf(op->result()) << " = &"
-               << op->strAttr("var") << ";";
+               << op->strAttr(ir::attrs::kVar) << ";";
             w_.nl();
             return;
         }
         if (n == csl::kGetMemDsd) {
-            int64_t len = op->intAttr("length");
-            int64_t off = op->intAttr("offset");
-            int64_t stride = op->intAttr("stride");
+            int64_t len = op->intAttr(ir::attrs::kLength);
+            int64_t off = op->intAttr(ir::attrs::kOffset);
+            int64_t stride = op->intAttr(ir::attrs::kStride);
             w_.indent(indent);
             w_ << "var " << nameOf(op->result())
                << " = @get_dsd(mem1d_dsd, .{ .tensor_access = |i|{"
-               << len << "} -> " << op->strAttr("var");
-            if (op->hasAttr("via_ptr"))
+               << len << "} -> " << op->strAttr(ir::attrs::kVar);
+            if (op->hasAttr(ir::attrs::kViaPtr))
                 w_ << ".*";
             w_ << "[";
-            if (op->hasAttr("wrap"))
-                w_ << "(i % " << op->intAttr("wrap") << ")";
+            if (op->hasAttr(ir::attrs::kWrap))
+                w_ << "(i % " << op->intAttr(ir::attrs::kWrap) << ")";
             else
                 w_ << "i";
             if (stride != 1)
@@ -272,12 +272,12 @@ class BodyEmitter
         }
         if (n == csl::kCall) {
             w_.indent(indent);
-            w_ << op->strAttr("callee") << "();";
+            w_ << op->strAttr(ir::attrs::kCallee) << "();";
             w_.nl();
             return;
         }
         if (n == csl::kActivate) {
-            const std::string &task = op->strAttr("task");
+            const std::string &task = op->strAttr(ir::attrs::kTask);
             auto it = taskIds_.find(task);
             int64_t id = it == taskIds_.end() ? 0 : it->second;
             w_.indent(indent);
@@ -339,16 +339,16 @@ emitProgram(ir::Operation *program)
     std::map<std::string, int64_t> taskIds;
     for (ir::Operation *op : csl::moduleBody(program)->opsVector())
         if (op->opId() == csl::kTask)
-            taskIds[op->strAttr("sym_name")] = op->intAttr("id");
+            taskIds[op->strAttr(ir::attrs::kSymName)] = op->intAttr(ir::attrs::kId);
 
     for (ir::Operation *op : csl::moduleBody(program)->opsVector()) {
         ir::OpId n = op->opId();
         if (n == csl::kParam) {
-            w << "param " << op->strAttr("name") << ": i16;\n";
+            w << "param " << op->strAttr(ir::attrs::kName) << ": i16;\n";
             continue;
         }
         if (n == csl::kImportModule) {
-            const std::string &module = op->strAttr("module");
+            const std::string &module = op->strAttr(ir::attrs::kModule);
             const char *sym = module == "<memcpy/memcpy>"
                                   ? "sys_mod"
                                   : (module == "stencil_comms.csl"
@@ -359,28 +359,28 @@ emitProgram(ir::Operation *program)
             continue;
         }
         if (n == csl::kVariable) {
-            ir::Type t = ir::typeAttrValue(op->attr("type"));
-            const std::string &name = op->strAttr("sym_name");
+            ir::Type t = ir::typeAttrValue(op->attr(ir::attrs::kType));
+            const std::string &name = op->strAttr(ir::attrs::kSymName);
             if (ir::isMemRef(t)) {
                 w << "var " << name << " = @zeros(";
                 appendMemrefShape(w, t);
                 w << ");";
-                if (op->hasAttr("comms_owned"))
+                if (op->hasAttr(ir::attrs::kCommsOwned))
                     w << " // landing buffer managed by comms";
                 w << "\n";
             } else if (csl::isPtrType(t)) {
                 w << "var " << name << ": [*]f32 = &"
-                  << ir::stringAttrValue(op->attr("init")) << ";\n";
+                  << ir::stringAttrValue(op->attr(ir::attrs::kInit)) << ";\n";
             } else {
                 int64_t init = 0;
-                if (ir::Attribute a = op->attr("init"))
+                if (ir::Attribute a = op->attr(ir::attrs::kInit))
                     init = ir::intAttrValue(a);
                 w << "var " << name << ": i32 = " << init << ";\n";
             }
             continue;
         }
         if (n == csl::kFunc) {
-            w << "\nfn " << op->strAttr("sym_name") << "() void {\n";
+            w << "\nfn " << op->strAttr(ir::attrs::kSymName) << "() void {\n";
             BodyEmitter body(w, taskIds);
             body.emitBlock(csl::calleeBody(op), 1);
             w << "}\n";
@@ -388,7 +388,7 @@ emitProgram(ir::Operation *program)
         }
         if (n == csl::kTask) {
             ir::Block *body = csl::calleeBody(op);
-            w << "\ntask " << op->strAttr("sym_name") << "(";
+            w << "\ntask " << op->strAttr(ir::attrs::kSymName) << "(";
             if (body->numArguments() == 1)
                 w << "offset: i16";
             w << ") void {\n";
@@ -411,8 +411,8 @@ emitProgram(ir::Operation *program)
     for (ir::Operation *op : csl::moduleBody(program)->opsVector()) {
         if (op->opId() != csl::kExport)
             continue;
-        const std::string &kind = op->strAttr("kind");
-        w << "  @export_symbol(" << op->strAttr("name")
+        const std::string &kind = op->strAttr(ir::attrs::kKind);
+        w << "  @export_symbol(" << op->strAttr(ir::attrs::kName)
           << (kind == "fn" ? ", fn()void" : "") << ");\n";
     }
     w << "}\n";
@@ -432,11 +432,11 @@ emitLayout(ir::Operation *layout)
     ir::Attribute params;
     for (ir::Operation *op : csl::moduleBody(layout)->opsVector()) {
         if (op->opId() == csl::kSetRectangle) {
-            width = op->intAttr("width");
-            height = op->intAttr("height");
+            width = op->intAttr(ir::attrs::kWidth);
+            height = op->intAttr(ir::attrs::kHeight);
         } else if (op->opId() == csl::kSetTileCode) {
-            file = op->strAttr("file");
-            params = op->attr("params");
+            file = op->strAttr(ir::attrs::kFile);
+            params = op->attr(ir::attrs::kParams);
         }
     }
     w << "param memcpy_params: comptime_struct;\n";
@@ -474,7 +474,7 @@ emitCsl(ir::Operation *root)
     root->walk([&](ir::Operation *op) {
         if (op->opId() != csl::kModule)
             return;
-        if (op->strAttr("kind") == "program")
+        if (op->strAttr(ir::attrs::kKind) == "program")
             out.programFile = emitProgram(op);
         else
             out.layoutFile = emitLayout(op);

@@ -69,6 +69,10 @@ StarComm::StarComm(wse::Simulator &sim, StarCommConfig config)
     : sim_(sim), config_(std::move(config))
 {
     WSC_ASSERT(!config_.accesses.empty(), "exchange without accesses");
+    for (const Access &a : config_.accesses)
+        WSC_ASSERT(a.distance() >= 1 && a.distance() < 32,
+                   "access distance " << a.distance()
+                                      << " exceeds the 31-hop routes");
     WSC_ASSERT(config_.zSize > 0, "exchange with empty column");
     WSC_ASSERT(config_.numChunks >= 1, "numChunks must be >= 1");
     WSC_ASSERT(commElems() > 0, "trims leave nothing to communicate");
@@ -243,7 +247,7 @@ StarComm::exchange(wse::TaskContext &ctx, wse::BufferId sendBufId,
     st.activeEpoch++;
     st.completedChunks = 0;
     st.announcedDeliveries = 0;
-    stats_.exchangesStarted++;
+    st.stats.exchangesStarted++;
 
     const int64_t epoch = st.activeEpoch;
     const int64_t nChunks = config_.numChunks;
@@ -258,13 +262,15 @@ StarComm::exchange(wse::TaskContext &ctx, wse::BufferId sendBufId,
     for (int64_t c = 0; c < nChunks; ++c) {
         int64_t begin = config_.trimFirst + c * chunk;
         int64_t len = std::min(chunk, total - c * chunk);
-        // One shared snapshot per chunk: every direction's stream (and
-        // every delivery event) references the same copy.
-        auto payload = std::make_shared<const std::vector<float>>(
-            sendBuf.begin() + begin, sendBuf.begin() + begin + len);
+        // One recycled ring slot per chunk: every direction's stream,
+        // every delivery event and every receiver stash reference the
+        // same buffer (wse/payload.h); nothing is copied per delivery.
+        wse::PayloadRef payload = pe.payloadPool().acquire();
+        payload.mutableData().assign(sendBuf.begin() + begin,
+                                     sendBuf.begin() + begin + len);
         for (const PlanEntry &entry : plan_) {
             // Only deliver to PEs that actually compute.
-            std::vector<int> deliverDistances;
+            uint32_t deliverMask = 0;
             auto [sx, sy] = wse::directionStep(entry.dir);
             for (const auto &[dist, sectionIdx] : entry.sections) {
                 int rx = x + sx * dist;
@@ -273,9 +279,9 @@ StarComm::exchange(wse::TaskContext &ctx, wse::BufferId sendBufId,
                     ry >= sim_.height())
                     continue;
                 if (expectedSections(rx, ry) > 0)
-                    deliverDistances.push_back(dist);
+                    deliverMask |= 1u << dist;
             }
-            if (deliverDistances.empty())
+            if (deliverMask == 0)
                 continue;
             // Switch positions advance between chunks.
             sim_.fabric().switchReconfig(x, y, entry.dir, t);
@@ -293,7 +299,7 @@ StarComm::exchange(wse::TaskContext &ctx, wse::BufferId sendBufId,
                     onDelivery(delivery, data, section, c, epoch);
                 });
             wse::Cycles injected = sim_.fabric().sendStream(
-                x, y, entry.dir, deliverDistances, payload, t,
+                x, y, entry.dir, deliverMask, payload, t,
                 std::move(deliver));
             lastInject = std::max(lastInject, injected);
         }
@@ -316,7 +322,7 @@ StarComm::exchange(wse::TaskContext &ctx, wse::BufferId sendBufId,
         st.exchangeActive = false;
         pruneEpochs(st, epoch);
         pe.activate(doneCb, lastInject);
-        stats_.doneCallbacks++;
+        st.stats.doneCallbacks++;
         return;
     }
 
@@ -327,16 +333,16 @@ StarComm::exchange(wse::TaskContext &ctx, wse::BufferId sendBufId,
         for (int64_t c = 0; c < nChunks; ++c) {
             for (size_t s = 0; s < config_.accesses.size(); ++s) {
                 if (static_cast<int64_t>(es.stash.size()) > c &&
-                    es.stash[c].size() > s && !es.stash[c][s].empty() &&
+                    es.stash[c].size() > s && es.stash[c][s].valid() &&
                     !es.announcedSections[c][s])
                     announceSection(pe, st, es, c,
-                                    static_cast<int>(s), sim_.now());
+                                    static_cast<int>(s), pe.now());
             }
         }
     } else {
         for (int64_t c = 0; c < nChunks; ++c) {
             if (es.arrivals[c] == expected && !es.announced[c])
-                announceChunk(pe, st, es, c, sim_.now());
+                announceChunk(pe, st, es, c, pe.now());
         }
     }
 }
@@ -348,7 +354,7 @@ StarComm::announceChunk(wse::Pe &pe, PeState &st, EpochState &es, int64_t c,
     es.announced[c] = 1;
     st.pendingChunks.push_back({st.activeEpoch, c});
     pe.activate(st.recvCb, readyAt);
-    stats_.recvCallbacks++;
+    st.stats.recvCallbacks++;
     st.completedChunks++;
     if (st.completedChunks == config_.numChunks)
         finishExchange(pe, st, es, readyAt);
@@ -361,7 +367,7 @@ StarComm::announceSection(wse::Pe &pe, PeState &st, EpochState &es,
     es.announcedSections[c][static_cast<size_t>(section)] = 1;
     st.pendingSections.push_back({st.activeEpoch, c, section});
     pe.activate(st.recvCb, readyAt);
-    stats_.recvCallbacks++;
+    st.stats.recvCallbacks++;
     st.announcedDeliveries++;
     int expected = expectedSections(pe.x(), pe.y());
     if (st.announcedDeliveries ==
@@ -382,7 +388,20 @@ StarComm::finishExchange(wse::Pe &pe, PeState &st, EpochState &es,
     // consumption before the exchange after next).
     pruneEpochs(st, epoch);
     pe.activate(doneCb, doneAt);
-    stats_.doneCallbacks++;
+    st.stats.doneCallbacks++;
+}
+
+const StarCommStats &
+StarComm::stats() const
+{
+    statsCache_ = StarCommStats{};
+    for (const PeState &st : states_) {
+        statsCache_.exchangesStarted += st.stats.exchangesStarted;
+        statsCache_.chunksDelivered += st.stats.chunksDelivered;
+        statsCache_.recvCallbacks += st.stats.recvCallbacks;
+        statsCache_.doneCallbacks += st.stats.doneCallbacks;
+    }
+    return statsCache_;
 }
 
 void
@@ -415,9 +434,12 @@ StarComm::onDelivery(const wse::StreamDelivery &delivery,
         es.stash.resize(config_.numChunks);
     }
     es.stash[chunkIdx].resize(config_.accesses.size());
-    es.stash[chunkIdx][accessIdx] = payload;
+    // Pin the payload slot instead of copying the floats; the slot
+    // returns to its ring when the receive callback materializes it.
+    es.stash[chunkIdx][accessIdx] = delivery.payload;
     es.arrivals[chunkIdx]++;
-    stats_.chunksDelivered++;
+    st.stats.chunksDelivered++;
+    (void)payload;
 
     int expected = expectedSections(delivery.peX, delivery.peY);
     WSC_ASSERT(expected > 0, "delivery to a non-computing PE");
@@ -450,7 +472,9 @@ StarComm::popCompletedChunkOffset(wse::Pe &pe)
     std::vector<float> &recv = pe.buffer(st.recvBuf);
     int64_t chunk = chunkElems();
     for (size_t s = 0; s < config_.accesses.size(); ++s) {
-        const std::vector<float> &data = es.stash[chunkIdx][s];
+        wse::PayloadRef &pinned = es.stash[chunkIdx][s];
+        WSC_ASSERT(pinned.valid(), "announced chunk missing a section");
+        const std::vector<float> &data = pinned.data();
         float coeff = config_.coeffs.empty()
                           ? 1.0f
                           : static_cast<float>(config_.coeffs[s]);
@@ -459,6 +483,7 @@ StarComm::popCompletedChunkOffset(wse::Pe &pe)
         // Zero any tail when the final chunk is short.
         for (size_t i = data.size(); i < static_cast<size_t>(chunk); ++i)
             recv[s * chunk + i] = 0.0f;
+        pinned.reset(); // Return the slot to its sender's ring.
     }
     // Offset is accumulator-relative (interior index space): the chunk
     // covers [chunkIdx * chunkElems, +chunkElems) of the communicated
@@ -478,8 +503,10 @@ StarComm::popCompletedSection(wse::Pe &pe)
     EpochState &es = st.epochs.at(epoch);
     std::vector<float> &recv = pe.buffer(st.recvBuf);
     int64_t chunk = chunkElems();
-    const std::vector<float> &data =
+    wse::PayloadRef &pinned =
         es.stash[chunkIdx][static_cast<size_t>(section)];
+    WSC_ASSERT(pinned.valid(), "announced section missing its payload");
+    const std::vector<float> &data = pinned.data();
     float coeff = config_.coeffs.empty()
                       ? 1.0f
                       : static_cast<float>(
@@ -489,6 +516,7 @@ StarComm::popCompletedSection(wse::Pe &pe)
             data[i] * coeff;
     for (size_t i = data.size(); i < static_cast<size_t>(chunk); ++i)
         recv[section * chunk + static_cast<int64_t>(i)] = 0.0f;
+    pinned.reset(); // Return the slot to its sender's ring.
     return {section, chunkIdx * chunk};
 }
 

@@ -150,7 +150,8 @@ class StarComm
      */
     std::pair<int, int64_t> popCompletedSection(wse::Pe &pe);
 
-    const StarCommStats &stats() const { return stats_; }
+    /** Aggregate statistics, summed across PEs on each call. */
+    const StarCommStats &stats() const;
 
     /** Router of PE (x, y), for inspecting the configured routes. */
     const wse::Router &router(int x, int y) const;
@@ -171,8 +172,9 @@ class StarComm
         std::vector<char> announced;       ///< recvCb issued per chunk
         /** Per-section mode: callback issued per (chunk, section). */
         std::vector<std::vector<char>> announcedSections;
-        /** stash[chunk][section] = landed payload. */
-        std::vector<std::vector<std::vector<float>>> stash;
+        /** stash[chunk][section] pins the landed payload slot (no copy)
+         *  until the receive callback materializes it. */
+        std::vector<std::vector<wse::PayloadRef>> stash;
         wse::Cycles senderInjectDone = 0;
     };
 
@@ -192,6 +194,9 @@ class StarComm
         std::deque<std::pair<int64_t, int64_t>> pendingChunks;
         /** (epoch, chunk, section) queue for per-section mode. */
         std::deque<std::tuple<int64_t, int64_t, int>> pendingSections;
+        /** Shard-safe statistics: counters live with the PE that
+         *  increments them; stats() sums across PEs. */
+        StarCommStats stats;
     };
 
     /** One send plan entry: all sections travelling one direction. */
@@ -223,7 +228,8 @@ class StarComm
     /** Deliveries grouped by travel direction (derived from config). */
     std::vector<PlanEntry> plan_;
     std::vector<wse::Router> routers_;
-    StarCommStats stats_;
+    /** Merged-stats cache refreshed by stats(). */
+    mutable StarCommStats statsCache_;
     bool setupDone_ = false;
 };
 

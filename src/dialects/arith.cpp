@@ -29,7 +29,7 @@ registerDialect(ir::Context &ctx)
         .numOperands = 0,
         .numResults = 1,
         .extraVerify = [](ir::Operation *op) -> std::string {
-            if (!op->attr("value"))
+            if (!op->attr(ir::attrs::kValue))
                 return "arith.constant requires a value attribute";
             return "";
         },
@@ -42,7 +42,7 @@ registerDialect(ir::Context &ctx)
         .numOperands = 2,
         .numResults = 1,
         .extraVerify = [](ir::Operation *op) -> std::string {
-            if (!op->attr("predicate"))
+            if (!op->attr(ir::attrs::kPredicate))
                 return "arith.cmpi requires a predicate attribute";
             return "";
         },
@@ -161,7 +161,7 @@ isFloatConstant(ir::Operation *op)
 {
     if (!isa(op, kConstant))
         return false;
-    ir::Attribute v = op->attr("value");
+    ir::Attribute v = op->attr(ir::attrs::kValue);
     return ir::isFloatAttr(v) ||
            (ir::isDenseAttr(v) && ir::denseAttrValues(v).size() == 1);
 }
@@ -170,7 +170,7 @@ double
 floatConstantValue(ir::Operation *op)
 {
     WSC_ASSERT(isFloatConstant(op), "floatConstantValue on " << op->name());
-    ir::Attribute v = op->attr("value");
+    ir::Attribute v = op->attr(ir::attrs::kValue);
     if (ir::isFloatAttr(v))
         return ir::floatAttrValue(v);
     return ir::denseAttrValues(v)[0];

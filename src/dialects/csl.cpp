@@ -14,7 +14,7 @@ registerDialect(ir::Context &ctx)
         .numResults = 0,
         .numRegions = 1,
         .extraVerify = [](ir::Operation *op) -> std::string {
-            ir::Attribute kind = op->attr("kind");
+            ir::Attribute kind = op->attr(ir::attrs::kKind);
             if (!kind || !ir::isStringAttr(kind))
                 return "csl.module requires a kind attribute";
             const std::string &k = ir::stringAttrValue(kind);
@@ -27,7 +27,7 @@ registerDialect(ir::Context &ctx)
         .numOperands = 0,
         .numResults = 1,
         .extraVerify = [](ir::Operation *op) -> std::string {
-            if (!op->attr("name"))
+            if (!op->attr(ir::attrs::kName))
                 return "csl.param requires a name";
             return "";
         },
@@ -35,7 +35,7 @@ registerDialect(ir::Context &ctx)
     registerSimpleOp(ctx, kImportModule, {
         .numResults = 1,
         .extraVerify = [](ir::Operation *op) -> std::string {
-            if (!op->attr("module"))
+            if (!op->attr(ir::attrs::kModule))
                 return "csl.import_module requires a module name";
             return "";
         },
@@ -43,7 +43,7 @@ registerDialect(ir::Context &ctx)
     registerSimpleOp(ctx, kMemberCall, {
         .minOperands = 1,
         .extraVerify = [](ir::Operation *op) -> std::string {
-            if (!op->attr("member"))
+            if (!op->attr(ir::attrs::kMember))
                 return "csl.member_call requires a member name";
             return "";
         },
@@ -53,7 +53,7 @@ registerDialect(ir::Context &ctx)
         .numResults = 0,
         .numRegions = 1,
         .extraVerify = [](ir::Operation *op) -> std::string {
-            if (!op->attr("sym_name"))
+            if (!op->attr(ir::attrs::kSymName))
                 return "csl.func requires a sym_name";
             return "";
         },
@@ -63,15 +63,15 @@ registerDialect(ir::Context &ctx)
         .numResults = 0,
         .numRegions = 1,
         .extraVerify = [](ir::Operation *op) -> std::string {
-            if (!op->attr("sym_name"))
+            if (!op->attr(ir::attrs::kSymName))
                 return "csl.task requires a sym_name";
-            ir::Attribute kind = op->attr("kind");
+            ir::Attribute kind = op->attr(ir::attrs::kKind);
             if (!kind || !ir::isStringAttr(kind))
                 return "csl.task requires a kind";
             const std::string &k = ir::stringAttrValue(kind);
             if (k != "data" && k != "control" && k != "local")
                 return "csl.task kind must be data, control or local";
-            if (!op->attr("id"))
+            if (!op->attr(ir::attrs::kId))
                 return "csl.task requires an id";
             return "";
         },
@@ -81,7 +81,7 @@ registerDialect(ir::Context &ctx)
                       .isTerminator = true});
     registerSimpleOp(ctx, kCall, {
         .extraVerify = [](ir::Operation *op) -> std::string {
-            if (!op->attr("callee"))
+            if (!op->attr(ir::attrs::kCallee))
                 return "csl.call requires a callee";
             return "";
         },
@@ -90,7 +90,7 @@ registerDialect(ir::Context &ctx)
         .numOperands = 0,
         .numResults = 0,
         .extraVerify = [](ir::Operation *op) -> std::string {
-            if (!op->attr("task"))
+            if (!op->attr(ir::attrs::kTask))
                 return "csl.activate requires a task name";
             return "";
         },
@@ -99,9 +99,9 @@ registerDialect(ir::Context &ctx)
         .numOperands = 0,
         .numResults = 0,
         .extraVerify = [](ir::Operation *op) -> std::string {
-            if (!op->attr("sym_name"))
+            if (!op->attr(ir::attrs::kSymName))
                 return "csl.variable requires a sym_name";
-            if (!op->attr("type"))
+            if (!op->attr(ir::attrs::kType))
                 return "csl.variable requires a type";
             return "";
         },
@@ -110,7 +110,7 @@ registerDialect(ir::Context &ctx)
         .numOperands = 0,
         .numResults = 1,
         .extraVerify = [](ir::Operation *op) -> std::string {
-            if (!op->attr("var"))
+            if (!op->attr(ir::attrs::kVar))
                 return "csl.load_var requires a var";
             return "";
         },
@@ -119,7 +119,7 @@ registerDialect(ir::Context &ctx)
         .numOperands = 1,
         .numResults = 0,
         .extraVerify = [](ir::Operation *op) -> std::string {
-            if (!op->attr("var"))
+            if (!op->attr(ir::attrs::kVar))
                 return "csl.store_var requires a var";
             return "";
         },
@@ -128,7 +128,7 @@ registerDialect(ir::Context &ctx)
         .numOperands = 0,
         .numResults = 1,
         .extraVerify = [](ir::Operation *op) -> std::string {
-            if (!op->attr("var"))
+            if (!op->attr(ir::attrs::kVar))
                 return "csl.addressof requires a var";
             if (!isPtrType(op->result(0).type()))
                 return "csl.addressof result must be a pointer";
@@ -138,7 +138,7 @@ registerDialect(ir::Context &ctx)
     registerSimpleOp(ctx, kGetMemDsd, {
         .numResults = 1,
         .extraVerify = [](ir::Operation *op) -> std::string {
-            if (!op->attr("var"))
+            if (!op->attr(ir::attrs::kVar))
                 return "csl.get_mem_dsd requires a var";
             if (!isDsdType(op->result(0).type()))
                 return "csl.get_mem_dsd result must be a DSD";
@@ -160,9 +160,9 @@ registerDialect(ir::Context &ctx)
         .numOperands = 1,
         .numResults = 0,
         .extraVerify = [](ir::Operation *op) -> std::string {
-            if (!op->attr("recv_cb") || !op->attr("done_cb"))
+            if (!op->attr(ir::attrs::kRecvCb) || !op->attr(ir::attrs::kDoneCb))
                 return "csl.comms_exchange requires recv_cb and done_cb";
-            if (!op->attr("num_chunks"))
+            if (!op->attr(ir::attrs::kNumChunks))
                 return "csl.comms_exchange requires num_chunks";
             return "";
         },
@@ -453,20 +453,20 @@ commsExchangeSpec(ir::Operation *op)
     WSC_ASSERT(op->opId() == kCommsExchange,
                "commsExchangeSpec on " << op->name());
     CommsExchangeSpec spec;
-    spec.recvCallback = op->strAttr("recv_cb");
-    spec.doneCallback = op->strAttr("done_cb");
-    if (op->hasAttr("recv_buffer"))
-        spec.recvBufferName = op->strAttr("recv_buffer");
+    spec.recvCallback = op->strAttr(ir::attrs::kRecvCb);
+    spec.doneCallback = op->strAttr(ir::attrs::kDoneCb);
+    if (op->hasAttr(ir::attrs::kRecvBuffer))
+        spec.recvBufferName = op->strAttr(ir::attrs::kRecvBuffer);
     std::vector<int64_t> flat =
-        ir::intArrayAttrValue(op->attr("accesses"));
+        ir::intArrayAttrValue(op->attr(ir::attrs::kAccesses));
     for (size_t i = 0; i + 1 < flat.size(); i += 2)
         spec.accesses.emplace_back(flat[i], flat[i + 1]);
-    spec.numChunks = op->intAttr("num_chunks");
-    spec.pattern = op->intAttr("pattern");
-    spec.zSize = op->intAttr("z_size");
-    spec.trimFirst = op->intAttr("trim_first");
-    spec.trimLast = op->intAttr("trim_last");
-    if (ir::Attribute coeffs = op->attr("coeffs"))
+    spec.numChunks = op->intAttr(ir::attrs::kNumChunks);
+    spec.pattern = op->intAttr(ir::attrs::kPattern);
+    spec.zSize = op->intAttr(ir::attrs::kZSize);
+    spec.trimFirst = op->intAttr(ir::attrs::kTrimFirst);
+    spec.trimLast = op->intAttr(ir::attrs::kTrimLast);
+    if (ir::Attribute coeffs = op->attr(ir::attrs::kCoeffs))
         spec.coeffs = ir::denseAttrValues(coeffs);
     return spec;
 }

@@ -32,9 +32,9 @@ registerDialect(ir::Context &ctx)
         .numOperands = 1,
         .numResults = 1,
         .extraVerify = [](ir::Operation *op) -> std::string {
-            if (!op->attr("swaps"))
+            if (!op->attr(ir::attrs::kSwaps))
                 return "csl_stencil.prefetch requires swaps";
-            if (!op->attr("num_chunks"))
+            if (!op->attr(ir::attrs::kNumChunks))
                 return "csl_stencil.prefetch requires num_chunks";
             return "";
         },
@@ -44,11 +44,11 @@ registerDialect(ir::Context &ctx)
         .numResults = 1,
         .numRegions = 2,
         .extraVerify = [](ir::Operation *op) -> std::string {
-            if (!op->attr("swaps"))
+            if (!op->attr(ir::attrs::kSwaps))
                 return "csl_stencil.apply requires swaps";
-            if (!op->attr("num_chunks"))
+            if (!op->attr(ir::attrs::kNumChunks))
                 return "csl_stencil.apply requires num_chunks";
-            if (op->intAttr("num_chunks") < 1)
+            if (op->intAttr(ir::attrs::kNumChunks) < 1)
                 return "num_chunks must be >= 1";
             if (op->region(0).empty() || op->region(1).empty())
                 return "csl_stencil.apply requires two populated regions";
@@ -64,7 +64,7 @@ registerDialect(ir::Context &ctx)
         .numOperands = 1,
         .numResults = 1,
         .extraVerify = [](ir::Operation *op) -> std::string {
-            if (!op->attr("offset"))
+            if (!op->attr(ir::attrs::kOffset))
                 return "csl_stencil.access requires an offset";
             return "";
         },
@@ -160,7 +160,7 @@ std::vector<dmp::Exchange>
 applyExchanges(ir::Operation *op)
 {
     std::vector<dmp::Exchange> out;
-    for (ir::Attribute entry : ir::arrayAttrValue(op->attr("swaps"))) {
+    for (ir::Attribute entry : ir::arrayAttrValue(op->attr(ir::attrs::kSwaps))) {
         dmp::Exchange e;
         std::vector<int64_t> to =
             ir::intArrayAttrValue(ir::dictAttrGet(entry, "to"));
@@ -175,7 +175,7 @@ applyExchanges(ir::Operation *op)
 int64_t
 applyNumChunks(ir::Operation *op)
 {
-    return op->intAttr("num_chunks");
+    return op->intAttr(ir::attrs::kNumChunks);
 }
 
 ir::Value

@@ -14,9 +14,9 @@ registerDialect(ir::Context &ctx)
         .numResults = 0,
         .numRegions = 2,
         .extraVerify = [](ir::Operation *op) -> std::string {
-            if (!op->attr("width") || !op->attr("height"))
+            if (!op->attr(ir::attrs::kWidth) || !op->attr(ir::attrs::kHeight))
                 return "csl_wrapper.module requires width/height";
-            if (!op->attr("params"))
+            if (!op->attr(ir::attrs::kParams))
                 return "csl_wrapper.module requires params";
             if (op->region(0).empty() || op->region(1).empty())
                 return "csl_wrapper.module requires layout and program "
@@ -83,7 +83,7 @@ moduleParams(ir::Operation *moduleOp)
 {
     std::vector<Param> out;
     for (ir::Attribute entry :
-         ir::arrayAttrValue(moduleOp->attr("params"))) {
+         ir::arrayAttrValue(moduleOp->attr(ir::attrs::kParams))) {
         Param p;
         p.name = ir::stringAttrValue(ir::dictAttrGet(entry, "name"));
         p.value = ir::intAttrValue(ir::dictAttrGet(entry, "value"));
@@ -95,7 +95,7 @@ moduleParams(ir::Operation *moduleOp)
 std::pair<int64_t, int64_t>
 moduleExtent(ir::Operation *moduleOp)
 {
-    return {moduleOp->intAttr("width"), moduleOp->intAttr("height")};
+    return {moduleOp->intAttr(ir::attrs::kWidth), moduleOp->intAttr(ir::attrs::kHeight)};
 }
 
 ir::Value

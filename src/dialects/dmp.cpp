@@ -13,9 +13,9 @@ registerDialect(ir::Context &ctx)
         .numOperands = 1,
         .numResults = 1,
         .extraVerify = [](ir::Operation *op) -> std::string {
-            if (!op->attr("swaps"))
+            if (!op->attr(ir::attrs::kSwaps))
                 return "dmp.swap requires a swaps attribute";
-            if (!op->attr("topology"))
+            if (!op->attr(ir::attrs::kTopology))
                 return "dmp.swap requires a topology attribute";
             if (op->operand(0).type() != op->result(0).type())
                 return "dmp.swap result type must match operand";
@@ -45,7 +45,7 @@ std::vector<Exchange>
 swapExchanges(ir::Operation *swapOp)
 {
     std::vector<Exchange> out;
-    for (ir::Attribute entry : ir::arrayAttrValue(swapOp->attr("swaps"))) {
+    for (ir::Attribute entry : ir::arrayAttrValue(swapOp->attr(ir::attrs::kSwaps))) {
         Exchange e;
         std::vector<int64_t> to =
             ir::intArrayAttrValue(ir::dictAttrGet(entry, "to"));
@@ -61,7 +61,7 @@ std::pair<int64_t, int64_t>
 swapTopology(ir::Operation *swapOp)
 {
     std::vector<int64_t> t =
-        ir::intArrayAttrValue(swapOp->attr("topology"));
+        ir::intArrayAttrValue(swapOp->attr(ir::attrs::kTopology));
     WSC_ASSERT(t.size() == 2, "dmp.swap topology must be 2-D");
     return {t[0], t[1]};
 }

@@ -14,9 +14,9 @@ registerDialect(ir::Context &ctx)
         .numResults = 0,
         .numRegions = 1,
         .extraVerify = [](ir::Operation *op) -> std::string {
-            if (!op->attr("sym_name"))
+            if (!op->attr(ir::attrs::kSymName))
                 return "func.func requires a sym_name attribute";
-            if (!op->attr("function_type"))
+            if (!op->attr(ir::attrs::kFunctionType))
                 return "func.func requires a function_type attribute";
             return "";
         },
@@ -27,7 +27,7 @@ registerDialect(ir::Context &ctx)
     registerSimpleOp(ctx, kCall, {
         .numRegions = 0,
         .extraVerify = [](ir::Operation *op) -> std::string {
-            if (!op->attr("callee"))
+            if (!op->attr(ir::attrs::kCallee))
                 return "func.call requires a callee attribute";
             return "";
         },
@@ -62,14 +62,14 @@ funcBody(ir::Operation *funcOp)
 const std::string &
 funcName(ir::Operation *funcOp)
 {
-    return funcOp->strAttr("sym_name");
+    return funcOp->strAttr(ir::attrs::kSymName);
 }
 
 std::vector<ir::Type>
 funcResultTypes(ir::Operation *funcOp)
 {
     return ir::functionResults(
-        ir::typeAttrValue(funcOp->attr("function_type")));
+        ir::typeAttrValue(funcOp->attr(ir::attrs::kFunctionType)));
 }
 
 ir::Operation *

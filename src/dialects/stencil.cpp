@@ -71,7 +71,7 @@ registerDialect(ir::Context &ctx)
         .numOperands = 1,
         .numResults = 1,
         .extraVerify = [](ir::Operation *op) -> std::string {
-            if (!op->attr("offset"))
+            if (!op->attr(ir::attrs::kOffset))
                 return "stencil.access requires an offset attribute";
             return "";
         },
@@ -189,7 +189,7 @@ createAccess(ir::OpBuilder &b, ir::Value temp,
 std::vector<int64_t>
 accessOffset(ir::Operation *accessOp)
 {
-    return ir::intArrayAttrValue(accessOp->attr("offset"));
+    return ir::intArrayAttrValue(accessOp->attr(ir::attrs::kOffset));
 }
 
 ir::Operation *

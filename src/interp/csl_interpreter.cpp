@@ -19,11 +19,11 @@ namespace scf = dialects::scf;
 ir::Operation *
 findProgramModule(ir::Operation *root)
 {
-    if (root->is(csl::kModule) && root->strAttr("kind") == "program")
+    if (root->is(csl::kModule) && root->strAttr(ir::attrs::kKind) == "program")
         return root;
     ir::Operation *program = nullptr;
     root->walk([&](ir::Operation *op) {
-        if (op->is(csl::kModule) && op->strAttr("kind") == "program")
+        if (op->is(csl::kModule) && op->strAttr(ir::attrs::kKind) == "program")
             program = op;
     });
     WSC_ASSERT(program, "no program csl.module found");
@@ -126,7 +126,7 @@ class CslProgramInstance::Compiler
         ir::OpId n = op->opId();
         Instr ins;
         if (n == ar::kConstant) {
-            ir::Attribute a = op->attr("value");
+            ir::Attribute a = op->attr(ir::attrs::kValue);
             ins.op = Opcode::Constant;
             ins.dst = slotOf(op->result().impl());
             ins.imm = ir::isFloatAttr(a)
@@ -149,7 +149,7 @@ class CslProgramInstance::Compiler
             return;
         }
         if (n == ar::kCmpI) {
-            const std::string &p = op->strAttr("predicate");
+            const std::string &p = op->strAttr(ir::attrs::kPredicate);
             ins.op = Opcode::Cmp;
             ins.pred = p == "lt"   ? CmpPred::Lt
                        : p == "le" ? CmpPred::Le
@@ -184,10 +184,10 @@ class CslProgramInstance::Compiler
         }
         if (n == csl::kLoadVar) {
             ir::Type t = op->result().type();
-            ins.var = varIdx(op->strAttr("var"));
+            ins.var = varIdx(op->strAttr(ir::attrs::kVar));
             ins.dst = slotOf(op->result().impl());
             if (ir::isMemRef(t))
-                ins.op = op->hasAttr("via_ptr") ? Opcode::LoadBufferViaPtr
+                ins.op = op->hasAttr(ir::attrs::kViaPtr) ? Opcode::LoadBufferViaPtr
                                                 : Opcode::LoadBuffer;
             else if (csl::isPtrType(t))
                 ins.op = Opcode::LoadPtr;
@@ -198,29 +198,29 @@ class CslProgramInstance::Compiler
         }
         if (n == csl::kStoreVar) {
             ins.op = Opcode::StoreVar;
-            ins.var = varIdx(op->strAttr("var"));
+            ins.var = varIdx(op->strAttr(ir::attrs::kVar));
             ins.a = slotOf(op->operand(0).impl());
             code.push_back(ins);
             return;
         }
         if (n == csl::kAddressOf) {
             ins.op = Opcode::AddressOf;
-            ins.var = varIdx(op->strAttr("var"));
+            ins.var = varIdx(op->strAttr(ir::attrs::kVar));
             ins.dst = slotOf(op->result().impl());
             code.push_back(ins);
             return;
         }
         if (n == csl::kGetMemDsd) {
-            ins.op = op->hasAttr("via_ptr") ? Opcode::GetMemDsdViaPtr
+            ins.op = op->hasAttr(ir::attrs::kViaPtr) ? Opcode::GetMemDsdViaPtr
                                             : Opcode::GetMemDsd;
-            ins.var = varIdx(op->strAttr("var"));
+            ins.var = varIdx(op->strAttr(ir::attrs::kVar));
             ins.dst = slotOf(op->result().impl());
-            ins.offset = op->intAttr("offset");
-            ins.length = op->intAttr("length");
-            ins.stride = op->intAttr("stride");
-            if (op->hasAttr("wrap")) {
+            ins.offset = op->intAttr(ir::attrs::kOffset);
+            ins.length = op->intAttr(ir::attrs::kLength);
+            ins.stride = op->intAttr(ir::attrs::kStride);
+            if (op->hasAttr(ir::attrs::kWrap)) {
                 ins.hasWrap = true;
-                ins.wrap = op->intAttr("wrap");
+                ins.wrap = op->intAttr(ir::attrs::kWrap);
             }
             code.push_back(ins);
             return;
@@ -257,7 +257,7 @@ class CslProgramInstance::Compiler
             return;
         }
         if (n == csl::kCall) {
-            const std::string &callee = op->strAttr("callee");
+            const std::string &callee = op->strAttr(ir::attrs::kCallee);
             auto it = self_.bodyOf_.find(callee);
             ins.op = Opcode::Call;
             ins.body0 = it == self_.bodyOf_.end() ? -1 : it->second;
@@ -267,7 +267,7 @@ class CslProgramInstance::Compiler
         }
         if (n == csl::kActivate) {
             ins.op = Opcode::Activate;
-            ins.task = self_.taskIdx(op->strAttr("task"));
+            ins.task = self_.taskIdx(op->strAttr(ir::attrs::kTask));
             code.push_back(ins);
             return;
         }
@@ -353,15 +353,19 @@ void
 CslProgramInstance::configure()
 {
     WSC_ASSERT(!configured_, "configure called twice");
+    // The reference evaluator probes IR attributes at run time; the IR
+    // context is not safe to touch from shard worker threads.
+    WSC_ASSERT(!referenceMode_ || sim_.threads() == 1,
+               "reference mode requires a single-threaded simulator");
     configured_ = true;
 
     // --- Collect module structure ---------------------------------------
     std::vector<ir::Operation *> commsOps;
     for (ir::Operation *op : csl::moduleBody(program_)->operations()) {
         if (op->is(csl::kFunc) || op->is(csl::kTask))
-            callables_[op->strAttr("sym_name")] = op;
+            callables_[op->strAttr(ir::attrs::kSymName)] = op;
         else if (op->is(csl::kVariable))
-            variables_[op->strAttr("sym_name")] = op;
+            variables_[op->strAttr(ir::attrs::kSymName)] = op;
     }
     program_->walk([&](ir::Operation *op) {
         if (op->is(csl::kCommsExchange))
@@ -408,10 +412,10 @@ CslProgramInstance::configure()
     std::set<std::string> rotationPool;
     std::string primaryField;
     for (const auto &[name, var] : variables_) {
-        ir::Type type = ir::typeAttrValue(var->attr("type"));
+        ir::Type type = ir::typeAttrValue(var->attr(ir::attrs::kType));
         if (!csl::isPtrType(type))
             continue;
-        std::string target = ir::stringAttrValue(var->attr("init"));
+        std::string target = ir::stringAttrValue(var->attr(ir::attrs::kInit));
         rotationPool.insert(target);
         if (name == "ptr_iter0")
             primaryField = target;
@@ -426,8 +430,8 @@ CslProgramInstance::configure()
             bool boundaryPe = !interiorEverywhere(x, y);
 
             for (const auto &[name, var] : variables_) {
-                ir::Type type = ir::typeAttrValue(var->attr("type"));
-                if (var->hasAttr("comms_owned"))
+                ir::Type type = ir::typeAttrValue(var->attr(ir::attrs::kType));
+                if (var->hasAttr(ir::attrs::kCommsOwned))
                     continue; // StarComm::setup allocates these.
                 if (ir::isMemRef(type)) {
                     std::vector<float> &buf = pe.allocBuffer(
@@ -440,8 +444,8 @@ CslProgramInstance::configure()
                     std::string initField;
                     if (fieldInits_.count(name))
                         initField = name;
-                    else if (var->hasAttr("init_as"))
-                        initField = var->strAttr("init_as");
+                    else if (var->hasAttr(ir::attrs::kInitAs))
+                        initField = var->strAttr(ir::attrs::kInitAs);
                     if (boundaryPe && !primaryField.empty() &&
                         rotationPool.count(name))
                         initField = primaryField;
@@ -453,10 +457,10 @@ CslProgramInstance::configure()
                     }
                 } else if (csl::isPtrType(type)) {
                     env.ptrs[name] =
-                        ir::stringAttrValue(var->attr("init"));
+                        ir::stringAttrValue(var->attr(ir::attrs::kInit));
                 } else {
                     int64_t init = 0;
-                    if (ir::Attribute a = var->attr("init"))
+                    if (ir::Attribute a = var->attr(ir::attrs::kInit))
                         init = ir::intAttrValue(a);
                     pe.scalar(name) = static_cast<double>(init);
                 }
@@ -481,10 +485,10 @@ CslProgramInstance::configure()
             wse::Pe &pe = sim_.pe(x, y);
             size_t peIdx = static_cast<size_t>(x) * sim_.height() + y;
             for (const auto &[name, var] : variables_) {
-                if (var->hasAttr("comptime_role"))
+                if (var->hasAttr(ir::attrs::kComptimeRole))
                     pe.scalar(name) =
                         interiorEverywhere(x, y) ? 1.0 : 0.0;
-                if (ir::Attribute site = var->attr("comptime_role_site")) {
+                if (ir::Attribute site = var->attr(ir::attrs::kComptimeRoleSite)) {
                     size_t idx =
                         commOfRecvCb_.at(ir::stringAttrValue(site));
                     pe.scalar(name) =
@@ -546,7 +550,9 @@ CslProgramInstance::configure()
                             stepMarks_[peIdx].push_back(
                                 ctx.startCycle());
                         const CompiledBody &cb = bodies_[bodyIdx];
-                        std::vector<RtValue> slots(cb.numSlots);
+                        PeRt &rt = peRts_[peIdx];
+                        std::vector<RtValue> slots =
+                            rt.frames.acquire(cb.numSlots);
                         if (wantsOffset) {
                             WSC_ASSERT(
                                 site >= 0,
@@ -561,7 +567,8 @@ CslProgramInstance::configure()
                                     ctx.pe()));
                         }
                         execCompiled(bodyIdx, slots, peEnvs_[peIdx],
-                                     peRts_[peIdx], ctx);
+                                     rt, ctx);
+                        rt.frames.release(std::move(slots));
                     });
             }
 
@@ -579,12 +586,12 @@ CslProgramInstance::configure()
                 auto vit = variables_.find(name);
                 if (vit != variables_.end()) {
                     ir::Type t =
-                        ir::typeAttrValue(vit->second->attr("type"));
+                        ir::typeAttrValue(vit->second->attr(ir::attrs::kType));
                     isBufOrPtr = ir::isMemRef(t) || csl::isPtrType(t);
                     if (csl::isPtrType(t))
                         rt.ptrTarget[i] = pe.bufferId(
                             ir::stringAttrValue(
-                                vit->second->attr("init")));
+                                vit->second->attr(ir::attrs::kInit)));
                 }
                 if (wse::BufferId buf = pe.findBuffer(name);
                     buf.valid())
@@ -618,12 +625,51 @@ CslProgramInstance::launch()
 // Pre-decoded execution (the per-PE, per-cycle hot loop)
 //===----------------------------------------------------------------------===
 
+std::vector<CslProgramInstance::RtValue>
+CslProgramInstance::FrameStack::acquire(uint32_t n)
+{
+    acquires++;
+    if (pool.empty()) {
+        fresh++;
+        return std::vector<RtValue>(n);
+    }
+    std::vector<RtValue> frame = std::move(pool.back());
+    pool.pop_back();
+    if (frame.capacity() < n)
+        fresh++; // Growing past the recycled capacity allocates.
+    frame.resize(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        RtValue &v = frame[i];
+        v.kind = RtValue::Kind::None;
+        v.num = 0.0;
+        v.buf = {};
+        // A stale dsd (notably wrap) must not leak into a body whose
+        // GetMemDsd omits the optional attributes.
+        v.dsd = wse::Dsd{};
+    }
+    return frame;
+}
+
+std::pair<uint64_t, uint64_t>
+CslProgramInstance::frameStats() const
+{
+    uint64_t acquires = 0;
+    uint64_t fresh = 0;
+    for (const PeRt &rt : peRts_) {
+        acquires += rt.frames.acquires;
+        fresh += rt.frames.fresh;
+    }
+    return {acquires, fresh};
+}
+
 void
 CslProgramInstance::runCompiledCallable(int bodyIdx, PeEnv &peEnv,
                                         PeRt &peRt, wse::TaskContext &ctx)
 {
-    std::vector<RtValue> slots(bodies_[bodyIdx].numSlots);
+    std::vector<RtValue> slots =
+        peRt.frames.acquire(bodies_[bodyIdx].numSlots);
     execCompiled(bodyIdx, slots, peEnv, peRt, ctx);
+    peRt.frames.release(std::move(slots));
 }
 
 void
@@ -812,7 +858,7 @@ CslProgramInstance::execCompiled(int bodyIdx, std::vector<RtValue> &slots,
             break;
         }
         case Opcode::UnblockCmdStream:
-            unblockCount_++;
+            unblockCount_.fetch_add(1, std::memory_order_relaxed);
             break;
         case Opcode::Nop:
             break;
@@ -864,7 +910,7 @@ CslProgramInstance::execBody(ir::Block *block, SsaEnv &env, PeEnv &peEnv,
         if (n == ar::kConstant) {
             RtValue v;
             v.kind = RtValue::Kind::Num;
-            ir::Attribute a = op->attr("value");
+            ir::Attribute a = op->attr(ir::attrs::kValue);
             v.num = ir::isFloatAttr(a) ? ir::floatAttrValue(a)
                                        : static_cast<double>(
                                              ir::intAttrValue(a));
@@ -895,7 +941,7 @@ CslProgramInstance::execBody(ir::Block *block, SsaEnv &env, PeEnv &peEnv,
         if (n == ar::kCmpI) {
             double a = evalOperand(env, op->operand(0)).num;
             double b = evalOperand(env, op->operand(1)).num;
-            const std::string &p = op->strAttr("predicate");
+            const std::string &p = op->strAttr(ir::attrs::kPredicate);
             bool r = p == "lt"   ? a < b
                      : p == "le" ? a <= b
                      : p == "gt" ? a > b
@@ -925,12 +971,12 @@ CslProgramInstance::execBody(ir::Block *block, SsaEnv &env, PeEnv &peEnv,
         if (n == csl::kReturn)
             return;
         if (n == csl::kLoadVar) {
-            const std::string &var = op->strAttr("var");
+            const std::string &var = op->strAttr(ir::attrs::kVar);
             ir::Type t = op->result().type();
             RtValue v;
             if (ir::isMemRef(t)) {
                 v.kind = RtValue::Kind::Buffer;
-                v.str = op->hasAttr("via_ptr") ? peEnv.ptrs.at(var) : var;
+                v.str = op->hasAttr(ir::attrs::kViaPtr) ? peEnv.ptrs.at(var) : var;
             } else if (csl::isPtrType(t)) {
                 v.kind = RtValue::Kind::Ptr;
                 v.str = peEnv.ptrs.at(var);
@@ -943,7 +989,7 @@ CslProgramInstance::execBody(ir::Block *block, SsaEnv &env, PeEnv &peEnv,
             continue;
         }
         if (n == csl::kStoreVar) {
-            const std::string &var = op->strAttr("var");
+            const std::string &var = op->strAttr(ir::attrs::kVar);
             RtValue v = evalOperand(env, op->operand(0));
             if (v.kind == RtValue::Kind::Ptr ||
                 v.kind == RtValue::Kind::Buffer)
@@ -956,23 +1002,23 @@ CslProgramInstance::execBody(ir::Block *block, SsaEnv &env, PeEnv &peEnv,
         if (n == csl::kAddressOf) {
             RtValue v;
             v.kind = RtValue::Kind::Ptr;
-            v.str = op->strAttr("var");
+            v.str = op->strAttr(ir::attrs::kVar);
             env[op->result().impl()] = v;
             continue;
         }
         if (n == csl::kGetMemDsd) {
-            const std::string &var = op->strAttr("var");
+            const std::string &var = op->strAttr(ir::attrs::kVar);
             std::string bufName =
-                op->hasAttr("via_ptr") ? peEnv.ptrs.at(var) : var;
+                op->hasAttr(ir::attrs::kViaPtr) ? peEnv.ptrs.at(var) : var;
             RtValue v;
             v.kind = RtValue::Kind::DsdVal;
             v.str = bufName;
             v.dsd.buf = &pe.buffer(bufName);
-            v.dsd.offset = op->intAttr("offset");
-            v.dsd.length = op->intAttr("length");
-            v.dsd.stride = op->intAttr("stride");
-            if (op->hasAttr("wrap"))
-                v.dsd.wrap = op->intAttr("wrap");
+            v.dsd.offset = op->intAttr(ir::attrs::kOffset);
+            v.dsd.length = op->intAttr(ir::attrs::kLength);
+            v.dsd.stride = op->intAttr(ir::attrs::kStride);
+            if (op->hasAttr(ir::attrs::kWrap))
+                v.dsd.wrap = op->intAttr(ir::attrs::kWrap);
             env[op->result().impl()] = v;
             ctx.consume(2); // DSD configuration is cheap but not free.
             continue;
@@ -1025,12 +1071,12 @@ CslProgramInstance::execBody(ir::Block *block, SsaEnv &env, PeEnv &peEnv,
             continue;
         }
         if (n == csl::kCall) {
-            runCallable(op->strAttr("callee"), peEnv, ctx);
+            runCallable(op->strAttr(ir::attrs::kCallee), peEnv, ctx);
             ctx.consume(2);
             continue;
         }
         if (n == csl::kActivate) {
-            pe.activate(op->strAttr("task"), ctx.currentCycle());
+            pe.activate(op->strAttr(ir::attrs::kTask), ctx.currentCycle());
             ctx.consume(2);
             continue;
         }
@@ -1074,7 +1120,7 @@ CslProgramInstance::readFieldColumn(const std::string &field, int x, int y)
     // Resolve through the program's result mapping.
     std::string var = field;
     bool viaPtr = false;
-    if (ir::Attribute results = program_->attr("result_fields")) {
+    if (ir::Attribute results = program_->attr(ir::attrs::kResultFields)) {
         for (ir::Attribute entry : ir::arrayAttrValue(results)) {
             if (ir::stringAttrValue(ir::dictAttrGet(entry, "field")) ==
                 field) {

@@ -18,6 +18,7 @@
 #ifndef WSC_INTERP_CSL_INTERPRETER_H
 #define WSC_INTERP_CSL_INTERPRETER_H
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -77,7 +78,14 @@ class CslProgramInstance
                                        int y);
 
     /** PEs that returned control to the host (unblock_cmd_stream). */
-    uint64_t unblockCount() const { return unblockCount_; }
+    uint64_t unblockCount() const
+    {
+        return unblockCount_.load(std::memory_order_relaxed);
+    }
+
+    /** Frame-arena telemetry summed over PEs: (acquires, heap-backed
+     *  frames created). Steady state acquires without creating. */
+    std::pair<uint64_t, uint64_t> frameStats() const;
 
     /** Dispatch timestamps of for_cond0 on a PE (per-step markers). */
     const std::vector<wse::Cycles> &stepMarks(int x, int y) const;
@@ -183,6 +191,28 @@ class CslProgramInstance
     };
 
     /**
+     * Recycled stack of RtValue slot frames: execCompiled gets its
+     * frame from here instead of constructing a std::vector per
+     * activation — after warmup, task dispatch performs zero heap
+     * allocations. Frames are vectors so nested activations (csl.call)
+     * simply pop another one; released frames keep their capacity.
+     */
+    struct FrameStack
+    {
+        std::vector<std::vector<RtValue>> pool;
+        uint64_t acquires = 0;
+        /** Acquires that allocated (empty pool or capacity growth). */
+        uint64_t fresh = 0;
+
+        std::vector<RtValue> acquire(uint32_t n);
+        void
+        release(std::vector<RtValue> &&frame)
+        {
+            pool.push_back(std::move(frame));
+        }
+    };
+
+    /**
      * Per-PE pre-resolved dense handles, built once at configure():
      * the opcode loop touches no strings.
      */
@@ -200,6 +230,8 @@ class CslProgramInstance
         /** Receive / done callback task per comms site. */
         std::vector<wse::TaskId> commRecv;
         std::vector<wse::TaskId> commDone;
+        /** Recycled activation frames (see FrameStack). */
+        FrameStack frames;
     };
 
     class Compiler;
@@ -234,7 +266,8 @@ class CslProgramInstance
     std::map<std::string, size_t> commOfRecvCb_;
     std::vector<PeEnv> peEnvs_;
     std::vector<std::vector<wse::Cycles>> stepMarks_;
-    uint64_t unblockCount_ = 0;
+    /** Atomic: incremented from any shard's worker thread. */
+    std::atomic<uint64_t> unblockCount_{0};
     bool configured_ = false;
     bool referenceMode_ = false;
 

@@ -60,6 +60,19 @@ OpBuilder::create(OpId id, const std::vector<Value> &operands,
 }
 
 Operation *
+OpBuilder::createInterned(OpId id, const std::vector<Value> &operands,
+                          const std::vector<Type> &resultTypes,
+                          const StoredAttrList &attrs, unsigned numRegions)
+{
+    Operation *op = Operation::createInterned(*ctx_, id, operands,
+                                              resultTypes, attrs,
+                                              numRegions);
+    if (hasPoint_)
+        insert(op);
+    return op;
+}
+
+Operation *
 OpBuilder::insert(Operation *op)
 {
     WSC_ASSERT(hasPoint_ && block_, "insert without insertion point");

@@ -43,6 +43,11 @@ class OpBuilder
     Operation *create(OpId id, const std::vector<Value> &operands = {},
                       const std::vector<Type> &resultTypes = {},
                       const AttrList &attrs = {}, unsigned numRegions = 0);
+    /** Variant taking already-interned attributes (cloning paths). */
+    Operation *createInterned(OpId id, const std::vector<Value> &operands,
+                              const std::vector<Type> &resultTypes,
+                              const StoredAttrList &attrs,
+                              unsigned numRegions = 0);
     Operation *create(const std::string &name,
                       const std::vector<Value> &operands = {},
                       const std::vector<Type> &resultTypes = {},

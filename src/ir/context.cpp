@@ -98,6 +98,18 @@ typeKeyInto(const TypeStorage &s, std::string &key)
     }
 }
 
+Context::Context()
+{
+    // Pre-intern the well-known attribute names so the attrs::k*
+    // constants are valid in every context (ids are assigned in array
+    // order, starting from 0).
+    for (const char *name : attrs::kWellKnownNames) {
+        AttrNameId id = internAttrName(name);
+        WSC_ASSERT(id.raw() < std::size(attrs::kWellKnownNames),
+                   "well-known attribute ids must be dense");
+    }
+}
+
 Context::~Context()
 {
     // Interned storage is arena-placed and never individually freed; run
@@ -140,6 +152,34 @@ Context::uniqueAttr(const AttrStorage &proto)
     const AttrStorage *storage = allocate<AttrStorage>(proto);
     attrPool_.emplace(internKeyBytes(arena_, keyScratch_), storage);
     return storage;
+}
+
+AttrNameId
+Context::internAttrName(std::string_view name)
+{
+    auto it = attrNameIds_.find(name);
+    if (it != attrNameIds_.end())
+        return AttrNameId(it->second);
+    uint32_t id = static_cast<uint32_t>(attrNames_.size());
+    attrNames_.emplace_back(name);
+    attrNameIds_.emplace(std::string_view(attrNames_.back()), id);
+    return AttrNameId(id);
+}
+
+AttrNameId
+Context::findAttrName(std::string_view name) const
+{
+    auto it = attrNameIds_.find(name);
+    return it == attrNameIds_.end() ? AttrNameId()
+                                    : AttrNameId(it->second);
+}
+
+const std::string &
+Context::attrName(AttrNameId id) const
+{
+    WSC_ASSERT(id.valid() && id.raw() < attrNames_.size(),
+               "invalid attribute-name id " << id.raw());
+    return attrNames_[id.raw()];
 }
 
 void

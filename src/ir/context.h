@@ -13,6 +13,7 @@
 #define WSC_IR_CONTEXT_H
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <iosfwd>
 #include <memory>
@@ -68,6 +69,120 @@ class OpId
 /** Prints the interned spelling (used by diagnostics and gtest). */
 std::ostream &operator<<(std::ostream &os, OpId id);
 
+/**
+ * Dense integer handle for an attribute name interned in one Context.
+ * Attribute maps on operations store (AttrNameId, Attribute) pairs sorted
+ * by id, so probes with a resolved id compare integers instead of
+ * strings. Ids are per-context (ops never migrate between contexts).
+ */
+class AttrNameId
+{
+  public:
+    constexpr AttrNameId() = default;
+
+    bool valid() const { return id_ != kInvalid; }
+    uint32_t raw() const { return id_; }
+
+    friend bool operator==(AttrNameId a, AttrNameId b)
+    {
+        return a.id_ == b.id_;
+    }
+    friend bool operator!=(AttrNameId a, AttrNameId b)
+    {
+        return a.id_ != b.id_;
+    }
+    friend bool operator<(AttrNameId a, AttrNameId b)
+    {
+        return a.id_ < b.id_;
+    }
+
+    /** Construct from a raw id — for the well-known constants below and
+     *  Context; elsewhere obtain ids through Context::internAttrName. */
+    explicit constexpr AttrNameId(uint32_t id) : id_(id) {}
+
+  private:
+    static constexpr uint32_t kInvalid = 0xffffffffu;
+
+    uint32_t id_ = kInvalid;
+};
+
+/**
+ * Well-known attribute names, pre-interned by every Context in this
+ * exact order so the constants below are valid in any context. Hot
+ * probe sites (emitter, dialect accessors, symbol lookup) use these to
+ * skip the name-pool hash probe entirely.
+ */
+namespace attrs {
+
+/** Spellings in id order; Context's constructor interns them. */
+constexpr const char *kWellKnownNames[] = {
+    "value",      "var",       "sym_name",    "kind",
+    "callee",     "task",      "predicate",   "offset",
+    "length",     "stride",    "wrap",        "type",
+    "init",       "via_ptr",   "z_dim",       "z_offset",
+    "section",    "num_chunks","name",        "id",
+    "recv_cb",    "done_cb",   "recv_buffer", "coeffs",
+    "z_size",     "trim_first","trim_last",   "static_size",
+    "static_offset", "function_type", "module", "init_as",
+    "swaps",      "width",     "height",      "topology",
+    "params",     "result_fields", "comms_owned", "result_buffer",
+    "program_name", "pattern", "member",      "file",
+    "comptime_role_site", "comptime_role", "chunk_len", "arg_names",
+    "accesses",
+};
+
+inline constexpr AttrNameId kValue{0};
+inline constexpr AttrNameId kVar{1};
+inline constexpr AttrNameId kSymName{2};
+inline constexpr AttrNameId kKind{3};
+inline constexpr AttrNameId kCallee{4};
+inline constexpr AttrNameId kTask{5};
+inline constexpr AttrNameId kPredicate{6};
+inline constexpr AttrNameId kOffset{7};
+inline constexpr AttrNameId kLength{8};
+inline constexpr AttrNameId kStride{9};
+inline constexpr AttrNameId kWrap{10};
+inline constexpr AttrNameId kType{11};
+inline constexpr AttrNameId kInit{12};
+inline constexpr AttrNameId kViaPtr{13};
+inline constexpr AttrNameId kZDim{14};
+inline constexpr AttrNameId kZOffset{15};
+inline constexpr AttrNameId kSection{16};
+inline constexpr AttrNameId kNumChunks{17};
+inline constexpr AttrNameId kName{18};
+inline constexpr AttrNameId kId{19};
+inline constexpr AttrNameId kRecvCb{20};
+inline constexpr AttrNameId kDoneCb{21};
+inline constexpr AttrNameId kRecvBuffer{22};
+inline constexpr AttrNameId kCoeffs{23};
+inline constexpr AttrNameId kZSize{24};
+inline constexpr AttrNameId kTrimFirst{25};
+inline constexpr AttrNameId kTrimLast{26};
+inline constexpr AttrNameId kStaticSize{27};
+inline constexpr AttrNameId kStaticOffset{28};
+inline constexpr AttrNameId kFunctionType{29};
+inline constexpr AttrNameId kModule{30};
+inline constexpr AttrNameId kInitAs{31};
+inline constexpr AttrNameId kSwaps{32};
+inline constexpr AttrNameId kWidth{33};
+inline constexpr AttrNameId kHeight{34};
+inline constexpr AttrNameId kTopology{35};
+inline constexpr AttrNameId kParams{36};
+inline constexpr AttrNameId kResultFields{37};
+inline constexpr AttrNameId kCommsOwned{38};
+inline constexpr AttrNameId kResultBuffer{39};
+inline constexpr AttrNameId kProgramName{40};
+inline constexpr AttrNameId kPattern{41};
+inline constexpr AttrNameId kMember{42};
+inline constexpr AttrNameId kFile{43};
+inline constexpr AttrNameId kComptimeRoleSite{44};
+inline constexpr AttrNameId kComptimeRole{45};
+inline constexpr AttrNameId kChunkLen{46};
+inline constexpr AttrNameId kArgNames{47};
+inline constexpr AttrNameId kAccesses{48};
+
+} // namespace attrs
+
 /** Static information registered for each operation name. */
 struct OpInfo
 {
@@ -111,7 +226,7 @@ class IRListener
 class Context
 {
   public:
-    Context() = default;
+    Context();
     ~Context();
     Context(const Context &) = delete;
     Context &operator=(const Context &) = delete;
@@ -162,6 +277,18 @@ class Context
     /** Intern attribute storage. */
     const AttrStorage *uniqueAttr(const AttrStorage &proto);
 
+    /// @name Attribute-name interning
+    /// Attribute keys on operations are dense per-context ids; the
+    /// spelling is kept only for diagnostics and printing.
+    /// @{
+    /** Intern an attribute name (idempotent). */
+    AttrNameId internAttrName(std::string_view name);
+    /** Look up without interning; invalid id when never interned. */
+    AttrNameId findAttrName(std::string_view name) const;
+    /** The interned spelling; stable for the context's lifetime. */
+    const std::string &attrName(AttrNameId id) const;
+    /// @}
+
     /** Register an operation with its static info (dialect-load time). */
     void registerOp(OpId id, OpInfo info);
     void registerOp(const std::string &name, OpInfo info)
@@ -208,6 +335,10 @@ class Context
      */
     std::unordered_map<std::string_view, const TypeStorage *> typePool_;
     std::unordered_map<std::string_view, const AttrStorage *> attrPool_;
+    /** Attribute-name pool: deque keeps the spelling storage stable, so
+     *  the map keys are views of the stored strings. */
+    std::deque<std::string> attrNames_;
+    std::unordered_map<std::string_view, uint32_t> attrNameIds_;
     /** Reusable interning-key buffer; probes allocate nothing. */
     std::string keyScratch_;
     /** Indexed by OpId::raw(); registered_ marks occupied slots. */

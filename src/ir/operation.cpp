@@ -10,6 +10,41 @@
 namespace wsc::ir {
 
 //===----------------------------------------------------------------------===
+// UseList
+//===----------------------------------------------------------------------===
+
+void
+UseList::push_back(Operation *op, Context &ctx)
+{
+    if (size_ == cap_) {
+        uint32_t newCap = cap_ * 2;
+        auto **arr = static_cast<Operation **>(
+            ctx.allocateBytes(newCap * sizeof(Operation *)));
+        std::memcpy(arr, data(), size_ * sizeof(Operation *));
+        if (spill_)
+            ctx.deallocateBytes(spill_, cap_ * sizeof(Operation *));
+        spill_ = arr;
+        cap_ = newCap;
+    }
+    data()[size_++] = op;
+}
+
+void
+UseList::eraseOne(Operation *op)
+{
+    Operation **arr = data();
+    for (uint32_t i = 0; i < size_; ++i) {
+        if (arr[i] == op) {
+            std::memmove(arr + i, arr + i + 1,
+                         (size_ - i - 1) * sizeof(Operation *));
+            --size_;
+            return;
+        }
+    }
+    panic("use-list corruption: erasing an unrecorded use");
+}
+
+//===----------------------------------------------------------------------===
 // Value
 //===----------------------------------------------------------------------===
 
@@ -87,7 +122,8 @@ Value::replaceAllUsesWith(Value other)
     if (*this == other)
         return;
     // Users mutate as we go; snapshot first.
-    std::vector<Operation *> users = impl_->users;
+    std::vector<Operation *> users(impl_->users.begin(),
+                                   impl_->users.end());
     for (Operation *user : users) {
         for (unsigned i = 0, e = user->numOperands(); i < e; ++i)
             if (user->operand(i) == *this)
@@ -145,6 +181,20 @@ Operation::create(Context &ctx, OpId id, const std::vector<Value> &operands,
     return op;
 }
 
+Operation *
+Operation::createInterned(Context &ctx, OpId id,
+                          const std::vector<Value> &operands,
+                          const std::vector<Type> &resultTypes,
+                          const StoredAttrList &attrs, unsigned numRegions)
+{
+    Operation *op =
+        create(ctx, id, operands, resultTypes, AttrList{}, numRegions);
+    op->attrs_.reserve(attrs.size());
+    for (const StoredAttr &a : attrs)
+        op->setAttr(a.name, a.value);
+    return op;
+}
+
 void
 Operation::destroy(Operation *op)
 {
@@ -191,16 +241,13 @@ Operation::operand(unsigned i) const
 void
 Operation::addUse(Value v)
 {
-    v.impl()->users.push_back(this);
+    v.impl()->users.push_back(this, *ctx_);
 }
 
 void
 Operation::removeUse(Value v)
 {
-    auto &users = v.impl()->users;
-    auto it = std::find(users.begin(), users.end(), this);
-    WSC_ASSERT(it != users.end(), "use-list corruption on " << name());
-    users.erase(it);
+    v.impl()->users.eraseOne(this);
 }
 
 void
@@ -327,51 +374,79 @@ Operation::hasResultUses() const
 
 namespace {
 
-/** First attrs_ entry with key >= `key` (the list is sorted by key). */
-AttrList::const_iterator
-attrLowerBound(const AttrList &attrs, const std::string &key)
+/** First attrs_ entry with name id >= `key` (sorted by id). */
+StoredAttrList::const_iterator
+attrLowerBound(const StoredAttrList &attrs, AttrNameId key)
 {
     return std::lower_bound(attrs.begin(), attrs.end(), key,
-                            [](const auto &entry, const std::string &k) {
-                                return entry.first < k;
+                            [](const StoredAttr &entry, AttrNameId k) {
+                                return entry.name < k;
                             });
 }
 
 } // namespace
 
 Attribute
-Operation::attr(const std::string &key) const
+Operation::attr(AttrNameId key) const
 {
+    if (!key.valid())
+        return Attribute();
     auto it = attrLowerBound(attrs_, key);
-    return it != attrs_.end() && it->first == key ? it->second
-                                                  : Attribute();
-}
-
-bool
-Operation::hasAttr(const std::string &key) const
-{
-    auto it = attrLowerBound(attrs_, key);
-    return it != attrs_.end() && it->first == key;
+    return it != attrs_.end() && it->name == key ? it->value
+                                                 : Attribute();
 }
 
 void
-Operation::setAttr(const std::string &key, Attribute value)
+Operation::setAttr(AttrNameId key, Attribute value)
 {
-    WSC_ASSERT(value, "setAttr(" << key << ") with null attribute");
+    WSC_ASSERT(value, "setAttr(" << ctx_->attrName(key)
+                                 << ") with null attribute");
     auto it = attrLowerBound(attrs_, key);
-    if (it != attrs_.end() && it->first == key) {
-        attrs_[static_cast<size_t>(it - attrs_.begin())].second = value;
+    if (it != attrs_.end() && it->name == key) {
+        attrs_[static_cast<size_t>(it - attrs_.begin())].value = value;
         return;
     }
     attrs_.insert(attrs_.begin() + (it - attrs_.begin()), {key, value});
 }
 
 void
+Operation::removeAttr(AttrNameId key)
+{
+    if (!key.valid())
+        return;
+    auto it = attrLowerBound(attrs_, key);
+    if (it != attrs_.end() && it->name == key)
+        attrs_.erase(attrs_.begin() + (it - attrs_.begin()));
+}
+
+Attribute
+Operation::attr(const std::string &key) const
+{
+    return attr(ctx_->findAttrName(key));
+}
+
+bool
+Operation::hasAttr(const std::string &key) const
+{
+    return bool(attr(key));
+}
+
+void
+Operation::setAttr(const std::string &key, Attribute value)
+{
+    setAttr(ctx_->internAttrName(key), value);
+}
+
+void
 Operation::removeAttr(const std::string &key)
 {
-    auto it = attrLowerBound(attrs_, key);
-    if (it != attrs_.end() && it->first == key)
-        attrs_.erase(attrs_.begin() + (it - attrs_.begin()));
+    removeAttr(ctx_->findAttrName(key));
+}
+
+const std::string &
+Operation::attrKeyName(AttrNameId key) const
+{
+    return ctx_->attrName(key);
 }
 
 int64_t
@@ -382,11 +457,29 @@ Operation::intAttr(const std::string &key) const
     return intAttrValue(a);
 }
 
+int64_t
+Operation::intAttr(AttrNameId key) const
+{
+    Attribute a = attr(key);
+    WSC_ASSERT(a, "missing int attribute `" << ctx_->attrName(key)
+                                            << "` on " << name());
+    return intAttrValue(a);
+}
+
 const std::string &
 Operation::strAttr(const std::string &key) const
 {
     Attribute a = attr(key);
     WSC_ASSERT(a, "missing string attribute `" << key << "` on " << name());
+    return stringAttrValue(a);
+}
+
+const std::string &
+Operation::strAttr(AttrNameId key) const
+{
+    Attribute a = attr(key);
+    WSC_ASSERT(a, "missing string attribute `"
+                      << ctx_->attrName(key) << "` on " << name());
     return stringAttrValue(a);
 }
 
@@ -706,7 +799,7 @@ lookupSymbol(Operation *root, const std::string &name)
     WSC_ASSERT(root->numRegions() >= 1, "lookupSymbol on region-less op");
     for (Block *block : root->region(0).blocks())
         for (Operation *op : block->operations()) {
-            Attribute sym = op->attr("sym_name");
+            Attribute sym = op->attr(attrs::kSymName);
             if (sym && isStringAttr(sym) && stringAttrValue(sym) == name)
                 return op;
         }

@@ -37,6 +37,50 @@ class Operation;
 class Block;
 class Region;
 
+/**
+ * Use list of one SSA value. Stencil IR values overwhelmingly have one
+ * or two uses, so the first two entries are stored inline; longer lists
+ * spill to an arena block of the owning context (recycled on growth,
+ * abandoned to the arena at destruction — the arena reclaims it when the
+ * context dies). Maintained only through Operation's operand mutators.
+ */
+class UseList
+{
+  public:
+    UseList() = default;
+    UseList(const UseList &) = delete;
+    UseList &operator=(const UseList &) = delete;
+
+    bool empty() const { return size_ == 0; }
+    uint32_t size() const { return size_; }
+    Operation *const *begin() const { return data(); }
+    Operation *const *end() const { return data() + size_; }
+    Operation *operator[](uint32_t i) const { return data()[i]; }
+
+    /** Append a use; spills to `ctx`'s arena beyond two entries. */
+    void push_back(Operation *op, Context &ctx);
+    /** Remove the first occurrence of `op`; panics when absent. */
+    void eraseOne(Operation *op);
+
+  private:
+    Operation *const *
+    data() const
+    {
+        return spill_ ? spill_ : inline_;
+    }
+    Operation **
+    data()
+    {
+        return spill_ ? spill_ : inline_;
+    }
+
+    Operation *inline_[2] = {nullptr, nullptr};
+    /** Arena-allocated overflow storage (capacity cap_). */
+    Operation **spill_ = nullptr;
+    uint32_t size_ = 0;
+    uint32_t cap_ = 2;
+};
+
 /** Storage behind a Value: either an op result or a block argument. */
 struct ValueImpl
 {
@@ -48,7 +92,7 @@ struct ValueImpl
     /** Result index or argument index. */
     unsigned index = 0;
     /** One entry per use; an op using the value twice appears twice. */
-    std::vector<Operation *> users;
+    UseList users;
 };
 
 /** Value-semantics handle to an SSA value. */
@@ -164,8 +208,20 @@ class OpList
     size_t size_ = 0;
 };
 
-/** Sorted-by-key attribute storage; ops carry ~2-5 attributes. */
+/** Builder-facing attribute list (spelled keys); ops carry ~2-5
+ *  attributes. Operation::create interns the keys on construction. */
 using AttrList = std::vector<std::pair<std::string, Attribute>>;
+
+/** One stored attribute: interned name id + value. */
+struct StoredAttr
+{
+    AttrNameId name;
+    Attribute value;
+};
+
+/** On-operation attribute storage, sorted by dense name id so probes
+ *  with a resolved AttrNameId compare integers, not strings. */
+using StoredAttrList = std::vector<StoredAttr>;
 
 /**
  * A generic, dialect-agnostic operation. Typed op wrappers in the dialect
@@ -189,6 +245,13 @@ class Operation
                              const std::vector<Value> &operands,
                              const std::vector<Type> &resultTypes,
                              const AttrList &attrs, unsigned numRegions);
+    /** Variant taking already-interned attributes (cloning); the stored
+     *  ids must come from the same context. */
+    static Operation *createInterned(Context &ctx, OpId id,
+                                     const std::vector<Value> &operands,
+                                     const std::vector<Type> &resultTypes,
+                                     const StoredAttrList &attrs,
+                                     unsigned numRegions);
     static Operation *create(Context &ctx, const std::string &name,
                              const std::vector<Value> &operands,
                              const std::vector<Type> &resultTypes,
@@ -238,18 +301,30 @@ class Operation
     /// @}
 
     /// @name Attributes
+    /// Keys are interned per context; the AttrNameId overloads are the
+    /// hot path (integer compares). The string overloads resolve the
+    /// key through the context's name pool and delegate.
     /// @{
+    Attribute attr(AttrNameId key) const;
+    bool hasAttr(AttrNameId key) const { return bool(attr(key)); }
+    void setAttr(AttrNameId key, Attribute value);
+    void removeAttr(AttrNameId key);
+
     Attribute attr(const std::string &key) const;
     bool hasAttr(const std::string &key) const;
     void setAttr(const std::string &key, Attribute value);
     void removeAttr(const std::string &key);
-    /** Attributes sorted by key. */
-    const AttrList &attrs() const { return attrs_; }
+    /** Attributes sorted by interned name id. */
+    const StoredAttrList &attrs() const { return attrs_; }
+    /** Spelling of a stored attribute's name (printing/diagnostics). */
+    const std::string &attrKeyName(AttrNameId key) const;
 
     /** Required int attribute; panics when missing or mistyped. */
     int64_t intAttr(const std::string &key) const;
+    int64_t intAttr(AttrNameId key) const;
     /** Required string attribute. */
     const std::string &strAttr(const std::string &key) const;
+    const std::string &strAttr(AttrNameId key) const;
     /// @}
 
     /// @name Regions
@@ -341,7 +416,7 @@ class Operation
     uint32_t allocSize_ = 0;
     /** operands_ points at a standalone arena block (must be freed). */
     uint8_t operandsOwned_ = 0;
-    AttrList attrs_;
+    StoredAttrList attrs_;
 
     void growOperands(uint32_t minCap);
     void removeUse(Value v);

@@ -1,7 +1,9 @@
 #include "ir/printer.h"
 
+#include <algorithm>
 #include <map>
 #include <sstream>
+#include <vector>
 
 #include "ir/operation.h"
 #include "support/error.h"
@@ -51,10 +53,20 @@ PrintState::print(Operation *op, std::ostream &os, unsigned indent)
     os << ")";
 
     if (!op->attrs().empty()) {
+        // Stored attributes are sorted by interned id; print them sorted
+        // by spelling so the output is stable across interning orders.
+        std::vector<std::pair<const std::string *, Attribute>> sorted;
+        sorted.reserve(op->attrs().size());
+        for (const StoredAttr &a : op->attrs())
+            sorted.emplace_back(&op->attrKeyName(a.name), a.value);
+        std::sort(sorted.begin(), sorted.end(),
+                  [](const auto &a, const auto &b) {
+                      return *a.first < *b.first;
+                  });
         os << " {";
         bool first = true;
-        for (const auto &[key, value] : op->attrs()) {
-            os << (first ? "" : ", ") << key << " = " << value.str();
+        for (const auto &[key, value] : sorted) {
+            os << (first ? "" : ", ") << *key << " = " << value.str();
             first = false;
         }
         os << "}";

@@ -19,7 +19,7 @@ dsdLength(ir::Value v)
     ir::Operation *def = v.definingOp();
     WSC_ASSERT(def, "DSD operand without a defining op");
     if (def->opId() == csl::kGetMemDsd)
-        return def->intAttr("length");
+        return def->intAttr(ir::attrs::kLength);
     if (def->opId() == csl::kIncrementDsdOffset ||
         def->opId() == csl::kSetDsdLength ||
         def->opId() == csl::kSetDsdBaseAddr)
@@ -62,12 +62,12 @@ analyzeProgramWork(ir::Operation *root)
 {
     ir::Operation *program = nullptr;
     if (root->opId() == csl::kModule &&
-        root->strAttr("kind") == "program") {
+        root->strAttr(ir::attrs::kKind) == "program") {
         program = root;
     } else {
         root->walk([&](ir::Operation *op) {
             if (op->opId() == csl::kModule &&
-                op->strAttr("kind") == "program")
+                op->strAttr(ir::attrs::kKind) == "program")
                 program = op;
         });
     }
@@ -110,7 +110,7 @@ analyzeProgramWork(ir::Operation *root)
     for (ir::Operation *op : csl::moduleBody(program)->opsVector()) {
         if (op->opId() != csl::kFunc && op->opId() != csl::kTask)
             continue;
-        const std::string &name = op->strAttr("sym_name");
+        const std::string &name = op->strAttr(ir::attrs::kSymName);
         if (name == "f_main" || name == "for_post0")
             continue; // once per run, not per step
         uint64_t multiplier = 1;

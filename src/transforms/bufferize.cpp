@@ -36,7 +36,7 @@ bufferizeBlock(ir::Block *block)
     }
     for (ir::Operation *op : block->opsVector()) {
         if (op->opId() == ar::kConstant) {
-            ir::Attribute v = op->attr("value");
+            ir::Attribute v = op->attr(ir::attrs::kValue);
             if (ir::isDenseAttr(v) && ir::isTensor(ir::attrType(v))) {
                 op->setAttr("value",
                             ir::getDenseAttr(ctx,
@@ -59,7 +59,7 @@ lowerInsertSlice(ir::Operation *insert)
     ir::Value source = insert->operand(0);
     ir::Value dest = insert->operand(1);
     ir::Value offset = insert->operand(2);
-    int64_t size = insert->intAttr("static_size");
+    int64_t size = insert->intAttr(ir::attrs::kStaticSize);
     ir::Value sub = mr::createSubview(b, dest, 0, size, offset);
     mr::createCopy(b, source, sub);
     ir::replaceOp(insert, {dest});

@@ -48,7 +48,7 @@ constantValueOf(ir::Value v)
     ir::Operation *def = v.definingOp();
     WSC_ASSERT(def && def->opId() == ar::kConstant,
                "expected a constant loop bound");
-    return ir::intAttrValue(def->attr("value"));
+    return ir::intAttrValue(def->attr(ir::attrs::kValue));
 }
 
 KernelStructure
@@ -58,9 +58,9 @@ parseKernel(ir::Operation *kernel)
     ir::Block *body = fn::funcBody(kernel);
 
     // Field names from the frontend (attribute), else f<i>.
-    ir::Type fnType = ir::typeAttrValue(kernel->attr("function_type"));
+    ir::Type fnType = ir::typeAttrValue(kernel->attr(ir::attrs::kFunctionType));
     size_t numArgs = ir::functionInputs(fnType).size();
-    if (ir::Attribute names = kernel->attr("arg_names")) {
+    if (ir::Attribute names = kernel->attr(ir::attrs::kArgNames)) {
         for (ir::Attribute a : ir::arrayAttrValue(names))
             out.fieldNames.push_back(ir::stringAttrValue(a));
     }
@@ -209,7 +209,7 @@ lowerKernel(ir::Operation *wrapper, ir::Operation *kernel)
             for (ir::Operation *op :
                  cw::programBlock(wrapper)->opsVector()) {
                 if (op->opId() == csl::kVariable &&
-                    op->strAttr("sym_name") == bufName) {
+                    op->strAttr(ir::attrs::kSymName) == bufName) {
                     op->setAttr("init_as",
                                 ir::getStringAttr(ctx, fieldName));
                     return;

@@ -38,12 +38,12 @@ createCslWrapperHoistPass()
             int64_t pattern = 1;
             for (ir::Operation *apply : collectOps(module, cs::kApply)) {
                 std::vector<int64_t> topo =
-                    ir::intArrayAttrValue(apply->attr("topology"));
+                    ir::intArrayAttrValue(apply->attr(ir::attrs::kTopology));
                 width = std::max(width, topo[0]);
                 height = std::max(height, topo[1]);
-                zDim = std::max(zDim, apply->intAttr("z_dim"));
+                zDim = std::max(zDim, apply->intAttr(ir::attrs::kZDim));
                 numChunks =
-                    std::max(numChunks, apply->intAttr("num_chunks"));
+                    std::max(numChunks, apply->intAttr(ir::attrs::kNumChunks));
                 for (const auto &e : cs::applyExchanges(apply))
                     pattern = std::max(
                         {pattern, std::abs(e.dx), std::abs(e.dy)});

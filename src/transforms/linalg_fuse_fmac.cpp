@@ -21,7 +21,7 @@ isSplatConstant(ir::Value v, double &out)
     ir::Operation *def = v.definingOp();
     if (!def || def->opId() != ar::kConstant)
         return false;
-    ir::Attribute attr = def->attr("value");
+    ir::Attribute attr = def->attr(ir::attrs::kValue);
     if (ir::isDenseAttr(attr) && ir::denseAttrValues(attr).size() == 1) {
         out = ir::denseAttrValues(attr)[0];
         return true;

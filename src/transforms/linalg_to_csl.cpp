@@ -26,7 +26,7 @@ lowerOperand(ir::OpBuilder &b, ir::Value v)
 {
     ir::Operation *def = v.definingOp();
     if (def && def->opId() == ar::kConstant) {
-        ir::Attribute attr = def->attr("value");
+        ir::Attribute attr = def->attr(ir::attrs::kValue);
         if (ir::isDenseAttr(attr) &&
             ir::denseAttrValues(attr).size() == 1)
             return ar::createConstantF32(b, ir::denseAttrValues(attr)[0]);
@@ -59,7 +59,7 @@ matchOneShotRun(ir::Block *block)
             return {};
         ir::Operation *accessOp = op->operand(1).definingOp();
         if (!accessOp || accessOp->opId() != cs::kAccess ||
-            !accessOp->hasAttr("section"))
+            !accessOp->hasAttr(ir::attrs::kSection))
             return {};
         if (run.empty()) {
             dest = out;
@@ -69,7 +69,7 @@ matchOneShotRun(ir::Block *block)
         } else if (out != dest) {
             return {};
         }
-        if (accessOp->intAttr("section") != expectedSection)
+        if (accessOp->intAttr(ir::attrs::kSection) != expectedSection)
             return {};
         expectedSection++;
         run.push_back(op);

@@ -152,7 +152,7 @@ cloneRegionInto(ActorLoweringState &state, ir::Block *source,
             continue; // The task body simply ends.
         if (op->opId() == mr::kAlloc) {
             // Static allocation: every buffer becomes a module variable.
-            if (op->hasAttr("result_buffer")) {
+            if (op->hasAttr(ir::attrs::kResultBuffer)) {
                 // The result buffer is a full column; the computed
                 // interior sits centred within it.
                 ir::Value out = state.loadBufRef(b, resultRef);
@@ -270,8 +270,8 @@ lowerApplyToActors(ActorLoweringState &state, ir::Operation *apply,
     ir::Block *doneBlock = cs::applyDoneBlock(apply);
     int64_t interior =
         ir::shapeOf(recvBlock->argument(2).type())[0];
-    int64_t zDim = apply->intAttr("z_dim");
-    int64_t rz = apply->intAttr("z_offset");
+    int64_t zDim = apply->intAttr(ir::attrs::kZDim);
+    int64_t rz = apply->intAttr(ir::attrs::kZOffset);
     int64_t numChunks = cs::applyNumChunks(apply);
     int64_t chunkLen = (interior + numChunks - 1) / numChunks;
 
@@ -327,7 +327,7 @@ lowerApplyToActors(ActorLoweringState &state, ir::Operation *apply,
             spec.zSize = zDim;
             spec.trimFirst = rz;
             spec.trimLast = rz;
-            if (ir::Attribute coeffs = apply->attr("coeffs"))
+            if (ir::Attribute coeffs = apply->attr(ir::attrs::kCoeffs))
                 spec.coeffs = ir::denseAttrValues(coeffs);
             csl::createCommsExchange(b, send, spec);
             csl::createReturn(b);

@@ -36,7 +36,7 @@ lowerWrapper(ir::Operation *wrapper)
         lb.create(csl::kSetTileCode, {}, {},
                   {{"file",
                     ir::getStringAttr(
-                        ctx, wrapper->strAttr("program_name"))},
+                        ctx, wrapper->strAttr(ir::attrs::kProgramName))},
                    {"params", ir::getDictAttr(ctx, paramDict)}});
     }
 
@@ -44,7 +44,7 @@ lowerWrapper(ir::Operation *wrapper)
     ir::Operation *program = csl::createModule(b, "program", "pe");
     program->setAttr("width", ir::getIntAttr(ctx, width));
     program->setAttr("height", ir::getIntAttr(ctx, height));
-    if (ir::Attribute results = wrapper->attr("result_fields"))
+    if (ir::Attribute results = wrapper->attr(ir::attrs::kResultFields))
         program->setAttr("result_fields", results);
     {
         ir::OpBuilder pb(ctx);

@@ -46,29 +46,29 @@ resolveChain(ir::Value v)
     WSC_ASSERT(def, "cannot resolve a block argument to a buffer view");
     if (def->opId() == csl::kLoadVar) {
         ViewChain c;
-        c.var = def->strAttr("var");
-        c.viaPtr = def->hasAttr("via_ptr");
+        c.var = def->strAttr(ir::attrs::kVar);
+        c.viaPtr = def->hasAttr(ir::attrs::kViaPtr);
         c.length = numElems(v.type());
         c.bufLen = c.length;
         return c;
     }
     if (def->opId() == mr::kSubview) {
         ViewChain c = resolveChain(def->operand(0));
-        c.offset += def->intAttr("static_offset");
+        c.offset += def->intAttr(ir::attrs::kStaticOffset);
         if (def->numOperands() > 1) {
             WSC_ASSERT(!c.dynOffset, "stacked dynamic offsets");
             c.dynOffset = def->operand(1);
         }
-        c.length = def->intAttr("static_size");
+        c.length = def->intAttr(ir::attrs::kStaticSize);
         return c;
     }
     if (def->opId() == cs::kAccess) {
         ViewChain c = resolveChain(def->operand(0));
         int64_t viewLen = numElems(v.type());
-        if (def->hasAttr("section")) {
+        if (def->hasAttr(ir::attrs::kSection)) {
             // Receive-buffer section: contiguous chunk-length slices.
-            c.offset += def->intAttr("section") *
-                        def->intAttr("chunk_len");
+            c.offset += def->intAttr(ir::attrs::kSection) *
+                        def->intAttr(ir::attrs::kChunkLen);
             c.length = viewLen;
             return c;
         }

@@ -221,7 +221,7 @@ retypeForChunk(ir::Operation *op, ir::Type chunkType)
 {
     ir::Context &ctx = op->context();
     if (op->opId() == ar::kConstant) {
-        ir::Attribute v = op->attr("value");
+        ir::Attribute v = op->attr(ir::attrs::kValue);
         WSC_ASSERT(ir::isDenseAttr(v), "expected dense constant");
         op->setAttr("value",
                     ir::getDenseAttr(ctx, chunkType,
@@ -243,10 +243,10 @@ convertApply(ir::Operation *apply, ir::Operation *swap,
     WSC_ASSERT(ir::isTensor(interiorType),
                "apply must be tensorized before conversion");
     int64_t interior = ir::shapeOf(interiorType)[0];
-    int64_t rz = apply->hasAttr("z_offset") ? apply->intAttr("z_offset")
+    int64_t rz = apply->hasAttr(ir::attrs::kZOffset) ? apply->intAttr(ir::attrs::kZOffset)
                                             : 0;
-    int64_t zDim = apply->hasAttr("z_dim")
-                       ? apply->intAttr("z_dim")
+    int64_t zDim = apply->hasAttr(ir::attrs::kZDim)
+                       ? apply->intAttr(ir::attrs::kZDim)
                        : interior + 2 * rz;
 
     std::vector<dmp::Exchange> exchanges =
@@ -477,10 +477,10 @@ splitApply(ir::Operation *apply,
         st::getTempType(ctx, bounds2, interiorType);
     ir::Operation *partial = st::createApply(
         b, {apply->operand(commIdx)}, {partialType});
-    if (apply->hasAttr("z_dim"))
-        partial->setAttr("z_dim", apply->attr("z_dim"));
-    if (apply->hasAttr("z_offset"))
-        partial->setAttr("z_offset", apply->attr("z_offset"));
+    if (apply->hasAttr(ir::attrs::kZDim))
+        partial->setAttr("z_dim", apply->attr(ir::attrs::kZDim));
+    if (apply->hasAttr(ir::attrs::kZOffset))
+        partial->setAttr("z_offset", apply->attr(ir::attrs::kZOffset));
 
     ir::Block *pBody = st::applyBody(partial);
     ir::OpBuilder pb(ctx);
@@ -546,10 +546,10 @@ splitApply(ir::Operation *apply,
     restOperands.push_back(partial->result());
     ir::Operation *rest =
         st::createApply(b, restOperands, {apply->result().type()});
-    if (apply->hasAttr("z_dim"))
-        rest->setAttr("z_dim", apply->attr("z_dim"));
-    if (apply->hasAttr("z_offset"))
-        rest->setAttr("z_offset", apply->attr("z_offset"));
+    if (apply->hasAttr(ir::attrs::kZDim))
+        rest->setAttr("z_dim", apply->attr(ir::attrs::kZDim));
+    if (apply->hasAttr(ir::attrs::kZOffset))
+        rest->setAttr("z_offset", apply->attr(ir::attrs::kZOffset));
 
     ir::Block *rBody = st::applyBody(rest);
     ir::OpBuilder rbld(ctx);

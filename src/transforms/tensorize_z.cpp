@@ -73,7 +73,7 @@ tensorizeApplyBody(ir::Operation *apply)
         if (op->opId() == st::kAccess) {
             op->result().setType(interiorType);
         } else if (op->opId() == ar::kConstant) {
-            ir::Attribute v = op->attr("value");
+            ir::Attribute v = op->attr(ir::attrs::kValue);
             WSC_ASSERT(ir::isFloatAttr(v),
                        "unexpected constant in apply body");
             op->setAttr("value",
@@ -116,7 +116,7 @@ createTensorizeZPass()
                 // Function signatures carry types in an attribute.
                 if (op->opId() == dialects::func::kFunc) {
                     ir::Type fn =
-                        ir::typeAttrValue(op->attr("function_type"));
+                        ir::typeAttrValue(op->attr(ir::attrs::kFunctionType));
                     std::vector<ir::Type> inputs;
                     for (ir::Type t : ir::functionInputs(fn))
                         inputs.push_back(tensorize3DType(ctx, t));

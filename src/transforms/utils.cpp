@@ -42,8 +42,8 @@ cloneOp(ir::OpBuilder &b, ir::Operation *op,
     std::vector<ir::Type> resultTypes;
     for (ir::Value r : op->results())
         resultTypes.push_back(r.type());
-    ir::Operation *clone = b.create(op->opId(), operands, resultTypes,
-                                    op->attrs());
+    ir::Operation *clone = b.createInterned(op->opId(), operands,
+                                            resultTypes, op->attrs());
     for (unsigned i = 0; i < op->numResults(); ++i)
         mapping[op->result(i).impl()] = clone->result(i);
     return clone;

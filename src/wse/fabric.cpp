@@ -1,5 +1,6 @@
 #include "wse/fabric.h"
 
+#include <algorithm>
 #include <memory>
 
 #include "support/error.h"
@@ -76,6 +77,12 @@ Fabric::linkFree(int x, int y, Direction dir) const
     return linkFree_[linkIndex(x, y, dir)];
 }
 
+uint64_t
+Fabric::waveletHops() const
+{
+    return sim_.fabricHops();
+}
+
 Cycles
 Fabric::switchReconfig(int x, int y, Direction dir, Cycles notBefore)
 {
@@ -84,18 +91,34 @@ Fabric::switchReconfig(int x, int y, Direction dir, Cycles notBefore)
            sim_.params().switchReconfigCycles;
 }
 
+namespace {
+
+/** Encode delivery distances as the hop bitmask (hops must be 1..31). */
+uint32_t
+deliverMaskOf(const std::vector<int> &deliverDistances)
+{
+    uint32_t mask = 0;
+    for (int d : deliverDistances) {
+        WSC_ASSERT(d >= 1 && d < 32, "delivery distance " << d
+                                                          << " out of range");
+        mask |= 1u << d;
+    }
+    return mask;
+}
+
+} // namespace
+
 Cycles
 Fabric::sendStream(int x, int y, Direction dir,
                    const std::vector<int> &deliverDistances,
                    std::vector<float> payload, Cycles notBefore,
                    const DeliveryFn &deliver)
 {
-    // One shared snapshot + functor serve every delivery event of this
-    // stream (delivery lambdas capture pointers, not copies).
-    return sendStream(
-        x, y, dir, deliverDistances,
-        std::make_shared<const std::vector<float>>(std::move(payload)),
-        notBefore, std::make_shared<const DeliveryFn>(deliver));
+    PayloadRef slot = sim_.pe(x, y).payloadPool().acquire();
+    slot.mutableData() = std::move(payload);
+    return sendStream(x, y, dir, deliverMaskOf(deliverDistances),
+                      std::move(slot), notBefore,
+                      std::make_shared<const DeliveryFn>(deliver));
 }
 
 Cycles
@@ -105,16 +128,24 @@ Fabric::sendStream(int x, int y, Direction dir,
                    Cycles notBefore,
                    std::shared_ptr<const DeliveryFn> deliver)
 {
+    PayloadRef slot = sim_.pe(x, y).payloadPool().acquire();
+    slot.mutableData() = *payload;
+    return sendStream(x, y, dir, deliverMaskOf(deliverDistances),
+                      std::move(slot), notBefore, std::move(deliver));
+}
+
+Cycles
+Fabric::sendStream(int x, int y, Direction dir, uint32_t deliverMask,
+                   PayloadRef payload, Cycles notBefore,
+                   std::shared_ptr<const DeliveryFn> deliver)
+{
     const ArchParams &p = sim_.params();
-    const Cycles m = payload->size();
+    const Cycles m = payload.data().size();
     WSC_ASSERT(m > 0, "empty stream");
-    WSC_ASSERT(!deliverDistances.empty(), "stream without deliveries");
-    auto [dx, dy] = directionStep(dir);
-    int maxDistance = *std::max_element(deliverDistances.begin(),
-                                        deliverDistances.end());
-    std::shared_ptr<const std::vector<float>> snapshot =
-        std::move(payload);
-    std::shared_ptr<const DeliveryFn> deliverShared = std::move(deliver);
+    WSC_ASSERT(deliverMask != 0, "stream without deliveries");
+    int maxDistance = 31;
+    while (maxDistance > 0 && !(deliverMask >> maxDistance & 1))
+        --maxDistance;
 
     // Injection: the sender's ramp moves m wavelets to its router.
     Pe &sender = sim_.pe(x, y);
@@ -126,42 +157,81 @@ Fabric::sendStream(int x, int y, Direction dir,
     if (p.switchRequiresSelfTransmit)
         sender.reserveWork(injectDone, m);
 
-    // Wormhole forwarding: hop h's stream starts after the previous hop's
-    // head arrives; each hop's link serializes overlapping streams.
-    Cycles headAt = inject;
-    int cx = x;
-    int cy = y;
-    for (int h = 1; h <= maxDistance; ++h) {
-        int nx = cx + dx;
-        int ny = cy + dy;
-        if (nx < 0 || nx >= sim_.width() || ny < 0 || ny >= sim_.height())
-            break; // Edge of the grid: the route is truncated.
-        // The link from (cx, cy) towards dir carries this stream.
-        Cycles linkStart =
-            reserveLink(cx, cy, dir, headAt, m);
+    auto [dx, dy] = directionStep(dir);
+    int nx = x + dx;
+    int ny = y + dy;
+    if (nx >= 0 && nx < sim_.width() && ny >= 0 && ny < sim_.height()) {
+        // The first hop's link belongs to the sender; reserve it at
+        // injection time, then hand the stream to the segment chain.
+        Cycles linkStart = reserveLink(x, y, dir, inject, m);
         Cycles headArrives = linkStart + p.hopCycles;
-        waveletHops_ += m;
-        sim_.stats().waveletsSent += m;
-
-        bool deliverHere =
-            std::find(deliverDistances.begin(), deliverDistances.end(),
-                      h) != deliverDistances.end();
-        if (deliverHere) {
-            // Deliver to the PE at this hop (forward-and-deliver).
-            Pe &receiver = sim_.pe(nx, ny);
-            Cycles rampStart = receiver.reserveWork(headArrives, m);
-            Cycles landed = std::max(rampStart + m, headArrives + m);
-            StreamDelivery record{nx, ny, h, landed};
-            sim_.schedule(landed, [deliverShared, record, snapshot] {
-                (*deliverShared)(record, *snapshot);
-            });
-        }
-
-        headAt = headArrives;
-        cx = nx;
-        cy = ny;
+        sender.shard().fabricHops_ += m;
+        sender.shardStats().waveletsSent += m;
+        // currentShard(), not the sender's home shard: host-initiated
+        // sends must draw their sequence numbers from the single host
+        // counter or same-key ties become thread-count dependent.
+        sim_.scheduleOnPe(
+            sim_.peIndex(nx, ny), headArrives,
+            Segment{this, std::move(payload), std::move(deliver),
+                    static_cast<int16_t>(nx), static_cast<int16_t>(ny),
+                    static_cast<uint8_t>(dir), 1,
+                    static_cast<uint8_t>(maxDistance), deliverMask},
+            sim_.currentShard());
     }
     return injectDone;
+}
+
+void
+Fabric::segmentArrive(Segment &seg)
+{
+    Pe &router = sim_.pe(seg.x, seg.y);
+    Cycles headAt = router.now(); // the event fires at head arrival
+    const Cycles m = seg.payload.data().size();
+
+    if (seg.mask >> seg.hop & 1) {
+        // Forward-and-deliver: the ramp transfer occupies the receiving
+        // PE's work timeline; the chunk has landed when both the ramp
+        // and the stream tail are done.
+        Cycles rampStart = router.reserveWork(headAt, m);
+        Cycles landed = std::max(rampStart + m, headAt + m);
+        StreamDelivery record{seg.x, seg.y, seg.hop, landed, seg.payload};
+        std::shared_ptr<const DeliveryFn> deliver = seg.deliver;
+        router.shard().push(
+            router.id(), landed,
+            [deliver = std::move(deliver),
+             record = std::move(record)]() mutable {
+                (*deliver)(record, record.payload.data());
+            });
+    }
+
+    if (seg.hop < seg.maxDist)
+        forward(seg, router, headAt, m);
+}
+
+void
+Fabric::forward(Segment &seg, Pe &router, Cycles headAt, Cycles m)
+{
+    const ArchParams &p = sim_.params();
+    Direction dir = static_cast<Direction>(seg.dir);
+    auto [dx, dy] = directionStep(dir);
+    int nx = seg.x + dx;
+    int ny = seg.y + dy;
+    if (nx < 0 || nx >= sim_.width() || ny < 0 || ny >= sim_.height())
+        return; // Edge of the grid: the route is truncated.
+
+    // Wormhole forwarding: the outgoing link belongs to this router, so
+    // the reservation is shard-local and time-ordered.
+    Cycles linkStart = reserveLink(seg.x, seg.y, dir, headAt, m);
+    Cycles headArrives = linkStart + p.hopCycles;
+    router.shard().fabricHops_ += m;
+    router.shardStats().waveletsSent += m;
+
+    Segment next = seg; // copies the payload/deliver references
+    next.x = static_cast<int16_t>(nx);
+    next.y = static_cast<int16_t>(ny);
+    next.hop = static_cast<uint8_t>(seg.hop + 1);
+    sim_.scheduleOnPe(sim_.peIndex(nx, ny), headArrives, std::move(next),
+                      sim_.currentShard());
 }
 
 } // namespace wsc::wse

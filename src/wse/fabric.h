@@ -3,6 +3,19 @@
  * Fabric model: per-link wavelet stream reservations between neighbouring
  * routers, multicast (forward-and-deliver) routes used by star-shaped
  * stencil communication, and the WSE2 self-transmit behaviour.
+ *
+ * A stream is simulated as a chain of per-hop segment events: the event
+ * at router h fires when the stream head arrives there, performs the
+ * local ramp delivery (when h is a delivery hop) and reserves the next
+ * outgoing link. Because each hop's link and the receiving PE's work
+ * timeline belong to that router's own column, every mutation a segment
+ * performs is local to the shard executing it, and a segment crossing a
+ * shard boundary always lies at least one hop latency in the future —
+ * the conservative-window guarantee the sharded simulator relies on.
+ *
+ * Payloads are carried by reference-counted PayloadRef handles into the
+ * sending shard's recycled ring (wse/payload.h): one chunk fanned out in
+ * several directions shares one buffer and copies nothing per delivery.
  */
 
 #ifndef WSC_WSE_FABRIC_H
@@ -15,10 +28,12 @@
 #include <vector>
 
 #include "wse/arch_params.h"
+#include "wse/payload.h"
 
 namespace wsc::wse {
 
 class Simulator;
+class Pe;
 
 /** The four cardinal routing directions. */
 enum class Direction { East, West, North, South };
@@ -31,7 +46,9 @@ const char *directionName(Direction d);
 const std::vector<Direction> &allDirections();
 
 /**
- * Completion record handed to a stream delivery callback.
+ * Completion record handed to a stream delivery callback. Holds a
+ * reference to the payload slot, pinning it until the callback's event
+ * is destroyed (or longer, if the callback retains the reference).
  */
 struct StreamDelivery
 {
@@ -39,6 +56,7 @@ struct StreamDelivery
     int peY = 0;
     int distance = 1;     ///< hops from the sender
     Cycles completeAt = 0;///< cycle at which the chunk fully landed
+    PayloadRef payload;   ///< the delivered chunk (refcounted)
 };
 
 using DeliveryFn = std::function<void(const StreamDelivery &,
@@ -47,8 +65,9 @@ using DeliveryFn = std::function<void(const StreamDelivery &,
 /**
  * Models the wafer interconnect between the simulated PEs. Each link
  * (one per direction per PE pair) carries one wavelet per cycle; a
- * multi-hop multicast stream reserves every link along its path, so
- * contention between overlapping streams emerges from the reservations.
+ * multi-hop multicast stream reserves every link along its path as its
+ * head reaches it, so contention between overlapping streams emerges
+ * from time-ordered reservations.
  */
 class Fabric
 {
@@ -78,14 +97,23 @@ class Fabric
                       const DeliveryFn &deliver);
 
     /**
-     * sendStream variant taking an already-shared payload snapshot, so
-     * one chunk fanned out in several directions is copied once (all
-     * delivery events of all streams reference the same snapshot).
+     * sendStream variant taking an already-shared payload snapshot
+     * (compatibility surface; the bytes are moved into a recycled ring
+     * slot of the sender's shard).
      */
     Cycles sendStream(int x, int y, Direction dir,
                       const std::vector<int> &deliverDistances,
                       std::shared_ptr<const std::vector<float>> payload,
                       Cycles notBefore,
+                      std::shared_ptr<const DeliveryFn> deliver);
+
+    /**
+     * The allocation-free hot path: the payload already lives in a ring
+     * slot and the delivery hops are encoded as a bitmask (bit h set =
+     * deliver at hop h; hops must be < 32).
+     */
+    Cycles sendStream(int x, int y, Direction dir, uint32_t deliverMask,
+                      PayloadRef payload, Cycles notBefore,
                       std::shared_ptr<const DeliveryFn> deliver);
 
     /**
@@ -97,10 +125,30 @@ class Fabric
     /** Next free cycle of the outgoing link at (x, y) towards dir. */
     Cycles linkFree(int x, int y, Direction dir) const;
 
-    /** Total wavelet-hops carried so far (traffic statistic). */
-    uint64_t waveletHops() const { return waveletHops_; }
+    /** Total wavelet-hops carried so far (summed across shards). */
+    uint64_t waveletHops() const;
 
   private:
+    /** In-flight stream state between two hop events. */
+    struct Segment
+    {
+        Fabric *fab;
+        PayloadRef payload;
+        std::shared_ptr<const DeliveryFn> deliver;
+        int16_t x, y;       ///< router the head is arriving at
+        uint8_t dir;        ///< Direction
+        uint8_t hop;        ///< hop distance of (x, y) from the sender
+        uint8_t maxDist;    ///< last hop of the route
+        uint32_t mask;      ///< deliver-at-hop bitmask
+
+        void operator()() { fab->segmentArrive(*this); }
+    };
+
+    /** Runs at head-arrival time on the shard owning router (x, y). */
+    void segmentArrive(Segment &seg);
+    /** Reserve the next link and schedule the following segment. */
+    void forward(Segment &seg, Pe &router, Cycles headAt, Cycles m);
+
     /** Reserve `n` wavelet slots on a link; returns the actual start. */
     Cycles reserveLink(int x, int y, Direction dir, Cycles from, Cycles n);
 
@@ -109,9 +157,9 @@ class Fabric
 
     Simulator &sim_;
     /** Dense per-link next-free-cycle table, sized width*height*4 at
-     *  construction (the grid is fixed for the simulator's lifetime). */
+     *  construction. Each link is only ever touched by events owned by
+     *  its own PE, so entries are shard-partitioned by column. */
     std::vector<Cycles> linkFree_;
-    uint64_t waveletHops_ = 0;
 };
 
 } // namespace wsc::wse

@@ -14,14 +14,40 @@ TaskContext::dsdOp(uint64_t elems, int flopsPerElem, int bytesPerElem)
     consumed_ += p.dsdSetupCycles +
                  static_cast<Cycles>(
                      std::ceil(elems / p.f32ElemsPerCycle));
-    sim_.stats().dsdOps++;
-    sim_.stats().flops += elems * static_cast<uint64_t>(flopsPerElem);
-    sim_.stats().memBytes += elems * static_cast<uint64_t>(bytesPerElem);
+    SimStats &stats = pe_.shardStats();
+    stats.dsdOps++;
+    stats.flops += elems * static_cast<uint64_t>(flopsPerElem);
+    stats.memBytes += elems * static_cast<uint64_t>(bytesPerElem);
 }
 
-Pe::Pe(Simulator &sim, int x, int y) : sim_(sim), x_(x), y_(y)
+Pe::Pe(Simulator &sim, Shard &shard, int x, int y, uint32_t id)
+    : sim_(sim), shard_(shard), x_(x), y_(y), id_(id)
 {
     scalars_.reserve(16);
+}
+
+Cycles
+Pe::now() const
+{
+    return shard_.now();
+}
+
+SimStats &
+Pe::shardStats()
+{
+    return shard_.stats();
+}
+
+PayloadPool &
+Pe::payloadPool()
+{
+    return shard_.payloadPool();
+}
+
+void
+Pe::scheduleDispatch(Cycles at)
+{
+    shard_.push(id_, at, [this] { dispatchPending(); });
 }
 
 void
@@ -198,8 +224,7 @@ Pe::activate(TaskId task, Cycles readyAt)
     pending_.emplace_back(task.index, readyAt);
     if (!dispatchScheduled_) {
         dispatchScheduled_ = true;
-        Cycles at = std::max(readyAt, sim_.now());
-        sim_.schedule(at, [this] { dispatchPending(); });
+        scheduleDispatch(std::max(readyAt, now()));
     }
 }
 
@@ -220,13 +245,13 @@ Pe::dispatchPending()
     const TaskInfo &task = tasks_[static_cast<size_t>(taskIdx)];
 
     const ArchParams &p = sim_.params();
-    Cycles ready = std::max(readyAt, sim_.now());
+    Cycles ready = std::max(readyAt, now());
     // The dispatch itself costs activation overhead on the work timeline.
     Cycles start =
         reserveWork(ready, p.taskActivateCycles) + p.taskActivateCycles;
 
     taskActivations_++;
-    sim_.stats().taskActivations++;
+    shardStats().taskActivations++;
 
     TaskContext ctx(sim_, *this, start);
     task.fn(ctx);
@@ -238,8 +263,7 @@ Pe::dispatchPending()
     if (!pending_.empty()) {
         dispatchScheduled_ = true;
         Cycles next = std::max(pending_.front().second, workFree_);
-        sim_.schedule(std::max(next, sim_.now()),
-                      [this] { dispatchPending(); });
+        scheduleDispatch(std::max(next, now()));
     }
 }
 

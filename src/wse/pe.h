@@ -27,6 +27,9 @@
 namespace wsc::wse {
 
 class Simulator;
+class Shard;
+class PayloadPool;
+struct SimStats;
 
 /** The three CSL task flavours (software actors). */
 enum class TaskKind { Data, Control, Local };
@@ -102,10 +105,27 @@ using TaskFn = std::function<void(TaskContext &)>;
 class Pe
 {
   public:
-    Pe(Simulator &sim, int x, int y);
+    /** Constructed by Simulator: `shard` owns this PE's column strip and
+     *  `id` is the dense grid index used in event-ordering keys. */
+    Pe(Simulator &sim, Shard &shard, int x, int y, uint32_t id);
 
     int x() const { return x_; }
     int y() const { return y_; }
+    /** Dense grid index (x * height + y). */
+    uint32_t id() const { return id_; }
+
+    /// @name Shard facade
+    /// All of this PE's scheduling, time and statistics go through its
+    /// owning shard, keeping the hot paths shard-local and lock-free.
+    /// @{
+    Shard &shard() { return shard_; }
+    /** The owning shard's clock (== global clock at threads=1). */
+    Cycles now() const;
+    /** The owning shard's statistics accumulator. */
+    SimStats &shardStats();
+    /** The owning shard's payload ring. */
+    PayloadPool &payloadPool();
+    /// @}
 
     /// @name Memory
     /// @{
@@ -215,10 +235,14 @@ class Pe
     void checkBufferLive(BufferId id) const;
     void checkScalar(ScalarId id) const;
     void dispatchPending();
+    /** Schedule a dispatch event on the owning shard. */
+    void scheduleDispatch(Cycles at);
 
     Simulator &sim_;
+    Shard &shard_;
     int x_;
     int y_;
+    uint32_t id_;
     /** Deque so slot (and vector) addresses survive later allocations —
      *  DSDs hold pointers to the slot's data vector. */
     std::deque<BufferSlot> buffers_;

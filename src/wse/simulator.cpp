@@ -1,46 +1,54 @@
 #include "wse/simulator.h"
 
+#include <algorithm>
+#include <barrier>
+#include <exception>
+#include <mutex>
+#include <thread>
+
 #include "support/error.h"
 
 namespace wsc::wse {
 
 namespace {
 
-/** Initial capacity of the event heap and callback slot pool. */
+/** Initial capacity of each shard's event heap and callback slot pool. */
 constexpr size_t kInitialQueueCapacity = 1024;
+
+/** Execution context of the current thread (nested runs unsupported). */
+struct TlsContext
+{
+    const Simulator *sim = nullptr;
+    Shard *shard = nullptr;
+};
+thread_local TlsContext tlsCur;
+
+/** RAII setter for the thread's execution context. */
+struct TlsGuard
+{
+    TlsGuard(const Simulator *sim, Shard *shard)
+    {
+        tlsCur = {sim, shard};
+    }
+    ~TlsGuard() { tlsCur = {}; }
+};
 
 } // namespace
 
-Simulator::Simulator(const ArchParams &params, int width, int height)
-    : params_(params), width_(width), height_(height)
+//===----------------------------------------------------------------------===
+// Shard
+//===----------------------------------------------------------------------===
+
+Shard::Shard(Simulator &sim, int index)
+    : sim_(&sim), index_(index), currentOwner_(sim.hostId())
 {
-    WSC_ASSERT(width > 0 && height > 0, "empty PE grid");
-    if (width > params.fabricWidth || height > params.fabricHeight)
-        fatal(strcat("requested PE grid ", width, "x", height,
-                     " exceeds the ", params.name, " fabric (",
-                     params.fabricWidth, "x", params.fabricHeight, ")"));
     heap_.reserve(kInitialQueueCapacity);
     slots_.reserve(kInitialQueueCapacity);
     freeSlots_.reserve(kInitialQueueCapacity);
-    pes_.reserve(static_cast<size_t>(width) * height);
-    for (int x = 0; x < width; ++x)
-        for (int y = 0; y < height; ++y)
-            pes_.push_back(std::make_unique<Pe>(*this, x, y));
-    fabric_ = std::make_unique<Fabric>(*this);
-}
-
-Simulator::~Simulator() = default;
-
-Pe &
-Simulator::pe(int x, int y)
-{
-    WSC_ASSERT(x >= 0 && x < width_ && y >= 0 && y < height_,
-               "PE coordinates (" << x << ", " << y << ") out of range");
-    return *pes_[static_cast<size_t>(x) * height_ + y];
 }
 
 void
-Simulator::siftUp(size_t i)
+Shard::siftUp(size_t i)
 {
     EventKey key = heap_[i];
     while (i > 0) {
@@ -54,7 +62,7 @@ Simulator::siftUp(size_t i)
 }
 
 void
-Simulator::siftDown(size_t i)
+Shard::siftDown(size_t i)
 {
     const size_t n = heap_.size();
     EventKey key = heap_[i];
@@ -73,10 +81,11 @@ Simulator::siftDown(size_t i)
 }
 
 void
-Simulator::schedule(Cycles at, EventCallback fn)
+Shard::pushKeyed(uint64_t ownerCreator, uint64_t seq, Cycles at,
+                 EventCallback fn)
 {
-    WSC_ASSERT(at >= now_, "scheduling into the past (at=" << at << ", now="
-                                                           << now_ << ")");
+    WSC_ASSERT(at >= now_, "scheduling into the past (at="
+                               << at << ", now=" << now_ << ")");
     uint32_t slot;
     if (!freeSlots_.empty()) {
         slot = freeSlots_.back();
@@ -86,32 +95,334 @@ Simulator::schedule(Cycles at, EventCallback fn)
         slot = static_cast<uint32_t>(slots_.size());
         slots_.push_back(std::move(fn));
     }
-    heap_.push_back(EventKey{at, nextSeq_++, slot});
+    heap_.push_back(EventKey{at, ownerCreator, seq, slot});
     siftUp(heap_.size() - 1);
+}
+
+void
+Shard::push(uint32_t owner, Cycles at, EventCallback fn)
+{
+    pushKeyed(packKey(owner, currentOwner_), nextSeq_++, at,
+              std::move(fn));
+}
+
+void
+Shard::step()
+{
+    EventKey top = heap_.front();
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty())
+        siftDown(0);
+    now_ = top.at;
+    currentOwner_ = static_cast<uint32_t>(top.ownerCreator >> 32);
+    stats_.eventsProcessed++;
+    processed_++;
+    // Move the callback out before invoking: the callback may schedule
+    // new events, which can grow (and relocate) the slot pool while it
+    // runs.
+    EventCallback cb = std::move(slots_[top.slot]);
+    freeSlots_.push_back(top.slot);
+    cb();
+}
+
+void
+Shard::runWindow(Cycles end, uint64_t maxEvents)
+{
+    while (!heap_.empty() && heap_.front().at < end) {
+        // Same-cycle livelocks never return to the barrier where the
+        // global budget is summed, so each shard also bounds its own
+        // count (mirrors the sequential path's per-event check).
+        if (processed_ >= maxEvents)
+            fatal("simulation exceeded the event budget (livelock?)");
+        step();
+    }
+    currentOwner_ = sim_->hostId();
+}
+
+//===----------------------------------------------------------------------===
+// Simulator
+//===----------------------------------------------------------------------===
+
+Simulator::Simulator(const ArchParams &params, int width, int height,
+                     SimOptions options)
+    : params_(params), width_(width), height_(height),
+      numPes_(static_cast<uint32_t>(width) * static_cast<uint32_t>(height))
+{
+    WSC_ASSERT(width > 0 && height > 0, "empty PE grid");
+    if (width > params.fabricWidth || height > params.fabricHeight)
+        fatal(strcat("requested PE grid ", width, "x", height,
+                     " exceeds the ", params.name, " fabric (",
+                     params.fabricWidth, "x", params.fabricHeight, ")"));
+    lookahead_ = std::max<Cycles>(1, params_.hopCycles);
+
+    int numShards = std::clamp(options.threads, 1, width);
+    shards_.reserve(static_cast<size_t>(numShards));
+    for (int s = 0; s < numShards; ++s)
+        shards_.push_back(std::make_unique<Shard>(*this, s));
+    for (auto &shard : shards_)
+        shard->outbox_.resize(static_cast<size_t>(numShards));
+
+    // Balanced contiguous column strips.
+    shardOfCol_.resize(static_cast<size_t>(width));
+    for (int x = 0; x < width; ++x)
+        shardOfCol_[static_cast<size_t>(x)] =
+            static_cast<int>((static_cast<int64_t>(x) * numShards) /
+                             width);
+
+    pes_.reserve(numPes_);
+    for (int x = 0; x < width; ++x)
+        for (int y = 0; y < height; ++y)
+            pes_.push_back(std::make_unique<Pe>(
+                *this, *shards_[static_cast<size_t>(shardOfCol_[x])], x,
+                y, peIndex(x, y)));
+    fabric_ = std::make_unique<Fabric>(*this);
+}
+
+Simulator::~Simulator()
+{
+    // Queued callbacks may hold PayloadRefs into *other* shards' pools
+    // (cross-shard segments, stashed deliveries): drop every queued
+    // callback while all pools are still alive.
+    for (auto &shard : shards_) {
+        shard->heap_.clear();
+        shard->slots_.clear();
+        shard->freeSlots_.clear();
+        for (auto &lane : shard->outbox_)
+            lane.clear();
+    }
+}
+
+Pe &
+Simulator::pe(int x, int y)
+{
+    WSC_ASSERT(x >= 0 && x < width_ && y >= 0 && y < height_,
+               "PE coordinates (" << x << ", " << y << ") out of range");
+    return *pes_[peIndex(x, y)];
+}
+
+Shard &
+Simulator::shardOfPe(uint32_t peIdx)
+{
+    if (peIdx >= numPes_) // host
+        return *shards_.front();
+    uint32_t col = peIdx / static_cast<uint32_t>(height_);
+    return *shards_[static_cast<size_t>(shardOfCol_[col])];
+}
+
+const SimStats &
+Simulator::stats()
+{
+    mergedStats_ = SimStats{};
+    for (const auto &shard : shards_) {
+        mergedStats_.eventsProcessed += shard->stats_.eventsProcessed;
+        mergedStats_.waveletsSent += shard->stats_.waveletsSent;
+        mergedStats_.taskActivations += shard->stats_.taskActivations;
+        mergedStats_.dsdOps += shard->stats_.dsdOps;
+        mergedStats_.flops += shard->stats_.flops;
+        mergedStats_.memBytes += shard->stats_.memBytes;
+    }
+    return mergedStats_;
+}
+
+uint64_t
+Simulator::fabricHops() const
+{
+    uint64_t total = 0;
+    for (const auto &shard : shards_)
+        total += shard->fabricHops_;
+    return total;
+}
+
+Cycles
+Simulator::now() const
+{
+    if (tlsCur.sim == this && tlsCur.shard)
+        return tlsCur.shard->now();
+    return finalNow_;
+}
+
+Shard *
+Simulator::currentShard() const
+{
+    return tlsCur.sim == this ? tlsCur.shard : nullptr;
+}
+
+void
+Simulator::schedule(Cycles at, EventCallback fn)
+{
+    if (tlsCur.sim == this && tlsCur.shard) {
+        Shard &cur = *tlsCur.shard;
+        // Generic events stay on the scheduling shard, owned by the
+        // creating event's owner (FIFO per creator at equal cycles).
+        cur.push(cur.currentOwner_, at, std::move(fn));
+        return;
+    }
+    shards_.front()->push(hostId(), at, std::move(fn));
+}
+
+void
+Simulator::scheduleOnPe(uint32_t owner, Cycles at, EventCallback fn,
+                        Shard *from)
+{
+    Shard &target = shardOfPe(owner);
+    if (from == nullptr) {
+        target.pushKeyed(Shard::packKey(owner, hostId()),
+                         shards_.front()->nextSeq_++, at, std::move(fn));
+        return;
+    }
+    uint64_t key = Shard::packKey(owner, from->currentOwner_);
+    if (from == &target) {
+        target.pushKeyed(key, from->nextSeq_++, at, std::move(fn));
+        return;
+    }
+    from->outbox_[static_cast<size_t>(target.index())].push_back(
+        Shard::MailEntry{at, key, from->nextSeq_++, std::move(fn)});
+}
+
+bool
+Simulator::idle() const
+{
+    for (const auto &shard : shards_) {
+        if (!shard->heap_.empty())
+            return false;
+        for (const auto &lane : shard->outbox_)
+            if (!lane.empty())
+                return false;
+    }
+    return true;
+}
+
+Cycles
+Simulator::finishRun()
+{
+    Cycles end = finalNow_;
+    for (auto &shard : shards_)
+        end = std::max(end, shard->now_);
+    for (auto &shard : shards_) {
+        shard->now_ = end;
+        shard->currentOwner_ = hostId();
+    }
+    finalNow_ = end;
+    return end;
+}
+
+Cycles
+Simulator::runSequential(uint64_t maxEvents)
+{
+    Shard &shard = *shards_.front();
+    TlsGuard tls(this, &shard);
+    uint64_t processed = 0;
+    while (!shard.heap_.empty()) {
+        if (processed++ >= maxEvents)
+            fatal("simulation exceeded the event budget (livelock?)");
+        shard.step();
+    }
+    shard.currentOwner_ = hostId();
+    return finishRun();
+}
+
+Cycles
+Simulator::runParallel(uint64_t maxEvents)
+{
+    const int numShards = threads();
+    for (auto &shard : shards_)
+        shard->processed_ = 0;
+
+    struct Control
+    {
+        Cycles windowEnd = 0;
+        bool done = false;
+        bool overBudget = false;
+    } ctl;
+    std::atomic<bool> failed{false};
+    std::exception_ptr firstError;
+    std::mutex errorMutex;
+
+    // Runs on exactly one thread while every worker is parked in the
+    // barrier: drains the cross-shard mailboxes, accounts the event
+    // budget and picks the next conservative window.
+    auto atBarrier = [&]() noexcept {
+        if (failed.load(std::memory_order_relaxed)) {
+            ctl.done = true;
+            return;
+        }
+        uint64_t total = 0;
+        for (auto &src : shards_) {
+            for (size_t dst = 0; dst < src->outbox_.size(); ++dst) {
+                auto &lane = src->outbox_[dst];
+                for (auto &entry : lane)
+                    shards_[dst]->pushKeyed(entry.ownerCreator, entry.seq,
+                                            entry.at,
+                                            std::move(entry.cb));
+                lane.clear();
+            }
+            total += src->processed_;
+        }
+        if (total > maxEvents) {
+            ctl.overBudget = true;
+            ctl.done = true;
+            return;
+        }
+        bool any = false;
+        Cycles minAt = 0;
+        for (auto &shard : shards_) {
+            if (shard->heap_.empty())
+                continue;
+            Cycles at = shard->heap_.front().at;
+            minAt = any ? std::min(minAt, at) : at;
+            any = true;
+        }
+        if (!any) {
+            ctl.done = true;
+            return;
+        }
+        ctl.windowEnd = minAt + lookahead_;
+    };
+
+    std::barrier barrier(numShards, atBarrier);
+
+    auto worker = [&](int idx) {
+        Shard &shard = *shards_[static_cast<size_t>(idx)];
+        TlsGuard tls(this, &shard);
+        for (;;) {
+            barrier.arrive_and_wait();
+            if (ctl.done)
+                break;
+            try {
+                shard.runWindow(ctl.windowEnd, maxEvents);
+            } catch (...) {
+                {
+                    std::lock_guard<std::mutex> lock(errorMutex);
+                    if (!firstError)
+                        firstError = std::current_exception();
+                }
+                failed.store(true, std::memory_order_relaxed);
+            }
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(numShards) - 1);
+    for (int i = 1; i < numShards; ++i)
+        threads.emplace_back(worker, i);
+    worker(0);
+    for (std::thread &t : threads)
+        t.join();
+
+    if (firstError)
+        std::rethrow_exception(firstError);
+    if (ctl.overBudget)
+        fatal("simulation exceeded the event budget (livelock?)");
+    return finishRun();
 }
 
 Cycles
 Simulator::run(uint64_t maxEvents)
 {
-    uint64_t processed = 0;
-    while (!heap_.empty()) {
-        if (processed++ >= maxEvents)
-            fatal("simulation exceeded the event budget (livelock?)");
-        EventKey top = heap_.front();
-        heap_.front() = heap_.back();
-        heap_.pop_back();
-        if (!heap_.empty())
-            siftDown(0);
-        now_ = top.at;
-        stats_.eventsProcessed++;
-        // Move the callback out before invoking: the callback may
-        // schedule new events, which can grow (and relocate) the slot
-        // pool while it runs.
-        EventCallback cb = std::move(slots_[top.slot]);
-        freeSlots_.push_back(top.slot);
-        cb();
-    }
-    return now_;
+    if (threads() == 1)
+        return runSequential(maxEvents);
+    return runParallel(maxEvents);
 }
 
 } // namespace wsc::wse

@@ -1,18 +1,36 @@
 /**
  * @file
- * Event-driven simulator for a (sub-)grid of WSE processing elements.
+ * Event-driven simulator for a (sub-)grid of WSE processing elements,
+ * shardable across threads.
  *
- * The simulator advances a global cycle clock through a binary min-heap
- * of events. PEs model single-threaded cores running actor-style tasks;
- * the fabric models per-link wavelet streams between neighbouring
- * routers.
+ * The PE grid is partitioned into N column-strip shards (SimOptions::
+ * threads; the default 1 keeps the whole grid in a single shard and runs
+ * the classic sequential loop). Each shard owns its own binary min-heap
+ * event queue, callback slot pool, payload ring and statistics, so the
+ * hot schedule/dispatch paths are entirely shard-local and lock-free.
+ *
+ * Parallel execution uses conservative lock-step windows: every event
+ * that crosses a shard boundary (a fabric stream segment handed to the
+ * next column strip) carries at least the fabric hop latency, so all
+ * shards can safely execute the window [globalMin, globalMin +
+ * hopCycles) in parallel. Cross-shard events travel through per-pair
+ * SPSC outboxes that are drained into the target heaps at the window
+ * barrier (the barrier itself provides the memory synchronisation, so
+ * the mailboxes are plain vectors).
+ *
+ * Determinism: events are ordered by (cycle, owner PE, creator PE,
+ * per-creator sequence). The owner is the PE whose state the event
+ * mutates (all mutable simulator state is owner-partitioned), the
+ * creator is the PE whose event scheduled it, and the sequence numbers
+ * each creator's creations. This key is independent of thread
+ * interleaving and of the shard count, so a threads=N run is
+ * cycle-identical and SimStats-identical to the threads=1 run — pinned
+ * by the `sharded` test suite and the golden cycle counts.
  *
  * The schedule/run path is allocation-free for inline-sized callbacks:
- * an event is a POD key (cycle, sequence, slot) in a pre-sized heap
- * vector, and its callback lives in a small-buffer EventCallback slot
- * that is recycled through a free list. Every callback the simulator
- * subsystems schedule (PE dispatch, fabric deliveries) fits the inline
- * buffer; oversized user callables take one heap allocation.
+ * an event is a POD key in a pre-sized heap vector, and its callback
+ * lives in a small-buffer EventCallback slot recycled through a free
+ * list.
  *
  * Timing model (documented in DESIGN.md §4): each PE has a single work
  * timeline on which task execution, DSD compute and ramp data transfers
@@ -34,6 +52,7 @@
 
 #include "wse/arch_params.h"
 #include "wse/fabric.h"
+#include "wse/payload.h"
 #include "wse/pe.h"
 
 namespace wsc::wse {
@@ -50,6 +69,18 @@ struct SimStats
     uint64_t memBytes = 0;
 };
 
+/** Execution options of one Simulator instance. */
+struct SimOptions
+{
+    /**
+     * Worker threads / column-strip shards. 1 (the default) runs the
+     * exact sequential path; higher values run lock-step conservative
+     * windows with identical (cycle- and stats-identical) results.
+     * Clamped to the grid width.
+     */
+    int threads = 1;
+};
+
 /**
  * A move-only callable with inline small-buffer storage. Callables up to
  * kInlineSize bytes are stored in place (no heap allocation on the
@@ -61,7 +92,7 @@ class EventCallback
 {
   public:
     /** Sized to hold every simulator-internal callback inline (the
-     *  largest is a fabric delivery: two shared_ptrs + a record). */
+     *  largest is a fabric stream segment / delivery record). */
     static constexpr size_t kInlineSize = 64;
 
     EventCallback() = default;
@@ -191,7 +222,123 @@ class EventCallback
     const Ops *ops_ = nullptr;
 };
 
-/** Owns the PE grid, fabric and event queue. */
+class Simulator;
+
+/**
+ * One column-strip shard: a private event queue plus the per-shard
+ * resources its PEs touch on the hot path (stats, payload ring, fabric
+ * hop counter). All members are accessed only by the owning worker
+ * thread (or the host thread while no run is active); cross-shard event
+ * creation goes through the outboxes, drained at window barriers.
+ */
+class Shard
+{
+  public:
+    Shard(Simulator &sim, int index);
+    Shard(const Shard &) = delete;
+    Shard &operator=(const Shard &) = delete;
+
+    /** Local simulation time (== global time at window barriers). */
+    Cycles now() const { return now_; }
+
+    /** Shard-local statistics (merged by Simulator::stats()). */
+    SimStats &stats() { return stats_; }
+
+    /** Shard-local payload ring (see wse/payload.h). */
+    PayloadPool &payloadPool() { return payloadPool_; }
+
+    /**
+     * Schedule an event owned by `owner` (a PE of this shard, or the
+     * host id) at absolute cycle `at` (>= now). The creator recorded in
+     * the ordering key is the currently executing event's owner.
+     */
+    void push(uint32_t owner, Cycles at, EventCallback fn);
+
+    int index() const { return index_; }
+
+  private:
+    friend class Simulator;
+    friend class Fabric;
+
+    /**
+     * Heap entry: POD, so sift operations move 32 bytes, never the
+     * callback. Ordered by (at, owner, creator, seq): owner and creator
+     * are packed into one word (owner in the high half) so the
+     * deterministic tie-break is two integer compares. `seq` is the
+     * creating shard's monotone counter — only compared between events
+     * of the same creator, whose creations are totally ordered within
+     * one shard, so the key is independent of the shard count. `slot`
+     * indexes the callback slot pool.
+     */
+    struct EventKey
+    {
+        Cycles at;
+        uint64_t ownerCreator;
+        uint64_t seq;
+        uint32_t slot;
+    };
+
+    /** A cross-shard event in flight (drained at window barriers). */
+    struct MailEntry
+    {
+        Cycles at;
+        uint64_t ownerCreator;
+        uint64_t seq;
+        EventCallback cb;
+    };
+
+    static uint64_t
+    packKey(uint32_t owner, uint32_t creator)
+    {
+        return (static_cast<uint64_t>(owner) << 32) | creator;
+    }
+
+    static bool
+    before(const EventKey &a, const EventKey &b)
+    {
+        if (a.at != b.at)
+            return a.at < b.at;
+        if (a.ownerCreator != b.ownerCreator)
+            return a.ownerCreator < b.ownerCreator;
+        return a.seq < b.seq;
+    }
+
+    void pushKeyed(uint64_t ownerCreator, uint64_t seq, Cycles at,
+                   EventCallback fn);
+    void siftUp(size_t i);
+    void siftDown(size_t i);
+    /** Execute events with at < end, fataling past the budget. */
+    void runWindow(Cycles end, uint64_t maxEvents);
+    /** Pop and run the next event (sequential path). */
+    void step();
+
+    Simulator *sim_;
+    int index_;
+    /** Declared before the queues: queued callbacks may hold
+     *  PayloadRefs, so the pool must outlive them on destruction
+     *  (cross-shard refs are drained by ~Simulator first). */
+    PayloadPool payloadPool_;
+    SimStats stats_;
+    Cycles now_ = 0;
+    /** Owner of the event currently executing (host id when idle);
+     *  recorded as the creator of events it schedules. */
+    uint32_t currentOwner_;
+    /** Binary min-heap on the deterministic key. */
+    std::vector<EventKey> heap_;
+    /** Callback slot pool; slots are recycled through freeSlots_. */
+    std::vector<EventCallback> slots_;
+    std::vector<uint32_t> freeSlots_;
+    /** Monotone creation counter (per-creator sequence source). */
+    uint64_t nextSeq_ = 0;
+    /** Outgoing cross-shard events, one lane per destination shard. */
+    std::vector<std::vector<MailEntry>> outbox_;
+    /** Events executed in the current run (budget accounting). */
+    uint64_t processed_ = 0;
+    /** Wavelet-hops injected by this shard's links (fabric statistic). */
+    uint64_t fabricHops_ = 0;
+};
+
+/** Owns the PE grid, fabric, and the shard set. */
 class Simulator
 {
   public:
@@ -199,7 +346,8 @@ class Simulator
      * Build a simulator over a width x height PE sub-grid using the given
      * architecture parameters. The sub-grid must fit the fabric.
      */
-    Simulator(const ArchParams &params, int width, int height);
+    Simulator(const ArchParams &params, int width, int height,
+              SimOptions options = {});
     ~Simulator();
     Simulator(const Simulator &) = delete;
     Simulator &operator=(const Simulator &) = delete;
@@ -207,58 +355,92 @@ class Simulator
     const ArchParams &params() const { return params_; }
     int width() const { return width_; }
     int height() const { return height_; }
+    /** Configured worker threads (== shard count). */
+    int threads() const { return static_cast<int>(shards_.size()); }
 
     Pe &pe(int x, int y);
     Fabric &fabric() { return *fabric_; }
-    SimStats &stats() { return stats_; }
 
-    /** Current simulation time. */
-    Cycles now() const { return now_; }
+    /** Aggregate statistics, merged across shards on each call
+     *  (read-only: subsystems accumulate into their shard's stats). */
+    const SimStats &stats();
+
+    /** Total wavelet-hops carried by the fabric (summed over shards). */
+    uint64_t fabricHops() const;
+
+    /**
+     * Current simulation time: the executing shard's clock from inside
+     * an event callback, the final global clock otherwise.
+     */
+    Cycles now() const;
 
     /**
      * Schedule `fn` at absolute cycle `at` (>= now). Accepts any
      * callable; inline-sized ones are stored without heap allocation.
+     * Host-side calls land on shard 0; calls from inside an event run
+     * on the scheduling event's shard (FIFO per creator at equal
+     * cycles).
      */
     void schedule(Cycles at, EventCallback fn);
 
     /** Run until the event queue drains. Returns the final cycle. */
     Cycles run(uint64_t maxEvents = UINT64_MAX);
 
-    /** True when no events remain. */
-    bool idle() const { return heap_.empty(); }
+    /** True when no events remain (queues and mailboxes). */
+    bool idle() const;
+
+    /// @name Internal scheduling surface (Pe / Fabric)
+    /// @{
+    /** Dense PE index of (x, y). */
+    uint32_t
+    peIndex(int x, int y) const
+    {
+        return static_cast<uint32_t>(x) * static_cast<uint32_t>(height_) +
+               static_cast<uint32_t>(y);
+    }
+    /** The host's creator/owner id (orders host events after PEs). */
+    uint32_t hostId() const { return numPes_; }
+    /** Shard owning a PE (or shard 0 for the host id). */
+    Shard &shardOfPe(uint32_t peIdx);
+    /**
+     * Schedule an event owned by `owner` from the execution context of
+     * `from` (nullptr for the host). Same-shard events push directly;
+     * cross-shard events go through `from`'s outbox and join the target
+     * heap at the next window barrier. Host-context events draw their
+     * sequence from one shared counter, so their relative order is
+     * thread-count independent.
+     */
+    void scheduleOnPe(uint32_t owner, Cycles at, EventCallback fn,
+                      Shard *from);
+    /** The shard executing on this thread, or nullptr on the host.
+     *  THE value to pass as `from`: using a PE's home shard instead
+     *  would draw host-event sequence numbers from per-shard counters
+     *  and break the determinism key. */
+    Shard *currentShard() const;
+    /// @}
 
   private:
-    /** Heap entry: POD, so sift operations move 24 bytes, never the
-     *  callback. `slot` indexes the callback slot pool. */
-    struct EventKey
-    {
-        Cycles at;
-        uint64_t seq;
-        uint32_t slot;
-    };
+    friend class Shard;
 
-    static bool
-    before(const EventKey &a, const EventKey &b)
-    {
-        return a.at != b.at ? a.at < b.at : a.seq < b.seq;
-    }
-
-    void siftUp(size_t i);
-    void siftDown(size_t i);
+    Cycles runSequential(uint64_t maxEvents);
+    Cycles runParallel(uint64_t maxEvents);
+    Cycles finishRun();
 
     ArchParams params_;
     int width_;
     int height_;
-    Cycles now_ = 0;
-    uint64_t nextSeq_ = 0;
-    /** Binary min-heap on (at, seq); pre-sized in the constructor. */
-    std::vector<EventKey> heap_;
-    /** Callback slot pool; slots are recycled through freeSlots_. */
-    std::vector<EventCallback> slots_;
-    std::vector<uint32_t> freeSlots_;
+    uint32_t numPes_;
+    /** Conservative window length: the minimum cross-shard latency. */
+    Cycles lookahead_;
+    /** Global clock outside of run() (max shard clock after a run). */
+    Cycles finalNow_ = 0;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    /** Shard index per PE column. */
+    std::vector<int> shardOfCol_;
     std::vector<std::unique_ptr<Pe>> pes_;
     std::unique_ptr<Fabric> fabric_;
-    SimStats stats_;
+    /** Merged-stats cache refreshed by stats(). */
+    SimStats mergedStats_;
 };
 
 } // namespace wsc::wse

@@ -1,7 +1,8 @@
 /**
  * @file
  * Golden-file locks on the CSL emitter output and on simulated cycle
- * counts for the seismic and diffusion workloads.
+ * counts for all five paper workloads (Jacobian, heat diffusion,
+ * acoustic, seismic, UVKBE).
  *
  * The emitted `pe.csl`/`layout.csl` bytes are compared verbatim against
  * the files in tests/golden/, locking the byte-exact format that PR 2's
@@ -96,11 +97,12 @@ class GoldenCslTest : public IrTest
 
     /** Final cycle of a compiled-mode run on an nx x ny fabric. */
     wse::Cycles
-    simulate(fe::Benchmark &bench, int nx, int ny)
+    simulate(fe::Benchmark &bench, int nx, int ny, int threads = 1)
     {
         ir::OwningOp module = bench.program.emit(ctx);
         transforms::runPipeline(module.get());
-        wse::Simulator sim(wse::ArchParams::wse3(), nx, ny);
+        wse::Simulator sim(wse::ArchParams::wse3(), nx, ny,
+                           wse::SimOptions{threads});
         interp::CslProgramInstance instance(sim, module.get());
         for (size_t f = 0; f < bench.program.numFields(); ++f) {
             int fi = static_cast<int>(f);
@@ -132,13 +134,63 @@ TEST_F(GoldenCslTest, DiffusionEmittedBytes)
     checkGolden("diffusion_layout.csl", csl.layoutFile);
 }
 
+TEST_F(GoldenCslTest, JacobianEmittedBytes)
+{
+    fe::Benchmark bench = fe::makeJacobian(16, 16, 8, 24);
+    codegen::EmittedCsl csl = emit(bench);
+    checkGolden("jacobian_pe.csl", csl.programFile);
+    checkGolden("jacobian_layout.csl", csl.layoutFile);
+}
+
+TEST_F(GoldenCslTest, AcousticEmittedBytes)
+{
+    fe::Benchmark bench = fe::makeAcoustic(16, 16, 8, 24);
+    codegen::EmittedCsl csl = emit(bench);
+    checkGolden("acoustic_pe.csl", csl.programFile);
+    checkGolden("acoustic_layout.csl", csl.layoutFile);
+}
+
+TEST_F(GoldenCslTest, UvkbeEmittedBytes)
+{
+    fe::Benchmark bench = fe::makeUvkbe(16, 16, 24);
+    codegen::EmittedCsl csl = emit(bench);
+    checkGolden("uvkbe_pe.csl", csl.programFile);
+    checkGolden("uvkbe_layout.csl", csl.layoutFile);
+}
+
 TEST_F(GoldenCslTest, SimulatedCycleCounts)
 {
-    fe::Benchmark seismic = fe::makeSeismic(8, 8, 3, 20);
+    fe::Benchmark jacobian = fe::makeJacobian(7, 7, 4, 64);
     fe::Benchmark diffusion = fe::makeDiffusion(7, 7, 4, 16);
+    fe::Benchmark acoustic = fe::makeAcoustic(8, 8, 3, 32);
+    fe::Benchmark seismic = fe::makeSeismic(8, 8, 3, 20);
+    fe::Benchmark uvkbe = fe::makeUvkbe(8, 8, 24);
     std::ostringstream os;
-    os << "seismic_8x8x3: " << simulate(seismic, 8, 8) << "\n"
-       << "diffusion_7x7x4: " << simulate(diffusion, 7, 7) << "\n";
+    os << "jacobian_7x7x4: " << simulate(jacobian, 7, 7) << "\n"
+       << "diffusion_7x7x4: " << simulate(diffusion, 7, 7) << "\n"
+       << "acoustic_8x8x3: " << simulate(acoustic, 8, 8) << "\n"
+       << "seismic_8x8x3: " << simulate(seismic, 8, 8) << "\n"
+       << "uvkbe_8x8: " << simulate(uvkbe, 8, 8) << "\n";
+    checkGolden("cycle_counts.txt", os.str());
+}
+
+TEST_F(GoldenCslTest, SimulatedCycleCountsShardedMatch)
+{
+    // The sharded engine must land on exactly the golden cycle counts:
+    // a threads=4 run of every locked workload reproduces them.
+    fe::Benchmark jacobian = fe::makeJacobian(7, 7, 4, 64);
+    fe::Benchmark diffusion = fe::makeDiffusion(7, 7, 4, 16);
+    fe::Benchmark acoustic = fe::makeAcoustic(8, 8, 3, 32);
+    fe::Benchmark seismic = fe::makeSeismic(8, 8, 3, 20);
+    fe::Benchmark uvkbe = fe::makeUvkbe(8, 8, 24);
+    std::ostringstream os;
+    os << "jacobian_7x7x4: " << simulate(jacobian, 7, 7, 4) << "\n"
+       << "diffusion_7x7x4: " << simulate(diffusion, 7, 7, 4) << "\n"
+       << "acoustic_8x8x3: " << simulate(acoustic, 8, 8, 4) << "\n"
+       << "seismic_8x8x3: " << simulate(seismic, 8, 8, 4) << "\n"
+       << "uvkbe_8x8: " << simulate(uvkbe, 8, 8, 4) << "\n";
+    if (updateRequested())
+        return; // cycle_counts.txt is written by the threads=1 lock.
     checkGolden("cycle_counts.txt", os.str());
 }
 
