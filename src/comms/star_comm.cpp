@@ -218,6 +218,36 @@ StarComm::setup()
             state(x, y).recvBuf = sim_.pe(x, y).allocBufferId(
                 config_.recvBufferName,
                 static_cast<size_t>(numSections() * chunkElems()));
+
+    // Deadlock introspection: when the event queues drain, any PE still
+    // inside an exchange is waiting for data that will never arrive —
+    // name it and what it got so far (this StarComm must outlive the
+    // simulator runs, which every call site already guarantees).
+    sim_.addQuiescenceProbe([this](std::vector<wse::BlockedPeInfo> &out) {
+        for (int x = 0; x < sim_.width(); ++x) {
+            for (int y = 0; y < sim_.height(); ++y) {
+                PeState &st = state(x, y);
+                if (!st.exchangeActive)
+                    continue;
+                int done = config_.perSectionCallbacks
+                               ? st.announcedDeliveries
+                               : st.completedChunks;
+                int total =
+                    config_.perSectionCallbacks
+                        ? expectedSections(x, y) *
+                              static_cast<int>(config_.numChunks)
+                        : static_cast<int>(config_.numChunks);
+                out.push_back(
+                    {x, y,
+                     strcat("halo exchange epoch ", st.activeEpoch, ": ",
+                            done, "/", total,
+                            config_.perSectionCallbacks ? " sections"
+                                                        : " chunks",
+                            " complete"),
+                     st.exchangeStart, false});
+            }
+        }
+    });
 }
 
 void
@@ -245,6 +275,7 @@ StarComm::exchange(wse::TaskContext &ctx, wse::BufferId sendBufId,
     st.recvCb = recvCb;
     st.doneCb = doneCb;
     st.activeEpoch++;
+    st.exchangeStart = ctx.currentCycle();
     st.completedChunks = 0;
     st.announcedDeliveries = 0;
     st.stats.exchangesStarted++;
@@ -326,6 +357,13 @@ StarComm::exchange(wse::TaskContext &ctx, wse::BufferId sendBufId,
         return;
     }
 
+    // Arm the exchange watchdog: if the receives have not completed by
+    // the deadline the wait is extended with backoff, then the exchange
+    // degrades rather than hanging the program (wse/fault.h). Off by
+    // default (exchangeTimeoutCycles == 0) — no events, no reordering.
+    if (sim_.options().exchangeTimeoutCycles > 0)
+        scheduleTimeout(pe, epoch, /*attempt=*/0, ctx.currentCycle());
+
     // Drain completions that arrived before this exchange started (a
     // neighbour running ahead; the hardware equivalent is data waiting in
     // the input queues).
@@ -400,8 +438,69 @@ StarComm::stats() const
         statsCache_.chunksDelivered += st.stats.chunksDelivered;
         statsCache_.recvCallbacks += st.stats.recvCallbacks;
         statsCache_.doneCallbacks += st.stats.doneCallbacks;
+        statsCache_.timeouts += st.stats.timeouts;
+        statsCache_.degradedExchanges += st.stats.degradedExchanges;
     }
     return statsCache_;
+}
+
+void
+StarComm::scheduleTimeout(wse::Pe &pe, int64_t epoch, int attempt,
+                          wse::Cycles from)
+{
+    wse::Cycles wait = sim_.options().exchangeTimeoutCycles
+                       << static_cast<unsigned>(attempt);
+    int x = pe.x();
+    int y = pe.y();
+    pe.shard().push(pe.id(), from + wait, [this, x, y, epoch, attempt] {
+        onExchangeTimeout(sim_.pe(x, y), epoch, attempt);
+    });
+}
+
+void
+StarComm::onExchangeTimeout(wse::Pe &pe, int64_t epoch, int attempt)
+{
+    PeState &st = state(pe.x(), pe.y());
+    if (!st.exchangeActive || st.activeEpoch != epoch)
+        return; // The exchange completed in time: the timer is stale.
+    st.stats.timeouts++;
+    pe.shard().faultStats().exchangeTimeouts++;
+    if (attempt < sim_.options().exchangeMaxRetries) {
+        // Extend the deadline with exponential backoff: a degraded
+        // (slow) link deserves more patience than a dead one.
+        scheduleTimeout(pe, epoch, attempt + 1, pe.now());
+        return;
+    }
+    degradeExchange(pe, st, st.epochs.at(epoch), pe.now());
+}
+
+void
+StarComm::degradeExchange(wse::Pe &pe, PeState &st, EpochState &es,
+                          wse::Cycles readyAt)
+{
+    es.degraded = true;
+    st.stats.degradedExchanges++;
+    pe.shard().faultStats().exchangesDegraded++;
+    sim_.noteDegradedPe(pe.id());
+    // Size the stashes so the materialization paths can probe sections
+    // that never arrived (resize preserves the pinned slots).
+    for (auto &chunkStash : es.stash)
+        chunkStash.resize(config_.accesses.size());
+    // Announce everything still outstanding: the receive callbacks run
+    // over whatever sections made it, the pop paths zero-fill the rest,
+    // and the last announcement fires finishExchange as usual — the
+    // program continues instead of deadlocking on a dead neighbour.
+    if (config_.perSectionCallbacks) {
+        for (int64_t c = 0; c < config_.numChunks; ++c)
+            for (size_t s = 0; s < config_.accesses.size(); ++s)
+                if (!es.announcedSections[c][s])
+                    announceSection(pe, st, es, c, static_cast<int>(s),
+                                    readyAt);
+    } else {
+        for (int64_t c = 0; c < config_.numChunks; ++c)
+            if (!es.announced[c])
+                announceChunk(pe, st, es, c, readyAt);
+    }
 }
 
 void
@@ -473,7 +572,14 @@ StarComm::popCompletedChunkOffset(wse::Pe &pe)
     int64_t chunk = chunkElems();
     for (size_t s = 0; s < config_.accesses.size(); ++s) {
         wse::PayloadRef &pinned = es.stash[chunkIdx][s];
-        WSC_ASSERT(pinned.valid(), "announced chunk missing a section");
+        if (!pinned.valid()) {
+            // Only a degraded exchange announces incomplete chunks: the
+            // section never arrived and its slice reads as zeros.
+            WSC_ASSERT(es.degraded, "announced chunk missing a section");
+            for (int64_t i = 0; i < chunk; ++i)
+                recv[s * chunk + static_cast<size_t>(i)] = 0.0f;
+            continue;
+        }
         const std::vector<float> &data = pinned.data();
         float coeff = config_.coeffs.empty()
                           ? 1.0f
@@ -505,7 +611,13 @@ StarComm::popCompletedSection(wse::Pe &pe)
     int64_t chunk = chunkElems();
     wse::PayloadRef &pinned =
         es.stash[chunkIdx][static_cast<size_t>(section)];
-    WSC_ASSERT(pinned.valid(), "announced section missing its payload");
+    if (!pinned.valid()) {
+        // Degraded exchange: the section never arrived (see above).
+        WSC_ASSERT(es.degraded, "announced section missing its payload");
+        for (int64_t i = 0; i < chunk; ++i)
+            recv[section * chunk + i] = 0.0f;
+        return {section, chunkIdx * chunk};
+    }
     const std::vector<float> &data = pinned.data();
     float coeff = config_.coeffs.empty()
                       ? 1.0f

@@ -91,6 +91,10 @@ struct StarCommStats
     uint64_t chunksDelivered = 0;
     uint64_t recvCallbacks = 0;
     uint64_t doneCallbacks = 0;
+    /** Exchange watchdog firings (wse/fault.h; 0 without faults). */
+    uint64_t timeouts = 0;
+    /** Exchanges completed degraded (missing sections zero-filled). */
+    uint64_t degradedExchanges = 0;
 };
 
 /** One exchange site of the runtime library. */
@@ -176,12 +180,20 @@ class StarComm
          *  until the receive callback materializes it. */
         std::vector<std::vector<wse::PayloadRef>> stash;
         wse::Cycles senderInjectDone = 0;
+        /**
+         * Set when the exchange watchdog gave up waiting: outstanding
+         * chunks were force-announced and their missing sections read
+         * as zeros (graceful degradation under injected faults).
+         */
+        bool degraded = false;
     };
 
     struct PeState
     {
         int64_t activeEpoch = 0;
         bool exchangeActive = false;
+        /** Cycle the active exchange started (watchdog/diagnosis). */
+        wse::Cycles exchangeStart = 0;
         int completedChunks = 0;
         int announcedDeliveries = 0;
         /** Callback tasks of the active exchange (resolved handles). */
@@ -219,6 +231,27 @@ class StarComm
     void finishExchange(wse::Pe &pe, PeState &st, EpochState &es,
                         wse::Cycles readyAt);
     void pruneEpochs(PeState &st, int64_t currentEpoch);
+
+    /// @name Exchange watchdog (wse/fault.h)
+    /// Armed per exchange when SimOptions::exchangeTimeoutCycles > 0.
+    /// Timers are events owned by the waiting PE, so they replay
+    /// identically at any thread count; a timer that fires after its
+    /// exchange completed is stale and does nothing.
+    /// @{
+    /** Arm attempt `attempt`'s deadline, `timeout << attempt` cycles
+     *  after `from` (exponential backoff). */
+    void scheduleTimeout(wse::Pe &pe, int64_t epoch, int attempt,
+                         wse::Cycles from);
+    void onExchangeTimeout(wse::Pe &pe, int64_t epoch, int attempt);
+    /**
+     * Give up on the active exchange: announce every outstanding chunk
+     * (or section) so the program continues, with never-delivered
+     * sections zero-filled at materialization. Records the PE as
+     * degraded on the SimReport.
+     */
+    void degradeExchange(wse::Pe &pe, PeState &st, EpochState &es,
+                         wse::Cycles readyAt);
+    /// @}
 
     wse::Simulator &sim_;
     StarCommConfig config_;

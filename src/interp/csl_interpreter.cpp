@@ -359,6 +359,22 @@ CslProgramInstance::configure()
                "reference mode requires a single-threaded simulator");
     configured_ = true;
 
+    // Deadlock introspection: after launch(), any PE that has not
+    // reached unblock_cmd_stream by the time the event queues drain is
+    // stuck mid-program (a halted dependency, a lost wavelet, ...).
+    // Gated on launched_ so configure-without-launch runs stay clean.
+    sim_.addQuiescenceProbe([this](std::vector<wse::BlockedPeInfo> &out) {
+        if (!launched_)
+            return;
+        for (int x = 0; x < sim_.width(); ++x)
+            for (int y = 0; y < sim_.height(); ++y)
+                if (!peUnblocked_[sim_.pe(x, y).id()])
+                    out.push_back({x, y,
+                                   "program incomplete: "
+                                   "unblock_cmd_stream not reached",
+                                   0, false});
+    });
+
     // --- Collect module structure ---------------------------------------
     std::vector<ir::Operation *> commsOps;
     for (ir::Operation *op : csl::moduleBody(program_)->operations()) {
@@ -616,6 +632,9 @@ void
 CslProgramInstance::launch()
 {
     WSC_ASSERT(configured_, "launch before configure");
+    launched_ = true;
+    peUnblocked_.assign(
+        static_cast<size_t>(sim_.width()) * sim_.height(), 0);
     for (int x = 0; x < sim_.width(); ++x)
         for (int y = 0; y < sim_.height(); ++y)
             sim_.pe(x, y).activate("f_main", 0);
@@ -859,6 +878,7 @@ CslProgramInstance::execCompiled(int bodyIdx, std::vector<RtValue> &slots,
         }
         case Opcode::UnblockCmdStream:
             unblockCount_.fetch_add(1, std::memory_order_relaxed);
+            peUnblocked_[pe.id()] = 1;
             break;
         case Opcode::Nop:
             break;
@@ -1093,6 +1113,7 @@ CslProgramInstance::execBody(ir::Block *block, SsaEnv &env, PeEnv &peEnv,
         }
         if (n == csl::kUnblockCmdStream) {
             unblockCount_++;
+            peUnblocked_[pe.id()] = 1;
             continue;
         }
         if (n == csl::kImportModule || n == csl::kMemberCall ||

@@ -268,7 +268,14 @@ class CslProgramInstance
     std::vector<std::vector<wse::Cycles>> stepMarks_;
     /** Atomic: incremented from any shard's worker thread. */
     std::atomic<uint64_t> unblockCount_{0};
+    /**
+     * Per-PE unblock_cmd_stream flag feeding the deadlock diagnosis
+     * (each entry is only written by its own PE's events). Valid after
+     * launch(); the quiescence probe names PEs whose flag never set.
+     */
+    std::vector<char> peUnblocked_;
     bool configured_ = false;
+    bool launched_ = false;
     bool referenceMode_ = false;
 
     /// @name Compiled program (shared across PEs)

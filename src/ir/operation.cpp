@@ -591,6 +591,12 @@ Block::~Block()
         op->parent_ = nullptr;
         Operation::destroy(op);
     }
+    Context &ctx = parent_->parentOp()->context();
+    for (ValueImpl *impl : args_) {
+        impl->~ValueImpl();
+        ctx.deallocateBytes(impl, sizeof(ValueImpl));
+    }
+    args_.clear();
 }
 
 void
@@ -644,20 +650,20 @@ Value
 Block::addArgument(Type type)
 {
     WSC_ASSERT(type, "addArgument with null type");
-    auto impl = std::make_unique<ValueImpl>();
+    Context &ctx = parent_->parentOp()->context();
+    auto *impl = new (ctx.allocateBytes(sizeof(ValueImpl))) ValueImpl();
     impl->type = type;
     impl->ownerBlock = this;
     impl->index = static_cast<unsigned>(args_.size());
-    Value v(impl.get());
-    args_.push_back(std::move(impl));
-    return v;
+    args_.push_back(impl);
+    return Value(impl);
 }
 
 Value
 Block::argument(unsigned i) const
 {
     WSC_ASSERT(i < args_.size(), "block argument index out of range");
-    return Value(args_[i].get());
+    return Value(args_[i]);
 }
 
 std::vector<Value>
@@ -665,8 +671,8 @@ Block::arguments() const
 {
     std::vector<Value> out;
     out.reserve(args_.size());
-    for (const auto &a : args_)
-        out.push_back(Value(a.get()));
+    for (ValueImpl *a : args_)
+        out.push_back(Value(a));
     return out;
 }
 
@@ -676,7 +682,11 @@ Block::eraseArgument(unsigned i)
     WSC_ASSERT(i < args_.size(), "eraseArgument index out of range");
     WSC_ASSERT(args_[i]->users.empty(),
                "eraseArgument on argument with live uses");
+    Context &ctx = parent_->parentOp()->context();
+    ValueImpl *impl = args_[i];
     args_.erase(args_.begin() + i);
+    impl->~ValueImpl();
+    ctx.deallocateBytes(impl, sizeof(ValueImpl));
     for (unsigned j = i; j < args_.size(); ++j)
         args_[j]->index = j;
 }

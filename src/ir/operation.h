@@ -518,7 +518,10 @@ class Block
     Region *parent_ = nullptr;
     // args_ must outlive ops_ during destruction (ops may use them): the
     // destructor destroys the ops explicitly before args_ is torn down.
-    std::vector<std::unique_ptr<ValueImpl>> args_;
+    // Argument ValueImpls live in the context arena (placement-new in
+    // addArgument, recycled through the free lists on erase/destroy) —
+    // no per-argument heap allocation.
+    std::vector<ValueImpl *> args_;
     OpList ops_;
 };
 

@@ -1,11 +1,11 @@
 #include "ir/pattern.h"
 
 #include <algorithm>
-#include <cstdlib>
 #include <ostream>
 #include <unordered_set>
 
 #include "ir/context.h"
+#include "support/env.h"
 #include "support/error.h"
 
 namespace wsc::ir {
@@ -210,8 +210,7 @@ dumpPatternStats(std::ostream &os)
 bool
 patternStatsRequested()
 {
-    const char *env = std::getenv("WSC_PATTERN_STATS");
-    return env != nullptr && *env != '\0' && *env != '0';
+    return envFlag("WSC_PATTERN_STATS");
 }
 
 bool

@@ -77,6 +77,90 @@ Fabric::linkFree(int x, int y, Direction dir) const
     return linkFree_[linkIndex(x, y, dir)];
 }
 
+void
+Fabric::applyFaultPlan(const FaultPlan &plan)
+{
+    faultSeed_ = plan.seed;
+    const size_t links = linkFree_.size();
+    auto checkLink = [&](int x, int y, const char *what) {
+        if (x < 0 || x >= sim_.width() || y < 0 || y >= sim_.height())
+            fatal(strcat("fault plan ", what, " targets PE (", x, ", ", y,
+                         ") outside the grid"));
+    };
+    if (!plan.linkFaults.empty()) {
+        linkFaultsEnabled_ = true;
+        linkDownAt_.assign(links, kNeverCycle);
+        linkExtraFrom_.assign(links, kNeverCycle);
+        linkExtraCycles_.assign(links, 0);
+        for (const LinkFault &f : plan.linkFaults) {
+            checkLink(f.x, f.y, "link fault");
+            size_t li = linkIndex(f.x, f.y, f.dir);
+            if (f.kind == LinkFaultKind::Drop) {
+                linkDownAt_[li] = std::min(linkDownAt_[li], f.at);
+            } else {
+                linkExtraFrom_[li] = std::min(linkExtraFrom_[li], f.at);
+                linkExtraCycles_[li] =
+                    std::max(linkExtraCycles_[li], f.extraHopCycles);
+            }
+        }
+    }
+    if (!plan.payloadFaults.empty()) {
+        payloadFaultsEnabled_ = true;
+        linkStreamCount_.assign(links, 0);
+        payloadFaultsOfLink_.assign(links, {});
+        for (const PayloadFault &f : plan.payloadFaults) {
+            checkLink(f.x, f.y, "payload fault");
+            payloadFaultsOfLink_[linkIndex(f.x, f.y, f.dir)].push_back(
+                {f.nthStream, f.kind == PayloadFaultKind::Corrupt});
+        }
+    }
+}
+
+Cycles
+Fabric::linkExtra(size_t li, Cycles start) const
+{
+    if (!linkFaultsEnabled_ || start < linkExtraFrom_[li])
+        return 0;
+    return linkExtraCycles_[li];
+}
+
+PayloadRef
+Fabric::corruptCopy(Pe &sender, const PayloadRef &payload, size_t li,
+                    uint64_t nth)
+{
+    // The chunk slot is shared by every direction's stream; corrupting
+    // in place would leak the fault onto healthy links. Copy, flip one
+    // seeded element, and send the copy down this link only.
+    PayloadRef copy = sender.payloadPool().acquire();
+    copy.mutableData() = payload.data();
+    std::vector<float> &data = copy.mutableData();
+    uint64_t key =
+        faultMix(faultSeed_ ^ (static_cast<uint64_t>(li) << 20) ^ nth);
+    data[static_cast<size_t>(key % data.size())] =
+        faultCorruptionValue(faultSeed_, key);
+    copy.markCorrupted();
+    return copy;
+}
+
+void
+Fabric::collectBusyLinks(Cycles after, size_t maxRows,
+                         std::vector<BusyLinkInfo> &out) const
+{
+    for (int x = 0; x < sim_.width(); ++x) {
+        for (int y = 0; y < sim_.height(); ++y) {
+            for (int d = 0; d < 4; ++d) {
+                Direction dir = static_cast<Direction>(d);
+                Cycles free = linkFree_[linkIndex(x, y, dir)];
+                if (free <= after)
+                    continue;
+                out.push_back({x, y, dir, free});
+                if (out.size() >= maxRows)
+                    return;
+            }
+        }
+    }
+}
+
 uint64_t
 Fabric::waveletHops() const
 {
@@ -161,12 +245,38 @@ Fabric::sendStream(int x, int y, Direction dir, uint32_t deliverMask,
     int nx = x + dx;
     int ny = y + dy;
     if (nx >= 0 && nx < sim_.width() && ny >= 0 && ny < sim_.height()) {
+        size_t li = linkIndex(x, y, dir);
+        bool dropPayload = false;
+        if (payloadFaultsEnabled_) {
+            // The injection ordinal is counted by the sender-owned call,
+            // so which stream a fault hits is thread-count independent.
+            uint64_t nth = linkStreamCount_[li]++;
+            for (const PayloadFaultEntry &f : payloadFaultsOfLink_[li]) {
+                if (f.nthStream != nth)
+                    continue;
+                if (f.corrupt) {
+                    payload = corruptCopy(sender, payload, li, nth);
+                    sender.shard().faultStats().payloadsCorrupted++;
+                } else {
+                    dropPayload = true;
+                    sender.shard().faultStats().payloadsDropped++;
+                }
+            }
+        }
+        if (linkFaultsEnabled_ && linkDownAt_[li] <= inject) {
+            // Dead link: the wavelets leave the ramp and vanish.
+            sender.shard().faultStats().streamsDroppedByLinks++;
+            return injectDone;
+        }
         // The first hop's link belongs to the sender; reserve it at
         // injection time, then hand the stream to the segment chain.
         Cycles linkStart = reserveLink(x, y, dir, inject, m);
-        Cycles headArrives = linkStart + p.hopCycles;
+        Cycles headArrives =
+            linkStart + p.hopCycles + linkExtra(li, linkStart);
         sender.shard().fabricHops_ += m;
         sender.shardStats().waveletsSent += m;
+        if (dropPayload)
+            return injectDone; // Lost in flight after the first hop.
         // currentShard(), not the sender's home shard: host-initiated
         // sends must draw their sequence numbers from the single host
         // counter or same-key ties become thread-count dependent.
@@ -219,10 +329,18 @@ Fabric::forward(Segment &seg, Pe &router, Cycles headAt, Cycles m)
     if (nx < 0 || nx >= sim_.width() || ny < 0 || ny >= sim_.height())
         return; // Edge of the grid: the route is truncated.
 
+    size_t li = linkIndex(seg.x, seg.y, dir);
+    if (linkFaultsEnabled_ && linkDownAt_[li] <= headAt) {
+        // Mid-path link death: deliveries before this hop happened,
+        // everything beyond it is lost.
+        router.shard().faultStats().streamsDroppedByLinks++;
+        return;
+    }
+
     // Wormhole forwarding: the outgoing link belongs to this router, so
     // the reservation is shard-local and time-ordered.
     Cycles linkStart = reserveLink(seg.x, seg.y, dir, headAt, m);
-    Cycles headArrives = linkStart + p.hopCycles;
+    Cycles headArrives = linkStart + p.hopCycles + linkExtra(li, linkStart);
     router.shard().fabricHops_ += m;
     router.shardStats().waveletsSent += m;
 

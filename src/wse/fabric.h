@@ -34,6 +34,8 @@ namespace wsc::wse {
 
 class Simulator;
 class Pe;
+struct FaultPlan;
+struct BusyLinkInfo;
 
 /** The four cardinal routing directions. */
 enum class Direction { East, West, North, South };
@@ -128,6 +130,18 @@ class Fabric
     /** Total wavelet-hops carried so far (summed across shards). */
     uint64_t waveletHops() const;
 
+    /**
+     * Install the fault plan's link failure/degradation tables and
+     * per-link payload fault schedules (called once by the Simulator
+     * constructor). An empty plan leaves every fault branch disabled
+     * and the hot path byte-identical to a fault-free build.
+     */
+    void applyFaultPlan(const FaultPlan &plan);
+
+    /** Links still reserved past `after` (diagnosis; ≤ maxRows rows). */
+    void collectBusyLinks(Cycles after, size_t maxRows,
+                          std::vector<BusyLinkInfo> &out) const;
+
   private:
     /** In-flight stream state between two hop events. */
     struct Segment
@@ -155,11 +169,44 @@ class Fabric
     /** Flat index of the outgoing link at (x, y) towards dir. */
     size_t linkIndex(int x, int y, Direction dir) const;
 
+    /** Degrade latency of link `li` for a head starting at `start`. */
+    Cycles linkExtra(size_t li, Cycles start) const;
+    /** Copy-and-corrupt a payload for one faulted stream (the original
+     *  slot may be shared with other directions of the same chunk). */
+    PayloadRef corruptCopy(Pe &sender, const PayloadRef &payload,
+                           size_t li, uint64_t nth);
+
     Simulator &sim_;
     /** Dense per-link next-free-cycle table, sized width*height*4 at
      *  construction. Each link is only ever touched by events owned by
      *  its own PE, so entries are shard-partitioned by column. */
     std::vector<Cycles> linkFree_;
+
+    /// @name Fault injection (wse/fault.h)
+    /// All tables are indexed like linkFree_ and, like it, only touched
+    /// by events owned by the link's PE — mutation stays owner-
+    /// partitioned and the injected behaviour thread-count independent.
+    /// @{
+    /** One scheduled payload fault on a link. */
+    struct PayloadFaultEntry
+    {
+        uint64_t nthStream;
+        bool corrupt; ///< false = drop
+    };
+    bool linkFaultsEnabled_ = false;
+    bool payloadFaultsEnabled_ = false;
+    uint64_t faultSeed_ = 0;
+    /** Cycle each link dies (never by default). */
+    std::vector<Cycles> linkDownAt_;
+    /** Start of each link's degradation window (never by default). */
+    std::vector<Cycles> linkExtraFrom_;
+    /** Extra cycles per hop once degraded. */
+    std::vector<Cycles> linkExtraCycles_;
+    /** Injection ordinal per link (payload fault selection). */
+    std::vector<uint64_t> linkStreamCount_;
+    /** Scheduled payload faults per link. */
+    std::vector<std::vector<PayloadFaultEntry>> payloadFaultsOfLink_;
+    /// @}
 };
 
 } // namespace wsc::wse

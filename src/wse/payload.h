@@ -31,6 +31,11 @@ struct PayloadSlot
 {
     std::vector<float> data;
     std::atomic<uint32_t> refs{0};
+    /** Set by fault injection when the payload was corrupted in flight;
+     *  cleared on every acquire(). Receivers may inspect it through
+     *  PayloadRef::corrupted() (the data itself carries the seeded
+     *  garbage value — this flag only attributes it). */
+    bool corrupted = false;
     /** Slot position within the owning pool. */
     uint32_t index = 0;
     /** Free-stack link: successor index + 1, or 0 for stack bottom. */
@@ -92,6 +97,11 @@ class PayloadRef
      *  must not be used once the payload has been handed to the fabric. */
     std::vector<float> &mutableData() { return slot_->data; }
 
+    /** Whether fault injection corrupted this payload (see PayloadSlot). */
+    bool corrupted() const { return slot_->corrupted; }
+    /** Mark the payload corrupted (fault-injection path only). */
+    void markCorrupted() { slot_->corrupted = true; }
+
     /** Drop this reference (possibly returning the slot to its pool). */
     inline void reset() noexcept;
 
@@ -131,6 +141,7 @@ class PayloadPool
                     std::memory_order_acquire)) {
                 slot.refs.store(1, std::memory_order_relaxed);
                 slot.data.clear();
+                slot.corrupted = false;
                 return PayloadRef(&slot);
             }
         }

@@ -187,7 +187,7 @@ Pe::registerTask(const std::string &name, TaskKind kind, TaskFn fn)
     auto [it, inserted] = taskIds_.try_emplace(
         name, static_cast<int32_t>(tasks_.size()));
     WSC_ASSERT(inserted, "task `" << name << "` already registered");
-    tasks_.push_back(TaskInfo{kind, std::move(fn)});
+    tasks_.push_back(TaskInfo{name, kind, std::move(fn)});
     return TaskId{it->second};
 }
 
@@ -222,7 +222,10 @@ Pe::activate(TaskId task, Cycles readyAt)
                "activating an invalid task handle on PE (" << x_ << ", "
                                                            << y_ << ")");
     pending_.emplace_back(task.index, readyAt);
-    if (!dispatchScheduled_) {
+    // A halted CE accepts activations (they queue for the diagnosis)
+    // but never dispatches them — and schedules nothing, so a fault-free
+    // run's event order is untouched by the existence of this check.
+    if (!dispatchScheduled_ && !halted()) {
         dispatchScheduled_ = true;
         scheduleDispatch(std::max(readyAt, now()));
     }
@@ -238,6 +241,8 @@ void
 Pe::dispatchPending()
 {
     dispatchScheduled_ = false;
+    if (halted())
+        return; // Keep pending_ intact: the diagnosis reports it.
     if (pending_.empty())
         return;
     auto [taskIdx, readyAt] = pending_.front();
@@ -271,8 +276,20 @@ Cycles
 Pe::reserveWork(Cycles from, Cycles n)
 {
     Cycles start = std::max(from, workFree_);
+    if (stutterFactor_ > 1 && start >= stutterFrom_ &&
+        start < stutterUntil_)
+        n *= stutterFactor_;
     workFree_ = start + n;
     return start;
+}
+
+const std::string &
+Pe::taskName(int32_t taskIdx) const
+{
+    WSC_ASSERT(taskIdx >= 0 &&
+                   static_cast<size_t>(taskIdx) < tasks_.size(),
+               "invalid task index " << taskIdx);
+    return tasks_[static_cast<size_t>(taskIdx)].name;
 }
 
 void

@@ -203,11 +203,50 @@ class Pe
     /// @{
     /**
      * Reserve `n` cycles of the PE work timeline no earlier than `from`;
-     * returns the cycle at which the reservation starts.
+     * returns the cycle at which the reservation starts. A stutter fault
+     * whose window contains the start multiplies `n`.
      */
     Cycles reserveWork(Cycles from, Cycles n);
     /** Next free cycle on the work timeline. */
     Cycles workFree() const { return workFree_; }
+    /// @}
+
+    /// @name Fault injection (wse/fault.h; configured by the Simulator)
+    /// @{
+    /**
+     * Halt the compute element from cycle `at` on: no task dispatches
+     * happen at or after the threshold. Activations keep queueing on
+     * pending_ so the diagnosis can name what the dead PE never ran.
+     * Halting is a pure threshold — it schedules no events and perturbs
+     * no event ordering, so fault-free state is untouched.
+     */
+    void setHaltAt(Cycles at) { haltAt_ = at; }
+    /** The halt threshold (max Cycles when never halting). */
+    Cycles haltAt() const { return haltAt_; }
+    /** Whether the CE is halted as of cycle `c`. */
+    bool haltedAt(Cycles c) const { return c >= haltAt_; }
+    /** Whether the CE is halted at the current shard time. */
+    bool halted() const { return haltedAt(now()); }
+    /** Multiply work reservations starting in [from, until) by factor. */
+    void
+    setStutter(Cycles from, Cycles until, uint32_t factor)
+    {
+        stutterFrom_ = from;
+        stutterUntil_ = until;
+        stutterFactor_ = factor;
+    }
+    /// @}
+
+    /// @name Diagnosis introspection
+    /// @{
+    /** Activations not yet dispatched: (task index, readyAt). */
+    const std::deque<std::pair<int32_t, Cycles>> &
+    pendingActivations() const
+    {
+        return pending_;
+    }
+    /** Registered name of a task index (diagnosis tables). */
+    const std::string &taskName(int32_t taskIdx) const;
     /// @}
 
     /// @name Per-PE statistics
@@ -220,6 +259,7 @@ class Pe
   private:
     struct TaskInfo
     {
+        std::string name; ///< for diagnosis tables only
         TaskKind kind;
         TaskFn fn;
     };
@@ -260,6 +300,11 @@ class Pe
     Cycles workFree_ = 0;
     uint64_t taskActivations_ = 0;
     Cycles busyCycles_ = 0;
+    /** Fault thresholds (defaults injected nothing; see wse/fault.h). */
+    Cycles haltAt_ = ~static_cast<Cycles>(0);
+    Cycles stutterFrom_ = 0;
+    Cycles stutterUntil_ = 0;
+    uint32_t stutterFactor_ = 1;
 };
 
 } // namespace wsc::wse

@@ -5,7 +5,9 @@
 #include <exception>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 
+#include "support/env.h"
 #include "support/error.h"
 
 namespace wsc::wse {
@@ -132,9 +134,11 @@ Shard::runWindow(Cycles end, uint64_t maxEvents)
     while (!heap_.empty() && heap_.front().at < end) {
         // Same-cycle livelocks never return to the barrier where the
         // global budget is summed, so each shard also bounds its own
-        // count (mirrors the sequential path's per-event check).
+        // count (mirrors the sequential path's per-event check). Stop
+        // with the events in place: the barrier detects the exhausted
+        // budget and the diagnosis reads the queues as they stand.
         if (processed_ >= maxEvents)
-            fatal("simulation exceeded the event budget (livelock?)");
+            break;
         step();
     }
     currentOwner_ = sim_->hostId();
@@ -146,7 +150,8 @@ Shard::runWindow(Cycles end, uint64_t maxEvents)
 
 Simulator::Simulator(const ArchParams &params, int width, int height,
                      SimOptions options)
-    : params_(params), width_(width), height_(height),
+    : params_(params), options_(std::move(options)), width_(width),
+      height_(height),
       numPes_(static_cast<uint32_t>(width) * static_cast<uint32_t>(height))
 {
     WSC_ASSERT(width > 0 && height > 0, "empty PE grid");
@@ -156,7 +161,8 @@ Simulator::Simulator(const ArchParams &params, int width, int height,
                      params.fabricWidth, "x", params.fabricHeight, ")"));
     lookahead_ = std::max<Cycles>(1, params_.hopCycles);
 
-    int numShards = std::clamp(options.threads, 1, width);
+    int numShards = std::clamp(options_.threads, 1, width);
+    options_.threads = numShards;
     shards_.reserve(static_cast<size_t>(numShards));
     for (int s = 0; s < numShards; ++s)
         shards_.push_back(std::make_unique<Shard>(*this, s));
@@ -177,6 +183,33 @@ Simulator::Simulator(const ArchParams &params, int width, int height,
                 *this, *shards_[static_cast<size_t>(shardOfCol_[x])], x,
                 y, peIndex(x, y)));
     fabric_ = std::make_unique<Fabric>(*this);
+    applyFaultPlan();
+}
+
+void
+Simulator::applyFaultPlan()
+{
+    const FaultPlan &plan = options_.faults;
+    if (plan.empty())
+        return;
+    auto checkPe = [&](int x, int y, const char *what) {
+        if (x < 0 || x >= width_ || y < 0 || y >= height_)
+            fatal(strcat("fault plan ", what, " targets PE (", x, ", ", y,
+                         ") outside the ", width_, "x", height_, " grid"));
+    };
+    for (const PeHaltFault &h : plan.peHalts) {
+        checkPe(h.x, h.y, "halt");
+        Pe &target = pe(h.x, h.y);
+        // Multiple halts on one PE: the earliest threshold wins.
+        target.setHaltAt(std::min(h.at, target.haltAt()));
+    }
+    for (const PeStutterFault &s : plan.peStutters) {
+        checkPe(s.x, s.y, "stutter");
+        if (s.factor < 1)
+            fatal("fault plan stutter factor must be >= 1");
+        pe(s.x, s.y).setStutter(s.from, s.until, s.factor);
+    }
+    fabric_->applyFaultPlan(plan);
 }
 
 Simulator::~Simulator()
@@ -307,22 +340,25 @@ Simulator::finishRun()
     return end;
 }
 
-Cycles
+bool
 Simulator::runSequential(uint64_t maxEvents)
 {
     Shard &shard = *shards_.front();
+    shard.processed_ = 0;
     TlsGuard tls(this, &shard);
-    uint64_t processed = 0;
+    bool overBudget = false;
     while (!shard.heap_.empty()) {
-        if (processed++ >= maxEvents)
-            fatal("simulation exceeded the event budget (livelock?)");
+        if (shard.processed_ >= maxEvents) {
+            overBudget = true; // Diagnosed by runWithReport.
+            break;
+        }
         shard.step();
     }
     shard.currentOwner_ = hostId();
-    return finishRun();
+    return overBudget;
 }
 
-Cycles
+bool
 Simulator::runParallel(uint64_t maxEvents)
 {
     const int numShards = threads();
@@ -341,47 +377,68 @@ Simulator::runParallel(uint64_t maxEvents)
 
     // Runs on exactly one thread while every worker is parked in the
     // barrier: drains the cross-shard mailboxes, accounts the event
-    // budget and picks the next conservative window.
+    // budget and picks the next conservative window. The body must not
+    // leak an exception (std::terminate inside a barrier completion),
+    // so a throwing drain — e.g. a schedule-into-the-past panic — is
+    // converted into the same firstError/done shutdown a throwing
+    // worker takes.
     auto atBarrier = [&]() noexcept {
-        if (failed.load(std::memory_order_relaxed)) {
-            ctl.done = true;
-            return;
-        }
-        uint64_t total = 0;
-        for (auto &src : shards_) {
-            for (size_t dst = 0; dst < src->outbox_.size(); ++dst) {
-                auto &lane = src->outbox_[dst];
-                for (auto &entry : lane)
-                    shards_[dst]->pushKeyed(entry.ownerCreator, entry.seq,
-                                            entry.at,
-                                            std::move(entry.cb));
-                lane.clear();
+        try {
+            if (failed.load(std::memory_order_relaxed)) {
+                ctl.done = true;
+                return;
             }
-            total += src->processed_;
-        }
-        if (total > maxEvents) {
-            ctl.overBudget = true;
+            uint64_t total = 0;
+            for (auto &src : shards_) {
+                for (size_t dst = 0; dst < src->outbox_.size(); ++dst) {
+                    auto &lane = src->outbox_[dst];
+                    for (auto &entry : lane)
+                        shards_[dst]->pushKeyed(entry.ownerCreator,
+                                                entry.seq, entry.at,
+                                                std::move(entry.cb));
+                    lane.clear();
+                }
+                total += src->processed_;
+            }
+            bool any = false;
+            Cycles minAt = 0;
+            for (auto &shard : shards_) {
+                if (shard->heap_.empty())
+                    continue;
+                Cycles at = shard->heap_.front().at;
+                minAt = any ? std::min(minAt, at) : at;
+                any = true;
+            }
+            if (!any) {
+                ctl.done = true;
+                return;
+            }
+            if (total >= maxEvents) {
+                // Budget spent with events still queued: stop so the
+                // caller can produce the diagnosis.
+                ctl.overBudget = true;
+                ctl.done = true;
+                return;
+            }
+            ctl.windowEnd = minAt + lookahead_;
+        } catch (...) {
+            {
+                std::lock_guard<std::mutex> lock(errorMutex);
+                if (!firstError)
+                    firstError = std::current_exception();
+            }
+            failed.store(true, std::memory_order_relaxed);
             ctl.done = true;
-            return;
         }
-        bool any = false;
-        Cycles minAt = 0;
-        for (auto &shard : shards_) {
-            if (shard->heap_.empty())
-                continue;
-            Cycles at = shard->heap_.front().at;
-            minAt = any ? std::min(minAt, at) : at;
-            any = true;
-        }
-        if (!any) {
-            ctl.done = true;
-            return;
-        }
-        ctl.windowEnd = minAt + lookahead_;
     };
 
     std::barrier barrier(numShards, atBarrier);
 
+    // Error-path invariant: a worker that catches an exception KEEPS
+    // LOOPING to the next arrive_and_wait instead of leaving the loop —
+    // breaking out without arriving would strand the siblings in the
+    // barrier forever. The completion step then observes `failed` and
+    // shuts every worker down through ctl.done.
     auto worker = [&](int idx) {
         Shard &shard = *shards_[static_cast<size_t>(idx)];
         TlsGuard tls(this, &shard);
@@ -412,17 +469,191 @@ Simulator::runParallel(uint64_t maxEvents)
 
     if (firstError)
         std::rethrow_exception(firstError);
-    if (ctl.overBudget)
-        fatal("simulation exceeded the event budget (livelock?)");
-    return finishRun();
+    return ctl.overBudget;
+}
+
+void
+Simulator::addQuiescenceProbe(QuiescenceProbe probe)
+{
+    probes_.push_back(std::move(probe));
+}
+
+void
+Simulator::noteDegradedPe(uint32_t peId)
+{
+    shardOfPe(peId).degradedPes_.push_back(peId);
+}
+
+void
+Simulator::collectBlockedPes(std::vector<BlockedPeInfo> &out)
+{
+    for (const QuiescenceProbe &probe : probes_)
+        probe(out);
+    for (BlockedPeInfo &b : out)
+        b.peHalted = pes_[peIndex(b.x, b.y)]->haltedAt(finalNow_);
+    // Oldest blockage first; ties broken by grid position so the dump
+    // is stable across probe registration order.
+    std::sort(out.begin(), out.end(),
+              [](const BlockedPeInfo &a, const BlockedPeInfo &b) {
+                  if (a.since != b.since)
+                      return a.since < b.since;
+                  if (a.x != b.x)
+                      return a.x < b.x;
+                  if (a.y != b.y)
+                      return a.y < b.y;
+                  return a.what < b.what;
+              });
+}
+
+SimDiagnosis
+Simulator::diagnose(SimOutcome outcome, uint64_t budget,
+                    std::vector<BlockedPeInfo> blocked)
+{
+    const size_t maxRows =
+        static_cast<size_t>(envU64("WSC_DIAG_ROWS", 16));
+    SimDiagnosis d;
+    d.outcome = outcome;
+    d.atCycle = finalNow_;
+    d.eventBudget = budget == UINT64_MAX ? 0 : budget;
+
+    for (const auto &shard : shards_) {
+        d.eventsProcessed += shard->processed_;
+        ShardQueueInfo q;
+        q.shard = shard->index();
+        q.depth = shard->heap_.size();
+        q.nextAt = q.depth > 0 ? shard->heap_.front().at : 0;
+        for (const auto &lane : shard->outbox_)
+            q.outboxPending += lane.size();
+        d.queues.push_back(q);
+    }
+
+    d.blockedPeTotal = blocked.size();
+    if (blocked.size() > maxRows)
+        blocked.resize(maxRows);
+    d.blockedPes = std::move(blocked);
+
+    for (const auto &pe : pes_) {
+        const auto &pending = pe->pendingActivations();
+        if (pending.empty())
+            continue;
+        d.pendingTaskTotal += pending.size();
+        if (d.pendingTasks.size() < maxRows) {
+            const auto &[taskIdx, readyAt] = pending.front();
+            d.pendingTasks.push_back(
+                {pe->x(), pe->y(), pe->taskName(taskIdx), readyAt,
+                 pending.size() - 1, pe->haltedAt(finalNow_)});
+        }
+    }
+
+    // Busiest PEs by events still owned in the queues/outboxes.
+    std::unordered_map<uint32_t, size_t> ownerCounts;
+    for (const auto &shard : shards_) {
+        for (const Shard::EventKey &key : shard->heap_)
+            ownerCounts[static_cast<uint32_t>(key.ownerCreator >> 32)]++;
+        for (const auto &lane : shard->outbox_)
+            for (const Shard::MailEntry &entry : lane)
+                ownerCounts[static_cast<uint32_t>(entry.ownerCreator >>
+                                                  32)]++;
+    }
+    std::vector<std::pair<uint32_t, size_t>> owners;
+    for (const auto &[owner, count] : ownerCounts)
+        if (owner < numPes_)
+            owners.emplace_back(owner, count);
+    std::sort(owners.begin(), owners.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.second != b.second)
+                      return a.second > b.second;
+                  return a.first < b.first;
+              });
+    if (owners.size() > maxRows)
+        owners.resize(maxRows);
+    for (const auto &[owner, count] : owners)
+        d.busiestPes.push_back({pes_[owner]->x(), pes_[owner]->y(),
+                                count});
+
+    fabric_->collectBusyLinks(finalNow_, maxRows, d.busyLinks);
+    return d;
+}
+
+const SimReport &
+Simulator::runWithReport(uint64_t maxEvents)
+{
+    report_ = SimReport{};
+    bool overBudget = threads() == 1 ? runSequential(maxEvents)
+                                     : runParallel(maxEvents);
+    report_.finalCycle = finishRun();
+    report_.stats = stats();
+
+    for (const auto &shard : shards_) {
+        const FaultStats &f = shard->faultStats_;
+        report_.faults.streamsDroppedByLinks += f.streamsDroppedByLinks;
+        report_.faults.payloadsDropped += f.payloadsDropped;
+        report_.faults.payloadsCorrupted += f.payloadsCorrupted;
+        report_.faults.exchangeTimeouts += f.exchangeTimeouts;
+        report_.faults.exchangesDegraded += f.exchangesDegraded;
+        report_.degradedPes.insert(report_.degradedPes.end(),
+                                   shard->degradedPes_.begin(),
+                                   shard->degradedPes_.end());
+    }
+    std::sort(report_.degradedPes.begin(), report_.degradedPes.end());
+    report_.degradedPes.erase(std::unique(report_.degradedPes.begin(),
+                                          report_.degradedPes.end()),
+                              report_.degradedPes.end());
+
+    for (const PeHaltFault &h : options_.faults.peHalts)
+        if (h.at <= report_.finalCycle)
+            report_.haltedPes.push_back(peIndex(h.x, h.y));
+    std::sort(report_.haltedPes.begin(), report_.haltedPes.end());
+    report_.haltedPes.erase(std::unique(report_.haltedPes.begin(),
+                                        report_.haltedPes.end()),
+                            report_.haltedPes.end());
+    report_.faults.pesHalted = report_.haltedPes.size();
+
+    if (overBudget) {
+        report_.outcome = SimOutcome::EventBudgetExceeded;
+        std::vector<BlockedPeInfo> blocked;
+        collectBlockedPes(blocked);
+        report_.diagnosis =
+            diagnose(report_.outcome, maxEvents, std::move(blocked));
+        return report_;
+    }
+
+    // The queues are drained: ask the quiescence probes whether any PE
+    // still owes work. Obligations on halted PEs are the expected shape
+    // of the injected fault (Degraded); anything on a live PE means the
+    // run can never progress again (Deadlock).
+    std::vector<BlockedPeInfo> blocked;
+    collectBlockedPes(blocked);
+    bool liveBlocked = false;
+    for (const BlockedPeInfo &b : blocked)
+        liveBlocked |= !b.peHalted;
+    if (!liveBlocked)
+        for (const auto &pe : pes_)
+            if (!pe->pendingActivations().empty() &&
+                !pe->haltedAt(report_.finalCycle))
+                liveBlocked = true;
+
+    if (liveBlocked)
+        report_.outcome = SimOutcome::Deadlock;
+    else if (!report_.haltedPes.empty() || !report_.degradedPes.empty())
+        report_.outcome = SimOutcome::Degraded;
+    else
+        report_.outcome = SimOutcome::Completed;
+
+    if (report_.outcome != SimOutcome::Completed)
+        report_.diagnosis =
+            diagnose(report_.outcome, maxEvents, std::move(blocked));
+    return report_;
 }
 
 Cycles
 Simulator::run(uint64_t maxEvents)
 {
-    if (threads() == 1)
-        return runSequential(maxEvents);
-    return runParallel(maxEvents);
+    const SimReport &r = runWithReport(maxEvents);
+    if (r.outcome == SimOutcome::EventBudgetExceeded)
+        fatal(strcat("simulation exceeded the event budget (livelock?)\n",
+                     r.diagnosis.toString()));
+    return r.finalCycle;
 }
 
 } // namespace wsc::wse

@@ -44,6 +44,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <new>
 #include <type_traits>
@@ -52,6 +53,7 @@
 
 #include "wse/arch_params.h"
 #include "wse/fabric.h"
+#include "wse/fault.h"
 #include "wse/payload.h"
 #include "wse/pe.h"
 
@@ -67,6 +69,8 @@ struct SimStats
     uint64_t flops = 0;
     /** Local-memory traffic of DSD ops (reads + writes). */
     uint64_t memBytes = 0;
+
+    bool operator==(const SimStats &) const = default;
 };
 
 /** Execution options of one Simulator instance. */
@@ -79,6 +83,50 @@ struct SimOptions
      * Clamped to the grid width.
      */
     int threads = 1;
+
+    /** Faults to inject (wse/fault.h). Empty injects nothing and keeps
+     *  the run bit-identical to a simulator without this member. */
+    FaultPlan faults;
+
+    /**
+     * StarComm watchdog: cycles an exchange may sit incomplete before
+     * its timeout fires. 0 (the default) disables the watchdog — a
+     * neighbour halted mid-exchange then deadlocks the dependent PEs
+     * (diagnosed, not hung). Non-zero arms bounded retry/backoff ending
+     * in a degraded (zero-filled) exchange.
+     */
+    Cycles exchangeTimeoutCycles = 0;
+
+    /** Deadline extensions (each doubling the wait) before an
+     *  incomplete exchange degrades. */
+    int exchangeMaxRetries = 2;
+};
+
+/**
+ * Everything a caller can observe about one finished run; returned by
+ * Simulator::runWithReport() and kept in Simulator::report().
+ */
+struct SimReport
+{
+    SimOutcome outcome = SimOutcome::Completed;
+    Cycles finalCycle = 0;
+    SimStats stats;
+    FaultStats faults;
+    /** Dense PE ids halted within the run (sorted). */
+    std::vector<uint32_t> haltedPes;
+    /** Dense PE ids that finished with a degraded (zero-filled)
+     *  exchange (sorted, deduplicated). */
+    std::vector<uint32_t> degradedPes;
+    /** Populated whenever outcome != Completed. */
+    SimDiagnosis diagnosis;
+
+    /** True when every non-faulted PE ran to completion. */
+    bool
+    ok() const
+    {
+        return outcome == SimOutcome::Completed ||
+               outcome == SimOutcome::Degraded;
+    }
 };
 
 /**
@@ -247,6 +295,10 @@ class Shard
     /** Shard-local payload ring (see wse/payload.h). */
     PayloadPool &payloadPool() { return payloadPool_; }
 
+    /** Shard-local fault counters (merged by Simulator reports).
+     *  Mutated only by events owned by this shard's PEs. */
+    FaultStats &faultStats() { return faultStats_; }
+
     /**
      * Schedule an event owned by `owner` (a PE of this shard, or the
      * host id) at absolute cycle `at` (>= now). The creator recorded in
@@ -307,7 +359,8 @@ class Shard
                    EventCallback fn);
     void siftUp(size_t i);
     void siftDown(size_t i);
-    /** Execute events with at < end, fataling past the budget. */
+    /** Execute events with at < end; returns early (leaving events
+     *  queued) once the budget is spent — the caller diagnoses. */
     void runWindow(Cycles end, uint64_t maxEvents);
     /** Pop and run the next event (sequential path). */
     void step();
@@ -336,6 +389,11 @@ class Shard
     uint64_t processed_ = 0;
     /** Wavelet-hops injected by this shard's links (fabric statistic). */
     uint64_t fabricHops_ = 0;
+    /** Fault counters of this shard's PEs (wse/fault.h). */
+    FaultStats faultStats_;
+    /** PEs of this shard that degraded an exchange (unsorted; merged
+     *  and sorted into SimReport::degradedPes). */
+    std::vector<uint32_t> degradedPes_;
 };
 
 /** Owns the PE grid, fabric, and the shard set. */
@@ -357,6 +415,8 @@ class Simulator
     int height() const { return height_; }
     /** Configured worker threads (== shard count). */
     int threads() const { return static_cast<int>(shards_.size()); }
+    /** The options this simulator was built with (threads clamped). */
+    const SimOptions &options() const { return options_; }
 
     Pe &pe(int x, int y);
     Fabric &fabric() { return *fabric_; }
@@ -383,8 +443,41 @@ class Simulator
      */
     void schedule(Cycles at, EventCallback fn);
 
-    /** Run until the event queue drains. Returns the final cycle. */
+    /**
+     * Run until the event queue drains. Returns the final cycle. Throws
+     * FatalError carrying the full SimDiagnosis dump when the event
+     * budget is exceeded; fault-induced deadlock and degradation do NOT
+     * throw — inspect report() (or use runWithReport()) for those.
+     */
     Cycles run(uint64_t maxEvents = UINT64_MAX);
+
+    /**
+     * Run until the event queue drains and classify how it ended:
+     * Completed, Degraded (faulted PEs left partial results, everyone
+     * else finished), Deadlock (a non-halted PE can never progress), or
+     * EventBudgetExceeded. Never throws on any of those outcomes — the
+     * returned report carries the diagnosis.
+     */
+    const SimReport &runWithReport(uint64_t maxEvents = UINT64_MAX);
+
+    /** The report of the most recent run. */
+    const SimReport &report() const { return report_; }
+
+    /**
+     * A quiescence probe reports obligations that survive an empty
+     * event queue (an exchange still waiting for data, a program that
+     * never returned control to the host). Probes run when the queues
+     * drain; any obligation on a non-halted PE classifies the run as
+     * Deadlock rather than Completed/Degraded. The probe owner must
+     * outlive every subsequent run of this simulator.
+     */
+    using QuiescenceProbe =
+        std::function<void(std::vector<BlockedPeInfo> &)>;
+    void addQuiescenceProbe(QuiescenceProbe probe);
+
+    /** Record a PE that finished with degraded results. Must be called
+     *  from an event owned by that PE (its shard's context). */
+    void noteDegradedPe(uint32_t peId);
 
     /** True when no events remain (queues and mailboxes). */
     bool idle() const;
@@ -422,11 +515,22 @@ class Simulator
   private:
     friend class Shard;
 
-    Cycles runSequential(uint64_t maxEvents);
-    Cycles runParallel(uint64_t maxEvents);
+    /** Both return true when the run stopped on the event budget with
+     *  events still queued (classified by runWithReport). */
+    bool runSequential(uint64_t maxEvents);
+    bool runParallel(uint64_t maxEvents);
     Cycles finishRun();
 
+    /** Push the fault plan's PE thresholds / fabric tables out. */
+    void applyFaultPlan();
+    /** Run the quiescence probes and mark halted PEs. */
+    void collectBlockedPes(std::vector<BlockedPeInfo> &out);
+    /** Build the structured post-mortem of the current state. */
+    SimDiagnosis diagnose(SimOutcome outcome, uint64_t budget,
+                          std::vector<BlockedPeInfo> blocked);
+
     ArchParams params_;
+    SimOptions options_;
     int width_;
     int height_;
     uint32_t numPes_;
@@ -441,6 +545,10 @@ class Simulator
     std::unique_ptr<Fabric> fabric_;
     /** Merged-stats cache refreshed by stats(). */
     SimStats mergedStats_;
+    /** Report of the most recent run (rebuilt by runWithReport). */
+    SimReport report_;
+    /** Registered quiescence probes (run at queue drain). */
+    std::vector<QuiescenceProbe> probes_;
 };
 
 } // namespace wsc::wse

@@ -20,11 +20,11 @@
 
 #include "test_helpers.h"
 
-#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
 #include "codegen/csl_emitter.h"
+#include "support/env.h"
 
 namespace wsc::test {
 namespace {
@@ -32,8 +32,7 @@ namespace {
 bool
 updateRequested()
 {
-    const char *env = std::getenv("WSC_UPDATE_GOLDEN");
-    return env != nullptr && *env != '\0' && *env != '0';
+    return envFlag("WSC_UPDATE_GOLDEN");
 }
 
 std::string
