@@ -39,12 +39,22 @@ main()
     printf("--- Fortran input (unmodified) ---\n%s\n", source);
 
     fe::FortranKernelConfig config{12, 12, 32, 8};
-    fe::Program program = fe::parseFortranStencil(source, config);
+    fe::FortranParseResult parsed =
+        fe::parseFortranStencilChecked(source, config);
+    if (!parsed) {
+        fprintf(stderr, "%s\n", parsed.diagnostic.str().c_str());
+        return 1;
+    }
+    fe::Program program = std::move(*parsed.program);
 
     ir::Context ctx;
     dialects::registerAllDialects(ctx);
     ir::OwningOp module = program.emit(ctx);
-    transforms::runPipeline(module.get());
+    ir::PipelineResult result = transforms::runPipeline(module.get());
+    if (!result) {
+        fprintf(stderr, "%s\n", result.str().c_str());
+        return 1;
+    }
 
     // Show the actor structure the timestep loop was recast into.
     printf("--- task graph replacing the loop (cf. Figure 1) ---\n");

@@ -55,7 +55,11 @@ main()
     ir::Context ctx;
     dialects::registerAllDialects(ctx);
     ir::OwningOp module = bench.program.emit(ctx);
-    transforms::runPipeline(module.get());
+    ir::PipelineResult result = transforms::runPipeline(module.get());
+    if (!result) {
+        fprintf(stderr, "%s\n", result.str().c_str());
+        return 1;
+    }
 
     // The compiler's chunking decision for the real column length.
     ir::Operation *comms = nullptr;

@@ -38,7 +38,11 @@ main()
     printf("=== stencil dialect (input) ===\n%s\n",
            ir::printOp(module.get()).c_str());
 
-    transforms::runPipeline(module.get());
+    ir::PipelineResult result = transforms::runPipeline(module.get());
+    if (!result) {
+        fprintf(stderr, "%s\n", result.str().c_str());
+        return 1;
+    }
 
     // 3. Print the generated CSL sources.
     codegen::EmittedCsl csl = codegen::emitCsl(module.get());

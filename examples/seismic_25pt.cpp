@@ -31,7 +31,11 @@ main()
     ir::Context ctx;
     dialects::registerAllDialects(ctx);
     ir::OwningOp module = bench.program.emit(ctx);
-    transforms::runPipeline(module.get());
+    ir::PipelineResult result = transforms::runPipeline(module.get());
+    if (!result) {
+        fprintf(stderr, "%s\n", result.str().c_str());
+        return 1;
+    }
 
     wse::Simulator sim(wse::ArchParams::wse2(), N, N);
     interp::CslProgramInstance generated(sim, module.get());

@@ -30,7 +30,11 @@ main()
     ir::Context ctx;
     dialects::registerAllDialects(ctx);
     ir::OwningOp module = bench.program.emit(ctx);
-    transforms::runPipeline(module.get());
+    ir::PipelineResult result = transforms::runPipeline(module.get());
+    if (!result) {
+        fprintf(stderr, "%s\n", result.str().c_str());
+        return 1;
+    }
 
     // Two exchange sites chained by continuations.
     int sites = 0;

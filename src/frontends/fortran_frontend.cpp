@@ -1,5 +1,6 @@
 #include "frontends/fortran_frontend.h"
 
+#include <algorithm>
 #include <cctype>
 #include <map>
 #include <set>
@@ -34,7 +35,30 @@ struct Token
     double number = 0.0;
     bool isInt = false;
     int64_t intValue = 0;
+    /** 1-based source position of the token's first character. */
+    int line = 1;
+    int col = 1;
 };
+
+/**
+ * Unwind with a source-located diagnostic ("fortran:<line>:<col>"). The
+ * frontend has no ir::Context at hand, so the diagnostic rides inside
+ * the exception; the checked entry point catches and returns it.
+ */
+[[noreturn]] void
+errorAt(int line, int col, const std::string &msg)
+{
+    ir::Diagnostic d(ir::Severity::Error, msg);
+    d.location =
+        "fortran:" + std::to_string(line) + ":" + std::to_string(col);
+    throw ir::DiagnosedError(std::move(d));
+}
+
+[[noreturn]] void
+errorAt(const Token &t, const std::string &msg)
+{
+    errorAt(t.line, t.col, msg);
+}
 
 /** Tokenizer; strips `!` comments and is case-insensitive for idents. */
 class Lexer
@@ -42,6 +66,27 @@ class Lexer
   public:
     explicit Lexer(const std::string &source)
     {
+        // Line starts, for O(log n) index -> line:col mapping.
+        std::vector<size_t> lineStarts{0};
+        for (size_t j = 0; j < source.size(); ++j)
+            if (source[j] == '\n')
+                lineStarts.push_back(j + 1);
+        auto positionOf = [&](size_t idx) {
+            size_t lo = static_cast<size_t>(
+                std::upper_bound(lineStarts.begin(), lineStarts.end(),
+                                 idx) -
+                lineStarts.begin() - 1);
+            return std::pair<int, int>(
+                static_cast<int>(lo + 1),
+                static_cast<int>(idx - lineStarts[lo] + 1));
+        };
+        auto stamp = [&](Token t, size_t start) {
+            auto [line, col] = positionOf(start);
+            t.line = line;
+            t.col = col;
+            tokens_.push_back(std::move(t));
+        };
+
         size_t i = 0;
         while (i < source.size()) {
             char c = source[i];
@@ -56,6 +101,7 @@ class Lexer
             }
             if (std::isalpha(static_cast<unsigned char>(c)) ||
                 c == '_') {
+                size_t start = i;
                 std::string ident;
                 while (i < source.size() &&
                        (std::isalnum(
@@ -65,7 +111,7 @@ class Lexer
                         static_cast<unsigned char>(source[i])));
                     i++;
                 }
-                tokens_.push_back({Tok::Ident, ident});
+                stamp({Tok::Ident, ident}, start);
                 continue;
             }
             if (std::isdigit(static_cast<unsigned char>(c)) ||
@@ -91,7 +137,7 @@ class Lexer
                 t.isInt = isInt;
                 if (isInt)
                     t.intValue = std::stoll(t.text);
-                tokens_.push_back(t);
+                stamp(std::move(t), start);
                 continue;
             }
             Tok kind;
@@ -104,14 +150,20 @@ class Lexer
               case ')': kind = Tok::RParen; break;
               case ',': kind = Tok::Comma; break;
               case '=': kind = Tok::Equals; break;
-              default:
-                fatal(strcat("fortran frontend: unexpected character '",
-                             c, "'"));
+              default: {
+                auto [line, col] = positionOf(i);
+                errorAt(line, col,
+                        strcat("unexpected character '", c, "'"));
+              }
             }
-            tokens_.push_back({kind, std::string(1, c)});
+            stamp({kind, std::string(1, c)}, i);
             i++;
         }
-        tokens_.push_back({Tok::End, ""});
+        Token end{Tok::End, "<end of input>"};
+        auto [line, col] = positionOf(source.size());
+        end.line = line;
+        end.col = col;
+        tokens_.push_back(std::move(end));
     }
 
     const Token &peek(size_t ahead = 0) const
@@ -132,8 +184,7 @@ class Lexer
     {
         Token t = next();
         if (t.kind != kind)
-            fatal("fortran frontend: expected " + what + ", got '" +
-                  t.text + "'");
+            errorAt(t, "expected " + what + ", got '" + t.text + "'");
         return t;
     }
     bool
@@ -258,13 +309,13 @@ class Parser
     {
         Token t = lex_.next();
         if (t.kind == Tok::Number) {
-            fatal("fortran frontend: absolute indices are not "
-                  "supported; use loop variables");
+            errorAt(t, "absolute indices are not supported; use loop "
+                       "variables");
         }
         if (t.kind != Tok::Ident || t.text != loopVars_[dim])
-            fatal("fortran frontend: index " + std::to_string(dim) +
-                  " must use loop variable '" + loopVars_[dim] +
-                  "', got '" + t.text + "'");
+            errorAt(t, "index " + std::to_string(dim) +
+                           " must use loop variable '" + loopVars_[dim] +
+                           "', got '" + t.text + "'");
         offset = 0;
         if (lex_.peek().kind == Tok::Plus ||
             lex_.peek().kind == Tok::Minus) {
@@ -281,11 +332,8 @@ class Parser
     std::set<std::string> assignedEarlier_;
 };
 
-} // namespace
-
 Program
-parseFortranStencil(const std::string &source,
-                    const FortranKernelConfig &config)
+parseImpl(const std::string &source, const FortranKernelConfig &config)
 {
     WSC_ASSERT(config.nx > 0 && config.ny > 0 && config.nz > 0,
                "fortran frontend requires grid extents");
@@ -294,6 +342,7 @@ parseFortranStencil(const std::string &source,
     // Collect the DO nest headers.
     std::vector<std::string> doVars;
     std::vector<std::pair<int64_t, int64_t>> doBounds;
+    Token firstTok = lex.peek();
     while (lex.peek().kind == Tok::Ident && lex.peek().text == "do") {
         lex.next();
         Token var = lex.expect(Tok::Ident, "loop variable");
@@ -315,8 +364,10 @@ parseFortranStencil(const std::string &source,
         doBounds.emplace_back(lb, ub);
     }
     if (doVars.size() != 3 && doVars.size() != 4)
-        fatal("fortran frontend: expected a 3-deep spatial loop nest "
-              "(optionally inside a timestep loop)");
+        errorAt(firstTok,
+                "expected a 3-deep spatial loop nest (optionally inside "
+                "a timestep loop), found " +
+                    std::to_string(doVars.size()) + " do header(s)");
 
     bool hasTimeLoop = doVars.size() == 4;
     int64_t timesteps = config.timesteps;
@@ -342,8 +393,8 @@ parseFortranStencil(const std::string &source,
         Expr targetRef = parser.parseRef(target.text);
         const auto &node = targetRef.node();
         if (node->dx != 0 || node->dy != 0 || node->dz != 0)
-            fatal("fortran frontend: assignment target must be the "
-                  "centre point");
+            errorAt(target,
+                    "assignment target must be the centre point");
         lex.expect(Tok::Equals, "'='");
         Expr rhs = parser.parseExpr();
         program.setUpdate(parser.fieldFor(target.text), rhs);
@@ -352,10 +403,37 @@ parseFortranStencil(const std::string &source,
     for (size_t i = 0; i < doVars.size(); ++i) {
         Token end = lex.expect(Tok::Ident, "enddo");
         if (end.text != "enddo")
-            fatal("fortran frontend: expected enddo, got '" + end.text +
-                  "'");
+            errorAt(end, "expected enddo, got '" + end.text + "'");
     }
     return program;
+}
+
+} // namespace
+
+FortranParseResult
+parseFortranStencilChecked(const std::string &source,
+                           const FortranKernelConfig &config)
+{
+    FortranParseResult result;
+    try {
+        result.program = parseImpl(source, config);
+    } catch (ir::DiagnosedError &e) {
+        result.diagnostic =
+            e.hasDiagnostic()
+                ? e.takeDiagnostic()
+                : ir::Diagnostic(ir::Severity::Error, e.what());
+    }
+    return result;
+}
+
+Program
+parseFortranStencil(const std::string &source,
+                    const FortranKernelConfig &config)
+{
+    FortranParseResult result = parseFortranStencilChecked(source, config);
+    if (!result)
+        throw FrontendError("fortran frontend: " + result.diagnostic.str());
+    return std::move(*result.program);
 }
 
 } // namespace wsc::fe

@@ -30,9 +30,12 @@
 #define WSC_FRONTENDS_FORTRAN_FRONTEND_H
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "frontends/sym.h"
+#include "ir/diagnostics.h"
+#include "support/error.h"
 
 namespace wsc::fe {
 
@@ -47,8 +50,41 @@ struct FortranKernelConfig
 };
 
 /**
- * Parse a Fortran-style stencil kernel into a Program. Throws FatalError
- * with a diagnostic on malformed input.
+ * Thrown by the legacy `parseFortranStencil` wrapper on malformed input.
+ * Derives from FatalError so existing catch sites keep working; new code
+ * should prefer `parseFortranStencilChecked`, which never throws for
+ * malformed source.
+ */
+class FrontendError : public FatalError
+{
+  public:
+    using FatalError::FatalError;
+};
+
+/** Outcome of a checked parse: a program, or a located diagnostic. */
+struct FortranParseResult
+{
+    /** Engaged on success. */
+    std::optional<Program> program;
+    /** On failure: the error, located as "fortran:<line>:<col>". */
+    ir::Diagnostic diagnostic;
+
+    explicit operator bool() const { return program.has_value(); }
+};
+
+/**
+ * Parse a Fortran-style stencil kernel into a Program. Malformed input
+ * produces a failed result carrying a source-located diagnostic; the
+ * process is never terminated.
+ */
+FortranParseResult
+parseFortranStencilChecked(const std::string &source,
+                           const FortranKernelConfig &config);
+
+/**
+ * Legacy throwing wrapper: returns the parsed Program, or throws
+ * FrontendError (a FatalError) rendering the diagnostic on malformed
+ * input.
  */
 Program parseFortranStencil(const std::string &source,
                             const FortranKernelConfig &config);

@@ -9,6 +9,7 @@
 #include "dialects/func.h"
 #include "dialects/scf.h"
 #include "dialects/stencil.h"
+#include "ir/diagnostics.h"
 #include "support/error.h"
 
 namespace wsc::fe {
@@ -142,7 +143,9 @@ Program::markIntermediate(const std::string &fieldName)
             return;
         }
     }
-    fatal("markIntermediate: unknown field " + fieldName);
+    throw ir::DiagnosedError(ir::Diagnostic(
+        ir::Severity::Error,
+        "markIntermediate: unknown field '" + fieldName + "'"));
 }
 
 void

@@ -27,6 +27,7 @@
 
 #include "ir/arena.h"
 #include "ir/attributes.h"
+#include "ir/diagnostics.h"
 #include "ir/types.h"
 
 namespace wsc::ir {
@@ -320,6 +321,13 @@ class Context
     void setListener(IRListener *listener) { listener_ = listener; }
     IRListener *listener() const { return listener_; }
 
+    /**
+     * The context's diagnostic engine (see ir/diagnostics.h). One engine
+     * per context means concurrent pipeline jobs — one context each —
+     * capture their own diagnostic streams without synchronization.
+     */
+    DiagnosticEngine &diagnostics() { return diagEngine_; }
+
   private:
     /**
      * Declared first so every other member (whose keys/values point into
@@ -346,6 +354,7 @@ class Context
     std::vector<uint8_t> registered_;
     std::set<std::string> loadedDialects_;
     IRListener *listener_ = nullptr;
+    DiagnosticEngine diagEngine_;
 };
 
 } // namespace wsc::ir

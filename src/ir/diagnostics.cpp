@@ -1,0 +1,307 @@
+#include "ir/diagnostics.h"
+
+#include <iostream>
+
+#include "ir/attributes.h"
+#include "ir/context.h"
+#include "ir/operation.h"
+#include "ir/printer.h"
+#include "support/error.h"
+
+namespace wsc::ir {
+
+//===----------------------------------------------------------------------===
+// Rendering
+//===----------------------------------------------------------------------===
+
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Remark: return "remark";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+      case Severity::Note: return "note";
+    }
+    return "error";
+}
+
+namespace {
+
+/** The op's symbol name when it carries one. */
+std::string
+symbolOf(Operation *op)
+{
+    Attribute sym = op->attr(attrs::kSymName);
+    if (sym && isStringAttr(sym))
+        return stringAttrValue(sym);
+    return {};
+}
+
+/** First line of the generic-syntax render, truncated. */
+std::string
+snippetOf(Operation *op)
+{
+    constexpr size_t kMaxSnippet = 160;
+    std::string text = printOp(op);
+    size_t eol = text.find('\n');
+    if (eol != std::string::npos)
+        text.resize(eol);
+    if (text.size() > kMaxSnippet) {
+        text.resize(kMaxSnippet);
+        text += " ...";
+    }
+    return text;
+}
+
+Diagnostic
+locatedAt(Operation *op, Severity severity, std::string msg)
+{
+    Diagnostic d(severity, std::move(msg));
+    d.location = diagnosticLocation(op);
+    d.snippet = snippetOf(op);
+    return d;
+}
+
+void
+renderOne(std::ostream &os, const Diagnostic &d, int indent)
+{
+    for (int i = 0; i < indent; ++i)
+        os << "  ";
+    os << severityName(d.severity) << ": ";
+    if (!d.location.empty())
+        os << d.location << ": ";
+    os << d.message;
+    if (!d.pass.empty())
+        os << "  [pass: " << d.pass << "]";
+    os << "\n";
+    if (!d.snippet.empty()) {
+        for (int i = 0; i < indent; ++i)
+            os << "  ";
+        os << "  at: " << d.snippet << "\n";
+    }
+    for (const Diagnostic &note : d.notes)
+        renderOne(os, note, indent + 1);
+}
+
+} // namespace
+
+std::string
+diagnosticLocation(Operation *op)
+{
+    std::string loc = "'" + op->name() + "'";
+    if (std::string sym = symbolOf(op); !sym.empty())
+        loc += " @" + sym;
+    // Attribute the nearest enclosing symbol (or plain parent) so the
+    // reader can find the op in a large module.
+    for (Operation *parent = op->parentOp(); parent;
+         parent = parent->parentOp()) {
+        std::string sym = symbolOf(parent);
+        if (!sym.empty() || !parent->parentOp()) {
+            loc += " in '" + parent->name() + "'";
+            if (!sym.empty())
+                loc += " @" + sym;
+            break;
+        }
+    }
+    return loc;
+}
+
+Diagnostic &
+Diagnostic::attachNote(std::string msg, Operation *op)
+{
+    Diagnostic note(Severity::Note, std::move(msg));
+    if (op) {
+        note.location = diagnosticLocation(op);
+        note.snippet = snippetOf(op);
+    }
+    notes.push_back(std::move(note));
+    return notes.back();
+}
+
+void
+Diagnostic::render(std::ostream &os) const
+{
+    renderOne(os, *this, 0);
+}
+
+std::string
+Diagnostic::str() const
+{
+    std::ostringstream os;
+    render(os);
+    std::string text = os.str();
+    if (!text.empty() && text.back() == '\n')
+        text.pop_back();
+    return text;
+}
+
+//===----------------------------------------------------------------------===
+// DiagnosticEngine
+//===----------------------------------------------------------------------===
+
+void
+DiagnosticEngine::report(Diagnostic &&diag)
+{
+    if (diag.severity == Severity::Error)
+        ++errorCount_;
+    if (handlers_.empty()) {
+        diag.render(std::cerr);
+        return;
+    }
+    handlers_.back()(std::move(diag));
+}
+
+void
+DiagnosticEngine::pushHandler(Handler handler)
+{
+    handlers_.push_back(std::move(handler));
+}
+
+void
+DiagnosticEngine::popHandler()
+{
+    WSC_ASSERT(!handlers_.empty(),
+               "popHandler on an empty diagnostic-handler stack");
+    handlers_.pop_back();
+}
+
+ScopedDiagnosticHandler::ScopedDiagnosticHandler(
+    Context &ctx, DiagnosticEngine::Handler handler)
+    : ScopedDiagnosticHandler(ctx.diagnostics(), std::move(handler))
+{
+}
+
+ScopedDiagnosticHandler::ScopedDiagnosticHandler(
+    DiagnosticEngine &engine, DiagnosticEngine::Handler handler)
+    : engine_(engine)
+{
+    engine_.pushHandler(std::move(handler));
+}
+
+ScopedDiagnosticHandler::~ScopedDiagnosticHandler()
+{
+    engine_.popHandler();
+}
+
+DiagnosticCollector::DiagnosticCollector(Context &ctx)
+    : DiagnosticCollector(ctx.diagnostics())
+{
+}
+
+DiagnosticCollector::DiagnosticCollector(DiagnosticEngine &engine)
+    : engine_(engine)
+{
+    engine_.pushHandler(
+        [this](Diagnostic &&d) { diags_.push_back(std::move(d)); });
+}
+
+DiagnosticCollector::~DiagnosticCollector()
+{
+    engine_.popHandler();
+}
+
+bool
+DiagnosticCollector::hadError() const
+{
+    for (const Diagnostic &d : diags_)
+        if (d.severity == Severity::Error)
+            return true;
+    return false;
+}
+
+//===----------------------------------------------------------------------===
+// InFlightDiagnostic and emission
+//===----------------------------------------------------------------------===
+
+void
+InFlightDiagnostic::report()
+{
+    if (reported_)
+        return;
+    reported_ = true;
+    if (engine_)
+        engine_->report(std::move(diag_));
+}
+
+Diagnostic
+InFlightDiagnostic::take()
+{
+    reported_ = true;
+    return std::move(diag_);
+}
+
+InFlightDiagnostic
+emitError(Operation *op, std::string msg)
+{
+    return {&op->context().diagnostics(),
+            locatedAt(op, Severity::Error, std::move(msg))};
+}
+
+InFlightDiagnostic
+emitWarning(Operation *op, std::string msg)
+{
+    return {&op->context().diagnostics(),
+            locatedAt(op, Severity::Warning, std::move(msg))};
+}
+
+InFlightDiagnostic
+emitRemark(Operation *op, std::string msg)
+{
+    return {&op->context().diagnostics(),
+            locatedAt(op, Severity::Remark, std::move(msg))};
+}
+
+InFlightDiagnostic
+emitError(Block *block, std::string msg)
+{
+    Operation *parent = block->parentOp();
+    if (parent)
+        return emitError(parent, std::move(msg));
+    Diagnostic d(Severity::Error, std::move(msg));
+    d.location = "<detached block>";
+    return {nullptr, std::move(d)};
+}
+
+InFlightDiagnostic
+emitError(Value value, std::string msg)
+{
+    if (Operation *def = value.definingOp())
+        return emitError(def, std::move(msg));
+    Block *owner = value.ownerBlock();
+    InFlightDiagnostic diag = emitError(owner, std::move(msg));
+    diag << " (block argument #" << value.index() << ")";
+    return diag;
+}
+
+InFlightDiagnostic
+emitError(Context &ctx, std::string msg)
+{
+    return {&ctx.diagnostics(),
+            Diagnostic(Severity::Error, std::move(msg))};
+}
+
+//===----------------------------------------------------------------------===
+// DiagnosedError / emitFatal
+//===----------------------------------------------------------------------===
+
+DiagnosedError::DiagnosedError(Diagnostic diag)
+    : diag_(std::move(diag)), hasDiag_(true), rendered_(diag_.str())
+{
+}
+
+void
+emitFatal(Operation *op, const std::string &msg)
+{
+    emitError(op, msg).report();
+    throw DiagnosedError();
+}
+
+void
+emitFatal(Context &ctx, const std::string &msg)
+{
+    emitError(ctx, msg).report();
+    throw DiagnosedError();
+}
+
+} // namespace wsc::ir

@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Recoverable compiler diagnostics: severity-tagged messages carrying a
+ * rendered IR location, attached notes, and a per-context handler stack.
+ *
+ * The engine replaces process-terminating `fatal()` calls on the compile
+ * paths (verifier, transforms, frontends, codegen). Errors are *data*: a
+ * pass that detects malformed input emits a diagnostic through its
+ * context's engine and unwinds — either by returning a failed
+ * LogicalResult, or (from deep recursion) by throwing DiagnosedError,
+ * which the PassManager converts into a failed PipelineResult. The
+ * module is left intact for post-mortem printing, and the context stays
+ * usable: a subsequent valid compile in the same context is unaffected.
+ *
+ * Handlers form a stack so nested consumers compose: a pipeline job
+ * installs a collector for its own run while an outer daemon-level
+ * handler keeps receiving anything emitted outside a job. Contexts are
+ * single-threaded (one pipeline job per context), so the engine needs no
+ * locking; concurrent jobs each own a context and therefore an engine.
+ *
+ * `fatal()` remains legal only in main()-adjacent driver code and the
+ * simulator's report path — never on library compile paths.
+ */
+
+#ifndef WSC_IR_DIAGNOSTICS_H
+#define WSC_IR_DIAGNOSTICS_H
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <iosfwd>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wsc::ir {
+
+class Block;
+class Context;
+class DiagnosticEngine;
+class Operation;
+class Value;
+
+//===----------------------------------------------------------------------===
+// LogicalResult
+//===----------------------------------------------------------------------===
+
+/** Success/failure of a recoverable operation (pass, verifier, parse). */
+class LogicalResult
+{
+  public:
+    static LogicalResult success() { return LogicalResult(true); }
+    static LogicalResult failure() { return LogicalResult(false); }
+
+    bool succeeded() const { return succeeded_; }
+    bool failed() const { return !succeeded_; }
+
+  private:
+    explicit LogicalResult(bool succeeded) : succeeded_(succeeded) {}
+
+    bool succeeded_;
+};
+
+inline LogicalResult success() { return LogicalResult::success(); }
+inline LogicalResult failure() { return LogicalResult::failure(); }
+inline bool succeeded(LogicalResult r) { return r.succeeded(); }
+inline bool failed(LogicalResult r) { return r.failed(); }
+
+//===----------------------------------------------------------------------===
+// Diagnostic
+//===----------------------------------------------------------------------===
+
+/** Diagnostic severity, ordered by weight. */
+enum class Severity
+{
+    Remark,
+    Warning,
+    Error,
+    /** Attached to a parent diagnostic, never reported on its own. */
+    Note,
+};
+
+/** The spelling used by render() ("error", "warning", ...). */
+const char *severityName(Severity severity);
+
+/**
+ * One diagnostic: severity, message, and a location rendered *at emission
+ * time* (ops may be erased or the module destroyed before the diagnostic
+ * is consumed, so no IR pointers are retained). Notes attach context
+ * lines below the parent diagnostic.
+ */
+struct Diagnostic
+{
+    Severity severity = Severity::Error;
+    /** Where: "'csl.task' @recv0 in 'csl_wrapper.module'", or a
+     *  frontend position like "fortran:3:12". Empty when unknown. */
+    std::string location;
+    /** One-line render of the offending op (truncated), if any. */
+    std::string snippet;
+    /** The pass that was running, stamped by the PassManager. */
+    std::string pass;
+    std::string message;
+    std::vector<Diagnostic> notes;
+
+    Diagnostic() = default;
+    Diagnostic(Severity s, std::string msg)
+        : severity(s), message(std::move(msg))
+    {
+    }
+
+    /** Stream-append to the message. */
+    template <typename T>
+    Diagnostic &
+    operator<<(T &&v)
+    {
+        std::ostringstream os;
+        os << std::forward<T>(v);
+        message += os.str();
+        return *this;
+    }
+
+    /**
+     * Append a note (optionally located at `op`) and return it for
+     * further streaming. The reference is invalidated by the next
+     * attachNote call.
+     */
+    Diagnostic &attachNote(std::string msg = {}, Operation *op = nullptr);
+
+    /** Multi-line human-readable rendering (includes notes). */
+    void render(std::ostream &os) const;
+    std::string str() const;
+};
+
+//===----------------------------------------------------------------------===
+// DiagnosticEngine
+//===----------------------------------------------------------------------===
+
+/**
+ * Per-context diagnostic sink with a scoped handler stack. The top
+ * handler receives every reported diagnostic; with no handler installed,
+ * diagnostics render to stderr (so nothing is ever silently dropped).
+ */
+class DiagnosticEngine
+{
+  public:
+    using Handler = std::function<void(Diagnostic &&)>;
+
+    /** Deliver `diag` to the active handler (or stderr). */
+    void report(Diagnostic &&diag);
+
+    /** Install `handler` as the active sink until popHandler(). */
+    void pushHandler(Handler handler);
+    void popHandler();
+    size_t handlerDepth() const { return handlers_.size(); }
+
+    /** Errors reported through this engine since construction. */
+    uint64_t errorCount() const { return errorCount_; }
+
+  private:
+    std::vector<Handler> handlers_;
+    uint64_t errorCount_ = 0;
+};
+
+/** RAII installation of a diagnostic handler on a context's engine. */
+class ScopedDiagnosticHandler
+{
+  public:
+    ScopedDiagnosticHandler(Context &ctx, DiagnosticEngine::Handler handler);
+    ScopedDiagnosticHandler(DiagnosticEngine &engine,
+                            DiagnosticEngine::Handler handler);
+    ~ScopedDiagnosticHandler();
+    ScopedDiagnosticHandler(const ScopedDiagnosticHandler &) = delete;
+    ScopedDiagnosticHandler &operator=(const ScopedDiagnosticHandler &) =
+        delete;
+
+  private:
+    DiagnosticEngine &engine_;
+};
+
+/** Scoped handler that collects diagnostics into a vector. */
+class DiagnosticCollector
+{
+  public:
+    explicit DiagnosticCollector(Context &ctx);
+    explicit DiagnosticCollector(DiagnosticEngine &engine);
+    ~DiagnosticCollector();
+    DiagnosticCollector(const DiagnosticCollector &) = delete;
+    DiagnosticCollector &operator=(const DiagnosticCollector &) = delete;
+
+    const std::vector<Diagnostic> &diagnostics() const { return diags_; }
+    std::vector<Diagnostic> take() { return std::move(diags_); }
+    bool hadError() const;
+
+  private:
+    DiagnosticEngine &engine_;
+    std::vector<Diagnostic> diags_;
+};
+
+//===----------------------------------------------------------------------===
+// InFlightDiagnostic and emission helpers
+//===----------------------------------------------------------------------===
+
+/**
+ * A diagnostic being built by an emit* call. Streams with `<<`, takes
+ * notes, and reports itself to the engine when destroyed (end of the
+ * full expression / scope). Converts to LogicalResult so error emission
+ * can be returned directly: `return emitError(op) << "...";`.
+ */
+class InFlightDiagnostic
+{
+  public:
+    InFlightDiagnostic(DiagnosticEngine *engine, Diagnostic diag)
+        : engine_(engine), diag_(std::move(diag))
+    {
+    }
+    InFlightDiagnostic(InFlightDiagnostic &&other) noexcept
+        : engine_(other.engine_), reported_(other.reported_),
+          diag_(std::move(other.diag_))
+    {
+        other.reported_ = true;
+    }
+    ~InFlightDiagnostic() { report(); }
+    InFlightDiagnostic(const InFlightDiagnostic &) = delete;
+    InFlightDiagnostic &operator=(const InFlightDiagnostic &) = delete;
+
+    template <typename T>
+    InFlightDiagnostic &
+    operator<<(T &&v)
+    {
+        diag_ << std::forward<T>(v);
+        return *this;
+    }
+
+    /** Attach a note; see Diagnostic::attachNote. */
+    Diagnostic &
+    attachNote(std::string msg = {}, Operation *op = nullptr)
+    {
+        return diag_.attachNote(std::move(msg), op);
+    }
+
+    /** Deliver to the engine now (idempotent; destructor calls this). */
+    void report();
+
+    /** Steal the diagnostic without reporting it. */
+    Diagnostic take();
+
+    operator LogicalResult() const
+    {
+        return diag_.severity == Severity::Error ? failure() : success();
+    }
+
+  private:
+    DiagnosticEngine *engine_;
+    bool reported_ = false;
+    Diagnostic diag_;
+};
+
+/** Emit a diagnostic located at `op` through its context's engine. */
+InFlightDiagnostic emitError(Operation *op, std::string msg = {});
+InFlightDiagnostic emitWarning(Operation *op, std::string msg = {});
+InFlightDiagnostic emitRemark(Operation *op, std::string msg = {});
+
+/** Emit located at a block (renders its parent op). */
+InFlightDiagnostic emitError(Block *block, std::string msg = {});
+/** Emit located at a value (defining op, or owner block argument). */
+InFlightDiagnostic emitError(Value value, std::string msg = {});
+/** Emit without an IR location (configuration-level errors). */
+InFlightDiagnostic emitError(Context &ctx, std::string msg = {});
+
+/** Render `op`'s location the way emitError would (for tests/tools). */
+std::string diagnosticLocation(Operation *op);
+
+//===----------------------------------------------------------------------===
+// DiagnosedError
+//===----------------------------------------------------------------------===
+
+/**
+ * Unwinding vehicle for error sites buried in deep recursion, where
+ * threading LogicalResult through every frame is impractical. Two forms:
+ *
+ *  - `DiagnosedError()`: the diagnostic has already been reported to a
+ *    context's engine; the exception is an empty control-flow signal.
+ *  - `DiagnosedError(diag)`: carries the diagnostic itself, for code
+ *    with no context at hand (frontends parsing raw text).
+ *
+ * The PassManager (and checked frontend entry points) catch this type
+ * and convert it into a failed result; it must not escape to users.
+ */
+class DiagnosedError : public std::exception
+{
+  public:
+    DiagnosedError() : rendered_("error already reported") {}
+    explicit DiagnosedError(Diagnostic diag);
+
+    const char *what() const noexcept override { return rendered_.c_str(); }
+
+    bool hasDiagnostic() const { return hasDiag_; }
+    const Diagnostic &diagnostic() const { return diag_; }
+    Diagnostic takeDiagnostic() { return std::move(diag_); }
+
+  private:
+    Diagnostic diag_;
+    bool hasDiag_ = false;
+    std::string rendered_;
+};
+
+/**
+ * Report an error at `op` and unwind with DiagnosedError. Drop-in
+ * replacement for `fatal()` at compile-path sites below a pass.
+ */
+[[noreturn]] void emitFatal(Operation *op, const std::string &msg);
+/** Location-less variant (configuration errors inside a pass). */
+[[noreturn]] void emitFatal(Context &ctx, const std::string &msg);
+
+} // namespace wsc::ir
+
+#endif // WSC_IR_DIAGNOSTICS_H

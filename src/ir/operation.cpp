@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstring>
+#include <new>
+#include <utility>
 
 #include "ir/context.h"
 #include "ir/printer.h"
@@ -132,6 +134,65 @@ Value::replaceAllUsesWith(Value other)
 }
 
 //===----------------------------------------------------------------------===
+// StoredAttrList
+//===----------------------------------------------------------------------===
+
+void
+StoredAttrList::grow(Context &ctx, size_t minCap)
+{
+    size_t newCap = std::max<size_t>(cap_ ? size_t{cap_} * 2 : 2, minCap);
+    auto *data = static_cast<StoredAttr *>(
+        ctx.allocateBytes(newCap * sizeof(StoredAttr)));
+    for (uint32_t i = 0; i < size_; ++i) {
+        new (data + i) StoredAttr(std::move(data_[i]));
+        data_[i].~StoredAttr();
+    }
+    if (data_)
+        ctx.deallocateBytes(data_, cap_ * sizeof(StoredAttr));
+    data_ = data;
+    cap_ = static_cast<uint32_t>(newCap);
+}
+
+void
+StoredAttrList::reserve(Context &ctx, size_t cap)
+{
+    if (cap > cap_)
+        grow(ctx, cap);
+}
+
+void
+StoredAttrList::insertAt(Context &ctx, size_t pos, StoredAttr entry)
+{
+    if (size_ == cap_)
+        grow(ctx, size_ + 1);
+    new (data_ + size_) StoredAttr();
+    for (size_t i = size_; i > pos; --i)
+        data_[i] = data_[i - 1];
+    data_[pos] = std::move(entry);
+    ++size_;
+}
+
+void
+StoredAttrList::eraseAt(size_t pos)
+{
+    for (size_t i = pos; i + 1 < size_; ++i)
+        data_[i] = data_[i + 1];
+    data_[--size_].~StoredAttr();
+}
+
+void
+StoredAttrList::destroy(Context &ctx)
+{
+    for (uint32_t i = 0; i < size_; ++i)
+        data_[i].~StoredAttr();
+    if (data_)
+        ctx.deallocateBytes(data_, cap_ * sizeof(StoredAttr));
+    data_ = nullptr;
+    size_ = 0;
+    cap_ = 0;
+}
+
+//===----------------------------------------------------------------------===
 // Operation
 //===----------------------------------------------------------------------===
 
@@ -175,7 +236,7 @@ Operation::create(Context &ctx, OpId id, const std::vector<Value> &operands,
         new (op->operands_ + op->numOperands_++) Value(v);
         op->addUse(v);
     }
-    op->attrs_.reserve(attrs.size());
+    op->attrs_.reserve(ctx, attrs.size());
     for (const auto &[key, value] : attrs)
         op->setAttr(key, value);
     return op;
@@ -189,7 +250,7 @@ Operation::createInterned(Context &ctx, OpId id,
 {
     Operation *op =
         create(ctx, id, operands, resultTypes, AttrList{}, numRegions);
-    op->attrs_.reserve(attrs.size());
+    op->attrs_.reserve(ctx, attrs.size());
     for (const StoredAttr &a : attrs)
         op->setAttr(a.name, a.value);
     return op;
@@ -228,6 +289,7 @@ Operation::~Operation()
         result.~ValueImpl();
     }
     numResults_ = 0;
+    attrs_.destroy(*ctx_);
 }
 
 Value
@@ -402,11 +464,12 @@ Operation::setAttr(AttrNameId key, Attribute value)
     WSC_ASSERT(value, "setAttr(" << ctx_->attrName(key)
                                  << ") with null attribute");
     auto it = attrLowerBound(attrs_, key);
+    size_t pos = static_cast<size_t>(it - attrs_.begin());
     if (it != attrs_.end() && it->name == key) {
-        attrs_[static_cast<size_t>(it - attrs_.begin())].value = value;
+        attrs_.setValueAt(pos, value);
         return;
     }
-    attrs_.insert(attrs_.begin() + (it - attrs_.begin()), {key, value});
+    attrs_.insertAt(*ctx_, pos, {key, value});
 }
 
 void
@@ -416,7 +479,7 @@ Operation::removeAttr(AttrNameId key)
         return;
     auto it = attrLowerBound(attrs_, key);
     if (it != attrs_.end() && it->name == key)
-        attrs_.erase(attrs_.begin() + (it - attrs_.begin()));
+        attrs_.eraseAt(static_cast<size_t>(it - attrs_.begin()));
 }
 
 Attribute

@@ -219,9 +219,54 @@ struct StoredAttr
     Attribute value;
 };
 
-/** On-operation attribute storage, sorted by dense name id so probes
- *  with a resolved AttrNameId compare integers, not strings. */
-using StoredAttrList = std::vector<StoredAttr>;
+/**
+ * On-operation attribute storage, sorted by dense name id so probes with
+ * a resolved AttrNameId compare integers, not strings.
+ *
+ * Arena-backed small-vector: entries live in the owning context's arena
+ * (capacity doubles from 2; blocks are recycled through the free lists),
+ * replacing the former heap std::vector so op creation and cloning stay
+ * malloc-free. Only Operation mutates the list; all other code reads
+ * through the const pointer iterators.
+ */
+class StoredAttrList
+{
+  public:
+    using value_type = StoredAttr;
+    using const_iterator = const StoredAttr *;
+
+    StoredAttrList() = default;
+    StoredAttrList(const StoredAttrList &) = delete;
+    StoredAttrList &operator=(const StoredAttrList &) = delete;
+
+    const_iterator begin() const { return data_; }
+    const_iterator end() const { return data_ + size_; }
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    const StoredAttr &operator[](size_t i) const { return data_[i]; }
+
+  private:
+    friend class Operation;
+
+    /// @name Mutation (Operation-internal; entries stay sorted)
+    /// @{
+    void insertAt(Context &ctx, size_t pos, StoredAttr entry);
+    void eraseAt(size_t pos);
+    void setValueAt(size_t pos, Attribute value)
+    {
+        data_[pos].value = value;
+    }
+    void reserve(Context &ctx, size_t cap);
+    /** Return the storage to the context's free lists. */
+    void destroy(Context &ctx);
+    /// @}
+
+    void grow(Context &ctx, size_t minCap);
+
+    StoredAttr *data_ = nullptr;
+    uint32_t size_ = 0;
+    uint32_t cap_ = 0;
+};
 
 /**
  * A generic, dialect-agnostic operation. Typed op wrappers in the dialect

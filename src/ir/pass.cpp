@@ -1,10 +1,51 @@
 #include "ir/pass.h"
 
+#include <iostream>
+#include <sstream>
+
+#include "ir/context.h"
 #include "ir/operation.h"
 #include "ir/verifier.h"
 #include "support/error.h"
 
 namespace wsc::ir {
+
+//===----------------------------------------------------------------------===
+// PipelineResult
+//===----------------------------------------------------------------------===
+
+const Diagnostic *
+PipelineResult::firstError() const
+{
+    for (const Diagnostic &d : diagnostics)
+        if (d.severity == Severity::Error)
+            return &d;
+    return nullptr;
+}
+
+void
+PipelineResult::render(std::ostream &os) const
+{
+    if (!succeeded && !failedPass.empty())
+        os << "compilation failed in pass '" << failedPass << "':\n";
+    for (const Diagnostic &d : diagnostics)
+        d.render(os);
+}
+
+std::string
+PipelineResult::str() const
+{
+    std::ostringstream os;
+    render(os);
+    std::string text = os.str();
+    if (!text.empty() && text.back() == '\n')
+        text.pop_back();
+    return text;
+}
+
+//===----------------------------------------------------------------------===
+// PassManager
+//===----------------------------------------------------------------------===
 
 void
 PassManager::addPass(std::unique_ptr<Pass> pass)
@@ -12,35 +53,65 @@ PassManager::addPass(std::unique_ptr<Pass> pass)
     passes_.push_back(std::move(pass));
 }
 
-void
-PassManager::addPass(const std::string &name,
-                     std::function<void(Operation *)> fn)
-{
-    passes_.push_back(std::make_unique<FunctionPass>(name, std::move(fn)));
-}
-
-void
+PipelineResult
 PassManager::run(Operation *module)
 {
+    PipelineResult result;
+    Context &ctx = module->context();
+    std::string currentPass;
+    size_t errors = 0;
+    ScopedDiagnosticHandler capture(
+        ctx, [&result, &currentPass, &errors](Diagnostic &&d) {
+            if (d.pass.empty())
+                d.pass = currentPass;
+            if (d.severity == Severity::Error)
+                ++errors;
+            result.diagnostics.push_back(std::move(d));
+        });
+
     for (const auto &pass : passes_) {
+        currentPass = pass->name();
+        size_t errorsBefore = errors;
+        LogicalResult passResult = success();
         try {
-            pass->run(module);
+            passResult = pass->run(module);
+        } catch (const DiagnosedError &e) {
+            // Deep-recursion unwinding: the diagnostic was reported
+            // before the throw, unless the exception carries it.
+            if (e.hasDiagnostic())
+                ctx.diagnostics().report(Diagnostic(e.diagnostic()));
+            passResult = failure();
         } catch (const FatalError &e) {
-            fatal("pass '" + pass->name() + "' failed: " + e.what());
+            // Legacy throwing error path (support/error.h): recover it
+            // into a diagnostic instead of crossing the pipeline API.
+            emitError(ctx) << e.what();
+            passResult = failure();
+        } catch (const PanicError &e) {
+            // An internal invariant tripped — a library bug, but one
+            // malformed input must not take down sibling jobs. Report
+            // and fail the job; the module may be partially rewritten.
+            emitError(ctx) << "internal error (invariant violation): "
+                           << e.what();
+            passResult = failure();
         }
-        if (verifyEach_) {
-            std::vector<std::string> errors = verifyCollect(module);
-            if (!errors.empty()) {
-                std::string msg = "IR invalid after pass '" + pass->name() +
-                                  "':";
-                for (const std::string &e : errors)
-                    msg += "\n  - " + e;
-                fatal(msg);
-            }
+        // A pass that emitted errors but still returned success is
+        // treated as failed: errors are never droppable.
+        if (passResult.failed() || errors > errorsBefore) {
+            result.succeeded = false;
+            result.failedPass = pass->name();
+            return result;
+        }
+        if (verifyEach_ && failed(verify(module))) {
+            emitError(ctx) << "IR invalid after pass '" << pass->name()
+                           << "'";
+            result.succeeded = false;
+            result.failedPass = pass->name();
+            return result;
         }
         if (afterPass_)
             afterPass_(*pass, module);
     }
+    return result;
 }
 
 void

@@ -3,15 +3,28 @@
  * Pass and PassManager: staged pipelines over a module op, optionally
  * verifying the IR after every pass (the paper's pipeline relies on
  * incremental lowering with verified intermediate states).
+ *
+ * Error recovery contract: a pass reports malformed input through the
+ * context's DiagnosticEngine (emitError/emitFatal, ir/diagnostics.h) and
+ * fails by returning ir::failure() or unwinding with DiagnosedError. The
+ * PassManager never terminates the process for user errors — run()
+ * returns a PipelineResult carrying every captured diagnostic and stops
+ * at the first failing pass, leaving the (partially lowered) module
+ * intact for post-mortem printing. The context remains fully usable for
+ * subsequent compiles.
  */
 
 #ifndef WSC_IR_PASS_H
 #define WSC_IR_PASS_H
 
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <vector>
+
+#include "ir/diagnostics.h"
 
 namespace wsc::ir {
 
@@ -27,26 +40,65 @@ class Pass
 
     const std::string &name() const { return name_; }
 
-    /** Run on the (module) op. Throws on unrecoverable errors. */
-    virtual void run(Operation *module) = 0;
+    /**
+     * Run on the (module) op. Reports problems through the context's
+     * diagnostic engine and returns failure() (or throws DiagnosedError,
+     * which the PassManager converts to failure).
+     */
+    virtual LogicalResult run(Operation *module) = 0;
 
   private:
     std::string name_;
 };
 
-/** A pass defined by a plain function. */
+/**
+ * A pass defined by a plain function. Accepts both
+ * `LogicalResult(Operation *)` callables and legacy `void(Operation *)`
+ * ones (wrapped to return success; they fail by throwing).
+ */
 class FunctionPass : public Pass
 {
   public:
-    FunctionPass(std::string name, std::function<void(Operation *)> fn)
-        : Pass(std::move(name)), fn_(std::move(fn))
+    template <typename Fn>
+    FunctionPass(std::string name, Fn fn) : Pass(std::move(name))
     {
+        if constexpr (std::is_void_v<
+                          std::invoke_result_t<Fn &, Operation *>>) {
+            fn_ = [f = std::move(fn)](Operation *module) {
+                f(module);
+                return success();
+            };
+        } else {
+            fn_ = std::move(fn);
+        }
     }
 
-    void run(Operation *module) override { fn_(module); }
+    LogicalResult run(Operation *module) override { return fn_(module); }
 
   private:
-    std::function<void(Operation *)> fn_;
+    std::function<LogicalResult(Operation *)> fn_;
+};
+
+/**
+ * Outcome of a PassManager/pipeline run: whether it succeeded, which
+ * pass failed (if any), and every diagnostic captured during the run —
+ * each stamped with the pass that was active when it was emitted.
+ */
+struct PipelineResult
+{
+    bool succeeded = true;
+    /** Name of the pass that failed; empty on success. */
+    std::string failedPass;
+    /** Everything emitted during the run (errors, warnings, remarks). */
+    std::vector<Diagnostic> diagnostics;
+
+    explicit operator bool() const { return succeeded; }
+
+    /** The first error diagnostic, or nullptr. */
+    const Diagnostic *firstError() const;
+    /** Render all diagnostics (multi-line, human-readable). */
+    void render(std::ostream &os) const;
+    std::string str() const;
 };
 
 /** Runs a sequence of passes, verifying between stages. */
@@ -56,11 +108,21 @@ class PassManager
     explicit PassManager(bool verifyEach = true) : verifyEach_(verifyEach) {}
 
     void addPass(std::unique_ptr<Pass> pass);
-    void addPass(const std::string &name,
-                 std::function<void(Operation *)> fn);
+    template <typename Fn>
+    void
+    addPass(const std::string &name, Fn fn)
+    {
+        addPass(std::make_unique<FunctionPass>(name, std::move(fn)));
+    }
 
-    /** Run all passes in order on the module. */
-    void run(Operation *module);
+    /**
+     * Run all passes in order on the module, stopping at the first
+     * failure. Diagnostics emitted through the module's context engine
+     * during the run are captured into the result (the run installs its
+     * own scoped handler; any handler installed before the run is
+     * shadowed for the duration and restored afterwards).
+     */
+    PipelineResult run(Operation *module);
 
     size_t size() const { return passes_.size(); }
     const Pass &pass(size_t i) const { return *passes_[i]; }

@@ -1,26 +1,28 @@
 #include "ir/verifier.h"
 
-#include <sstream>
 #include <unordered_set>
 
 #include "ir/context.h"
 #include "ir/operation.h"
-#include "support/error.h"
 
 namespace wsc::ir {
 
 namespace {
 
-/** Walks the IR accumulating diagnostics. */
+/** Walks the IR accumulating (op, message) violations. */
 class Verifier
 {
   public:
-    explicit Verifier(std::vector<std::string> &errors) : errors_(errors) {}
+    struct Violation
+    {
+        Operation *op;
+        std::string message;
+    };
 
     void
-    error(Operation *op, const std::string &msg)
+    error(Operation *op, std::string msg)
     {
-        errors_.push_back("'" + op->name() + "': " + msg);
+        violations_.push_back({op, std::move(msg)});
     }
 
     /**
@@ -54,7 +56,7 @@ class Verifier
         if (info && info->verify) {
             std::string msg = info->verify(op);
             if (!msg.empty())
-                error(op, msg);
+                error(op, std::move(msg));
         }
     }
 
@@ -83,9 +85,20 @@ class Verifier
             visible.erase(v);
     }
 
+    std::vector<Violation> takeViolations() { return std::move(violations_); }
+
   private:
-    std::vector<std::string> &errors_;
+    std::vector<Violation> violations_;
 };
+
+std::vector<Verifier::Violation>
+collectViolations(Operation *root)
+{
+    Verifier verifier;
+    std::unordered_set<ValueImpl *> visible;
+    verifier.verifyOp(root, visible);
+    return verifier.takeViolations();
+}
 
 } // namespace
 
@@ -93,29 +106,24 @@ std::vector<std::string>
 verifyCollect(Operation *root)
 {
     std::vector<std::string> errors;
-    Verifier verifier(errors);
-    std::unordered_set<ValueImpl *> visible;
-    verifier.verifyOp(root, visible);
+    for (const Verifier::Violation &v : collectViolations(root))
+        errors.push_back("'" + v.op->name() + "': " + v.message);
     return errors;
 }
 
-void
+LogicalResult
 verify(Operation *root)
 {
-    std::vector<std::string> errors = verifyCollect(root);
-    if (errors.empty())
-        return;
-    std::ostringstream os;
-    os << "IR verification failed (" << errors.size() << " error(s)):\n";
-    for (const std::string &e : errors)
-        os << "  - " << e << "\n";
-    fatal(os.str());
+    std::vector<Verifier::Violation> violations = collectViolations(root);
+    for (Verifier::Violation &v : violations)
+        emitError(v.op) << v.message;
+    return violations.empty() ? success() : failure();
 }
 
 bool
 verifies(Operation *root)
 {
-    return verifyCollect(root).empty();
+    return collectViolations(root).empty();
 }
 
 } // namespace wsc::ir

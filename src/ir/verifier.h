@@ -2,6 +2,11 @@
  * @file
  * IR structural verifier: SSA visibility, block terminators, parent links
  * and per-op registered invariants.
+ *
+ * Failures are recoverable: `verify` emits one located diagnostic per
+ * problem through the root's context engine and returns ir::failure()
+ * instead of terminating the process. `verifyCollect` keeps the legacy
+ * plain-string form for tools that want the raw list.
  */
 
 #ifndef WSC_IR_VERIFIER_H
@@ -10,17 +15,24 @@
 #include <string>
 #include <vector>
 
+#include "ir/diagnostics.h"
+
 namespace wsc::ir {
 
 class Operation;
 
-/** Collect all verification errors under `root` (inclusive). */
+/** Collect all verification errors under `root` (inclusive), as plain
+ *  strings. Emits nothing through the diagnostic engine. */
 std::vector<std::string> verifyCollect(Operation *root);
 
-/** Verify and throw FatalError listing all diagnostics on failure. */
-void verify(Operation *root);
+/**
+ * Verify `root` and everything beneath it. Each violation is emitted as
+ * an error diagnostic located at the offending op; returns failure() if
+ * any were found. Never throws, never aborts.
+ */
+LogicalResult verify(Operation *root);
 
-/** Verify and return true on success (no throw). */
+/** Verify and return true on success (no diagnostics emitted). */
 bool verifies(Operation *root);
 
 } // namespace wsc::ir

@@ -109,7 +109,10 @@ measureBenchmark(const fe::Benchmark &bench, const wse::ArchParams &arch,
     ir::Context ctx;
     dialects::registerAllDialects(ctx);
     ir::OwningOp module = bench.program.emit(ctx);
-    transforms::runPipeline(module.get());
+    ir::PipelineResult result = transforms::runPipeline(module.get());
+    if (!result)
+        fatal("wafer model: benchmark failed to compile:\n" +
+              result.str());
     return measureLoweredModule(module.get(), bench, arch, options);
 }
 

@@ -10,6 +10,7 @@
 #include "dialects/memref.h"
 #include "dialects/scf.h"
 #include "dialects/stencil.h"
+#include "ir/diagnostics.h"
 #include "support/error.h"
 #include "transforms/lower_apply_to_actors.h"
 #include "transforms/utils.h"
@@ -84,8 +85,11 @@ parseKernel(ir::Operation *kernel)
                 else if (inner->opId() != mr::kAlloc &&
                          inner->opId() != ar::kConstant &&
                          inner->opId() != scf::kYield)
-                    fatal("unsupported op inside the timestep loop: " +
-                          inner->name());
+                    ir::emitFatal(inner,
+                                  "unsupported op inside the timestep "
+                                  "loop (expected stencil.apply, "
+                                  "memref.alloc, arith.constant or "
+                                  "scf.yield)");
             }
         } else if (name == st::kStore) {
             ir::Value field = op->operand(1);
@@ -93,7 +97,7 @@ parseKernel(ir::Operation *kernel)
                        "stores must target kernel fields");
             out.stores.emplace_back(op->operand(0), field.index());
         } else {
-            fatal("unsupported op at kernel top level: " + name.str());
+            ir::emitFatal(op, "unsupported op at kernel top level");
         }
     }
     WSC_ASSERT(out.topApplies.empty() || out.loopApplies.empty(),

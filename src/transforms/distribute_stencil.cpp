@@ -6,6 +6,7 @@
 
 #include "dialects/dmp.h"
 #include "dialects/stencil.h"
+#include "ir/diagnostics.h"
 #include "support/error.h"
 #include "transforms/utils.h"
 
@@ -36,12 +37,12 @@ distributeApply(ir::Operation *apply)
         if (dx == 0 && dy == 0)
             continue; // Local column access.
         if (dx != 0 && dy != 0)
-            fatal("distribute-stencil: box-shaped stencils (diagonal "
-                  "accesses) are not supported by the communication "
-                  "library");
+            ir::emitFatal(op, "box-shaped stencils (diagonal accesses) "
+                              "are not supported by the communication "
+                              "library");
         if (dz != 0)
-            fatal("distribute-stencil: remote accesses must not have a "
-                  "z offset (star-shaped stencils only)");
+            ir::emitFatal(op, "remote accesses must not have a z offset "
+                              "(star-shaped stencils only)");
         remote[source.index()].insert({dx, dy});
     }
     if (remote.empty())

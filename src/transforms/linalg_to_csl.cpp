@@ -7,6 +7,7 @@
 #include "dialects/csl_stencil.h"
 #include "dialects/linalg.h"
 #include "dialects/memref.h"
+#include "ir/diagnostics.h"
 #include "support/error.h"
 #include "transforms/memref_to_dsd.h"
 #include "transforms/utils.h"
@@ -132,7 +133,7 @@ lowerLinalgOp(ir::Operation *op)
                            : n == ln::kMul ? csl::kFmuls
                                            : ir::OpId();
         if (!builtin.valid())
-            fatal("no CSL DSD builtin for " + n.str());
+            ir::emitFatal(op, "no CSL DSD builtin for this linalg op");
         ir::Value dest = materializeDsd(b, op->operand(2));
         ir::Value a = lowerOperand(b, op->operand(0));
         ir::Value c = lowerOperand(b, op->operand(1));

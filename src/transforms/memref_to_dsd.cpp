@@ -7,6 +7,7 @@
 #include "dialects/csl_stencil.h"
 #include "dialects/memref.h"
 #include "dialects/stencil.h"
+#include "ir/diagnostics.h"
 #include "ir/pattern.h"
 #include "support/error.h"
 
@@ -84,7 +85,9 @@ resolveChain(ir::Value v)
         c.length = viewLen;
         return c;
     }
-    fatal("cannot lower memref chain rooted at op: " + def->name());
+    ir::emitFatal(def, "cannot lower memref chain rooted at this op (not "
+                       "a csl.load_var / memref.subview / "
+                       "csl_stencil.access chain)");
 }
 
 } // namespace

@@ -62,13 +62,14 @@ buildPipeline(const PipelineOptions &options)
     return pm;
 }
 
-void
+ir::PipelineResult
 runPipeline(ir::Operation *module, const PipelineOptions &options)
 {
     ir::PassManager pm = buildPipeline(options);
-    pm.run(module);
+    ir::PipelineResult result = pm.run(module);
     if (options.dumpPatternStats || ir::patternStatsRequested())
         ir::dumpPatternStats(std::cerr);
+    return result;
 }
 
 } // namespace wsc::transforms

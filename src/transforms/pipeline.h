@@ -41,9 +41,13 @@ ir::PassManager buildPipeline(const PipelineOptions &options = {});
 
 /**
  * Run the full pipeline on a module (stencil dialect in, csl-ir out).
+ * Never aborts on malformed input: diagnostics are captured in the
+ * result, the run stops at the first failing pass, and the module is
+ * left intact (partially lowered) for post-mortem printing. Check
+ * `result.succeeded` (or `if (result)`) before using the module.
  */
-void runPipeline(ir::Operation *module,
-                 const PipelineOptions &options = {});
+ir::PipelineResult runPipeline(ir::Operation *module,
+                               const PipelineOptions &options = {});
 
 } // namespace wsc::transforms
 

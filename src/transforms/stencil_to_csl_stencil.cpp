@@ -11,6 +11,7 @@
 #include "dialects/stencil.h"
 #include "dialects/tensor.h"
 #include "dialects/varith.h"
+#include "ir/diagnostics.h"
 #include "support/error.h"
 #include "transforms/utils.h"
 
@@ -99,14 +100,19 @@ analyzeBody(ir::Operation *apply, unsigned commIdx)
                     createsMix = false; // Mixed-ness merely propagates.
             }
             if (createsMix) {
-                if (out.mixingOp)
-                    fatal("stencil-to-csl-stencil: more than one point "
-                          "mixes remote and local data; cannot split the "
-                          "kernel");
+                if (out.mixingOp) {
+                    ir::InFlightDiagnostic diag = ir::emitError(
+                        op, "more than one point mixes remote and local "
+                            "data; cannot split the kernel");
+                    diag.attachNote("first mixing point was here",
+                                    out.mixingOp);
+                    diag.report();
+                    throw ir::DiagnosedError();
+                }
                 if (op->opId() != va::kAdd)
-                    fatal("stencil-to-csl-stencil: remote and local data "
-                          "must combine through addition (varith.add), "
-                          "found " + op->name());
+                    ir::emitFatal(op,
+                                  "remote and local data must combine "
+                                  "through addition (varith.add)");
                 out.mixingOp = op;
             }
         }
@@ -184,9 +190,11 @@ matchPromotableTerm(ir::Value term)
     return out;
 }
 
-/** Smallest chunk count whose receive buffer fits the budget. */
+/** Smallest chunk count whose receive buffer fits the budget.
+ *  `apply` locates the diagnostic when no count fits. */
 int64_t
-chooseNumChunks(int64_t sections, int64_t commElems, int64_t budgetBytes)
+chooseNumChunks(ir::Operation *apply, int64_t sections, int64_t commElems,
+                int64_t budgetBytes)
 {
     if (sections == 0)
         return 1;
@@ -201,7 +209,11 @@ chooseNumChunks(int64_t sections, int64_t commElems, int64_t budgetBytes)
     for (int64_t n = 1; n <= commElems; ++n)
         if (fits(n))
             return n;
-    fatal("no chunk count fits the receive-buffer budget");
+    ir::emitFatal(apply,
+                  "no chunk count fits the receive-buffer budget (" +
+                      std::to_string(sections) + " sections x " +
+                      std::to_string(commElems) + " elems, budget " +
+                      std::to_string(budgetBytes) + " bytes)");
 }
 
 /** Section index of an access offset within the canonical exchanges. */
@@ -256,7 +268,7 @@ convertApply(ir::Operation *apply, ir::Operation *swap,
     int64_t numChunks =
         options.forceNumChunks > 0
             ? options.forceNumChunks
-            : chooseNumChunks(sections, interior,
+            : chooseNumChunks(apply, sections, interior,
                               options.recvBufferBudgetBytes);
     int64_t chunkLen = (interior + numChunks - 1) / numChunks;
 

@@ -6,6 +6,7 @@
 #include "dialects/func.h"
 #include "dialects/stencil.h"
 #include "dialects/varith.h"
+#include "ir/diagnostics.h"
 #include "support/error.h"
 #include "transforms/utils.h"
 
@@ -86,8 +87,7 @@ tensorizeApplyBody(ir::Operation *apply)
         } else if (op->opId() == st::kReturn) {
             // Nothing to change.
         } else {
-            fatal("tensorize-z: unsupported op in apply body: " +
-                  op->name());
+            ir::emitFatal(op, "unsupported op in apply body");
         }
     }
 }

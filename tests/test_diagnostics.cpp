@@ -1,0 +1,435 @@
+/**
+ * @file
+ * Diagnostics & error-recovery suite (`ctest -L diagnostics`).
+ *
+ * Proves the no-abort contract for malformed input: broken IR and
+ * hostile frontend source run through the full pipeline, the process
+ * survives, the diagnostic names the offending op and the failing pass,
+ * and a subsequent valid compile in the same context produces CSL that
+ * is byte-identical to a fresh-context compile.
+ */
+
+#include "test_helpers.h"
+
+#include <functional>
+
+#include "codegen/csl_emitter.h"
+#include "frontends/fortran_frontend.h"
+#include "ir/context.h"
+#include "ir/diagnostics.h"
+#include "ir/pass.h"
+
+namespace wsc::test {
+namespace {
+
+namespace ar = dialects::arith;
+namespace bt = dialects::builtin;
+namespace fn = dialects::func;
+namespace st = dialects::stencil;
+
+class DiagnosticsTest : public IrTest
+{
+};
+
+//===----------------------------------------------------------------------===
+// Engine mechanics
+//===----------------------------------------------------------------------===
+
+TEST_F(DiagnosticsTest, HandlerStackNestsAndRestores)
+{
+    ir::DiagnosticCollector outer(ctx);
+    EXPECT_EQ(ctx.diagnostics().handlerDepth(), 1u);
+    {
+        ir::DiagnosticCollector inner(ctx);
+        EXPECT_EQ(ctx.diagnostics().handlerDepth(), 2u);
+        ir::emitError(ctx) << "inner-scope failure";
+        ASSERT_EQ(inner.diagnostics().size(), 1u);
+        EXPECT_TRUE(inner.hadError());
+        EXPECT_TRUE(outer.diagnostics().empty());
+    }
+    EXPECT_EQ(ctx.diagnostics().handlerDepth(), 1u);
+    ir::emitError(ctx) << "outer-scope failure";
+    ASSERT_EQ(outer.diagnostics().size(), 1u);
+    EXPECT_EQ(outer.diagnostics()[0].message, "outer-scope failure");
+    EXPECT_EQ(ctx.diagnostics().errorCount(), 2u);
+}
+
+TEST_F(DiagnosticsTest, ErrorCountIgnoresWarningsAndRemarks)
+{
+    ir::OwningOp module = bt::createModule(ctx);
+    ir::DiagnosticCollector collector(ctx);
+    ir::emitWarning(module.get()) << "just a warning";
+    ir::emitRemark(module.get()) << "just a remark";
+    EXPECT_EQ(ctx.diagnostics().errorCount(), 0u);
+    ir::emitError(module.get()) << "an actual error";
+    EXPECT_EQ(ctx.diagnostics().errorCount(), 1u);
+    ASSERT_EQ(collector.diagnostics().size(), 3u);
+    EXPECT_EQ(collector.diagnostics()[0].severity, ir::Severity::Warning);
+    EXPECT_EQ(collector.diagnostics()[1].severity, ir::Severity::Remark);
+    EXPECT_EQ(collector.diagnostics()[2].severity, ir::Severity::Error);
+}
+
+TEST_F(DiagnosticsTest, LocationNamesNearestSymbolAncestor)
+{
+    ir::OwningOp module = bt::createModule(ctx);
+    ir::OpBuilder b(ctx);
+    b.setInsertionPointToEnd(bt::moduleBody(module.get()));
+    ir::Operation *kernel = fn::createFunc(b, "kernel", {}, {});
+    b.setInsertionPointToEnd(fn::funcBody(kernel));
+    ir::Value c = ar::createConstantF32(b, 1.0);
+
+    std::string loc = ir::diagnosticLocation(c.definingOp());
+    EXPECT_NE(loc.find("'arith.constant'"), std::string::npos) << loc;
+    EXPECT_NE(loc.find("in 'func.func' @kernel"), std::string::npos)
+        << loc;
+}
+
+TEST_F(DiagnosticsTest, NotesRenderBelowParent)
+{
+    ir::Diagnostic d(ir::Severity::Error, "kernel cannot be split");
+    d.attachNote("first mixing point was here");
+    std::string text = d.str();
+    EXPECT_NE(text.find("error: kernel cannot be split"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("note: first mixing point was here"),
+              std::string::npos)
+        << text;
+}
+
+TEST_F(DiagnosticsTest, InFlightDiagnosticConvertsToLogicalResult)
+{
+    ir::DiagnosticCollector collector(ctx);
+    ir::LogicalResult bad = ir::emitError(ctx) << "cannot lower";
+    EXPECT_TRUE(ir::failed(bad));
+    ASSERT_EQ(collector.diagnostics().size(), 1u);
+    EXPECT_EQ(collector.diagnostics()[0].message, "cannot lower");
+}
+
+//===----------------------------------------------------------------------===
+// PassManager failure semantics
+//===----------------------------------------------------------------------===
+
+TEST_F(DiagnosticsTest, EmittedErrorFailsPassEvenWithoutFailureReturn)
+{
+    ir::OwningOp module = bt::createModule(ctx);
+    ir::PassManager pm;
+    // Legacy-style void pass: emits an error but cannot return failure.
+    pm.addPass("leaky", [](ir::Operation *m) {
+        ir::emitError(m) << "error without a failing return";
+    });
+    ir::PipelineResult result = pm.run(module.get());
+    EXPECT_FALSE(result.succeeded);
+    EXPECT_EQ(result.failedPass, "leaky");
+    ASSERT_NE(result.firstError(), nullptr);
+    EXPECT_EQ(result.firstError()->pass, "leaky");
+}
+
+TEST_F(DiagnosticsTest, WarningsDoNotFailThePipeline)
+{
+    ir::OwningOp module = bt::createModule(ctx);
+    ir::PassManager pm;
+    pm.addPass("chatty", [](ir::Operation *m) {
+        ir::emitWarning(m) << "heads up";
+    });
+    ir::PipelineResult result = pm.run(module.get());
+    EXPECT_TRUE(result.succeeded);
+    ASSERT_EQ(result.diagnostics.size(), 1u);
+    EXPECT_EQ(result.diagnostics[0].severity, ir::Severity::Warning);
+    EXPECT_EQ(result.diagnostics[0].pass, "chatty");
+}
+
+TEST_F(DiagnosticsTest, PanicInsidePassBecomesInternalErrorDiagnostic)
+{
+    ir::OwningOp module = bt::createModule(ctx);
+    ir::PassManager pm;
+    pm.addPass("broken-invariant", [](ir::Operation *) {
+        WSC_ASSERT(false, "simulated invariant violation");
+    });
+    ir::PipelineResult result = pm.run(module.get());
+    EXPECT_FALSE(result.succeeded);
+    ASSERT_NE(result.firstError(), nullptr);
+    EXPECT_NE(result.firstError()->message.find("internal error"),
+              std::string::npos)
+        << result.str();
+}
+
+//===----------------------------------------------------------------------===
+// Per-dialect verifier failures
+//===----------------------------------------------------------------------===
+
+struct VerifierCase
+{
+    const char *dialect;
+    const char *op;
+    unsigned numResults;
+    unsigned numRegions;
+    const char *expect;
+};
+
+TEST_F(DiagnosticsTest, EveryDialectVerifierEmitsLocatedDiagnostic)
+{
+    // One invalid op per dialect: zero operands (or zero regions /
+    // missing attribute) trips each registered verify hook.
+    const VerifierCase cases[] = {
+        {"builtin", "builtin.module", 0, 0, "expected 1 regions, got 0"},
+        {"arith", "arith.constant", 1, 0, "requires a value attribute"},
+        {"varith", "varith.add", 1, 0,
+         "expected at least 1 operands, got 0"},
+        {"stencil", "stencil.access", 1, 0, "expected 1 operands, got 0"},
+        {"csl_stencil", "csl_stencil.access", 1, 0,
+         "expected 1 operands, got 0"},
+        {"csl", "csl.fadds", 0, 0, "expected 3 operands, got 0"},
+        {"csl_wrapper", "csl_wrapper.module", 0, 0,
+         "expected 2 regions, got 0"},
+        {"dmp", "dmp.swap", 1, 0, "expected 1 operands, got 0"},
+        {"func", "func.func", 0, 0, "expected 1 regions, got 0"},
+        {"scf", "scf.for", 0, 1, "expected at least 3 operands, got 0"},
+        {"linalg", "linalg.fmac", 0, 0, "expected 4 operands, got 0"},
+        {"memref", "memref.alloc", 0, 0, "expected 1 results, got 0"},
+        {"tensor", "tensor.empty", 0, 0, "expected 1 results, got 0"},
+    };
+
+    for (const VerifierCase &c : cases) {
+        SCOPED_TRACE(std::string(c.dialect) + ": " + c.op);
+        ir::OwningOp module = bt::createModule(ctx);
+        ir::OpBuilder b(ctx);
+        b.setInsertionPointToEnd(bt::moduleBody(module.get()));
+        std::vector<ir::Type> results(c.numResults, ir::getF32Type(ctx));
+        b.create(c.op, {}, results, {}, c.numRegions);
+
+        ir::DiagnosticCollector collector(ctx);
+        EXPECT_TRUE(ir::failed(ir::verify(module.get())));
+        bool found = false;
+        for (const ir::Diagnostic &d : collector.diagnostics()) {
+            if (d.severity != ir::Severity::Error)
+                continue;
+            if (d.location.find(std::string("'") + c.op + "'") ==
+                std::string::npos)
+                continue;
+            EXPECT_NE(d.message.find(c.expect), std::string::npos)
+                << d.str();
+            found = true;
+        }
+        EXPECT_TRUE(found)
+            << "no located diagnostic for " << c.op;
+    }
+}
+
+TEST_F(DiagnosticsTest, MismatchedOperandTypesAreDiagnosed)
+{
+    ir::OwningOp module = bt::createModule(ctx);
+    ir::OpBuilder b(ctx);
+    b.setInsertionPointToEnd(bt::moduleBody(module.get()));
+    ir::Value f = ar::createConstantF32(b, 1.0);
+    ir::Value i = ar::createConstantI32(b, 1);
+    b.create("arith.addf", {f, i}, {ir::getF32Type(ctx)});
+
+    ir::DiagnosticCollector collector(ctx);
+    EXPECT_TRUE(ir::failed(ir::verify(module.get())));
+    ASSERT_FALSE(collector.diagnostics().empty());
+    const ir::Diagnostic &d = collector.diagnostics().front();
+    EXPECT_NE(d.message.find("operand types differ"), std::string::npos)
+        << d.str();
+    EXPECT_NE(d.location.find("'arith.addf'"), std::string::npos)
+        << d.str();
+}
+
+//===----------------------------------------------------------------------===
+// Malformed-IR corpus through the full pipeline (no-abort contract)
+//===----------------------------------------------------------------------===
+
+struct CorpusCase
+{
+    const char *name;
+    std::function<ir::OwningOp(ir::Context &)> build;
+    const char *expectPass;
+    const char *expectMessage;
+};
+
+TEST_F(DiagnosticsTest, MalformedIrCorpusFailsWithoutAborting)
+{
+    const CorpusCase corpus[] = {
+        {"diagonal access",
+         [](ir::Context &c) {
+             fe::Program p(fe::Grid{8, 8, 16});
+             p.setTimesteps(2);
+             fe::Field u = p.addField("u");
+             p.setUpdate(u, u.at(1, 1, 0));
+             return p.emit(c);
+         },
+         "distribute-stencil", "box-shaped"},
+        {"remote z offset",
+         [](ir::Context &c) {
+             fe::Program p(fe::Grid{8, 8, 16});
+             p.setTimesteps(2);
+             fe::Field u = p.addField("u");
+             p.setUpdate(u, u.at(1, 0, 1));
+             return p.emit(c);
+         },
+         "distribute-stencil", "z offset"},
+        {"multiplicative remote/local mix",
+         [](ir::Context &c) {
+             fe::Program p(fe::Grid{8, 8, 16});
+             p.setTimesteps(2);
+             fe::Field u = p.addField("u");
+             p.setUpdate(u, u.at(1, 0, 0) * u.at(0, 0, 0));
+             return p.emit(c);
+         },
+         "convert-stencil-to-csl-stencil", "addition"},
+        {"unsupported op in apply body",
+         [](ir::Context &c) {
+             fe::Program p(fe::Grid{8, 8, 16});
+             p.setTimesteps(2);
+             fe::Field u = p.addField("u");
+             p.setUpdate(u, fe::constant(0.5) *
+                                (u.at(0, 0, 1) + u.at(0, 0, -1)));
+             ir::OwningOp module = p.emit(c);
+             ir::Operation *apply = firstOp(module.get(), st::kApply);
+             EXPECT_NE(apply, nullptr);
+             if (!apply)
+                 return module;
+             ir::OpBuilder b(c);
+             b.setInsertionPoint(st::applyBody(apply)->terminator());
+             b.create("tensor.empty", {},
+                      {ir::getTensorType(c, {4}, ir::getF32Type(c))});
+             return module;
+         },
+         "tensorize-z", "unsupported op in apply body"},
+        {"empty module (invariant violation)",
+         [](ir::Context &c) { return bt::createModule(c); },
+         "wrap-in-csl-wrapper", "internal error"},
+    };
+
+    for (const CorpusCase &c : corpus) {
+        SCOPED_TRACE(c.name);
+        ir::OwningOp module = c.build(ctx);
+        ir::PipelineResult result = transforms::runPipeline(module.get());
+        EXPECT_FALSE(result.succeeded);
+        EXPECT_EQ(result.failedPass, c.expectPass) << result.str();
+        ASSERT_NE(result.firstError(), nullptr);
+        EXPECT_NE(result.firstError()->message.find(c.expectMessage),
+                  std::string::npos)
+            << result.str();
+        EXPECT_EQ(result.firstError()->pass, c.expectPass);
+        // The module survives the failure for post-mortem printing.
+        EXPECT_FALSE(ir::printOp(module.get()).empty());
+    }
+}
+
+TEST_F(DiagnosticsTest, SameContextRecoversToByteIdenticalCsl)
+{
+    // A failed compile must not poison the context: compile the same
+    // valid benchmark in this (dirtied) context and in a fresh one, and
+    // require byte-identical CSL.
+    {
+        fe::Program p(fe::Grid{8, 8, 16});
+        p.setTimesteps(2);
+        fe::Field u = p.addField("u");
+        p.setUpdate(u, u.at(1, 1, 0)); // box-shaped: rejected
+        ir::OwningOp bad = p.emit(ctx);
+        ir::PipelineResult result = transforms::runPipeline(bad.get());
+        ASSERT_FALSE(result.succeeded);
+    }
+
+    auto compile = [](ir::Context &c) {
+        fe::Benchmark bench = fe::makeDiffusion(8, 8, 2, 16);
+        ir::OwningOp module = bench.program.emit(c);
+        EXPECT_TRUE(ir::succeeded(ir::verify(module.get())));
+        ir::PipelineResult result =
+            transforms::runPipeline(module.get());
+        EXPECT_TRUE(result.succeeded) << result.str();
+        return codegen::emitCsl(module.get());
+    };
+
+    codegen::EmittedCsl dirtied = compile(ctx);
+    ir::Context fresh;
+    dialects::registerAllDialects(fresh);
+    codegen::EmittedCsl pristine = compile(fresh);
+
+    EXPECT_EQ(dirtied.layoutFile, pristine.layoutFile);
+    EXPECT_EQ(dirtied.programFile, pristine.programFile);
+    EXPECT_FALSE(dirtied.programFile.empty());
+}
+
+//===----------------------------------------------------------------------===
+// Hostile Fortran corpus (frontend locations)
+//===----------------------------------------------------------------------===
+
+TEST_F(DiagnosticsTest, FortranDiagnosticsCarryLineAndColumn)
+{
+    fe::FortranKernelConfig config{12, 12, 32, 2};
+    struct FortranCase
+    {
+        const char *name;
+        const char *source;
+        const char *expectMessage;
+        const char *expectLocation; // prefix match; "" = any fortran:
+    };
+    const FortranCase cases[] = {
+        {"unexpected character",
+         "do i = 2, 11\n"
+         " do j = 2, 11\n"
+         "  do k = 2, 31\n"
+         "   a(k,j,i) = @\n"
+         "  enddo\n enddo\nenddo\n",
+         "unexpected character '@'", "fortran:4:15"},
+        {"absolute index",
+         "do i = 2, 11\n"
+         " do j = 2, 11\n"
+         "  do k = 2, 31\n"
+         "   a(k,j,i) = a(1,j,i)\n"
+         "  enddo\n enddo\nenddo\n",
+         "absolute indices", "fortran:4"},
+        {"shallow loop nest",
+         "do i = 2, 11\n"
+         "enddo\n",
+         "3-deep spatial loop nest", "fortran:"},
+        {"off-centre assignment target",
+         "do i = 2, 11\n"
+         " do j = 2, 11\n"
+         "  do k = 2, 31\n"
+         "   a(k,j,i+1) = a(k,j,i)\n"
+         "  enddo\n enddo\nenddo\n",
+         "centre point", "fortran:4"},
+        {"missing enddo",
+         "do i = 2, 11\n"
+         " do j = 2, 11\n"
+         "  do k = 2, 31\n"
+         "   a(k,j,i) = a(k-1,j,i)\n",
+         "enddo", "fortran:"},
+    };
+
+    for (const FortranCase &c : cases) {
+        SCOPED_TRACE(c.name);
+        fe::FortranParseResult result =
+            fe::parseFortranStencilChecked(c.source, config);
+        EXPECT_FALSE(result);
+        EXPECT_FALSE(result.program.has_value());
+        EXPECT_EQ(result.diagnostic.severity, ir::Severity::Error);
+        EXPECT_NE(result.diagnostic.message.find(c.expectMessage),
+                  std::string::npos)
+            << result.diagnostic.str();
+        EXPECT_EQ(result.diagnostic.location.rfind(c.expectLocation, 0),
+                  0u)
+            << result.diagnostic.location;
+    }
+}
+
+TEST_F(DiagnosticsTest, FortranCheckedParseSucceedsOnValidSource)
+{
+    const char *source =
+        "do i = 2, 11\n"
+        " do j = 2, 11\n"
+        "  do k = 2, 31\n"
+        "   a(k,j,i) = 0.5 * (a(k,j,i-1) + a(k,j,i+1))\n"
+        "  enddo\n enddo\nenddo\n";
+    fe::FortranParseResult result = fe::parseFortranStencilChecked(
+        source, fe::FortranKernelConfig{12, 12, 32, 2});
+    ASSERT_TRUE(result) << result.diagnostic.str();
+    ASSERT_TRUE(result.program.has_value());
+    EXPECT_EQ(result.program->numFields(), 1u);
+}
+
+} // namespace
+} // namespace wsc::test

@@ -31,7 +31,7 @@ TEST(SymFrontend, EmitSingleApplyWithLoop)
     p.setUpdate(u, fe::constant(0.25) * (u.at(1, 0, 0) + u.at(-1, 0, 0) +
                                          u.at(0, 0, 1) + u.at(0, 0, -1)));
     ir::OwningOp module = p.emit(ctx);
-    ir::verify(module.get());
+    ASSERT_TRUE(ir::succeeded(ir::verify(module.get())));
     EXPECT_EQ(countOps(module.get(), st::kApply), 1);
     EXPECT_EQ(countOps(module.get(), dialects::scf::kFor), 1);
     EXPECT_EQ(countOps(module.get(), st::kLoad), 1);
@@ -47,7 +47,7 @@ TEST(SymFrontend, SingleIterationHasNoLoop)
     fe::Field u = p.addField("u");
     p.setUpdate(u, u.at(1, 0, 0) + u.at(-1, 0, 0));
     ir::OwningOp module = p.emit(ctx);
-    ir::verify(module.get());
+    ASSERT_TRUE(ir::succeeded(ir::verify(module.get())));
     EXPECT_EQ(countOps(module.get(), dialects::scf::kFor), 0);
     EXPECT_EQ(countOps(module.get(), st::kApply), 1);
 }
@@ -63,7 +63,7 @@ TEST(SymFrontend, RotationBecomesYieldPermutation)
     p.setUpdate(u, fe::constant(2.0) * u() - uPrev() + u.at(1, 0, 0));
     p.setUpdate(uPrev, u());
     ir::OwningOp module = p.emit(ctx);
-    ir::verify(module.get());
+    ASSERT_TRUE(ir::succeeded(ir::verify(module.get())));
     // One apply (the rotation adds no compute).
     EXPECT_EQ(countOps(module.get(), st::kApply), 1);
     ir::Operation *forOp = firstOp(module.get(), dialects::scf::kFor);

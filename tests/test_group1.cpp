@@ -66,7 +66,13 @@ TEST_F(Group1Test, DiagonalAccessIsRejected)
     ir::OwningOp module = p.emit(ctx);
     ir::PassManager pm;
     pm.addPass(transforms::createDistributeStencilPass());
-    EXPECT_THROW(pm.run(module.get()), FatalError);
+    ir::PipelineResult result = pm.run(module.get());
+    EXPECT_FALSE(result.succeeded);
+    ASSERT_NE(result.firstError(), nullptr);
+    EXPECT_NE(result.firstError()->message.find("box-shaped"),
+              std::string::npos);
+    EXPECT_NE(result.firstError()->location.find("stencil.access"),
+              std::string::npos);
 }
 
 TEST_F(Group1Test, RemoteZOffsetIsRejected)
@@ -78,7 +84,11 @@ TEST_F(Group1Test, RemoteZOffsetIsRejected)
     ir::OwningOp module = p.emit(ctx);
     ir::PassManager pm;
     pm.addPass(transforms::createDistributeStencilPass());
-    EXPECT_THROW(pm.run(module.get()), FatalError);
+    ir::PipelineResult result = pm.run(module.get());
+    EXPECT_FALSE(result.succeeded);
+    ASSERT_NE(result.firstError(), nullptr);
+    EXPECT_NE(result.firstError()->message.find("z offset"),
+              std::string::npos);
 }
 
 TEST_F(Group1Test, TensorizeConvertsTypes)

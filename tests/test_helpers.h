@@ -89,8 +89,9 @@ endToEndError(fe::Benchmark &bench, const wse::ArchParams &arch, int nx,
     ir::Context ctx;
     dialects::registerAllDialects(ctx);
     ir::OwningOp module = bench.program.emit(ctx);
-    ir::verify(module.get());
-    transforms::runPipeline(module.get());
+    EXPECT_TRUE(ir::succeeded(ir::verify(module.get())));
+    ir::PipelineResult pipeline = transforms::runPipeline(module.get());
+    EXPECT_TRUE(pipeline.succeeded) << pipeline.str();
 
     wse::Simulator sim(arch, nx, ny);
     interp::CslProgramInstance instance(sim, module.get());

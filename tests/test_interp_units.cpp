@@ -51,7 +51,7 @@ TEST_F(InterpUnit, DsdBuiltinsComputeOnBuffers)
     ir::Value half = ar::createConstantF32(fb, 0.5);
     csl::createBuiltin(fb, csl::kFmuls, {d, d, half});
     csl::createReturn(fb);
-    ir::verify(module.get());
+    ASSERT_TRUE(ir::succeeded(ir::verify(module.get())));
 
     wse::Simulator sim(wse::ArchParams::wse3(), 1, 1);
     interp::CslProgramInstance instance(sim, module.get());
@@ -92,7 +92,7 @@ TEST_F(InterpUnit, ScalarVariablesAndControlFlow)
     ir::OpBuilder fb = makeFunc("f_main");
     csl::createActivate(fb, "count_up");
     csl::createReturn(fb);
-    ir::verify(module.get());
+    ASSERT_TRUE(ir::succeeded(ir::verify(module.get())));
 
     wse::Simulator sim(wse::ArchParams::wse3(), 1, 1);
     interp::CslProgramInstance instance(sim, module.get());
@@ -130,7 +130,7 @@ TEST_F(InterpUnit, PointerVariablesRotateBuffers)
     csl::createBuiltin(fb, csl::kFmovs,
                        {d2, ar::createConstantF32(fb, 2.0)});
     csl::createReturn(fb);
-    ir::verify(module.get());
+    ASSERT_TRUE(ir::succeeded(ir::verify(module.get())));
 
     wse::Simulator sim(wse::ArchParams::wse3(), 1, 1);
     interp::CslProgramInstance instance(sim, module.get());
@@ -161,7 +161,7 @@ TEST_F(InterpUnit, CallsExecuteSynchronously)
     ir::Value one = ar::createConstantI32(fb, 1);
     csl::createStoreVar(fb, "order", ar::createAddI(fb, v, one));
     csl::createReturn(fb);
-    ir::verify(module.get());
+    ASSERT_TRUE(ir::succeeded(ir::verify(module.get())));
 
     wse::Simulator sim(wse::ArchParams::wse3(), 1, 1);
     interp::CslProgramInstance instance(sim, module.get());
@@ -183,7 +183,7 @@ TEST_F(InterpUnit, IncrementDsdOffsetShiftsTheView)
     csl::createBuiltin(fb, csl::kFmovs,
                        {shifted, ar::createConstantF32(fb, 9.0)});
     csl::createReturn(fb);
-    ir::verify(module.get());
+    ASSERT_TRUE(ir::succeeded(ir::verify(module.get())));
 
     wse::Simulator sim(wse::ArchParams::wse3(), 1, 1);
     interp::CslProgramInstance instance(sim, module.get());

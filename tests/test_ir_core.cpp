@@ -346,13 +346,18 @@ TEST_F(IrTest, VerifierFlagsMisplacedTerminator)
     EXPECT_NE(errors[0].find("terminator"), std::string::npos);
 }
 
-TEST_F(IrTest, VerifyThrowsWithDiagnostics)
+TEST_F(IrTest, VerifyEmitsLocatedDiagnostics)
 {
     ir::OwningOp module = bt::createModule(ctx);
     ir::OpBuilder b(ctx);
     b.setInsertionPointToEnd(bt::moduleBody(module.get()));
     b.create("arith.constant", {}, {ir::getF32Type(ctx)});
-    EXPECT_THROW(ir::verify(module.get()), FatalError);
+    ir::DiagnosticCollector collector(ctx);
+    EXPECT_TRUE(ir::failed(ir::verify(module.get())));
+    ASSERT_FALSE(collector.diagnostics().empty());
+    EXPECT_TRUE(collector.hadError());
+    EXPECT_NE(collector.diagnostics()[0].location.find("arith.constant"),
+              std::string::npos);
 }
 
 //===----------------------------------------------------------------------===
@@ -429,14 +434,12 @@ TEST_F(IrTest, PassManagerVerifiesBetweenPasses)
         b.setInsertionPointToEnd(bt::moduleBody(m));
         b.create("arith.constant", {}, {ir::getF32Type(ctx)});
     });
-    bool sawName = false;
-    try {
-        pm.run(module.get());
-    } catch (const FatalError &e) {
-        sawName = std::string(e.what()).find("corrupt") !=
-                  std::string::npos;
-    }
-    EXPECT_TRUE(sawName);
+    ir::PipelineResult result = pm.run(module.get());
+    EXPECT_FALSE(result.succeeded);
+    EXPECT_EQ(result.failedPass, "corrupt");
+    ASSERT_NE(result.firstError(), nullptr);
+    // Every diagnostic is stamped with the pass that was active.
+    EXPECT_EQ(result.firstError()->pass, "corrupt");
 }
 
 TEST_F(IrTest, AfterPassHookFires)

@@ -312,7 +312,7 @@ TEST(WorklistDriver, PipelineReachesSameFixpointAsRepeatedRuns)
     ir::OwningOp again = bench.program.emit(ctx);
     transforms::runPipeline(again.get());
     EXPECT_EQ(once, ir::printOp(again.get()));
-    ir::verify(module.get());
+    ASSERT_TRUE(ir::succeeded(ir::verify(module.get())));
 }
 
 } // namespace
