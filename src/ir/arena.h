@@ -8,6 +8,9 @@
  *  - Memory is carved from pages of `kPageSize` bytes with a bump
  *    pointer. Pages are only released when the arena is destroyed, so
  *    every pointer handed out stays valid for the context's lifetime.
+ *    `reset()` rewinds the bump pointer onto the pages already owned
+ *    (nothing is returned to the OS), which is what lets a recycled
+ *    ir::Context serve its next compile without re-faulting pages.
  *  - `deallocate` does not return memory to the page; it pushes the
  *    block onto a free list for its size class, and the next `allocate`
  *    of the same class pops it. This is what keeps worklist-driven
@@ -28,6 +31,7 @@
 #ifndef WSC_IR_ARENA_H
 #define WSC_IR_ARENA_H
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -67,9 +71,12 @@ class Arena
         }
         if (size > kPageSize) {
             // Dedicated page, leaving the current bump window intact.
-            pages_.push_back(std::make_unique_for_overwrite<char[]>(size));
+            // Kept apart from the regular pages so reset() can rewind
+            // onto those without double-handing-out a dedicated block.
+            oversized_.push_back(
+                std::make_unique_for_overwrite<char[]>(size));
             bytesAllocated_ += size;
-            return pages_.back().get();
+            return oversized_.back().get();
         }
         if (static_cast<size_t>(end_ - bump_) < size)
             newPage();
@@ -97,14 +104,35 @@ class Arena
         freeLists_[cls] = node;
     }
 
+    /**
+     * Rewind to empty without releasing the regular pages: the free
+     * lists are cleared, the bump pointer restarts on the first owned
+     * page, and subsequent page exhaustion walks the retained pages
+     * before mmap'ing new ones. Everything previously allocated becomes
+     * invalid — the caller (Context::reset) guarantees no live IR
+     * points into the arena. Dedicated oversize pages (> kPageSize,
+     * rare) are the one thing returned to the OS.
+     */
+    void
+    reset()
+    {
+        std::fill(freeLists_.begin(), freeLists_.end(), nullptr);
+        oversized_.clear();
+        nextPage_ = 0;
+        bump_ = end_ = nullptr;
+        ++resetCount_;
+    }
+
     /// @name Introspection (tests, allocation-pressure diagnostics)
     /// @{
     /** Cumulative bytes served by the bump pointer (recycles excluded). */
     size_t bytesAllocated() const { return bytesAllocated_; }
     /** Number of pages (regular and dedicated) currently owned. */
-    size_t pageCount() const { return pages_.size(); }
+    size_t pageCount() const { return pages_.size() + oversized_.size(); }
     /** Allocations served from a free list instead of fresh memory. */
     size_t recycleHits() const { return recycleHits_; }
+    /** Times reset() rewound this arena (context recycling). */
+    size_t resetCount() const { return resetCount_; }
     /// @}
 
   private:
@@ -126,20 +154,30 @@ class Arena
     {
         // The tail of the previous page is abandoned; the waste per page
         // is bounded by the size of the request that failed to fit.
+        // After a reset() the already-owned pages are reused in order
+        // before any new page is allocated.
         // for_overwrite: callers placement-new into the block, so the
         // value-initializing make_unique would memset every page twice.
-        pages_.push_back(std::make_unique_for_overwrite<char[]>(kPageSize));
-        bump_ = pages_.back().get();
+        if (nextPage_ == pages_.size())
+            pages_.push_back(
+                std::make_unique_for_overwrite<char[]>(kPageSize));
+        bump_ = pages_[nextPage_].get();
         end_ = bump_ + kPageSize;
+        ++nextPage_;
     }
 
     char *bump_ = nullptr;
     char *end_ = nullptr;
     std::vector<std::unique_ptr<char[]>> pages_;
+    /** Dedicated pages for blocks > kPageSize; freed by reset(). */
+    std::vector<std::unique_ptr<char[]>> oversized_;
+    /** Index into pages_ of the next bump window (reuse after reset). */
+    size_t nextPage_ = 0;
     /** Indexed by size / kAlignment; intrusive singly-linked lists. */
     std::vector<FreeNode *> freeLists_;
     size_t bytesAllocated_ = 0;
     size_t recycleHits_ = 0;
+    size_t resetCount_ = 0;
 };
 
 } // namespace wsc::ir

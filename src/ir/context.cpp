@@ -110,6 +110,34 @@ Context::Context()
     }
 }
 
+void
+Context::reset()
+{
+    WSC_ASSERT(diagEngine_.handlerDepth() == 0,
+               "Context::reset with a diagnostic handler still installed");
+    // Same teardown order as ~Context: registered destructors first
+    // (interned storage with heap members), then every structure whose
+    // keys or values point into arena memory, then the arena rewind.
+    for (auto it = arenaDtors_.rbegin(); it != arenaDtors_.rend(); ++it)
+        it->first(it->second);
+    arenaDtors_.clear();
+    typePool_.clear();
+    attrPool_.clear();
+    attrNames_.clear();
+    attrNameIds_.clear();
+    keyScratch_.clear();
+    keyScratch_.shrink_to_fit();
+    listener_ = nullptr;
+    diagEngine_.reset();
+    arena_.reset();
+    // The op registry and loaded-dialect marks survive (OpIds are
+    // process-stable and the hooks are stateless), so a recycled
+    // context needs no dialect re-registration. Re-intern the
+    // well-known attribute names in the canonical order.
+    for (const char *name : attrs::kWellKnownNames)
+        internAttrName(name);
+}
+
 Context::~Context()
 {
     // Interned storage is arena-placed and never individually freed; run

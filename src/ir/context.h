@@ -243,6 +243,24 @@ class Context
     Arena &arena() { return arena_; }
 
     /**
+     * Recycle this context for its next compile: drops every interned
+     * type/attribute/attr-name, the diagnostic state and the arena
+     * contents wholesale — without releasing the arena's pages — so a
+     * pooled context (service/context_pool.h) serves repeat compiles
+     * with zero page re-faulting and plateaued memory.
+     *
+     * What survives a reset: the op registry, the loaded-dialect marks
+     * (dialects register process-stable OpIds and stateless hooks, so
+     * re-registration is unnecessary) and the arena's pages.
+     *
+     * Contract: every IR object built in this context (all OwningOp
+     * modules, detached ops, printers holding Values) must already be
+     * destroyed, and no diagnostic handler may still be installed —
+     * the arena rewind invalidates all of it at once.
+     */
+    void reset();
+
+    /**
      * Raw arena bytes for objects with explicitly managed lifetime
      * (Operation/Block teardown runs destructors itself and then calls
      * deallocateBytes to recycle the block).
@@ -327,6 +345,19 @@ class Context
      * capture their own diagnostic streams without synchronization.
      */
     DiagnosticEngine &diagnostics() { return diagEngine_; }
+
+    /** Sizes of the intern pools (reset-plateau tests, telemetry). */
+    struct InternStats
+    {
+        size_t types = 0;
+        size_t attrs = 0;
+        size_t attrNames = 0;
+    };
+    InternStats
+    internStats() const
+    {
+        return {typePool_.size(), attrPool_.size(), attrNames_.size()};
+    }
 
   private:
     /**

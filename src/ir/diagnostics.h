@@ -157,6 +157,17 @@ class DiagnosticEngine
     /** Errors reported through this engine since construction. */
     uint64_t errorCount() const { return errorCount_; }
 
+    /**
+     * Forget all counters (context recycling). Legal only with no
+     * handler installed; Context::reset asserts that before calling.
+     */
+    void
+    reset()
+    {
+        handlers_.clear();
+        errorCount_ = 0;
+    }
+
   private:
     std::vector<Handler> handlers_;
     uint64_t errorCount_ = 0;

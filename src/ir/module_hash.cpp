@@ -1,0 +1,212 @@
+#include "ir/module_hash.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/attributes.h"
+#include "ir/operation.h"
+#include "ir/types.h"
+
+namespace wsc::ir {
+
+namespace {
+
+/** Fibonacci-hashed splitmix64 step; the standard 64-bit finalizer. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+uint64_t
+hashBytes(uint64_t h, const void *data, size_t n)
+{
+    // FNV-1a over the bytes, folded through mix64 at the end so short
+    // strings still diffuse into all 64 bits.
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < n; ++i)
+        h = (h ^ p[i]) * 0x100000001b3ULL;
+    return mix64(h);
+}
+
+/**
+ * One fingerprinting pass. Uniqued attr/type storage is content-hashed
+ * once and memoized by pointer; SSA values get dense numbers in the
+ * order they are first seen (definition always precedes use in a walk,
+ * so the numbering is the classic SSA value numbering).
+ */
+class Fingerprinter
+{
+  public:
+    ModuleFingerprint
+    run(Operation *root)
+    {
+        lo_ = 0x77736373766331ULL; // distinct lane seeds
+        hi_ = 0x636f6e74656e74ULL;
+        hashOp(root);
+        return {mix64(lo_), mix64(hi_)};
+    }
+
+  private:
+    void
+    feed(uint64_t v)
+    {
+        lo_ = mix64(lo_ ^ v);
+        hi_ = mix64(hi_ ^ (v * 0xda942042e4dd58b5ULL));
+    }
+
+    void
+    feedStr(const std::string &s)
+    {
+        feed(hashBytes(0xcbf29ce484222325ULL, s.data(), s.size()));
+    }
+
+    uint64_t
+    hashType(const TypeStorage *t)
+    {
+        if (!t)
+            return 0x7479706530ULL;
+        auto it = typeMemo_.find(t);
+        if (it != typeMemo_.end())
+            return it->second;
+        uint64_t h = hashBytes(0x74ULL, t->kind.data(), t->kind.size());
+        for (int64_t v : t->ints)
+            h = mix64(h ^ static_cast<uint64_t>(v));
+        for (const TypeStorage *nested : t->types)
+            h = mix64(h ^ hashType(nested));
+        for (const std::string &s : t->strs)
+            h = hashBytes(h, s.data(), s.size());
+        typeMemo_.emplace(t, h);
+        return h;
+    }
+
+    uint64_t
+    hashAttr(const AttrStorage *a)
+    {
+        if (!a)
+            return 0x6174747230ULL;
+        auto it = attrMemo_.find(a);
+        if (it != attrMemo_.end())
+            return it->second;
+        uint64_t h = hashBytes(0x61ULL, a->kind.data(), a->kind.size());
+        h = mix64(h ^ static_cast<uint64_t>(a->i));
+        uint64_t fbits;
+        static_assert(sizeof(fbits) == sizeof(a->f));
+        std::memcpy(&fbits, &a->f, sizeof(fbits));
+        h = mix64(h ^ fbits);
+        h = hashBytes(h, a->s.data(), a->s.size());
+        h = mix64(h ^ hashType(a->type.impl()));
+        for (const AttrStorage *e : a->elems)
+            h = mix64(h ^ hashAttr(e));
+        for (const std::string &k : a->keys)
+            h = hashBytes(h, k.data(), k.size());
+        for (double v : a->values) {
+            uint64_t bits;
+            std::memcpy(&bits, &v, sizeof(bits));
+            h = mix64(h ^ bits);
+        }
+        attrMemo_.emplace(a, h);
+        return h;
+    }
+
+    uint64_t
+    valueNumber(const Value &v)
+    {
+        auto [it, inserted] =
+            valueIds_.emplace(v.impl(), valueIds_.size());
+        (void)inserted;
+        return it->second;
+    }
+
+    void
+    hashOp(Operation *op)
+    {
+        feed(0x6f70ULL); // op marker
+        feedStr(op->name());
+
+        // Attributes sorted by *spelling*, not by per-context dense id:
+        // the dense order depends on the context's full interning
+        // history, which differs between pooled contexts with different
+        // pasts. Ops carry a handful of attrs, so the sort is cheap.
+        const StoredAttrList &attrs = op->attrs();
+        sortScratch_.clear();
+        for (const StoredAttr &sa : attrs)
+            sortScratch_.push_back(&sa);
+        std::sort(sortScratch_.begin(), sortScratch_.end(),
+                  [op](const StoredAttr *a, const StoredAttr *b) {
+                      return op->attrKeyName(a->name) <
+                             op->attrKeyName(b->name);
+                  });
+        feed(attrs.size());
+        for (const StoredAttr *sa : sortScratch_) {
+            feedStr(op->attrKeyName(sa->name));
+            feed(hashAttr(sa->value.impl()));
+        }
+
+        feed(op->numOperands());
+        for (const Value &operand : op->operands()) {
+            feed(valueNumber(operand));
+            feed(hashType(operand.type().impl()));
+        }
+
+        feed(op->numResults());
+        for (unsigned i = 0; i < op->numResults(); ++i) {
+            Value r = op->result(i);
+            feed(valueNumber(r));
+            feed(hashType(r.type().impl()));
+        }
+
+        feed(op->numRegions());
+        for (unsigned ri = 0; ri < op->numRegions(); ++ri) {
+            Region &region = op->region(ri);
+            feed(0x726567ULL); // region marker
+            feed(region.size());
+            for (Block *block : region.blocks()) {
+                feed(0x626c6bULL); // block marker
+                feed(block->numArguments());
+                for (unsigned ai = 0; ai < block->numArguments(); ++ai) {
+                    Value arg = block->argument(ai);
+                    feed(valueNumber(arg));
+                    feed(hashType(arg.type().impl()));
+                }
+                for (Operation *nested : block->operations())
+                    hashOp(nested);
+                feed(0x656e64ULL); // block end
+            }
+        }
+    }
+
+    uint64_t lo_ = 0;
+    uint64_t hi_ = 0;
+    std::unordered_map<const TypeStorage *, uint64_t> typeMemo_;
+    std::unordered_map<const AttrStorage *, uint64_t> attrMemo_;
+    std::unordered_map<const ValueImpl *, uint64_t> valueIds_;
+    std::vector<const StoredAttr *> sortScratch_;
+};
+
+} // namespace
+
+std::string
+ModuleFingerprint::str() const
+{
+    char buf[33];
+    std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                  static_cast<unsigned long long>(hi),
+                  static_cast<unsigned long long>(lo));
+    return buf;
+}
+
+ModuleFingerprint
+fingerprintModule(Operation *root)
+{
+    Fingerprinter fp;
+    return fp.run(root);
+}
+
+} // namespace wsc::ir

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Structural fingerprinting of IR modules — the content-addressing key
+ * of the compile service's artifact cache (src/service/artifact_cache.h).
+ *
+ * The fingerprint is computed over the module's *content*, not its
+ * memory: op names by spelling, attributes and types by recursive
+ * content (memoized per uniqued storage pointer), SSA structure by a
+ * deterministic value numbering assigned in walk order. Two modules
+ * built from the same input therefore fingerprint identically even when
+ * they live in different contexts (whose intern pools assigned different
+ * dense ids and arena addresses) — which is exactly what lets a pool of
+ * recycled per-job contexts share one content-addressed cache.
+ *
+ * The 128-bit width keeps accidental collisions out of reach for any
+ * realistic cache population; the two lanes are independently seeded
+ * mixes over the same byte stream.
+ */
+
+#ifndef WSC_IR_MODULE_HASH_H
+#define WSC_IR_MODULE_HASH_H
+
+#include <cstdint>
+#include <string>
+
+namespace wsc::ir {
+
+class Operation;
+
+/** 128-bit structural module hash (two independently seeded lanes). */
+struct ModuleFingerprint
+{
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+
+    bool operator==(const ModuleFingerprint &) const = default;
+
+    /** 32 hex digits, for logs and cache keys in reports. */
+    std::string str() const;
+};
+
+/**
+ * Fingerprint `root` (any op, typically the builtin.module a frontend
+ * emitted). Read-only; does not touch the context's intern pools.
+ */
+ModuleFingerprint fingerprintModule(Operation *root);
+
+} // namespace wsc::ir
+
+#endif // WSC_IR_MODULE_HASH_H

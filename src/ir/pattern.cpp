@@ -1,6 +1,7 @@
 #include "ir/pattern.h"
 
 #include <algorithm>
+#include <mutex>
 #include <ostream>
 #include <unordered_set>
 
@@ -12,12 +13,24 @@ namespace wsc::ir {
 
 namespace {
 
-/** Global accumulator behind patternStats() (single-threaded drivers). */
+/**
+ * Global accumulator behind patternStats(). Drivers are per-context
+ * and single-threaded, but the compile service runs one driver per
+ * worker concurrently, and they all merge here — so every access to
+ * the store takes this mutex.
+ */
 std::map<std::string, PatternStat> &
 patternStatsStore()
 {
     static std::map<std::string, PatternStat> stats;
     return stats;
+}
+
+std::mutex &
+patternStatsMutex()
+{
+    static std::mutex mu;
+    return mu;
 }
 
 /**
@@ -187,14 +200,19 @@ patternStats()
 void
 resetPatternStats()
 {
+    std::lock_guard<std::mutex> lock(patternStatsMutex());
     patternStatsStore().clear();
 }
 
 void
 dumpPatternStats(std::ostream &os)
 {
-    std::vector<std::pair<std::string, PatternStat>> rows(
-        patternStatsStore().begin(), patternStatsStore().end());
+    std::vector<std::pair<std::string, PatternStat>> rows;
+    {
+        std::lock_guard<std::mutex> lock(patternStatsMutex());
+        rows.assign(patternStatsStore().begin(),
+                    patternStatsStore().end());
+    }
     std::sort(rows.begin(), rows.end(),
               [](const auto &a, const auto &b) {
                   uint64_t ta = a.second.hits + a.second.misses;
@@ -234,6 +252,7 @@ applyPatternsGreedily(Operation *root,
         const std::vector<PatternStat> &counts;
         ~MergeGuard()
         {
+            std::lock_guard<std::mutex> lock(patternStatsMutex());
             std::map<std::string, PatternStat> &stats =
                 patternStatsStore();
             for (size_t p = 0; p < patterns.size(); ++p) {

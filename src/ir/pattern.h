@@ -55,8 +55,11 @@ struct PatternStat
 
 /**
  * Accumulated per-pattern counters since the last resetPatternStats().
- * The driver counts into a local table and merges once per run, so the
- * rewrite loop stays free of string lookups.
+ * The driver counts into a local table and merges once per run (under
+ * an internal mutex — concurrent compile-service jobs merge safely),
+ * so the rewrite loop stays free of string lookups. The returned
+ * reference is unsynchronized: read it only while no driver is
+ * running; concurrency-safe reporting goes through dumpPatternStats.
  */
 const std::map<std::string, PatternStat> &patternStats();
 void resetPatternStats();

@@ -1,0 +1,106 @@
+#include "service/artifact_cache.h"
+
+#include <algorithm>
+#include <mutex>
+
+namespace wsc::service {
+
+ArtifactCache::ArtifactCache(size_t capacity)
+{
+    capacity = std::max<size_t>(capacity, 1);
+    size_t shardCount = std::min<size_t>(8, capacity);
+    shards_.reserve(shardCount);
+    for (size_t i = 0; i < shardCount; ++i) {
+        auto shard = std::make_unique<Shard>();
+        // Distribute the bound; the first (capacity % shardCount)
+        // shards take the remainder so the shard capacities sum to
+        // exactly `capacity`.
+        shard->capacity =
+            capacity / shardCount + (i < capacity % shardCount ? 1 : 0);
+        shards_.push_back(std::move(shard));
+    }
+}
+
+ArtifactCache::Shard &
+ArtifactCache::shardFor(const CacheKey &key)
+{
+    return *shards_[KeyHash{}(key) % shards_.size()];
+}
+
+std::shared_ptr<const CompileArtifact>
+ArtifactCache::lookup(const CacheKey &key)
+{
+    Shard &shard = shardFor(key);
+    uint64_t now = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return nullptr;
+    }
+    it->second->lastUsed.store(now, std::memory_order_relaxed);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second->artifact;
+}
+
+void
+ArtifactCache::insert(const CacheKey &key,
+                      std::shared_ptr<const CompileArtifact> artifact)
+{
+    Shard &shard = shardFor(key);
+    uint64_t now = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+        // Concurrent miss on the same key: both workers built the same
+        // content; keep the newer pointer, no eviction needed.
+        it->second->artifact = std::move(artifact);
+        it->second->lastUsed.store(now, std::memory_order_relaxed);
+        return;
+    }
+    if (shard.map.size() >= shard.capacity) {
+        // Evict the stalest entry of this shard. Shards hold at most a
+        // few hundred entries, so the scan is cheap next to a compile.
+        auto victim = shard.map.begin();
+        uint64_t oldest = victim->second->lastUsed.load(
+            std::memory_order_relaxed);
+        for (auto cand = shard.map.begin(); cand != shard.map.end();
+             ++cand) {
+            uint64_t used =
+                cand->second->lastUsed.load(std::memory_order_relaxed);
+            if (used < oldest) {
+                oldest = used;
+                victim = cand;
+            }
+        }
+        shard.map.erase(victim);
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    shard.map.emplace(key,
+                      std::make_unique<Entry>(std::move(artifact), now));
+    insertions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+size_t
+ArtifactCache::size() const
+{
+    size_t n = 0;
+    for (const auto &shard : shards_) {
+        std::shared_lock<std::shared_mutex> lock(shard->mu);
+        n += shard->map.size();
+    }
+    return n;
+}
+
+CacheStats
+ArtifactCache::stats() const
+{
+    CacheStats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.insertions = insertions_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
+    return s;
+}
+
+} // namespace wsc::service

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Ready-made CompileRequests for the five paper workloads and for raw
+ * Fortran sources — the request vocabulary shared by the service tests,
+ * the throughput benchmark and the example driver.
+ */
+
+#ifndef WSC_SERVICE_WORKLOAD_REQUESTS_H
+#define WSC_SERVICE_WORKLOAD_REQUESTS_H
+
+#include <string>
+#include <vector>
+
+#include "frontends/benchmarks.h"
+#include "frontends/fortran_frontend.h"
+#include "service/compile_service.h"
+
+namespace wsc::service {
+
+/**
+ * Request compiling `bench` (the symbolic frontend re-emits its Program
+ * in the job's context). With `simulate`, the job also runs the
+ * compiled program on an nx x ny fabric with the benchmark's initial
+ * conditions and records the final cycle in the artifact.
+ */
+CompileRequest benchmarkRequest(const fe::Benchmark &bench,
+                                bool simulate = false, int nx = 0,
+                                int ny = 0);
+
+/**
+ * Request parsing Fortran-style source through the checked frontend.
+ * Malformed source fails the job with the frontend's located
+ * "fortran:line:col" diagnostic — it never throws out of the worker.
+ */
+CompileRequest fortranRequest(std::string name, std::string source,
+                              fe::FortranKernelConfig config);
+
+/**
+ * All five paper workloads (Jacobian, diffusion, acoustic, seismic,
+ * UVKBE) at an nx x ny grid with reduced z extents and `steps`
+ * timesteps — the standard service test/bench mix.
+ */
+std::vector<CompileRequest> allWorkloadRequests(int64_t nx, int64_t ny,
+                                                int64_t steps,
+                                                bool simulate = false);
+
+} // namespace wsc::service
+
+#endif // WSC_SERVICE_WORKLOAD_REQUESTS_H

@@ -19,6 +19,28 @@
 
 namespace wsc::transforms {
 
+uint64_t
+PipelineOptions::fingerprint() const
+{
+    // splitmix64 chain over the artifact-relevant fields; field order
+    // is the schema, so appending new options keeps old hashes stable.
+    auto mix = [](uint64_t x) {
+        x += 0x9e3779b97f4a7c15ULL;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+        return x ^ (x >> 31);
+    };
+    uint64_t h = 0x706970656f707473ULL; // "pipeopts"
+    h = mix(h ^ (enableStencilInlining ? 1 : 0));
+    h = mix(h ^ (enableVarithFusion ? 1 : 0));
+    h = mix(h ^ (enableCoeffPromotion ? 1 : 0));
+    h = mix(h ^ (enableOneShotReduction ? 1 : 0));
+    h = mix(h ^ (enableFmacFusion ? 1 : 0));
+    h = mix(h ^ static_cast<uint64_t>(recvBufferBudgetBytes));
+    h = mix(h ^ static_cast<uint64_t>(forceNumChunks));
+    return h;
+}
+
 ir::PassManager
 buildPipeline(const PipelineOptions &options)
 {

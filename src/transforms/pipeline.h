@@ -34,6 +34,16 @@ struct PipelineOptions
      * WSC_PATTERN_STATS environment variable).
      */
     bool dumpPatternStats = false;
+
+    /**
+     * Stable hash over every option that can change the emitted
+     * artifact. Folded into the compile service's cache key alongside
+     * the module fingerprint (ir/module_hash.h) so two requests for the
+     * same module under different ablation toggles or chunking budgets
+     * never collide. Observability-only knobs (verifyEach,
+     * dumpPatternStats) are deliberately excluded.
+     */
+    uint64_t fingerprint() const;
 };
 
 /** Build the full stencil-to-csl pipeline. */
