@@ -1,0 +1,120 @@
+#include "interp/interp_profile.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace wsc::interp {
+
+namespace {
+
+const char *const kOpcodeNames[] = {
+#define WSC_INTERP_NAME(name) #name,
+    WSC_INTERP_OPCODE_LIST(WSC_INTERP_NAME)
+#undef WSC_INTERP_NAME
+};
+
+} // namespace
+
+const char *
+opcodeName(Opcode op)
+{
+    return kOpcodeNames[static_cast<size_t>(op)];
+}
+
+bool
+opcodeFromName(std::string_view name, Opcode &out)
+{
+    for (size_t i = 0; i < kNumOpcodes; ++i) {
+        if (name == kOpcodeNames[i]) {
+            out = static_cast<Opcode>(i);
+            return true;
+        }
+    }
+    return false;
+}
+
+uint64_t
+InterpProfile::total() const
+{
+    uint64_t sum = 0;
+    for (size_t i = 0; i < kNumOpcodes; ++i)
+        sum += opTotal(static_cast<Opcode>(i));
+    return sum;
+}
+
+void
+InterpProfile::dump(std::ostream &os) const
+{
+    os << "=== csl interpreter opcode histogram ("
+       << total() << " executed) ===\n";
+    std::vector<std::pair<uint64_t, size_t>> ops;
+    for (size_t i = 0; i < kNumOpcodes; ++i)
+        if (uint64_t n = opTotal(static_cast<Opcode>(i)))
+            ops.emplace_back(n, i);
+    std::sort(ops.rbegin(), ops.rend());
+    for (const auto &[n, i] : ops)
+        os << "  " << std::left << std::setw(24)
+           << kOpcodeNames[i] << std::right << std::setw(12) << n
+           << "\n";
+
+    os << "=== hot opcode pairs (intra-body adjacency) ===\n";
+    std::vector<std::pair<uint64_t, std::pair<size_t, size_t>>> pairs;
+    for (size_t a = 0; a < kNumOpcodes; ++a)
+        for (size_t b = 0; b < kNumOpcodes; ++b)
+            if (uint64_t n = pairTotal(static_cast<Opcode>(a),
+                                       static_cast<Opcode>(b)))
+                pairs.push_back({n, {a, b}});
+    std::sort(pairs.rbegin(), pairs.rend());
+    size_t shown = 0;
+    for (const auto &[n, ab] : pairs) {
+        if (shown++ == 20)
+            break;
+        std::string pair = std::string(kOpcodeNames[ab.first]) + "+" +
+                           kOpcodeNames[ab.second];
+        os << "  " << std::left << std::setw(40) << pair << std::right
+           << std::setw(12) << n << "\n";
+    }
+}
+
+void
+InterpProfile::writeProfile(std::ostream &os) const
+{
+    os << "# wsc csl-interpreter opcode-pair profile v1\n";
+    for (size_t a = 0; a < kNumOpcodes; ++a)
+        for (size_t b = 0; b < kNumOpcodes; ++b)
+            if (uint64_t n = pairTotal(static_cast<Opcode>(a),
+                                       static_cast<Opcode>(b)))
+                os << "pair " << kOpcodeNames[a] << " "
+                   << kOpcodeNames[b] << " " << n << "\n";
+}
+
+bool
+readProfile(std::istream &is, std::vector<ProfiledPair> &out)
+{
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream fields(line);
+        std::string tag, first, second;
+        uint64_t count = 0;
+        if (!(fields >> tag >> first >> second >> count))
+            return false;
+        if (tag != "pair")
+            return false;
+        ProfiledPair pair;
+        // Names from older/newer opcode sets are skipped, not errors.
+        if (!opcodeFromName(first, pair.first) ||
+            !opcodeFromName(second, pair.second))
+            continue;
+        pair.count = count;
+        if (count > 0)
+            out.push_back(pair);
+    }
+    return true;
+}
+
+} // namespace wsc::interp

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Opcode and opcode-pair execution profile for the csl-ir interpreter.
+ *
+ * Collection is the interpreter's counting dispatch variant, enabled by
+ * `WSC_INTERP_STATS=1` (or InterpTuning::collectStats): every executed
+ * instruction bumps its per-opcode counter and, within a body, the
+ * (previous, current) pair counter. Pairs are intra-body only — exactly
+ * the adjacencies the superinstruction fusion pass can act on — so a
+ * dump doubles as the input of the PGO loop: capture with fusion off,
+ * feed the file back through `WSC_INTERP_PROFILE` and configure() fuses
+ * precisely the pairs the profile saw (see docs/architecture.md §8).
+ *
+ * Counters are relaxed atomics: shard worker threads increment
+ * concurrently, and profile runs only need totals, not ordering.
+ */
+
+#ifndef WSC_INTERP_INTERP_PROFILE_H
+#define WSC_INTERP_INTERP_PROFILE_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <utility>
+#include <vector>
+
+#include "interp/interp_opcodes.h"
+
+namespace wsc::interp {
+
+/** Aggregated execution counts of one CslProgramInstance. */
+class InterpProfile
+{
+  public:
+    /** Sentinel "no previous opcode" (body entry). */
+    static constexpr uint8_t kNoPrev = static_cast<uint8_t>(kNumOpcodes);
+
+    /** Count one executed instruction following `prev` (kNoPrev at body
+     *  entry skips the pair counter). Hot only in stats runs. */
+    void
+    note(uint8_t prev, Opcode op)
+    {
+        size_t cur = static_cast<size_t>(op);
+        opCount_[cur].fetch_add(1, std::memory_order_relaxed);
+        if (prev != kNoPrev)
+            pairCount_[static_cast<size_t>(prev) * kNumOpcodes + cur]
+                .fetch_add(1, std::memory_order_relaxed);
+    }
+
+    uint64_t
+    opTotal(Opcode op) const
+    {
+        return opCount_[static_cast<size_t>(op)].load(
+            std::memory_order_relaxed);
+    }
+
+    uint64_t
+    pairTotal(Opcode a, Opcode b) const
+    {
+        return pairCount_[static_cast<size_t>(a) * kNumOpcodes +
+                          static_cast<size_t>(b)]
+            .load(std::memory_order_relaxed);
+    }
+
+    /** All executed instructions. */
+    uint64_t total() const;
+
+    /** Human-readable histogram: per-opcode counts and the hottest
+     *  pairs, sorted by traffic. */
+    void dump(std::ostream &os) const;
+
+    /** Machine-readable pair profile (the PGO artifact): one
+     *  `pair <first> <second> <count>` line per non-zero pair. */
+    void writeProfile(std::ostream &os) const;
+
+  private:
+    std::array<std::atomic<uint64_t>, kNumOpcodes> opCount_{};
+    std::array<std::atomic<uint64_t>, kNumOpcodes * kNumOpcodes>
+        pairCount_{};
+};
+
+/** One (first, second) pair read back from a profile file. */
+struct ProfiledPair
+{
+    Opcode first;
+    Opcode second;
+    uint64_t count;
+};
+
+/**
+ * Parse a writeProfile() artifact. Unknown opcode names are skipped
+ * (profiles survive opcode-set evolution); a malformed line aborts the
+ * parse and returns false. An empty result with `true` is a valid
+ * profile that saw no pairs.
+ */
+bool readProfile(std::istream &is, std::vector<ProfiledPair> &out);
+
+} // namespace wsc::interp
+
+#endif // WSC_INTERP_INTERP_PROFILE_H

@@ -193,6 +193,50 @@ StoredAttrList::destroy(Context &ctx)
 }
 
 //===----------------------------------------------------------------------===
+// ArgList
+//===----------------------------------------------------------------------===
+
+void
+ArgList::grow(Context &ctx)
+{
+    size_t newCap = cap_ ? size_t{cap_} * 2 : 2;
+    auto **data = static_cast<ValueImpl **>(
+        ctx.allocateBytes(newCap * sizeof(ValueImpl *)));
+    for (uint32_t i = 0; i < size_; ++i)
+        data[i] = data_[i];
+    if (data_)
+        ctx.deallocateBytes(data_, cap_ * sizeof(ValueImpl *));
+    data_ = data;
+    cap_ = static_cast<uint32_t>(newCap);
+}
+
+void
+ArgList::push_back(Context &ctx, ValueImpl *v)
+{
+    if (size_ == cap_)
+        grow(ctx);
+    data_[size_++] = v;
+}
+
+void
+ArgList::eraseAt(size_t pos)
+{
+    for (size_t i = pos; i + 1 < size_; ++i)
+        data_[i] = data_[i + 1];
+    --size_;
+}
+
+void
+ArgList::destroy(Context &ctx)
+{
+    if (data_)
+        ctx.deallocateBytes(data_, cap_ * sizeof(ValueImpl *));
+    data_ = nullptr;
+    size_ = 0;
+    cap_ = 0;
+}
+
+//===----------------------------------------------------------------------===
 // Operation
 //===----------------------------------------------------------------------===
 
@@ -659,7 +703,7 @@ Block::~Block()
         impl->~ValueImpl();
         ctx.deallocateBytes(impl, sizeof(ValueImpl));
     }
-    args_.clear();
+    args_.destroy(ctx);
 }
 
 void
@@ -718,7 +762,7 @@ Block::addArgument(Type type)
     impl->type = type;
     impl->ownerBlock = this;
     impl->index = static_cast<unsigned>(args_.size());
-    args_.push_back(impl);
+    args_.push_back(ctx, impl);
     return Value(impl);
 }
 
@@ -747,7 +791,7 @@ Block::eraseArgument(unsigned i)
                "eraseArgument on argument with live uses");
     Context &ctx = parent_->parentOp()->context();
     ValueImpl *impl = args_[i];
-    args_.erase(args_.begin() + i);
+    args_.eraseAt(i);
     impl->~ValueImpl();
     ctx.deallocateBytes(impl, sizeof(ValueImpl));
     for (unsigned j = i; j < args_.size(); ++j)

@@ -504,6 +504,46 @@ OpList::back() const
     return *tail_;
 }
 
+/**
+ * Arena-backed list of block-argument ValueImpl pointers (the
+ * StoredAttrList idiom: capacity doubles from 2 inside the owning
+ * context's arena, storage recycles through the free lists). Replaces
+ * the former heap std::vector — the last per-op heap allocation on the
+ * IR-construction path (Block::addArgument). Only Block mutates it.
+ */
+class ArgList
+{
+  public:
+    using const_iterator = ValueImpl *const *;
+
+    ArgList() = default;
+    ArgList(const ArgList &) = delete;
+    ArgList &operator=(const ArgList &) = delete;
+
+    const_iterator begin() const { return data_; }
+    const_iterator end() const { return data_ + size_; }
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    ValueImpl *operator[](size_t i) const { return data_[i]; }
+
+  private:
+    friend class Block;
+
+    /// @name Mutation (Block-internal)
+    /// @{
+    void push_back(Context &ctx, ValueImpl *v);
+    void eraseAt(size_t pos);
+    /** Return the storage to the context's free lists. */
+    void destroy(Context &ctx);
+    /// @}
+
+    void grow(Context &ctx);
+
+    ValueImpl **data_ = nullptr;
+    uint32_t size_ = 0;
+    uint32_t cap_ = 0;
+};
+
 /** A straight-line sequence of operations with block arguments. */
 class Block
 {
@@ -518,7 +558,10 @@ class Block
     /// @{
     Value addArgument(Type type);
     Value argument(unsigned i) const;
-    unsigned numArguments() const { return args_.size(); }
+    unsigned numArguments() const
+    {
+        return static_cast<unsigned>(args_.size());
+    }
     std::vector<Value> arguments() const;
     void eraseArgument(unsigned i);
     /// @}
@@ -563,10 +606,10 @@ class Block
     Region *parent_ = nullptr;
     // args_ must outlive ops_ during destruction (ops may use them): the
     // destructor destroys the ops explicitly before args_ is torn down.
-    // Argument ValueImpls live in the context arena (placement-new in
-    // addArgument, recycled through the free lists on erase/destroy) —
-    // no per-argument heap allocation.
-    std::vector<ValueImpl *> args_;
+    // Argument ValueImpls AND the pointer list itself live in the
+    // context arena (placement-new in addArgument, recycled through the
+    // free lists on erase/destroy) — no per-argument heap allocation.
+    ArgList args_;
     OpList ops_;
 };
 

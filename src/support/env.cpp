@@ -26,4 +26,11 @@ envU64(const char *name, uint64_t fallback)
     return static_cast<uint64_t>(parsed);
 }
 
+std::string
+envStr(const char *name)
+{
+    const char *v = std::getenv(name);
+    return v == nullptr ? std::string() : std::string(v);
+}
+
 } // namespace wsc

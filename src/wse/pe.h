@@ -175,6 +175,14 @@ class Pe
         checkScalar(id);
         return scalars_[static_cast<size_t>(id.index)];
     }
+    /** Unchecked O(1) access for handles pre-validated at configure
+     *  time (the interpreter's tier-3 contract): no validity branch on
+     *  the per-instruction path. */
+    double &
+    scalarUnchecked(ScalarId id)
+    {
+        return scalars_[static_cast<size_t>(id.index)];
+    }
     double &scalar(const std::string &name) { return scalar(scalarId(name)); }
     bool hasScalar(const std::string &name) const
     {
