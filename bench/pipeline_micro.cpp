@@ -149,6 +149,58 @@ BENCHMARK(BM_ShardedTimestep)
     ->Unit(benchmark::kMillisecond);
 
 void
+BM_ShardedTimestep2D(benchmark::State &state)
+{
+    // The paper-scale trajectory bench: a 96x96 acoustic grid under
+    // different shard tilings and scheduler policies. Args:
+    // (rows, cols, threads, adaptive). Row 0/0 encodes the sequential
+    // baseline. Results are bit-identical across every row (pinned by
+    // ShardedScale.Acoustic96Grid); on a 1-core container the parallel
+    // rows mainly price the window/steal machinery, and the adaptive
+    // rows show the barrier-collapse win.
+    const int rows = static_cast<int>(state.range(0));
+    const int cols = static_cast<int>(state.range(1));
+    const int threads = static_cast<int>(state.range(2));
+    const bool adaptive = state.range(3) != 0;
+    fe::Benchmark bench = fe::makeAcoustic(96, 96, 2, 8);
+    ir::Context ctx;
+    dialects::registerAllDialects(ctx);
+    ir::OwningOp module = bench.program.emit(ctx);
+    transforms::runPipeline(module.get());
+    uint64_t windows = 0;
+    for (auto _ : state) {
+        wse::SimOptions options{threads};
+        options.shardGrid = {rows, cols};
+        options.adaptiveWindow = adaptive;
+        wse::Simulator sim(wse::ArchParams::wse3(), 96, 96, options);
+        interp::CslProgramInstance instance(sim, module.get());
+        auto init = bench.init;
+        instance.setFieldInit("p", [init](int x, int y, int z) {
+            return init(0, x, y, z);
+        });
+        instance.configure();
+        instance.launch();
+        sim.run(4000000000ULL);
+        benchmark::DoNotOptimize(sim.now());
+        windows = sim.telemetry().windows;
+    }
+    state.SetLabel(rows == 0 ? "acoustic 96x96 sequential"
+                             : "acoustic 96x96 tiled");
+    state.counters["shard_rows"] = rows;
+    state.counters["shard_cols"] = cols;
+    state.counters["sim_threads"] = threads;
+    state.counters["adaptive"] = adaptive ? 1 : 0;
+    state.counters["windows"] = static_cast<double>(windows);
+}
+BENCHMARK(BM_ShardedTimestep2D)
+    ->Args({0, 0, 1, 1})  // sequential baseline
+    ->Args({1, 4, 4, 1})  // 1-D strips
+    ->Args({2, 2, 4, 1})  // square tiles
+    ->Args({2, 2, 4, 0})  // square tiles, fixed one-hop windows
+    ->Args({4, 4, 4, 1})  // over-decomposed: stealing active
+    ->Unit(benchmark::kMillisecond);
+
+void
 BM_InterpDispatch(benchmark::State &state)
 {
     // Interpreter dispatch microbench: one simulated workload executed

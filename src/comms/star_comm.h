@@ -235,8 +235,8 @@ class StarComm
     /// @name Exchange watchdog (wse/fault.h)
     /// Armed per exchange when SimOptions::exchangeTimeoutCycles > 0.
     /// Timers are events owned by the waiting PE, so they replay
-    /// identically at any thread count; a timer that fires after its
-    /// exchange completed is stale and does nothing.
+    /// identically at any thread count and shard tiling; a timer that
+    /// fires after its exchange completed is stale and does nothing.
     /// @{
     /** Arm attempt `attempt`'s deadline, `timeout << attempt` cycles
      *  after `from` (exponential backoff). */

@@ -574,8 +574,9 @@ CslProgramInstance::configure()
     WSC_ASSERT(!configured_, "configure called twice");
     // The reference evaluator probes IR attributes at run time; the IR
     // context is not safe to touch from shard worker threads.
-    WSC_ASSERT(!referenceMode_ || sim_.threads() == 1,
-               "reference mode requires a single-threaded simulator");
+    WSC_ASSERT(!referenceMode_ || sim_.shardCount() == 1,
+               "reference mode requires the sequential (single-shard) "
+               "simulator");
     configured_ = true;
 
     // Deadlock introspection: after launch(), any PE that has not

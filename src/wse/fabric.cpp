@@ -248,8 +248,11 @@ Fabric::sendStream(int x, int y, Direction dir, uint32_t deliverMask,
         size_t li = linkIndex(x, y, dir);
         bool dropPayload = false;
         if (payloadFaultsEnabled_) {
-            // The injection ordinal is counted by the sender-owned call,
-            // so which stream a fault hits is thread-count independent.
+            // The injection ordinal is counted by the sender-owned
+            // call, so which stream a fault hits is independent of the
+            // thread count AND of the shard tiling — per-link send
+            // order is fixed by the deterministic event key, not by
+            // which shard the link lands in.
             uint64_t nth = linkStreamCount_[li]++;
             for (const PayloadFaultEntry &f : payloadFaultsOfLink_[li]) {
                 if (f.nthStream != nth)

@@ -8,10 +8,13 @@
  * at router h fires when the stream head arrives there, performs the
  * local ramp delivery (when h is a delivery hop) and reserves the next
  * outgoing link. Because each hop's link and the receiving PE's work
- * timeline belong to that router's own column, every mutation a segment
- * performs is local to the shard executing it, and a segment crossing a
- * shard boundary always lies at least one hop latency in the future —
- * the conservative-window guarantee the sharded simulator relies on.
+ * timeline belong to that router's own PE, every mutation a segment
+ * performs is local to the shard tile executing it, and a segment
+ * crossing a tile boundary (E/W or N/S) always lies at least one hop
+ * latency in the future. Segments advance one grid hop at a time, so an
+ * event k hops inside a tile cannot reach a foreign shard for at least
+ * k hop latencies — the conservative-window guarantee (fixed and
+ * adaptive) the sharded simulator relies on.
  *
  * Payloads are carried by reference-counted PayloadRef handles into the
  * sending shard's recycled ring (wse/payload.h): one chunk fanned out in
@@ -179,7 +182,7 @@ class Fabric
     Simulator &sim_;
     /** Dense per-link next-free-cycle table, sized width*height*4 at
      *  construction. Each link is only ever touched by events owned by
-     *  its own PE, so entries are shard-partitioned by column. */
+     *  its own PE, so entries are shard-partitioned by tile. */
     std::vector<Cycles> linkFree_;
 
     /// @name Fault injection (wse/fault.h)

@@ -114,8 +114,11 @@ class PayloadRef
 
 /**
  * Per-shard ring of payload slots. acquire() is called only by the
- * owning shard's thread (single consumer); releases may come from any
- * shard that held the final delivery reference (multi-producer).
+ * worker currently executing the owning shard's window (single
+ * consumer — the claim flag gives exactly one worker the shard per
+ * window, and the window barrier orders hand-offs between workers);
+ * releases may come from any shard that held the final delivery
+ * reference (multi-producer).
  */
 class PayloadPool
 {
@@ -125,7 +128,7 @@ class PayloadPool
     PayloadPool &operator=(const PayloadPool &) = delete;
 
     /** A slot with one reference and empty (capacity-retaining) data.
-     *  Owner-shard thread only. */
+     *  Only from the worker executing the owning shard's window. */
     PayloadRef
     acquire()
     {

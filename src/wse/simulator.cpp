@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <barrier>
+#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -47,6 +48,7 @@ Shard::Shard(Simulator &sim, int index)
     heap_.reserve(kInitialQueueCapacity);
     slots_.reserve(kInitialQueueCapacity);
     freeSlots_.reserve(kInitialQueueCapacity);
+    constraints_.reserve(kInitialQueueCapacity);
 }
 
 void
@@ -99,6 +101,44 @@ Shard::pushKeyed(uint64_t ownerCreator, uint64_t seq, Cycles at,
     }
     heap_.push_back(EventKey{at, ownerCreator, seq, slot});
     siftUp(heap_.size() - 1);
+    if (trackConstraints_) {
+        // Adaptive-window bookkeeping: this event cannot influence any
+        // other shard before `at + boundaryDist(owner) * hop` (owners
+        // beyond the maxWindowHops horizon report 0 and fall under the
+        // global fallback cap instead).
+        Cycles lat = sim_->constraintLat(
+            static_cast<uint32_t>(ownerCreator >> 32));
+        if (lat != 0) {
+            constraints_.push_back(Constraint{at + lat, at});
+            std::push_heap(constraints_.begin(), constraints_.end(),
+                           [](const Constraint &a, const Constraint &b) {
+                               return a.bound > b.bound;
+                           });
+        }
+    }
+}
+
+void
+Shard::purgeConstraints(Cycles before)
+{
+    // Entries whose event already executed (at < the previous window
+    // end) are dead; remove them lazily from the top. Dead entries
+    // deeper in the heap surface at a later barrier — until then they
+    // can only shrink a window (their bound is >= the top's), never
+    // widen one, so laziness is safe.
+    auto later = [](const Constraint &a, const Constraint &b) {
+        return a.bound > b.bound;
+    };
+    while (!constraints_.empty() && constraints_.front().eventAt < before) {
+        std::pop_heap(constraints_.begin(), constraints_.end(), later);
+        constraints_.pop_back();
+    }
+}
+
+Cycles
+Shard::constraintBound() const
+{
+    return constraints_.empty() ? kNoBound : constraints_.front().bound;
 }
 
 void
@@ -161,29 +201,143 @@ Simulator::Simulator(const ArchParams &params, int width, int height,
                      params.fabricWidth, "x", params.fabricHeight, ")"));
     lookahead_ = std::max<Cycles>(1, params_.hopCycles);
 
-    int numShards = std::clamp(options_.threads, 1, width);
-    options_.threads = numShards;
+    resolveSharding();
+    const int numShards = shardRows_ * shardCols_;
     shards_.reserve(static_cast<size_t>(numShards));
     for (int s = 0; s < numShards; ++s)
         shards_.push_back(std::make_unique<Shard>(*this, s));
     for (auto &shard : shards_)
         shard->outbox_.resize(static_cast<size_t>(numShards));
 
-    // Balanced contiguous column strips.
-    shardOfCol_.resize(static_cast<size_t>(width));
+    // Balanced contiguous tile bands along each axis; a PE's shard is
+    // the (row band, column band) tile, row-major.
+    tileOfCol_.resize(static_cast<size_t>(width));
     for (int x = 0; x < width; ++x)
-        shardOfCol_[static_cast<size_t>(x)] =
-            static_cast<int>((static_cast<int64_t>(x) * numShards) /
-                             width);
+        tileOfCol_[static_cast<size_t>(x)] = static_cast<int>(
+            (static_cast<int64_t>(x) * shardCols_) / width);
+    tileOfRow_.resize(static_cast<size_t>(height));
+    for (int y = 0; y < height; ++y)
+        tileOfRow_[static_cast<size_t>(y)] = static_cast<int>(
+            (static_cast<int64_t>(y) * shardRows_) / height);
+
+    buildConstraintLatencies();
+    const bool adaptiveParallel =
+        numShards > 1 && options_.adaptiveWindow;
+    for (auto &shard : shards_)
+        shard->trackConstraints_ = adaptiveParallel;
+    claimed_ =
+        std::make_unique<std::atomic<bool>[]>(static_cast<size_t>(numShards));
+    workerQueues_.resize(static_cast<size_t>(numWorkers_));
 
     pes_.reserve(numPes_);
     for (int x = 0; x < width; ++x)
         for (int y = 0; y < height; ++y)
             pes_.push_back(std::make_unique<Pe>(
-                *this, *shards_[static_cast<size_t>(shardOfCol_[x])], x,
-                y, peIndex(x, y)));
+                *this, shardOfPe(peIndex(x, y)), x, y, peIndex(x, y)));
     fabric_ = std::make_unique<Fabric>(*this);
     applyFaultPlan();
+}
+
+void
+Simulator::resolveSharding()
+{
+    if (options_.maxWindowHops < 1)
+        options_.maxWindowHops = 1;
+    maxWindowLat_ =
+        static_cast<Cycles>(options_.maxWindowHops) * lookahead_;
+
+    int rows = options_.shardGrid.rows;
+    int cols = options_.shardGrid.cols;
+    if (rows > 0 || cols > 0) {
+        // Explicit tiling: a single set axis leaves the other at 1.
+        rows = std::clamp(std::max(rows, 1), 1, height_);
+        cols = std::clamp(std::max(cols, 1), 1, width_);
+    } else {
+        // Auto-derivation: the most-square factorisation r x c of the
+        // largest t <= threads that fits the grid. Most-square keeps
+        // boundary traffic (tile perimeter) minimal for a given shard
+        // count; height=1 grids degenerate to the classic strips.
+        rows = cols = 1;
+        const int64_t cells =
+            static_cast<int64_t>(width_) * static_cast<int64_t>(height_);
+        int target = static_cast<int>(std::min<int64_t>(
+            std::max(options_.threads, 1), cells));
+        for (int t = target; t >= 1; --t) {
+            int bestR = 0;
+            for (int r = 1; r <= std::min(t, height_); ++r) {
+                if (t % r != 0 || t / r > width_)
+                    continue;
+                if (bestR == 0 ||
+                    std::abs(r - t / r) < std::abs(bestR - t / bestR))
+                    bestR = r;
+            }
+            if (bestR != 0) {
+                rows = bestR;
+                cols = t / bestR;
+                break;
+            }
+        }
+    }
+    shardRows_ = rows;
+    shardCols_ = cols;
+    options_.shardGrid = ShardGrid{rows, cols};
+    numWorkers_ = std::clamp(options_.threads, 1, rows * cols);
+    options_.threads = numWorkers_;
+}
+
+void
+Simulator::buildConstraintLatencies()
+{
+    peConstraintLat_.assign(static_cast<size_t>(numPes_) + 1, 0);
+    if (shardRows_ * shardCols_ == 1)
+        return;
+    const Cycles cap = maxWindowLat_;
+    // Band extents per axis, to measure the distance to the nearest
+    // column/row of a *foreign* tile (only axes that actually have a
+    // foreign neighbour count).
+    auto bandEdges = [](const std::vector<int> &tileOf, int len, int band,
+                        int &lo, int &hi) {
+        lo = 0;
+        hi = len - 1;
+        for (int i = 0; i < len; ++i)
+            if (tileOf[static_cast<size_t>(i)] == band) {
+                lo = i;
+                break;
+            }
+        for (int i = len - 1; i >= 0; --i)
+            if (tileOf[static_cast<size_t>(i)] == band) {
+                hi = i;
+                break;
+            }
+    };
+    for (int x = 0; x < width_; ++x) {
+        int cBand = tileOfCol_[static_cast<size_t>(x)];
+        int cLo, cHi;
+        bandEdges(tileOfCol_, width_, cBand, cLo, cHi);
+        for (int y = 0; y < height_; ++y) {
+            int rBand = tileOfRow_[static_cast<size_t>(y)];
+            int rLo, rHi;
+            bandEdges(tileOfRow_, height_, rBand, rLo, rHi);
+            int64_t dist = INT64_MAX;
+            if (cBand > 0)
+                dist = std::min<int64_t>(dist, x - cLo + 1);
+            if (cBand < shardCols_ - 1)
+                dist = std::min<int64_t>(dist, cHi - x + 1);
+            if (rBand > 0)
+                dist = std::min<int64_t>(dist, y - rLo + 1);
+            if (rBand < shardRows_ - 1)
+                dist = std::min<int64_t>(dist, rHi - y + 1);
+            WSC_ASSERT(dist != INT64_MAX,
+                       "tile without foreign neighbour in a multi-shard "
+                       "grid");
+            Cycles lat = static_cast<Cycles>(dist) * lookahead_;
+            peConstraintLat_[peIndex(x, y)] = lat <= cap ? lat : 0;
+        }
+    }
+    // Host-owned events may drive fabric sends from any grid position,
+    // so they carry the one-hop minimum (exactly the fixed-window
+    // assumption the PR 5 engine already relied on).
+    peConstraintLat_[numPes_] = lookahead_;
 }
 
 void
@@ -240,7 +394,9 @@ Simulator::shardOfPe(uint32_t peIdx)
     if (peIdx >= numPes_) // host
         return *shards_.front();
     uint32_t col = peIdx / static_cast<uint32_t>(height_);
-    return *shards_[static_cast<size_t>(shardOfCol_[col])];
+    uint32_t row = peIdx % static_cast<uint32_t>(height_);
+    int shard = tileOfRow_[row] * shardCols_ + tileOfCol_[col];
+    return *shards_[static_cast<size_t>(shard)];
 }
 
 const SimStats &
@@ -256,6 +412,19 @@ Simulator::stats()
         mergedStats_.memBytes += shard->stats_.memBytes;
     }
     return mergedStats_;
+}
+
+ShardingTelemetry
+Simulator::telemetry() const
+{
+    ShardingTelemetry t;
+    t.windows = windowCount_;
+    t.windowCycles = windowCycleSum_;
+    t.shardWindowsRun = shardWindowsRun_.load(std::memory_order_relaxed);
+    t.steals = stealCount_.load(std::memory_order_relaxed);
+    for (const auto &shard : shards_)
+        t.outboxReallocs += shard->outboxReallocs_;
+    return t;
 }
 
 uint64_t
@@ -309,8 +478,14 @@ Simulator::scheduleOnPe(uint32_t owner, Cycles at, EventCallback fn,
         target.pushKeyed(key, from->nextSeq_++, at, std::move(fn));
         return;
     }
-    from->outbox_[static_cast<size_t>(target.index())].push_back(
-        Shard::MailEntry{at, key, from->nextSeq_++, std::move(fn)});
+    auto &lane = from->outbox_[static_cast<size_t>(target.index())];
+    // Lanes are cleared (capacity kept) when drained, so growth only
+    // happens while a lane reaches its high-water mark — telemetry
+    // asserts steady-state windows stay allocation-free.
+    if (lane.size() == lane.capacity())
+        from->outboxReallocs_++;
+    lane.push_back(Shard::MailEntry{at, key, from->nextSeq_++,
+                                    std::move(fn)});
 }
 
 bool
@@ -358,12 +533,44 @@ Simulator::runSequential(uint64_t maxEvents)
     return overBudget;
 }
 
+void
+Simulator::runAssignedShards(int w, Cycles windowEnd, uint64_t maxEvents)
+{
+    auto runShard = [&](uint32_t s) {
+        Shard &shard = *shards_[s];
+        // The claim flag makes this worker the shard's exclusive
+        // executor for the window; the TLS context travels with the
+        // shard so schedule sites see the right creator/outbox.
+        TlsGuard tls(this, &shard);
+        shardWindowsRun_.fetch_add(1, std::memory_order_relaxed);
+        shard.runWindow(windowEnd, maxEvents);
+    };
+    // Own affinity queue first (front to back), then sweep the other
+    // workers' queues back to front — stealing the work its home worker
+    // would reach last. The claim flag arbitrates: whoever wins the
+    // exchange runs the shard-window, everyone else moves on.
+    for (uint32_t s : workerQueues_[static_cast<size_t>(w)])
+        if (claimShard(s))
+            runShard(s);
+    if (!options_.workStealing)
+        return;
+    for (int v = 1; v < numWorkers_; ++v) {
+        const auto &q =
+            workerQueues_[static_cast<size_t>((w + v) % numWorkers_)];
+        for (auto it = q.rbegin(); it != q.rend(); ++it)
+            if (claimShard(*it)) {
+                stealCount_.fetch_add(1, std::memory_order_relaxed);
+                runShard(*it);
+            }
+    }
+}
+
 bool
 Simulator::runParallel(uint64_t maxEvents)
 {
-    const int numShards = threads();
     for (auto &shard : shards_)
         shard->processed_ = 0;
+    const bool adaptive = options_.adaptiveWindow;
 
     struct Control
     {
@@ -377,9 +584,10 @@ Simulator::runParallel(uint64_t maxEvents)
 
     // Runs on exactly one thread while every worker is parked in the
     // barrier: drains the cross-shard mailboxes, accounts the event
-    // budget and picks the next conservative window. The body must not
-    // leak an exception (std::terminate inside a barrier completion),
-    // so a throwing drain — e.g. a schedule-into-the-past panic — is
+    // budget, picks the next conservative window and deals the active
+    // shards onto the workers' claim queues. The body must not leak an
+    // exception (std::terminate inside a barrier completion), so a
+    // throwing drain — e.g. a schedule-into-the-past panic — is
     // converted into the same firstError/done shutdown a throwing
     // worker takes.
     auto atBarrier = [&]() noexcept {
@@ -420,7 +628,40 @@ Simulator::runParallel(uint64_t maxEvents)
                 ctl.done = true;
                 return;
             }
-            ctl.windowEnd = minAt + lookahead_;
+            Cycles end = minAt + lookahead_;
+            if (adaptive) {
+                // Largest safe window: no tracked pending event can
+                // influence a foreign shard before its constraint
+                // bound, and untracked events (beyond the horizon) not
+                // before minAt + maxWindowLat_. Every event executed in
+                // [minAt, end) therefore commits before its effects can
+                // cross a boundary — the full argument lives in
+                // docs/architecture.md §4.
+                end = minAt + maxWindowLat_;
+                for (auto &shard : shards_) {
+                    shard->purgeConstraints(ctl.windowEnd);
+                    end = std::min(end, shard->constraintBound());
+                }
+                // Progress is provable (every live bound is >= minAt +
+                // lookahead); the max is a cheap belt against future
+                // constraint sources breaking that proof silently.
+                end = std::max(end, minAt + lookahead_);
+            }
+            ctl.windowEnd = end;
+            windowCount_++;
+            windowCycleSum_ += end - minAt;
+            // Deal active shards onto the workers' claim queues,
+            // round-robin by home worker for affinity.
+            for (auto &q : workerQueues_)
+                q.clear();
+            for (uint32_t s = 0; s < shards_.size(); ++s) {
+                Shard &shard = *shards_[s];
+                if (shard.heap_.empty() || shard.heap_.front().at >= end)
+                    continue; // Idle this window; nobody touches it.
+                claimed_[s].store(false, std::memory_order_relaxed);
+                workerQueues_[s % static_cast<uint32_t>(numWorkers_)]
+                    .push_back(s);
+            }
         } catch (...) {
             {
                 std::lock_guard<std::mutex> lock(errorMutex);
@@ -432,7 +673,7 @@ Simulator::runParallel(uint64_t maxEvents)
         }
     };
 
-    std::barrier barrier(numShards, atBarrier);
+    std::barrier barrier(numWorkers_, atBarrier);
 
     // Error-path invariant: a worker that catches an exception KEEPS
     // LOOPING to the next arrive_and_wait instead of leaving the loop —
@@ -440,14 +681,12 @@ Simulator::runParallel(uint64_t maxEvents)
     // barrier forever. The completion step then observes `failed` and
     // shuts every worker down through ctl.done.
     auto worker = [&](int idx) {
-        Shard &shard = *shards_[static_cast<size_t>(idx)];
-        TlsGuard tls(this, &shard);
         for (;;) {
             barrier.arrive_and_wait();
             if (ctl.done)
                 break;
             try {
-                shard.runWindow(ctl.windowEnd, maxEvents);
+                runAssignedShards(idx, ctl.windowEnd, maxEvents);
             } catch (...) {
                 {
                     std::lock_guard<std::mutex> lock(errorMutex);
@@ -460,8 +699,8 @@ Simulator::runParallel(uint64_t maxEvents)
     };
 
     std::vector<std::thread> threads;
-    threads.reserve(static_cast<size_t>(numShards) - 1);
-    for (int i = 1; i < numShards; ++i)
+    threads.reserve(static_cast<size_t>(numWorkers_) - 1);
+    for (int i = 1; i < numWorkers_; ++i)
         threads.emplace_back(worker, i);
     worker(0);
     for (std::thread &t : threads)
@@ -579,8 +818,14 @@ const SimReport &
 Simulator::runWithReport(uint64_t maxEvents)
 {
     report_ = SimReport{};
-    bool overBudget = threads() == 1 ? runSequential(maxEvents)
-                                     : runParallel(maxEvents);
+    windowCount_ = 0;
+    windowCycleSum_ = 0;
+    shardWindowsRun_.store(0, std::memory_order_relaxed);
+    stealCount_.store(0, std::memory_order_relaxed);
+    for (auto &shard : shards_)
+        shard->outboxReallocs_ = 0;
+    bool overBudget = shardCount() == 1 ? runSequential(maxEvents)
+                                        : runParallel(maxEvents);
     report_.finalCycle = finishRun();
     report_.stats = stats();
 

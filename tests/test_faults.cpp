@@ -47,16 +47,13 @@ struct FaultRun
     bool operator==(const FaultRun &) const = default;
 };
 
-/** Compile once, run faulted at the given thread count, capture all. */
+/** Compile once, run faulted with the given options, capture all. */
 FaultRun
-runFaulted(ir::Operation *module, fe::Benchmark &bench, int nx, int ny,
-           int threads, const wse::FaultPlan &plan,
-           wse::Cycles timeoutCycles)
+runFaultedOpts(ir::Operation *module, fe::Benchmark &bench, int nx,
+               int ny, wse::SimOptions options)
 {
-    wse::SimOptions options{threads};
-    options.faults = plan;
-    options.exchangeTimeoutCycles = timeoutCycles;
-    wse::Simulator sim(wse::ArchParams::wse3(), nx, ny, options);
+    wse::Simulator sim(wse::ArchParams::wse3(), nx, ny,
+                       std::move(options));
     interp::CslProgramInstance instance(sim, module);
     for (size_t f = 0; f < bench.program.numFields(); ++f) {
         int fi = static_cast<int>(f);
@@ -87,6 +84,18 @@ runFaulted(ir::Operation *module, fe::Benchmark &bench, int nx, int ny,
             r.fields.insert(r.fields.end(), col.begin(), col.end());
         }
     return r;
+}
+
+/** Compile once, run faulted at the given thread count, capture all. */
+FaultRun
+runFaulted(ir::Operation *module, fe::Benchmark &bench, int nx, int ny,
+           int threads, const wse::FaultPlan &plan,
+           wse::Cycles timeoutCycles)
+{
+    wse::SimOptions options{threads};
+    options.faults = plan;
+    options.exchangeTimeoutCycles = timeoutCycles;
+    return runFaultedOpts(module, bench, nx, ny, std::move(options));
 }
 
 /** threads=1 vs threads=4 must agree bit-for-bit under the plan;
@@ -575,6 +584,81 @@ TEST(FaultUnit, StutterSlowsWork)
     }
     EXPECT_GE(workFree[1], 4 * workFree[0]);
     EXPECT_GT(workFree[0], 0u);
+}
+
+//===----------------------------------------------------------------------===
+// Shard-tiling determinism under fault plans (PR 10)
+//===----------------------------------------------------------------------===
+
+/**
+ * A fault plan is part of the simulated world, so it must replay
+ * bit-exactly not only at any thread count but under any shard tiling:
+ * injection ordinals are counted on the owning link's shard in
+ * deterministic event order, never off scheduling artifacts. Compares
+ * threads=1 against 1-D strips and two 2-D tilings — outcome, fault
+ * counters, diagnosis rows AND field bytes.
+ */
+void
+expectFaultTilingEquivalence(fe::Benchmark bench, int nx, int ny,
+                             const wse::FaultPlan &plan,
+                             wse::Cycles timeoutCycles)
+{
+    ir::Context ctx;
+    dialects::registerAllDialects(ctx);
+    ir::OwningOp module = bench.program.emit(ctx);
+    transforms::runPipeline(module.get());
+
+    FaultRun sequential =
+        runFaulted(module.get(), bench, nx, ny, 1, plan, timeoutCycles);
+    const wse::ShardGrid tilings[] = {{1, 4}, {2, 2}, {4, 2}};
+    for (const wse::ShardGrid &grid : tilings) {
+        wse::SimOptions options{4};
+        options.faults = plan;
+        options.exchangeTimeoutCycles = timeoutCycles;
+        options.shardGrid = grid;
+        FaultRun tiled =
+            runFaultedOpts(module.get(), bench, nx, ny, options);
+        EXPECT_EQ(static_cast<int>(sequential.outcome),
+                  static_cast<int>(tiled.outcome))
+            << grid.rows << "x" << grid.cols;
+        EXPECT_EQ(sequential.finalCycle, tiled.finalCycle)
+            << grid.rows << "x" << grid.cols;
+        EXPECT_TRUE(sequential.stats == tiled.stats)
+            << grid.rows << "x" << grid.cols;
+        EXPECT_TRUE(sequential.faults == tiled.faults)
+            << grid.rows << "x" << grid.cols;
+        EXPECT_EQ(sequential.haltedPes, tiled.haltedPes);
+        EXPECT_EQ(sequential.degradedPes, tiled.degradedPes);
+        EXPECT_EQ(sequential.blocked, tiled.blocked);
+        EXPECT_EQ(sequential.unblocks, tiled.unblocks);
+        EXPECT_EQ(sequential.fields, tiled.fields)
+            << grid.rows << "x" << grid.cols;
+    }
+}
+
+TEST(FaultTiling, CompositePlanDiffusion)
+{
+    // Halt + N/S link drop + payload corruption crossing horizontal
+    // tile boundaries: the shape that would expose any tiling
+    // dependence in ordinal counting or recovery ordering.
+    wse::FaultPlan plan;
+    plan.seed = 7;
+    plan.haltPe(5, 2, 40);
+    plan.dropLink(3, 4, wse::Direction::North, 60);
+    plan.corruptPayload(2, 2, wse::Direction::South, 1);
+    expectFaultTilingEquivalence(fe::makeDiffusion(7, 7, 4, 16), 7, 7,
+                                 plan, /*timeout=*/4000);
+}
+
+TEST(FaultTiling, CompositePlanJacobian)
+{
+    wse::FaultPlan plan;
+    plan.seed = 11;
+    plan.haltPe(1, 5, 80);
+    plan.stutterPe(4, 1, 0, 2000, 3);
+    plan.dropPayload(3, 3, wse::Direction::East, 0);
+    expectFaultTilingEquivalence(fe::makeJacobian(7, 7, 4, 64), 7, 7,
+                                 plan, /*timeout=*/6000);
 }
 
 } // namespace

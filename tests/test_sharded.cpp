@@ -1,15 +1,20 @@
 /**
  * @file
- * PR 5 coverage: the sharded parallel simulator.
+ * PR 5 + PR 10 coverage: the sharded parallel simulator.
  *
- * The determinism contract (docs/architecture.md): a threads=N run must
- * be cycle-identical and bit-identical in SimStats and field contents to
- * the threads=1 run. These tests pin that contract on all five paper
- * workloads, exercise cross-shard boundary delivery ordering directly
- * at the fabric level, and cover the two allocation-recycling rings the
- * PR introduced (interpreter activation frames, payload slots).
+ * The determinism contract (docs/architecture.md §4): a threads=N run
+ * under ANY shard tiling, window policy and stealing mode must be
+ * cycle-identical and bit-identical in SimStats, step marks and field
+ * contents to the threads=1 run. These tests pin that contract on all
+ * five paper workloads across 1-D strips and several 2-D tilings,
+ * exercise cross-shard boundary delivery ordering directly at the
+ * fabric level, check the adaptive-window and work-stealing machinery
+ * through the scheduler telemetry (which may vary; results may not),
+ * and cover the allocation-recycling rings (activation frames, payload
+ * slots, cross-shard outbox lanes).
  *
- * The ShardedDeterminism suite is also wired to `ctest -L sharded`.
+ * The ShardedDeterminism suite is also wired to `ctest -L sharded`;
+ * the large-grid runs live in ShardedScale (same label, own budget).
  */
 
 #include "test_helpers.h"
@@ -26,6 +31,8 @@ struct RunResult
     wse::SimStats stats;
     uint64_t fabricHops = 0;
     uint64_t unblocks = 0;
+    /** Concatenated per-PE step marks, row-major. */
+    std::vector<wse::Cycles> marks;
     /** Concatenated bytes of the first field's columns, row-major. */
     std::vector<float> fields;
 
@@ -40,17 +47,20 @@ struct RunResult
                stats.flops == o.stats.flops &&
                stats.memBytes == o.stats.memBytes &&
                fabricHops == o.fabricHops && unblocks == o.unblocks &&
-               fields == o.fields;
+               marks == o.marks && fields == o.fields;
     }
 };
 
-/** Compile once, run at the given thread count, capture everything. */
+/** Compile once, run with the given options, capture everything.
+ *  Also returns the run's scheduler telemetry through `telemetry`
+ *  (execution shape — never part of the equality contract). */
 RunResult
-runWorkload(ir::Operation *module, fe::Benchmark &bench, int nx, int ny,
-            int threads)
+runWorkloadOpts(ir::Operation *module, fe::Benchmark &bench, int nx,
+                int ny, wse::SimOptions options,
+                wse::ShardingTelemetry *telemetry = nullptr)
 {
     wse::Simulator sim(wse::ArchParams::wse3(), nx, ny,
-                       wse::SimOptions{threads});
+                       std::move(options));
     interp::CslProgramInstance instance(sim, module);
     for (size_t f = 0; f < bench.program.numFields(); ++f) {
         int fi = static_cast<int>(f);
@@ -71,13 +81,54 @@ runWorkload(ir::Operation *module, fe::Benchmark &bench, int nx, int ny,
     const std::string &field = bench.program.fieldName(0);
     for (int x = 0; x < nx; ++x)
         for (int y = 0; y < ny; ++y) {
+            const auto &m = instance.stepMarks(x, y);
+            r.marks.insert(r.marks.end(), m.begin(), m.end());
             std::vector<float> col = instance.readFieldColumn(field, x, y);
             r.fields.insert(r.fields.end(), col.begin(), col.end());
         }
+    if (telemetry)
+        *telemetry = sim.telemetry();
     return r;
 }
 
-/** threads=1 vs threads=4 must agree bit-for-bit. */
+/** Compile once, run at the given thread count, capture everything. */
+RunResult
+runWorkload(ir::Operation *module, fe::Benchmark &bench, int nx, int ny,
+            int threads)
+{
+    return runWorkloadOpts(module, bench, nx, ny,
+                           wse::SimOptions{threads});
+}
+
+/** Expect a == b with per-member messages (tiling named in `what`). */
+void
+expectRunsEqual(const RunResult &sequential, const RunResult &other,
+                const char *what)
+{
+    EXPECT_EQ(sequential.finalCycle, other.finalCycle) << what;
+    EXPECT_EQ(sequential.stats.eventsProcessed,
+              other.stats.eventsProcessed)
+        << what;
+    EXPECT_EQ(sequential.stats.waveletsSent, other.stats.waveletsSent)
+        << what;
+    EXPECT_EQ(sequential.stats.taskActivations,
+              other.stats.taskActivations)
+        << what;
+    EXPECT_EQ(sequential.stats.dsdOps, other.stats.dsdOps) << what;
+    EXPECT_EQ(sequential.stats.flops, other.stats.flops) << what;
+    EXPECT_EQ(sequential.stats.memBytes, other.stats.memBytes) << what;
+    EXPECT_EQ(sequential.fabricHops, other.fabricHops) << what;
+    EXPECT_EQ(sequential.unblocks, other.unblocks) << what;
+    EXPECT_EQ(sequential.marks, other.marks) << what;
+    EXPECT_EQ(sequential.fields, other.fields) << what;
+    EXPECT_TRUE(sequential == other) << what;
+}
+
+/**
+ * threads=1 vs threads=4 (auto-tiled), 1-D column strips and three
+ * distinct explicit 2-D tilings must all agree bit-for-bit, with
+ * adaptive windows and work stealing at their (enabled) defaults.
+ */
 void
 expectShardedEquivalence(fe::Benchmark bench, int nx, int ny)
 {
@@ -87,21 +138,29 @@ expectShardedEquivalence(fe::Benchmark bench, int nx, int ny)
     transforms::runPipeline(module.get());
 
     RunResult sequential = runWorkload(module.get(), bench, nx, ny, 1);
-    RunResult sharded = runWorkload(module.get(), bench, nx, ny, 4);
+    expectRunsEqual(sequential,
+                    runWorkload(module.get(), bench, nx, ny, 4),
+                    "threads=4 (auto tiling)");
 
-    EXPECT_EQ(sequential.finalCycle, sharded.finalCycle);
-    EXPECT_EQ(sequential.stats.eventsProcessed,
-              sharded.stats.eventsProcessed);
-    EXPECT_EQ(sequential.stats.waveletsSent, sharded.stats.waveletsSent);
-    EXPECT_EQ(sequential.stats.taskActivations,
-              sharded.stats.taskActivations);
-    EXPECT_EQ(sequential.stats.dsdOps, sharded.stats.dsdOps);
-    EXPECT_EQ(sequential.stats.flops, sharded.stats.flops);
-    EXPECT_EQ(sequential.stats.memBytes, sharded.stats.memBytes);
-    EXPECT_EQ(sequential.fabricHops, sharded.fabricHops);
-    EXPECT_EQ(sequential.unblocks, sharded.unblocks);
-    EXPECT_EQ(sequential.fields, sharded.fields);
-    EXPECT_TRUE(sequential == sharded);
+    struct TilingCase
+    {
+        wse::ShardGrid grid;
+        const char *what;
+    };
+    const TilingCase tilings[] = {
+        {{1, 4}, "1-D strips 1x4"},
+        {{2, 2}, "2-D tiles 2x2"},
+        {{4, 2}, "2-D tiles 4x2"},
+        {{2, 4}, "2-D tiles 2x4"},
+    };
+    for (const TilingCase &t : tilings) {
+        wse::SimOptions options{4};
+        options.shardGrid = t.grid;
+        expectRunsEqual(sequential,
+                        runWorkloadOpts(module.get(), bench, nx, ny,
+                                        options),
+                        t.what);
+    }
 }
 
 TEST(ShardedDeterminism, Jacobian)
@@ -131,7 +190,9 @@ TEST(ShardedDeterminism, Uvkbe)
 
 TEST(ShardedDeterminism, ThreadCountsBeyondWidthClamp)
 {
-    // threads > width clamps to one shard per column and still matches.
+    // threads > width used to clamp to one column strip per column;
+    // with 2-D tiling threads=16 on a 5x5 grid auto-derives a 4x4
+    // tiling (25 PEs across 16 tiles) and still matches bit-for-bit.
     fe::Benchmark bench = fe::makeDiffusion(5, 5, 2, 16);
     ir::Context ctx;
     dialects::registerAllDialects(ctx);
@@ -140,6 +201,246 @@ TEST(ShardedDeterminism, ThreadCountsBeyondWidthClamp)
     RunResult a = runWorkload(module.get(), bench, 5, 5, 1);
     RunResult b = runWorkload(module.get(), bench, 5, 5, 16);
     EXPECT_TRUE(a == b);
+}
+
+//===----------------------------------------------------------------------===
+// 2-D tiling resolution and the scheduler knobs (PR 10)
+//===----------------------------------------------------------------------===
+
+TEST(ShardedDeterminism, AutoShardGridDerivation)
+{
+    wse::ArchParams arch = wse::ArchParams::wse3();
+    {
+        // threads=4 on a square grid: most-square 2x2 tiling.
+        wse::Simulator sim(arch, 8, 8, wse::SimOptions{4});
+        EXPECT_EQ(sim.shardRows(), 2);
+        EXPECT_EQ(sim.shardCols(), 2);
+        EXPECT_EQ(sim.shardCount(), 4);
+        EXPECT_EQ(sim.threads(), 4);
+    }
+    {
+        // Height-1 grids degenerate to the classic column strips.
+        wse::Simulator sim(arch, 6, 1, wse::SimOptions{6});
+        EXPECT_EQ(sim.shardRows(), 1);
+        EXPECT_EQ(sim.shardCols(), 6);
+    }
+    {
+        // Width-1 grids tile along rows instead of clamping to 1.
+        wse::Simulator sim(arch, 1, 6, wse::SimOptions{4});
+        EXPECT_EQ(sim.shardRows(), 4);
+        EXPECT_EQ(sim.shardCols(), 1);
+    }
+    {
+        // threads=16 on 5x5: the largest fitting factorisation, 4x4.
+        wse::Simulator sim(arch, 5, 5, wse::SimOptions{16});
+        EXPECT_EQ(sim.shardRows(), 4);
+        EXPECT_EQ(sim.shardCols(), 4);
+        EXPECT_EQ(sim.threads(), 16);
+    }
+    {
+        // Explicit tiling decouples shards from workers: six tiles can
+        // be driven by two workers (the window scheduler deals and
+        // steals shard-windows among them).
+        wse::SimOptions options{2};
+        options.shardGrid = {2, 3};
+        wse::Simulator sim(arch, 6, 6, options);
+        EXPECT_EQ(sim.shardCount(), 6);
+        EXPECT_EQ(sim.shardRows(), 2);
+        EXPECT_EQ(sim.shardCols(), 3);
+        EXPECT_EQ(sim.threads(), 2);
+    }
+    {
+        // Explicit tilings clamp to the grid extents.
+        wse::SimOptions options{4};
+        options.shardGrid = {9, 2};
+        wse::Simulator sim(arch, 4, 3, options);
+        EXPECT_EQ(sim.shardRows(), 3);
+        EXPECT_EQ(sim.shardCols(), 2);
+    }
+}
+
+TEST(ShardedDeterminism, TilingStressMatrix)
+{
+    // The tsan-gated stress matrix: one workload re-run under every
+    // tiling shape in {1x4, 2x2, 4x2} must match threads=1 bit-for-bit
+    // while the claim/steal machinery runs with fewer workers than
+    // shards (the shape that maximises stealing).
+    fe::Benchmark bench = fe::makeDiffusion(8, 8, 4, 16);
+    ir::Context ctx;
+    dialects::registerAllDialects(ctx);
+    ir::OwningOp module = bench.program.emit(ctx);
+    transforms::runPipeline(module.get());
+    RunResult sequential = runWorkload(module.get(), bench, 8, 8, 1);
+    const wse::ShardGrid tilings[] = {{1, 4}, {2, 2}, {4, 2}};
+    for (const wse::ShardGrid &g : tilings) {
+        for (int threads : {2, 4}) {
+            wse::SimOptions options{threads};
+            options.shardGrid = g;
+            wse::ShardingTelemetry telemetry;
+            RunResult run = runWorkloadOpts(module.get(), bench, 8, 8,
+                                            options, &telemetry);
+            expectRunsEqual(sequential, run, "tiling stress");
+            EXPECT_GT(telemetry.windows, 0u);
+            EXPECT_GT(telemetry.shardWindowsRun, 0u);
+        }
+    }
+}
+
+TEST(ShardedDeterminism, AdaptiveWindowReducesBarriers)
+{
+    // Adaptive windows are a pure scheduling policy: bit-identical
+    // results, strictly fewer barrier windows than the fixed one-hop
+    // policy on a grid with interior (non-boundary) activity.
+    fe::Benchmark bench = fe::makeDiffusion(8, 8, 4, 16);
+    ir::Context ctx;
+    dialects::registerAllDialects(ctx);
+    ir::OwningOp module = bench.program.emit(ctx);
+    transforms::runPipeline(module.get());
+
+    wse::SimOptions fixed{4};
+    fixed.adaptiveWindow = false;
+    wse::SimOptions adaptive{4};
+    adaptive.adaptiveWindow = true;
+
+    wse::ShardingTelemetry fixedT, adaptiveT;
+    RunResult fixedRun = runWorkloadOpts(module.get(), bench, 8, 8,
+                                         fixed, &fixedT);
+    RunResult adaptiveRun = runWorkloadOpts(module.get(), bench, 8, 8,
+                                            adaptive, &adaptiveT);
+    expectRunsEqual(fixedRun, adaptiveRun, "adaptive vs fixed window");
+
+    EXPECT_GT(fixedT.windows, 0u);
+    EXPECT_LT(adaptiveT.windows, fixedT.windows)
+        << "adaptive windows should collapse barriers (fixed="
+        << fixedT.windows << ", adaptive=" << adaptiveT.windows << ")";
+    // Same total simulated span, fewer windows => wider windows.
+    EXPECT_GE(adaptiveT.windowCycles / std::max<uint64_t>(
+                                          1, adaptiveT.windows),
+              fixedT.windowCycles / std::max<uint64_t>(1,
+                                                       fixedT.windows));
+}
+
+TEST(ShardedDeterminism, WorkStealingMatchesStaticAssignment)
+{
+    // More shards than workers: stealing on vs off vs sequential must
+    // agree bit-for-bit; the window sequence (a deterministic quantity)
+    // must also agree, while steals only ever happen with stealing on.
+    fe::Benchmark bench = fe::makeJacobian(7, 7, 4, 64);
+    ir::Context ctx;
+    dialects::registerAllDialects(ctx);
+    ir::OwningOp module = bench.program.emit(ctx);
+    transforms::runPipeline(module.get());
+    RunResult sequential = runWorkload(module.get(), bench, 7, 7, 1);
+
+    wse::SimOptions stealing{2};
+    stealing.shardGrid = {2, 2};
+    stealing.workStealing = true;
+    wse::SimOptions pinned{2};
+    pinned.shardGrid = {2, 2};
+    pinned.workStealing = false;
+
+    wse::ShardingTelemetry stealT, pinT;
+    RunResult stolen = runWorkloadOpts(module.get(), bench, 7, 7,
+                                       stealing, &stealT);
+    RunResult static_ = runWorkloadOpts(module.get(), bench, 7, 7,
+                                        pinned, &pinT);
+    expectRunsEqual(sequential, stolen, "work stealing on");
+    expectRunsEqual(sequential, static_, "work stealing off");
+    EXPECT_EQ(stealT.windows, pinT.windows);
+    EXPECT_EQ(stealT.shardWindowsRun, pinT.shardWindowsRun);
+    EXPECT_EQ(pinT.steals, 0u);
+}
+
+TEST(ShardedDeterminism, OutboxSteadyStateAllocationFree)
+{
+    // Satellite contract: outbox lanes are cleared (capacity kept)
+    // between windows, so lane growth happens only while reaching the
+    // high-water mark — a long run must see a realloc count bounded by
+    // the working set, orders of magnitude below the window count.
+    fe::Benchmark bench = fe::makeDiffusion(8, 8, 8, 16);
+    ir::Context ctx;
+    dialects::registerAllDialects(ctx);
+    ir::OwningOp module = bench.program.emit(ctx);
+    transforms::runPipeline(module.get());
+
+    // The fixed one-hop window maximises windows (one drain per hop).
+    wse::SimOptions options{4};
+    options.adaptiveWindow = false;
+    wse::ShardingTelemetry telemetry;
+    runWorkloadOpts(module.get(), bench, 8, 8, options, &telemetry);
+    EXPECT_GT(telemetry.windows, 100u);
+    // Growth to a high-water mark H costs O(log H) reallocations per
+    // lane; 12 lanes (2x2 tiling) x a generous log bound still sits
+    // far below one realloc per window.
+    EXPECT_LT(telemetry.outboxReallocs, 150u);
+    EXPECT_LT(telemetry.outboxReallocs, telemetry.windows / 4)
+        << "windows=" << telemetry.windows
+        << " reallocs=" << telemetry.outboxReallocs;
+}
+
+//===----------------------------------------------------------------------===
+// Large-grid scenarios (ShardedScale: same `sharded` gate, own budget)
+//===----------------------------------------------------------------------===
+
+TEST(ShardedScale, Acoustic96Grid)
+{
+    // The paper-scale trajectory scenario: a 96x96 acoustic grid (the
+    // README scenario table's large-grid run; examples/
+    // large_grid_acoustic.cpp drives the same shape standalone) must
+    // stay bit-identical across threads=1, 1-D strips and three
+    // distinct 2-D tilings with adaptive windows + stealing enabled.
+    fe::Benchmark bench = fe::makeAcoustic(96, 96, 2, 8);
+    ir::Context ctx;
+    dialects::registerAllDialects(ctx);
+    ir::OwningOp module = bench.program.emit(ctx);
+    transforms::runPipeline(module.get());
+
+    RunResult sequential =
+        runWorkload(module.get(), bench, 96, 96, 1);
+    struct TilingCase
+    {
+        wse::ShardGrid grid;
+        const char *what;
+    };
+    const TilingCase tilings[] = {
+        {{1, 4}, "96x96 1-D strips 1x4"},
+        {{2, 2}, "96x96 2-D tiles 2x2"},
+        {{4, 2}, "96x96 2-D tiles 4x2"},
+        {{2, 4}, "96x96 2-D tiles 2x4"},
+    };
+    for (const TilingCase &t : tilings) {
+        wse::SimOptions options{4};
+        options.shardGrid = t.grid;
+        wse::ShardingTelemetry telemetry;
+        RunResult run = runWorkloadOpts(module.get(), bench, 96, 96,
+                                        options, &telemetry);
+        expectRunsEqual(sequential, run, t.what);
+        EXPECT_GT(telemetry.windows, 0u);
+    }
+}
+
+TEST(ShardedScale, Stress256Smoke)
+{
+    // Smoke-scale 256x256 stress config: one step, shallow columns —
+    // enough to push 64k PEs through the cross-shard machinery at a
+    // 4x4 tiling without blowing the CI budget.
+    fe::Benchmark bench = fe::makeAcoustic(256, 256, 1, 8);
+    ir::Context ctx;
+    dialects::registerAllDialects(ctx);
+    ir::OwningOp module = bench.program.emit(ctx);
+    transforms::runPipeline(module.get());
+
+    RunResult sequential =
+        runWorkload(module.get(), bench, 256, 256, 1);
+    wse::SimOptions options{4};
+    options.shardGrid = {4, 4};
+    wse::ShardingTelemetry telemetry;
+    RunResult tiled = runWorkloadOpts(module.get(), bench, 256, 256,
+                                      options, &telemetry);
+    expectRunsEqual(sequential, tiled, "256x256 4x4 tiles");
+    EXPECT_GT(telemetry.windows, 0u);
+    EXPECT_GT(telemetry.shardWindowsRun, telemetry.windows)
+        << "a 16-shard window should run several shard-windows";
 }
 
 //===----------------------------------------------------------------------===
